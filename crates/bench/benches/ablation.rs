@@ -1,0 +1,76 @@
+//! Ablation of Conduit's cost function (the design choices called out in
+//! DESIGN.md): drop the data-movement term, the queueing term, or the
+//! dependence term, and replace the `max` combination with a sum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conduit::{CostFunction, Policy, RunOptions, Workbench};
+use conduit_types::SsdConfig;
+use conduit_workloads::{Scale, Workload};
+
+fn variants() -> Vec<(&'static str, CostFunction)> {
+    let full = CostFunction::conduit();
+    vec![
+        ("full", full),
+        (
+            "no_data_movement",
+            CostFunction {
+                include_data_movement: false,
+                ..full
+            },
+        ),
+        (
+            "no_queue_delay",
+            CostFunction {
+                include_queue_delay: false,
+                ..full
+            },
+        ),
+        (
+            "no_dependence",
+            CostFunction {
+                include_dependence_delay: false,
+                ..full
+            },
+        ),
+        (
+            "sum_instead_of_max",
+            CostFunction {
+                combine_with_max: false,
+                ..full
+            },
+        ),
+    ]
+}
+
+fn ablation(c: &mut Criterion) {
+    let program = Workload::Heat3d.program(Scale::test()).unwrap();
+
+    // Print the ablated end-to-end times once (the ablation "table").
+    println!("# Cost-function ablation on heat-3d (lower is better)");
+    for (name, cf) in variants() {
+        let mut bench = Workbench::new(SsdConfig::small_for_tests());
+        let report = bench
+            .run_with(&program, &RunOptions::new(Policy::Conduit).cost_function(cf))
+            .unwrap();
+        println!("{name}\t{}", report.total_time);
+    }
+
+    let mut group = c.benchmark_group("cost_function_ablation_heat3d");
+    group.sample_size(10);
+    for (name, cf) in variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cf, |b, cf| {
+            b.iter(|| {
+                let mut bench = Workbench::new(SsdConfig::small_for_tests());
+                bench
+                    .run_with(&program, &RunOptions::new(Policy::Conduit).cost_function(*cf))
+                    .unwrap()
+                    .total_time
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

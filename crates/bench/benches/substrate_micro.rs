@@ -1,0 +1,75 @@
+//! Microbenchmarks of the substrate models themselves: per-operation cost
+//! evaluation for each compute resource, address arithmetic, the
+//! auto-vectorizer, and the event queue. These bound the simulator's own
+//! overhead per modelled instruction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use conduit_ctrl::IspModel;
+use conduit_dram::PudModel;
+use conduit_flash::{FlashGeometry, IfpModel, IfpPlacement};
+use conduit_sim::EventQueue;
+use conduit_types::{Duration, FlashConfig, OpType, SimTime, SsdConfig};
+use conduit_vectorizer::Vectorizer;
+use conduit_workloads::{Scale, Workload};
+
+fn substrate(c: &mut Criterion) {
+    let cfg = SsdConfig::default();
+    let ifp = IfpModel::new(&cfg.flash);
+    let pud = PudModel::new(&cfg.dram);
+    let isp = IspModel::new(&cfg.ctrl);
+    let geo = FlashGeometry::new(&FlashConfig::default());
+
+    c.bench_function("ifp_op_cost_and", |b| {
+        b.iter(|| {
+            ifp.op_cost(
+                black_box(OpType::And),
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
+            .unwrap()
+            .latency
+        })
+    });
+
+    c.bench_function("pud_op_cost_mul", |b| {
+        b.iter(|| pud.op_cost(black_box(OpType::Mul), 32, 4096, 8).unwrap().latency)
+    });
+
+    c.bench_function("isp_op_cost_add", |b| {
+        b.iter(|| isp.op_cost(black_box(OpType::Add), 32, 4096).latency)
+    });
+
+    c.bench_function("flash_addr_roundtrip", |b| {
+        b.iter(|| {
+            let addr = geo.addr_of(black_box(1_234_567));
+            geo.index_of(addr)
+        })
+    });
+
+    c.bench_function("event_queue_1k_schedule_pop", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1_000u64 {
+                q.schedule(SimTime::ZERO + Duration::from_ns(i as f64), i);
+            }
+            let mut last = 0;
+            while let Some((_, e)) = q.pop() {
+                last = e;
+            }
+            last
+        })
+    });
+
+    let mut group = c.benchmark_group("vectorizer");
+    group.sample_size(10);
+    group.bench_function("vectorize_jacobi1d", |b| {
+        let kernel = Workload::Jacobi1d.kernel(Scale::test());
+        b.iter(|| Vectorizer::default().vectorize(black_box(&kernel)).unwrap().program.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, substrate);
+criterion_main!(benches);

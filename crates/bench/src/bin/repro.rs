@@ -1,0 +1,66 @@
+//! Regenerates the tables and figures of the Conduit evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p conduit-bench --bin repro -- <target> [--quick]
+//! ```
+//!
+//! where `<target>` is one of `fig4`, `fig5`, `fig7a`, `fig7b`, `fig8`,
+//! `fig9`, `fig10`, `table3`, `overheads`, `headline`, or `all`.
+//! `--quick` uses the reduced test scale (useful for smoke runs).
+
+use conduit_bench::Harness;
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|all> [--quick]"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+
+    let Some(target) = target else {
+        print_usage();
+        std::process::exit(2);
+    };
+
+    let mut harness = if quick { Harness::quick() } else { Harness::paper() };
+
+    let outputs: Vec<(&str, String)> = match target.as_str() {
+        "fig4" => vec![("fig4", harness.fig4())],
+        "fig5" => vec![("fig5", harness.fig5())],
+        "fig7a" => vec![("fig7a", harness.fig7a())],
+        "fig7b" => vec![("fig7b", harness.fig7b())],
+        "fig8" => vec![("fig8", harness.fig8())],
+        "fig9" => vec![("fig9", harness.fig9())],
+        "fig10" => vec![("fig10", harness.fig10())],
+        "table3" => vec![("table3", harness.table3())],
+        "overheads" => vec![("overheads", harness.overheads())],
+        "headline" => vec![("headline", harness.headline())],
+        "all" => vec![
+            ("table3", harness.table3()),
+            ("fig4", harness.fig4()),
+            ("fig5", harness.fig5()),
+            ("fig7a", harness.fig7a()),
+            ("fig7b", harness.fig7b()),
+            ("fig8", harness.fig8()),
+            ("fig9", harness.fig9()),
+            ("fig10", harness.fig10()),
+            ("overheads", harness.overheads()),
+            ("headline", harness.headline()),
+        ],
+        _ => {
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    for (name, text) in outputs {
+        println!("==================== {name} ====================");
+        println!("{text}");
+    }
+}

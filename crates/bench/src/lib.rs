@@ -1,0 +1,442 @@
+//! # conduit-bench
+//!
+//! Benchmark harness that regenerates every table and figure of the Conduit
+//! evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! recorded paper-vs-measured results).
+//!
+//! The [`Harness`] runs each (workload, policy) pair once on a fresh
+//! simulated device and caches the report; the `figN`/`tableN` methods format
+//! the same rows/series the paper plots. The `repro` binary
+//! (`cargo run -p conduit-bench --bin repro -- <figure>`) prints them, and
+//! the Criterion benches under `benches/` measure the simulator itself.
+
+use std::collections::HashMap;
+
+use conduit::{gmean, Policy, RunOptions, RunReport, Workbench};
+use conduit_types::{ExecutionSite, Resource, SsdConfig};
+use conduit_workloads::{characterize, Scale, Workload};
+
+/// Runs workload × policy combinations and formats the paper's figures.
+#[derive(Debug)]
+pub struct Harness {
+    bench: Workbench,
+    scale: Scale,
+    cache: HashMap<(Workload, Policy), RunReport>,
+}
+
+impl Harness {
+    /// Harness at the scale used to regenerate the paper's figures.
+    pub fn paper() -> Self {
+        Harness::new(SsdConfig::default(), Scale::new(4, 1))
+    }
+
+    /// A reduced-scale harness for smoke tests and Criterion benches.
+    pub fn quick() -> Self {
+        Harness::new(SsdConfig::small_for_tests(), Scale::test())
+    }
+
+    /// Builds a harness with an explicit configuration and scale.
+    pub fn new(cfg: SsdConfig, scale: Scale) -> Self {
+        Harness {
+            bench: Workbench::new(cfg),
+            scale,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// The workload scale in use.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Runs (or returns the cached run of) one workload under one policy.
+    pub fn report(&mut self, workload: Workload, policy: Policy) -> RunReport {
+        if let Some(r) = self.cache.get(&(workload, policy)) {
+            return r.clone();
+        }
+        let program = workload
+            .program(self.scale)
+            .expect("workload generators always produce valid programs");
+        let options = RunOptions::new(policy);
+        let report = self
+            .bench
+            .run_with(&program, &options)
+            .expect("simulation of a generated workload cannot fail");
+        self.cache.insert((workload, policy), report.clone());
+        report
+    }
+
+    /// Speedup of `policy` over the host-CPU baseline for `workload`.
+    pub fn speedup(&mut self, workload: Workload, policy: Policy) -> f64 {
+        let cpu = self.report(workload, Policy::HostCpu);
+        let other = self.report(workload, policy);
+        other.speedup_over(&cpu)
+    }
+
+    /// Energy of `policy` normalized to the host-CPU baseline for `workload`.
+    pub fn energy_ratio(&mut self, workload: Workload, policy: Policy) -> f64 {
+        let cpu = self.report(workload, Policy::HostCpu);
+        let other = self.report(workload, policy);
+        other.energy_vs(&cpu)
+    }
+
+    // ------------------------------------------------------------------
+    // Figures and tables
+    // ------------------------------------------------------------------
+
+    /// Figure 4: execution-time breakdown of OSP, ISP, IFP, and IFP+ISP on
+    /// the three workload classes, normalized to OSP.
+    pub fn fig4(&mut self) -> String {
+        let classes = [
+            ("I/O-intensive", Workload::XorFilter),
+            ("More compute-intensive", Workload::Heat3d),
+            ("Mixed", Workload::LlmTraining),
+        ];
+        let policies = [
+            ("OSP", Policy::HostCpu),
+            ("ISP", Policy::IspOnly),
+            ("IFP", Policy::AresFlash),
+            ("IFP+ISP", Policy::IfpIsp),
+        ];
+        let mut out = String::from(
+            "# Figure 4: normalized execution time and breakdown (lower is better)\n\
+             class\tmodel\tnorm_time\tcompute\thost_dm\tinternal_dm\tflash_read\n",
+        );
+        for (class, workload) in classes {
+            let osp = self.report(workload, Policy::HostCpu);
+            for (label, policy) in policies {
+                let r = self.report(workload, policy);
+                let norm = r.total_time.as_ns() / osp.total_time.as_ns();
+                let (c, h, i, f) = r.breakdown.fractions();
+                out.push_str(&format!(
+                    "{class}\t{label}\t{norm:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\n",
+                    c * norm,
+                    h * norm,
+                    i * norm,
+                    f * norm
+                ));
+            }
+        }
+        out
+    }
+
+    /// Figure 5: speedup of the prior techniques and the Ideal policy over
+    /// the host CPU (the motivation study — everything except Conduit).
+    pub fn fig5(&mut self) -> String {
+        self.speedup_table(
+            "# Figure 5: speedup over CPU (motivation study)\n",
+            &[
+                Policy::HostGpu,
+                Policy::IspOnly,
+                Policy::PudSsd,
+                Policy::FlashCosmos,
+                Policy::AresFlash,
+                Policy::BwOffloading,
+                Policy::DmOffloading,
+                Policy::Ideal,
+            ],
+        )
+    }
+
+    /// Figure 7(a): speedup over CPU including Conduit.
+    pub fn fig7a(&mut self) -> String {
+        self.speedup_table(
+            "# Figure 7(a): speedup over CPU\n",
+            &[
+                Policy::HostGpu,
+                Policy::IspOnly,
+                Policy::PudSsd,
+                Policy::FlashCosmos,
+                Policy::AresFlash,
+                Policy::BwOffloading,
+                Policy::DmOffloading,
+                Policy::Conduit,
+                Policy::Ideal,
+            ],
+        )
+    }
+
+    /// Figure 7(b): energy normalized to CPU, split into data-movement and
+    /// compute energy.
+    pub fn fig7b(&mut self) -> String {
+        let policies = [
+            Policy::HostGpu,
+            Policy::IspOnly,
+            Policy::PudSsd,
+            Policy::FlashCosmos,
+            Policy::AresFlash,
+            Policy::BwOffloading,
+            Policy::DmOffloading,
+            Policy::Conduit,
+            Policy::Ideal,
+        ];
+        let mut out = String::from(
+            "# Figure 7(b): energy normalized to CPU (data-movement + compute = total)\n\
+             workload\tpolicy\ttotal\tdata_movement\tcompute\n",
+        );
+        let mut totals: HashMap<Policy, Vec<f64>> = HashMap::new();
+        for workload in Workload::ALL {
+            let cpu = self.report(workload, Policy::HostCpu);
+            let cpu_energy = cpu.energy.total().as_nj();
+            for policy in policies {
+                let r = self.report(workload, policy);
+                let total = r.energy.total().as_nj() / cpu_energy;
+                let dm = r.energy.data_movement.as_nj() / cpu_energy;
+                out.push_str(&format!(
+                    "{workload}\t{policy}\t{total:.3}\t{dm:.3}\t{:.3}\n",
+                    total - dm
+                ));
+                totals.entry(policy).or_default().push(total);
+            }
+        }
+        for policy in policies {
+            let avg = totals[&policy].iter().sum::<f64>() / totals[&policy].len() as f64;
+            out.push_str(&format!("Average\t{policy}\t{avg:.3}\t-\t-\n"));
+        }
+        out
+    }
+
+    /// Figure 8: 99th and 99.99th percentile instruction latencies for the
+    /// offloading policies on LLaMA2 inference and jacobi-1d.
+    pub fn fig8(&mut self) -> String {
+        let mut out = String::from(
+            "# Figure 8: tail latencies (microseconds)\nworkload\tpolicy\tp99_us\tp9999_us\n",
+        );
+        for workload in [Workload::LlamaInference, Workload::Jacobi1d] {
+            for policy in [
+                Policy::Ideal,
+                Policy::Conduit,
+                Policy::BwOffloading,
+                Policy::DmOffloading,
+            ] {
+                let mut r = self.report(workload, policy);
+                out.push_str(&format!(
+                    "{workload}\t{policy}\t{:.2}\t{:.2}\n",
+                    r.latency.percentile(0.99).as_us(),
+                    r.latency.percentile(0.9999).as_us()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Figure 9: fraction of instructions offloaded to each SSD compute
+    /// resource.
+    pub fn fig9(&mut self) -> String {
+        let mut out = String::from(
+            "# Figure 9: offloading decisions (fraction of instructions)\n\
+             workload\tpolicy\tISP\tPuD-SSD\tIFP\n",
+        );
+        for workload in Workload::ALL {
+            for policy in [
+                Policy::BwOffloading,
+                Policy::DmOffloading,
+                Policy::Conduit,
+                Policy::Ideal,
+            ] {
+                let r = self.report(workload, policy);
+                let (isp, pud, ifp, _) = r.offload_mix.fractions();
+                out.push_str(&format!(
+                    "{workload}\t{policy}\t{isp:.3}\t{pud:.3}\t{ifp:.3}\n"
+                ));
+            }
+        }
+        out
+    }
+
+    /// Figure 10: instruction → resource mapping over the execution of
+    /// LLaMA2 inference, bucketed so the phase behaviour is visible in text
+    /// form.
+    pub fn fig10(&mut self) -> String {
+        const BUCKETS: usize = 40;
+        let mut out = String::from(
+            "# Figure 10: instruction-to-resource mapping over time (LLaMA2 inference)\n\
+             Each row: policy, then per-bucket dominant resource\n\
+             (I = ISP, P = PuD-SSD, F = IFP, h = host)\n",
+        );
+        for policy in [Policy::BwOffloading, Policy::DmOffloading, Policy::Conduit] {
+            let r = self.report(Workload::LlamaInference, policy);
+            let timeline = &r.timeline;
+            let bucket_len = (timeline.len() / BUCKETS).max(1);
+            let mut row = format!("{policy:<15} ");
+            for chunk in timeline.chunks(bucket_len).take(BUCKETS) {
+                let mut counts = [0u32; 4];
+                for entry in chunk {
+                    match entry.site {
+                        ExecutionSite::Ssd(Resource::Isp) => counts[0] += 1,
+                        ExecutionSite::Ssd(Resource::PudSsd) => counts[1] += 1,
+                        ExecutionSite::Ssd(Resource::Ifp) => counts[2] += 1,
+                        _ => counts[3] += 1,
+                    }
+                }
+                let winner = ['I', 'P', 'F', 'h'][counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)];
+                row.push(winner);
+            }
+            out.push_str(&row);
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "instructions: {}\n",
+            self.report(Workload::LlamaInference, Policy::Conduit).instructions
+        ));
+        out
+    }
+
+    /// Table 3: measured workload characteristics next to the paper's
+    /// values.
+    pub fn table3(&mut self) -> String {
+        let mut out = String::from(
+            "# Table 3: workload characteristics (measured | paper)\n\
+             workload\tvectorizable%\tavg_reuse\tlow%\tmedium%\thigh%\n",
+        );
+        for workload in Workload::ALL {
+            let program = workload
+                .program(self.scale)
+                .expect("generators always succeed");
+            let p = characterize(&program);
+            let (v, r, low, med, high) = workload.paper_characteristics();
+            out.push_str(&format!(
+                "{workload}\t{:.0} | {:.0}\t{:.1} | {:.1}\t{:.0} | {:.0}\t{:.0} | {:.0}\t{:.0} | {:.0}\n",
+                p.vectorizable_pct * 100.0,
+                v * 100.0,
+                p.avg_reuse,
+                r,
+                p.low_pct * 100.0,
+                low * 100.0,
+                p.med_pct * 100.0,
+                med * 100.0,
+                p.high_pct * 100.0,
+                high * 100.0
+            ));
+        }
+        out
+    }
+
+    /// §4.5: runtime and storage overheads of the offloader.
+    pub fn overheads(&mut self) -> String {
+        let mut out = String::from(
+            "# Runtime overhead (paper: 3.77 us average, up to 33 us) and storage overhead\n\
+             workload\tmean_overhead_us\tmax_overhead_us\n",
+        );
+        for workload in Workload::ALL {
+            let r = self.report(workload, Policy::Conduit);
+            out.push_str(&format!(
+                "{workload}\t{:.2}\t{:.2}\n",
+                r.overhead.mean().as_us(),
+                r.overhead.max.as_us()
+            ));
+        }
+        let cfg = SsdConfig::default();
+        let storage = conduit::OverheadModel::new(&cfg).storage();
+        let transformer = conduit::InstructionTransformer::new(&cfg);
+        out.push_str(&format!(
+            "translation table: {} entries, {} bytes; metadata table: {} bytes (paper: ~1.5 KiB total)\n",
+            transformer.entries().len(),
+            storage.translation_table_bytes,
+            storage.metadata_table_bytes,
+        ));
+        out
+    }
+
+    /// Headline numbers: Conduit vs the best prior offloading policy and vs
+    /// the Ideal upper bound (paper: 1.8x over DM-Offloading, 46% energy
+    /// reduction, 62% of Ideal).
+    pub fn headline(&mut self) -> String {
+        let mut conduit_vs_dm = Vec::new();
+        let mut conduit_vs_cpu = Vec::new();
+        let mut energy_vs_dm = Vec::new();
+        let mut frac_of_ideal = Vec::new();
+        for workload in Workload::ALL {
+            let dm = self.report(workload, Policy::DmOffloading);
+            let conduit = self.report(workload, Policy::Conduit);
+            let ideal = self.report(workload, Policy::Ideal);
+            let cpu = self.report(workload, Policy::HostCpu);
+            conduit_vs_dm.push(conduit.speedup_over(&dm));
+            conduit_vs_cpu.push(conduit.speedup_over(&cpu));
+            energy_vs_dm.push(conduit.energy_vs(&dm));
+            frac_of_ideal.push(ideal.total_time.as_ns() / conduit.total_time.as_ns());
+        }
+        format!(
+            "# Headline comparison (measured | paper)\n\
+             Conduit speedup over CPU:            {:.2}x | 4.2x\n\
+             Conduit speedup over DM-Offloading:  {:.2}x | 1.8x\n\
+             Conduit energy vs DM-Offloading:     -{:.0}% | -46%\n\
+             Conduit fraction of Ideal speed:     {:.0}% | 62%\n",
+            gmean(&conduit_vs_cpu),
+            gmean(&conduit_vs_dm),
+            (1.0 - gmean(&energy_vs_dm)) * 100.0,
+            gmean(&frac_of_ideal) * 100.0
+        )
+    }
+
+    fn speedup_table(&mut self, header: &str, policies: &[Policy]) -> String {
+        let mut out = String::from(header);
+        out.push_str("workload");
+        for p in policies {
+            out.push_str(&format!("\t{p}"));
+        }
+        out.push('\n');
+        let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+        for workload in Workload::ALL {
+            out.push_str(&workload.to_string());
+            for (i, policy) in policies.iter().enumerate() {
+                let s = self.speedup(workload, *policy);
+                per_policy[i].push(s);
+                out.push_str(&format!("\t{s:.2}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("GMEAN");
+        for speedups in &per_policy {
+            out.push_str(&format!("\t{:.2}", gmean(speedups)));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_harness_produces_all_figures() {
+        let mut h = Harness::quick();
+        for (name, text) in [
+            ("fig4", h.fig4()),
+            ("fig5", h.fig5()),
+            ("fig7a", h.fig7a()),
+            ("fig7b", h.fig7b()),
+            ("fig8", h.fig8()),
+            ("fig9", h.fig9()),
+            ("fig10", h.fig10()),
+            ("table3", h.table3()),
+            ("overheads", h.overheads()),
+            ("headline", h.headline()),
+        ] {
+            assert!(text.lines().count() > 3, "{name} output too short:\n{text}");
+        }
+    }
+
+    #[test]
+    fn reports_are_cached() {
+        let mut h = Harness::quick();
+        let a = h.report(Workload::Jacobi1d, Policy::Conduit);
+        let b = h.report(Workload::Jacobi1d, Policy::Conduit);
+        assert_eq!(a.total_time, b.total_time);
+    }
+
+    #[test]
+    fn speedup_table_has_gmean_row() {
+        let mut h = Harness::quick();
+        let text = h.fig7a();
+        assert!(text.contains("GMEAN"));
+        assert!(text.contains("Conduit"));
+        assert_eq!(text.lines().count(), 2 + Workload::ALL.len() + 1);
+    }
+}

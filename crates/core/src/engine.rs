@@ -1,0 +1,568 @@
+//! The runtime offloading engine.
+//!
+//! Executes a [`VectorProgram`] on a simulated [`SsdDevice`] under an
+//! offloading [`Policy`], reproducing the runtime stage of the paper
+//! (§4.3.2): per instruction it collects the cost-function features, lets
+//! the policy pick an execution site, charges the offloader overheads,
+//! stages the operands at that site (respecting the lazy coherence
+//! protocol), executes the computation on the contended resource timelines,
+//! and records the result's new location.
+
+use conduit_sim::{CostBreakdown, HostCpuModel, HostGpuModel, OpCompletion, SsdDevice};
+use conduit_types::{
+    ConduitError, DataLocation, Duration, Energy, ExecutionSite, HostConfig, LogicalPageId,
+    Operand, Result, SimTime, SsdConfig, VectorInst, VectorProgram, PAGE_BYTES,
+};
+
+use crate::cost::CostFunction;
+use crate::overhead::OverheadModel;
+use crate::policy::{Policy, PolicyContext};
+use crate::report::{EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
+use crate::transform::InstructionTransformer;
+
+/// Options controlling one run of the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOptions {
+    /// The offloading policy to use.
+    pub policy: Policy,
+    /// The cost function (with ablation switches) used by the Conduit
+    /// policy.
+    pub cost_function: CostFunction,
+    /// Whether to charge the offloader's per-instruction overheads (§4.5).
+    pub charge_overheads: bool,
+    /// Whether to record the full instruction → resource timeline
+    /// (Figure 10). Disable for very large programs to save memory.
+    pub record_timeline: bool,
+}
+
+impl RunOptions {
+    /// Default options for a policy.
+    pub fn new(policy: Policy) -> Self {
+        RunOptions {
+            policy,
+            cost_function: CostFunction::conduit(),
+            charge_overheads: true,
+            record_timeline: true,
+        }
+    }
+
+    /// Builder-style: replaces the cost function (for ablations).
+    pub fn cost_function(mut self, cf: CostFunction) -> Self {
+        self.cost_function = cf;
+        self
+    }
+
+    /// Builder-style: disables the offloader overhead charges.
+    pub fn without_overheads(mut self) -> Self {
+        self.charge_overheads = false;
+        self
+    }
+
+    /// Builder-style: disables timeline recording.
+    pub fn without_timeline(mut self) -> Self {
+        self.record_timeline = false;
+        self
+    }
+}
+
+/// The runtime offloading engine: one simulated device plus the host models
+/// and the offloader's own bookkeeping.
+#[derive(Debug, Clone)]
+pub struct RuntimeEngine {
+    device: SsdDevice,
+    overhead: OverheadModel,
+    transformer: InstructionTransformer,
+    host_cpu: HostCpuModel,
+    host_gpu: HostGpuModel,
+    l2p_miss_period: u64,
+}
+
+impl RuntimeEngine {
+    /// Builds an engine with the default host configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device construction errors.
+    pub fn new(cfg: &SsdConfig) -> Result<Self> {
+        Self::with_host(cfg, &HostConfig::default())
+    }
+
+    /// Builds an engine with an explicit host configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device construction errors.
+    pub fn with_host(cfg: &SsdConfig, host: &HostConfig) -> Result<Self> {
+        let miss_rate = (1.0 - cfg.l2p_cache_hit_rate).max(0.0);
+        let l2p_miss_period = if miss_rate <= f64::EPSILON {
+            0
+        } else {
+            (1.0 / miss_rate).round() as u64
+        };
+        Ok(RuntimeEngine {
+            device: SsdDevice::new(cfg)?,
+            overhead: OverheadModel::new(cfg),
+            transformer: InstructionTransformer::new(cfg),
+            host_cpu: HostCpuModel::new(&host.cpu),
+            host_gpu: HostGpuModel::new(&host.gpu),
+            l2p_miss_period,
+        })
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &SsdDevice {
+        &self.device
+    }
+
+    /// The instruction transformation unit.
+    pub fn transformer(&self) -> &InstructionTransformer {
+        &self.transformer
+    }
+
+    /// The overhead model.
+    pub fn overhead_model(&self) -> &OverheadModel {
+        &self.overhead
+    }
+
+    /// Places the program's data in the SSD before execution: operand groups
+    /// of in-flash-capable instructions are co-located in the same flash
+    /// block (the Flash-Cosmos layout constraint), everything else is striped
+    /// across planes for parallelism. All application data resides in the SSD
+    /// at the start of execution (§4.4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates FTL allocation errors.
+    pub fn prepare(&mut self, program: &VectorProgram) -> Result<()> {
+        program
+            .validate()
+            .map_err(ConduitError::invalid_program)?;
+        for inst in program.iter() {
+            let span = Self::pages_per_vector(inst);
+            let page_srcs: Vec<LogicalPageId> = inst.src_pages().collect();
+            if conduit_types::Resource::Ifp.supports(inst.op) && page_srcs.len() >= 2 {
+                // Co-locate slice k of every operand in one block; spread the
+                // slices across planes for multi-plane parallelism.
+                for k in 0..span {
+                    let group: Vec<LogicalPageId> =
+                        page_srcs.iter().map(|p| p.offset(k)).collect();
+                    self.device.map_group(&group, Some(k))?;
+                }
+            } else {
+                for p in &page_srcs {
+                    let pages: Vec<LogicalPageId> = (0..span).map(|k| p.offset(k)).collect();
+                    self.device.map_pages(&pages, None)?;
+                }
+            }
+            if let Some(dst) = inst.dst_page {
+                let pages: Vec<LogicalPageId> = (0..span).map(|k| dst.offset(k)).collect();
+                self.device.map_pages(&pages, None)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes `program` under `options` and returns the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors for malformed programs and simulation errors
+    /// for device-level failures.
+    pub fn run(&mut self, program: &VectorProgram, options: &RunOptions) -> Result<RunReport> {
+        if program.is_empty() {
+            return Err(ConduitError::invalid_program("program has no instructions"));
+        }
+        program
+            .validate()
+            .map_err(ConduitError::invalid_program)?;
+
+        let policy = options.policy;
+        let n = program.len();
+        let mut result_site: Vec<DataLocation> = vec![DataLocation::Flash; n];
+        let mut result_ready: Vec<SimTime> = vec![SimTime::ZERO; n];
+        let mut offload_clock = SimTime::ZERO;
+        let mut host_clock = SimTime::ZERO;
+        let mut finish = SimTime::ZERO;
+
+        let mut energy = EnergySummary::default();
+        let mut breakdown = CostBreakdown::zero();
+        let mut mix = OffloadMix::default();
+        let mut latency = conduit_sim::LatencyStats::new();
+        let mut timeline = Vec::new();
+        let mut overhead_report = OverheadReport::default();
+        let mut lookups: u64 = 0;
+
+        for inst in program.iter() {
+            let issue = if policy.is_host() { host_clock } else { offload_clock };
+
+            // Gather operand locations and the data-dependence delay.
+            let mut operand_locations = Vec::with_capacity(inst.srcs.len());
+            let mut dep_ready = issue;
+            for src in &inst.srcs {
+                match src {
+                    Operand::Page(p) => operand_locations.push(self.device.locate(*p)),
+                    Operand::Result(id) => {
+                        operand_locations.push(result_site[id.index()]);
+                        dep_ready = dep_ready.max(result_ready[id.index()]);
+                    }
+                    Operand::Immediate(_) => {}
+                }
+            }
+            let dependence_delay = dep_ready.saturating_since(issue);
+
+            let site = {
+                let ctx = PolicyContext {
+                    device: &self.device,
+                    now: issue,
+                    operand_locations: &operand_locations,
+                    dependence_delay,
+                };
+                if policy == Policy::Conduit {
+                    // Honour the (possibly ablated) cost function from the
+                    // options rather than the default one.
+                    options
+                        .cost_function
+                        .choose(inst, &ctx)
+                        .map(|(r, _)| ExecutionSite::Ssd(r))
+                        .unwrap_or(ExecutionSite::Ssd(conduit_types::Resource::Isp))
+                } else {
+                    policy.choose_site(inst, &ctx)
+                }
+            };
+            mix.record(site);
+
+            // The unrealizable Ideal policy: no overhead, no data movement,
+            // no contention — just the fastest compute latency.
+            if policy.is_contention_free() {
+                let resource = site.resource().expect("ideal stays inside the SSD");
+                let comp_latency = self
+                    .device
+                    .estimate_compute(resource, inst.op, inst.elem_bits, inst.lanes)
+                    .unwrap_or(Duration::ZERO);
+                let comp_energy = self
+                    .device
+                    .estimate_compute_energy(resource, inst.op, inst.elem_bits, inst.lanes)
+                    .unwrap_or(Energy::ZERO);
+                let start = issue.max(dep_ready);
+                let end = start + comp_latency;
+                energy.compute += comp_energy;
+                breakdown.compute += comp_latency;
+                result_site[inst.id.index()] = resource.home_location();
+                result_ready[inst.id.index()] = end;
+                finish = finish.max(end);
+                latency.record(end.saturating_since(issue));
+                if options.record_timeline {
+                    timeline.push(TimelineEntry {
+                        inst: inst.id,
+                        op: inst.op,
+                        site,
+                        dispatched: issue,
+                        completed: end,
+                    });
+                }
+                continue;
+            }
+
+            // Offloader overhead (feature collection + transformation). The
+            // offloader core pipelines feature collection for the next
+            // instruction with the table lookups of the current one, so only
+            // the translation-table lookup occupies the core exclusively;
+            // the full overhead is still added to the instruction's dispatch
+            // latency (§4.5).
+            let mut dispatched = issue;
+            if options.charge_overheads && policy.pays_offloader_overhead() {
+                lookups += 1;
+                let miss = self.l2p_miss_period > 0 && lookups % self.l2p_miss_period == 0;
+                let operands = inst.srcs.iter().filter(|s| s.needs_data()).count();
+                let ov = self.overhead.per_instruction(operands, miss);
+                overhead_report.record(ov);
+                let exclusive = self.overhead.transformation();
+                let oc = self.device.offloader_busy(exclusive, issue);
+                energy.compute += oc.energy;
+                breakdown.accumulate(oc.breakdown);
+                offload_clock = oc.ready;
+                dispatched = oc.ready + ov.saturating_sub(exclusive);
+            }
+
+            let dest = match site {
+                ExecutionSite::HostCpu | ExecutionSite::HostGpu => DataLocation::Host,
+                ExecutionSite::Ssd(r) => r.home_location(),
+            };
+
+            // Stage the operands at the execution site.
+            let span = Self::pages_per_vector(inst);
+            let mut data_ready = dispatched.max(dep_ready);
+            let movement_earliest = data_ready;
+            let mut operand_first_pages = Vec::new();
+            for src in &inst.srcs {
+                match src {
+                    Operand::Page(p) => {
+                        operand_first_pages.push(*p);
+                        for k in 0..span {
+                            let c = self.device.ensure_at(p.offset(k), dest, movement_earliest)?;
+                            data_ready = data_ready.max(c.ready);
+                            energy.data_movement += c.energy;
+                            breakdown.accumulate(c.breakdown);
+                        }
+                    }
+                    Operand::Result(id) => {
+                        let from = result_site[id.index()];
+                        if from != dest {
+                            let c = self.device.transfer_value(
+                                from,
+                                dest,
+                                inst.vector_bytes(),
+                                movement_earliest,
+                            );
+                            data_ready = data_ready.max(c.ready);
+                            energy.data_movement += c.energy;
+                            breakdown.accumulate(c.breakdown);
+                            result_site[id.index()] = dest;
+                        }
+                    }
+                    Operand::Immediate(_) => {}
+                }
+            }
+
+            // Execute.
+            let comp = match site {
+                ExecutionSite::Ssd(resource) => self.device.execute(
+                    resource,
+                    inst.op,
+                    inst.elem_bits,
+                    inst.lanes,
+                    &operand_first_pages,
+                    data_ready,
+                )?,
+                ExecutionSite::HostCpu => {
+                    let t = self.host_cpu.compute_time(inst.op, inst.elem_bits, inst.lanes);
+                    let start = data_ready.max(host_clock);
+                    let end = start + t;
+                    host_clock = end;
+                    OpCompletion {
+                        ready: end,
+                        breakdown: CostBreakdown {
+                            compute: t,
+                            ..CostBreakdown::zero()
+                        },
+                        energy: self.host_cpu.energy(t),
+                    }
+                }
+                ExecutionSite::HostGpu => {
+                    let t = self.host_gpu.compute_time(inst.op, inst.elem_bits, inst.lanes);
+                    let start = data_ready.max(host_clock);
+                    let end = start + t;
+                    host_clock = end;
+                    OpCompletion {
+                        ready: end,
+                        breakdown: CostBreakdown {
+                            compute: t,
+                            ..CostBreakdown::zero()
+                        },
+                        energy: self.host_gpu.energy(t),
+                    }
+                }
+            };
+            energy.compute += comp.energy;
+            breakdown.accumulate(comp.breakdown);
+
+            result_site[inst.id.index()] = dest;
+            result_ready[inst.id.index()] = comp.ready;
+            let mut done = comp.ready;
+
+            // Commit stored results (lazily, via the coherence directory).
+            if let Some(dst) = inst.dst_page {
+                for k in 0..span {
+                    let page = dst.offset(k);
+                    if dest == DataLocation::Host {
+                        // OSP results return over the host link into the
+                        // SSD's write cache; the host keeps its own copy, so
+                        // later host-side reads of this page stay local.
+                        let link =
+                            self.device
+                                .host_transfer(PAGE_BYTES, false, comp.ready);
+                        energy.data_movement += link.energy;
+                        breakdown.accumulate(link.breakdown);
+                        let wb = self.device.record_result_write(
+                            page,
+                            DataLocation::Host,
+                            link.ready,
+                        )?;
+                        done = done.max(wb.ready);
+                        energy.data_movement += wb.energy;
+                        breakdown.accumulate(wb.breakdown);
+                    } else {
+                        let wb = self.device.record_result_write(page, dest, comp.ready)?;
+                        done = done.max(wb.ready);
+                        energy.data_movement += wb.energy;
+                        breakdown.accumulate(wb.breakdown);
+                    }
+                }
+            }
+
+            finish = finish.max(done);
+            latency.record(done.saturating_since(issue));
+            if options.record_timeline {
+                timeline.push(TimelineEntry {
+                    inst: inst.id,
+                    op: inst.op,
+                    site,
+                    dispatched: issue,
+                    completed: done,
+                });
+            }
+        }
+
+        Ok(RunReport {
+            workload: program.name().to_string(),
+            policy,
+            instructions: n,
+            total_time: finish.saturating_since(SimTime::ZERO),
+            energy,
+            breakdown,
+            offload_mix: mix,
+            latency,
+            timeline,
+            overhead: overhead_report,
+        })
+    }
+
+    fn pages_per_vector(inst: &VectorInst) -> u64 {
+        inst.vector_bytes().div_ceil(PAGE_BYTES).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::OpType;
+
+    fn program() -> VectorProgram {
+        let mut prog = VectorProgram::new("unit");
+        let x = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+        let y = prog.push_binary(OpType::Add, Operand::result(x), Operand::page(8));
+        prog.push(
+            conduit_types::VectorInst::binary(
+                2,
+                OpType::Mul,
+                Operand::result(y),
+                Operand::page(12),
+            )
+            .store_to(LogicalPageId::new(16)),
+        );
+        prog
+    }
+
+    fn engine() -> RuntimeEngine {
+        RuntimeEngine::new(&SsdConfig::small_for_tests()).unwrap()
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let mut e = engine();
+        let prog = VectorProgram::new("empty");
+        assert!(e.run(&prog, &RunOptions::new(Policy::Conduit)).is_err());
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let prog = program();
+        let mut e = engine();
+        e.prepare(&prog).unwrap();
+        let report = e.run(&prog, &RunOptions::new(Policy::Conduit)).unwrap();
+        assert_eq!(report.instructions, 3);
+        assert_eq!(report.offload_mix.total(), 3);
+        assert_eq!(report.timeline.len(), 3);
+        assert_eq!(report.latency.len(), 3);
+        assert!(report.total_time > Duration::ZERO);
+        assert!(report.energy.total() > Energy::ZERO);
+        assert!(report.overhead.count >= 3);
+        assert!(report.overhead.mean() > Duration::from_us(1.0));
+        // The timeline is causally ordered per instruction.
+        for t in &report.timeline {
+            assert!(t.completed >= t.dispatched);
+        }
+    }
+
+    #[test]
+    fn dependences_serialize_completion_times() {
+        let prog = program();
+        let mut e = engine();
+        e.prepare(&prog).unwrap();
+        let report = e.run(&prog, &RunOptions::new(Policy::Conduit)).unwrap();
+        let t = &report.timeline;
+        assert!(t[1].completed > t[0].dispatched);
+        assert!(t[2].completed >= t[1].completed);
+        assert_eq!(report.total_time.as_ps(), t[2].completed.as_ps().max(t[1].completed.as_ps()));
+    }
+
+    #[test]
+    fn ideal_is_faster_than_every_realizable_policy() {
+        let prog = program();
+        let mut reports = Vec::new();
+        for policy in [Policy::Ideal, Policy::Conduit, Policy::IspOnly, Policy::HostCpu] {
+            let mut e = engine();
+            e.prepare(&prog).unwrap();
+            reports.push(e.run(&prog, &RunOptions::new(policy)).unwrap());
+        }
+        let ideal = &reports[0];
+        for other in &reports[1..] {
+            assert!(
+                ideal.total_time <= other.total_time,
+                "Ideal ({}) must not be slower than {} ({})",
+                ideal.total_time,
+                other.policy,
+                other.total_time
+            );
+        }
+    }
+
+    #[test]
+    fn overheads_can_be_disabled() {
+        let prog = program();
+        let mut e1 = engine();
+        e1.prepare(&prog).unwrap();
+        let with = e1.run(&prog, &RunOptions::new(Policy::Conduit)).unwrap();
+        let mut e2 = engine();
+        e2.prepare(&prog).unwrap();
+        let without = e2
+            .run(&prog, &RunOptions::new(Policy::Conduit).without_overheads())
+            .unwrap();
+        assert_eq!(without.overhead.count, 0);
+        assert!(without.total_time <= with.total_time);
+    }
+
+    #[test]
+    fn host_policy_pays_pcie_data_movement() {
+        let prog = program();
+        let mut e = engine();
+        e.prepare(&prog).unwrap();
+        let report = e.run(&prog, &RunOptions::new(Policy::HostCpu)).unwrap();
+        assert_eq!(report.offload_mix.host, 3);
+        assert!(report.breakdown.host_data_movement > Duration::ZERO);
+        assert!(report.energy.data_movement > Energy::ZERO);
+    }
+
+    #[test]
+    fn timeline_recording_can_be_disabled() {
+        let prog = program();
+        let mut e = engine();
+        e.prepare(&prog).unwrap();
+        let report = e
+            .run(&prog, &RunOptions::new(Policy::Conduit).without_timeline())
+            .unwrap();
+        assert!(report.timeline.is_empty());
+        assert_eq!(report.instructions, 3);
+    }
+
+    #[test]
+    fn prepare_colocates_ifp_capable_operand_groups() {
+        let prog = program();
+        let mut e = engine();
+        e.prepare(&prog).unwrap();
+        // The XOR's operands (pages 0 and 4) must share a block.
+        let a = e.device().ftl().peek(LogicalPageId::new(0)).unwrap();
+        let b = e.device().ftl().peek(LogicalPageId::new(4)).unwrap();
+        assert!(a.same_block(b));
+    }
+}

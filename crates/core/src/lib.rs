@@ -1,0 +1,61 @@
+//! # conduit
+//!
+//! Conduit: a general-purpose, programmer-transparent near-data-processing
+//! (NDP) framework that dynamically offloads vectorized instructions across
+//! the three heterogeneous compute resources of a modern SSD — embedded
+//! controller cores (ISP), SSD-internal DRAM (PuD-SSD) and NAND flash chips
+//! (IFP).
+//!
+//! This crate is the paper's primary contribution:
+//!
+//! * [`CostFunction`] — the six-feature holistic cost model (operation type,
+//!   operand location, data-dependence delay, resource queueing delay, data
+//!   movement latency, expected computation latency; Eqns. 1–2),
+//! * [`Policy`] — Conduit plus every baseline the paper evaluates against
+//!   (host CPU/GPU, ISP-only, PuD-SSD, Flash-Cosmos, Ares-Flash,
+//!   BW-Offloading, DM-Offloading, the unrealizable Ideal policy, and the
+//!   naive IFP+ISP combination from the motivation case study),
+//! * [`InstructionTransformer`] — the translation of vectorized instructions
+//!   to each resource's native primitives (ARM MVE, SIMDRAM/MIMDRAM `bbop`s,
+//!   Flash-Cosmos MWS / Ares-Flash `shift_and_add`) and the vector-width
+//!   splitting between 4096-lane flash pages, 2048-element DRAM rows and
+//!   8-lane MVE micro-ops,
+//! * [`OverheadModel`] — the runtime latency and storage overheads of §4.5,
+//! * [`RuntimeEngine`] — the runtime offloading engine that executes a
+//!   [`conduit_types::VectorProgram`] on a simulated [`conduit_sim::SsdDevice`]
+//!   under a chosen policy and produces a [`RunReport`] (execution time,
+//!   energy split, latency percentiles, offload mix, timeline).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use conduit::{Policy, Workbench};
+//! use conduit_types::{OpType, Operand, SsdConfig, VectorProgram};
+//!
+//! // A tiny program: c = a ^ b; d = c + a.
+//! let mut prog = VectorProgram::new("demo");
+//! let x = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+//! prog.push_binary(OpType::Add, Operand::result(x), Operand::page(0));
+//!
+//! let mut bench = Workbench::new(SsdConfig::small_for_tests());
+//! let report = bench.run(&prog, Policy::Conduit)?;
+//! assert_eq!(report.instructions, 2);
+//! assert!(report.total_time.as_ns() > 0.0);
+//! # Ok::<(), conduit_types::ConduitError>(())
+//! ```
+
+mod cost;
+mod engine;
+mod overhead;
+mod policy;
+mod report;
+mod transform;
+mod workbench;
+
+pub use cost::{CostFeatures, CostFunction};
+pub use engine::{RunOptions, RuntimeEngine};
+pub use overhead::{OverheadModel, StorageOverhead};
+pub use policy::{Policy, PolicyContext};
+pub use report::{gmean, EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
+pub use transform::{InstructionTransformer, NativeIsa, TranslationEntry};
+pub use workbench::Workbench;

@@ -1,0 +1,325 @@
+//! Offloading policies: Conduit and every baseline the paper evaluates.
+
+use conduit_sim::SsdDevice;
+use conduit_types::{DataLocation, Duration, ExecutionSite, Resource, SimTime, VectorInst};
+
+use crate::cost::CostFunction;
+
+/// Runtime information available to a policy when it places one instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct PolicyContext<'a> {
+    /// The simulated device (read-only: estimates, queue delays,
+    /// utilizations).
+    pub device: &'a SsdDevice,
+    /// Current dispatch time.
+    pub now: SimTime,
+    /// Where each source operand currently lives.
+    pub operand_locations: &'a [DataLocation],
+    /// Delay until the instruction's producers finish (`delay_dd`).
+    pub dependence_delay: Duration,
+}
+
+/// An offloading policy.
+///
+/// The variants cover the paper's evaluation matrix: outside-storage
+/// processing on the host CPU or GPU, the four single-resource NDP baselines
+/// (ISP, PuD-SSD, Flash-Cosmos, Ares-Flash), the naive IFP+ISP combination
+/// from the §3.1 case study, the two prior offloading models (BW- and
+/// DM-Offloading), Conduit itself, and the unrealizable Ideal upper bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Policy {
+    /// Outside-storage processing on the host CPU.
+    HostCpu,
+    /// Outside-storage processing on the host GPU.
+    HostGpu,
+    /// All computation on the SSD controller cores.
+    IspOnly,
+    /// Processing-using-DRAM for every supported operation, controller cores
+    /// otherwise (the MIMDRAM-based PuD-SSD baseline).
+    PudSsd,
+    /// Flash-Cosmos: in-flash bulk bitwise operations, controller cores for
+    /// everything else.
+    FlashCosmos,
+    /// Ares-Flash: in-flash bitwise *and* arithmetic operations, controller
+    /// cores for everything else.
+    AresFlash,
+    /// The naive IFP+ISP split of the motivation case study: bitwise work in
+    /// flash, every other operation on the controller cores.
+    IfpIsp,
+    /// Bandwidth-based offloading: pick the least-utilized resource.
+    BwOffloading,
+    /// Data-movement-based offloading: pick the resource whose operands are
+    /// closest.
+    DmOffloading,
+    /// Conduit's holistic cost function (Eqns. 1–2).
+    Conduit,
+    /// The unrealizable Ideal policy: no contention, free data movement,
+    /// always the fastest compute resource.
+    Ideal,
+}
+
+impl Policy {
+    /// All policies, in the order the paper's figures list them.
+    pub const ALL: [Policy; 11] = [
+        Policy::HostCpu,
+        Policy::HostGpu,
+        Policy::IspOnly,
+        Policy::PudSsd,
+        Policy::FlashCosmos,
+        Policy::AresFlash,
+        Policy::IfpIsp,
+        Policy::BwOffloading,
+        Policy::DmOffloading,
+        Policy::Conduit,
+        Policy::Ideal,
+    ];
+
+    /// The NDP policies compared in Figure 5 (the motivation study, i.e.
+    /// everything except Conduit itself).
+    pub const MOTIVATION: [Policy; 9] = [
+        Policy::HostCpu,
+        Policy::HostGpu,
+        Policy::IspOnly,
+        Policy::PudSsd,
+        Policy::FlashCosmos,
+        Policy::AresFlash,
+        Policy::BwOffloading,
+        Policy::DmOffloading,
+        Policy::Ideal,
+    ];
+
+    /// Short display name matching the paper's figure legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::HostCpu => "CPU",
+            Policy::HostGpu => "GPU",
+            Policy::IspOnly => "ISP",
+            Policy::PudSsd => "PuD-SSD",
+            Policy::FlashCosmos => "Flash-Cosmos",
+            Policy::AresFlash => "Ares-Flash",
+            Policy::IfpIsp => "IFP+ISP",
+            Policy::BwOffloading => "BW-Offloading",
+            Policy::DmOffloading => "DM-Offloading",
+            Policy::Conduit => "Conduit",
+            Policy::Ideal => "Ideal",
+        }
+    }
+
+    /// Whether this policy executes on the host side (outside-storage
+    /// processing).
+    pub fn is_host(self) -> bool {
+        matches!(self, Policy::HostCpu | Policy::HostGpu)
+    }
+
+    /// Whether the runtime engine should charge Conduit's offloader
+    /// overheads (feature collection + instruction transformation) for this
+    /// policy. Host baselines do their placement at compile time; the Ideal
+    /// policy is defined without overheads.
+    pub fn pays_offloader_overhead(self) -> bool {
+        !self.is_host() && self != Policy::Ideal
+    }
+
+    /// Whether the engine should model contention and data movement for this
+    /// policy (the Ideal policy assumes both away).
+    pub fn is_contention_free(self) -> bool {
+        self == Policy::Ideal
+    }
+
+    /// Chooses the execution site for one instruction.
+    pub fn choose_site(self, inst: &VectorInst, ctx: &PolicyContext<'_>) -> ExecutionSite {
+        let cost = CostFunction::conduit();
+        match self {
+            Policy::HostCpu => ExecutionSite::HostCpu,
+            Policy::HostGpu => ExecutionSite::HostGpu,
+            Policy::IspOnly => ExecutionSite::Ssd(Resource::Isp),
+            Policy::PudSsd => {
+                if Resource::PudSsd.supports(inst.op) {
+                    ExecutionSite::Ssd(Resource::PudSsd)
+                } else {
+                    ExecutionSite::Ssd(Resource::Isp)
+                }
+            }
+            Policy::FlashCosmos | Policy::IfpIsp => {
+                if inst.op.is_bitwise() {
+                    ExecutionSite::Ssd(Resource::Ifp)
+                } else {
+                    ExecutionSite::Ssd(Resource::Isp)
+                }
+            }
+            Policy::AresFlash => {
+                if Resource::Ifp.supports(inst.op) {
+                    ExecutionSite::Ssd(Resource::Ifp)
+                } else {
+                    ExecutionSite::Ssd(Resource::Isp)
+                }
+            }
+            Policy::BwOffloading => {
+                let site = Resource::ALL
+                    .iter()
+                    .filter(|r| r.supports(inst.op))
+                    .min_by(|a, b| {
+                        let ua = ctx.device.utilization(**a, ctx.now);
+                        let ub = ctx.device.utilization(**b, ctx.now);
+                        ua.partial_cmp(&ub).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .copied()
+                    .unwrap_or(Resource::Isp);
+                ExecutionSite::Ssd(site)
+            }
+            Policy::DmOffloading => {
+                let choice = cost
+                    .choose_min_data_movement(inst, ctx)
+                    .map(|(r, _)| r)
+                    .unwrap_or(Resource::Isp);
+                ExecutionSite::Ssd(choice)
+            }
+            Policy::Conduit => {
+                let choice = cost.choose(inst, ctx).map(|(r, _)| r).unwrap_or(Resource::Isp);
+                ExecutionSite::Ssd(choice)
+            }
+            Policy::Ideal => {
+                let choice = cost
+                    .choose_ideal(inst, ctx)
+                    .map(|(r, _)| r)
+                    .unwrap_or(Resource::Isp);
+                ExecutionSite::Ssd(choice)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::{OpType, Operand, SsdConfig};
+
+    fn device() -> SsdDevice {
+        SsdDevice::new(&SsdConfig::small_for_tests()).unwrap()
+    }
+
+    fn ctx<'a>(device: &'a SsdDevice, locs: &'a [DataLocation]) -> PolicyContext<'a> {
+        PolicyContext {
+            device,
+            now: SimTime::ZERO,
+            operand_locations: locs,
+            dependence_delay: Duration::ZERO,
+        }
+    }
+
+    fn inst(op: OpType) -> VectorInst {
+        VectorInst::binary(0, op, Operand::page(0), Operand::page(4))
+    }
+
+    #[test]
+    fn host_policies_always_stay_on_the_host() {
+        let dev = device();
+        let locs = [DataLocation::Flash, DataLocation::Flash];
+        let c = ctx(&dev, &locs);
+        assert_eq!(
+            Policy::HostCpu.choose_site(&inst(OpType::Add), &c),
+            ExecutionSite::HostCpu
+        );
+        assert_eq!(
+            Policy::HostGpu.choose_site(&inst(OpType::Mul), &c),
+            ExecutionSite::HostGpu
+        );
+    }
+
+    #[test]
+    fn single_resource_policies_fall_back_to_isp() {
+        let dev = device();
+        let locs = [DataLocation::Flash, DataLocation::Flash];
+        let c = ctx(&dev, &locs);
+        // Division is unsupported everywhere except the controller cores.
+        for p in [Policy::PudSsd, Policy::FlashCosmos, Policy::AresFlash] {
+            assert_eq!(
+                p.choose_site(&inst(OpType::Div), &c),
+                ExecutionSite::Ssd(Resource::Isp),
+                "{p} must fall back to ISP"
+            );
+        }
+        assert_eq!(
+            Policy::FlashCosmos.choose_site(&inst(OpType::And), &c),
+            ExecutionSite::Ssd(Resource::Ifp)
+        );
+        // Flash-Cosmos cannot run arithmetic in flash, Ares-Flash can.
+        assert_eq!(
+            Policy::FlashCosmos.choose_site(&inst(OpType::Add), &c),
+            ExecutionSite::Ssd(Resource::Isp)
+        );
+        assert_eq!(
+            Policy::AresFlash.choose_site(&inst(OpType::Add), &c),
+            ExecutionSite::Ssd(Resource::Ifp)
+        );
+    }
+
+    #[test]
+    fn dm_offloading_prefers_where_data_lives() {
+        let dev = device();
+        let in_flash = [DataLocation::Flash, DataLocation::Flash];
+        let in_dram = [DataLocation::Dram, DataLocation::Dram];
+        assert_eq!(
+            Policy::DmOffloading.choose_site(&inst(OpType::And), &ctx(&dev, &in_flash)),
+            ExecutionSite::Ssd(Resource::Ifp)
+        );
+        assert_eq!(
+            Policy::DmOffloading.choose_site(&inst(OpType::And), &ctx(&dev, &in_dram)),
+            ExecutionSite::Ssd(Resource::PudSsd)
+        );
+    }
+
+    #[test]
+    fn bw_offloading_avoids_the_busiest_resource() {
+        let mut dev = device();
+        // Make the flash dies very busy.
+        for _ in 0..32 {
+            dev.execute_ifp(OpType::Mul, 32, 4096, &[], SimTime::ZERO).unwrap();
+        }
+        let locs = [DataLocation::Flash, DataLocation::Flash];
+        let site = Policy::BwOffloading.choose_site(
+            &inst(OpType::And),
+            &ctx(&dev, &locs),
+        );
+        assert_ne!(site, ExecutionSite::Ssd(Resource::Ifp));
+    }
+
+    #[test]
+    fn conduit_and_ideal_pick_supported_resources() {
+        let dev = device();
+        let locs = [DataLocation::Flash, DataLocation::Flash];
+        let c = ctx(&dev, &locs);
+        for op in OpType::ALL {
+            let i = VectorInst::with_srcs(
+                0,
+                op,
+                (0..op.arity()).map(|k| Operand::page(k as u64 * 4)).collect(),
+            );
+            for p in [Policy::Conduit, Policy::Ideal] {
+                let site = p.choose_site(&i, &c);
+                if let ExecutionSite::Ssd(r) = site {
+                    assert!(r.supports(op), "{p} chose {r} for unsupported {op}");
+                } else {
+                    panic!("{p} must stay inside the SSD");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_metadata_helpers() {
+        assert!(Policy::HostCpu.is_host());
+        assert!(!Policy::Conduit.is_host());
+        assert!(Policy::Conduit.pays_offloader_overhead());
+        assert!(!Policy::Ideal.pays_offloader_overhead());
+        assert!(!Policy::HostGpu.pays_offloader_overhead());
+        assert!(Policy::Ideal.is_contention_free());
+        assert_eq!(Policy::ALL.len(), 11);
+        assert_eq!(Policy::Conduit.to_string(), "Conduit");
+    }
+}

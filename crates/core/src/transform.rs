@@ -1,0 +1,257 @@
+//! Instruction transformation: from Conduit's vectorized instructions to the
+//! native primitives of each SSD compute resource.
+//!
+//! The transformation unit (§4.3.2) keeps a translation table in SSD DRAM
+//! that maps every operation type to the native instruction of each
+//! resource:
+//!
+//! * **ISP** — ARM M-Profile Vector Extension (MVE/Helium) instructions,
+//! * **PuD-SSD** — `bbop_*` ISA extensions from SIMDRAM / MIMDRAM / Proteus,
+//! * **IFP** — Flash-Cosmos multi-wordline-sensing (MWS) primitives and
+//!   Ares-Flash `shift_and_add`.
+//!
+//! It also handles the vector-width mismatch between the 4096-lane
+//! page-aligned vectors the compiler emits and the narrower widths the other
+//! resources support (2048-element DRAM rows, 8-lane MVE registers).
+
+use conduit_types::{Duration, OpType, Resource, SsdConfig};
+
+/// The native instruction-set family of a compute resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NativeIsa {
+    /// ARM M-Profile Vector Extension (Helium) on the controller cores.
+    ArmMve,
+    /// SIMDRAM/MIMDRAM/Proteus bulk-bitwise operation extensions.
+    PudBbop,
+    /// Flash-Cosmos multi-wordline sensing + Ares-Flash latch arithmetic.
+    FlashMws,
+}
+
+impl NativeIsa {
+    /// The ISA used by a resource.
+    pub fn of(resource: Resource) -> NativeIsa {
+        match resource {
+            Resource::Isp => NativeIsa::ArmMve,
+            Resource::PudSsd => NativeIsa::PudBbop,
+            Resource::Ifp => NativeIsa::FlashMws,
+        }
+    }
+}
+
+/// One entry of the translation table.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TranslationEntry {
+    /// The vector operation being translated.
+    pub op: OpType,
+    /// The target resource.
+    pub resource: Resource,
+    /// The native ISA family.
+    pub isa: NativeIsa,
+    /// The native mnemonic.
+    pub native: &'static str,
+}
+
+/// The instruction transformation unit.
+///
+/// # Examples
+///
+/// ```
+/// use conduit::InstructionTransformer;
+/// use conduit_types::{OpType, Resource, SsdConfig};
+///
+/// let tx = InstructionTransformer::new(&SsdConfig::default());
+/// let entry = tx.lookup(OpType::And, Resource::Ifp).unwrap();
+/// assert_eq!(entry.native, "mws_and");
+/// assert!(tx.lookup(OpType::Div, Resource::Ifp).is_none());
+/// assert_eq!(tx.sub_ops(Resource::Isp, 4096, 32), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstructionTransformer {
+    entries: Vec<TranslationEntry>,
+    lookup_latency: Duration,
+    mve_bytes: u32,
+    dram_row_bytes: u64,
+    flash_page_bytes: u64,
+}
+
+impl InstructionTransformer {
+    /// Builds the translation table for the configured device.
+    pub fn new(cfg: &SsdConfig) -> Self {
+        let mut entries = Vec::new();
+        for op in OpType::ALL {
+            for resource in Resource::ALL {
+                if resource.supports(op) {
+                    entries.push(TranslationEntry {
+                        op,
+                        resource,
+                        isa: NativeIsa::of(resource),
+                        native: Self::mnemonic(op, resource),
+                    });
+                }
+            }
+        }
+        InstructionTransformer {
+            entries,
+            lookup_latency: cfg.overheads.transform_lookup,
+            mve_bytes: cfg.ctrl.mve_bytes,
+            dram_row_bytes: cfg.dram.row_bytes,
+            flash_page_bytes: cfg.flash.page_bytes,
+        }
+    }
+
+    fn mnemonic(op: OpType, resource: Resource) -> &'static str {
+        match (resource, op) {
+            (Resource::Ifp, OpType::And) => "mws_and",
+            (Resource::Ifp, OpType::Or) => "mws_or",
+            (Resource::Ifp, OpType::Nand) => "mws_nand",
+            (Resource::Ifp, OpType::Nor) => "mws_nor",
+            (Resource::Ifp, OpType::Not) => "latch_not",
+            (Resource::Ifp, OpType::Xor) => "latch_xor",
+            (Resource::Ifp, OpType::Add) => "shift_and_add",
+            (Resource::Ifp, OpType::Sub) => "shift_and_sub",
+            (Resource::Ifp, OpType::Mul) => "shift_and_add_mul",
+            (Resource::Ifp, OpType::Copy) => "page_copy",
+            (Resource::Ifp, _) => "mws_unknown",
+            (Resource::PudSsd, OpType::And) => "bbop_and",
+            (Resource::PudSsd, OpType::Or) => "bbop_or",
+            (Resource::PudSsd, OpType::Xor) => "bbop_xor",
+            (Resource::PudSsd, OpType::Not) => "bbop_not",
+            (Resource::PudSsd, OpType::Nand) => "bbop_nand",
+            (Resource::PudSsd, OpType::Nor) => "bbop_nor",
+            (Resource::PudSsd, OpType::Shl) => "bbop_shl",
+            (Resource::PudSsd, OpType::Shr) => "bbop_shr",
+            (Resource::PudSsd, OpType::Add) => "bbop_add",
+            (Resource::PudSsd, OpType::Sub) => "bbop_sub",
+            (Resource::PudSsd, OpType::Mul) => "bbop_mul",
+            (Resource::PudSsd, OpType::Min) => "bbop_min",
+            (Resource::PudSsd, OpType::Max) => "bbop_max",
+            (Resource::PudSsd, OpType::CmpEq) => "bbop_cmpeq",
+            (Resource::PudSsd, OpType::CmpLt) => "bbop_cmplt",
+            (Resource::PudSsd, OpType::CmpGt) => "bbop_cmpgt",
+            (Resource::PudSsd, OpType::Copy) => "rowclone_copy",
+            (Resource::PudSsd, _) => "bbop_unknown",
+            (Resource::Isp, OpType::And) => "vand",
+            (Resource::Isp, OpType::Or) => "vorr",
+            (Resource::Isp, OpType::Xor) => "veor",
+            (Resource::Isp, OpType::Not) => "vmvn",
+            (Resource::Isp, OpType::Nand) => "vand_vmvn",
+            (Resource::Isp, OpType::Nor) => "vorr_vmvn",
+            (Resource::Isp, OpType::Shl) => "vshl",
+            (Resource::Isp, OpType::Shr) => "vshr",
+            (Resource::Isp, OpType::Add) => "vadd",
+            (Resource::Isp, OpType::Sub) => "vsub",
+            (Resource::Isp, OpType::Mul) => "vmul",
+            (Resource::Isp, OpType::Div) => "sdiv_loop",
+            (Resource::Isp, OpType::Min) => "vmin",
+            (Resource::Isp, OpType::Max) => "vmax",
+            (Resource::Isp, OpType::CmpEq) => "vcmp_eq",
+            (Resource::Isp, OpType::CmpLt) => "vcmp_lt",
+            (Resource::Isp, OpType::CmpGt) => "vcmp_gt",
+            (Resource::Isp, OpType::Select) => "vsel",
+            (Resource::Isp, OpType::Copy) => "vldr_vstr",
+            (Resource::Isp, OpType::Shuffle) => "vtbl",
+            (Resource::Isp, OpType::Lookup) => "vldr_gather",
+            (Resource::Isp, OpType::ReduceAdd) => "vaddv",
+            (Resource::Isp, OpType::ReduceMax) => "vmaxv",
+            (Resource::Isp, OpType::Scalar) => "scalar_region",
+        }
+    }
+
+    /// Looks up the translation entry for `(op, resource)`, or `None` if the
+    /// resource does not support the operation.
+    pub fn lookup(&self, op: OpType, resource: Resource) -> Option<&TranslationEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.op == op && e.resource == resource)
+    }
+
+    /// The latency of one translation-table lookup (≈300 ns, §4.5).
+    pub fn lookup_latency(&self) -> Duration {
+        self.lookup_latency
+    }
+
+    /// All translation entries (one per supported `(op, resource)` pair).
+    pub fn entries(&self) -> &[TranslationEntry] {
+        &self.entries
+    }
+
+    /// The storage footprint of the translation table in SSD DRAM: four
+    /// bytes per entry (§4.5 reports ≈1.5 KiB in total for the ~300-entry
+    /// ISP-inclusive table; this table stores the vector-op subset).
+    pub fn table_bytes(&self) -> u64 {
+        self.entries.len() as u64 * 4
+    }
+
+    /// Number of native sub-operations a `lanes`-lane vector of
+    /// `elem_bits`-bit elements splits into on `resource` (the vector-width
+    /// mismatch handling of §4.3.2).
+    pub fn sub_ops(&self, resource: Resource, lanes: u32, elem_bits: u32) -> u32 {
+        let vector_bytes = (lanes as u64) * (elem_bits as u64) / 8;
+        let unit_bytes = match resource {
+            Resource::Isp => self.mve_bytes as u64,
+            Resource::PudSsd => self.dram_row_bytes,
+            Resource::Ifp => self.flash_page_bytes * conduit_types::addr::PAGES_PER_VECTOR,
+        };
+        vector_bytes.div_ceil(unit_bytes).max(1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx() -> InstructionTransformer {
+        InstructionTransformer::new(&SsdConfig::default())
+    }
+
+    #[test]
+    fn table_covers_exactly_the_supported_pairs() {
+        let t = tx();
+        let expected: usize = Resource::ALL
+            .iter()
+            .map(|r| r.supported_op_count())
+            .sum();
+        assert_eq!(t.entries().len(), expected);
+        for e in t.entries() {
+            assert!(e.resource.supports(e.op));
+            assert_eq!(e.isa, NativeIsa::of(e.resource));
+            assert!(!e.native.is_empty());
+            assert!(!e.native.contains("unknown"), "{:?} has no real mnemonic", e);
+        }
+    }
+
+    #[test]
+    fn lookups_match_the_paper_mnemonics() {
+        let t = tx();
+        assert_eq!(t.lookup(OpType::And, Resource::Ifp).unwrap().native, "mws_and");
+        assert_eq!(
+            t.lookup(OpType::Mul, Resource::Ifp).unwrap().native,
+            "shift_and_add_mul"
+        );
+        assert_eq!(
+            t.lookup(OpType::Add, Resource::PudSsd).unwrap().native,
+            "bbop_add"
+        );
+        assert_eq!(t.lookup(OpType::Add, Resource::Isp).unwrap().native, "vadd");
+        assert!(t.lookup(OpType::Scalar, Resource::Ifp).is_none());
+    }
+
+    #[test]
+    fn width_splitting_matches_resource_granularity() {
+        let t = tx();
+        // 16 KiB vector: one flash-page group, two 8 KiB DRAM rows, 512 MVE ops.
+        assert_eq!(t.sub_ops(Resource::Ifp, 4096, 32), 1);
+        assert_eq!(t.sub_ops(Resource::PudSsd, 4096, 32), 2);
+        assert_eq!(t.sub_ops(Resource::Isp, 4096, 32), 512);
+        // Narrow vectors still need at least one sub-op.
+        assert_eq!(t.sub_ops(Resource::PudSsd, 16, 8), 1);
+    }
+
+    #[test]
+    fn storage_overhead_is_about_a_kibibyte(){
+        let t = tx();
+        assert!(t.table_bytes() >= 150);
+        assert!(t.table_bytes() <= 2048);
+        assert_eq!(t.lookup_latency(), Duration::from_ns(300.0));
+    }
+}

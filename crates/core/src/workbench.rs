@@ -1,0 +1,129 @@
+//! A convenience facade for running programs under different policies.
+
+use conduit_types::{HostConfig, Result, SsdConfig, VectorProgram};
+
+use crate::engine::{RunOptions, RuntimeEngine};
+use crate::policy::Policy;
+use crate::report::RunReport;
+
+/// Runs vector programs on freshly-instantiated devices, one per run, so
+/// that policies can be compared on identical initial conditions.
+///
+/// # Examples
+///
+/// ```
+/// use conduit::{Policy, Workbench};
+/// use conduit_types::{OpType, Operand, SsdConfig, VectorProgram};
+///
+/// let mut prog = VectorProgram::new("cmp");
+/// prog.push_binary(OpType::And, Operand::page(0), Operand::page(4));
+///
+/// let mut bench = Workbench::new(SsdConfig::small_for_tests());
+/// let reports = bench.compare(&prog, &[Policy::HostCpu, Policy::Conduit])?;
+/// assert_eq!(reports.len(), 2);
+/// # Ok::<(), conduit_types::ConduitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workbench {
+    ssd: SsdConfig,
+    host: HostConfig,
+}
+
+impl Workbench {
+    /// Creates a workbench for the given SSD configuration and the default
+    /// host configuration.
+    pub fn new(ssd: SsdConfig) -> Self {
+        Workbench {
+            ssd,
+            host: HostConfig::default(),
+        }
+    }
+
+    /// Builder-style: replaces the host configuration.
+    pub fn with_host(mut self, host: HostConfig) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// The SSD configuration used for every run.
+    pub fn ssd_config(&self) -> &SsdConfig {
+        &self.ssd
+    }
+
+    /// Runs `program` under `policy` with default options on a fresh device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation and simulation errors.
+    pub fn run(&mut self, program: &VectorProgram, policy: Policy) -> Result<RunReport> {
+        self.run_with(program, &RunOptions::new(policy))
+    }
+
+    /// Runs `program` with explicit options on a fresh device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation and simulation errors.
+    pub fn run_with(
+        &mut self,
+        program: &VectorProgram,
+        options: &RunOptions,
+    ) -> Result<RunReport> {
+        let mut engine = RuntimeEngine::with_host(&self.ssd, &self.host)?;
+        engine.prepare(program)?;
+        engine.run(program, options)
+    }
+
+    /// Runs `program` under each policy (each on a fresh device) and returns
+    /// the reports in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates preparation and simulation errors.
+    pub fn compare(
+        &mut self,
+        program: &VectorProgram,
+        policies: &[Policy],
+    ) -> Result<Vec<RunReport>> {
+        policies.iter().map(|p| self.run(program, *p)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::{OpType, Operand};
+
+    fn program() -> VectorProgram {
+        let mut prog = VectorProgram::new("wb");
+        let a = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+        prog.push_binary(OpType::Add, Operand::result(a), Operand::page(8));
+        prog
+    }
+
+    #[test]
+    fn compare_runs_each_policy_fresh() {
+        let mut bench = Workbench::new(SsdConfig::small_for_tests());
+        let reports = bench
+            .compare(&program(), &[Policy::HostCpu, Policy::Conduit, Policy::Ideal])
+            .unwrap();
+        assert_eq!(reports.len(), 3);
+        assert_eq!(reports[0].policy, Policy::HostCpu);
+        assert_eq!(reports[2].policy, Policy::Ideal);
+        // Fresh devices: repeated runs of the same policy are identical.
+        let again = bench.run(&program(), Policy::Conduit).unwrap();
+        assert_eq!(again.total_time, reports[1].total_time);
+    }
+
+    #[test]
+    fn custom_options_are_honoured() {
+        let mut bench = Workbench::new(SsdConfig::small_for_tests());
+        let report = bench
+            .run_with(
+                &program(),
+                &RunOptions::new(Policy::Conduit).without_timeline(),
+            )
+            .unwrap();
+        assert!(report.timeline.is_empty());
+    }
+}

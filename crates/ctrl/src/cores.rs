@@ -1,0 +1,143 @@
+//! Partitioning of the controller's embedded cores between firmware duties
+//! and offloaded computation.
+
+use conduit_types::{ConduitError, CtrlConfig, Result};
+
+/// The duty assigned to one embedded core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreRole {
+    /// Runs the flash translation layer (address translation, GC,
+    /// wear-leveling) and background maintenance.
+    Ftl,
+    /// Handles host-interface (NVMe) communication.
+    HostInterface,
+    /// Runs Conduit's runtime offloader and instruction transformation.
+    Offloader,
+    /// Executes offloaded vector instructions (the ISP compute core).
+    Compute,
+}
+
+/// How the controller's cores are allocated to roles.
+///
+/// The paper (footnote 3) dedicates one core to offloaded computation and
+/// keeps the remaining cores on latency-critical firmware tasks.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_ctrl::{CoreAllocation, CoreRole};
+/// use conduit_types::CtrlConfig;
+///
+/// let alloc = CoreAllocation::standard(&CtrlConfig::default())?;
+/// assert_eq!(alloc.count(CoreRole::Compute), 1);
+/// assert_eq!(alloc.total(), 5);
+/// # Ok::<(), conduit_types::ConduitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreAllocation {
+    roles: Vec<CoreRole>,
+}
+
+impl CoreAllocation {
+    /// The paper's default allocation: one compute core, one offloader core,
+    /// one host-interface core, and the rest on FTL duties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::InvalidConfig`] if the configuration has
+    /// fewer than three cores or requests more compute cores than exist.
+    pub fn standard(cfg: &CtrlConfig) -> Result<Self> {
+        if cfg.cores < 3 {
+            return Err(ConduitError::invalid_config(
+                "controller needs at least 3 cores (FTL, host, compute)",
+            ));
+        }
+        if cfg.compute_cores >= cfg.cores {
+            return Err(ConduitError::invalid_config(
+                "compute cores must leave at least two cores for firmware",
+            ));
+        }
+        let mut roles = Vec::with_capacity(cfg.cores as usize);
+        for _ in 0..cfg.compute_cores {
+            roles.push(CoreRole::Compute);
+        }
+        roles.push(CoreRole::Offloader);
+        roles.push(CoreRole::HostInterface);
+        while roles.len() < cfg.cores as usize {
+            roles.push(CoreRole::Ftl);
+        }
+        roles.truncate(cfg.cores as usize);
+        Ok(CoreAllocation { roles })
+    }
+
+    /// Total number of cores.
+    pub fn total(&self) -> usize {
+        self.roles.len()
+    }
+
+    /// Number of cores assigned to `role`.
+    pub fn count(&self, role: CoreRole) -> usize {
+        self.roles.iter().filter(|&&r| r == role).count()
+    }
+
+    /// The roles of all cores, in core-index order.
+    pub fn roles(&self) -> &[CoreRole] {
+        &self.roles
+    }
+
+    /// Indices of the cores assigned to `role`.
+    pub fn cores_with(&self, role: CoreRole) -> Vec<usize> {
+        self.roles
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &r)| (r == role).then_some(i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_allocation_matches_paper() {
+        let alloc = CoreAllocation::standard(&CtrlConfig::default()).unwrap();
+        assert_eq!(alloc.total(), 5);
+        assert_eq!(alloc.count(CoreRole::Compute), 1);
+        assert_eq!(alloc.count(CoreRole::Offloader), 1);
+        assert_eq!(alloc.count(CoreRole::HostInterface), 1);
+        assert_eq!(alloc.count(CoreRole::Ftl), 2);
+        assert_eq!(alloc.cores_with(CoreRole::Compute), vec![0]);
+    }
+
+    #[test]
+    fn too_few_cores_is_rejected() {
+        let cfg = CtrlConfig {
+            cores: 2,
+            ..CtrlConfig::default()
+        };
+        assert!(CoreAllocation::standard(&cfg).is_err());
+    }
+
+    #[test]
+    fn compute_cannot_starve_firmware() {
+        let cfg = CtrlConfig {
+            cores: 4,
+            compute_cores: 4,
+            ..CtrlConfig::default()
+        };
+        assert!(CoreAllocation::standard(&cfg).is_err());
+    }
+
+    #[test]
+    fn more_compute_cores_when_configured() {
+        let cfg = CtrlConfig {
+            cores: 6,
+            compute_cores: 2,
+            ..CtrlConfig::default()
+        };
+        let alloc = CoreAllocation::standard(&cfg).unwrap();
+        assert_eq!(alloc.count(CoreRole::Compute), 2);
+        assert_eq!(alloc.total(), 6);
+    }
+}

@@ -1,0 +1,162 @@
+//! In-storage processing (ISP) compute model.
+//!
+//! Models one ARM Cortex-R8-class embedded core at 1.5 GHz executing
+//! vectorized instructions with the 32-byte MVE datapath. A 4096-lane
+//! 32-bit vector therefore decomposes into 512 MVE micro-ops, each of which
+//! also needs load/store micro-ops to stream operands through the vector
+//! register file — this narrow datapath is exactly the "limited SIMD
+//! parallelism" that constrains ISP throughput in the paper's case study.
+
+use conduit_types::{CtrlConfig, Duration, Energy, OpType};
+
+/// The latency and energy of one vector instruction executed on an embedded
+/// controller core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IspCost {
+    /// End-to-end service latency on one core (excluding queueing and
+    /// operand staging into controller SRAM).
+    pub latency: Duration,
+    /// Energy consumed by the core while executing the instruction.
+    pub energy: Energy,
+    /// Number of MVE micro-ops issued.
+    pub uops: u64,
+}
+
+/// In-storage processing cost model for one embedded core.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_ctrl::IspModel;
+/// use conduit_types::{CtrlConfig, OpType};
+///
+/// let isp = IspModel::new(&CtrlConfig::default());
+/// // Everything is supported, but throughput is bounded by the 32 B datapath.
+/// let c = isp.op_cost(OpType::Xor, 32, 4096);
+/// assert_eq!(c.uops, 512);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IspModel {
+    cfg: CtrlConfig,
+}
+
+impl IspModel {
+    /// Builds an ISP model from the controller configuration.
+    pub fn new(cfg: &CtrlConfig) -> Self {
+        IspModel { cfg: cfg.clone() }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &CtrlConfig {
+        &self.cfg
+    }
+
+    /// Compute cycles per MVE micro-op for the given operation, including
+    /// the load/store micro-ops needed to stream operands through the
+    /// vector register file and the loop-control overhead.
+    pub fn cycles_per_uop(&self, op: OpType) -> u64 {
+        let c = &self.cfg;
+        let alu: u64 = match op {
+            OpType::Mul => c.cycles_mul as u64,
+            OpType::Div => c.cycles_div as u64,
+            OpType::ReduceAdd | OpType::ReduceMax => c.cycles_mul as u64,
+            OpType::Lookup | OpType::Shuffle => (c.cycles_simple * 2) as u64,
+            OpType::Scalar => (c.cycles_simple * 4) as u64,
+            _ => c.cycles_simple as u64,
+        };
+        // Two operand loads + one result store per micro-op, plus one cycle
+        // of loop overhead.
+        alu + 3 * c.cycles_mem as u64 + 1
+    }
+
+    /// Number of MVE micro-ops needed to cover `lanes` lanes of
+    /// `elem_bits`-bit elements.
+    pub fn uops(&self, elem_bits: u32, lanes: u32) -> u64 {
+        let lanes_per_uop = self.cfg.lanes_per_uop(elem_bits) as u64;
+        (lanes as u64).div_ceil(lanes_per_uop)
+    }
+
+    /// Latency and energy of executing one vector instruction on one core.
+    ///
+    /// ISP supports every operation; scalar/control regions are modelled as
+    /// one micro-op per lane-equivalent of scalar work.
+    pub fn op_cost(&self, op: OpType, elem_bits: u32, lanes: u32) -> IspCost {
+        let uops = if op == OpType::Scalar {
+            // Scalar regions execute one lane per iteration on the scalar
+            // pipeline rather than the MVE datapath.
+            lanes as u64
+        } else {
+            self.uops(elem_bits, lanes)
+        };
+        let cycles = uops * self.cycles_per_uop(op);
+        let latency = self.cfg.cycles(cycles);
+        let energy = Energy::from_power(self.cfg.core_power_w, latency);
+        IspCost {
+            latency,
+            energy,
+            uops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IspModel {
+        IspModel::new(&CtrlConfig::default())
+    }
+
+    #[test]
+    fn uop_counts_follow_datapath_width() {
+        let m = model();
+        assert_eq!(m.uops(32, 4096), 512);
+        assert_eq!(m.uops(8, 4096), 128);
+        assert_eq!(m.uops(32, 100), 13);
+    }
+
+    #[test]
+    fn div_and_mul_cost_more_than_add() {
+        let m = model();
+        let add = m.op_cost(OpType::Add, 32, 4096);
+        let mul = m.op_cost(OpType::Mul, 32, 4096);
+        let div = m.op_cost(OpType::Div, 32, 4096);
+        assert!(mul.latency > add.latency);
+        assert!(div.latency > mul.latency);
+    }
+
+    #[test]
+    fn full_vector_add_is_a_few_microseconds() {
+        let m = model();
+        let add = m.op_cost(OpType::Add, 32, 4096);
+        // 512 uops * 8 cycles / 1.5 GHz ≈ 2.7 us
+        assert!(add.latency > Duration::from_us(1.0));
+        assert!(add.latency < Duration::from_us(10.0));
+    }
+
+    #[test]
+    fn scalar_regions_pay_per_lane() {
+        let m = model();
+        let vec_add = m.op_cost(OpType::Add, 32, 4096);
+        let scalar = m.op_cost(OpType::Scalar, 32, 4096);
+        assert!(scalar.latency > vec_add.latency * 4);
+        assert_eq!(scalar.uops, 4096);
+    }
+
+    #[test]
+    fn narrow_elements_increase_throughput() {
+        let m = model();
+        let wide = m.op_cost(OpType::Add, 32, 4096);
+        let narrow = m.op_cost(OpType::Add, 8, 4096);
+        assert!(narrow.latency < wide.latency);
+    }
+
+    #[test]
+    fn energy_tracks_latency() {
+        let m = model();
+        let a = m.op_cost(OpType::Add, 32, 4096);
+        let b = m.op_cost(OpType::Mul, 32, 4096);
+        assert!(b.energy > a.energy);
+        assert!(a.energy > Energy::ZERO);
+    }
+}

@@ -1,0 +1,38 @@
+//! # conduit-ctrl
+//!
+//! SSD controller embedded-core model (in-storage processing, ISP) for the
+//! Conduit NDP framework.
+//!
+//! Modern SSD controllers contain several general-purpose embedded cores
+//! (ARM Cortex-R8 class in Table 2 of the paper) that normally run the flash
+//! translation layer and host-interface firmware. ISP repurposes one of them
+//! to execute offloaded computation using the M-Profile Vector Extension
+//! (MVE) SIMD datapath; the remaining cores keep running the FTL, host
+//! communication, and Conduit's own offloader (paper footnote 3).
+//!
+//! The crate provides:
+//!
+//! * [`IspModel`] — per-vector-instruction latency and energy of MVE
+//!   execution on one embedded core, including the loop and load/store
+//!   micro-op overheads that make the controller's narrow (32 B) SIMD
+//!   datapath the throughput bottleneck the paper describes,
+//! * [`CoreAllocation`] / [`CoreRole`] — how the controller's cores are
+//!   partitioned between firmware duties and offloaded compute.
+//!
+//! ## Example
+//!
+//! ```
+//! use conduit_ctrl::IspModel;
+//! use conduit_types::{CtrlConfig, OpType};
+//!
+//! let isp = IspModel::new(&CtrlConfig::default());
+//! let add = isp.op_cost(OpType::Add, 32, 4096);
+//! let div = isp.op_cost(OpType::Div, 32, 4096);
+//! assert!(div.latency > add.latency);
+//! ```
+
+mod cores;
+mod isp;
+
+pub use cores::{CoreAllocation, CoreRole};
+pub use isp::{IspCost, IspModel};

@@ -1,0 +1,132 @@
+//! Per-bank open-row bookkeeping.
+//!
+//! The event-driven simulator uses this to decide whether an access to a
+//! cached page hits the open row (saving the activate/precharge) and to
+//! track which rows are being used as PuD compute rows.
+
+use conduit_types::DramConfig;
+
+/// Open-row state of the SSD DRAM's banks.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_dram::BankState;
+/// use conduit_types::DramConfig;
+///
+/// let mut banks = BankState::new(&DramConfig::default());
+/// assert!(!banks.access(0, 17));  // first touch: row miss
+/// assert!(banks.access(0, 17));   // same row: row hit
+/// assert!(!banks.access(0, 18));  // row conflict
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankState {
+    open_rows: Vec<Option<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BankState {
+    /// Creates the bank state for the configured number of banks, all
+    /// initially precharged (no open row).
+    pub fn new(cfg: &DramConfig) -> Self {
+        BankState {
+            open_rows: vec![None; cfg.total_banks() as usize],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of banks tracked.
+    pub fn banks(&self) -> usize {
+        self.open_rows.len()
+    }
+
+    /// Records an access to `row` in `bank` and returns whether it was a row
+    /// hit. The bank index wraps modulo the bank count so callers can hash
+    /// addresses directly.
+    pub fn access(&mut self, bank: usize, row: u64) -> bool {
+        let idx = bank % self.open_rows.len();
+        let hit = self.open_rows[idx] == Some(row);
+        self.open_rows[idx] = Some(row);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Precharges every bank (e.g. before a PuD compute burst that needs
+    /// exclusive use of the compute rows).
+    pub fn precharge_all(&mut self) {
+        for r in &mut self.open_rows {
+            *r = None;
+        }
+    }
+
+    /// The row currently open in `bank`, if any.
+    pub fn open_row(&self, bank: usize) -> Option<u64> {
+        self.open_rows[bank % self.open_rows.len()]
+    }
+
+    /// Row-hit and row-miss counts since creation.
+    pub fn hit_miss_counts(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Row-hit rate since creation (0.0 if no accesses were recorded).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn banks() -> BankState {
+        BankState::new(&DramConfig::default())
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut b = banks();
+        assert!(!b.access(0, 1));
+        assert!(b.access(0, 1));
+        assert!(!b.access(0, 2));
+        assert!(!b.access(1, 2));
+        let (hits, misses) = b.hit_miss_counts();
+        assert_eq!((hits, misses), (1, 3));
+        assert!((b.hit_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precharge_clears_open_rows() {
+        let mut b = banks();
+        b.access(3, 9);
+        assert_eq!(b.open_row(3), Some(9));
+        b.precharge_all();
+        assert_eq!(b.open_row(3), None);
+        assert!(!b.access(3, 9));
+    }
+
+    #[test]
+    fn bank_index_wraps() {
+        let mut b = banks();
+        let n = b.banks();
+        b.access(n, 5); // same as bank 0
+        assert_eq!(b.open_row(0), Some(5));
+    }
+
+    #[test]
+    fn empty_state_has_zero_hit_rate() {
+        let b = banks();
+        assert_eq!(b.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Flash geometry and physical address arithmetic.
+
+use conduit_types::{FlashConfig, PhysicalPageAddr};
+
+/// Describes the structural hierarchy of the flash subsystem and converts
+/// between flat page indices and structured [`PhysicalPageAddr`]s.
+///
+/// The flat index orders pages page-major within a block, block-major within
+/// a plane, and so on up the hierarchy, which makes striding across channels
+/// and dies (for parallel allocation) a simple modular computation.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_flash::FlashGeometry;
+/// use conduit_types::FlashConfig;
+///
+/// let geo = FlashGeometry::new(&FlashConfig::default());
+/// let addr = geo.addr_of(12345);
+/// assert_eq!(geo.index_of(addr), 12345);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashGeometry {
+    channels: u32,
+    dies_per_channel: u32,
+    planes_per_die: u32,
+    blocks_per_plane: u32,
+    pages_per_block: u32,
+    page_bytes: u64,
+}
+
+impl FlashGeometry {
+    /// Builds the geometry from a flash configuration.
+    pub fn new(cfg: &FlashConfig) -> Self {
+        FlashGeometry {
+            channels: cfg.channels,
+            dies_per_channel: cfg.dies_per_channel,
+            planes_per_die: cfg.planes_per_die,
+            blocks_per_plane: cfg.blocks_per_plane,
+            pages_per_block: cfg.pages_per_block,
+            page_bytes: cfg.page_bytes,
+        }
+    }
+
+    /// Number of flash channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Number of dies per channel.
+    pub fn dies_per_channel(&self) -> u32 {
+        self.dies_per_channel
+    }
+
+    /// Number of planes per die.
+    pub fn planes_per_die(&self) -> u32 {
+        self.planes_per_die
+    }
+
+    /// Number of blocks per plane.
+    pub fn blocks_per_plane(&self) -> u32 {
+        self.blocks_per_plane
+    }
+
+    /// Number of pages per block.
+    pub fn pages_per_block(&self) -> u32 {
+        self.pages_per_block
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
+    }
+
+    /// Total number of dies.
+    pub fn total_dies(&self) -> u64 {
+        self.channels as u64 * self.dies_per_channel as u64
+    }
+
+    /// Total number of planes.
+    pub fn total_planes(&self) -> u64 {
+        self.total_dies() * self.planes_per_die as u64
+    }
+
+    /// Total number of blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_planes() * self.blocks_per_plane as u64
+    }
+
+    /// Total number of physical pages.
+    pub fn total_pages(&self) -> u64 {
+        self.total_blocks() * self.pages_per_block as u64
+    }
+
+    /// Pages per plane.
+    pub fn pages_per_plane(&self) -> u64 {
+        self.blocks_per_plane as u64 * self.pages_per_block as u64
+    }
+
+    /// Pages per die.
+    pub fn pages_per_die(&self) -> u64 {
+        self.pages_per_plane() * self.planes_per_die as u64
+    }
+
+    /// Pages per channel.
+    pub fn pages_per_channel(&self) -> u64 {
+        self.pages_per_die() * self.dies_per_channel as u64
+    }
+
+    /// Converts a flat physical page index into a structured address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn addr_of(&self, index: u64) -> PhysicalPageAddr {
+        assert!(index < self.total_pages(), "physical page index out of range");
+        let channel = index / self.pages_per_channel();
+        let rem = index % self.pages_per_channel();
+        let die = rem / self.pages_per_die();
+        let rem = rem % self.pages_per_die();
+        let plane = rem / self.pages_per_plane();
+        let rem = rem % self.pages_per_plane();
+        let block = rem / self.pages_per_block as u64;
+        let page = rem % self.pages_per_block as u64;
+        PhysicalPageAddr::new(
+            channel as u8,
+            0,
+            die as u8,
+            plane as u8,
+            block as u32,
+            page as u16,
+        )
+    }
+
+    /// Converts a structured address back into a flat physical page index.
+    pub fn index_of(&self, addr: PhysicalPageAddr) -> u64 {
+        let die = addr.die as u64;
+        addr.channel as u64 * self.pages_per_channel()
+            + die * self.pages_per_die()
+            + addr.plane as u64 * self.pages_per_plane()
+            + addr.block as u64 * self.pages_per_block as u64
+            + addr.page as u64
+    }
+
+    /// Flat index of a block (ignoring the page coordinate), useful for
+    /// per-block bookkeeping.
+    pub fn block_index_of(&self, addr: PhysicalPageAddr) -> u64 {
+        self.index_of(PhysicalPageAddr { page: 0, ..addr }) / self.pages_per_block as u64
+    }
+
+    /// The global plane index (0 .. [`FlashGeometry::total_planes`]) of an
+    /// address, used to reason about multi-plane parallelism.
+    pub fn plane_index_of(&self, addr: PhysicalPageAddr) -> u64 {
+        (addr.channel as u64 * self.dies_per_channel as u64 + addr.die as u64)
+            * self.planes_per_die as u64
+            + addr.plane as u64
+    }
+
+    /// The global die index (0 .. [`FlashGeometry::total_dies`]) of an
+    /// address.
+    pub fn die_index_of(&self, addr: PhysicalPageAddr) -> u64 {
+        addr.channel as u64 * self.dies_per_channel as u64 + addr.die as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::SsdConfig;
+
+    fn geo() -> FlashGeometry {
+        FlashGeometry::new(&SsdConfig::small_for_tests().flash)
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = geo();
+        assert_eq!(
+            g.total_pages(),
+            g.channels() as u64
+                * g.dies_per_channel() as u64
+                * g.planes_per_die() as u64
+                * g.blocks_per_plane() as u64
+                * g.pages_per_block() as u64
+        );
+        assert_eq!(g.pages_per_channel() * g.channels() as u64, g.total_pages());
+    }
+
+    #[test]
+    fn addr_index_roundtrip() {
+        let g = geo();
+        for index in [0, 1, 63, 64, 1000, g.total_pages() - 1] {
+            let addr = g.addr_of(index);
+            assert_eq!(g.index_of(addr), index, "roundtrip failed for {index}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_full_default_geometry_sampled() {
+        let g = FlashGeometry::new(&FlashConfig::default());
+        let step = g.total_pages() / 997;
+        let mut index = 0;
+        while index < g.total_pages() {
+            assert_eq!(g.index_of(g.addr_of(index)), index);
+            index += step.max(1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn addr_of_out_of_range_panics() {
+        let g = geo();
+        let _ = g.addr_of(g.total_pages());
+    }
+
+    #[test]
+    fn plane_and_die_indices_cover_all_units() {
+        let g = geo();
+        let last = g.addr_of(g.total_pages() - 1);
+        assert_eq!(g.die_index_of(last), g.total_dies() - 1);
+        assert_eq!(g.plane_index_of(last), g.total_planes() - 1);
+        let first = g.addr_of(0);
+        assert_eq!(g.die_index_of(first), 0);
+        assert_eq!(g.plane_index_of(first), 0);
+    }
+
+    #[test]
+    fn block_index_ignores_page() {
+        let g = geo();
+        let a = g.addr_of(5);
+        let b = PhysicalPageAddr { page: 0, ..a };
+        assert_eq!(g.block_index_of(a), g.block_index_of(b));
+    }
+}

@@ -1,0 +1,330 @@
+//! In-flash processing (IFP) compute model.
+//!
+//! Combines the two IFP substrates the paper builds on:
+//!
+//! * **Flash-Cosmos** multi-wordline sensing (MWS): bitwise AND across up to
+//!   48 operand pages located in the *same block*, bitwise OR across up to 4
+//!   operand pages located in *different blocks of the same plane*, with NOT
+//!   and the remaining bitwise ops derived via the page-buffer latches.
+//! * **Ares-Flash** latch-based arithmetic: bit-serial addition and
+//!   shift-and-add multiplication using the sensing (S) and data (D) latches
+//!   in the die's peripheral circuitry, with periodic operand transfers
+//!   through the flash controller for multiplication.
+//!
+//! A full-width vector (16 KiB) spans several 4 KiB page *slices*; the FTL's
+//! NDP-aware allocation stripes the slices of one vector across planes, so
+//! slices execute concurrently (multi-plane operation) and the latency of a
+//! vector op equals the latency of one slice while the energy scales with the
+//! number of slices.
+
+use conduit_types::{ConduitError, Duration, Energy, FlashConfig, OpType, Resource, Result};
+
+/// How the operands of an in-flash operation are physically placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IfpPlacement {
+    /// All operand slices live in pages of the same block (required for
+    /// multi-wordline AND; also the best case for arithmetic).
+    SameBlock {
+        /// Number of source operands.
+        operands: u32,
+    },
+    /// Operand slices live in different blocks of the same plane (the
+    /// inter-block OR case).
+    SamePlane {
+        /// Number of source operands.
+        operands: u32,
+    },
+    /// Operand slices are scattered across planes or dies; they must first
+    /// be relocated (read + program) into a common block before the in-flash
+    /// operation can run.
+    Scattered {
+        /// Number of source operands.
+        operands: u32,
+    },
+}
+
+impl IfpPlacement {
+    /// Number of source operands described by this placement.
+    pub fn operands(self) -> u32 {
+        match self {
+            IfpPlacement::SameBlock { operands }
+            | IfpPlacement::SamePlane { operands }
+            | IfpPlacement::Scattered { operands } => operands,
+        }
+    }
+
+    /// Number of operand slices that must be relocated before computing.
+    fn relocations(self) -> u32 {
+        match self {
+            IfpPlacement::SameBlock { .. } => 0,
+            // OR tolerates same-plane placement; everything else needs one
+            // operand moved next to the other.
+            IfpPlacement::SamePlane { .. } => 0,
+            IfpPlacement::Scattered { operands } => operands.saturating_sub(1),
+        }
+    }
+}
+
+/// The latency and energy of one in-flash vector operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IfpCost {
+    /// End-to-end service latency (excluding queueing).
+    pub latency: Duration,
+    /// Total energy across all page slices.
+    pub energy: Energy,
+    /// Number of 4 KiB page slices processed in parallel.
+    pub parallel_slices: u32,
+}
+
+/// In-flash processing cost model.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_flash::{IfpModel, IfpPlacement};
+/// use conduit_types::{FlashConfig, OpType};
+///
+/// let ifp = IfpModel::new(&FlashConfig::default());
+/// let and = ifp.op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })?;
+/// let mul = ifp.op_cost(OpType::Mul, 32, 4096, IfpPlacement::SameBlock { operands: 2 })?;
+/// assert!(mul.latency > and.latency * 4);
+/// # Ok::<(), conduit_types::ConduitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfpModel {
+    cfg: FlashConfig,
+}
+
+impl IfpModel {
+    /// Builds an IFP model from the flash configuration.
+    pub fn new(cfg: &FlashConfig) -> Self {
+        IfpModel { cfg: cfg.clone() }
+    }
+
+    /// Whether the flash substrate can execute `op` at all.
+    pub fn supports(&self, op: OpType) -> bool {
+        Resource::Ifp.supports(op)
+    }
+
+    /// Maximum number of operands a single in-flash `op` can combine given
+    /// its placement requirements (Flash-Cosmos limits).
+    pub fn max_operands(&self, op: OpType) -> u32 {
+        match op {
+            OpType::And | OpType::Nand => self.cfg.max_and_operands,
+            OpType::Or | OpType::Nor => self.cfg.max_or_operands,
+            _ => 2,
+        }
+    }
+
+    /// Number of 4 KiB page slices one operand of the given shape occupies.
+    pub fn slices(&self, elem_bits: u32, lanes: u32) -> u32 {
+        let bytes = (lanes as u64) * (elem_bits as u64) / 8;
+        bytes.div_ceil(self.cfg.page_bytes).max(1) as u32
+    }
+
+    /// Latency and energy of one in-flash vector operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::UnsupportedOperation`] if `op` is not in the
+    /// IFP operation set (six bitwise ops, add/sub/mul, copy).
+    pub fn op_cost(
+        &self,
+        op: OpType,
+        elem_bits: u32,
+        lanes: u32,
+        placement: IfpPlacement,
+    ) -> Result<IfpCost> {
+        if !self.supports(op) {
+            return Err(ConduitError::UnsupportedOperation {
+                op,
+                resource: Resource::Ifp,
+            });
+        }
+        let slices = self.slices(elem_bits, lanes);
+        let kib_per_slice = self.cfg.page_bytes as f64 / 1024.0;
+
+        // Relocation of scattered operands: read + DMA out + DMA in + program
+        // per relocated slice, serialized on the channel.
+        let relocations = placement.relocations() as u64 * slices as u64;
+        let reloc_latency = (self.cfg.t_read + self.cfg.t_dma * 2 + self.cfg.t_program)
+            * relocations;
+        let reloc_energy =
+            (self.cfg.e_read + self.cfg.e_dma * 2.0 + self.cfg.e_program) * relocations;
+
+        let (slice_latency, slice_energy) = self.slice_cost(op, elem_bits, kib_per_slice);
+
+        Ok(IfpCost {
+            latency: reloc_latency + slice_latency,
+            energy: reloc_energy + slice_energy * (slices as f64),
+            parallel_slices: slices,
+        })
+    }
+
+    /// Cost of processing a single 4 KiB page slice.
+    fn slice_cost(&self, op: OpType, elem_bits: u32, kib: f64) -> (Duration, Energy) {
+        let c = &self.cfg;
+        let sense = c.t_read;
+        let e_sense = c.e_read;
+        match op {
+            // Multi-wordline sensing computes AND/OR during a single sensing
+            // operation; NAND/NOR add one latch inversion.
+            OpType::And | OpType::Or => (sense + c.t_and_or, e_sense + c.e_and_or_per_kib * kib),
+            OpType::Nand | OpType::Nor => (
+                sense + c.t_and_or + c.t_latch_transfer,
+                e_sense + (c.e_and_or_per_kib + c.e_latch_per_kib) * kib,
+            ),
+            OpType::Not => (
+                sense + c.t_latch_transfer,
+                e_sense + c.e_latch_per_kib * kib,
+            ),
+            // XOR needs both operands sensed into separate latches.
+            OpType::Xor => (
+                sense * 2 + c.t_xor,
+                e_sense * 2.0 + c.e_xor_per_kib * kib,
+            ),
+            // Copy = read into the page buffer + program at the destination.
+            OpType::Copy => (sense + c.t_program, e_sense + c.e_program),
+            // Ares-Flash bit-serial addition: sense both operands, then one
+            // carry-propagate step per bit (three latch transfers + one
+            // AND/OR-equivalent sensing of the latches).
+            OpType::Add | OpType::Sub => {
+                let per_bit = c.t_latch_transfer * 3 + c.t_and_or;
+                let lat = sense * 2 + per_bit * elem_bits as u64;
+                let e = e_sense * 2.0
+                    + (c.e_latch_per_kib * 3.0 + c.e_and_or_per_kib) * kib * elem_bits as f64;
+                (lat, e)
+            }
+            // Shift-and-add multiplication: `elem_bits` partial-product
+            // add/shift rounds, with an operand round-trip through the flash
+            // controller every few rounds (the behaviour that makes IFP
+            // unattractive for multiply-heavy phases, §6.4).
+            OpType::Mul => {
+                let per_bit = c.t_latch_transfer * 4 + c.t_and_or;
+                let rounds = elem_bits as u64;
+                let dma_roundtrips = (rounds / 4).max(1);
+                let lat = sense * 2 + per_bit * rounds * rounds / 4 + c.t_dma * dma_roundtrips * 2;
+                let e = e_sense * 2.0
+                    + (c.e_latch_per_kib * 4.0 + c.e_and_or_per_kib)
+                        * kib
+                        * (rounds * rounds / 4) as f64
+                    + c.e_dma * (dma_roundtrips * 2) as f64;
+                (lat, e)
+            }
+            _ => unreachable!("unsupported ops are rejected before slice_cost"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> IfpModel {
+        IfpModel::new(&FlashConfig::default())
+    }
+
+    #[test]
+    fn unsupported_ops_are_rejected() {
+        let m = model();
+        for op in [OpType::Div, OpType::CmpEq, OpType::Shuffle, OpType::Scalar] {
+            let err = m
+                .op_cost(op, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+                .unwrap_err();
+            assert!(matches!(err, ConduitError::UnsupportedOperation { .. }));
+        }
+    }
+
+    #[test]
+    fn bitwise_and_costs_roughly_one_sensing() {
+        let m = model();
+        let cost = m
+            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 8 })
+            .unwrap();
+        // One sensing (22.5 us) + 20 ns compute.
+        assert!((cost.latency.as_us() - 22.52).abs() < 0.05);
+        assert_eq!(cost.parallel_slices, 4);
+    }
+
+    #[test]
+    fn xor_needs_two_sensings() {
+        let m = model();
+        let and = m
+            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        let xor = m
+            .op_cost(OpType::Xor, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        assert!(xor.latency > and.latency * 1.8);
+        assert!(xor.latency < and.latency * 2.3);
+    }
+
+    #[test]
+    fn arithmetic_ordering_add_lt_mul() {
+        let m = model();
+        let add = m
+            .op_cost(OpType::Add, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        let mul = m
+            .op_cost(OpType::Mul, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        let and = m
+            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        assert!(add.latency > and.latency);
+        assert!(mul.latency > add.latency * 2);
+    }
+
+    #[test]
+    fn narrower_elements_speed_up_arithmetic() {
+        let m = model();
+        let add32 = m
+            .op_cost(OpType::Add, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        let add8 = m
+            .op_cost(OpType::Add, 8, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        assert!(add8.latency < add32.latency);
+    }
+
+    #[test]
+    fn scattered_placement_adds_relocation_cost() {
+        let m = model();
+        let local = m
+            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        let scattered = m
+            .op_cost(OpType::And, 32, 4096, IfpPlacement::Scattered { operands: 2 })
+            .unwrap();
+        assert!(scattered.latency > local.latency + Duration::from_us(400.0));
+        assert!(scattered.energy > local.energy);
+    }
+
+    #[test]
+    fn energy_scales_with_slices_latency_does_not() {
+        let m = model();
+        let one_page = m
+            .op_cost(OpType::And, 32, 1024, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        let four_pages = m
+            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .unwrap();
+        assert_eq!(one_page.latency, four_pages.latency);
+        assert!(four_pages.energy > one_page.energy * 3.5);
+    }
+
+    #[test]
+    fn max_operand_limits_follow_flash_cosmos() {
+        let m = model();
+        assert_eq!(m.max_operands(OpType::And), 48);
+        assert_eq!(m.max_operands(OpType::Or), 4);
+        assert_eq!(m.max_operands(OpType::Add), 2);
+    }
+
+    #[test]
+    fn placement_accessors() {
+        assert_eq!(IfpPlacement::SameBlock { operands: 3 }.operands(), 3);
+        assert_eq!(IfpPlacement::Scattered { operands: 3 }.relocations(), 2);
+        assert_eq!(IfpPlacement::SamePlane { operands: 4 }.relocations(), 0);
+    }
+}

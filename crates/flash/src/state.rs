@@ -1,0 +1,339 @@
+//! Physical page state tracking.
+//!
+//! The flash translation layer needs to know, for every physical page,
+//! whether it is free (erased), holds valid data, or holds stale (invalid)
+//! data awaiting garbage collection; and, for every block, how many times it
+//! has been erased (for wear-leveling) and whether it has been retired as a
+//! bad block.
+
+use crate::geometry::FlashGeometry;
+use conduit_types::{ConduitError, FlashConfig, PhysicalPageAddr, Result};
+
+/// The lifecycle state of one physical flash page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PageState {
+    /// Erased and available for programming.
+    #[default]
+    Free,
+    /// Programmed and mapped by the FTL.
+    Valid,
+    /// Programmed but superseded; reclaimable by garbage collection.
+    Invalid,
+}
+
+/// Per-block bookkeeping: page states, erase count, and bad-block flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockInfo {
+    pages: Vec<PageState>,
+    erase_count: u64,
+    bad: bool,
+    /// Index of the next page that has never been written since the last
+    /// erase (flash blocks must be programmed sequentially).
+    write_pointer: u32,
+}
+
+impl BlockInfo {
+    fn new(pages_per_block: u32) -> Self {
+        BlockInfo {
+            pages: vec![PageState::Free; pages_per_block as usize],
+            erase_count: 0,
+            bad: false,
+            write_pointer: 0,
+        }
+    }
+
+    /// Number of times this block has been erased.
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Whether the block has been retired.
+    pub fn is_bad(&self) -> bool {
+        self.bad
+    }
+
+    /// Number of pages in each state: `(free, valid, invalid)`.
+    pub fn page_counts(&self) -> (u32, u32, u32) {
+        let mut free = 0;
+        let mut valid = 0;
+        let mut invalid = 0;
+        for p in &self.pages {
+            match p {
+                PageState::Free => free += 1,
+                PageState::Valid => valid += 1,
+                PageState::Invalid => invalid += 1,
+            }
+        }
+        (free, valid, invalid)
+    }
+
+    /// The next programmable page index, if the block is not full.
+    pub fn next_free_page(&self) -> Option<u32> {
+        if self.bad || self.write_pointer as usize >= self.pages.len() {
+            None
+        } else {
+            Some(self.write_pointer)
+        }
+    }
+}
+
+/// State of every physical page and block in the flash array.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_flash::{FlashState, PageState};
+/// use conduit_types::SsdConfig;
+///
+/// let cfg = SsdConfig::small_for_tests();
+/// let mut state = FlashState::new(&cfg.flash);
+/// let addr = state.geometry().addr_of(0);
+/// state.program(addr)?;
+/// assert_eq!(state.page_state(addr), PageState::Valid);
+/// # Ok::<(), conduit_types::ConduitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashState {
+    geometry: FlashGeometry,
+    blocks: Vec<BlockInfo>,
+}
+
+impl FlashState {
+    /// Creates a fully-erased flash array.
+    pub fn new(cfg: &FlashConfig) -> Self {
+        let geometry = FlashGeometry::new(cfg);
+        let blocks = (0..geometry.total_blocks())
+            .map(|_| BlockInfo::new(cfg.pages_per_block))
+            .collect();
+        FlashState { geometry, blocks }
+    }
+
+    /// The flash geometry.
+    pub fn geometry(&self) -> &FlashGeometry {
+        &self.geometry
+    }
+
+    /// Block bookkeeping for the block containing `addr`.
+    pub fn block(&self, addr: PhysicalPageAddr) -> &BlockInfo {
+        &self.blocks[self.geometry.block_index_of(addr) as usize]
+    }
+
+    /// Block bookkeeping by flat block index.
+    pub fn block_by_index(&self, block_index: u64) -> &BlockInfo {
+        &self.blocks[block_index as usize]
+    }
+
+    /// Total number of blocks.
+    pub fn total_blocks(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// The state of a single physical page.
+    pub fn page_state(&self, addr: PhysicalPageAddr) -> PageState {
+        let block = self.block(addr);
+        block.pages[addr.page as usize]
+    }
+
+    /// Marks a page as programmed with valid data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::Simulation`] if the page is not free, is not
+    /// the block's next sequential page, or the block is bad — all of which
+    /// indicate an FTL bug.
+    pub fn program(&mut self, addr: PhysicalPageAddr) -> Result<()> {
+        let idx = self.geometry.block_index_of(addr) as usize;
+        let block = &mut self.blocks[idx];
+        if block.bad {
+            return Err(ConduitError::simulation(format!(
+                "program to bad block at {addr}"
+            )));
+        }
+        if block.pages[addr.page as usize] != PageState::Free {
+            return Err(ConduitError::simulation(format!(
+                "program to non-free page at {addr}"
+            )));
+        }
+        if block.write_pointer != addr.page as u32 {
+            return Err(ConduitError::simulation(format!(
+                "out-of-order program at {addr} (write pointer {})",
+                block.write_pointer
+            )));
+        }
+        block.pages[addr.page as usize] = PageState::Valid;
+        block.write_pointer += 1;
+        Ok(())
+    }
+
+    /// Marks a valid page as invalid (its logical page was remapped).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::Simulation`] if the page is not valid.
+    pub fn invalidate(&mut self, addr: PhysicalPageAddr) -> Result<()> {
+        let idx = self.geometry.block_index_of(addr) as usize;
+        let block = &mut self.blocks[idx];
+        if block.pages[addr.page as usize] != PageState::Valid {
+            return Err(ConduitError::simulation(format!(
+                "invalidate of non-valid page at {addr}"
+            )));
+        }
+        block.pages[addr.page as usize] = PageState::Invalid;
+        Ok(())
+    }
+
+    /// Erases a block, freeing all its pages and bumping its erase count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::Simulation`] if the block still contains
+    /// valid pages (the FTL must relocate them first) or is bad.
+    pub fn erase_block(&mut self, block_index: u64) -> Result<()> {
+        let block = &mut self.blocks[block_index as usize];
+        if block.bad {
+            return Err(ConduitError::simulation("erase of bad block"));
+        }
+        if block.pages.iter().any(|p| *p == PageState::Valid) {
+            return Err(ConduitError::simulation(
+                "erase of block that still holds valid pages",
+            ));
+        }
+        for p in &mut block.pages {
+            *p = PageState::Free;
+        }
+        block.erase_count += 1;
+        block.write_pointer = 0;
+        Ok(())
+    }
+
+    /// Retires a block as bad. Its pages become unusable.
+    pub fn mark_bad(&mut self, block_index: u64) {
+        self.blocks[block_index as usize].bad = true;
+    }
+
+    /// Totals across the whole array: `(free, valid, invalid)` pages.
+    pub fn page_totals(&self) -> (u64, u64, u64) {
+        let mut totals = (0u64, 0u64, 0u64);
+        for b in &self.blocks {
+            let (f, v, i) = b.page_counts();
+            totals.0 += f as u64;
+            totals.1 += v as u64;
+            totals.2 += i as u64;
+        }
+        totals
+    }
+
+    /// Wear statistics across blocks: `(min, max, mean)` erase counts.
+    pub fn wear_stats(&self) -> (u64, u64, f64) {
+        let counts: Vec<u64> = self.blocks.iter().map(|b| b.erase_count).collect();
+        let min = counts.iter().copied().min().unwrap_or(0);
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let mean = if counts.is_empty() {
+            0.0
+        } else {
+            counts.iter().sum::<u64>() as f64 / counts.len() as f64
+        };
+        (min, max, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::SsdConfig;
+
+    fn state() -> FlashState {
+        FlashState::new(&SsdConfig::small_for_tests().flash)
+    }
+
+    #[test]
+    fn new_array_is_fully_free() {
+        let s = state();
+        let (free, valid, invalid) = s.page_totals();
+        assert_eq!(valid, 0);
+        assert_eq!(invalid, 0);
+        assert_eq!(free, s.geometry().total_pages());
+    }
+
+    #[test]
+    fn program_invalidate_erase_cycle() {
+        let mut s = state();
+        let a0 = s.geometry().addr_of(0);
+        let a1 = s.geometry().addr_of(1);
+        s.program(a0).unwrap();
+        s.program(a1).unwrap();
+        assert_eq!(s.page_state(a0), PageState::Valid);
+
+        s.invalidate(a0).unwrap();
+        s.invalidate(a1).unwrap();
+        assert_eq!(s.page_state(a0), PageState::Invalid);
+
+        let block = s.geometry().block_index_of(a0);
+        s.erase_block(block).unwrap();
+        assert_eq!(s.page_state(a0), PageState::Free);
+        assert_eq!(s.block_by_index(block).erase_count(), 1);
+    }
+
+    #[test]
+    fn out_of_order_program_is_rejected() {
+        let mut s = state();
+        let a5 = PhysicalPageAddr {
+            page: 5,
+            ..s.geometry().addr_of(0)
+        };
+        assert!(s.program(a5).is_err());
+    }
+
+    #[test]
+    fn double_program_is_rejected() {
+        let mut s = state();
+        let a0 = s.geometry().addr_of(0);
+        s.program(a0).unwrap();
+        assert!(s.program(a0).is_err());
+    }
+
+    #[test]
+    fn erase_with_valid_pages_is_rejected() {
+        let mut s = state();
+        let a0 = s.geometry().addr_of(0);
+        s.program(a0).unwrap();
+        let block = s.geometry().block_index_of(a0);
+        assert!(s.erase_block(block).is_err());
+    }
+
+    #[test]
+    fn bad_blocks_are_unusable() {
+        let mut s = state();
+        let a0 = s.geometry().addr_of(0);
+        let block = s.geometry().block_index_of(a0);
+        s.mark_bad(block);
+        assert!(s.block_by_index(block).is_bad());
+        assert!(s.program(a0).is_err());
+        assert!(s.erase_block(block).is_err());
+        assert_eq!(s.block_by_index(block).next_free_page(), None);
+    }
+
+    #[test]
+    fn wear_stats_track_erases() {
+        let mut s = state();
+        s.erase_block(0).unwrap();
+        s.erase_block(0).unwrap();
+        s.erase_block(1).unwrap();
+        let (min, max, mean) = s.wear_stats();
+        assert_eq!(min, 0);
+        assert_eq!(max, 2);
+        assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn block_page_counts() {
+        let mut s = state();
+        let a0 = s.geometry().addr_of(0);
+        s.program(a0).unwrap();
+        let (free, valid, invalid) = s.block(a0).page_counts();
+        assert_eq!(valid, 1);
+        assert_eq!(invalid, 0);
+        assert_eq!(free, s.geometry().pages_per_block() - 1);
+        assert_eq!(s.block(a0).next_free_page(), Some(1));
+    }
+}

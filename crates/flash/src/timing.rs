@@ -1,0 +1,129 @@
+//! Un-contended timing and energy of basic flash operations.
+
+use conduit_types::{Duration, Energy, FlashConfig};
+
+/// Latency and energy model for plain flash operations (read, program,
+/// erase, channel DMA). Values come straight from the [`FlashConfig`]
+/// (Table 2 of the paper, SLC-mode operation).
+///
+/// The model intentionally excludes queueing/contention: the event-driven
+/// simulator composes these service times with per-channel and per-die busy
+/// tracking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashTiming {
+    cfg: FlashConfig,
+}
+
+impl FlashTiming {
+    /// Builds a timing model from a flash configuration.
+    pub fn new(cfg: &FlashConfig) -> Self {
+        FlashTiming { cfg: cfg.clone() }
+    }
+
+    /// The underlying configuration.
+    pub fn config(&self) -> &FlashConfig {
+        &self.cfg
+    }
+
+    /// SLC-mode page sensing latency (`tR`).
+    pub fn read_page(&self) -> Duration {
+        self.cfg.t_read
+    }
+
+    /// SLC-mode page program latency (`tPROG`).
+    pub fn program_page(&self) -> Duration {
+        self.cfg.t_program
+    }
+
+    /// Block erase latency (`tBERS`).
+    pub fn erase_block(&self) -> Duration {
+        self.cfg.t_erase
+    }
+
+    /// Time to move one full page between the page buffer and the flash
+    /// controller over the channel.
+    pub fn page_dma(&self) -> Duration {
+        self.cfg.t_dma
+    }
+
+    /// Time to move `bytes` over a flash channel (partial-page DMA).
+    pub fn channel_transfer(&self, bytes: u64) -> Duration {
+        Duration::for_transfer(bytes, self.cfg.channel_bytes_per_sec)
+    }
+
+    /// Latency of transferring a page from the flash array to the SSD DRAM:
+    /// sensing + channel DMA. This is the dominant cost PuD-SSD pays for
+    /// flash-resident operands.
+    pub fn page_to_dram(&self) -> Duration {
+        self.cfg.t_read + self.cfg.t_dma
+    }
+
+    /// Energy of sensing one page.
+    pub fn read_energy(&self) -> Energy {
+        self.cfg.e_read
+    }
+
+    /// Energy of programming one page.
+    pub fn program_energy(&self) -> Energy {
+        self.cfg.e_program
+    }
+
+    /// Energy of one page DMA over the channel.
+    pub fn dma_energy(&self) -> Energy {
+        self.cfg.e_dma
+    }
+
+    /// Energy of moving `bytes` over a flash channel, scaled from the
+    /// per-page DMA energy.
+    pub fn transfer_energy(&self, bytes: u64) -> Energy {
+        self.cfg.e_dma * (bytes as f64 / self.cfg.page_bytes as f64)
+    }
+
+    /// Number of pages needed to hold `bytes`.
+    pub fn pages_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.cfg.page_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timing() -> FlashTiming {
+        FlashTiming::new(&FlashConfig::default())
+    }
+
+    #[test]
+    fn service_times_match_config() {
+        let t = timing();
+        assert_eq!(t.read_page(), Duration::from_us(22.5));
+        assert_eq!(t.program_page(), Duration::from_us(400.0));
+        assert_eq!(t.erase_block(), Duration::from_us(3500.0));
+        assert_eq!(t.page_dma(), Duration::from_us(3.3));
+        assert_eq!(t.page_to_dram(), Duration::from_us(25.8));
+    }
+
+    #[test]
+    fn channel_transfer_scales_with_bytes() {
+        let t = timing();
+        let one = t.channel_transfer(4096);
+        let four = t.channel_transfer(4 * 4096);
+        assert!((four.as_ns() - (one * 4).as_ns()).abs() < 0.01);
+    }
+
+    #[test]
+    fn transfer_energy_scales_with_bytes() {
+        let t = timing();
+        let half = t.transfer_energy(2048);
+        assert!((half.as_uj() - 7.656 / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        let t = timing();
+        assert_eq!(t.pages_for(1), 1);
+        assert_eq!(t.pages_for(4096), 1);
+        assert_eq!(t.pages_for(4097), 2);
+        assert_eq!(t.pages_for(16 * 1024), 4);
+    }
+}

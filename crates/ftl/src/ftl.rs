@@ -1,0 +1,439 @@
+//! The flash translation layer facade.
+//!
+//! [`Ftl`] combines address translation, NDP-aware allocation, garbage
+//! collection, wear-leveling, and the lazy coherence directory behind one
+//! interface that the device model in `conduit-sim` drives. All methods are
+//! bookkeeping only; the returned structures tell the simulator how much
+//! physical work (page reads/programs, erases) to charge.
+
+use std::collections::HashMap;
+
+use conduit_flash::FlashState;
+use conduit_types::{
+    ConduitError, LogicalPageId, PhysicalPageAddr, Result, SsdConfig,
+};
+
+use crate::alloc::PageAllocator;
+use crate::coherence::CoherenceDirectory;
+use crate::gc::{GarbageCollector, GcWork};
+use crate::l2p::{L2pTable, LookupKind};
+use crate::wear::{WearLeveler, WearReport};
+
+/// Cumulative FTL activity counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FtlStats {
+    /// Logical pages mapped for the first time (initial data placement).
+    pub pages_mapped: u64,
+    /// Out-of-place logical page rewrites.
+    pub rewrites: u64,
+    /// Valid pages relocated by garbage collection.
+    pub gc_relocations: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_erases: u64,
+    /// L2P mapping-cache hits.
+    pub l2p_hits: u64,
+    /// L2P mapping-cache misses.
+    pub l2p_misses: u64,
+}
+
+/// The flash translation layer.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_ftl::Ftl;
+/// use conduit_types::{LogicalPageId, SsdConfig};
+///
+/// let mut ftl = Ftl::new(&SsdConfig::small_for_tests())?;
+/// let pages = [LogicalPageId::new(0), LogicalPageId::new(1)];
+/// ftl.map_group(&pages, Some(0))?;
+/// let (a, _) = ftl.translate(pages[0])?;
+/// let (b, _) = ftl.translate(pages[1])?;
+/// assert!(a.same_block(b));
+/// # Ok::<(), conduit_types::ConduitError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ftl {
+    state: FlashState,
+    l2p: L2pTable,
+    alloc: PageAllocator,
+    coherence: CoherenceDirectory,
+    gc: GarbageCollector,
+    wear: WearLeveler,
+    reverse: HashMap<u64, LogicalPageId>,
+    logical_pages: u64,
+    stats: FtlStats,
+}
+
+impl Ftl {
+    /// Builds an FTL for the configured SSD with an empty mapping.
+    ///
+    /// A quarter of the SSD DRAM is budgeted for the DFTL mapping cache at
+    /// eight bytes per entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::InvalidConfig`] if the geometry is degenerate
+    /// (no pages).
+    pub fn new(cfg: &SsdConfig) -> Result<Self> {
+        let state = FlashState::new(&cfg.flash);
+        if state.geometry().total_pages() == 0 {
+            return Err(ConduitError::invalid_config("flash geometry has no pages"));
+        }
+        let cache_entries = (cfg.dram.capacity_bytes / 4 / 8).max(1024) as usize;
+        let alloc = PageAllocator::new(&state);
+        Ok(Ftl {
+            alloc,
+            l2p: L2pTable::new(cache_entries),
+            coherence: CoherenceDirectory::new(),
+            gc: GarbageCollector::new(0.0625),
+            wear: WearLeveler::new(64),
+            reverse: HashMap::new(),
+            logical_pages: cfg.logical_pages(),
+            state,
+            stats: FtlStats::default(),
+        })
+    }
+
+    /// The flash array state (page validity, wear, bad blocks).
+    pub fn flash_state(&self) -> &FlashState {
+        &self.state
+    }
+
+    /// The coherence directory.
+    pub fn coherence(&self) -> &CoherenceDirectory {
+        &self.coherence
+    }
+
+    /// Mutable access to the coherence directory.
+    pub fn coherence_mut(&mut self) -> &mut CoherenceDirectory {
+        &mut self.coherence
+    }
+
+    /// Cumulative activity counters.
+    pub fn stats(&self) -> FtlStats {
+        let mut s = self.stats;
+        let (hits, misses) = self.l2p.cache_stats();
+        s.l2p_hits = hits;
+        s.l2p_misses = misses;
+        s
+    }
+
+    /// Number of logical pages the device exposes.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// Fraction of physical pages currently free.
+    pub fn free_fraction(&self) -> f64 {
+        let (free, valid, invalid) = self.state.page_totals();
+        free as f64 / (free + valid + invalid) as f64
+    }
+
+    /// Current wear report.
+    pub fn wear_report(&self) -> WearReport {
+        self.wear.report(&self.state)
+    }
+
+    /// Whether `page` is inside the device's logical address space.
+    fn check_range(&self, page: LogicalPageId) -> Result<()> {
+        if page.index() >= self.logical_pages {
+            return Err(ConduitError::PageOutOfRange {
+                page,
+                capacity_pages: self.logical_pages,
+            });
+        }
+        Ok(())
+    }
+
+    /// Maps (initially places) logical pages with plane striping. Pages that
+    /// are already mapped are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range and allocation errors.
+    pub fn map_pages(
+        &mut self,
+        pages: &[LogicalPageId],
+        plane_hint: Option<u64>,
+    ) -> Result<()> {
+        for (i, &page) in pages.iter().enumerate() {
+            self.check_range(page)?;
+            if self.l2p.contains(page) {
+                continue;
+            }
+            let plane = plane_hint.map(|p| p + i as u64);
+            let addr = self.alloc.allocate(&mut self.state, plane)?;
+            self.install_mapping(page, addr);
+        }
+        Ok(())
+    }
+
+    /// Maps a group of logical pages **co-located in the same block** (the
+    /// Flash-Cosmos layout constraint for multi-operand in-flash compute).
+    /// Pages already mapped elsewhere keep their existing mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range and allocation errors.
+    pub fn map_group(&mut self, pages: &[LogicalPageId], plane: Option<u64>) -> Result<()> {
+        let unmapped: Vec<LogicalPageId> = pages
+            .iter()
+            .copied()
+            .filter(|p| !self.l2p.contains(*p))
+            .collect();
+        for &page in &unmapped {
+            self.check_range(page)?;
+        }
+        if unmapped.is_empty() {
+            return Ok(());
+        }
+        let addrs = self
+            .alloc
+            .allocate_group(&mut self.state, unmapped.len(), plane)?;
+        for (page, addr) in unmapped.into_iter().zip(addrs) {
+            self.install_mapping(page, addr);
+        }
+        Ok(())
+    }
+
+    fn install_mapping(&mut self, page: LogicalPageId, addr: PhysicalPageAddr) {
+        let flat = self.state.geometry().index_of(addr);
+        if let Some(prev) = self.l2p.update(page, addr) {
+            let prev_flat = self.state.geometry().index_of(prev);
+            self.reverse.remove(&prev_flat);
+            // Ignore errors: the previous page may already be invalid.
+            let _ = self.state.invalidate(prev);
+        }
+        self.reverse.insert(flat, page);
+        self.stats.pages_mapped += 1;
+    }
+
+    /// Translates a logical page, reporting whether the mapping entry was in
+    /// the DFTL cache (`true`) or had to be fetched from flash (`false`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::UnmappedPage`] for pages never written and
+    /// range errors for pages beyond the device capacity.
+    pub fn translate(&mut self, page: LogicalPageId) -> Result<(PhysicalPageAddr, bool)> {
+        self.check_range(page)?;
+        let (addr, kind) = self.l2p.lookup(page)?;
+        Ok((addr, kind == LookupKind::CacheHit))
+    }
+
+    /// Looks up a mapping without touching cache statistics.
+    pub fn peek(&self, page: LogicalPageId) -> Option<PhysicalPageAddr> {
+        self.l2p.peek(page)
+    }
+
+    /// Performs an out-of-place rewrite of `page` (the flash commit of a
+    /// dirty result page): the old physical page is invalidated, a fresh one
+    /// is programmed, and garbage collection runs if the free pool is low.
+    ///
+    /// Returns the new physical address and any garbage-collection work that
+    /// was triggered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range and allocation errors.
+    pub fn rewrite(&mut self, page: LogicalPageId) -> Result<(PhysicalPageAddr, GcWork)> {
+        self.check_range(page)?;
+        let addr = self.alloc.allocate(&mut self.state, None)?;
+        self.install_mapping(page, addr);
+        self.stats.rewrites += 1;
+        let gc = self.maybe_gc()?;
+        Ok((addr, gc))
+    }
+
+    /// Runs garbage collection if the free-page pool is below the threshold.
+    /// Repeats until the pool is healthy again or no victim is available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocation errors encountered while relocating valid pages.
+    pub fn maybe_gc(&mut self) -> Result<GcWork> {
+        let mut work = GcWork::default();
+        while self.gc.should_run(&self.state) {
+            let Some(victim) = self.gc.select_victim(&self.state) else {
+                break;
+            };
+            work.merge(self.collect_block(victim)?);
+        }
+        if work.erased_blocks > 0 {
+            self.stats.gc_relocations += work.relocated_pages;
+            self.stats.gc_erases += work.erased_blocks;
+            // Wear-leveling decision piggybacks on GC activity.
+            let _ = self.wear.needs_leveling(&self.state);
+        }
+        Ok(work)
+    }
+
+    /// Relocates the valid pages of `victim` and erases it.
+    fn collect_block(&mut self, victim: u64) -> Result<GcWork> {
+        let geo = self.state.geometry().clone();
+        let pages_per_block = geo.pages_per_block() as u64;
+        let first = victim * pages_per_block;
+        let mut relocated = 0;
+        for flat in first..first + pages_per_block {
+            let addr = geo.addr_of(flat);
+            if self.state.page_state(addr) == conduit_flash::PageState::Valid {
+                let Some(&lpid) = self.reverse.get(&flat) else {
+                    // A valid page with no logical owner (should not happen);
+                    // drop it so the erase can proceed.
+                    self.state.invalidate(addr)?;
+                    continue;
+                };
+                let new_addr = self.alloc.allocate(&mut self.state, None)?;
+                self.install_mapping(lpid, new_addr);
+                relocated += 1;
+            }
+        }
+        self.state.erase_block(victim)?;
+        Ok(GcWork {
+            relocated_pages: relocated,
+            erased_blocks: 1,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::DataLocation;
+
+    fn ftl() -> Ftl {
+        Ftl::new(&SsdConfig::small_for_tests()).unwrap()
+    }
+
+    fn pages(range: std::ops::Range<u64>) -> Vec<LogicalPageId> {
+        range.map(LogicalPageId::new).collect()
+    }
+
+    #[test]
+    fn unmapped_page_translation_fails() {
+        let mut f = ftl();
+        assert!(matches!(
+            f.translate(LogicalPageId::new(0)),
+            Err(ConduitError::UnmappedPage { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_page_is_rejected() {
+        let mut f = ftl();
+        let too_big = LogicalPageId::new(f.logical_pages());
+        assert!(matches!(
+            f.map_pages(&[too_big], None),
+            Err(ConduitError::PageOutOfRange { .. })
+        ));
+        assert!(f.translate(too_big).is_err());
+    }
+
+    #[test]
+    fn map_and_translate_roundtrip() {
+        let mut f = ftl();
+        let ps = pages(0..8);
+        f.map_pages(&ps, None).unwrap();
+        for p in &ps {
+            let (addr, _) = f.translate(*p).unwrap();
+            assert_eq!(f.peek(*p), Some(addr));
+        }
+        assert_eq!(f.stats().pages_mapped, 8);
+    }
+
+    #[test]
+    fn striped_mapping_spreads_planes() {
+        let mut f = ftl();
+        let ps = pages(0..8);
+        f.map_pages(&ps, None).unwrap();
+        let planes: std::collections::HashSet<u64> = ps
+            .iter()
+            .map(|p| {
+                let addr = f.peek(*p).unwrap();
+                f.flash_state().geometry().plane_index_of(addr)
+            })
+            .collect();
+        assert_eq!(planes.len(), 8);
+    }
+
+    #[test]
+    fn group_mapping_colocates_in_one_block() {
+        let mut f = ftl();
+        let ps = pages(10..14);
+        f.map_group(&ps, Some(1)).unwrap();
+        let addrs: Vec<PhysicalPageAddr> = ps.iter().map(|p| f.peek(*p).unwrap()).collect();
+        assert!(addrs.iter().all(|a| a.same_block(addrs[0])));
+    }
+
+    #[test]
+    fn group_mapping_respects_existing_mappings() {
+        let mut f = ftl();
+        f.map_pages(&pages(0..1), None).unwrap();
+        let before = f.peek(LogicalPageId::new(0)).unwrap();
+        f.map_group(&pages(0..4), Some(2)).unwrap();
+        assert_eq!(f.peek(LogicalPageId::new(0)), Some(before));
+        // The remaining three are still co-located with each other.
+        let rest: Vec<PhysicalPageAddr> =
+            pages(1..4).iter().map(|p| f.peek(*p).unwrap()).collect();
+        assert!(rest.iter().all(|a| a.same_block(rest[0])));
+    }
+
+    #[test]
+    fn rewrite_moves_the_page_and_invalidates_the_old_one() {
+        let mut f = ftl();
+        f.map_pages(&pages(0..1), None).unwrap();
+        let old = f.peek(LogicalPageId::new(0)).unwrap();
+        let (new, _) = f.rewrite(LogicalPageId::new(0)).unwrap();
+        assert_ne!(old, new);
+        assert_eq!(
+            f.flash_state().page_state(old),
+            conduit_flash::PageState::Invalid
+        );
+        assert_eq!(f.stats().rewrites, 1);
+    }
+
+    #[test]
+    fn gc_reclaims_space_under_pressure() {
+        // Tiny device so rewrites quickly exhaust free pages.
+        let mut cfg = SsdConfig::small_for_tests();
+        cfg.flash.channels = 1;
+        cfg.flash.dies_per_channel = 1;
+        cfg.flash.planes_per_die = 1;
+        cfg.flash.blocks_per_plane = 8;
+        cfg.flash.pages_per_block = 8;
+        let mut f = Ftl::new(&cfg).unwrap();
+        f.map_pages(&pages(0..8), None).unwrap();
+        let mut total_gc = GcWork::default();
+        for _ in 0..200 {
+            let (_, gc) = f.rewrite(LogicalPageId::new(3)).unwrap();
+            total_gc.merge(gc);
+        }
+        assert!(total_gc.erased_blocks > 0, "GC must have run");
+        assert!(f.free_fraction() > 0.0);
+        assert!(f.stats().gc_erases > 0);
+        // All logical pages remain translatable after GC moved things around.
+        for p in pages(0..8) {
+            f.translate(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn coherence_directory_is_reachable() {
+        let mut f = ftl();
+        f.coherence_mut()
+            .record_write(LogicalPageId::new(0), DataLocation::Dram);
+        assert_eq!(f.coherence().dirty_pages(), 1);
+    }
+
+    #[test]
+    fn l2p_cache_stats_flow_into_ftl_stats() {
+        let mut f = ftl();
+        f.map_pages(&pages(0..4), None).unwrap();
+        for _ in 0..3 {
+            f.translate(LogicalPageId::new(0)).unwrap();
+        }
+        let stats = f.stats();
+        assert!(stats.l2p_hits >= 3);
+    }
+}

@@ -1,0 +1,193 @@
+//! Garbage collection policy.
+//!
+//! Flash pages cannot be updated in place: every logical-page rewrite lands
+//! on a fresh physical page and leaves the old one *invalid*. When the pool
+//! of free pages runs low, the garbage collector picks a victim block
+//! (greedy: the block with the most invalid pages), relocates its remaining
+//! valid pages, and erases it.
+//!
+//! The policy (victim selection and thresholds) lives here; the mechanism
+//! (remapping and erasing) is driven by [`crate::Ftl::maybe_gc`] because it
+//! needs the L2P table and the allocator.
+
+use conduit_flash::FlashState;
+
+/// Work performed by one garbage-collection invocation, reported so the
+/// simulator can charge the corresponding flash reads, programs, and erases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcWork {
+    /// Valid pages that had to be read and re-programmed elsewhere.
+    pub relocated_pages: u64,
+    /// Blocks erased.
+    pub erased_blocks: u64,
+}
+
+impl GcWork {
+    /// Whether any physical work was performed.
+    pub fn is_empty(&self) -> bool {
+        self.relocated_pages == 0 && self.erased_blocks == 0
+    }
+
+    /// Accumulates another invocation's work into this one.
+    pub fn merge(&mut self, other: GcWork) {
+        self.relocated_pages += other.relocated_pages;
+        self.erased_blocks += other.erased_blocks;
+    }
+}
+
+/// Greedy garbage-collection policy.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_ftl::GarbageCollector;
+///
+/// let gc = GarbageCollector::new(0.1);
+/// assert_eq!(gc.free_threshold(), 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GarbageCollector {
+    free_threshold: f64,
+    invocations: u64,
+}
+
+impl GarbageCollector {
+    /// Creates a collector that triggers when the fraction of free pages
+    /// drops below `free_threshold`.
+    pub fn new(free_threshold: f64) -> Self {
+        GarbageCollector {
+            free_threshold: free_threshold.clamp(0.0, 1.0),
+            invocations: 0,
+        }
+    }
+
+    /// The configured free-page threshold.
+    pub fn free_threshold(&self) -> f64 {
+        self.free_threshold
+    }
+
+    /// Number of times a victim has been selected.
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Whether garbage collection should run given the array's current
+    /// occupancy.
+    pub fn should_run(&self, state: &FlashState) -> bool {
+        let (free, valid, invalid) = state.page_totals();
+        let total = free + valid + invalid;
+        if total == 0 {
+            return false;
+        }
+        (free as f64 / total as f64) < self.free_threshold && invalid > 0
+    }
+
+    /// Selects the victim block with the most invalid pages (ties broken by
+    /// the lowest block index). Returns `None` if no block has any invalid
+    /// page.
+    pub fn select_victim(&mut self, state: &FlashState) -> Option<u64> {
+        let mut best: Option<(u64, u32)> = None;
+        for block in 0..state.total_blocks() {
+            let info = state.block_by_index(block);
+            if info.is_bad() {
+                continue;
+            }
+            let (_, _, invalid) = info.page_counts();
+            if invalid == 0 {
+                continue;
+            }
+            match best {
+                Some((_, best_invalid)) if invalid <= best_invalid => {}
+                _ => best = Some((block, invalid)),
+            }
+        }
+        if best.is_some() {
+            self.invocations += 1;
+        }
+        best.map(|(block, _)| block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::SsdConfig;
+
+    fn tiny_state() -> FlashState {
+        let mut cfg = SsdConfig::small_for_tests();
+        cfg.flash.channels = 1;
+        cfg.flash.dies_per_channel = 1;
+        cfg.flash.planes_per_die = 1;
+        cfg.flash.blocks_per_plane = 4;
+        cfg.flash.pages_per_block = 4;
+        FlashState::new(&cfg.flash)
+    }
+
+    #[test]
+    fn empty_array_needs_no_gc() {
+        let state = tiny_state();
+        let gc = GarbageCollector::new(0.25);
+        assert!(!gc.should_run(&state));
+    }
+
+    #[test]
+    fn victim_is_block_with_most_invalid_pages() {
+        let mut state = tiny_state();
+        let geo = state.geometry().clone();
+        // Block 0: 1 invalid page; block 1: 2 invalid pages.
+        for i in 0..3 {
+            state.program(geo.addr_of(i)).unwrap();
+        }
+        state.invalidate(geo.addr_of(0)).unwrap();
+        for i in 4..8 {
+            state.program(geo.addr_of(i)).unwrap();
+        }
+        state.invalidate(geo.addr_of(4)).unwrap();
+        state.invalidate(geo.addr_of(5)).unwrap();
+
+        let mut gc = GarbageCollector::new(0.25);
+        assert_eq!(gc.select_victim(&state), Some(1));
+        assert_eq!(gc.invocations(), 1);
+    }
+
+    #[test]
+    fn no_victim_when_nothing_is_invalid() {
+        let mut state = tiny_state();
+        let geo = state.geometry().clone();
+        state.program(geo.addr_of(0)).unwrap();
+        let mut gc = GarbageCollector::new(0.25);
+        assert_eq!(gc.select_victim(&state), None);
+        assert_eq!(gc.invocations(), 0);
+    }
+
+    #[test]
+    fn should_run_when_free_pool_is_low() {
+        let mut state = tiny_state();
+        let geo = state.geometry().clone();
+        // Fill 15 of 16 pages, invalidating a few.
+        for i in 0..15 {
+            state.program(geo.addr_of(i)).unwrap();
+        }
+        state.invalidate(geo.addr_of(0)).unwrap();
+        state.invalidate(geo.addr_of(1)).unwrap();
+        let gc = GarbageCollector::new(0.25);
+        assert!(gc.should_run(&state));
+    }
+
+    #[test]
+    fn gc_work_merge() {
+        let mut total = GcWork::default();
+        assert!(total.is_empty());
+        total.merge(GcWork {
+            relocated_pages: 3,
+            erased_blocks: 1,
+        });
+        total.merge(GcWork {
+            relocated_pages: 2,
+            erased_blocks: 1,
+        });
+        assert_eq!(total.relocated_pages, 5);
+        assert_eq!(total.erased_blocks, 2);
+        assert!(!total.is_empty());
+    }
+}

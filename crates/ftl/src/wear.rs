@@ -1,0 +1,131 @@
+//! Wear-leveling policy.
+//!
+//! Flash blocks endure a limited number of program/erase cycles, so the FTL
+//! distributes erases as evenly as possible. The simulator only needs the
+//! policy level: wear statistics, an imbalance metric, and a decision of
+//! whether a cold/hot block swap should be scheduled.
+
+use conduit_flash::FlashState;
+
+/// Snapshot of block wear across the array.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WearReport {
+    /// Lowest per-block erase count.
+    pub min_erases: u64,
+    /// Highest per-block erase count.
+    pub max_erases: u64,
+    /// Mean per-block erase count.
+    pub mean_erases: f64,
+    /// `max - min`, the imbalance the leveler tries to bound.
+    pub spread: u64,
+}
+
+/// Threshold-based wear-leveling policy.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_ftl::WearLeveler;
+///
+/// let leveler = WearLeveler::new(16);
+/// assert_eq!(leveler.max_spread(), 16);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WearLeveler {
+    max_spread: u64,
+    swaps_scheduled: u64,
+}
+
+impl WearLeveler {
+    /// Creates a leveler that tolerates an erase-count spread of
+    /// `max_spread` before scheduling a swap.
+    pub fn new(max_spread: u64) -> Self {
+        WearLeveler {
+            max_spread: max_spread.max(1),
+            swaps_scheduled: 0,
+        }
+    }
+
+    /// The tolerated erase-count spread.
+    pub fn max_spread(&self) -> u64 {
+        self.max_spread
+    }
+
+    /// Number of cold/hot swaps this leveler has scheduled.
+    pub fn swaps_scheduled(&self) -> u64 {
+        self.swaps_scheduled
+    }
+
+    /// Produces a wear report for the array.
+    pub fn report(&self, state: &FlashState) -> WearReport {
+        let (min, max, mean) = state.wear_stats();
+        WearReport {
+            min_erases: min,
+            max_erases: max,
+            mean_erases: mean,
+            spread: max - min,
+        }
+    }
+
+    /// Whether the wear imbalance exceeds the tolerated spread and a swap of
+    /// a cold block into the hot allocation pool should be scheduled.
+    /// Records the decision.
+    pub fn needs_leveling(&mut self, state: &FlashState) -> bool {
+        let report = self.report(state);
+        let needed = report.spread > self.max_spread;
+        if needed {
+            self.swaps_scheduled += 1;
+        }
+        needed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::SsdConfig;
+
+    fn state() -> FlashState {
+        let mut cfg = SsdConfig::small_for_tests();
+        cfg.flash.channels = 1;
+        cfg.flash.dies_per_channel = 1;
+        cfg.flash.planes_per_die = 1;
+        cfg.flash.blocks_per_plane = 4;
+        cfg.flash.pages_per_block = 4;
+        FlashState::new(&cfg.flash)
+    }
+
+    #[test]
+    fn fresh_array_is_balanced() {
+        let s = state();
+        let mut leveler = WearLeveler::new(4);
+        let report = leveler.report(&s);
+        assert_eq!(report.spread, 0);
+        assert!(!leveler.needs_leveling(&s));
+        assert_eq!(leveler.swaps_scheduled(), 0);
+    }
+
+    #[test]
+    fn imbalance_triggers_leveling() {
+        let mut s = state();
+        for _ in 0..6 {
+            s.erase_block(0).unwrap();
+        }
+        let mut leveler = WearLeveler::new(4);
+        let report = leveler.report(&s);
+        assert_eq!(report.max_erases, 6);
+        assert_eq!(report.min_erases, 0);
+        assert_eq!(report.spread, 6);
+        assert!(leveler.needs_leveling(&s));
+        assert_eq!(leveler.swaps_scheduled(), 1);
+    }
+
+    #[test]
+    fn spread_within_threshold_is_tolerated() {
+        let mut s = state();
+        s.erase_block(0).unwrap();
+        s.erase_block(0).unwrap();
+        let mut leveler = WearLeveler::new(4);
+        assert!(!leveler.needs_leveling(&s));
+    }
+}

@@ -1,0 +1,143 @@
+//! Deterministic discrete-event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use conduit_types::SimTime;
+
+/// A time-ordered event queue.
+///
+/// Events scheduled for the same time are delivered in the order they were
+/// scheduled (FIFO), which keeps simulations deterministic regardless of heap
+/// internals.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_sim::EventQueue;
+/// use conduit_types::{Duration, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::ZERO + Duration::from_ns(5.0), "later");
+/// q.schedule(SimTime::ZERO, "now");
+/// assert_eq!(q.pop().unwrap().1, "now");
+/// assert_eq!(q.pop().unwrap().1, "later");
+/// assert!(q.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::Duration;
+
+    fn at(ns: f64) -> SimTime {
+        SimTime::ZERO + Duration::from_ns(ns)
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(at(30.0), 3);
+        q.schedule(at(10.0), 1);
+        q.schedule(at(20.0), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(at(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn next_time_and_len() {
+        let mut q = EventQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        q.schedule(at(7.0), "x");
+        q.schedule(at(3.0), "y");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_time(), Some(at(3.0)));
+    }
+}

@@ -1,0 +1,177 @@
+//! Analytical host CPU and GPU models.
+//!
+//! The paper runs host baselines on a real Xeon Gold 5118 and an A100 GPU and
+//! combines them with simulated SSD-to-host transfers. Here both processors
+//! are modelled analytically with a roofline: per vector instruction the
+//! latency is the larger of the compute-bound time (SIMD lanes × per-op
+//! cycles) and the memory-bound time (operand bytes over the main-memory /
+//! HBM bandwidth). The host↔SSD transfer itself is charged separately by the
+//! runtime engine through the device's PCIe link model.
+
+use conduit_types::{Duration, Energy, HostCpuConfig, HostGpuConfig, OpType};
+
+fn op_cycle_weight(op: OpType) -> f64 {
+    match op {
+        OpType::Mul | OpType::ReduceAdd | OpType::ReduceMax => 2.0,
+        OpType::Div => 10.0,
+        OpType::Lookup | OpType::Shuffle => 2.0,
+        OpType::Scalar => 4.0,
+        _ => 1.0,
+    }
+}
+
+fn operand_bytes(op: OpType, elem_bits: u32, lanes: u32) -> u64 {
+    let vec_bytes = (lanes as u64) * (elem_bits as u64) / 8;
+    // Sources + one destination stream.
+    (op.arity() as u64 + 1) * vec_bytes
+}
+
+/// Roofline model of the host CPU.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_sim::HostCpuModel;
+/// use conduit_types::{HostCpuConfig, OpType};
+///
+/// let cpu = HostCpuModel::new(&HostCpuConfig::default());
+/// let add = cpu.compute_time(OpType::Add, 32, 4096);
+/// let div = cpu.compute_time(OpType::Div, 32, 4096);
+/// assert!(div >= add);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostCpuModel {
+    cfg: HostCpuConfig,
+}
+
+impl HostCpuModel {
+    /// Builds the model from the CPU configuration.
+    pub fn new(cfg: &HostCpuConfig) -> Self {
+        HostCpuModel { cfg: cfg.clone() }
+    }
+
+    /// Latency of one vector instruction once its operands are resident in
+    /// host memory.
+    pub fn compute_time(&self, op: OpType, elem_bits: u32, lanes: u32) -> Duration {
+        let c = &self.cfg;
+        let lanes_per_uop = (c.simd_bytes * 8 / elem_bits).max(1) as f64;
+        let cycles = if op == OpType::Scalar {
+            // Control-heavy scalar regions run on one core without SIMD.
+            lanes as f64 * op_cycle_weight(op)
+        } else {
+            (lanes as f64 / lanes_per_uop).ceil() * op_cycle_weight(op)
+                / (c.uops_per_cycle * c.cores as f64)
+        };
+        let compute = Duration::from_secs(cycles / c.freq_hz);
+        let memory =
+            Duration::for_transfer(operand_bytes(op, elem_bits, lanes), c.mem_bytes_per_sec);
+        compute.max(memory)
+    }
+
+    /// Energy the CPU package consumes while busy for `busy` time.
+    pub fn energy(&self, busy: Duration) -> Energy {
+        Energy::from_power(self.cfg.power_w, busy)
+    }
+}
+
+/// Roofline model of the host GPU.
+///
+/// Consecutive vector instructions are assumed to be fused into kernels of
+/// [`HostGpuModel::OPS_PER_KERNEL`] instructions, so the kernel-launch
+/// overhead is amortized rather than paid per instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostGpuModel {
+    cfg: HostGpuConfig,
+}
+
+impl HostGpuModel {
+    /// Number of vector instructions assumed to be fused per kernel launch.
+    pub const OPS_PER_KERNEL: u64 = 256;
+
+    /// Builds the model from the GPU configuration.
+    pub fn new(cfg: &HostGpuConfig) -> Self {
+        HostGpuModel { cfg: cfg.clone() }
+    }
+
+    /// Latency of one vector instruction once its operands are resident in
+    /// GPU memory.
+    pub fn compute_time(&self, op: OpType, elem_bits: u32, lanes: u32) -> Duration {
+        let c = &self.cfg;
+        let total_lanes = (c.sms as f64) * (c.lanes_per_sm as f64) * (32.0 / elem_bits as f64);
+        let waves = if op == OpType::Scalar {
+            // Control-heavy code leaves most of the GPU idle.
+            lanes as f64 / c.lanes_per_sm as f64
+        } else {
+            (lanes as f64 / total_lanes).ceil()
+        };
+        let cycles = waves * op_cycle_weight(op) * 4.0;
+        let compute = Duration::from_secs(cycles / c.freq_hz);
+        let memory =
+            Duration::for_transfer(operand_bytes(op, elem_bits, lanes), c.mem_bytes_per_sec);
+        let launch = Duration::from_ps(c.kernel_launch.as_ps() / Self::OPS_PER_KERNEL);
+        compute.max(memory) + launch
+    }
+
+    /// Energy the GPU board consumes while busy for `busy` time.
+    pub fn energy(&self, busy: Duration) -> Energy {
+        Energy::from_power(self.cfg.power_w, busy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_costs_order_by_op_weight() {
+        let cpu = HostCpuModel::new(&HostCpuConfig::default());
+        let add = cpu.compute_time(OpType::Add, 32, 4096);
+        let div = cpu.compute_time(OpType::Div, 32, 4096);
+        let scalar = cpu.compute_time(OpType::Scalar, 32, 4096);
+        // Simple vector ops are memory-bound, so divide can only tie or lose.
+        assert!(div >= add);
+        assert!(scalar > add);
+    }
+
+    #[test]
+    fn cpu_is_memory_bound_for_simple_ops() {
+        let cpu = HostCpuModel::new(&HostCpuConfig::default());
+        // 3 × 16 KiB at 19.2 GB/s ≈ 2.56 us, far above the SIMD compute time.
+        let t = cpu.compute_time(OpType::Xor, 32, 4096);
+        assert!((t.as_us() - 2.56).abs() < 0.1);
+    }
+
+    #[test]
+    fn gpu_is_faster_than_cpu_for_data_parallel_ops() {
+        let cpu = HostCpuModel::new(&HostCpuConfig::default());
+        let gpu = HostGpuModel::new(&HostGpuConfig::default());
+        for op in [OpType::Add, OpType::Mul, OpType::Xor] {
+            assert!(gpu.compute_time(op, 32, 4096) < cpu.compute_time(op, 32, 4096));
+        }
+    }
+
+    #[test]
+    fn gpu_is_poor_at_scalar_regions() {
+        let gpu = HostGpuModel::new(&HostGpuConfig::default());
+        let scalar = gpu.compute_time(OpType::Scalar, 32, 4096);
+        let vector = gpu.compute_time(OpType::Add, 32, 4096);
+        assert!(scalar > vector * 4);
+    }
+
+    #[test]
+    fn energies_scale_with_busy_time_and_power() {
+        let cpu = HostCpuModel::new(&HostCpuConfig::default());
+        let gpu = HostGpuModel::new(&HostGpuConfig::default());
+        let t = Duration::from_us(10.0);
+        assert!(gpu.energy(t) > cpu.energy(t));
+        assert_eq!(cpu.energy(Duration::ZERO), Energy::ZERO);
+    }
+
+    #[test]
+    fn narrow_elements_do_not_increase_cost() {
+        let gpu = HostGpuModel::new(&HostGpuConfig::default());
+        let wide = gpu.compute_time(OpType::Add, 32, 4096);
+        let narrow = gpu.compute_time(OpType::Add, 8, 4096);
+        assert!(narrow <= wide);
+    }
+}

@@ -1,0 +1,293 @@
+//! Contended-resource timelines.
+//!
+//! Every shared unit in the SSD (a flash channel, a flash die, a DRAM bank,
+//! the DRAM bus, a controller core, the PCIe link) is modelled as a
+//! [`SharedResource`]: a single server whose next free time advances as work
+//! is reserved on it. Groups of interchangeable units (dies, banks, cores)
+//! form a [`ResourcePool`] that always serves new work on the
+//! earliest-available unit.
+//!
+//! This is the mechanism behind two of Conduit's cost-function features:
+//! the *resource queueing delay* (how long until the unit is free) and the
+//! implicit contention captured in data-movement times.
+
+use conduit_types::{Duration, SimTime};
+
+/// A single contended unit with a busy-until timeline.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_sim::SharedResource;
+/// use conduit_types::{Duration, SimTime};
+///
+/// let mut ch = SharedResource::new("flash-channel-0");
+/// let (s1, e1) = ch.reserve(SimTime::ZERO, Duration::from_us(3.0));
+/// let (s2, _e2) = ch.reserve(SimTime::ZERO, Duration::from_us(3.0));
+/// assert_eq!(s1, SimTime::ZERO);
+/// assert_eq!(s2, e1); // second request queues behind the first
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedResource {
+    name: String,
+    busy_until: SimTime,
+    total_busy: Duration,
+    completed: u64,
+}
+
+impl SharedResource {
+    /// Creates an idle resource.
+    pub fn new(name: impl Into<String>) -> Self {
+        SharedResource {
+            name: name.into(),
+            busy_until: SimTime::ZERO,
+            total_busy: Duration::ZERO,
+            completed: 0,
+        }
+    }
+
+    /// The resource's name (for reports and debugging).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Reserves the resource for `service` time, starting no earlier than
+    /// `earliest`. Returns the actual `(start, end)` interval.
+    pub fn reserve(&mut self, earliest: SimTime, service: Duration) -> (SimTime, SimTime) {
+        let start = earliest.max(self.busy_until);
+        let end = start + service;
+        self.busy_until = end;
+        self.total_busy += service;
+        self.completed += 1;
+        (start, end)
+    }
+
+    /// How long a request arriving at `at` would wait before the resource is
+    /// free (the queueing delay feature of the cost function).
+    pub fn queue_delay(&self, at: SimTime) -> Duration {
+        self.busy_until.saturating_since(at)
+    }
+
+    /// The time at which the resource next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total busy time accumulated so far.
+    pub fn total_busy(&self) -> Duration {
+        self.total_busy
+    }
+
+    /// Number of reservations served.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Fraction of the interval `[ZERO, now]` this resource spent busy.
+    /// Returns 0 when `now` is time zero.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let elapsed = now.saturating_since(SimTime::ZERO);
+        if elapsed.is_zero() {
+            0.0
+        } else {
+            (self.total_busy.as_ns() / elapsed.as_ns()).min(1.0)
+        }
+    }
+}
+
+/// A pool of interchangeable [`SharedResource`] units (e.g. the flash dies,
+/// the DRAM banks, or the ISP compute cores).
+///
+/// # Examples
+///
+/// ```
+/// use conduit_sim::ResourcePool;
+/// use conduit_types::{Duration, SimTime};
+///
+/// let mut dies = ResourcePool::new("die", 2);
+/// // Two requests run in parallel on different units, the third queues.
+/// let (_, e1, _) = dies.reserve(SimTime::ZERO, Duration::from_us(10.0));
+/// let (_, e2, _) = dies.reserve(SimTime::ZERO, Duration::from_us(10.0));
+/// let (s3, _, _) = dies.reserve(SimTime::ZERO, Duration::from_us(10.0));
+/// assert_eq!(e1, e2);
+/// assert_eq!(s3, e1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResourcePool {
+    units: Vec<SharedResource>,
+}
+
+impl ResourcePool {
+    /// Creates a pool of `count` idle units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn new(name: &str, count: usize) -> Self {
+        assert!(count > 0, "resource pool must have at least one unit");
+        ResourcePool {
+            units: (0..count)
+                .map(|i| SharedResource::new(format!("{name}-{i}")))
+                .collect(),
+        }
+    }
+
+    /// Number of units in the pool.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the pool has no units (never true; pools are non-empty).
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// Reserves the earliest-available unit for `service` time starting no
+    /// earlier than `earliest`. Returns `(start, end, unit_index)`.
+    pub fn reserve(&mut self, earliest: SimTime, service: Duration) -> (SimTime, SimTime, usize) {
+        let idx = self.earliest_unit(earliest);
+        let (start, end) = self.units[idx].reserve(earliest, service);
+        (start, end, idx)
+    }
+
+    /// Reserves a *specific* unit (e.g. the die where an operand physically
+    /// lives). Returns `(start, end)`.
+    pub fn reserve_unit(
+        &mut self,
+        unit: usize,
+        earliest: SimTime,
+        service: Duration,
+    ) -> (SimTime, SimTime) {
+        let idx = unit % self.units.len();
+        self.units[idx].reserve(earliest, service)
+    }
+
+    /// Queueing delay a request arriving at `at` would see on the
+    /// earliest-available unit.
+    pub fn queue_delay(&self, at: SimTime) -> Duration {
+        self.units
+            .iter()
+            .map(|u| u.queue_delay(at))
+            .min()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Queueing delay on a specific unit.
+    pub fn queue_delay_on(&self, unit: usize, at: SimTime) -> Duration {
+        self.units[unit % self.units.len()].queue_delay(at)
+    }
+
+    /// Number of units that are free at `at`.
+    pub fn free_units(&self, at: SimTime) -> usize {
+        self.units.iter().filter(|u| u.free_at() <= at).count()
+    }
+
+    /// Mean utilization of the pool over `[ZERO, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        if self.units.is_empty() {
+            return 0.0;
+        }
+        self.units.iter().map(|u| u.utilization(now)).sum::<f64>() / self.units.len() as f64
+    }
+
+    /// Total busy time across all units.
+    pub fn total_busy(&self) -> Duration {
+        self.units.iter().map(|u| u.total_busy()).sum()
+    }
+
+    /// Total reservations served across all units.
+    pub fn completed(&self) -> u64 {
+        self.units.iter().map(|u| u.completed()).sum()
+    }
+
+    fn earliest_unit(&self, at: SimTime) -> usize {
+        self.units
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, u)| u.free_at().max(at))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: f64) -> Duration {
+        Duration::from_us(v)
+    }
+
+    #[test]
+    fn shared_resource_serializes_work() {
+        let mut r = SharedResource::new("ch");
+        let (s1, e1) = r.reserve(SimTime::ZERO, us(5.0));
+        let (s2, e2) = r.reserve(SimTime::ZERO, us(5.0));
+        assert_eq!(s1, SimTime::ZERO);
+        assert_eq!(s2, e1);
+        assert_eq!(e2.saturating_since(SimTime::ZERO), us(10.0));
+        assert_eq!(r.total_busy(), us(10.0));
+        assert_eq!(r.completed(), 2);
+    }
+
+    #[test]
+    fn queue_delay_reflects_backlog() {
+        let mut r = SharedResource::new("ch");
+        assert_eq!(r.queue_delay(SimTime::ZERO), Duration::ZERO);
+        r.reserve(SimTime::ZERO, us(8.0));
+        assert_eq!(r.queue_delay(SimTime::ZERO), us(8.0));
+        assert_eq!(r.queue_delay(SimTime::ZERO + us(3.0)), us(5.0));
+        assert_eq!(r.queue_delay(SimTime::ZERO + us(20.0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn idle_gaps_do_not_count_as_busy() {
+        let mut r = SharedResource::new("ch");
+        r.reserve(SimTime::ZERO, us(2.0));
+        // Next request arrives much later; the gap is idle.
+        r.reserve(SimTime::ZERO + us(100.0), us(2.0));
+        assert_eq!(r.total_busy(), us(4.0));
+        let util = r.utilization(SimTime::ZERO + us(102.0));
+        assert!((util - 4.0 / 102.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pool_spreads_work_across_units() {
+        let mut p = ResourcePool::new("die", 4);
+        for _ in 0..4 {
+            p.reserve(SimTime::ZERO, us(10.0));
+        }
+        assert_eq!(p.free_units(SimTime::ZERO), 0);
+        assert_eq!(p.queue_delay(SimTime::ZERO), us(10.0));
+        assert_eq!(p.completed(), 4);
+        // A fifth request queues on whichever unit frees first.
+        let (s, _, _) = p.reserve(SimTime::ZERO, us(1.0));
+        assert_eq!(s, SimTime::ZERO + us(10.0));
+    }
+
+    #[test]
+    fn pool_specific_unit_reservation() {
+        let mut p = ResourcePool::new("bank", 2);
+        p.reserve_unit(0, SimTime::ZERO, us(5.0));
+        assert_eq!(p.queue_delay_on(0, SimTime::ZERO), us(5.0));
+        assert_eq!(p.queue_delay_on(1, SimTime::ZERO), Duration::ZERO);
+        // Unit index wraps.
+        p.reserve_unit(3, SimTime::ZERO, us(2.0));
+        assert_eq!(p.queue_delay_on(1, SimTime::ZERO), us(2.0));
+    }
+
+    #[test]
+    fn pool_utilization_averages_units() {
+        let mut p = ResourcePool::new("core", 2);
+        p.reserve_unit(0, SimTime::ZERO, us(10.0));
+        let util = p.utilization(SimTime::ZERO + us(10.0));
+        assert!((util - 0.5).abs() < 1e-9);
+        assert_eq!(p.total_busy(), us(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn empty_pool_panics() {
+        let _ = ResourcePool::new("x", 0);
+    }
+}

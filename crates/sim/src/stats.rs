@@ -1,0 +1,212 @@
+//! Latency statistics and execution-time breakdowns.
+
+use conduit_types::Duration;
+
+/// Collects per-instruction (or per-request) latencies and answers
+/// mean/percentile queries — the basis of the tail-latency comparison in
+/// Figure 8 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_sim::LatencyStats;
+/// use conduit_types::Duration;
+///
+/// let mut stats = LatencyStats::new();
+/// for i in 1..=100 {
+///     stats.record(Duration::from_us(i as f64));
+/// }
+/// assert_eq!(stats.percentile(0.99), Duration::from_us(99.0));
+/// assert_eq!(stats.max(), Duration::from_us(100.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LatencyStats {
+    samples: Vec<Duration>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        LatencyStats::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        self.samples.push(latency);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency (zero if empty).
+    pub fn mean(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let total: Duration = self.samples.iter().copied().sum();
+        total / self.samples.len() as u64
+    }
+
+    /// Maximum latency (zero if empty).
+    pub fn max(&self) -> Duration {
+        self.samples.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// The `p`-quantile latency (e.g. `0.99` for the 99th percentile,
+    /// `0.9999` for the 99.99th). Returns zero if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `p` is outside `[0, 1]`.
+    pub fn percentile(&mut self, p: f64) -> Duration {
+        debug_assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((self.samples.len() as f64) * p).ceil() as usize;
+        let idx = rank.clamp(1, self.samples.len()) - 1;
+        self.samples[idx]
+    }
+
+    /// All samples recorded so far (unsorted order is not guaranteed once a
+    /// percentile has been queried).
+    pub fn samples(&self) -> &[Duration] {
+        &self.samples
+    }
+}
+
+/// Where an instruction's end-to-end time went — the stacked-bar breakdown of
+/// Figure 4 (compute, host↔SSD data movement, SSD-internal data movement,
+/// flash array reads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CostBreakdown {
+    /// Time spent computing on the chosen execution site.
+    pub compute: Duration,
+    /// Time spent moving data between host memory and the SSD.
+    pub host_data_movement: Duration,
+    /// Time spent moving data between SSD-internal locations (flash channel
+    /// DMA, DRAM bus, controller SRAM staging).
+    pub internal_data_movement: Duration,
+    /// Time spent sensing (reading) or programming the flash array itself.
+    pub flash_array: Duration,
+}
+
+impl CostBreakdown {
+    /// An all-zero breakdown.
+    pub fn zero() -> Self {
+        CostBreakdown::default()
+    }
+
+    /// Total attributed time.
+    pub fn total(&self) -> Duration {
+        self.compute + self.host_data_movement + self.internal_data_movement + self.flash_array
+    }
+
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: CostBreakdown) {
+        self.compute += other.compute;
+        self.host_data_movement += other.host_data_movement;
+        self.internal_data_movement += other.internal_data_movement;
+        self.flash_array += other.flash_array;
+    }
+
+    /// Fractions of the total per category, in the order
+    /// `(compute, host DM, internal DM, flash array)`. All zeros if empty.
+    pub fn fractions(&self) -> (f64, f64, f64, f64) {
+        let total = self.total().as_ns();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            self.compute.as_ns() / total,
+            self.host_data_movement.as_ns() / total,
+            self.internal_data_movement.as_ns() / total,
+            self.flash_array.as_ns() / total,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_max() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_us(1.0));
+        s.record(Duration::from_us(3.0));
+        assert_eq!(s.mean(), Duration::from_us(2.0));
+        assert_eq!(s.max(), Duration::from_us(3.0));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let mut s = LatencyStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), Duration::ZERO);
+        assert_eq!(s.max(), Duration::ZERO);
+        assert_eq!(s.percentile(0.99), Duration::ZERO);
+    }
+
+    #[test]
+    fn percentiles_pick_correct_ranks() {
+        let mut s = LatencyStats::new();
+        for i in 1..=1000 {
+            s.record(Duration::from_ns(i as f64));
+        }
+        assert_eq!(s.percentile(0.5), Duration::from_ns(500.0));
+        assert_eq!(s.percentile(0.99), Duration::from_ns(990.0));
+        assert_eq!(s.percentile(0.9999), Duration::from_ns(1000.0));
+        assert_eq!(s.percentile(1.0), Duration::from_ns(1000.0));
+        assert_eq!(s.percentile(0.0), Duration::from_ns(1.0));
+    }
+
+    #[test]
+    fn percentile_after_more_records_resorts() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_ns(10.0));
+        assert_eq!(s.percentile(1.0), Duration::from_ns(10.0));
+        s.record(Duration::from_ns(5.0));
+        assert_eq!(s.percentile(0.5), Duration::from_ns(5.0));
+    }
+
+    #[test]
+    fn breakdown_accumulates_and_fractions() {
+        let mut b = CostBreakdown::zero();
+        b.accumulate(CostBreakdown {
+            compute: Duration::from_us(1.0),
+            host_data_movement: Duration::from_us(2.0),
+            internal_data_movement: Duration::from_us(3.0),
+            flash_array: Duration::from_us(4.0),
+        });
+        b.accumulate(CostBreakdown {
+            compute: Duration::from_us(1.0),
+            ..CostBreakdown::zero()
+        });
+        assert_eq!(b.total(), Duration::from_us(11.0));
+        let (c, h, i, f) = b.fractions();
+        assert!((c - 2.0 / 11.0).abs() < 1e-9);
+        assert!((h - 2.0 / 11.0).abs() < 1e-9);
+        assert!((i - 3.0 / 11.0).abs() < 1e-9);
+        assert!((f - 4.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_fractions_are_zero() {
+        assert_eq!(CostBreakdown::zero().fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Logical and physical storage addresses.
+//!
+//! All application data is addressed at **logical-page granularity** (§4.4 of
+//! the paper): the flash translation layer maps every [`LogicalPageId`] to a
+//! [`PhysicalPageAddr`] inside the flash geometry (channel → chip → die →
+//! plane → block → page). Vector operands refer to logical pages; the FTL and
+//! the coherence machinery decide where the backing bytes currently live.
+
+use std::fmt;
+
+/// Size of a NAND flash page in bytes (Table 2 uses 4 KiB pages; a full
+/// 4096-lane × 32-bit vector therefore spans [`PAGES_PER_VECTOR`] pages).
+pub const PAGE_BYTES: u64 = 4 * 1024;
+
+/// Number of 4 KiB flash pages covered by one full-width (16 KiB) vector.
+pub const PAGES_PER_VECTOR: u64 = 4;
+
+/// Identifier of a logical page in the SSD's logical address space.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_types::LogicalPageId;
+///
+/// let lpid = LogicalPageId::new(42);
+/// assert_eq!(lpid.index(), 42);
+/// assert_eq!(lpid.byte_offset(), 42 * 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogicalPageId(u64);
+
+impl LogicalPageId {
+    /// Creates a logical page id from its index in the logical address space.
+    pub const fn new(index: u64) -> Self {
+        LogicalPageId(index)
+    }
+
+    /// The page index.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The byte offset of the start of this page in the logical address
+    /// space.
+    pub const fn byte_offset(self) -> u64 {
+        self.0 * PAGE_BYTES
+    }
+
+    /// The logical page containing the given byte offset.
+    pub const fn containing(byte_offset: u64) -> Self {
+        LogicalPageId(byte_offset / PAGE_BYTES)
+    }
+
+    /// The `n`-th page after this one.
+    pub const fn offset(self, n: u64) -> Self {
+        LogicalPageId(self.0 + n)
+    }
+}
+
+impl fmt::Display for LogicalPageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LP{}", self.0)
+    }
+}
+
+impl From<u64> for LogicalPageId {
+    fn from(index: u64) -> Self {
+        LogicalPageId(index)
+    }
+}
+
+/// A physical page address inside the NAND flash geometry.
+///
+/// The ordering of the fields mirrors the structural hierarchy used by the
+/// simulator: channel → chip → die → plane → block → page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysicalPageAddr {
+    /// Flash channel index.
+    pub channel: u8,
+    /// Chip index within the channel.
+    pub chip: u8,
+    /// Die index within the chip.
+    pub die: u8,
+    /// Plane index within the die.
+    pub plane: u8,
+    /// Block index within the plane.
+    pub block: u32,
+    /// Page index within the block.
+    pub page: u16,
+}
+
+impl PhysicalPageAddr {
+    /// Creates a physical page address from its coordinates.
+    pub const fn new(channel: u8, chip: u8, die: u8, plane: u8, block: u32, page: u16) -> Self {
+        PhysicalPageAddr {
+            channel,
+            chip,
+            die,
+            plane,
+            block,
+            page,
+        }
+    }
+
+    /// Whether two addresses are in the same block (required for
+    /// Flash-Cosmos multi-wordline AND: all operands must live in pages of
+    /// the same flash block).
+    pub fn same_block(self, other: PhysicalPageAddr) -> bool {
+        self.channel == other.channel
+            && self.chip == other.chip
+            && self.die == other.die
+            && self.plane == other.plane
+            && self.block == other.block
+    }
+
+    /// Whether two addresses are in the same plane (required for
+    /// Flash-Cosmos inter-block OR: operands must live in different blocks of
+    /// the same plane).
+    pub fn same_plane(self, other: PhysicalPageAddr) -> bool {
+        self.channel == other.channel
+            && self.chip == other.chip
+            && self.die == other.die
+            && self.plane == other.plane
+    }
+
+    /// Whether two addresses are on the same die.
+    pub fn same_die(self, other: PhysicalPageAddr) -> bool {
+        self.channel == other.channel && self.chip == other.chip && self.die == other.die
+    }
+}
+
+impl fmt::Display for PhysicalPageAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ch{}/chip{}/die{}/pl{}/blk{}/pg{}",
+            self.channel, self.chip, self.die, self.plane, self.block, self.page
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_page_offsets() {
+        let p = LogicalPageId::new(10);
+        assert_eq!(p.byte_offset(), 10 * PAGE_BYTES);
+        assert_eq!(LogicalPageId::containing(10 * PAGE_BYTES + 1), p);
+        assert_eq!(LogicalPageId::containing(11 * PAGE_BYTES), p.offset(1));
+        assert_eq!(LogicalPageId::from(7u64).index(), 7);
+    }
+
+    #[test]
+    fn physical_addr_relations() {
+        let a = PhysicalPageAddr::new(0, 1, 2, 3, 100, 5);
+        let same_block = PhysicalPageAddr::new(0, 1, 2, 3, 100, 9);
+        let same_plane = PhysicalPageAddr::new(0, 1, 2, 3, 101, 5);
+        let other_die = PhysicalPageAddr::new(0, 1, 3, 3, 100, 5);
+
+        assert!(a.same_block(same_block));
+        assert!(!a.same_block(same_plane));
+        assert!(a.same_plane(same_plane));
+        assert!(a.same_die(same_plane));
+        assert!(!a.same_die(other_die));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LogicalPageId::new(3).to_string(), "LP3");
+        assert_eq!(
+            PhysicalPageAddr::new(1, 2, 3, 0, 42, 7).to_string(),
+            "ch1/chip2/die3/pl0/blk42/pg7"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Energy accounting units.
+//!
+//! All energy is tracked in nanojoules stored as `f64`, which gives ample
+//! dynamic range: per-operation energies in the model span from fractions of
+//! a nanojoule (a DRAM bulk-bitwise operation, 0.864 nJ) to tens of
+//! microjoules (a flash channel read, 20.5 µJ), and whole-workload totals
+//! reach joules.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An amount of energy, stored in nanojoules.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_types::Energy;
+///
+/// let flash_read = Energy::from_uj(20.5);
+/// let bbop = Energy::from_nj(0.864);
+/// assert!(flash_read > bbop);
+/// assert_eq!((bbop + bbop).as_nj(), 1.728);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy value from picojoules.
+    pub fn from_pj(pj: f64) -> Self {
+        Energy(pj / 1_000.0)
+    }
+
+    /// Creates an energy value from nanojoules.
+    pub fn from_nj(nj: f64) -> Self {
+        Energy(nj)
+    }
+
+    /// Creates an energy value from microjoules.
+    pub fn from_uj(uj: f64) -> Self {
+        Energy(uj * 1_000.0)
+    }
+
+    /// Creates an energy value from millijoules.
+    pub fn from_mj(mj: f64) -> Self {
+        Energy(mj * 1_000_000.0)
+    }
+
+    /// Creates an energy value from joules.
+    pub fn from_j(j: f64) -> Self {
+        Energy(j * 1e9)
+    }
+
+    /// Energy dissipated by `watts` of power over `dur`.
+    ///
+    /// ```
+    /// use conduit_types::{Duration, Energy};
+    /// // 2 W for 1 us = 2 uJ
+    /// let e = Energy::from_power(2.0, Duration::from_us(1.0));
+    /// assert_eq!(e, Energy::from_uj(2.0));
+    /// ```
+    pub fn from_power(watts: f64, dur: crate::time::Duration) -> Self {
+        Energy::from_j(watts * dur.as_secs())
+    }
+
+    /// The value in nanojoules.
+    pub fn as_nj(self) -> f64 {
+        self.0
+    }
+
+    /// The value in microjoules.
+    pub fn as_uj(self) -> f64 {
+        self.0 / 1_000.0
+    }
+
+    /// The value in millijoules.
+    pub fn as_mj(self) -> f64 {
+        self.0 / 1_000_000.0
+    }
+
+    /// The value in joules.
+    pub fn as_j(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Whether this value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Mul<u64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: u64) -> Energy {
+        Energy(self.0 * rhs as f64)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        Energy(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let nj = self.0.abs();
+        if nj >= 1e9 {
+            write!(f, "{:.3} J", self.as_j())
+        } else if nj >= 1e6 {
+            write!(f, "{:.3} mJ", self.as_mj())
+        } else if nj >= 1e3 {
+            write!(f, "{:.3} uJ", self.as_uj())
+        } else {
+            write!(f, "{:.3} nJ", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(Energy::from_pj(1_000.0).as_nj(), 1.0);
+        assert_eq!(Energy::from_uj(1.0).as_nj(), 1_000.0);
+        assert_eq!(Energy::from_mj(1.0).as_uj(), 1_000.0);
+        assert_eq!(Energy::from_j(1.0).as_mj(), 1_000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_nj(2.0);
+        let b = Energy::from_nj(3.0);
+        assert_eq!((a + b).as_nj(), 5.0);
+        assert_eq!((b - a).as_nj(), 1.0);
+        assert_eq!((a * 4.0).as_nj(), 8.0);
+        assert_eq!((a * 4u64).as_nj(), 8.0);
+        assert_eq!((b / 3.0).as_nj(), 1.0);
+        let total: Energy = [a, b].into_iter().sum();
+        assert_eq!(total.as_nj(), 5.0);
+    }
+
+    #[test]
+    fn power_integration() {
+        // 5 W over 2 ms = 10 mJ
+        let e = Energy::from_power(5.0, Duration::from_ms(2.0));
+        assert!((e.as_mj() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_uses_sensible_units() {
+        assert_eq!(format!("{}", Energy::from_nj(0.864)), "0.864 nJ");
+        assert_eq!(format!("{}", Energy::from_uj(20.5)), "20.500 uJ");
+        assert_eq!(format!("{}", Energy::from_mj(1.5)), "1.500 mJ");
+        assert_eq!(format!("{}", Energy::from_j(2.0)), "2.000 J");
+    }
+}

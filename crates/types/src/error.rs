@@ -1,0 +1,158 @@
+//! Error types shared across the Conduit workspace.
+
+use crate::addr::LogicalPageId;
+use crate::inst::InstId;
+use crate::op::OpType;
+use crate::resource::Resource;
+use std::fmt;
+
+/// Convenience alias for results with [`ConduitError`].
+pub type Result<T> = std::result::Result<T, ConduitError>;
+
+/// Errors produced by the Conduit framework and its substrate models.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConduitError {
+    /// An operation was dispatched to a resource that cannot execute it.
+    UnsupportedOperation {
+        /// The offending operation.
+        op: OpType,
+        /// The resource that was asked to execute it.
+        resource: Resource,
+    },
+    /// A logical page outside the device's logical address space was
+    /// referenced.
+    PageOutOfRange {
+        /// The offending page.
+        page: LogicalPageId,
+        /// Number of logical pages the device exposes.
+        capacity_pages: u64,
+    },
+    /// A logical page was accessed before any data was written or registered
+    /// for it.
+    UnmappedPage {
+        /// The offending page.
+        page: LogicalPageId,
+    },
+    /// The device ran out of free physical pages (garbage collection could
+    /// not reclaim enough space).
+    OutOfSpace,
+    /// A vector program failed validation.
+    InvalidProgram {
+        /// Human-readable description of the structural problem.
+        reason: String,
+    },
+    /// An instruction referenced a result that has not been produced.
+    MissingResult {
+        /// The instruction whose result is missing.
+        inst: InstId,
+    },
+    /// A simulation invariant was violated (indicates a bug in a model).
+    Simulation {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A configuration value is invalid or inconsistent.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl ConduitError {
+    /// Creates an [`ConduitError::InvalidProgram`] from any displayable
+    /// reason.
+    pub fn invalid_program(reason: impl fmt::Display) -> Self {
+        ConduitError::InvalidProgram {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Creates a [`ConduitError::Simulation`] from any displayable reason.
+    pub fn simulation(reason: impl fmt::Display) -> Self {
+        ConduitError::Simulation {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Creates an [`ConduitError::InvalidConfig`] from any displayable
+    /// reason.
+    pub fn invalid_config(reason: impl fmt::Display) -> Self {
+        ConduitError::InvalidConfig {
+            reason: reason.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for ConduitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConduitError::UnsupportedOperation { op, resource } => {
+                write!(f, "operation {op} is not supported by {resource}")
+            }
+            ConduitError::PageOutOfRange {
+                page,
+                capacity_pages,
+            } => write!(
+                f,
+                "logical page {page} is outside the device capacity of {capacity_pages} pages"
+            ),
+            ConduitError::UnmappedPage { page } => {
+                write!(f, "logical page {page} has no mapping")
+            }
+            ConduitError::OutOfSpace => write!(f, "no free physical pages available"),
+            ConduitError::InvalidProgram { reason } => {
+                write!(f, "invalid vector program: {reason}")
+            }
+            ConduitError::MissingResult { inst } => {
+                write!(f, "result of instruction {inst} is not available")
+            }
+            ConduitError::Simulation { reason } => write!(f, "simulation error: {reason}"),
+            ConduitError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConduitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_messages() {
+        let errs: Vec<ConduitError> = vec![
+            ConduitError::UnsupportedOperation {
+                op: OpType::Div,
+                resource: Resource::Ifp,
+            },
+            ConduitError::PageOutOfRange {
+                page: LogicalPageId::new(10),
+                capacity_pages: 5,
+            },
+            ConduitError::UnmappedPage {
+                page: LogicalPageId::new(1),
+            },
+            ConduitError::OutOfSpace,
+            ConduitError::invalid_program("forward reference"),
+            ConduitError::MissingResult {
+                inst: InstId::new(3),
+            },
+            ConduitError::simulation("event queue empty"),
+            ConduitError::invalid_config("zero channels"),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConduitError>();
+    }
+}

@@ -1,0 +1,376 @@
+//! Simulation time units.
+//!
+//! The simulator keeps time in integer **picoseconds** so that sub-nanosecond
+//! DRAM timings (e.g. an LPDDR4-1866 clock period of ~1.07 ns) can be
+//! represented exactly while microsecond-scale flash operations still fit
+//! comfortably in a `u64` (over 200 days of simulated time).
+//!
+//! Two newtypes are provided: [`SimTime`] is a point on the simulation
+//! timeline and [`Duration`] is a span between two points. Only the
+//! operations that make physical sense are implemented (`SimTime + Duration`,
+//! `SimTime - SimTime`, `Duration + Duration`, ...), which prevents a whole
+//! class of unit bugs at compile time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Number of picoseconds per nanosecond.
+const PS_PER_NS: u64 = 1_000;
+/// Number of picoseconds per microsecond.
+const PS_PER_US: u64 = 1_000_000;
+/// Number of picoseconds per millisecond.
+const PS_PER_MS: u64 = 1_000_000_000;
+
+/// A span of simulated time, stored in integer picoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_types::Duration;
+///
+/// let t_read = Duration::from_us(22.5);
+/// let t_and = Duration::from_ns(20.0);
+/// assert!(t_read > t_and);
+/// assert_eq!((t_and + t_and).as_ns(), 40.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// A zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from integer picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Creates a duration from (possibly fractional) nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `ns` is negative or not finite.
+    pub fn from_ns(ns: f64) -> Self {
+        debug_assert!(ns.is_finite() && ns >= 0.0, "duration must be non-negative");
+        Duration((ns * PS_PER_NS as f64).round() as u64)
+    }
+
+    /// Creates a duration from (possibly fractional) microseconds.
+    pub fn from_us(us: f64) -> Self {
+        debug_assert!(us.is_finite() && us >= 0.0, "duration must be non-negative");
+        Duration((us * PS_PER_US as f64).round() as u64)
+    }
+
+    /// Creates a duration from (possibly fractional) milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        debug_assert!(ms.is_finite() && ms >= 0.0, "duration must be non-negative");
+        Duration((ms * PS_PER_MS as f64).round() as u64)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub fn from_secs(s: f64) -> Self {
+        debug_assert!(s.is_finite() && s >= 0.0, "duration must be non-negative");
+        Duration((s * 1e12).round() as u64)
+    }
+
+    /// Duration of `cycles` clock cycles at `freq_hz`.
+    ///
+    /// ```
+    /// use conduit_types::Duration;
+    /// // 3 cycles at 1.5 GHz = 2 ns
+    /// assert_eq!(Duration::from_cycles(3, 1.5e9).as_ns(), 2.0);
+    /// ```
+    pub fn from_cycles(cycles: u64, freq_hz: f64) -> Self {
+        debug_assert!(freq_hz > 0.0, "frequency must be positive");
+        Duration(((cycles as f64) * 1e12 / freq_hz).round() as u64)
+    }
+
+    /// The raw value in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The value in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// The value in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// The value in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// The value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Whether this duration is exactly zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// Saturating subtraction: returns zero instead of underflowing.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Time to transfer `bytes` at `bytes_per_sec`.
+    ///
+    /// ```
+    /// use conduit_types::Duration;
+    /// // 16 KiB over 1.2 GB/s ≈ 13.65 µs
+    /// let t = Duration::for_transfer(16 * 1024, 1.2e9);
+    /// assert!((t.as_us() - 13.65).abs() < 0.1);
+    /// ```
+    pub fn for_transfer(bytes: u64, bytes_per_sec: f64) -> Self {
+        debug_assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        Duration(((bytes as f64) / bytes_per_sec * 1e12).round() as u64)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: f64) -> Duration {
+        debug_assert!(rhs.is_finite() && rhs >= 0.0);
+        Duration((self.0 as f64 * rhs).round() as u64)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= PS_PER_MS {
+            write!(f, "{:.3} ms", self.as_ms())
+        } else if self.0 >= PS_PER_US {
+            write!(f, "{:.3} us", self.as_us())
+        } else if self.0 >= PS_PER_NS {
+            write!(f, "{:.3} ns", self.as_ns())
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+/// A point on the simulation timeline, stored in integer picoseconds since
+/// the start of the simulation.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_types::{Duration, SimTime};
+///
+/// let start = SimTime::ZERO;
+/// let later = start + Duration::from_us(5.0);
+/// assert_eq!(later - start, Duration::from_us(5.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a point in time from integer picoseconds since time zero.
+    pub const fn from_ps(ps: u64) -> Self {
+        SimTime(ps)
+    }
+
+    /// The raw value in picoseconds.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// The value in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// The value in microseconds.
+    pub fn as_us(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// The value in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 as f64 / PS_PER_MS as f64
+    }
+
+    /// The value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Elapsed duration since `earlier`, saturating to zero if `earlier` is
+    /// actually later than `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_ps(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the later of two time points.
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two time points.
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.as_ps())
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_ps();
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration::from_ps(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Duration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 - rhs.as_ps())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", Duration::from_ps(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_conversions_roundtrip() {
+        assert_eq!(Duration::from_ns(1.0).as_ps(), 1_000);
+        assert_eq!(Duration::from_us(22.5).as_ns(), 22_500.0);
+        assert_eq!(Duration::from_ms(3.5).as_us(), 3_500.0);
+        assert_eq!(Duration::from_secs(1.0).as_ms(), 1_000.0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::from_ns(10.0);
+        let b = Duration::from_ns(30.0);
+        assert_eq!(a + b, Duration::from_ns(40.0));
+        assert_eq!(b - a, Duration::from_ns(20.0));
+        assert_eq!(a * 4, Duration::from_ns(40.0));
+        assert_eq!(b / 3, Duration::from_ns(10.0));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.saturating_sub(b), Duration::ZERO);
+        let total: Duration = [a, b, a].into_iter().sum();
+        assert_eq!(total, Duration::from_ns(50.0));
+    }
+
+    #[test]
+    fn simtime_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + Duration::from_us(1.0);
+        let t2 = t1 + Duration::from_us(2.0);
+        assert_eq!(t2 - t0, Duration::from_us(3.0));
+        assert_eq!(t2 - Duration::from_us(3.0), t0);
+        assert_eq!(t0.saturating_since(t2), Duration::ZERO);
+        assert_eq!(t2.saturating_since(t0), Duration::from_us(3.0));
+        assert_eq!(t1.max(t2), t2);
+        assert_eq!(t1.min(t0), t0);
+    }
+
+    #[test]
+    fn cycles_and_transfer_helpers() {
+        // 1500 cycles at 1.5 GHz is exactly 1 us.
+        assert_eq!(Duration::from_cycles(1500, 1.5e9), Duration::from_us(1.0));
+        // 8 GB/s link moves 8 bytes per ns.
+        assert_eq!(Duration::for_transfer(8, 8e9).as_ns(), 1.0);
+    }
+
+    #[test]
+    fn display_uses_sensible_units() {
+        assert_eq!(format!("{}", Duration::from_ns(20.0)), "20.000 ns");
+        assert_eq!(format!("{}", Duration::from_us(22.5)), "22.500 us");
+        assert_eq!(format!("{}", Duration::from_ms(3.5)), "3.500 ms");
+        assert_eq!(format!("{}", Duration::from_ps(5)), "5 ps");
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Duration::from_ns(1.0) < Duration::from_us(1.0));
+        assert!(SimTime::from_ps(10) < SimTime::from_ps(20));
+    }
+}

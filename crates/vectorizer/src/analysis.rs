@@ -1,0 +1,179 @@
+//! Loop dependence analysis.
+//!
+//! Decides, per loop, whether auto-vectorization is legal and at what strip
+//! length. The paper (§7) lists the situations where auto-vectorization
+//! fails — complex control flow, loop-carried dependences, indirect accesses
+//! — and §4.3.1 describes the strip-mining fallback for partially
+//! vectorizable loops.
+
+use crate::kernel::Loop;
+
+/// The vectorizability classification of one loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoopClass {
+    /// No loop-carried dependence: the full vector width can be used.
+    FullyVectorizable,
+    /// A loop-carried dependence of the given distance limits the safe strip
+    /// length (strip-mining / partial vectorization).
+    PartiallyVectorizable {
+        /// The largest number of consecutive iterations that can execute as
+        /// one SIMD operation without violating the dependence.
+        max_strip: u64,
+    },
+    /// The loop cannot be vectorized at all and stays scalar.
+    NotVectorizable {
+        /// Human-readable reason (reported to the user, mirroring
+        /// `-Rpass-analysis=loop-vectorize`).
+        reason: String,
+    },
+}
+
+/// Dependence analysis over the affine loop-kernel IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DependenceAnalysis;
+
+impl DependenceAnalysis {
+    /// Minimum profitable strip length; below this the SIMD overhead is not
+    /// worth it and the loop is left scalar.
+    pub const MIN_PROFITABLE_STRIP: u64 = 64;
+
+    /// Classifies a loop.
+    pub fn classify(l: &Loop) -> LoopClass {
+        if l.has_complex_control_flow {
+            return LoopClass::NotVectorizable {
+                reason: format!("loop `{}` has complex control flow", l.name),
+            };
+        }
+        if l.body.is_empty() {
+            return LoopClass::NotVectorizable {
+                reason: format!("loop `{}` has an empty body", l.name),
+            };
+        }
+        // Find the smallest non-zero dependence distance between a write to
+        // an array and any read of the same array in the loop body.
+        let mut min_distance: Option<u64> = None;
+        for write_stmt in &l.body {
+            let w = write_stmt.target;
+            for stmt in &l.body {
+                for r in stmt.expr.reads() {
+                    if r.array == w.array && r.offset != w.offset {
+                        let dist = (w.offset - r.offset).unsigned_abs();
+                        min_distance = Some(match min_distance {
+                            Some(d) => d.min(dist),
+                            None => dist,
+                        });
+                    }
+                }
+            }
+        }
+        match min_distance {
+            None => LoopClass::FullyVectorizable,
+            Some(d) if d < Self::MIN_PROFITABLE_STRIP => LoopClass::NotVectorizable {
+                reason: format!(
+                    "loop `{}` has a loop-carried dependence of distance {d}",
+                    l.name
+                ),
+            },
+            Some(d) => LoopClass::PartiallyVectorizable { max_strip: d },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{ArrayDecl, Expr, Kernel, Statement};
+    use conduit_types::OpType;
+
+    fn kernel3() -> (Kernel, crate::ArrayHandle, crate::ArrayHandle, crate::ArrayHandle) {
+        let mut k = Kernel::new("k");
+        let a = k.declare_array(ArrayDecl::new("a", 8192, 32));
+        let b = k.declare_array(ArrayDecl::new("b", 8192, 32));
+        let c = k.declare_array(ArrayDecl::new("c", 8192, 32));
+        (k, a, b, c)
+    }
+
+    #[test]
+    fn independent_streams_are_fully_vectorizable() {
+        let (_, a, b, c) = kernel3();
+        let l = Loop::new("add", 8192).with_statement(Statement::new(
+            c.at(0),
+            Expr::binary(OpType::Add, Expr::load(a.at(0)), Expr::load(b.at(0))),
+        ));
+        assert_eq!(DependenceAnalysis::classify(&l), LoopClass::FullyVectorizable);
+    }
+
+    #[test]
+    fn stencil_reading_neighbours_of_another_array_is_vectorizable() {
+        let (_, a, b, _) = kernel3();
+        // b[i] = a[i-1] + a[i+1]: reads and writes touch different arrays.
+        let l = Loop::new("stencil", 8192).with_statement(Statement::new(
+            b.at(0),
+            Expr::binary(OpType::Add, Expr::load(a.at(-1)), Expr::load(a.at(1))),
+        ));
+        assert_eq!(DependenceAnalysis::classify(&l), LoopClass::FullyVectorizable);
+    }
+
+    #[test]
+    fn short_recurrence_is_not_vectorizable() {
+        let (_, a, _, _) = kernel3();
+        // a[i] = a[i-1] + 1: distance-1 recurrence.
+        let l = Loop::new("scan", 8192).with_statement(Statement::new(
+            a.at(0),
+            Expr::binary(OpType::Add, Expr::load(a.at(-1)), Expr::Const(1)),
+        ));
+        assert!(matches!(
+            DependenceAnalysis::classify(&l),
+            LoopClass::NotVectorizable { .. }
+        ));
+    }
+
+    #[test]
+    fn long_distance_dependence_allows_strip_mining() {
+        let (_, a, _, _) = kernel3();
+        // a[i] = a[i-1024] + 1: safe to vectorize 1024 lanes at a time.
+        let l = Loop::new("strided", 8192).with_statement(Statement::new(
+            a.at(0),
+            Expr::binary(OpType::Add, Expr::load(a.at(-1024)), Expr::Const(1)),
+        ));
+        assert_eq!(
+            DependenceAnalysis::classify(&l),
+            LoopClass::PartiallyVectorizable { max_strip: 1024 }
+        );
+    }
+
+    #[test]
+    fn control_flow_blocks_vectorization() {
+        let (_, a, b, _) = kernel3();
+        let l = Loop::new("branchy", 100)
+            .with_statement(Statement::new(
+                b.at(0),
+                Expr::binary(OpType::Add, Expr::load(a.at(0)), Expr::Const(1)),
+            ))
+            .with_complex_control_flow();
+        assert!(matches!(
+            DependenceAnalysis::classify(&l),
+            LoopClass::NotVectorizable { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_body_is_not_vectorizable() {
+        let l = Loop::new("empty", 100);
+        assert!(matches!(
+            DependenceAnalysis::classify(&l),
+            LoopClass::NotVectorizable { .. }
+        ));
+    }
+
+    #[test]
+    fn same_element_update_is_fine() {
+        let (_, a, b, _) = kernel3();
+        // a[i] = a[i] ^ b[i]: no loop-carried dependence.
+        let l = Loop::new("inplace", 4096).with_statement(Statement::new(
+            a.at(0),
+            Expr::binary(OpType::Xor, Expr::load(a.at(0)), Expr::load(b.at(0))),
+        ));
+        assert_eq!(DependenceAnalysis::classify(&l), LoopClass::FullyVectorizable);
+    }
+}

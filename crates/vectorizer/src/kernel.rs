@@ -1,0 +1,379 @@
+//! The scalar loop-kernel intermediate representation.
+//!
+//! A [`Kernel`] is a list of arrays (the application's data, laid out in the
+//! SSD's logical address space) and a list of loops. Each loop iterates an
+//! induction variable `i` over `0..trip_count` and executes straight-line
+//! [`Statement`]s whose array accesses are affine in `i` (`a[i + offset]`),
+//! which is the shape loop auto-vectorizers handle.
+
+use conduit_types::{LogicalPageId, OpType, PAGE_BYTES};
+use std::fmt;
+
+/// Identifier of an array declared in a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayHandle(pub(crate) usize);
+
+impl ArrayHandle {
+    /// An affine reference `array[i + offset]` to this array.
+    pub fn at(self, offset: i64) -> ArrayRef {
+        ArrayRef {
+            array: self,
+            offset,
+        }
+    }
+}
+
+/// Declaration of one array used by a kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of elements.
+    pub len: u64,
+    /// Element width in bits.
+    pub elem_bits: u32,
+    /// First logical page of the array's backing storage. Assigned by
+    /// [`Kernel::declare_array`] when left as `None`.
+    pub base_page: Option<LogicalPageId>,
+}
+
+impl ArrayDecl {
+    /// Declares an array of `len` elements of `elem_bits` bits each.
+    pub fn new(name: impl Into<String>, len: u64, elem_bits: u32) -> Self {
+        ArrayDecl {
+            name: name.into(),
+            len,
+            elem_bits,
+            base_page: None,
+        }
+    }
+
+    /// Sets an explicit base logical page.
+    pub fn with_base_page(mut self, page: LogicalPageId) -> Self {
+        self.base_page = Some(page);
+        self
+    }
+
+    /// Number of bytes the array occupies.
+    pub fn bytes(&self) -> u64 {
+        self.len * self.elem_bits as u64 / 8
+    }
+
+    /// Number of logical pages the array occupies.
+    pub fn pages(&self) -> u64 {
+        self.bytes().div_ceil(PAGE_BYTES).max(1)
+    }
+}
+
+/// An affine array reference `array[i + offset]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    /// The referenced array.
+    pub array: ArrayHandle,
+    /// Constant offset added to the induction variable.
+    pub offset: i64,
+}
+
+/// A scalar expression over array references and constants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Load of an array element.
+    Load(ArrayRef),
+    /// Integer constant (broadcast when vectorized).
+    Const(i64),
+    /// Unary operation.
+    Unary(OpType, Box<Expr>),
+    /// Binary operation.
+    Binary(OpType, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a load.
+    pub fn load(r: ArrayRef) -> Expr {
+        Expr::Load(r)
+    }
+
+    /// Convenience constructor for a unary operation.
+    pub fn unary(op: OpType, a: Expr) -> Expr {
+        Expr::Unary(op, Box::new(a))
+    }
+
+    /// Convenience constructor for a binary operation.
+    pub fn binary(op: OpType, a: Expr, b: Expr) -> Expr {
+        Expr::Binary(op, Box::new(a), Box::new(b))
+    }
+
+    /// All array references read by this expression.
+    pub fn reads(&self) -> Vec<ArrayRef> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<ArrayRef>) {
+        match self {
+            Expr::Load(r) => out.push(*r),
+            Expr::Const(_) => {}
+            Expr::Unary(_, a) => a.collect_reads(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+
+    /// Number of operations (unary + binary nodes) in this expression.
+    pub fn op_count(&self) -> u64 {
+        match self {
+            Expr::Load(_) | Expr::Const(_) => 0,
+            Expr::Unary(_, a) => 1 + a.op_count(),
+            Expr::Binary(_, a, b) => 1 + a.op_count() + b.op_count(),
+        }
+    }
+}
+
+/// One assignment inside a loop body: `target[i + offset] = expr`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Statement {
+    /// The written array element.
+    pub target: ArrayRef,
+    /// The computed expression.
+    pub expr: Expr,
+}
+
+impl Statement {
+    /// Creates a statement `target = expr`.
+    pub fn new(target: ArrayRef, expr: Expr) -> Self {
+        Statement { target, expr }
+    }
+}
+
+/// A countable loop over an induction variable with straight-line body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loop {
+    /// Human-readable name (used in reports).
+    pub name: String,
+    /// Number of scalar iterations.
+    pub trip_count: u64,
+    /// Loop body.
+    pub body: Vec<Statement>,
+    /// Whether the loop contains control flow, indirect accesses, or
+    /// synchronization that forbids vectorization outright (§7 of the
+    /// paper lists these as auto-vectorization failure cases).
+    pub has_complex_control_flow: bool,
+    /// How many times the loop body re-executes over the same data (e.g.
+    /// time steps of a stencil); used to model data reuse.
+    pub repeat: u64,
+}
+
+impl Loop {
+    /// Creates an empty loop with the given trip count.
+    pub fn new(name: impl Into<String>, trip_count: u64) -> Self {
+        Loop {
+            name: name.into(),
+            trip_count,
+            body: Vec::new(),
+            has_complex_control_flow: false,
+            repeat: 1,
+        }
+    }
+
+    /// Builder-style: appends a statement to the body.
+    pub fn with_statement(mut self, stmt: Statement) -> Self {
+        self.body.push(stmt);
+        self
+    }
+
+    /// Builder-style: marks the loop as containing complex control flow.
+    pub fn with_complex_control_flow(mut self) -> Self {
+        self.has_complex_control_flow = true;
+        self
+    }
+
+    /// Builder-style: repeats the loop `repeat` times (outer time loop).
+    pub fn with_repeat(mut self, repeat: u64) -> Self {
+        self.repeat = repeat.max(1);
+        self
+    }
+
+    /// Total scalar operations the loop performs (over all repeats).
+    pub fn scalar_ops(&self) -> u64 {
+        let per_iter: u64 = self.body.iter().map(|s| s.expr.op_count().max(1)).sum();
+        per_iter * self.trip_count * self.repeat
+    }
+}
+
+/// A whole kernel: arrays plus loops, the unit the vectorizer consumes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Kernel {
+    name: String,
+    arrays: Vec<ArrayDecl>,
+    loops: Vec<Loop>,
+    next_free_page: u64,
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        Kernel {
+            name: name.into(),
+            arrays: Vec::new(),
+            loops: Vec::new(),
+            next_free_page: 0,
+        }
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares an array, assigning it a contiguous logical page range right
+    /// after the previously declared arrays unless an explicit base page was
+    /// provided. Returns a handle for building references.
+    pub fn declare_array(&mut self, mut decl: ArrayDecl) -> ArrayHandle {
+        if decl.base_page.is_none() {
+            decl.base_page = Some(LogicalPageId::new(self.next_free_page));
+        }
+        let end = decl.base_page.expect("base page just set").index() + decl.pages();
+        self.next_free_page = self.next_free_page.max(end);
+        self.arrays.push(decl);
+        ArrayHandle(self.arrays.len() - 1)
+    }
+
+    /// Appends a loop to the kernel.
+    pub fn push_loop(&mut self, l: Loop) {
+        self.loops.push(l);
+    }
+
+    /// The declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// The declaration behind a handle.
+    pub fn array(&self, handle: ArrayHandle) -> &ArrayDecl {
+        &self.arrays[handle.0]
+    }
+
+    /// The loops, in program order.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Total scalar operations across all loops.
+    pub fn total_scalar_ops(&self) -> u64 {
+        self.loops.iter().map(|l| l.scalar_ops()).sum()
+    }
+
+    /// Total data footprint in logical pages.
+    pub fn footprint_pages(&self) -> u64 {
+        self.arrays.iter().map(|a| a.pages()).sum()
+    }
+
+    /// The logical page holding element `elem_index` of `array`.
+    pub fn page_of(&self, array: ArrayHandle, elem_index: u64) -> LogicalPageId {
+        let decl = self.array(array);
+        let base = decl.base_page.expect("arrays always get a base page");
+        let byte = elem_index * decl.elem_bits as u64 / 8;
+        LogicalPageId::new(base.index() + byte / PAGE_BYTES)
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "kernel {} ({} arrays, {} loops)", self.name, self.arrays.len(), self.loops.len())?;
+        for l in &self.loops {
+            writeln!(
+                f,
+                "  loop {}: {} iters x{} ({} stmts)",
+                l.name,
+                l.trip_count,
+                l.repeat,
+                l.body.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_layout_is_contiguous_and_non_overlapping() {
+        let mut k = Kernel::new("k");
+        let a = k.declare_array(ArrayDecl::new("a", 2048, 32)); // 8 KiB = 2 pages
+        let b = k.declare_array(ArrayDecl::new("b", 1024, 8)); // 1 KiB = 1 page
+        let c = k.declare_array(ArrayDecl::new("c", 4096, 32)); // 16 KiB = 4 pages
+        assert_eq!(k.array(a).base_page, Some(LogicalPageId::new(0)));
+        assert_eq!(k.array(b).base_page, Some(LogicalPageId::new(2)));
+        assert_eq!(k.array(c).base_page, Some(LogicalPageId::new(3)));
+        assert_eq!(k.footprint_pages(), 7);
+    }
+
+    #[test]
+    fn page_of_accounts_for_element_width() {
+        let mut k = Kernel::new("k");
+        let a = k.declare_array(ArrayDecl::new("a", 8192, 32));
+        assert_eq!(k.page_of(a, 0), LogicalPageId::new(0));
+        assert_eq!(k.page_of(a, 1023), LogicalPageId::new(0));
+        assert_eq!(k.page_of(a, 1024), LogicalPageId::new(1));
+        let b = k.declare_array(ArrayDecl::new("b", 8192, 8));
+        let b_base = k.array(b).base_page.unwrap().index();
+        assert_eq!(k.page_of(b, 4095).index(), b_base);
+        assert_eq!(k.page_of(b, 4096).index(), b_base + 1);
+    }
+
+    #[test]
+    fn expr_reads_and_op_count() {
+        let mut k = Kernel::new("k");
+        let a = k.declare_array(ArrayDecl::new("a", 128, 32));
+        let b = k.declare_array(ArrayDecl::new("b", 128, 32));
+        let e = Expr::binary(
+            OpType::Add,
+            Expr::load(a.at(0)),
+            Expr::binary(OpType::Mul, Expr::load(b.at(1)), Expr::Const(3)),
+        );
+        assert_eq!(e.op_count(), 2);
+        let reads = e.reads();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0], a.at(0));
+        assert_eq!(reads[1], b.at(1));
+    }
+
+    #[test]
+    fn loop_scalar_ops_scale_with_trip_count_and_repeat() {
+        let mut k = Kernel::new("k");
+        let a = k.declare_array(ArrayDecl::new("a", 128, 32));
+        let l = Loop::new("l", 100)
+            .with_statement(Statement::new(
+                a.at(0),
+                Expr::binary(OpType::Add, Expr::load(a.at(0)), Expr::Const(1)),
+            ))
+            .with_repeat(3);
+        assert_eq!(l.scalar_ops(), 300);
+        k.push_loop(l);
+        assert_eq!(k.total_scalar_ops(), 300);
+    }
+
+    #[test]
+    fn explicit_base_page_is_respected() {
+        let mut k = Kernel::new("k");
+        let a = k.declare_array(ArrayDecl::new("a", 1024, 32).with_base_page(LogicalPageId::new(100)));
+        assert_eq!(k.array(a).base_page, Some(LogicalPageId::new(100)));
+        // The next implicit array starts after it.
+        let b = k.declare_array(ArrayDecl::new("b", 1024, 32));
+        assert_eq!(k.array(b).base_page, Some(LogicalPageId::new(101)));
+    }
+
+    #[test]
+    fn display_mentions_loops() {
+        let mut k = Kernel::new("demo");
+        k.push_loop(Loop::new("body", 10));
+        let s = k.to_string();
+        assert!(s.contains("demo"));
+        assert!(s.contains("body"));
+    }
+}

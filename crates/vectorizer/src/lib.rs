@@ -1,0 +1,52 @@
+//! # conduit-vectorizer
+//!
+//! Compile-time preprocessing stage of the Conduit NDP framework.
+//!
+//! The paper's compile-time stage runs an LLVM loop-auto-vectorization pass
+//! with `-force-vector-width=4096` so that every vectorized instruction
+//! matches a NAND flash page (16 KiB for 32-bit lanes), embeds offloading
+//! metadata in the optimized IR, and compiles the result to an ARM binary
+//! that is shipped to the SSD. This crate reproduces that stage for a small
+//! loop-kernel IR:
+//!
+//! * [`Kernel`], [`Loop`], [`Statement`], [`Expr`] — a scalar loop-nest
+//!   representation with affine array accesses (the input "application
+//!   code"),
+//! * [`DependenceAnalysis`] — detects loop-carried dependences and decides
+//!   whether a loop is fully vectorizable, partially vectorizable
+//!   (strip-mined to the dependence distance), or must stay scalar,
+//! * [`Vectorizer`] — transforms each loop into page-aligned
+//!   [`conduit_types::VectorInst`]s with embedded metadata and emits a
+//!   [`conduit_types::VectorProgram`] plus a [`VectorizationReport`]
+//!   (vectorized-fraction statistics that reproduce the "Vectorizable Code %"
+//!   column of Table 3).
+//!
+//! ## Example
+//!
+//! ```
+//! use conduit_types::OpType;
+//! use conduit_vectorizer::{ArrayDecl, Expr, Kernel, Loop, Statement, Vectorizer};
+//!
+//! // for i in 0..8192 { c[i] = a[i] + b[i]; }
+//! let mut kernel = Kernel::new("vec_add");
+//! let a = kernel.declare_array(ArrayDecl::new("a", 8192, 32));
+//! let b = kernel.declare_array(ArrayDecl::new("b", 8192, 32));
+//! let c = kernel.declare_array(ArrayDecl::new("c", 8192, 32));
+//! kernel.push_loop(Loop::new("add", 8192).with_statement(Statement::new(
+//!     c.at(0),
+//!     Expr::binary(OpType::Add, Expr::load(a.at(0)), Expr::load(b.at(0))),
+//! )));
+//!
+//! let out = Vectorizer::default().vectorize(&kernel)?;
+//! assert!(out.report.vectorized_fraction > 0.99);
+//! assert_eq!(out.program.len(), 2); // 8192 iterations / 4096 lanes
+//! # Ok::<(), conduit_types::ConduitError>(())
+//! ```
+
+mod analysis;
+mod kernel;
+mod vectorize;
+
+pub use analysis::{DependenceAnalysis, LoopClass};
+pub use kernel::{ArrayDecl, ArrayHandle, ArrayRef, Expr, Kernel, Loop, Statement};
+pub use vectorize::{VectorizationReport, Vectorizer, VectorizerOutput};

@@ -1,0 +1,116 @@
+//! Workload characterization (the measured version of Table 3).
+
+use std::collections::HashMap;
+
+use conduit_types::{LatencyClass, OpType, VectorProgram};
+
+/// Measured characteristics of a vectorized workload, mirroring the columns
+/// of Table 3 in the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload (program) name.
+    pub name: String,
+    /// Fraction of the application's scalar work covered by SIMD
+    /// instructions ("Vectorizable Code %").
+    pub vectorizable_pct: f64,
+    /// Average number of vector operations that consume each distinct data
+    /// page before it is replaced ("Avg. Reuse").
+    pub avg_reuse: f64,
+    /// Fraction of vector operations in the low-latency class (bitwise,
+    /// shifts).
+    pub low_pct: f64,
+    /// Fraction in the medium-latency class (add, predication, copies).
+    pub med_pct: f64,
+    /// Fraction in the high-latency class (multiply, divide, reductions).
+    pub high_pct: f64,
+    /// Number of vector (non-scalar-region) instructions.
+    pub vector_instructions: usize,
+    /// Number of scalar-region instructions.
+    pub scalar_instructions: usize,
+    /// Distinct logical pages touched.
+    pub footprint_pages: usize,
+}
+
+/// Computes the Table 3 characteristics of a vectorized program.
+///
+/// The latency-class mix is computed over the *vector* instructions (the
+/// operations eligible for offloading); scalar regions are reported
+/// separately. Data reuse is computed over page operands only, because
+/// SSA-style intermediate results are by construction consumed exactly once
+/// and would not say anything about data-movement behaviour.
+pub fn characterize(program: &VectorProgram) -> WorkloadProfile {
+    let mut low = 0usize;
+    let mut med = 0usize;
+    let mut high = 0usize;
+    let mut scalar = 0usize;
+    let mut page_uses: HashMap<u64, u64> = HashMap::new();
+
+    for inst in program.iter() {
+        if inst.op == OpType::Scalar {
+            scalar += 1;
+        } else {
+            match inst.op.latency_class() {
+                LatencyClass::Low => low += 1,
+                LatencyClass::Medium => med += 1,
+                LatencyClass::High => high += 1,
+            }
+        }
+        for page in inst.src_pages() {
+            *page_uses.entry(page.index()).or_insert(0) += 1;
+        }
+    }
+
+    let vector_total = (low + med + high).max(1) as f64;
+    let avg_reuse = if page_uses.is_empty() {
+        0.0
+    } else {
+        page_uses.values().sum::<u64>() as f64 / page_uses.len() as f64
+    };
+
+    WorkloadProfile {
+        name: program.name().to_string(),
+        vectorizable_pct: program.vectorized_fraction,
+        avg_reuse,
+        low_pct: low as f64 / vector_total,
+        med_pct: med as f64 / vector_total,
+        high_pct: high as f64 / vector_total,
+        vector_instructions: low + med + high,
+        scalar_instructions: scalar,
+        footprint_pages: program.footprint_pages().len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::{Operand, VectorInst};
+
+    #[test]
+    fn empty_program_profile_is_zeroed() {
+        let p = characterize(&VectorProgram::new("empty"));
+        assert_eq!(p.vector_instructions, 0);
+        assert_eq!(p.avg_reuse, 0.0);
+        assert_eq!(p.footprint_pages, 0);
+    }
+
+    #[test]
+    fn mix_and_reuse_are_computed_over_the_right_populations() {
+        let mut prog = VectorProgram::new("p");
+        // Two vector instructions re-reading page 0, one scalar region.
+        let a = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(1));
+        prog.push_binary(OpType::Mul, Operand::result(a), Operand::page(0));
+        prog.push(VectorInst::unary(2, OpType::Scalar, Operand::page(2)));
+        prog.vectorized_fraction = 0.5;
+
+        let p = characterize(&prog);
+        assert_eq!(p.vector_instructions, 2);
+        assert_eq!(p.scalar_instructions, 1);
+        assert!((p.low_pct - 0.5).abs() < 1e-9);
+        assert!((p.high_pct - 0.5).abs() < 1e-9);
+        assert_eq!(p.med_pct, 0.0);
+        // Pages: 0 used twice, 1 once, 2 once → mean 4/3.
+        assert!((p.avg_reuse - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.footprint_pages, 3);
+        assert!((p.vectorizable_pct - 0.5).abs() < 1e-9);
+    }
+}

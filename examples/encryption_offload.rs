@@ -1,0 +1,52 @@
+//! In-flash acceleration of bulk encryption (the AES workload).
+//!
+//! AES is bitwise-heavy with high data reuse, which makes it the showcase
+//! for in-flash processing: this example shows how Conduit routes almost all
+//! of its instructions to the flash chips and what that does to the
+//! execution-time breakdown (the Figure 4 story).
+//!
+//! Run with: `cargo run --release --example encryption_offload`
+
+use conduit::{Policy, Workbench};
+use conduit_types::{ConduitError, SsdConfig};
+use conduit_workloads::{Scale, Workload};
+
+fn main() -> Result<(), ConduitError> {
+    let program = Workload::Aes.program(Scale::new(2, 1))?;
+    let mut bench = Workbench::new(SsdConfig::default());
+
+    println!("AES-256 bulk encryption, {} vector instructions", program.len());
+    println!();
+    println!("policy          time            compute%  hostDM%  internalDM%  flash%   IFP share");
+
+    let cpu = bench.run(&program, Policy::HostCpu)?;
+    for policy in [
+        Policy::HostCpu,
+        Policy::IspOnly,
+        Policy::FlashCosmos,
+        Policy::DmOffloading,
+        Policy::Conduit,
+    ] {
+        let report = bench.run(&program, policy)?;
+        let (compute, host_dm, internal_dm, flash) = report.breakdown.fractions();
+        let (_, _, ifp, _) = report.offload_mix.fractions();
+        println!(
+            "{:<15} {:<15} {:>6.0}%  {:>6.0}%  {:>9.0}%  {:>6.0}%  {:>8.0}%",
+            policy.to_string(),
+            report.total_time.to_string(),
+            compute * 100.0,
+            host_dm * 100.0,
+            internal_dm * 100.0,
+            flash * 100.0,
+            ifp * 100.0
+        );
+        if policy == Policy::Conduit {
+            println!(
+                "\nConduit vs CPU: {:.2}x faster, {:.0}% less energy",
+                report.speedup_over(&cpu),
+                (1.0 - report.energy_vs(&cpu)) * 100.0
+            );
+        }
+    }
+    Ok(())
+}

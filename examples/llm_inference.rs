@@ -1,0 +1,51 @@
+//! Run the LLaMA2-style INT8 inference workload through every offloading
+//! policy and print a Figure 7-style comparison, plus the instruction→
+//! resource placement mix of Figure 9.
+//!
+//! Run with: `cargo run --release --example llm_inference`
+
+use conduit::{Policy, Workbench};
+use conduit_types::{ConduitError, SsdConfig};
+use conduit_workloads::{characterize, Scale, Workload};
+
+fn main() -> Result<(), ConduitError> {
+    let program = Workload::LlamaInference.program(Scale::new(2, 1))?;
+    let profile = characterize(&program);
+    println!(
+        "workload: {} — {} vector instructions, {:.0}% vectorizable, avg reuse {:.1}",
+        profile.name,
+        profile.vector_instructions,
+        profile.vectorizable_pct * 100.0,
+        profile.avg_reuse
+    );
+    println!();
+
+    let mut bench = Workbench::new(SsdConfig::default());
+    let policies = [
+        Policy::HostCpu,
+        Policy::HostGpu,
+        Policy::IspOnly,
+        Policy::PudSsd,
+        Policy::AresFlash,
+        Policy::DmOffloading,
+        Policy::Conduit,
+        Policy::Ideal,
+    ];
+    let reports = bench.compare(&program, &policies)?;
+    let cpu = &reports[0];
+
+    println!("policy          speedup vs CPU   energy vs CPU   ISP/PuD/IFP mix");
+    for report in &reports {
+        let (isp, pud, ifp, _) = report.offload_mix.fractions();
+        println!(
+            "{:<15} {:>8.2}x        {:>6.2}x         {:>3.0}% / {:>3.0}% / {:>3.0}%",
+            report.policy.to_string(),
+            report.speedup_over(cpu),
+            report.energy_vs(cpu),
+            isp * 100.0,
+            pud * 100.0,
+            ifp * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Sweep every workload × every offloading policy and print the full
+//! speedup matrix (the data behind Figures 5 and 7(a)), including the
+//! geometric-mean column the paper reports.
+//!
+//! Run with: `cargo run --release --example policy_comparison`
+
+use conduit::{gmean, Policy, Workbench};
+use conduit_types::{ConduitError, SsdConfig};
+use conduit_workloads::{Scale, Workload};
+
+fn main() -> Result<(), ConduitError> {
+    let scale = Scale::test();
+    let mut bench = Workbench::new(SsdConfig::default());
+
+    let policies = [
+        Policy::HostGpu,
+        Policy::IspOnly,
+        Policy::PudSsd,
+        Policy::FlashCosmos,
+        Policy::AresFlash,
+        Policy::BwOffloading,
+        Policy::DmOffloading,
+        Policy::Conduit,
+        Policy::Ideal,
+    ];
+
+    print!("{:<16}", "workload");
+    for p in policies {
+        print!("{:>15}", p.to_string());
+    }
+    println!();
+
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
+    for workload in Workload::ALL {
+        let program = workload.program(scale)?;
+        let cpu = bench.run(&program, Policy::HostCpu)?;
+        print!("{:<16}", workload.to_string());
+        for (i, policy) in policies.iter().enumerate() {
+            let report = bench.run(&program, *policy)?;
+            let speedup = report.speedup_over(&cpu);
+            per_policy[i].push(speedup);
+            print!("{:>14.2}x", speedup);
+        }
+        println!();
+    }
+
+    print!("{:<16}", "GMEAN");
+    for speedups in &per_policy {
+        print!("{:>14.2}x", gmean(speedups));
+    }
+    println!();
+    Ok(())
+}

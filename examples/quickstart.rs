@@ -1,0 +1,63 @@
+//! Quickstart: vectorize a tiny hand-written kernel and run it on the
+//! simulated SSD under Conduit, comparing against the host-CPU baseline.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use conduit::{Policy, Workbench};
+use conduit_types::{ConduitError, OpType, SsdConfig};
+use conduit_vectorizer::{ArrayDecl, Expr, Kernel, Loop, Statement, Vectorizer};
+
+fn main() -> Result<(), ConduitError> {
+    // 1. Write the application as an ordinary scalar loop kernel:
+    //    for i in 0..65536 { c[i] = (a[i] ^ b[i]) + a[i]; }
+    let mut kernel = Kernel::new("quickstart");
+    let a = kernel.declare_array(ArrayDecl::new("a", 65_536, 32));
+    let b = kernel.declare_array(ArrayDecl::new("b", 65_536, 32));
+    let c = kernel.declare_array(ArrayDecl::new("c", 65_536, 32));
+    kernel.push_loop(Loop::new("body", 65_536).with_statement(Statement::new(
+        c.at(0),
+        Expr::binary(
+            OpType::Add,
+            Expr::binary(OpType::Xor, Expr::load(a.at(0)), Expr::load(b.at(0))),
+            Expr::load(a.at(0)),
+        ),
+    )));
+
+    // 2. Compile-time stage: auto-vectorize into page-aligned SIMD
+    //    instructions with embedded offloading metadata.
+    let out = Vectorizer::default().vectorize(&kernel)?;
+    println!(
+        "vectorized `{}`: {} vector instructions, {:.0}% of the work vectorized",
+        out.program.name(),
+        out.program.len(),
+        out.report.vectorized_fraction * 100.0
+    );
+
+    // 3. Runtime stage: execute the program on the simulated SSD.
+    let mut bench = Workbench::new(SsdConfig::default());
+    let cpu = bench.run(&out.program, Policy::HostCpu)?;
+    let conduit = bench.run(&out.program, Policy::Conduit)?;
+
+    println!();
+    println!("policy        time           energy         offload mix (ISP/PuD/IFP/host)");
+    for report in [&cpu, &conduit] {
+        let (isp, pud, ifp, host) = report.offload_mix.fractions();
+        println!(
+            "{:<13} {:<14} {:<14} {:.0}% / {:.0}% / {:.0}% / {:.0}%",
+            report.policy.to_string(),
+            report.total_time.to_string(),
+            report.energy.total().to_string(),
+            isp * 100.0,
+            pud * 100.0,
+            ifp * 100.0,
+            host * 100.0
+        );
+    }
+    println!();
+    println!(
+        "Conduit speedup over CPU: {:.2}x, energy reduction: {:.0}%",
+        conduit.speedup_over(&cpu),
+        (1.0 - conduit.energy_vs(&cpu)) * 100.0
+    );
+    Ok(())
+}

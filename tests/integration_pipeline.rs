@@ -1,0 +1,115 @@
+//! End-to-end pipeline integration: scalar kernel → compile-time
+//! vectorization → data placement → runtime offloading → report.
+
+use conduit::{Policy, RunOptions, RuntimeEngine, Workbench};
+use conduit_types::{Duration, Energy, OpType, SsdConfig};
+use conduit_vectorizer::{ArrayDecl, Expr, Kernel, Loop, Statement, Vectorizer};
+
+/// A small mixed kernel: one vectorizable streaming loop, one multiply-heavy
+/// loop, and one scalar region.
+fn mixed_kernel() -> Kernel {
+    let mut k = Kernel::new("pipeline");
+    let a = k.declare_array(ArrayDecl::new("a", 16_384, 32));
+    let b = k.declare_array(ArrayDecl::new("b", 16_384, 32));
+    let c = k.declare_array(ArrayDecl::new("c", 16_384, 32));
+
+    k.push_loop(Loop::new("bitwise", 16_384).with_statement(Statement::new(
+        c.at(0),
+        Expr::binary(OpType::Xor, Expr::load(a.at(0)), Expr::load(b.at(0))),
+    )));
+    k.push_loop(Loop::new("fma", 16_384).with_statement(Statement::new(
+        c.at(0),
+        Expr::binary(
+            OpType::Add,
+            Expr::binary(OpType::Mul, Expr::load(a.at(0)), Expr::load(b.at(0))),
+            Expr::load(c.at(0)),
+        ),
+    )));
+    k.push_loop(
+        Loop::new("control", 8_192)
+            .with_statement(Statement::new(
+                a.at(0),
+                Expr::binary(OpType::Add, Expr::load(a.at(0)), Expr::Const(1)),
+            ))
+            .with_complex_control_flow(),
+    );
+    k
+}
+
+#[test]
+fn kernel_to_report_pipeline_works() {
+    let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
+    assert!(out.report.loops_vectorized >= 2);
+    assert!(out.report.loops_scalar >= 1);
+    assert!(out.report.vectorized_fraction > 0.5);
+
+    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+    let report = bench.run(&out.program, Policy::Conduit).unwrap();
+
+    assert_eq!(report.instructions, out.program.len());
+    assert_eq!(report.offload_mix.total() as usize, report.instructions);
+    assert_eq!(report.latency.len(), report.instructions);
+    assert!(report.total_time > Duration::ZERO);
+    assert!(report.energy.total() > Energy::ZERO);
+    // The breakdown covers real work in every category for a mixed kernel
+    // executed inside the SSD.
+    assert!(report.breakdown.compute > Duration::ZERO);
+    assert!(report.breakdown.total() > Duration::ZERO);
+    // Scalar regions can only run on the controller cores, so ISP must have
+    // received at least the scalar instructions.
+    assert!(report.offload_mix.isp > 0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
+    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+    let a = bench.run(&out.program, Policy::Conduit).unwrap();
+    let b = bench.run(&out.program, Policy::Conduit).unwrap();
+    assert_eq!(a.total_time, b.total_time);
+    assert_eq!(a.energy.total(), b.energy.total());
+    assert_eq!(a.offload_mix, b.offload_mix);
+    assert_eq!(a.timeline.len(), b.timeline.len());
+}
+
+#[test]
+fn engine_can_be_driven_directly() {
+    let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
+    let cfg = SsdConfig::small_for_tests();
+    let mut engine = RuntimeEngine::new(&cfg).unwrap();
+    engine.prepare(&out.program).unwrap();
+    let report = engine
+        .run(&out.program, &RunOptions::new(Policy::DmOffloading))
+        .unwrap();
+    assert_eq!(report.policy, Policy::DmOffloading);
+    // The device's energy meter and the report agree that energy was spent.
+    assert!(engine.device().energy_meter().total() > Energy::ZERO);
+    // FTL saw the program's pages.
+    assert!(engine.device().ftl().stats().pages_mapped > 0);
+}
+
+#[test]
+fn per_instruction_latencies_are_bounded_by_total_time() {
+    let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
+    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+    let mut report = bench.run(&out.program, Policy::Conduit).unwrap();
+    let max = report.latency.percentile(1.0);
+    assert!(max <= report.total_time);
+    assert!(report.latency.percentile(0.5) <= max);
+}
+
+#[test]
+fn vector_width_ablation_changes_instruction_count_not_correctness() {
+    let kernel = mixed_kernel();
+    let wide = Vectorizer::default().vectorize(&kernel).unwrap();
+    let narrow = conduit_vectorizer::Vectorizer::with_width(1024)
+        .vectorize(&kernel)
+        .unwrap();
+    assert!(narrow.program.len() > wide.program.len());
+
+    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+    let wide_report = bench.run(&wide.program, Policy::Conduit).unwrap();
+    let narrow_report = bench.run(&narrow.program, Policy::Conduit).unwrap();
+    assert!(wide_report.total_time > Duration::ZERO);
+    assert!(narrow_report.total_time > Duration::ZERO);
+}

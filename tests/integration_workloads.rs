@@ -1,0 +1,103 @@
+//! Workload-level integration: the six evaluated applications run end to end
+//! under Conduit and their measured characteristics keep the Table 3 shape.
+
+use conduit::{Policy, RunOptions, Workbench};
+use conduit_types::{Duration, Energy, SsdConfig};
+use conduit_workloads::{characterize, Scale, Workload};
+
+#[test]
+fn all_workloads_run_under_conduit() {
+    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+    for workload in Workload::ALL {
+        let program = workload.program(Scale::test()).unwrap();
+        let report = bench.run(&program, Policy::Conduit).unwrap();
+        assert_eq!(report.instructions, program.len(), "{workload}");
+        assert!(report.total_time > Duration::ZERO, "{workload}");
+        assert!(report.energy.total() > Energy::ZERO, "{workload}");
+        assert!(report.overhead.count > 0, "{workload}");
+        // §4.5: the per-instruction overhead averages a few microseconds and
+        // never exceeds ~33 µs.
+        assert!(report.overhead.mean() < Duration::from_us(10.0), "{workload}");
+        assert!(report.overhead.max <= Duration::from_us(40.0), "{workload}");
+    }
+}
+
+#[test]
+fn vectorizable_fraction_orders_workloads_like_table3() {
+    // Table 3: heat-3d/jacobi-1d (95%) > LLaMA inference (70%) > training
+    // (60%) > AES (65%)… the key qualitative fact is that the stencils are
+    // the most vectorizable and the XOR filter is by far the least.
+    let mut fractions = std::collections::HashMap::new();
+    for workload in Workload::ALL {
+        let program = workload.program(Scale::test()).unwrap();
+        fractions.insert(workload, characterize(&program).vectorizable_pct);
+    }
+    assert!(fractions[&Workload::Heat3d] > fractions[&Workload::LlamaInference]);
+    assert!(fractions[&Workload::Jacobi1d] > fractions[&Workload::LlmTraining]);
+    for (w, f) in &fractions {
+        if *w != Workload::XorFilter {
+            assert!(
+                f > &fractions[&Workload::XorFilter],
+                "{w} should vectorize better than the XOR filter"
+            );
+        }
+    }
+}
+
+#[test]
+fn compute_heavy_workloads_gain_more_from_conduit_than_io_bound_ones() {
+    // §6.1: Conduit's advantage over DM-Offloading is largest for the
+    // compute-intensive workloads and smallest for the memory-bound ones.
+    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+
+    let gain = |workload: Workload, bench: &mut Workbench| {
+        let program = workload.program(Scale::test()).unwrap();
+        let dm = bench.run(&program, Policy::DmOffloading).unwrap();
+        let conduit = bench.run(&program, Policy::Conduit).unwrap();
+        conduit.speedup_over(&dm)
+    };
+
+    let heat = gain(Workload::Heat3d, &mut bench);
+    let aes = gain(Workload::Aes, &mut bench);
+    assert!(
+        heat >= aes * 0.9,
+        "compute-heavy heat-3d ({heat:.2}x) should benefit at least as much as AES ({aes:.2}x)"
+    );
+    assert!(heat >= 1.0, "Conduit should not lose to DM-Offloading on heat-3d");
+}
+
+#[test]
+fn disabling_the_cost_function_terms_changes_behaviour() {
+    // Ablation: dropping the queueing-delay term makes Conduit behave more
+    // like DM-Offloading and must not make it faster.
+    let program = Workload::Heat3d.program(Scale::test()).unwrap();
+    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+
+    let full = bench.run(&program, Policy::Conduit).unwrap();
+    let no_queue = bench
+        .run_with(
+            &program,
+            &RunOptions::new(Policy::Conduit).cost_function(conduit::CostFunction {
+                include_queue_delay: false,
+                ..conduit::CostFunction::conduit()
+            }),
+        )
+        .unwrap();
+    assert!(
+        no_queue.total_time >= full.total_time,
+        "removing queue awareness should not speed Conduit up (full {}, ablated {})",
+        full.total_time,
+        no_queue.total_time
+    );
+}
+
+#[test]
+fn paper_scale_llama_timeline_supports_figure_10() {
+    // Figure 10 plots ~12000 instructions; make sure a larger-scale build
+    // produces a timeline of that order without blowing up memory or time.
+    let program = Workload::LlamaInference.program(Scale::new(4, 1)).unwrap();
+    assert!(program.len() > 1_500, "len = {}", program.len());
+    let mut bench = Workbench::new(SsdConfig::default());
+    let report = bench.run(&program, Policy::Conduit).unwrap();
+    assert_eq!(report.timeline.len(), program.len());
+}
