@@ -2,9 +2,8 @@
 //! DESIGN.md): drop the data-movement term, the queueing term, or the
 //! dependence term, and replace the `max` combination with a sum.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use conduit::{CostFunction, Policy, RunOptions, Workbench};
+use conduit_bench::micro;
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
 
@@ -43,7 +42,7 @@ fn variants() -> Vec<(&'static str, CostFunction)> {
     ]
 }
 
-fn ablation(c: &mut Criterion) {
+fn main() {
     let program = Workload::Heat3d.program(Scale::test()).unwrap();
 
     // Print the ablated end-to-end times once (the ablation "table").
@@ -51,26 +50,24 @@ fn ablation(c: &mut Criterion) {
     for (name, cf) in variants() {
         let mut bench = Workbench::new(SsdConfig::small_for_tests());
         let report = bench
-            .run_with(&program, &RunOptions::new(Policy::Conduit).cost_function(cf))
+            .run_with(
+                &program,
+                &RunOptions::new(Policy::Conduit).cost_function(cf),
+            )
             .unwrap();
         println!("{name}\t{}", report.total_time);
     }
 
-    let mut group = c.benchmark_group("cost_function_ablation_heat3d");
-    group.sample_size(10);
     for (name, cf) in variants() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &cf, |b, cf| {
-            b.iter(|| {
-                let mut bench = Workbench::new(SsdConfig::small_for_tests());
-                bench
-                    .run_with(&program, &RunOptions::new(Policy::Conduit).cost_function(*cf))
-                    .unwrap()
-                    .total_time
-            })
+        micro::bench(&format!("cost_function_ablation_heat3d/{name}"), || {
+            let mut bench = Workbench::new(SsdConfig::small_for_tests());
+            bench
+                .run_with(
+                    &program,
+                    &RunOptions::new(Policy::Conduit).cost_function(cf),
+                )
+                .unwrap()
+                .total_time
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, ablation);
-criterion_main!(benches);

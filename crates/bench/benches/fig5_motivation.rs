@@ -1,23 +1,19 @@
 //! Figure 5 (motivation study): prior offloading policies vs the Ideal
-//! policy, plus a Criterion measurement of the simulation cost of each
-//! policy on a representative workload.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! policy, plus a measurement of the simulation cost of each policy on a
+//! representative workload.
 
 use conduit::{Policy, Workbench};
-use conduit_bench::Harness;
+use conduit_bench::{micro, Harness};
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
 
-fn fig5(c: &mut Criterion) {
+fn main() {
     // Print the regenerated figure once so `cargo bench` output contains the
     // same series the paper plots.
     let mut harness = Harness::quick();
     println!("{}", harness.fig5());
 
     let program = Workload::Jacobi1d.program(Scale::test()).unwrap();
-    let mut group = c.benchmark_group("fig5_motivation_jacobi1d");
-    group.sample_size(10);
     for policy in [
         Policy::HostCpu,
         Policy::HostGpu,
@@ -29,19 +25,12 @@ fn fig5(c: &mut Criterion) {
         Policy::DmOffloading,
         Policy::Ideal,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.name()),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut bench = Workbench::new(SsdConfig::small_for_tests());
-                    bench.run(&program, policy).unwrap().total_time
-                })
+        micro::bench(
+            &format!("fig5_motivation_jacobi1d/{}", policy.name()),
+            || {
+                let mut bench = Workbench::new(SsdConfig::small_for_tests());
+                bench.run(&program, policy).unwrap().total_time
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig5);
-criterion_main!(benches);

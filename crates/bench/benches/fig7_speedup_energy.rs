@@ -1,37 +1,26 @@
 //! Figure 7 (a: speedup, b: energy): Conduit vs the best prior offloading
-//! policy across all six workloads, plus Criterion measurements of the
-//! end-to-end simulation for each workload under Conduit.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+//! policy across all six workloads, plus measurements of the end-to-end
+//! simulation for each workload under Conduit.
 
 use conduit::{Policy, Workbench};
-use conduit_bench::Harness;
+use conduit_bench::{micro, Harness};
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
 
-fn fig7(c: &mut Criterion) {
+fn main() {
     let mut harness = Harness::quick();
     println!("{}", harness.fig7a());
     println!("{}", harness.fig7b());
     println!("{}", harness.headline());
 
-    let mut group = c.benchmark_group("fig7_conduit_all_workloads");
-    group.sample_size(10);
     for workload in Workload::ALL {
         let program = workload.program(Scale::test()).unwrap();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(workload.name()),
-            &program,
-            |b, program| {
-                b.iter(|| {
-                    let mut bench = Workbench::new(SsdConfig::small_for_tests());
-                    bench.run(program, Policy::Conduit).unwrap().total_time
-                })
+        micro::bench(
+            &format!("fig7_conduit_all_workloads/{}", workload.name()),
+            || {
+                let mut bench = Workbench::new(SsdConfig::small_for_tests());
+                bench.run(&program, Policy::Conduit).unwrap().total_time
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig7);
-criterion_main!(benches);

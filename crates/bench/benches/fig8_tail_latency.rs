@@ -1,38 +1,24 @@
 //! Figure 8 (tail latencies) and Figures 9/10 (offloading decisions and the
-//! instruction→resource timeline), plus a Criterion measurement of the
+//! instruction→resource timeline), plus a measurement of the
 //! tail-latency-sensitive LLaMA2 inference run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
 use conduit::{Policy, Workbench};
-use conduit_bench::Harness;
+use conduit_bench::{micro, Harness};
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
 
-fn fig8_to_10(c: &mut Criterion) {
+fn main() {
     let mut harness = Harness::quick();
     println!("{}", harness.fig8());
     println!("{}", harness.fig9());
     println!("{}", harness.fig10());
 
     let program = Workload::LlamaInference.program(Scale::test()).unwrap();
-    let mut group = c.benchmark_group("fig8_llama_inference");
-    group.sample_size(10);
     for policy in [Policy::Conduit, Policy::DmOffloading, Policy::BwOffloading] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(policy.name()),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    let mut bench = Workbench::new(SsdConfig::small_for_tests());
-                    let mut report = bench.run(&program, policy).unwrap();
-                    report.latency.percentile(0.99)
-                })
-            },
-        );
+        micro::bench(&format!("fig8_llama_inference/{}", policy.name()), || {
+            let mut bench = Workbench::new(SsdConfig::small_for_tests());
+            let mut report = bench.run(&program, policy).unwrap();
+            report.latency.percentile(0.99)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, fig8_to_10);
-criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Simulator throughput: vector instructions simulated per wall-clock second,
+//! and the parallel-vs-serial speedup of the full figure sweep.
+//!
+//! `cargo bench -p conduit-bench --bench sim_throughput` prints the summary
+//! and writes `BENCH_sim_throughput.json` into the current directory (the
+//! same document `repro sim-throughput` emits at paper scale).
+
+use conduit_bench::throughput::ThroughputReport;
+
+fn main() {
+    let report = ThroughputReport::measure(true);
+    print!("{}", report.summary());
+    for r in &report.per_policy {
+        println!("{}", r.summary());
+    }
+    let path = "BENCH_sim_throughput.json";
+    match std::fs::write(path, report.to_json()) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

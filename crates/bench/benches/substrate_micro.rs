@@ -1,75 +1,91 @@
 //! Microbenchmarks of the substrate models themselves: per-operation cost
-//! evaluation for each compute resource, address arithmetic, the
-//! auto-vectorizer, and the event queue. These bound the simulator's own
-//! overhead per modelled instruction.
+//! evaluation for each compute resource, the precomputed estimate-table
+//! lookups that replace them on the hot path, address arithmetic, the
+//! auto-vectorizer, the event queue, and the allocation-free energy meter.
+//! These bound the simulator's own overhead per modelled instruction.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use conduit_bench::micro::{self, black_box};
 use conduit_ctrl::IspModel;
 use conduit_dram::PudModel;
 use conduit_flash::{FlashGeometry, IfpModel, IfpPlacement};
-use conduit_sim::EventQueue;
-use conduit_types::{Duration, FlashConfig, OpType, SimTime, SsdConfig};
+use conduit_sim::{EnergyMeter, EventQueue, SsdDevice};
+use conduit_types::{
+    Duration, Energy, EnergySource, FlashConfig, OpType, Resource, SimTime, SsdConfig,
+};
 use conduit_vectorizer::Vectorizer;
 use conduit_workloads::{Scale, Workload};
 
-fn substrate(c: &mut Criterion) {
+fn main() {
     let cfg = SsdConfig::default();
     let ifp = IfpModel::new(&cfg.flash);
     let pud = PudModel::new(&cfg.dram);
     let isp = IspModel::new(&cfg.ctrl);
     let geo = FlashGeometry::new(&FlashConfig::default());
+    let device = SsdDevice::new(&cfg).unwrap();
 
-    c.bench_function("ifp_op_cost_and", |b| {
-        b.iter(|| {
-            ifp.op_cost(
-                black_box(OpType::And),
-                32,
-                4096,
-                IfpPlacement::SameBlock { operands: 2 },
-            )
+    micro::bench("ifp_op_cost_and", || {
+        ifp.op_cost(
+            black_box(OpType::And),
+            32,
+            4096,
+            IfpPlacement::SameBlock { operands: 2 },
+        )
+        .unwrap()
+        .latency
+    });
+
+    micro::bench("pud_op_cost_mul", || {
+        pud.op_cost(black_box(OpType::Mul), 32, 4096, 8)
             .unwrap()
             .latency
-        })
     });
 
-    c.bench_function("pud_op_cost_mul", |b| {
-        b.iter(|| pud.op_cost(black_box(OpType::Mul), 32, 4096, 8).unwrap().latency)
+    micro::bench("isp_op_cost_add", || {
+        isp.op_cost(black_box(OpType::Add), 32, 4096).latency
     });
 
-    c.bench_function("isp_op_cost_add", |b| {
-        b.iter(|| isp.op_cost(black_box(OpType::Add), 32, 4096).latency)
+    // The estimate-table lookup that replaces the three model evaluations on
+    // the per-instruction hot path (canonical shape = table hit).
+    micro::bench("device_estimate_compute_table_hit", || {
+        device.estimate_compute(black_box(Resource::PudSsd), OpType::Mul, 32, 4096)
+    });
+    micro::bench("device_estimate_compute_fallback", || {
+        device.estimate_compute(black_box(Resource::PudSsd), OpType::Mul, 32, 1024)
     });
 
-    c.bench_function("flash_addr_roundtrip", |b| {
-        b.iter(|| {
-            let addr = geo.addr_of(black_box(1_234_567));
-            geo.index_of(addr)
-        })
+    // The allocation-free energy meter charge (was: String key + BTreeMap).
+    micro::bench("energy_meter_charge", || {
+        let mut m = EnergyMeter::new();
+        for _ in 0..64 {
+            m.charge(black_box(EnergySource::Ifp), Energy::from_nj(1.0));
+            m.charge(black_box(EnergySource::DramBus), Energy::from_nj(1.0));
+        }
+        m.total()
     });
 
-    c.bench_function("event_queue_1k_schedule_pop", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(SimTime::ZERO + Duration::from_ns(i as f64), i);
-            }
-            let mut last = 0;
-            while let Some((_, e)) = q.pop() {
-                last = e;
-            }
-            last
-        })
+    micro::bench("flash_addr_roundtrip", || {
+        let addr = geo.addr_of(black_box(1_234_567));
+        geo.index_of(addr)
     });
 
-    let mut group = c.benchmark_group("vectorizer");
-    group.sample_size(10);
-    group.bench_function("vectorize_jacobi1d", |b| {
-        let kernel = Workload::Jacobi1d.kernel(Scale::test());
-        b.iter(|| Vectorizer::default().vectorize(black_box(&kernel)).unwrap().program.len())
+    micro::bench("event_queue_1k_schedule_pop", || {
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            q.schedule(SimTime::ZERO + Duration::from_ns(i as f64), i);
+        }
+        let mut last = 0;
+        while let Some((_, e)) = q.pop() {
+            last = e;
+        }
+        last
     });
-    group.finish();
+
+    let kernel = Workload::Jacobi1d.kernel(Scale::test());
+    micro::bench("vectorize_jacobi1d", || {
+        Vectorizer::default()
+            .vectorize(black_box(&kernel))
+            .unwrap()
+            .program
+            .len()
+    });
 }
-
-criterion_group!(benches, substrate);
-criterion_main!(benches);

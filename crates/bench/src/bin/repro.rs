@@ -7,20 +7,30 @@
 //! ```
 //!
 //! where `<target>` is one of `fig4`, `fig5`, `fig7a`, `fig7b`, `fig8`,
-//! `fig9`, `fig10`, `table3`, `overheads`, `headline`, or `all`.
-//! `--quick` uses the reduced test scale (useful for smoke runs).
+//! `fig9`, `fig10`, `table3`, `overheads`, `headline`, `sim-throughput`, or
+//! `all`.
+//!
+//! Flags:
+//!
+//! * `--quick` uses the reduced test scale (useful for smoke runs),
+//! * `--serial` disables the parallel (workload, policy) fan-out (the
+//!   default runs one simulation per CPU core; results are bit-identical),
+//! * `sim-throughput` measures simulator throughput and writes
+//!   `BENCH_sim_throughput.json` next to the current directory.
 
+use conduit_bench::throughput::ThroughputReport;
 use conduit_bench::Harness;
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|all> [--quick]"
+        "usage: repro <fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|sim-throughput|all> [--quick] [--serial]"
     );
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let serial = args.iter().any(|a| a == "--serial");
     let target = args.iter().find(|a| !a.starts_with("--")).cloned();
 
     let Some(target) = target else {
@@ -28,7 +38,30 @@ fn main() {
         std::process::exit(2);
     };
 
-    let mut harness = if quick { Harness::quick() } else { Harness::paper() };
+    if target == "sim-throughput" {
+        let report = ThroughputReport::measure(quick);
+        print!("{}", report.summary());
+        let path = "BENCH_sim_throughput.json";
+        match std::fs::write(path, report.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut harness = if quick {
+        Harness::quick()
+    } else {
+        Harness::paper()
+    };
+    harness = harness.with_parallel(!serial);
+    if target == "all" {
+        // One parallel sweep fills the cache for every figure below.
+        harness.prefetch_all();
+    }
 
     let outputs: Vec<(&str, String)> = match target.as_str() {
         "fig4" => vec![("fig4", harness.fig4())],

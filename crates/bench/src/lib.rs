@@ -8,12 +8,22 @@
 //! simulated device and caches the report; the `figN`/`tableN` methods format
 //! the same rows/series the paper plots. The `repro` binary
 //! (`cargo run -p conduit-bench --bin repro -- <figure>`) prints them, and
-//! the Criterion benches under `benches/` measure the simulator itself.
+//! the benches under `benches/` measure the simulator itself (see [`micro`]).
+//!
+//! Because every run uses a **fresh** [`conduit_sim::SsdDevice`], runs of
+//! different (workload, policy) pairs are completely independent; the harness
+//! therefore fans missing pairs out across all CPU cores by default, with
+//! results bit-identical to the serial path (see [`Harness::prefetch`]).
+
+pub mod micro;
+pub mod throughput;
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use conduit::{gmean, Policy, RunOptions, RunReport, Workbench};
-use conduit_types::{ExecutionSite, Resource, SsdConfig};
+use conduit_types::{ExecutionSite, Resource, SsdConfig, VectorProgram};
 use conduit_workloads::{characterize, Scale, Workload};
 
 /// Runs workload × policy combinations and formats the paper's figures.
@@ -21,6 +31,9 @@ use conduit_workloads::{characterize, Scale, Workload};
 pub struct Harness {
     bench: Workbench,
     scale: Scale,
+    parallel: bool,
+    workers: Option<usize>,
+    programs: HashMap<Workload, VectorProgram>,
     cache: HashMap<(Workload, Policy), RunReport>,
 }
 
@@ -30,7 +43,7 @@ impl Harness {
         Harness::new(SsdConfig::default(), Scale::new(4, 1))
     }
 
-    /// A reduced-scale harness for smoke tests and Criterion benches.
+    /// A reduced-scale harness for smoke tests and micro benches.
     pub fn quick() -> Self {
         Harness::new(SsdConfig::small_for_tests(), Scale::test())
     }
@@ -40,8 +53,30 @@ impl Harness {
         Harness {
             bench: Workbench::new(cfg),
             scale,
+            parallel: true,
+            workers: None,
+            programs: HashMap::new(),
             cache: HashMap::new(),
         }
+    }
+
+    /// Builder-style: enables or disables the parallel fan-out (parallel is
+    /// the default; the serial path exists for comparison and testing).
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Builder-style: overrides the worker-thread count used by the fan-out
+    /// (default: one per available CPU core).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Whether missing (workload, policy) pairs are simulated in parallel.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
     }
 
     /// The workload scale in use.
@@ -49,18 +84,112 @@ impl Harness {
         self.scale
     }
 
+    /// Generates (and caches) the vector program for a workload.
+    fn ensure_program(&mut self, workload: Workload) {
+        if !self.programs.contains_key(&workload) {
+            let program = workload
+                .program(self.scale)
+                .expect("workload generators always produce valid programs");
+            self.programs.insert(workload, program);
+        }
+    }
+
+    /// Simulates every not-yet-cached pair in `pairs`, fanning the runs out
+    /// across all CPU cores when parallelism is enabled.
+    ///
+    /// Each run executes on a fresh simulated device, so the reports are
+    /// **bit-identical** to running the same pairs one at a time; only the
+    /// wall-clock time changes.
+    pub fn prefetch(&mut self, pairs: &[(Workload, Policy)]) {
+        let mut missing: Vec<(Workload, Policy)> = Vec::new();
+        for &pair in pairs {
+            if !self.cache.contains_key(&pair) && !missing.contains(&pair) {
+                missing.push(pair);
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        for &(w, _) in &missing {
+            self.ensure_program(w);
+        }
+
+        let workers = if self.parallel {
+            self.workers
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism()
+                        .map(|n| n.get())
+                        .unwrap_or(1)
+                })
+                .min(missing.len())
+        } else {
+            1
+        };
+        if workers <= 1 {
+            for (w, p) in missing {
+                let report = self
+                    .bench
+                    .run_with(&self.programs[&w], &RunOptions::new(p))
+                    .expect("simulation of a generated workload cannot fail");
+                self.cache.insert((w, p), report);
+            }
+            return;
+        }
+
+        // Work-stealing fan-out: each worker owns a Workbench clone and pulls
+        // the next pair index from a shared counter, so long-running policies
+        // do not serialize behind short ones.
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<RunReport>>> =
+            missing.iter().map(|_| Mutex::new(None)).collect();
+        let programs = &self.programs;
+        let missing_ref = &missing;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let mut bench = self.bench.clone();
+                let next = &next;
+                let slots = &slots;
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= missing_ref.len() {
+                        break;
+                    }
+                    let (w, p) = missing_ref[i];
+                    let report = bench
+                        .run_with(&programs[&w], &RunOptions::new(p))
+                        .expect("simulation of a generated workload cannot fail");
+                    *slots[i].lock().expect("no poisoned slot") = Some(report);
+                });
+            }
+        });
+        for (pair, slot) in missing.iter().zip(slots) {
+            let report = slot
+                .into_inner()
+                .expect("no poisoned slot")
+                .expect("every pair was simulated");
+            self.cache.insert(*pair, report);
+        }
+    }
+
+    /// Simulates all [`Workload::ALL`] × [`Policy::ALL`] pairs (the full
+    /// figure sweep), in parallel when enabled.
+    pub fn prefetch_all(&mut self) {
+        let pairs: Vec<(Workload, Policy)> = Workload::ALL
+            .iter()
+            .flat_map(|&w| Policy::ALL.iter().map(move |&p| (w, p)))
+            .collect();
+        self.prefetch(&pairs);
+    }
+
     /// Runs (or returns the cached run of) one workload under one policy.
     pub fn report(&mut self, workload: Workload, policy: Policy) -> RunReport {
         if let Some(r) = self.cache.get(&(workload, policy)) {
             return r.clone();
         }
-        let program = workload
-            .program(self.scale)
-            .expect("workload generators always produce valid programs");
-        let options = RunOptions::new(policy);
+        self.ensure_program(workload);
         let report = self
             .bench
-            .run_with(&program, &options)
+            .run_with(&self.programs[&workload], &RunOptions::new(policy))
             .expect("simulation of a generated workload cannot fail");
         self.cache.insert((workload, policy), report.clone());
         report
@@ -98,6 +227,11 @@ impl Harness {
             ("IFP", Policy::AresFlash),
             ("IFP+ISP", Policy::IfpIsp),
         ];
+        let pairs: Vec<(Workload, Policy)> = classes
+            .iter()
+            .flat_map(|&(_, w)| policies.iter().map(move |&(_, p)| (w, p)))
+            .collect();
+        self.prefetch(&pairs);
         let mut out = String::from(
             "# Figure 4: normalized execution time and breakdown (lower is better)\n\
              class\tmodel\tnorm_time\tcompute\thost_dm\tinternal_dm\tflash_read\n",
@@ -170,6 +304,16 @@ impl Harness {
             Policy::Conduit,
             Policy::Ideal,
         ];
+        let pairs: Vec<(Workload, Policy)> = Workload::ALL
+            .iter()
+            .flat_map(|&w| {
+                policies
+                    .iter()
+                    .map(move |&p| (w, p))
+                    .chain(std::iter::once((w, Policy::HostCpu)))
+            })
+            .collect();
+        self.prefetch(&pairs);
         let mut out = String::from(
             "# Figure 7(b): energy normalized to CPU (data-movement + compute = total)\n\
              workload\tpolicy\ttotal\tdata_movement\tcompute\n",
@@ -202,6 +346,17 @@ impl Harness {
         let mut out = String::from(
             "# Figure 8: tail latencies (microseconds)\nworkload\tpolicy\tp99_us\tp9999_us\n",
         );
+        let fig8_policies = [
+            Policy::Ideal,
+            Policy::Conduit,
+            Policy::BwOffloading,
+            Policy::DmOffloading,
+        ];
+        let pairs: Vec<(Workload, Policy)> = [Workload::LlamaInference, Workload::Jacobi1d]
+            .iter()
+            .flat_map(|&w| fig8_policies.iter().map(move |&p| (w, p)))
+            .collect();
+        self.prefetch(&pairs);
         for workload in [Workload::LlamaInference, Workload::Jacobi1d] {
             for policy in [
                 Policy::Ideal,
@@ -227,6 +382,17 @@ impl Harness {
             "# Figure 9: offloading decisions (fraction of instructions)\n\
              workload\tpolicy\tISP\tPuD-SSD\tIFP\n",
         );
+        let fig9_policies = [
+            Policy::BwOffloading,
+            Policy::DmOffloading,
+            Policy::Conduit,
+            Policy::Ideal,
+        ];
+        let pairs: Vec<(Workload, Policy)> = Workload::ALL
+            .iter()
+            .flat_map(|&w| fig9_policies.iter().map(move |&p| (w, p)))
+            .collect();
+        self.prefetch(&pairs);
         for workload in Workload::ALL {
             for policy in [
                 Policy::BwOffloading,
@@ -254,6 +420,11 @@ impl Harness {
              Each row: policy, then per-bucket dominant resource\n\
              (I = ISP, P = PuD-SSD, F = IFP, h = host)\n",
         );
+        self.prefetch(&[
+            (Workload::LlamaInference, Policy::BwOffloading),
+            (Workload::LlamaInference, Policy::DmOffloading),
+            (Workload::LlamaInference, Policy::Conduit),
+        ]);
         for policy in [Policy::BwOffloading, Policy::DmOffloading, Policy::Conduit] {
             let r = self.report(Workload::LlamaInference, policy);
             let timeline = &r.timeline;
@@ -282,7 +453,8 @@ impl Harness {
         }
         out.push_str(&format!(
             "instructions: {}\n",
-            self.report(Workload::LlamaInference, Policy::Conduit).instructions
+            self.report(Workload::LlamaInference, Policy::Conduit)
+                .instructions
         ));
         out
     }
@@ -323,6 +495,11 @@ impl Harness {
             "# Runtime overhead (paper: 3.77 us average, up to 33 us) and storage overhead\n\
              workload\tmean_overhead_us\tmax_overhead_us\n",
         );
+        let pairs: Vec<(Workload, Policy)> = Workload::ALL
+            .iter()
+            .map(|&w| (w, Policy::Conduit))
+            .collect();
+        self.prefetch(&pairs);
         for workload in Workload::ALL {
             let r = self.report(workload, Policy::Conduit);
             out.push_str(&format!(
@@ -351,6 +528,17 @@ impl Harness {
         let mut conduit_vs_cpu = Vec::new();
         let mut energy_vs_dm = Vec::new();
         let mut frac_of_ideal = Vec::new();
+        let headline_policies = [
+            Policy::DmOffloading,
+            Policy::Conduit,
+            Policy::Ideal,
+            Policy::HostCpu,
+        ];
+        let pairs: Vec<(Workload, Policy)> = Workload::ALL
+            .iter()
+            .flat_map(|&w| headline_policies.iter().map(move |&p| (w, p)))
+            .collect();
+        self.prefetch(&pairs);
         for workload in Workload::ALL {
             let dm = self.report(workload, Policy::DmOffloading);
             let conduit = self.report(workload, Policy::Conduit);
@@ -375,6 +563,16 @@ impl Harness {
     }
 
     fn speedup_table(&mut self, header: &str, policies: &[Policy]) -> String {
+        let pairs: Vec<(Workload, Policy)> = Workload::ALL
+            .iter()
+            .flat_map(|&w| {
+                policies
+                    .iter()
+                    .map(move |&p| (w, p))
+                    .chain(std::iter::once((w, Policy::HostCpu)))
+            })
+            .collect();
+        self.prefetch(&pairs);
         let mut out = String::from(header);
         out.push_str("workload");
         for p in policies {
@@ -421,6 +619,20 @@ mod tests {
         ] {
             assert!(text.lines().count() > 3, "{name} output too short:\n{text}");
         }
+    }
+
+    // Full serial-vs-parallel sweep equivalence is asserted by
+    // tests/integration_determinism.rs; here we only cover the cheap
+    // cache/dedupe behaviour of prefetch.
+    #[test]
+    fn prefetch_dedupes_and_caches() {
+        let mut h = Harness::quick();
+        let pair = (Workload::Jacobi1d, Policy::Conduit);
+        h.prefetch(&[pair, pair, pair]);
+        let first = h.report(pair.0, pair.1);
+        // A second prefetch of the same pair must be a no-op (cached).
+        h.prefetch(&[pair]);
+        assert_eq!(first, h.report(pair.0, pair.1));
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! Minimal self-contained micro-benchmark harness.
+//!
+//! The container this reproduction builds in has no network access, so the
+//! usual `criterion` dev-dependency is unavailable; this module provides the
+//! small slice of it the benches need: warmup, automatic batching for
+//! sub-microsecond operations, repeated sampling, and median/mean reporting —
+//! plus a tiny JSON writer so results can be persisted (e.g.
+//! `BENCH_sim_throughput.json`) and tracked across commits.
+//!
+//! # Examples
+//!
+//! ```
+//! use conduit_bench::micro;
+//!
+//! let r = micro::bench("add", || std::hint::black_box(1u64 + 2));
+//! assert!(r.median_ns > 0.0);
+//! assert!(r.samples >= 1);
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier used by the benches.
+pub use std::hint::black_box;
+
+/// Timing summary of one benchmarked operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of timed samples (each a batch of iterations).
+    pub samples: usize,
+    /// Iterations per sample batch.
+    pub batch: u64,
+    /// Mean time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Median time per iteration in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time in nanoseconds.
+    pub max_ns: f64,
+}
+
+impl BenchResult {
+    /// One line of human-readable output, criterion-style.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<40} median {:>12} mean {:>12} ({} samples x {} iters)",
+            self.name,
+            format_ns(self.median_ns),
+            format_ns(self.mean_ns),
+            self.samples,
+            self.batch
+        )
+    }
+
+    /// The result as a JSON object (no external serializer available).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"samples\":{},\"batch\":{},\"mean_ns\":{:.3},\"median_ns\":{:.3},\"min_ns\":{:.3},\"max_ns\":{:.3}}}",
+            self.name, self.samples, self.batch, self.mean_ns, self.median_ns, self.min_ns,
+            self.max_ns
+        )
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Tunable measurement parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchConfig {
+    /// Warmup time before sampling starts.
+    pub warmup: Duration,
+    /// Target total measurement time.
+    pub measurement: Duration,
+    /// Minimum number of samples regardless of elapsed time.
+    pub min_samples: usize,
+    /// Maximum number of samples.
+    pub max_samples: usize,
+    /// Target wall time per sample batch (controls auto-batching).
+    pub target_batch: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            warmup: Duration::from_millis(50),
+            measurement: Duration::from_millis(500),
+            min_samples: 10,
+            max_samples: 100,
+            target_batch: Duration::from_micros(50),
+        }
+    }
+}
+
+/// Benchmarks `f` with the default configuration and prints a summary line.
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> BenchResult {
+    let r = bench_with(name, BenchConfig::default(), f);
+    println!("{}", r.summary());
+    r
+}
+
+/// Benchmarks `f` with an explicit configuration (no printing).
+pub fn bench_with<T>(name: &str, cfg: BenchConfig, mut f: impl FnMut() -> T) -> BenchResult {
+    // Warmup, and calibrate how many iterations one sample batch needs so
+    // that per-sample timing overhead is negligible even for ~10 ns ops.
+    let warmup_start = Instant::now();
+    let mut warmup_iters: u64 = 0;
+    while warmup_start.elapsed() < cfg.warmup || warmup_iters == 0 {
+        black_box(f());
+        warmup_iters += 1;
+    }
+    let per_iter = cfg.warmup.as_secs_f64() / warmup_iters as f64;
+    let batch = if per_iter <= 0.0 {
+        1
+    } else {
+        (cfg.target_batch.as_secs_f64() / per_iter).ceil().max(1.0) as u64
+    };
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(cfg.max_samples);
+    let run_start = Instant::now();
+    while samples_ns.len() < cfg.max_samples
+        && (samples_ns.len() < cfg.min_samples || run_start.elapsed() < cfg.measurement)
+    {
+        let t = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        samples_ns.push(t.elapsed().as_secs_f64() * 1e9 / batch as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    BenchResult {
+        name: name.to_string(),
+        samples: samples_ns.len(),
+        batch,
+        mean_ns,
+        median_ns: samples_ns[samples_ns.len() / 2],
+        min_ns: samples_ns[0],
+        max_ns: *samples_ns.last().expect("at least one sample"),
+    }
+}
+
+/// Serializes a set of results plus free-form extra fields into one JSON
+/// document: `{"benches": [...], <extras>}`.
+pub fn results_to_json(results: &[BenchResult], extras: &[(&str, String)]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(out, "    {}{}", r.to_json(), sep);
+    }
+    out.push_str("  ]");
+    for (k, v) in extras {
+        let _ = write!(out, ",\n  \"{k}\": {v}");
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_plausible_stats() {
+        let cfg = BenchConfig {
+            warmup: Duration::from_millis(1),
+            measurement: Duration::from_millis(5),
+            min_samples: 3,
+            max_samples: 10,
+            target_batch: Duration::from_micros(10),
+        };
+        let r = bench_with("spin", cfg, || black_box((0..100u64).sum::<u64>()));
+        assert!(r.samples >= 3 && r.samples <= 10);
+        assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+        assert!(r.mean_ns > 0.0);
+        assert!(r.batch >= 1);
+    }
+
+    #[test]
+    fn json_shape_is_wellformed_enough() {
+        let r = BenchResult {
+            name: "x".into(),
+            samples: 2,
+            batch: 4,
+            mean_ns: 1.5,
+            median_ns: 1.0,
+            min_ns: 0.5,
+            max_ns: 2.5,
+        };
+        let doc = results_to_json(&[r], &[("instructions_per_sec", "123.0".into())]);
+        assert!(doc.contains("\"benches\""));
+        assert!(doc.contains("\"name\":\"x\""));
+        assert!(doc.contains("\"instructions_per_sec\": 123.0"));
+        assert!(doc.trim_end().ends_with('}'));
+    }
+}

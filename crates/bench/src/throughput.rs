@@ -1,0 +1,184 @@
+//! Simulator-throughput measurement: vector instructions simulated per
+//! wall-clock second, plus the parallel-vs-serial sweep speedup.
+//!
+//! This is the number the perf trajectory tracks (`BENCH_sim_throughput.json`
+//! at the repository root, emitted by `repro sim-throughput`): it bounds how
+//! fast the whole figure-regeneration pipeline can go and directly reflects
+//! hot-path work like cost-feature collection and energy accounting.
+
+use std::time::Instant;
+
+use conduit::{Policy, RunOptions, Workbench};
+use conduit_types::SsdConfig;
+use conduit_workloads::{Scale, Workload};
+
+use crate::micro::{black_box, results_to_json, BenchResult};
+use crate::Harness;
+
+/// The measured simulator throughput and sweep scaling.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputReport {
+    /// Vector instructions simulated during the timed section.
+    pub instructions: u64,
+    /// Wall-clock seconds of the timed section.
+    pub wall_seconds: f64,
+    /// Instructions simulated per second (the headline number).
+    pub instructions_per_sec: f64,
+    /// Wall-clock seconds of the full figure sweep run serially.
+    pub sweep_serial_seconds: f64,
+    /// Wall-clock seconds of the same sweep with the parallel harness.
+    pub sweep_parallel_seconds: f64,
+    /// `sweep_serial_seconds / sweep_parallel_seconds`.
+    pub parallel_speedup: f64,
+    /// Per-policy single-run timings of the probe workload.
+    pub per_policy: Vec<BenchResult>,
+}
+
+impl ThroughputReport {
+    /// Measures throughput at the reduced test scale (fast; used by the
+    /// bench target and CI) or the paper scale.
+    pub fn measure(quick: bool) -> ThroughputReport {
+        let (cfg, scale) = if quick {
+            (SsdConfig::small_for_tests(), Scale::test())
+        } else {
+            (SsdConfig::default(), Scale::new(4, 1))
+        };
+
+        // --- raw engine throughput: Conduit policy over every workload ----
+        let mut bench = Workbench::new(cfg.clone());
+        let programs: Vec<_> = Workload::ALL
+            .iter()
+            .map(|w| w.program(scale).expect("generators always succeed"))
+            .collect();
+        // One untimed pass to warm caches and page tables.
+        for program in &programs {
+            black_box(
+                bench
+                    .run_with(program, &RunOptions::new(Policy::Conduit))
+                    .expect("simulation cannot fail"),
+            );
+        }
+        let repeats = if quick { 3 } else { 1 };
+        let mut instructions = 0u64;
+        let t = Instant::now();
+        for _ in 0..repeats {
+            for program in &programs {
+                let report = bench
+                    .run_with(program, &RunOptions::new(Policy::Conduit))
+                    .expect("simulation cannot fail");
+                instructions += report.instructions as u64;
+                black_box(report);
+            }
+        }
+        let wall_seconds = t.elapsed().as_secs_f64();
+
+        // --- per-policy probe timings (jacobi-1d, one run each) -----------
+        let probe = Workload::Jacobi1d.program(scale).expect("generator");
+        let mut per_policy = Vec::new();
+        for policy in [
+            Policy::HostCpu,
+            Policy::DmOffloading,
+            Policy::Conduit,
+            Policy::Ideal,
+        ] {
+            let t = Instant::now();
+            let report = bench
+                .run_with(&probe, &RunOptions::new(policy))
+                .expect("simulation cannot fail");
+            let ns = t.elapsed().as_secs_f64() * 1e9;
+            black_box(report);
+            per_policy.push(BenchResult {
+                name: format!("jacobi1d/{policy}"),
+                samples: 1,
+                batch: 1,
+                mean_ns: ns,
+                median_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+            });
+        }
+
+        // --- full figure sweep: serial vs parallel harness ----------------
+        let t = Instant::now();
+        let mut serial = Harness::new(cfg.clone(), scale).with_parallel(false);
+        serial.prefetch_all();
+        let sweep_serial_seconds = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let mut parallel = Harness::new(cfg, scale).with_parallel(true);
+        parallel.prefetch_all();
+        let sweep_parallel_seconds = t.elapsed().as_secs_f64();
+
+        ThroughputReport {
+            instructions,
+            wall_seconds,
+            instructions_per_sec: instructions as f64 / wall_seconds.max(1e-12),
+            sweep_serial_seconds,
+            sweep_parallel_seconds,
+            parallel_speedup: sweep_serial_seconds / sweep_parallel_seconds.max(1e-12),
+            per_policy,
+        }
+    }
+
+    /// Human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "# Simulator throughput\n\
+             instructions simulated: {}\n\
+             wall seconds:           {:.3}\n\
+             instructions/sec:       {:.0}\n\
+             sweep serial:           {:.3} s\n\
+             sweep parallel:         {:.3} s\n\
+             parallel speedup:       {:.2}x\n",
+            self.instructions,
+            self.wall_seconds,
+            self.instructions_per_sec,
+            self.sweep_serial_seconds,
+            self.sweep_parallel_seconds,
+            self.parallel_speedup
+        )
+    }
+
+    /// The JSON document written to `BENCH_sim_throughput.json`.
+    pub fn to_json(&self) -> String {
+        results_to_json(
+            &self.per_policy,
+            &[
+                ("instructions", self.instructions.to_string()),
+                ("wall_seconds", format!("{:.6}", self.wall_seconds)),
+                (
+                    "instructions_per_sec",
+                    format!("{:.1}", self.instructions_per_sec),
+                ),
+                (
+                    "sweep_serial_seconds",
+                    format!("{:.6}", self.sweep_serial_seconds),
+                ),
+                (
+                    "sweep_parallel_seconds",
+                    format!("{:.6}", self.sweep_parallel_seconds),
+                ),
+                ("parallel_speedup", format!("{:.3}", self.parallel_speedup)),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_measurement_produces_consistent_numbers() {
+        let r = ThroughputReport::measure(true);
+        assert!(r.instructions > 0);
+        assert!(r.instructions_per_sec > 0.0);
+        assert!(r.sweep_serial_seconds > 0.0);
+        assert!(r.sweep_parallel_seconds > 0.0);
+        assert_eq!(r.per_policy.len(), 4);
+        let json = r.to_json();
+        assert!(json.contains("\"instructions_per_sec\""));
+        assert!(json.contains("\"parallel_speedup\""));
+        assert!(r.summary().contains("instructions/sec"));
+    }
+}

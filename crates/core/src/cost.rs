@@ -249,12 +249,17 @@ mod tests {
         let mut dev = device();
         // Saturate the flash dies with long operations.
         for _ in 0..64 {
-            dev.execute_ifp(OpType::Mul, 32, 4096, &[], SimTime::ZERO).unwrap();
+            dev.execute_ifp(OpType::Mul, 32, 4096, &[], SimTime::ZERO)
+                .unwrap();
         }
         let locs = [DataLocation::Flash, DataLocation::Flash];
         let c = ctx(&dev, &locs);
         let (r, _) = CostFunction::conduit().choose(&xor_inst(), &c).unwrap();
-        assert_ne!(r, Resource::Ifp, "busy flash should push the choice elsewhere");
+        assert_ne!(
+            r,
+            Resource::Ifp,
+            "busy flash should push the choice elsewhere"
+        );
     }
 
     #[test]
@@ -263,7 +268,9 @@ mod tests {
         let locs = [DataLocation::Flash, DataLocation::Flash];
         let c = ctx(&dev, &locs);
         let full = CostFunction::conduit();
-        let f = full.features_for(Resource::PudSsd, &xor_inst(), &c).unwrap();
+        let f = full
+            .features_for(Resource::PudSsd, &xor_inst(), &c)
+            .unwrap();
         let without_dm = CostFunction {
             include_data_movement: false,
             ..full
@@ -297,5 +304,4 @@ mod tests {
         let (dm, _) = cf.choose_min_data_movement(&xor_inst(), &c).unwrap();
         assert_eq!(dm, Resource::Ifp);
     }
-
 }

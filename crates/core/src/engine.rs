@@ -134,9 +134,7 @@ impl RuntimeEngine {
     ///
     /// Propagates FTL allocation errors.
     pub fn prepare(&mut self, program: &VectorProgram) -> Result<()> {
-        program
-            .validate()
-            .map_err(ConduitError::invalid_program)?;
+        program.validate().map_err(ConduitError::invalid_program)?;
         for inst in program.iter() {
             let span = Self::pages_per_vector(inst);
             let page_srcs: Vec<LogicalPageId> = inst.src_pages().collect();
@@ -144,8 +142,7 @@ impl RuntimeEngine {
                 // Co-locate slice k of every operand in one block; spread the
                 // slices across planes for multi-plane parallelism.
                 for k in 0..span {
-                    let group: Vec<LogicalPageId> =
-                        page_srcs.iter().map(|p| p.offset(k)).collect();
+                    let group: Vec<LogicalPageId> = page_srcs.iter().map(|p| p.offset(k)).collect();
                     self.device.map_group(&group, Some(k))?;
                 }
             } else {
@@ -172,9 +169,7 @@ impl RuntimeEngine {
         if program.is_empty() {
             return Err(ConduitError::invalid_program("program has no instructions"));
         }
-        program
-            .validate()
-            .map_err(ConduitError::invalid_program)?;
+        program.validate().map_err(ConduitError::invalid_program)?;
 
         let policy = options.policy;
         let n = program.len();
@@ -187,16 +182,24 @@ impl RuntimeEngine {
         let mut energy = EnergySummary::default();
         let mut breakdown = CostBreakdown::zero();
         let mut mix = OffloadMix::default();
-        let mut latency = conduit_sim::LatencyStats::new();
-        let mut timeline = Vec::new();
+        let mut latency = conduit_sim::LatencyStats::with_capacity(n);
+        let mut timeline = Vec::with_capacity(if options.record_timeline { n } else { 0 });
         let mut overhead_report = OverheadReport::default();
         let mut lookups: u64 = 0;
+        // Scratch buffers reused across instructions so the per-instruction
+        // loop performs no heap allocation.
+        let mut operand_locations: Vec<DataLocation> = Vec::with_capacity(4);
+        let mut operand_first_pages: Vec<LogicalPageId> = Vec::with_capacity(4);
 
         for inst in program.iter() {
-            let issue = if policy.is_host() { host_clock } else { offload_clock };
+            let issue = if policy.is_host() {
+                host_clock
+            } else {
+                offload_clock
+            };
 
             // Gather operand locations and the data-dependence delay.
-            let mut operand_locations = Vec::with_capacity(inst.srcs.len());
+            operand_locations.clear();
             let mut dep_ready = issue;
             for src in &inst.srcs {
                 match src {
@@ -272,7 +275,7 @@ impl RuntimeEngine {
             let mut dispatched = issue;
             if options.charge_overheads && policy.pays_offloader_overhead() {
                 lookups += 1;
-                let miss = self.l2p_miss_period > 0 && lookups % self.l2p_miss_period == 0;
+                let miss = self.l2p_miss_period > 0 && lookups.is_multiple_of(self.l2p_miss_period);
                 let operands = inst.srcs.iter().filter(|s| s.needs_data()).count();
                 let ov = self.overhead.per_instruction(operands, miss);
                 overhead_report.record(ov);
@@ -293,13 +296,15 @@ impl RuntimeEngine {
             let span = Self::pages_per_vector(inst);
             let mut data_ready = dispatched.max(dep_ready);
             let movement_earliest = data_ready;
-            let mut operand_first_pages = Vec::new();
+            operand_first_pages.clear();
             for src in &inst.srcs {
                 match src {
                     Operand::Page(p) => {
                         operand_first_pages.push(*p);
                         for k in 0..span {
-                            let c = self.device.ensure_at(p.offset(k), dest, movement_earliest)?;
+                            let c = self
+                                .device
+                                .ensure_at(p.offset(k), dest, movement_earliest)?;
                             data_ready = data_ready.max(c.ready);
                             energy.data_movement += c.energy;
                             breakdown.accumulate(c.breakdown);
@@ -335,7 +340,9 @@ impl RuntimeEngine {
                     data_ready,
                 )?,
                 ExecutionSite::HostCpu => {
-                    let t = self.host_cpu.compute_time(inst.op, inst.elem_bits, inst.lanes);
+                    let t = self
+                        .host_cpu
+                        .compute_time(inst.op, inst.elem_bits, inst.lanes);
                     let start = data_ready.max(host_clock);
                     let end = start + t;
                     host_clock = end;
@@ -349,7 +356,9 @@ impl RuntimeEngine {
                     }
                 }
                 ExecutionSite::HostGpu => {
-                    let t = self.host_gpu.compute_time(inst.op, inst.elem_bits, inst.lanes);
+                    let t = self
+                        .host_gpu
+                        .compute_time(inst.op, inst.elem_bits, inst.lanes);
                     let start = data_ready.max(host_clock);
                     let end = start + t;
                     host_clock = end;
@@ -378,9 +387,7 @@ impl RuntimeEngine {
                         // OSP results return over the host link into the
                         // SSD's write cache; the host keeps its own copy, so
                         // later host-side reads of this page stay local.
-                        let link =
-                            self.device
-                                .host_transfer(PAGE_BYTES, false, comp.ready);
+                        let link = self.device.host_transfer(PAGE_BYTES, false, comp.ready);
                         energy.data_movement += link.energy;
                         breakdown.accumulate(link.breakdown);
                         let wb = self.device.record_result_write(
@@ -493,14 +500,22 @@ mod tests {
         let t = &report.timeline;
         assert!(t[1].completed > t[0].dispatched);
         assert!(t[2].completed >= t[1].completed);
-        assert_eq!(report.total_time.as_ps(), t[2].completed.as_ps().max(t[1].completed.as_ps()));
+        assert_eq!(
+            report.total_time.as_ps(),
+            t[2].completed.as_ps().max(t[1].completed.as_ps())
+        );
     }
 
     #[test]
     fn ideal_is_faster_than_every_realizable_policy() {
         let prog = program();
         let mut reports = Vec::new();
-        for policy in [Policy::Ideal, Policy::Conduit, Policy::IspOnly, Policy::HostCpu] {
+        for policy in [
+            Policy::Ideal,
+            Policy::Conduit,
+            Policy::IspOnly,
+            Policy::HostCpu,
+        ] {
             let mut e = engine();
             e.prepare(&prog).unwrap();
             reports.push(e.run(&prog, &RunOptions::new(policy)).unwrap());

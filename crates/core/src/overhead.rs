@@ -132,7 +132,11 @@ mod tests {
         let m = model();
         let s = m.storage();
         assert!(s.translation_table_bytes > 100);
-        assert!(s.fixed_total_bytes() <= 2048, "got {}", s.fixed_total_bytes());
+        assert!(
+            s.fixed_total_bytes() <= 2048,
+            "got {}",
+            s.fixed_total_bytes()
+        );
         assert_eq!(s.coherence_bytes_per_page, 2);
     }
 }

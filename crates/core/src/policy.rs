@@ -174,7 +174,10 @@ impl Policy {
                 ExecutionSite::Ssd(choice)
             }
             Policy::Conduit => {
-                let choice = cost.choose(inst, ctx).map(|(r, _)| r).unwrap_or(Resource::Isp);
+                let choice = cost
+                    .choose(inst, ctx)
+                    .map(|(r, _)| r)
+                    .unwrap_or(Resource::Isp);
                 ExecutionSite::Ssd(choice)
             }
             Policy::Ideal => {
@@ -279,13 +282,11 @@ mod tests {
         let mut dev = device();
         // Make the flash dies very busy.
         for _ in 0..32 {
-            dev.execute_ifp(OpType::Mul, 32, 4096, &[], SimTime::ZERO).unwrap();
+            dev.execute_ifp(OpType::Mul, 32, 4096, &[], SimTime::ZERO)
+                .unwrap();
         }
         let locs = [DataLocation::Flash, DataLocation::Flash];
-        let site = Policy::BwOffloading.choose_site(
-            &inst(OpType::And),
-            &ctx(&dev, &locs),
-        );
+        let site = Policy::BwOffloading.choose_site(&inst(OpType::And), &ctx(&dev, &locs));
         assert_ne!(site, ExecutionSite::Ssd(Resource::Ifp));
     }
 
@@ -298,7 +299,9 @@ mod tests {
             let i = VectorInst::with_srcs(
                 0,
                 op,
-                (0..op.arity()).map(|k| Operand::page(k as u64 * 4)).collect(),
+                (0..op.arity())
+                    .map(|k| Operand::page(k as u64 * 4))
+                    .collect(),
             );
             for p in [Policy::Conduit, Policy::Ideal] {
                 let site = p.choose_site(&i, &c);

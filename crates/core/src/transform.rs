@@ -207,23 +207,27 @@ mod tests {
     #[test]
     fn table_covers_exactly_the_supported_pairs() {
         let t = tx();
-        let expected: usize = Resource::ALL
-            .iter()
-            .map(|r| r.supported_op_count())
-            .sum();
+        let expected: usize = Resource::ALL.iter().map(|r| r.supported_op_count()).sum();
         assert_eq!(t.entries().len(), expected);
         for e in t.entries() {
             assert!(e.resource.supports(e.op));
             assert_eq!(e.isa, NativeIsa::of(e.resource));
             assert!(!e.native.is_empty());
-            assert!(!e.native.contains("unknown"), "{:?} has no real mnemonic", e);
+            assert!(
+                !e.native.contains("unknown"),
+                "{:?} has no real mnemonic",
+                e
+            );
         }
     }
 
     #[test]
     fn lookups_match_the_paper_mnemonics() {
         let t = tx();
-        assert_eq!(t.lookup(OpType::And, Resource::Ifp).unwrap().native, "mws_and");
+        assert_eq!(
+            t.lookup(OpType::And, Resource::Ifp).unwrap().native,
+            "mws_and"
+        );
         assert_eq!(
             t.lookup(OpType::Mul, Resource::Ifp).unwrap().native,
             "shift_and_add_mul"
@@ -248,7 +252,7 @@ mod tests {
     }
 
     #[test]
-    fn storage_overhead_is_about_a_kibibyte(){
+    fn storage_overhead_is_about_a_kibibyte() {
         let t = tx();
         assert!(t.table_bytes() >= 150);
         assert!(t.table_bytes() <= 2048);

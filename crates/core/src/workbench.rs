@@ -64,11 +64,7 @@ impl Workbench {
     /// # Errors
     ///
     /// Propagates preparation and simulation errors.
-    pub fn run_with(
-        &mut self,
-        program: &VectorProgram,
-        options: &RunOptions,
-    ) -> Result<RunReport> {
+    pub fn run_with(&mut self, program: &VectorProgram, options: &RunOptions) -> Result<RunReport> {
         let mut engine = RuntimeEngine::with_host(&self.ssd, &self.host)?;
         engine.prepare(program)?;
         engine.run(program, options)
@@ -105,7 +101,10 @@ mod tests {
     fn compare_runs_each_policy_fresh() {
         let mut bench = Workbench::new(SsdConfig::small_for_tests());
         let reports = bench
-            .compare(&program(), &[Policy::HostCpu, Policy::Conduit, Policy::Ideal])
+            .compare(
+                &program(),
+                &[Policy::HostCpu, Policy::Conduit, Policy::Ideal],
+            )
             .unwrap();
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[0].policy, Policy::HostCpu);

@@ -147,7 +147,12 @@ mod tests {
     #[test]
     fn unsupported_ops_are_rejected() {
         let m = model();
-        for op in [OpType::Div, OpType::Select, OpType::ReduceAdd, OpType::Scalar] {
+        for op in [
+            OpType::Div,
+            OpType::Select,
+            OpType::ReduceAdd,
+            OpType::Scalar,
+        ] {
             let err = m.op_cost(op, 32, 4096, 8).unwrap_err();
             assert!(matches!(err, ConduitError::UnsupportedOperation { .. }));
         }

@@ -113,7 +113,10 @@ impl FlashGeometry {
     ///
     /// Panics if `index` is out of range.
     pub fn addr_of(&self, index: u64) -> PhysicalPageAddr {
-        assert!(index < self.total_pages(), "physical page index out of range");
+        assert!(
+            index < self.total_pages(),
+            "physical page index out of range"
+        );
         let channel = index / self.pages_per_channel();
         let rem = index % self.pages_per_channel();
         let die = rem / self.pages_per_die();

@@ -147,8 +147,8 @@ impl IfpModel {
         // Relocation of scattered operands: read + DMA out + DMA in + program
         // per relocated slice, serialized on the channel.
         let relocations = placement.relocations() as u64 * slices as u64;
-        let reloc_latency = (self.cfg.t_read + self.cfg.t_dma * 2 + self.cfg.t_program)
-            * relocations;
+        let reloc_latency =
+            (self.cfg.t_read + self.cfg.t_dma * 2 + self.cfg.t_program) * relocations;
         let reloc_energy =
             (self.cfg.e_read + self.cfg.e_dma * 2.0 + self.cfg.e_program) * relocations;
 
@@ -179,10 +179,7 @@ impl IfpModel {
                 e_sense + c.e_latch_per_kib * kib,
             ),
             // XOR needs both operands sensed into separate latches.
-            OpType::Xor => (
-                sense * 2 + c.t_xor,
-                e_sense * 2.0 + c.e_xor_per_kib * kib,
-            ),
+            OpType::Xor => (sense * 2 + c.t_xor, e_sense * 2.0 + c.e_xor_per_kib * kib),
             // Copy = read into the page buffer + program at the destination.
             OpType::Copy => (sense + c.t_program, e_sense + c.e_program),
             // Ares-Flash bit-serial addition: sense both operands, then one
@@ -239,7 +236,12 @@ mod tests {
     fn bitwise_and_costs_roughly_one_sensing() {
         let m = model();
         let cost = m
-            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 8 })
+            .op_cost(
+                OpType::And,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 8 },
+            )
             .unwrap();
         // One sensing (22.5 us) + 20 ns compute.
         assert!((cost.latency.as_us() - 22.52).abs() < 0.05);
@@ -250,10 +252,20 @@ mod tests {
     fn xor_needs_two_sensings() {
         let m = model();
         let and = m
-            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::And,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         let xor = m
-            .op_cost(OpType::Xor, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::Xor,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         assert!(xor.latency > and.latency * 1.8);
         assert!(xor.latency < and.latency * 2.3);
@@ -263,13 +275,28 @@ mod tests {
     fn arithmetic_ordering_add_lt_mul() {
         let m = model();
         let add = m
-            .op_cost(OpType::Add, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::Add,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         let mul = m
-            .op_cost(OpType::Mul, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::Mul,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         let and = m
-            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::And,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         assert!(add.latency > and.latency);
         assert!(mul.latency > add.latency * 2);
@@ -279,10 +306,20 @@ mod tests {
     fn narrower_elements_speed_up_arithmetic() {
         let m = model();
         let add32 = m
-            .op_cost(OpType::Add, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::Add,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         let add8 = m
-            .op_cost(OpType::Add, 8, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::Add,
+                8,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         assert!(add8.latency < add32.latency);
     }
@@ -291,10 +328,20 @@ mod tests {
     fn scattered_placement_adds_relocation_cost() {
         let m = model();
         let local = m
-            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::And,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         let scattered = m
-            .op_cost(OpType::And, 32, 4096, IfpPlacement::Scattered { operands: 2 })
+            .op_cost(
+                OpType::And,
+                32,
+                4096,
+                IfpPlacement::Scattered { operands: 2 },
+            )
             .unwrap();
         assert!(scattered.latency > local.latency + Duration::from_us(400.0));
         assert!(scattered.energy > local.energy);
@@ -304,10 +351,20 @@ mod tests {
     fn energy_scales_with_slices_latency_does_not() {
         let m = model();
         let one_page = m
-            .op_cost(OpType::And, 32, 1024, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::And,
+                32,
+                1024,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         let four_pages = m
-            .op_cost(OpType::And, 32, 4096, IfpPlacement::SameBlock { operands: 2 })
+            .op_cost(
+                OpType::And,
+                32,
+                4096,
+                IfpPlacement::SameBlock { operands: 2 },
+            )
             .unwrap();
         assert_eq!(one_page.latency, four_pages.latency);
         assert!(four_pages.energy > one_page.energy * 3.5);

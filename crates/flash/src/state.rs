@@ -193,7 +193,7 @@ impl FlashState {
         if block.bad {
             return Err(ConduitError::simulation("erase of bad block"));
         }
-        if block.pages.iter().any(|p| *p == PageState::Valid) {
+        if block.pages.contains(&PageState::Valid) {
             return Err(ConduitError::simulation(
                 "erase of block that still holds valid pages",
             ));

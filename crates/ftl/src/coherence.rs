@@ -85,7 +85,9 @@ impl CoherenceDirectory {
 
     /// The resource holding the latest version of `page`.
     pub fn owner(&self, page: LogicalPageId) -> DataLocation {
-        self.entries.get(&page).map_or(DataLocation::Flash, |e| e.owner)
+        self.entries
+            .get(&page)
+            .map_or(DataLocation::Flash, |e| e.owner)
     }
 
     /// The clean/dirty state of `page`.
@@ -108,9 +110,9 @@ impl CoherenceDirectory {
     pub fn record_write(&mut self, page: LogicalPageId, writer: DataLocation) -> SyncAction {
         self.writes += 1;
         let entry = self.entries.entry(page).or_default();
-        let action = if entry.state == CoherenceState::Dirty && entry.owner != writer {
-            SyncAction::FlushToFlash { from: entry.owner }
-        } else if entry.version == u8::MAX {
+        let action = if (entry.state == CoherenceState::Dirty && entry.owner != writer)
+            || entry.version == u8::MAX
+        {
             SyncAction::FlushToFlash { from: entry.owner }
         } else {
             SyncAction::None

@@ -9,9 +9,7 @@
 use std::collections::HashMap;
 
 use conduit_flash::FlashState;
-use conduit_types::{
-    ConduitError, LogicalPageId, PhysicalPageAddr, Result, SsdConfig,
-};
+use conduit_types::{ConduitError, LogicalPageId, PhysicalPageAddr, Result, SsdConfig};
 
 use crate::alloc::PageAllocator;
 use crate::coherence::CoherenceDirectory;
@@ -152,11 +150,7 @@ impl Ftl {
     /// # Errors
     ///
     /// Propagates range and allocation errors.
-    pub fn map_pages(
-        &mut self,
-        pages: &[LogicalPageId],
-        plane_hint: Option<u64>,
-    ) -> Result<()> {
+    pub fn map_pages(&mut self, pages: &[LogicalPageId], plane_hint: Option<u64>) -> Result<()> {
         for (i, &page) in pages.iter().enumerate() {
             self.check_range(page)?;
             if self.l2p.contains(page) {
@@ -374,8 +368,7 @@ mod tests {
         f.map_group(&pages(0..4), Some(2)).unwrap();
         assert_eq!(f.peek(LogicalPageId::new(0)), Some(before));
         // The remaining three are still co-located with each other.
-        let rest: Vec<PhysicalPageAddr> =
-            pages(1..4).iter().map(|p| f.peek(*p).unwrap()).collect();
+        let rest: Vec<PhysicalPageAddr> = pages(1..4).iter().map(|p| f.peek(*p).unwrap()).collect();
         assert!(rest.iter().all(|a| a.same_block(rest[0])));
     }
 

@@ -27,10 +27,12 @@ use conduit_dram::{DramTiming, PudModel};
 use conduit_flash::{FlashTiming, IfpModel, IfpPlacement};
 use conduit_ftl::{Ftl, SyncAction};
 use conduit_types::{
-    DataLocation, Duration, Energy, LogicalPageId, OpType, Resource, Result, SimTime, SsdConfig,
+    DataLocation, Duration, Energy, EnergySource, LogicalPageId, OpType, Resource, Result, SimTime,
+    SsdConfig,
 };
 
-use crate::energy::{EnergyCategory, EnergyMeter};
+use crate::energy::EnergyMeter;
+use crate::estimates::EstimateTable;
 use crate::resources::{ResourcePool, SharedResource};
 use crate::stats::CostBreakdown;
 
@@ -80,6 +82,9 @@ pub struct SsdDevice {
     pud: PudModel,
     dram_timing: DramTiming,
     isp: IspModel,
+    /// Per-(resource, op) and per-(location, location) estimates, built once
+    /// from the static configuration (see [`EstimateTable`]).
+    estimates: EstimateTable,
     #[allow(dead_code)]
     cores: CoreAllocation,
     // Contention timelines.
@@ -126,13 +131,20 @@ impl SsdDevice {
         let dram_capacity_pages =
             (cfg.dram.capacity_bytes / 2 / cfg.flash.page_bytes).max(16) as usize;
         let ctrl_capacity_pages = (cfg.ctrl.sram_bytes / cfg.flash.page_bytes).max(4) as usize;
+        let flash_timing = FlashTiming::new(&cfg.flash);
+        let ifp = IfpModel::new(&cfg.flash);
+        let pud = PudModel::new(&cfg.dram);
+        let dram_timing = DramTiming::new(&cfg.dram);
+        let isp = IspModel::new(&cfg.ctrl);
+        let estimates = EstimateTable::new(cfg, &ifp, &pud, &isp, &flash_timing, &dram_timing);
         Ok(SsdDevice {
             ftl,
-            flash_timing: FlashTiming::new(&cfg.flash),
-            ifp: IfpModel::new(&cfg.flash),
-            pud: PudModel::new(&cfg.dram),
-            dram_timing: DramTiming::new(&cfg.dram),
-            isp: IspModel::new(&cfg.ctrl),
+            flash_timing,
+            ifp,
+            pud,
+            dram_timing,
+            isp,
+            estimates,
             cores,
             channels: (0..cfg.flash.channels)
                 .map(|i| SharedResource::new(format!("flash-channel-{i}")))
@@ -176,11 +188,7 @@ impl SsdDevice {
     /// # Errors
     ///
     /// Propagates FTL mapping errors.
-    pub fn map_pages(
-        &mut self,
-        pages: &[LogicalPageId],
-        plane_hint: Option<u64>,
-    ) -> Result<()> {
+    pub fn map_pages(&mut self, pages: &[LogicalPageId], plane_hint: Option<u64>) -> Result<()> {
         self.ftl.map_pages(pages, plane_hint)
     }
 
@@ -267,7 +275,8 @@ impl SsdDevice {
             (DataLocation::Flash, _) => {
                 let to_internal = self.flash_read_page(page, completion.ready)?;
                 if dest == DataLocation::Host {
-                    let link = self.host_transfer(self.cfg.flash.page_bytes, true, to_internal.ready);
+                    let link =
+                        self.host_transfer(self.cfg.flash.page_bytes, true, to_internal.ready);
                     to_internal.join(link)
                 } else {
                     to_internal
@@ -275,8 +284,7 @@ impl SsdDevice {
             }
             (DataLocation::Host, _) => {
                 // Host-resident data flowing back into the SSD.
-                let link = self.host_transfer(self.cfg.flash.page_bytes, false, completion.ready);
-                link
+                self.host_transfer(self.cfg.flash.page_bytes, false, completion.ready)
             }
             _ => OpCompletion::immediate(completion.ready),
         };
@@ -325,9 +333,7 @@ impl SsdDevice {
         }
         match (from, to) {
             (DataLocation::Dram, DataLocation::CtrlSram)
-            | (DataLocation::CtrlSram, DataLocation::Dram) => {
-                self.bus_move(bytes, earliest)
-            }
+            | (DataLocation::CtrlSram, DataLocation::Dram) => self.bus_move(bytes, earliest),
             (DataLocation::Flash, DataLocation::Dram)
             | (DataLocation::Flash, DataLocation::CtrlSram) => {
                 self.flash_read_bytes(bytes, earliest)
@@ -348,8 +354,7 @@ impl SsdDevice {
         let service = self.cfg.link.nvme_cmd_latency + self.cfg.link.transfer_time(bytes);
         let (_, end) = self.pcie.reserve(earliest, service);
         let energy = self.cfg.link.e_per_byte * (bytes as f64);
-        self.energy
-            .add(EnergyCategory::DataMovement, "host-link", energy);
+        self.energy.charge(EnergySource::HostLink, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -365,7 +370,7 @@ impl SsdDevice {
     pub fn offloader_busy(&mut self, dur: Duration, earliest: SimTime) -> OpCompletion {
         let (_, end) = self.offloader_core.reserve(earliest, dur);
         let energy = Energy::from_power(self.cfg.ctrl.core_power_w, dur);
-        self.energy.add(EnergyCategory::Compute, "offloader", energy);
+        self.energy.charge(EnergySource::Offloader, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -434,7 +439,7 @@ impl SsdDevice {
                 end
             }
         };
-        self.energy.add(EnergyCategory::Compute, "ifp", cost.energy);
+        self.energy.charge(EnergySource::Ifp, cost.energy);
         Ok(OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -465,7 +470,7 @@ impl SsdDevice {
             let (_, end, _) = self.dram_banks.reserve(earliest, cost.latency);
             ready = ready.max(end);
         }
-        self.energy.add(EnergyCategory::Compute, "pud", cost.energy);
+        self.energy.charge(EnergySource::Pud, cost.energy);
         Ok(OpCompletion {
             ready,
             breakdown: CostBreakdown {
@@ -486,7 +491,7 @@ impl SsdDevice {
     ) -> OpCompletion {
         let cost = self.isp.op_cost(op, elem_bits, lanes);
         let (_, end, _) = self.compute_cores.reserve(earliest, cost.latency);
-        self.energy.add(EnergyCategory::Compute, "isp", cost.energy);
+        self.energy.charge(EnergySource::Isp, cost.energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -503,6 +508,11 @@ impl SsdDevice {
 
     /// Un-contended compute latency of `op` on `resource`, or `None` if the
     /// resource cannot execute it. This is the `latency_comp` feature.
+    ///
+    /// For the canonical vector shape this is a precomputed table lookup;
+    /// other shapes fall back to the exact model evaluation (bit-identical
+    /// either way, see [`EstimateTable`]).
+    #[inline]
     pub fn estimate_compute(
         &self,
         resource: Resource,
@@ -510,24 +520,19 @@ impl SsdDevice {
         elem_bits: u32,
         lanes: u32,
     ) -> Option<Duration> {
-        match resource {
-            Resource::Ifp => self
-                .ifp
-                .op_cost(op, elem_bits, lanes, IfpPlacement::SameBlock { operands: 2 })
-                .ok()
-                .map(|c| c.latency),
-            Resource::PudSsd => self
-                .pud
-                .op_cost(op, elem_bits, lanes, self.cfg.dram.compute_units())
-                .ok()
-                .map(|c| c.latency),
-            Resource::Isp => Some(self.isp.op_cost(op, elem_bits, lanes).latency),
+        match self.estimates.compute(resource, op, elem_bits, lanes) {
+            Some(entry) => entry.map(|e| e.latency),
+            None => EstimateTable::evaluate(
+                &self.cfg, &self.ifp, &self.pud, &self.isp, resource, op, elem_bits, lanes,
+            )
+            .map(|e| e.latency),
         }
     }
 
     /// Un-contended compute *energy* of `op` on `resource`, or `None` if the
     /// resource cannot execute it (used by the Ideal policy, which bypasses
     /// the contention timelines entirely).
+    #[inline]
     pub fn estimate_compute_energy(
         &self,
         resource: Resource,
@@ -535,43 +540,30 @@ impl SsdDevice {
         elem_bits: u32,
         lanes: u32,
     ) -> Option<Energy> {
-        match resource {
-            Resource::Ifp => self
-                .ifp
-                .op_cost(op, elem_bits, lanes, IfpPlacement::SameBlock { operands: 2 })
-                .ok()
-                .map(|c| c.energy),
-            Resource::PudSsd => self
-                .pud
-                .op_cost(op, elem_bits, lanes, self.cfg.dram.compute_units())
-                .ok()
-                .map(|c| c.energy),
-            Resource::Isp => Some(self.isp.op_cost(op, elem_bits, lanes).energy),
+        match self.estimates.compute(resource, op, elem_bits, lanes) {
+            Some(entry) => entry.map(|e| e.energy),
+            None => EstimateTable::evaluate(
+                &self.cfg, &self.ifp, &self.pud, &self.isp, resource, op, elem_bits, lanes,
+            )
+            .map(|e| e.energy),
         }
     }
 
     /// Static (contention-free) estimate of moving `bytes` from `from` to
-    /// `to` — the precomputed `latency_dm` table of §4.3.2.
+    /// `to` — the precomputed `latency_dm` table of §4.3.2. Canonical-sized
+    /// vectors hit the precomputed table; other sizes are computed exactly.
+    #[inline]
     pub fn estimate_move(&self, from: DataLocation, to: DataLocation, bytes: u64) -> Duration {
-        if from == to {
-            return Duration::ZERO;
-        }
-        let pages = bytes.div_ceil(self.cfg.flash.page_bytes).max(1);
-        let per_page_read = self.flash_timing.read_page() + self.flash_timing.page_dma();
-        let per_page_prog = self.flash_timing.page_dma() + self.flash_timing.program_page();
-        let bus = self.dram_timing.bus_transfer(bytes);
-        let link = self.cfg.link.nvme_cmd_latency + self.cfg.link.transfer_time(bytes);
-        match (from, to) {
-            (DataLocation::Flash, DataLocation::Dram) => per_page_read * pages + bus,
-            (DataLocation::Flash, DataLocation::CtrlSram) => per_page_read * pages,
-            (DataLocation::Dram, DataLocation::CtrlSram)
-            | (DataLocation::CtrlSram, DataLocation::Dram) => bus,
-            (DataLocation::Dram, DataLocation::Flash)
-            | (DataLocation::CtrlSram, DataLocation::Flash) => per_page_prog * pages,
-            (DataLocation::Flash, DataLocation::Host) => per_page_read * pages + link,
-            (_, DataLocation::Host) | (DataLocation::Host, _) => link,
-            // `from == to` is handled above; this arm is unreachable.
-            _ => Duration::ZERO,
+        match self.estimates.move_latency(from, to, bytes) {
+            Some(latency) => latency,
+            None => EstimateTable::evaluate_move(
+                &self.cfg,
+                &self.flash_timing,
+                &self.dram_timing,
+                from,
+                to,
+                bytes,
+            ),
         }
     }
 
@@ -602,7 +594,11 @@ impl SsdDevice {
         if self.channels.is_empty() {
             return 0.0;
         }
-        self.channels.iter().map(|c| c.utilization(now)).sum::<f64>() / self.channels.len() as f64
+        self.channels
+            .iter()
+            .map(|c| c.utilization(now))
+            .sum::<f64>()
+            / self.channels.len() as f64
     }
 
     /// Per-resource completed-operation counts `(isp, pud, ifp)`.
@@ -619,20 +615,34 @@ impl SsdDevice {
     // ------------------------------------------------------------------
 
     fn ifp_placement(&self, operand_pages: &[LogicalPageId]) -> IfpPlacement {
-        let addrs: Vec<_> = operand_pages
-            .iter()
-            .filter_map(|p| self.ftl.peek(*p))
-            .collect();
-        let operands = addrs.len().max(2) as u32;
-        if addrs.len() < 2 {
+        // Single pass, no heap allocation: compare every mapped operand
+        // address against the first one (instructions have ≤ 3 operands).
+        let mut first = None;
+        let mut mapped: u32 = 0;
+        let mut same_block = true;
+        let mut same_plane = true;
+        for p in operand_pages {
+            let Some(addr) = self.ftl.peek(*p) else {
+                continue;
+            };
+            match first {
+                None => first = Some(addr),
+                Some(f) => {
+                    same_block &= addr.same_block(f);
+                    same_plane &= addr.same_plane(f);
+                }
+            }
+            mapped += 1;
+        }
+        if mapped < 2 {
             return IfpPlacement::SameBlock { operands: 2 };
         }
-        if addrs.iter().all(|a| a.same_block(addrs[0])) {
-            IfpPlacement::SameBlock { operands }
-        } else if addrs.iter().all(|a| a.same_plane(addrs[0])) {
-            IfpPlacement::SamePlane { operands }
+        if same_block {
+            IfpPlacement::SameBlock { operands: mapped }
+        } else if same_plane {
+            IfpPlacement::SamePlane { operands: mapped }
         } else {
-            IfpPlacement::Scattered { operands }
+            IfpPlacement::Scattered { operands: mapped }
         }
     }
 
@@ -650,20 +660,19 @@ impl SsdDevice {
             self.cfg.overheads.l2p_lookup_flash
         };
         let sense_start = earliest + l2p_penalty;
-        let (_, sense_end) = self
-            .dies
-            .reserve_unit(die, sense_start, self.flash_timing.read_page());
-        let (_, dma_end) =
-            self.channels[channel].reserve(sense_end, self.flash_timing.page_dma());
-        let bus = self
-            .dram_bus
-            .reserve(dma_end, self.dram_timing.bus_transfer(self.cfg.flash.page_bytes));
+        let (_, sense_end) =
+            self.dies
+                .reserve_unit(die, sense_start, self.flash_timing.read_page());
+        let (_, dma_end) = self.channels[channel].reserve(sense_end, self.flash_timing.page_dma());
+        let bus = self.dram_bus.reserve(
+            dma_end,
+            self.dram_timing.bus_transfer(self.cfg.flash.page_bytes),
+        );
 
         let energy = self.flash_timing.read_energy()
             + self.flash_timing.dma_energy()
             + self.dram_timing.transfer_energy(self.cfg.flash.page_bytes);
-        self.energy
-            .add(EnergyCategory::DataMovement, "flash-read", energy);
+        self.energy.charge(EnergySource::FlashRead, energy);
         Ok(OpCompletion {
             ready: bus.1,
             breakdown: CostBreakdown {
@@ -690,31 +699,27 @@ impl SsdDevice {
         let geo = self.ftl.flash_state().geometry();
         let die = geo.die_index_of(new_addr) as usize;
         let channel = new_addr.channel as usize % self.channels.len();
-        let (_, dma_end) =
-            self.channels[channel].reserve(bus.ready, self.flash_timing.page_dma());
-        let (_, prog_end) =
-            self.dies
-                .reserve_unit(die, dma_end, self.flash_timing.program_page());
+        let (_, dma_end) = self.channels[channel].reserve(bus.ready, self.flash_timing.page_dma());
+        let (_, prog_end) = self
+            .dies
+            .reserve_unit(die, dma_end, self.flash_timing.program_page());
 
-        let mut energy =
-            self.flash_timing.dma_energy() + self.flash_timing.program_energy();
+        let mut energy = self.flash_timing.dma_energy() + self.flash_timing.program_energy();
         let mut flash_time = self.flash_timing.program_page();
         // Garbage collection triggered by this commit: each relocation is a
         // read + program, each erase a block erase.
         if !gc.is_empty() {
             let reloc = gc.relocated_pages;
-            let gc_latency = (self.flash_timing.read_page()
-                + self.flash_timing.program_page())
+            let gc_latency = (self.flash_timing.read_page() + self.flash_timing.program_page())
                 * reloc
                 + self.flash_timing.erase_block() * gc.erased_blocks;
             let (_, gc_end) = self.dies.reserve_unit(die, prog_end, gc_latency);
             flash_time += gc_latency;
-            energy += (self.flash_timing.read_energy() + self.flash_timing.program_energy())
-                * reloc;
+            energy +=
+                (self.flash_timing.read_energy() + self.flash_timing.program_energy()) * reloc;
             let _ = gc_end;
         }
-        self.energy
-            .add(EnergyCategory::DataMovement, "flash-commit", energy);
+        self.energy.charge(EnergySource::FlashCommit, energy);
         self.evict_residency(page, from);
         Ok(OpCompletion {
             ready: prog_end,
@@ -731,13 +736,10 @@ impl SsdDevice {
     /// Anonymous flash read of `bytes` (used for intermediate values only).
     fn flash_read_bytes(&mut self, bytes: u64, earliest: SimTime) -> OpCompletion {
         let pages = bytes.div_ceil(self.cfg.flash.page_bytes).max(1);
-        let service =
-            (self.flash_timing.read_page() + self.flash_timing.page_dma()) * pages;
+        let service = (self.flash_timing.read_page() + self.flash_timing.page_dma()) * pages;
         let (_, end, _) = self.dies.reserve(earliest, service);
-        let energy =
-            (self.flash_timing.read_energy() + self.flash_timing.dma_energy()) * pages;
-        self.energy
-            .add(EnergyCategory::DataMovement, "flash-read", energy);
+        let energy = (self.flash_timing.read_energy() + self.flash_timing.dma_energy()) * pages;
+        self.energy.charge(EnergySource::FlashRead, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -752,13 +754,10 @@ impl SsdDevice {
     /// Anonymous flash program of `bytes` (used for intermediate values).
     fn flash_program_bytes(&mut self, bytes: u64, earliest: SimTime) -> OpCompletion {
         let pages = bytes.div_ceil(self.cfg.flash.page_bytes).max(1);
-        let service =
-            (self.flash_timing.page_dma() + self.flash_timing.program_page()) * pages;
+        let service = (self.flash_timing.page_dma() + self.flash_timing.program_page()) * pages;
         let (_, end, _) = self.dies.reserve(earliest, service);
-        let energy =
-            (self.flash_timing.dma_energy() + self.flash_timing.program_energy()) * pages;
-        self.energy
-            .add(EnergyCategory::DataMovement, "flash-program", energy);
+        let energy = (self.flash_timing.dma_energy() + self.flash_timing.program_energy()) * pages;
+        self.energy.charge(EnergySource::FlashProgram, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -778,8 +777,7 @@ impl SsdDevice {
         let service = self.dram_timing.bus_transfer(bytes);
         let (_, end) = self.dram_bus.reserve(earliest, service);
         let energy = self.dram_timing.transfer_energy(bytes);
-        self.energy
-            .add(EnergyCategory::DataMovement, "dram-bus", energy);
+        self.energy.charge(EnergySource::DramBus, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -907,7 +905,9 @@ mod tests {
             .unwrap();
         assert_eq!(dev.locate(page), DataLocation::Dram);
         // IFP now needs it in flash: the dirty copy must be committed.
-        let c = dev.ensure_at(page, DataLocation::Flash, SimTime::ZERO).unwrap();
+        let c = dev
+            .ensure_at(page, DataLocation::Flash, SimTime::ZERO)
+            .unwrap();
         assert!(c.breakdown.flash_array >= Duration::from_us(400.0));
         assert_eq!(dev.locate(page), DataLocation::Flash);
     }
@@ -950,7 +950,10 @@ mod tests {
     #[test]
     fn queue_delays_grow_with_backlog() {
         let mut dev = device();
-        assert_eq!(dev.queue_delay(Resource::Isp, SimTime::ZERO), Duration::ZERO);
+        assert_eq!(
+            dev.queue_delay(Resource::Isp, SimTime::ZERO),
+            Duration::ZERO
+        );
         for _ in 0..4 {
             dev.execute_isp(OpType::Mul, 32, 4096, SimTime::ZERO);
         }
@@ -961,7 +964,9 @@ mod tests {
     #[test]
     fn estimates_reflect_supportability_and_magnitude() {
         let dev = device();
-        assert!(dev.estimate_compute(Resource::Ifp, OpType::Div, 32, 4096).is_none());
+        assert!(dev
+            .estimate_compute(Resource::Ifp, OpType::Div, 32, 4096)
+            .is_none());
         let isp = dev
             .estimate_compute(Resource::Isp, OpType::Xor, 32, 4096)
             .unwrap();
@@ -995,7 +1000,10 @@ mod tests {
         let mut dev = device();
         let a = dev.offloader_busy(Duration::from_us(2.0), SimTime::ZERO);
         let b = dev.offloader_busy(Duration::from_us(2.0), SimTime::ZERO);
-        assert_eq!(b.ready.saturating_since(SimTime::ZERO), Duration::from_us(4.0));
+        assert_eq!(
+            b.ready.saturating_since(SimTime::ZERO),
+            Duration::from_us(4.0)
+        );
         assert!(a.ready < b.ready);
     }
 
@@ -1003,7 +1011,8 @@ mod tests {
     fn completed_ops_counts_increase() {
         let mut dev = device();
         dev.execute_isp(OpType::Add, 32, 4096, SimTime::ZERO);
-        dev.execute_pud(OpType::Add, 32, 4096, SimTime::ZERO).unwrap();
+        dev.execute_pud(OpType::Add, 32, 4096, SimTime::ZERO)
+            .unwrap();
         let (isp, pud, _ifp) = dev.completed_ops();
         assert!(isp >= 1);
         assert!(pud >= 1);

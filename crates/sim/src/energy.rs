@@ -3,10 +3,13 @@
 //! Figure 7(b) of the paper reports energy normalized to CPU with each bar
 //! split into *data movement* energy and *computation* energy; the meter
 //! keeps exactly that split, with a finer per-source breakdown for analysis.
+//!
+//! The meter sits on the simulator's per-instruction hot path (every flash
+//! read, DRAM bus transfer, host-link transfer and compute op charges it),
+//! so attribution is a typed [`EnergySource`] indexing a fixed-size array —
+//! no string formatting, hashing or heap allocation per charge.
 
-use std::collections::BTreeMap;
-
-use conduit_types::Energy;
+use conduit_types::{Energy, EnergySource};
 
 /// The coarse category an energy contribution belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -18,25 +21,36 @@ pub enum EnergyCategory {
     Compute,
 }
 
-/// Accumulates energy by category and by named source.
+impl From<EnergySource> for EnergyCategory {
+    fn from(source: EnergySource) -> Self {
+        if source.is_compute() {
+            EnergyCategory::Compute
+        } else {
+            EnergyCategory::DataMovement
+        }
+    }
+}
+
+/// Accumulates energy by category and by source.
 ///
 /// # Examples
 ///
 /// ```
-/// use conduit_sim::{EnergyCategory, EnergyMeter};
-/// use conduit_types::Energy;
+/// use conduit_sim::EnergyMeter;
+/// use conduit_types::{Energy, EnergySource};
 ///
 /// let mut meter = EnergyMeter::new();
-/// meter.add(EnergyCategory::Compute, "ifp", Energy::from_nj(10.0));
-/// meter.add(EnergyCategory::DataMovement, "pcie", Energy::from_nj(30.0));
+/// meter.charge(EnergySource::Ifp, Energy::from_nj(10.0));
+/// meter.charge(EnergySource::HostLink, Energy::from_nj(30.0));
 /// assert_eq!(meter.total(), Energy::from_nj(40.0));
 /// assert_eq!(meter.data_movement(), Energy::from_nj(30.0));
+/// assert_eq!(meter.source(EnergySource::Ifp), Energy::from_nj(10.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyMeter {
     compute: Energy,
     data_movement: Energy,
-    by_source: BTreeMap<String, Energy>,
+    by_source: [Energy; EnergySource::COUNT],
 }
 
 impl EnergyMeter {
@@ -45,13 +59,23 @@ impl EnergyMeter {
         EnergyMeter::default()
     }
 
-    /// Records `energy` under `category`, attributed to `source`.
-    pub fn add(&mut self, category: EnergyCategory, source: &str, energy: Energy) {
-        match category {
+    /// Records `energy`, attributed to `source` (whose kind determines the
+    /// compute / data-movement category). Allocation-free.
+    #[inline]
+    pub fn charge(&mut self, source: EnergySource, energy: Energy) {
+        match EnergyCategory::from(source) {
             EnergyCategory::Compute => self.compute += energy,
             EnergyCategory::DataMovement => self.data_movement += energy,
         }
-        *self.by_source.entry(source.to_string()).or_default() += energy;
+        self.by_source[source.index()] += energy;
+    }
+
+    /// Total energy recorded under one category.
+    pub fn category(&self, category: EnergyCategory) -> Energy {
+        match category {
+            EnergyCategory::Compute => self.compute,
+            EnergyCategory::DataMovement => self.data_movement,
+        }
     }
 
     /// Total energy recorded.
@@ -80,17 +104,26 @@ impl EnergyMeter {
         }
     }
 
-    /// Energy attributed to each named source.
-    pub fn by_source(&self) -> &BTreeMap<String, Energy> {
-        &self.by_source
+    /// Energy attributed to one source.
+    pub fn source(&self, source: EnergySource) -> Energy {
+        self.by_source[source.index()]
+    }
+
+    /// Iterator over `(source, energy)` for every source that recorded any
+    /// energy, in dense-index order.
+    pub fn by_source(&self) -> impl Iterator<Item = (EnergySource, Energy)> + '_ {
+        EnergySource::ALL
+            .iter()
+            .map(move |&s| (s, self.by_source[s.index()]))
+            .filter(|(_, e)| !e.is_zero())
     }
 
     /// Merges another meter into this one.
     pub fn merge(&mut self, other: &EnergyMeter) {
         self.compute += other.compute;
         self.data_movement += other.data_movement;
-        for (k, v) in &other.by_source {
-            *self.by_source.entry(k.clone()).or_default() += *v;
+        for (mine, theirs) in self.by_source.iter_mut().zip(other.by_source.iter()) {
+            *mine += *theirs;
         }
     }
 }
@@ -102,9 +135,9 @@ mod tests {
     #[test]
     fn categories_accumulate_separately() {
         let mut m = EnergyMeter::new();
-        m.add(EnergyCategory::Compute, "isp", Energy::from_nj(5.0));
-        m.add(EnergyCategory::Compute, "pud", Energy::from_nj(7.0));
-        m.add(EnergyCategory::DataMovement, "channel", Energy::from_nj(3.0));
+        m.charge(EnergySource::Isp, Energy::from_nj(5.0));
+        m.charge(EnergySource::Pud, Energy::from_nj(7.0));
+        m.charge(EnergySource::FlashRead, Energy::from_nj(3.0));
         assert_eq!(m.compute(), Energy::from_nj(12.0));
         assert_eq!(m.data_movement(), Energy::from_nj(3.0));
         assert_eq!(m.total(), Energy::from_nj(15.0));
@@ -114,25 +147,46 @@ mod tests {
     #[test]
     fn sources_are_tracked() {
         let mut m = EnergyMeter::new();
-        m.add(EnergyCategory::Compute, "isp", Energy::from_nj(5.0));
-        m.add(EnergyCategory::Compute, "isp", Energy::from_nj(5.0));
-        assert_eq!(m.by_source()["isp"], Energy::from_nj(10.0));
+        m.charge(EnergySource::Isp, Energy::from_nj(5.0));
+        m.charge(EnergySource::Isp, Energy::from_nj(5.0));
+        assert_eq!(m.source(EnergySource::Isp), Energy::from_nj(10.0));
+        let nonzero: Vec<_> = m.by_source().collect();
+        assert_eq!(nonzero, vec![(EnergySource::Isp, Energy::from_nj(10.0))]);
+    }
+
+    #[test]
+    fn category_follows_source_kind() {
+        assert_eq!(
+            EnergyCategory::from(EnergySource::Ifp),
+            EnergyCategory::Compute
+        );
+        assert_eq!(
+            EnergyCategory::from(EnergySource::DramBus),
+            EnergyCategory::DataMovement
+        );
     }
 
     #[test]
     fn merge_combines_meters() {
         let mut a = EnergyMeter::new();
-        a.add(EnergyCategory::Compute, "isp", Energy::from_nj(1.0));
+        a.charge(EnergySource::Isp, Energy::from_nj(1.0));
         let mut b = EnergyMeter::new();
-        b.add(EnergyCategory::DataMovement, "pcie", Energy::from_nj(2.0));
-        b.add(EnergyCategory::Compute, "isp", Energy::from_nj(3.0));
+        b.charge(EnergySource::HostLink, Energy::from_nj(2.0));
+        b.charge(EnergySource::Isp, Energy::from_nj(3.0));
         a.merge(&b);
         assert_eq!(a.total(), Energy::from_nj(6.0));
-        assert_eq!(a.by_source()["isp"], Energy::from_nj(4.0));
+        assert_eq!(a.source(EnergySource::Isp), Energy::from_nj(4.0));
     }
 
     #[test]
     fn empty_meter_has_zero_fraction() {
         assert_eq!(EnergyMeter::new().data_movement_fraction(), 0.0);
+    }
+
+    #[test]
+    fn charge_is_copy_sized_and_stack_only() {
+        // The meter is a plain Copy struct: charging cannot allocate.
+        fn assert_copy<T: Copy>() {}
+        assert_copy::<EnergyMeter>();
     }
 }

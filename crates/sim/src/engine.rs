@@ -131,6 +131,22 @@ mod tests {
     }
 
     #[test]
+    fn fifo_holds_across_interleaved_schedule_and_pop() {
+        // Same-time FIFO must be global (sequence-number based), not merely
+        // per-batch: events scheduled after a pop still come out after
+        // earlier same-time events.
+        let mut q = EventQueue::new();
+        q.schedule(at(5.0), 0);
+        q.schedule(at(5.0), 1);
+        assert_eq!(q.pop().unwrap().1, 0);
+        q.schedule(at(5.0), 2);
+        q.schedule(at(5.0), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
     fn next_time_and_len() {
         let mut q = EventQueue::default();
         assert!(q.is_empty());

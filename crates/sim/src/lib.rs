@@ -38,6 +38,7 @@
 mod device;
 mod energy;
 mod engine;
+mod estimates;
 mod host;
 mod resources;
 mod stats;
@@ -45,6 +46,7 @@ mod stats;
 pub use device::{OpCompletion, SsdDevice};
 pub use energy::{EnergyCategory, EnergyMeter};
 pub use engine::EventQueue;
+pub use estimates::{CostEstimate, EstimateTable};
 pub use host::{HostCpuModel, HostGpuModel};
 pub use resources::{ResourcePool, SharedResource};
 pub use stats::{CostBreakdown, LatencyStats};

@@ -266,6 +266,33 @@ mod tests {
     }
 
     #[test]
+    fn pool_tie_breaks_on_lowest_unit_index() {
+        let mut p = ResourcePool::new("die", 3);
+        // All units idle: ties must resolve to the lowest index, in order,
+        // so simulations are deterministic regardless of pool size.
+        let (_, _, i0) = p.reserve(SimTime::ZERO, us(5.0));
+        let (_, _, i1) = p.reserve(SimTime::ZERO, us(5.0));
+        let (_, _, i2) = p.reserve(SimTime::ZERO, us(5.0));
+        assert_eq!((i0, i1, i2), (0, 1, 2));
+        // All equally busy again: back to unit 0, queued behind its work.
+        let (s, _, i3) = p.reserve(SimTime::ZERO, us(1.0));
+        assert_eq!(i3, 0);
+        assert_eq!(s, SimTime::ZERO + us(5.0));
+    }
+
+    #[test]
+    fn pool_prefers_earliest_free_unit_over_index() {
+        let mut p = ResourcePool::new("die", 3);
+        // Unit 0 busy for 10 us, unit 1 for 2 us, unit 2 for 6 us.
+        p.reserve_unit(0, SimTime::ZERO, us(10.0));
+        p.reserve_unit(1, SimTime::ZERO, us(2.0));
+        p.reserve_unit(2, SimTime::ZERO, us(6.0));
+        let (start, _, idx) = p.reserve(SimTime::ZERO, us(1.0));
+        assert_eq!(idx, 1, "earliest-free unit must win over lower indices");
+        assert_eq!(start, SimTime::ZERO + us(2.0));
+    }
+
+    #[test]
     fn pool_specific_unit_reservation() {
         let mut p = ResourcePool::new("bank", 2);
         p.reserve_unit(0, SimTime::ZERO, us(5.0));

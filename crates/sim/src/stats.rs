@@ -31,6 +31,15 @@ impl LatencyStats {
         LatencyStats::default()
     }
 
+    /// Creates an empty collector preallocated for `n` samples (one per
+    /// instruction in the run loop, so recording never reallocates).
+    pub fn with_capacity(n: usize) -> Self {
+        LatencyStats {
+            samples: Vec::with_capacity(n),
+            sorted: false,
+        }
+    }
+
     /// Records one latency sample.
     pub fn record(&mut self, latency: Duration) {
         self.samples.push(latency);

@@ -92,6 +92,96 @@ impl Energy {
     }
 }
 
+/// The device component an energy contribution is attributed to.
+///
+/// Replaces the string-keyed attribution the meter used to do: each source
+/// has a dense index, so per-source accounting is a fixed-size array lookup
+/// with no heap allocation on the simulator's per-instruction hot path.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_types::EnergySource;
+///
+/// assert!(EnergySource::Ifp.is_compute());
+/// assert!(!EnergySource::HostLink.is_compute());
+/// assert_eq!(EnergySource::ALL[EnergySource::DramBus.index()], EnergySource::DramBus);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EnergySource {
+    /// In-flash processing compute.
+    Ifp,
+    /// Processing-using-DRAM compute.
+    Pud,
+    /// Controller-core (ISP) compute.
+    Isp,
+    /// The offloader core's own feature collection / transformation work.
+    Offloader,
+    /// NVMe/PCIe host-link transfers.
+    HostLink,
+    /// Flash page reads performed to move data.
+    FlashRead,
+    /// Flash programs committing dirty pages back to flash (incl. GC).
+    FlashCommit,
+    /// Flash programs of anonymous intermediate values.
+    FlashProgram,
+    /// SSD-internal DRAM bus transfers.
+    DramBus,
+}
+
+impl EnergySource {
+    /// All sources, in dense-index order.
+    pub const ALL: [EnergySource; 9] = [
+        EnergySource::Ifp,
+        EnergySource::Pud,
+        EnergySource::Isp,
+        EnergySource::Offloader,
+        EnergySource::HostLink,
+        EnergySource::FlashRead,
+        EnergySource::FlashCommit,
+        EnergySource::FlashProgram,
+        EnergySource::DramBus,
+    ];
+
+    /// Number of distinct sources (the size of a per-source array).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// The dense index of this source in `[0, COUNT)`.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether energy from this source is computation (as opposed to data
+    /// movement).
+    pub const fn is_compute(self) -> bool {
+        matches!(
+            self,
+            EnergySource::Ifp | EnergySource::Pud | EnergySource::Isp | EnergySource::Offloader
+        )
+    }
+
+    /// Short machine-readable name, used in reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            EnergySource::Ifp => "ifp",
+            EnergySource::Pud => "pud",
+            EnergySource::Isp => "isp",
+            EnergySource::Offloader => "offloader",
+            EnergySource::HostLink => "host-link",
+            EnergySource::FlashRead => "flash-read",
+            EnergySource::FlashCommit => "flash-commit",
+            EnergySource::FlashProgram => "flash-program",
+            EnergySource::DramBus => "dram-bus",
+        }
+    }
+}
+
+impl fmt::Display for EnergySource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 impl Add for Energy {
     type Output = Energy;
     fn add(self, rhs: Energy) -> Energy {
@@ -158,6 +248,18 @@ impl fmt::Display for Energy {
 mod tests {
     use super::*;
     use crate::time::Duration;
+
+    #[test]
+    fn energy_source_indices_are_dense_and_stable() {
+        for (i, s) in EnergySource::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(EnergySource::COUNT, 9);
+        // Exactly the four compute sources.
+        let compute = EnergySource::ALL.iter().filter(|s| s.is_compute()).count();
+        assert_eq!(compute, 4);
+        assert_eq!(EnergySource::HostLink.to_string(), "host-link");
+    }
 
     #[test]
     fn conversions_roundtrip() {

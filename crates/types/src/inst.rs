@@ -298,7 +298,10 @@ impl fmt::Display for ProgramError {
                 write!(f, "instruction at position {position} has id {found}")
             }
             ProgramError::ForwardReference { inst, operand } => {
-                write!(f, "instruction {inst} references later instruction {operand}")
+                write!(
+                    f,
+                    "instruction {inst} references later instruction {operand}"
+                )
             }
             ProgramError::ArityMismatch {
                 inst,
@@ -558,7 +561,11 @@ mod tests {
     #[test]
     fn validate_detects_arity_mismatch() {
         let mut prog = VectorProgram::new("bad");
-        prog.push(VectorInst::with_srcs(0, OpType::Add, vec![Operand::page(0)]));
+        prog.push(VectorInst::with_srcs(
+            0,
+            OpType::Add,
+            vec![Operand::page(0)],
+        ));
         assert!(matches!(
             prog.validate(),
             Err(ProgramError::ArityMismatch { .. })

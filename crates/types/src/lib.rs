@@ -33,12 +33,12 @@ pub mod time;
 
 pub use addr::{LogicalPageId, PhysicalPageAddr, PAGE_BYTES};
 pub use config::{
-    CtrlConfig, DramConfig, FlashConfig, HostConfig, HostCpuConfig, HostGpuConfig,
-    HostLinkConfig, OffloaderOverheadConfig, SsdConfig,
+    CtrlConfig, DramConfig, FlashConfig, HostConfig, HostCpuConfig, HostGpuConfig, HostLinkConfig,
+    OffloaderOverheadConfig, SsdConfig,
 };
-pub use energy::Energy;
+pub use energy::{Energy, EnergySource};
 pub use error::{ConduitError, Result};
 pub use inst::{InstId, InstMetadata, Operand, VectorInst, VectorProgram};
 pub use op::{LatencyClass, OpType};
-pub use resource::{DataLocation, ExecutionSite, Resource};
+pub use resource::{DataLocation, EstimateKey, ExecutionSite, Resource};
 pub use time::{Duration, SimTime};

@@ -85,7 +85,12 @@ mod tests {
     use crate::kernel::{ArrayDecl, Expr, Kernel, Statement};
     use conduit_types::OpType;
 
-    fn kernel3() -> (Kernel, crate::ArrayHandle, crate::ArrayHandle, crate::ArrayHandle) {
+    fn kernel3() -> (
+        Kernel,
+        crate::ArrayHandle,
+        crate::ArrayHandle,
+        crate::ArrayHandle,
+    ) {
         let mut k = Kernel::new("k");
         let a = k.declare_array(ArrayDecl::new("a", 8192, 32));
         let b = k.declare_array(ArrayDecl::new("b", 8192, 32));
@@ -100,7 +105,10 @@ mod tests {
             c.at(0),
             Expr::binary(OpType::Add, Expr::load(a.at(0)), Expr::load(b.at(0))),
         ));
-        assert_eq!(DependenceAnalysis::classify(&l), LoopClass::FullyVectorizable);
+        assert_eq!(
+            DependenceAnalysis::classify(&l),
+            LoopClass::FullyVectorizable
+        );
     }
 
     #[test]
@@ -111,7 +119,10 @@ mod tests {
             b.at(0),
             Expr::binary(OpType::Add, Expr::load(a.at(-1)), Expr::load(a.at(1))),
         ));
-        assert_eq!(DependenceAnalysis::classify(&l), LoopClass::FullyVectorizable);
+        assert_eq!(
+            DependenceAnalysis::classify(&l),
+            LoopClass::FullyVectorizable
+        );
     }
 
     #[test]
@@ -174,6 +185,9 @@ mod tests {
             a.at(0),
             Expr::binary(OpType::Xor, Expr::load(a.at(0)), Expr::load(b.at(0))),
         ));
-        assert_eq!(DependenceAnalysis::classify(&l), LoopClass::FullyVectorizable);
+        assert_eq!(
+            DependenceAnalysis::classify(&l),
+            LoopClass::FullyVectorizable
+        );
     }
 }

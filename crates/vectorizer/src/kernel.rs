@@ -282,7 +282,13 @@ impl Kernel {
 
 impl fmt::Display for Kernel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "kernel {} ({} arrays, {} loops)", self.name, self.arrays.len(), self.loops.len())?;
+        writeln!(
+            f,
+            "kernel {} ({} arrays, {} loops)",
+            self.name,
+            self.arrays.len(),
+            self.loops.len()
+        )?;
         for l in &self.loops {
             writeln!(
                 f,
@@ -361,7 +367,8 @@ mod tests {
     #[test]
     fn explicit_base_page_is_respected() {
         let mut k = Kernel::new("k");
-        let a = k.declare_array(ArrayDecl::new("a", 1024, 32).with_base_page(LogicalPageId::new(100)));
+        let a =
+            k.declare_array(ArrayDecl::new("a", 1024, 32).with_base_page(LogicalPageId::new(100)));
         assert_eq!(k.array(a).base_page, Some(LogicalPageId::new(100)));
         // The next implicit array starts after it.
         let b = k.declare_array(ArrayDecl::new("b", 1024, 32));

@@ -124,9 +124,7 @@ impl Vectorizer {
 
         report.vectorized_fraction = vectorized_ops as f64 / total_ops as f64;
         program.vectorized_fraction = report.vectorized_fraction;
-        program
-            .validate()
-            .map_err(|e| ConduitError::invalid_program(e))?;
+        program.validate().map_err(ConduitError::invalid_program)?;
         Ok(VectorizerOutput { program, report })
     }
 
@@ -161,14 +159,7 @@ impl Vectorizer {
                 for stmt in &l.body {
                     let elem_bits = kernel.array(stmt.target.array).elem_bits;
                     let result = self.emit_expr(
-                        program,
-                        kernel,
-                        &stmt.expr,
-                        start,
-                        lanes,
-                        elem_bits,
-                        meta,
-                        report,
+                        program, kernel, &stmt.expr, start, lanes, elem_bits, meta, report,
                     );
                     // The statement's final value is stored to the target
                     // array; rewrite the producing instruction (or emit a
@@ -178,9 +169,7 @@ impl Vectorizer {
                     match result {
                         Operand::Result(_) => {
                             // Attach the store to the just-emitted producer.
-                            let last = program
-                                .last_mut()
-                                .expect("an instruction was just emitted");
+                            let last = program.last_mut().expect("an instruction was just emitted");
                             last.dst_page = Some(dst_page);
                         }
                         src => {
@@ -273,9 +262,13 @@ impl Vectorizer {
             let page = kernel
                 .arrays()
                 .get(target_array.array.0)
-                .map(|_| kernel.page_of(target_array.array, (start % l.trip_count.max(1)).min(
-                    kernel.array(target_array.array).len.saturating_sub(1),
-                )))
+                .map(|_| {
+                    kernel.page_of(
+                        target_array.array,
+                        (start % l.trip_count.max(1))
+                            .min(kernel.array(target_array.array).len.saturating_sub(1)),
+                    )
+                })
                 .unwrap_or(conduit_types::LogicalPageId::new(0));
             let inst = VectorInst::unary(0, OpType::Scalar, Operand::Page(page))
                 .lanes(lanes)
@@ -319,7 +312,9 @@ mod tests {
 
     #[test]
     fn full_width_strips() {
-        let out = Vectorizer::default().vectorize(&vec_add_kernel(8192)).unwrap();
+        let out = Vectorizer::default()
+            .vectorize(&vec_add_kernel(8192))
+            .unwrap();
         assert_eq!(out.program.len(), 2);
         assert!(out.program.iter().all(|i| i.lanes == 4096));
         assert!(out.program.iter().all(|i| i.dst_page.is_some()));
@@ -330,7 +325,9 @@ mod tests {
 
     #[test]
     fn tail_strip_has_fewer_lanes() {
-        let out = Vectorizer::default().vectorize(&vec_add_kernel(5000)).unwrap();
+        let out = Vectorizer::default()
+            .vectorize(&vec_add_kernel(5000))
+            .unwrap();
         assert_eq!(out.program.len(), 2);
         assert_eq!(out.program.insts()[0].lanes, 4096);
         assert_eq!(out.program.insts()[1].lanes, 904);
@@ -365,7 +362,10 @@ mod tests {
         assert_eq!(out.program.len(), 2);
         let add = &out.program.insts()[1];
         assert_eq!(add.op, OpType::Add);
-        assert!(add.src_results().count() == 1, "add consumes the mul result");
+        assert!(
+            add.src_results().count() == 1,
+            "add consumes the mul result"
+        );
         assert!(add.dst_page.is_some());
         let (_, _, high) = out.program.latency_class_mix();
         assert_eq!(high, 1);
@@ -454,7 +454,9 @@ mod tests {
 
     #[test]
     fn metadata_carries_loop_and_strip_ids() {
-        let out = Vectorizer::default().vectorize(&vec_add_kernel(8192)).unwrap();
+        let out = Vectorizer::default()
+            .vectorize(&vec_add_kernel(8192))
+            .unwrap();
         let first = &out.program.insts()[0];
         let second = &out.program.insts()[1];
         assert_eq!(first.meta.loop_id, Some(0));

@@ -83,7 +83,9 @@ mod tests {
 
     #[test]
     fn aes_matches_table3_shape() {
-        let out = Vectorizer::default().vectorize(&kernel(Scale::test())).unwrap();
+        let out = Vectorizer::default()
+            .vectorize(&kernel(Scale::test()))
+            .unwrap();
         let p = characterize(&out.program);
         assert!(p.low_pct > 0.8, "low = {}", p.low_pct);
         assert!(p.med_pct > 0.08 && p.med_pct < 0.25, "med = {}", p.med_pct);

@@ -175,14 +175,16 @@ mod tests {
         for w in Workload::ALL {
             let program = w.program(Scale::test()).unwrap();
             assert!(!program.is_empty(), "{w} produced an empty program");
-            assert!(program.validate().is_ok(), "{w} produced an invalid program");
+            assert!(
+                program.validate().is_ok(),
+                "{w} produced an invalid program"
+            );
         }
     }
 
     #[test]
     fn names_are_unique() {
-        let names: std::collections::HashSet<_> =
-            Workload::ALL.iter().map(|w| w.name()).collect();
+        let names: std::collections::HashSet<_> = Workload::ALL.iter().map(|w| w.name()).collect();
         assert_eq!(names.len(), Workload::ALL.len());
         assert_eq!(Workload::Heat3d.to_string(), "heat-3d");
     }

@@ -67,9 +67,7 @@ pub fn inference_kernel(scale: Scale) -> Kernel {
         // Eight projection matrices per transformer block (Q, K, V, O and
         // the four FFN tiles), each streamed exactly once.
         let weights: Vec<ArrayHandle> = (0..8)
-            .map(|w| {
-                k.declare_array(ArrayDecl::new(format!("w{layer}_{w}"), hidden, 8))
-            })
+            .map(|w| k.declare_array(ArrayDecl::new(format!("w{layer}_{w}"), hidden, 8)))
             .collect();
         // out[i] = Σ_k w_k[i] * x[i]  (a blocked INT8 mat-vec slice):
         // 8 multiplies + 7 additions per element → 47% high / 53% medium.
@@ -77,8 +75,14 @@ pub fn inference_kernel(scale: Scale) -> Kernel {
             add(mul(load(a, 0), load(x, 0)), mul(load(b, 0), load(x, 0)))
         };
         let acc = add(
-            add(partial(weights[0], weights[1]), partial(weights[2], weights[3])),
-            add(partial(weights[4], weights[5]), partial(weights[6], weights[7])),
+            add(
+                partial(weights[0], weights[1]),
+                partial(weights[2], weights[3]),
+            ),
+            add(
+                partial(weights[4], weights[5]),
+                partial(weights[6], weights[7]),
+            ),
         );
         k.push_loop(
             Loop::new(format!("layer{layer}_matvec"), hidden)
@@ -165,7 +169,11 @@ mod tests {
         assert!(p.low_pct < 0.01);
         assert!((p.med_pct - 0.88).abs() < 0.1, "med = {}", p.med_pct);
         assert!((p.high_pct - 0.12).abs() < 0.1, "high = {}", p.high_pct);
-        assert!(p.avg_reuse > 2.0 && p.avg_reuse < 12.0, "reuse = {}", p.avg_reuse);
+        assert!(
+            p.avg_reuse > 2.0 && p.avg_reuse < 12.0,
+            "reuse = {}",
+            p.avg_reuse
+        );
         assert!(
             (p.vectorizable_pct - 0.60).abs() < 0.1,
             "vectorizable = {}",

@@ -60,7 +60,10 @@ pub fn heat3d_kernel(scale: Scale) -> Kernel {
         add(mul_c(load(a, -PLANE_STRIDE)), mul_c(load(a, 0))),
         mul_c(load(a, PLANE_STRIDE)),
     );
-    let unweighted = add(add(load(a, 0), load(a, -PLANE_STRIDE)), load(a, PLANE_STRIDE));
+    let unweighted = add(
+        add(load(a, 0), load(a, -PLANE_STRIDE)),
+        load(a, PLANE_STRIDE),
+    );
     let stencil = add(weighted, unweighted);
 
     k.push_loop(
@@ -86,12 +89,18 @@ pub fn jacobi1d_kernel(scale: Scale) -> Kernel {
     // B[i] = c * (A[i-S] + A[i] + A[i+S]); A[i] = c * (B[i-S] + B[i] + B[i+S])
     let sweep_ab = Expr::binary(
         OpType::Mul,
-        add(add(load(a, -PLANE_STRIDE), load(a, 0)), load(a, PLANE_STRIDE)),
+        add(
+            add(load(a, -PLANE_STRIDE), load(a, 0)),
+            load(a, PLANE_STRIDE),
+        ),
         Expr::Const(11),
     );
     let sweep_ba = Expr::binary(
         OpType::Mul,
-        add(add(load(b, -PLANE_STRIDE), load(b, 0)), load(b, PLANE_STRIDE)),
+        add(
+            add(load(b, -PLANE_STRIDE), load(b, 0)),
+            load(b, PLANE_STRIDE),
+        ),
         Expr::Const(11),
     );
 

@@ -9,9 +9,26 @@
 
 use conduit_types::OpType;
 use conduit_vectorizer::{ArrayDecl, Expr, Kernel, Loop, Statement};
-use rand::{rngs::SmallRng, Rng, SeedableRng};
 
 use crate::Scale;
+
+/// Minimal deterministic PRNG (splitmix64) so the workload generator needs
+/// no external crates; only used to derive the three hash-slot offsets.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
 
 /// Builds the XOR-filter kernel.
 pub fn kernel(scale: Scale) -> Kernel {
@@ -24,11 +41,11 @@ pub fn kernel(scale: Scale) -> Kernel {
     let result = k.declare_array(ArrayDecl::new("result", n, 32));
 
     // Deterministically seeded hash offsets (the three slot positions).
-    let mut rng = SmallRng::seed_from_u64(0x0be5_11fe);
+    let mut rng = SplitMix64(0x0be5_11fe);
     let offsets: [i64; 3] = [
-        rng.gen_range(0..128),
-        rng.gen_range(128..512),
-        rng.gen_range(512..1024),
+        rng.gen_range(0, 128),
+        rng.gen_range(128, 512),
+        rng.gen_range(512, 1024),
     ];
 
     // Query: fingerprint(key) == T[h0] + T[h1] + T[h2] (membership test).
@@ -36,10 +53,22 @@ pub fn kernel(scale: Scale) -> Kernel {
         OpType::Add,
         Expr::binary(
             OpType::Add,
-            Expr::binary(OpType::Lookup, Expr::load(table.at(offsets[0])), Expr::load(keys.at(0))),
-            Expr::binary(OpType::Lookup, Expr::load(table.at(offsets[1])), Expr::load(keys.at(0))),
+            Expr::binary(
+                OpType::Lookup,
+                Expr::load(table.at(offsets[0])),
+                Expr::load(keys.at(0)),
+            ),
+            Expr::binary(
+                OpType::Lookup,
+                Expr::load(table.at(offsets[1])),
+                Expr::load(keys.at(0)),
+            ),
         ),
-        Expr::binary(OpType::Lookup, Expr::load(table.at(offsets[2])), Expr::load(keys.at(0))),
+        Expr::binary(
+            OpType::Lookup,
+            Expr::load(table.at(offsets[2])),
+            Expr::load(keys.at(0)),
+        ),
     );
     let query = Expr::binary(OpType::CmpEq, slots, Expr::load(keys.at(0)));
     k.push_loop(
@@ -52,7 +81,11 @@ pub fn kernel(scale: Scale) -> Kernel {
     // multiply and one XOR — the 1%/1% high/low sliver of Table 3.
     let finalize = Expr::binary(
         OpType::Xor,
-        Expr::binary(OpType::Mul, Expr::load(keys.at(0)), Expr::Const(0x9E37_79B1)),
+        Expr::binary(
+            OpType::Mul,
+            Expr::load(keys.at(0)),
+            Expr::Const(0x9E37_79B1),
+        ),
         Expr::load(keys.at(0)),
     );
     k.push_loop(
@@ -86,7 +119,9 @@ mod tests {
 
     #[test]
     fn xor_filter_matches_table3_shape() {
-        let out = Vectorizer::default().vectorize(&kernel(Scale::test())).unwrap();
+        let out = Vectorizer::default()
+            .vectorize(&kernel(Scale::test()))
+            .unwrap();
         let p = characterize(&out.program);
         assert!(p.med_pct > 0.85, "med = {}", p.med_pct);
         assert!(p.low_pct < 0.1, "low = {}", p.low_pct);

@@ -15,7 +15,10 @@ fn main() -> Result<(), ConduitError> {
     let program = Workload::Aes.program(Scale::new(2, 1))?;
     let mut bench = Workbench::new(SsdConfig::default());
 
-    println!("AES-256 bulk encryption, {} vector instructions", program.len());
+    println!(
+        "AES-256 bulk encryption, {} vector instructions",
+        program.len()
+    );
     println!();
     println!("policy          time            compute%  hostDM%  internalDM%  flash%   IFP share");
 

@@ -1,0 +1,26 @@
+//! # conduit-repro
+//!
+//! Facade crate for the Conduit near-data-processing reproduction. It
+//! re-exports every workspace crate under one roof so the repository-level
+//! examples and integration tests (and downstream users who just want
+//! "all of Conduit") need a single dependency.
+//!
+//! The individual crates are:
+//!
+//! * [`types`] — shared vocabulary (time, energy, instructions, config),
+//! * [`flash`] / [`dram`] / [`ctrl`] — substrate compute/timing models,
+//! * [`ftl`] — flash translation layer and lazy coherence,
+//! * [`sim`] — the event-driven device model and contention timelines,
+//! * [`core`] — the cost function, policies and runtime offloading engine,
+//! * [`vectorizer`] — the compile-time loop auto-vectorization stage,
+//! * [`workloads`] — the six evaluation workload generators.
+
+pub use conduit as core;
+pub use conduit_ctrl as ctrl;
+pub use conduit_dram as dram;
+pub use conduit_flash as flash;
+pub use conduit_ftl as ftl;
+pub use conduit_sim as sim;
+pub use conduit_types as types;
+pub use conduit_vectorizer as vectorizer;
+pub use conduit_workloads as workloads;

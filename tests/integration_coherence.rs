@@ -30,12 +30,16 @@ fn cross_resource_handoff_flushes_through_flash() {
     // The controller core then needs it: a flush (flash program) plus a read
     // back up must happen, i.e. the handoff is much more expensive than a
     // DRAM-bus hop would be.
-    let c = dev.ensure_at(page, DataLocation::CtrlSram, w.ready).unwrap();
+    let c = dev
+        .ensure_at(page, DataLocation::CtrlSram, w.ready)
+        .unwrap();
     assert!(c.breakdown.flash_array >= Duration::from_us(400.0));
     assert_eq!(dev.locate(page), DataLocation::CtrlSram);
 
     // Re-reading from the same place is free.
-    let again = dev.ensure_at(page, DataLocation::CtrlSram, c.ready).unwrap();
+    let again = dev
+        .ensure_at(page, DataLocation::CtrlSram, c.ready)
+        .unwrap();
     assert_eq!(again.ready, c.ready);
 }
 
@@ -48,7 +52,9 @@ fn same_resource_rewrites_do_not_flush() {
 
     let mut at = SimTime::ZERO;
     for _ in 0..10 {
-        let c = dev.record_result_write(page, DataLocation::Dram, at).unwrap();
+        let c = dev
+            .record_result_write(page, DataLocation::Dram, at)
+            .unwrap();
         at = c.ready;
     }
     // Ten repeated writes by the same owner only bump the version counter —
@@ -97,7 +103,9 @@ fn host_consumption_forces_writeback() {
 
     dev.record_result_write(page, DataLocation::CtrlSram, SimTime::ZERO)
         .unwrap();
-    let c = dev.ensure_at(page, DataLocation::Host, SimTime::ZERO).unwrap();
+    let c = dev
+        .ensure_at(page, DataLocation::Host, SimTime::ZERO)
+        .unwrap();
     // Dirty controller-SRAM data headed to the host goes through a flash
     // commit (lazy coherence trigger ii: result must be transferred to the
     // host) and then over the PCIe link.

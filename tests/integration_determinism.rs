@@ -1,0 +1,57 @@
+//! Determinism of the evaluation pipeline: the parallel harness fan-out must
+//! be a pure wall-clock optimization — every `RunReport` it produces must be
+//! bit-identical to the serial path, and repeated runs must be identical.
+
+use conduit::Policy;
+use conduit_bench::Harness;
+use conduit_workloads::Workload;
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_serial() {
+    let mut serial = Harness::quick().with_parallel(false);
+    // Force 4 workers so the threaded path is exercised even on single-CPU
+    // CI hosts.
+    let mut parallel = Harness::quick().with_workers(4);
+    serial.prefetch_all();
+    parallel.prefetch_all();
+    for workload in Workload::ALL {
+        for policy in Policy::ALL {
+            let a = serial.report(workload, policy);
+            let b = parallel.report(workload, policy);
+            assert_eq!(
+                a, b,
+                "{workload}/{policy}: parallel report diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn figures_are_identical_across_harness_modes() {
+    let mut serial = Harness::quick().with_parallel(false);
+    let mut parallel = Harness::quick().with_workers(4);
+    assert_eq!(serial.fig7a(), parallel.fig7a());
+    assert_eq!(serial.fig7b(), parallel.fig7b());
+    assert_eq!(serial.fig8(), parallel.fig8());
+    assert_eq!(serial.headline(), parallel.headline());
+}
+
+#[test]
+fn repeated_sweeps_are_identical() {
+    let mut first = Harness::quick();
+    let mut second = Harness::quick();
+    for workload in [Workload::Jacobi1d, Workload::XorFilter] {
+        for policy in [
+            Policy::HostCpu,
+            Policy::DmOffloading,
+            Policy::Conduit,
+            Policy::Ideal,
+        ] {
+            assert_eq!(
+                first.report(workload, policy),
+                second.report(workload, policy),
+                "{workload}/{policy}: simulation is not deterministic"
+            );
+        }
+    }
+}

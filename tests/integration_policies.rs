@@ -16,7 +16,12 @@ fn ideal_upper_bounds_every_policy_on_every_workload() {
     for workload in Workload::ALL {
         let reports = run_all(
             workload,
-            &[Policy::Ideal, Policy::Conduit, Policy::DmOffloading, Policy::IspOnly],
+            &[
+                Policy::Ideal,
+                Policy::Conduit,
+                Policy::DmOffloading,
+                Policy::IspOnly,
+            ],
         );
         let ideal = &reports[0];
         for other in &reports[1..] {
@@ -39,7 +44,12 @@ fn conduit_beats_prior_offloading_policies_on_average() {
     for workload in Workload::ALL {
         let reports = run_all(
             workload,
-            &[Policy::HostCpu, Policy::BwOffloading, Policy::DmOffloading, Policy::Conduit],
+            &[
+                Policy::HostCpu,
+                Policy::BwOffloading,
+                Policy::DmOffloading,
+                Policy::Conduit,
+            ],
         );
         let cpu = &reports[0];
         bw_speedups.push(reports[1].speedup_over(cpu));
@@ -59,7 +69,10 @@ fn conduit_beats_prior_offloading_policies_on_average() {
     );
     // Paper headline: Conduit outperforms CPU by ~4.2x; accept a generous
     // band since the substrate is a reimplementation.
-    assert!(conduit > 1.5, "Conduit gmean speedup over CPU is only {conduit:.2}");
+    assert!(
+        conduit > 1.5,
+        "Conduit gmean speedup over CPU is only {conduit:.2}"
+    );
 }
 
 #[test]
@@ -81,7 +94,10 @@ fn single_resource_policies_are_dominated_by_adaptive_ones() {
     let mut conduit = Vec::new();
     let mut isp = Vec::new();
     for workload in Workload::ALL {
-        let reports = run_all(workload, &[Policy::HostCpu, Policy::IspOnly, Policy::Conduit]);
+        let reports = run_all(
+            workload,
+            &[Policy::HostCpu, Policy::IspOnly, Policy::Conduit],
+        );
         let cpu = &reports[0];
         isp.push(reports[1].speedup_over(cpu));
         conduit.push(reports[2].speedup_over(cpu));
@@ -102,7 +118,10 @@ fn offload_mix_tracks_workload_character() {
         pud_frac + ifp_frac > 0.7,
         "AES under Conduit should run on the NDP substrates, got PuD {pud_frac:.2} + IFP {ifp_frac:.2}"
     );
-    assert!(isp_frac < 0.3, "AES should use ISP sparingly, got {isp_frac:.2}");
+    assert!(
+        isp_frac < 0.3,
+        "AES should use ISP sparingly, got {isp_frac:.2}"
+    );
     let (_, _, dm_ifp, _) = aes[1].offload_mix.fractions();
     assert!(
         dm_ifp > 0.5,
@@ -115,8 +134,14 @@ fn offload_mix_tracks_workload_character() {
         ifp_frac < 0.5,
         "LLaMA2 inference should avoid IFP for multiplies, got {ifp_frac:.2}"
     );
-    assert!(pud_frac > 0.1, "LLaMA2 inference should use PuD-SSD, got {pud_frac:.2}");
-    assert!(llama_isp > 0.1, "LLaMA2 inference should also use ISP, got {llama_isp:.2}");
+    assert!(
+        pud_frac > 0.1,
+        "LLaMA2 inference should use PuD-SSD, got {pud_frac:.2}"
+    );
+    assert!(
+        llama_isp > 0.1,
+        "LLaMA2 inference should also use ISP, got {llama_isp:.2}"
+    );
 }
 
 #[test]
@@ -138,7 +163,11 @@ fn every_policy_completes_every_workload() {
         let mut bench = Workbench::new(SsdConfig::small_for_tests());
         for policy in Policy::ALL {
             let report = bench.run(&program, policy).unwrap();
-            assert_eq!(report.instructions, program.len(), "{workload} under {policy}");
+            assert_eq!(
+                report.instructions,
+                program.len(),
+                "{workload} under {policy}"
+            );
             assert!(report.total_time.as_ns() > 0.0, "{workload} under {policy}");
         }
     }

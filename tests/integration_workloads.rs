@@ -17,7 +17,10 @@ fn all_workloads_run_under_conduit() {
         assert!(report.overhead.count > 0, "{workload}");
         // §4.5: the per-instruction overhead averages a few microseconds and
         // never exceeds ~33 µs.
-        assert!(report.overhead.mean() < Duration::from_us(10.0), "{workload}");
+        assert!(
+            report.overhead.mean() < Duration::from_us(10.0),
+            "{workload}"
+        );
         assert!(report.overhead.max <= Duration::from_us(40.0), "{workload}");
     }
 }
@@ -63,7 +66,10 @@ fn compute_heavy_workloads_gain_more_from_conduit_than_io_bound_ones() {
         heat >= aes * 0.9,
         "compute-heavy heat-3d ({heat:.2}x) should benefit at least as much as AES ({aes:.2}x)"
     );
-    assert!(heat >= 1.0, "Conduit should not lose to DM-Offloading on heat-3d");
+    assert!(
+        heat >= 1.0,
+        "Conduit should not lose to DM-Offloading on heat-3d"
+    );
 }
 
 #[test]
