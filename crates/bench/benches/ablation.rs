@@ -2,7 +2,7 @@
 //! DESIGN.md): drop the data-movement term, the queueing term, or the
 //! dependence term, and replace the `max` combination with a sum.
 
-use conduit::{CostFunction, Policy, RunOptions, Workbench};
+use conduit::{CostFunction, Policy, RunRequest, Session};
 use conduit_bench::micro;
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
@@ -43,31 +43,25 @@ fn variants() -> Vec<(&'static str, CostFunction)> {
 }
 
 fn main() {
-    let program = Workload::Heat3d.program(Scale::test()).unwrap();
+    // Vectorize once, register once; every ablated run reuses the program.
+    let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+    let id = session
+        .register(Workload::Heat3d.program(Scale::test()).unwrap())
+        .unwrap();
 
     // Print the ablated end-to-end times once (the ablation "table").
     println!("# Cost-function ablation on heat-3d (lower is better)");
     for (name, cf) in variants() {
-        let mut bench = Workbench::new(SsdConfig::small_for_tests());
-        let report = bench
-            .run_with(
-                &program,
-                &RunOptions::new(Policy::Conduit).cost_function(cf),
-            )
+        let outcome = session
+            .submit(&RunRequest::new(id, Policy::Conduit).cost_function(cf))
             .unwrap();
-        println!("{name}\t{}", report.total_time);
+        println!("{name}\t{}", outcome.summary.total_time);
     }
 
     for (name, cf) in variants() {
+        let request = RunRequest::new(id, Policy::Conduit).cost_function(cf);
         micro::bench(&format!("cost_function_ablation_heat3d/{name}"), || {
-            let mut bench = Workbench::new(SsdConfig::small_for_tests());
-            bench
-                .run_with(
-                    &program,
-                    &RunOptions::new(Policy::Conduit).cost_function(cf),
-                )
-                .unwrap()
-                .total_time
+            session.submit(&request).unwrap().summary.total_time
         });
     }
 }

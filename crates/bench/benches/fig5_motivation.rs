@@ -2,7 +2,7 @@
 //! policy, plus a measurement of the simulation cost of each policy on a
 //! representative workload.
 
-use conduit::{Policy, Workbench};
+use conduit::{Policy, RunRequest, Session};
 use conduit_bench::{micro, Harness};
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
@@ -13,7 +13,10 @@ fn main() {
     let mut harness = Harness::quick();
     println!("{}", harness.fig5());
 
-    let program = Workload::Jacobi1d.program(Scale::test()).unwrap();
+    let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+    let id = session
+        .register(Workload::Jacobi1d.program(Scale::test()).unwrap())
+        .unwrap();
     for policy in [
         Policy::HostCpu,
         Policy::HostGpu,
@@ -25,12 +28,10 @@ fn main() {
         Policy::DmOffloading,
         Policy::Ideal,
     ] {
+        let request = RunRequest::new(id, policy);
         micro::bench(
             &format!("fig5_motivation_jacobi1d/{}", policy.name()),
-            || {
-                let mut bench = Workbench::new(SsdConfig::small_for_tests());
-                bench.run(&program, policy).unwrap().total_time
-            },
+            || session.submit(&request).unwrap().summary.total_time,
         );
     }
 }

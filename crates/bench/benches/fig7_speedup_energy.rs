@@ -2,7 +2,7 @@
 //! policy across all six workloads, plus measurements of the end-to-end
 //! simulation for each workload under Conduit.
 
-use conduit::{Policy, Workbench};
+use conduit::{Policy, RunRequest, Session};
 use conduit_bench::{micro, Harness};
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
@@ -13,14 +13,15 @@ fn main() {
     println!("{}", harness.fig7b());
     println!("{}", harness.headline());
 
+    let mut session = Session::builder(SsdConfig::small_for_tests()).build();
     for workload in Workload::ALL {
-        let program = workload.program(Scale::test()).unwrap();
+        let id = session
+            .register(workload.program(Scale::test()).unwrap())
+            .unwrap();
+        let request = RunRequest::new(id, Policy::Conduit);
         micro::bench(
             &format!("fig7_conduit_all_workloads/{}", workload.name()),
-            || {
-                let mut bench = Workbench::new(SsdConfig::small_for_tests());
-                bench.run(&program, Policy::Conduit).unwrap().total_time
-            },
+            || session.submit(&request).unwrap().summary.total_time,
         );
     }
 }

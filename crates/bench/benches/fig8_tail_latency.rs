@@ -2,7 +2,7 @@
 //! instruction→resource timeline), plus a measurement of the
 //! tail-latency-sensitive LLaMA2 inference run.
 
-use conduit::{Policy, Workbench};
+use conduit::{Policy, RunRequest, Session};
 use conduit_bench::{micro, Harness};
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
@@ -13,12 +13,16 @@ fn main() {
     println!("{}", harness.fig9());
     println!("{}", harness.fig10());
 
-    let program = Workload::LlamaInference.program(Scale::test()).unwrap();
+    let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+    let id = session
+        .register(Workload::LlamaInference.program(Scale::test()).unwrap())
+        .unwrap();
     for policy in [Policy::Conduit, Policy::DmOffloading, Policy::BwOffloading] {
+        // Tail latencies come straight off the constant-memory histogram in
+        // the summary — no timeline collection needed.
+        let request = RunRequest::new(id, policy);
         micro::bench(&format!("fig8_llama_inference/{}", policy.name()), || {
-            let mut bench = Workbench::new(SsdConfig::small_for_tests());
-            let mut report = bench.run(&program, policy).unwrap();
-            report.latency.percentile(0.99)
+            session.submit(&request).unwrap().summary.percentile(0.99)
         });
     }
 }

@@ -6,9 +6,9 @@
 //! cargo run --release -p conduit-bench --bin repro -- <target> [--quick]
 //! ```
 //!
-//! where `<target>` is one of `fig4`, `fig5`, `fig7a`, `fig7b`, `fig8`,
-//! `fig9`, `fig10`, `table3`, `overheads`, `headline`, `sim-throughput`, or
-//! `all`.
+//! where `<target>` is one of `fig4`, `fig5`, `fig7` (both panels), `fig7a`,
+//! `fig7b`, `fig8`, `fig9`, `fig10`, `table3`, `overheads`, `headline`,
+//! `sim-throughput`, `perf-gate`, or `all`.
 //!
 //! Flags:
 //!
@@ -16,22 +16,100 @@
 //! * `--serial` disables the parallel (workload, policy) fan-out (the
 //!   default runs one simulation per CPU core; results are bit-identical),
 //! * `sim-throughput` measures simulator throughput and writes
-//!   `BENCH_sim_throughput.json` next to the current directory.
+//!   `BENCH_sim_throughput.json` next to the current directory,
+//! * `perf-gate` measures throughput and **fails (exit 1) if it dropped
+//!   more than 15% below** the committed `BENCH_sim_throughput.json`
+//!   baseline (`--baseline <path>` and `--threshold <fraction>` override
+//!   the defaults) — the CI perf-regression gate.
 
-use conduit_bench::throughput::ThroughputReport;
+use conduit_bench::throughput::{baseline_instructions_per_sec, baseline_scale, ThroughputReport};
 use conduit_bench::Harness;
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig4|fig5|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|sim-throughput|all> [--quick] [--serial]"
+        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|sim-throughput|perf-gate|all> [--quick] [--serial] [--baseline <path>] [--threshold <fraction>]"
     );
+}
+
+/// The value following a `--flag` option, if present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn perf_gate(args: &[String], quick: bool) -> ! {
+    let baseline_path =
+        flag_value(args, "--baseline").unwrap_or_else(|| "BENCH_sim_throughput.json".to_string());
+    let threshold: f64 = match flag_value(args, "--threshold") {
+        None => 0.15,
+        Some(t) => match t.parse() {
+            Ok(v) if (0.0..1.0).contains(&v) => v,
+            _ => {
+                eprintln!(
+                    "perf-gate: --threshold takes a fraction in [0, 1), e.g. 0.15; got `{t}`"
+                );
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let baseline_doc = match std::fs::read_to_string(&baseline_path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("perf-gate: could not read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let Some(baseline) = baseline_instructions_per_sec(&baseline_doc) else {
+        eprintln!("perf-gate: {baseline_path} has no instructions_per_sec field");
+        std::process::exit(2);
+    };
+    // Refuse apples-to-oranges comparisons: the measurement scale must
+    // match the baseline's. Documents from before the scale field existed
+    // are paper-scale.
+    let baseline_scale = baseline_scale(&baseline_doc).unwrap_or("paper");
+    let measured_scale = if quick { "quick" } else { "paper" };
+    if baseline_scale != measured_scale {
+        eprintln!(
+            "perf-gate: baseline {baseline_path} was measured at {baseline_scale} scale but \
+             this run is {measured_scale} scale; rerun {}",
+            if quick {
+                "without --quick (or regenerate the baseline with `repro sim-throughput --quick`)"
+            } else {
+                "with --quick (or regenerate the baseline with `repro sim-throughput`)"
+            }
+        );
+        std::process::exit(2);
+    }
+
+    let report = ThroughputReport::measure(quick);
+    print!("{}", report.summary());
+    let measured = report.instructions_per_sec;
+    let floor = baseline * (1.0 - threshold);
+    println!(
+        "perf-gate: measured {measured:.0} inst/s vs baseline {baseline:.0} inst/s \
+         (floor {floor:.0} at {:.0}% tolerance)",
+        threshold * 100.0
+    );
+    if measured < floor {
+        eprintln!(
+            "perf-gate: FAIL — throughput dropped {:.1}% below the committed baseline",
+            (1.0 - measured / baseline) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("perf-gate: OK");
+    std::process::exit(0);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let serial = args.iter().any(|a| a == "--serial");
-    let target = args.iter().find(|a| !a.starts_with("--")).cloned();
+    let mut positional = args.iter().filter(|a| !a.starts_with("--"));
+    let target = positional.next().cloned();
 
     let Some(target) = target else {
         print_usage();
@@ -52,6 +130,10 @@ fn main() {
         return;
     }
 
+    if target == "perf-gate" {
+        perf_gate(&args, quick);
+    }
+
     let mut harness = if quick {
         Harness::quick()
     } else {
@@ -66,6 +148,7 @@ fn main() {
     let outputs: Vec<(&str, String)> = match target.as_str() {
         "fig4" => vec![("fig4", harness.fig4())],
         "fig5" => vec![("fig5", harness.fig5())],
+        "fig7" => vec![("fig7a", harness.fig7a()), ("fig7b", harness.fig7b())],
         "fig7a" => vec![("fig7a", harness.fig7a())],
         "fig7b" => vec![("fig7b", harness.fig7b())],
         "fig8" => vec![("fig8", harness.fig8())],

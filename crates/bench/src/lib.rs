@@ -4,37 +4,44 @@
 //! evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md for
 //! recorded paper-vs-measured results).
 //!
-//! The [`Harness`] runs each (workload, policy) pair once on a fresh
-//! simulated device and caches the report; the `figN`/`tableN` methods format
-//! the same rows/series the paper plots. The `repro` binary
+//! The [`Harness`] drives a [`conduit::Session`]: every workload is
+//! vectorized once and registered in the session's program registry, each
+//! (workload, policy) pair is submitted once and its [`conduit::RunOutcome`]
+//! cached, and the `figN`/`tableN` methods format the same rows/series the
+//! paper plots. The `repro` binary
 //! (`cargo run -p conduit-bench --bin repro -- <figure>`) prints them, and
 //! the benches under `benches/` measure the simulator itself (see [`micro`]).
 //!
 //! Because every run uses a **fresh** [`conduit_sim::SsdDevice`], runs of
-//! different (workload, policy) pairs are completely independent; the harness
-//! therefore fans missing pairs out across all CPU cores by default, with
-//! results bit-identical to the serial path (see [`Harness::prefetch`]).
+//! different (workload, policy) pairs are completely independent; the
+//! session therefore fans missing pairs out across all CPU cores by default,
+//! with results bit-identical to the serial path (see
+//! [`conduit::Session::submit_batch`]).
+//!
+//! Timelines are only collected for the three (workload, policy) pairs
+//! Figure 10 actually plots; every other cached outcome is a constant-memory
+//! [`conduit::RunSummary`], so the cache no longer grows with program length
+//! at paper scale.
 
 pub mod micro;
 pub mod throughput;
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
-use conduit::{gmean, Policy, RunOptions, RunReport, Workbench};
-use conduit_types::{ExecutionSite, Resource, SsdConfig, VectorProgram};
+use conduit::{gmean, Policy, ProgramId, RunOutcome, RunRequest, Session};
+use conduit_types::{ExecutionSite, Resource, SsdConfig};
 use conduit_workloads::{characterize, Scale, Workload};
 
 /// Runs workload × policy combinations and formats the paper's figures.
 #[derive(Debug)]
 pub struct Harness {
-    bench: Workbench,
+    cfg: SsdConfig,
     scale: Scale,
     parallel: bool,
     workers: Option<usize>,
-    programs: HashMap<Workload, VectorProgram>,
-    cache: HashMap<(Workload, Policy), RunReport>,
+    session: Session,
+    program_ids: HashMap<Workload, ProgramId>,
+    cache: HashMap<(Workload, Policy), RunOutcome>,
 }
 
 impl Harness {
@@ -50,20 +57,42 @@ impl Harness {
 
     /// Builds a harness with an explicit configuration and scale.
     pub fn new(cfg: SsdConfig, scale: Scale) -> Self {
+        let session = Self::build_session(&cfg, true, None);
         Harness {
-            bench: Workbench::new(cfg),
+            cfg,
             scale,
             parallel: true,
             workers: None,
-            programs: HashMap::new(),
+            session,
+            program_ids: HashMap::new(),
             cache: HashMap::new(),
         }
+    }
+
+    fn build_session(cfg: &SsdConfig, parallel: bool, workers: Option<usize>) -> Session {
+        let mut builder = Session::builder(cfg.clone());
+        if let Some(w) = workers {
+            builder = builder.workers(w);
+        }
+        if !parallel {
+            builder = builder.serial();
+        }
+        builder.build()
+    }
+
+    /// Rebuilds the session after a concurrency-setting change (intended for
+    /// use right after construction, before anything is cached).
+    fn reconfigure(&mut self) {
+        self.session = Self::build_session(&self.cfg, self.parallel, self.workers);
+        self.program_ids.clear();
+        self.cache.clear();
     }
 
     /// Builder-style: enables or disables the parallel fan-out (parallel is
     /// the default; the serial path exists for comparison and testing).
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self.reconfigure();
         self
     }
 
@@ -71,6 +100,7 @@ impl Harness {
     /// (default: one per available CPU core).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
+        self.reconfigure();
         self
     }
 
@@ -84,14 +114,41 @@ impl Harness {
         self.scale
     }
 
-    /// Generates (and caches) the vector program for a workload.
-    fn ensure_program(&mut self, workload: Workload) {
-        if !self.programs.contains_key(&workload) {
-            let program = workload
-                .program(self.scale)
-                .expect("workload generators always produce valid programs");
-            self.programs.insert(workload, program);
+    /// The session the harness drives (programs registered so far, configs).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Whether a pair's run must carry the full timeline: only the three
+    /// series Figure 10 plots ever read one.
+    fn needs_timeline(workload: Workload, policy: Policy) -> bool {
+        workload == Workload::LlamaInference
+            && matches!(
+                policy,
+                Policy::BwOffloading | Policy::DmOffloading | Policy::Conduit
+            )
+    }
+
+    /// Vectorizes (once) and registers the workload's program, returning its
+    /// registry handle.
+    fn ensure_program(&mut self, workload: Workload) -> ProgramId {
+        if let Some(&id) = self.program_ids.get(&workload) {
+            return id;
         }
+        let program = workload
+            .program(self.scale)
+            .expect("workload generators always produce valid programs");
+        let id = self
+            .session
+            .register(program)
+            .expect("generated programs always validate");
+        self.program_ids.insert(workload, id);
+        id
+    }
+
+    fn request_for(&mut self, workload: Workload, policy: Policy) -> RunRequest {
+        let id = self.ensure_program(workload);
+        RunRequest::new(id, policy).timeline(Self::needs_timeline(workload, policy))
     }
 
     /// Simulates every not-yet-cached pair in `pairs`, fanning the runs out
@@ -110,64 +167,16 @@ impl Harness {
         if missing.is_empty() {
             return;
         }
-        for &(w, _) in &missing {
-            self.ensure_program(w);
-        }
-
-        let workers = if self.parallel {
-            self.workers
-                .unwrap_or_else(|| {
-                    std::thread::available_parallelism()
-                        .map(|n| n.get())
-                        .unwrap_or(1)
-                })
-                .min(missing.len())
-        } else {
-            1
-        };
-        if workers <= 1 {
-            for (w, p) in missing {
-                let report = self
-                    .bench
-                    .run_with(&self.programs[&w], &RunOptions::new(p))
-                    .expect("simulation of a generated workload cannot fail");
-                self.cache.insert((w, p), report);
-            }
-            return;
-        }
-
-        // Work-stealing fan-out: each worker owns a Workbench clone and pulls
-        // the next pair index from a shared counter, so long-running policies
-        // do not serialize behind short ones.
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<RunReport>>> =
-            missing.iter().map(|_| Mutex::new(None)).collect();
-        let programs = &self.programs;
-        let missing_ref = &missing;
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let mut bench = self.bench.clone();
-                let next = &next;
-                let slots = &slots;
-                scope.spawn(move || loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= missing_ref.len() {
-                        break;
-                    }
-                    let (w, p) = missing_ref[i];
-                    let report = bench
-                        .run_with(&programs[&w], &RunOptions::new(p))
-                        .expect("simulation of a generated workload cannot fail");
-                    *slots[i].lock().expect("no poisoned slot") = Some(report);
-                });
-            }
-        });
-        for (pair, slot) in missing.iter().zip(slots) {
-            let report = slot
-                .into_inner()
-                .expect("no poisoned slot")
-                .expect("every pair was simulated");
-            self.cache.insert(*pair, report);
+        let requests: Vec<RunRequest> = missing
+            .iter()
+            .map(|&(w, p)| self.request_for(w, p))
+            .collect();
+        let outcomes = self
+            .session
+            .submit_batch(&requests)
+            .expect("simulation of a generated workload cannot fail");
+        for (pair, outcome) in missing.into_iter().zip(outcomes) {
+            self.cache.insert(pair, outcome);
         }
     }
 
@@ -182,31 +191,31 @@ impl Harness {
     }
 
     /// Runs (or returns the cached run of) one workload under one policy.
-    pub fn report(&mut self, workload: Workload, policy: Policy) -> RunReport {
+    pub fn report(&mut self, workload: Workload, policy: Policy) -> RunOutcome {
         if let Some(r) = self.cache.get(&(workload, policy)) {
             return r.clone();
         }
-        self.ensure_program(workload);
-        let report = self
-            .bench
-            .run_with(&self.programs[&workload], &RunOptions::new(policy))
+        let request = self.request_for(workload, policy);
+        let outcome = self
+            .session
+            .submit(&request)
             .expect("simulation of a generated workload cannot fail");
-        self.cache.insert((workload, policy), report.clone());
-        report
+        self.cache.insert((workload, policy), outcome.clone());
+        outcome
     }
 
     /// Speedup of `policy` over the host-CPU baseline for `workload`.
     pub fn speedup(&mut self, workload: Workload, policy: Policy) -> f64 {
         let cpu = self.report(workload, Policy::HostCpu);
         let other = self.report(workload, policy);
-        other.speedup_over(&cpu)
+        other.summary.speedup_over(&cpu.summary)
     }
 
     /// Energy of `policy` normalized to the host-CPU baseline for `workload`.
     pub fn energy_ratio(&mut self, workload: Workload, policy: Policy) -> f64 {
         let cpu = self.report(workload, Policy::HostCpu);
         let other = self.report(workload, policy);
-        other.energy_vs(&cpu)
+        other.summary.energy_vs(&cpu.summary)
     }
 
     // ------------------------------------------------------------------
@@ -237,9 +246,9 @@ impl Harness {
              class\tmodel\tnorm_time\tcompute\thost_dm\tinternal_dm\tflash_read\n",
         );
         for (class, workload) in classes {
-            let osp = self.report(workload, Policy::HostCpu);
+            let osp = self.report(workload, Policy::HostCpu).summary;
             for (label, policy) in policies {
-                let r = self.report(workload, policy);
+                let r = self.report(workload, policy).summary;
                 let norm = r.total_time.as_ns() / osp.total_time.as_ns();
                 let (c, h, i, f) = r.breakdown.fractions();
                 out.push_str(&format!(
@@ -320,12 +329,15 @@ impl Harness {
         );
         let mut totals: HashMap<Policy, Vec<f64>> = HashMap::new();
         for workload in Workload::ALL {
-            let cpu = self.report(workload, Policy::HostCpu);
-            let cpu_energy = cpu.energy.total().as_nj();
+            let cpu = self.report(workload, Policy::HostCpu).summary;
+            let cpu_energy = cpu.total_energy.as_nj();
             for policy in policies {
-                let r = self.report(workload, policy);
-                let total = r.energy.total().as_nj() / cpu_energy;
-                let dm = r.energy.data_movement.as_nj() / cpu_energy;
+                let r = self.report(workload, policy).summary;
+                let split = r
+                    .energy_split
+                    .expect("the harness always collects the energy split");
+                let total = r.total_energy.as_nj() / cpu_energy;
+                let dm = split.data_movement.as_nj() / cpu_energy;
                 out.push_str(&format!(
                     "{workload}\t{policy}\t{total:.3}\t{dm:.3}\t{:.3}\n",
                     total - dm
@@ -358,17 +370,12 @@ impl Harness {
             .collect();
         self.prefetch(&pairs);
         for workload in [Workload::LlamaInference, Workload::Jacobi1d] {
-            for policy in [
-                Policy::Ideal,
-                Policy::Conduit,
-                Policy::BwOffloading,
-                Policy::DmOffloading,
-            ] {
-                let mut r = self.report(workload, policy);
+            for policy in fig8_policies {
+                let r = self.report(workload, policy).summary;
                 out.push_str(&format!(
                     "{workload}\t{policy}\t{:.2}\t{:.2}\n",
-                    r.latency.percentile(0.99).as_us(),
-                    r.latency.percentile(0.9999).as_us()
+                    r.percentile(0.99).as_us(),
+                    r.percentile(0.9999).as_us()
                 ));
             }
         }
@@ -394,13 +401,8 @@ impl Harness {
             .collect();
         self.prefetch(&pairs);
         for workload in Workload::ALL {
-            for policy in [
-                Policy::BwOffloading,
-                Policy::DmOffloading,
-                Policy::Conduit,
-                Policy::Ideal,
-            ] {
-                let r = self.report(workload, policy);
+            for policy in fig9_policies {
+                let r = self.report(workload, policy).summary;
                 let (isp, pud, ifp, _) = r.offload_mix.fractions();
                 out.push_str(&format!(
                     "{workload}\t{policy}\t{isp:.3}\t{pud:.3}\t{ifp:.3}\n"
@@ -412,7 +414,8 @@ impl Harness {
 
     /// Figure 10: instruction → resource mapping over the execution of
     /// LLaMA2 inference, bucketed so the phase behaviour is visible in text
-    /// form.
+    /// form. These are the only runs for which the harness requests
+    /// timelines.
     pub fn fig10(&mut self) -> String {
         const BUCKETS: usize = 40;
         let mut out = String::from(
@@ -426,8 +429,12 @@ impl Harness {
             (Workload::LlamaInference, Policy::Conduit),
         ]);
         for policy in [Policy::BwOffloading, Policy::DmOffloading, Policy::Conduit] {
-            let r = self.report(Workload::LlamaInference, policy);
-            let timeline = &r.timeline;
+            let outcome = self.report(Workload::LlamaInference, policy);
+            let timeline = &outcome
+                .artifacts
+                .as_ref()
+                .expect("fig10 pairs always collect timelines")
+                .timeline;
             let bucket_len = (timeline.len() / BUCKETS).max(1);
             let mut row = format!("{policy:<15} ");
             for chunk in timeline.chunks(bucket_len).take(BUCKETS) {
@@ -454,6 +461,7 @@ impl Harness {
         out.push_str(&format!(
             "instructions: {}\n",
             self.report(Workload::LlamaInference, Policy::Conduit)
+                .summary
                 .instructions
         ));
         out
@@ -467,10 +475,12 @@ impl Harness {
              workload\tvectorizable%\tavg_reuse\tlow%\tmedium%\thigh%\n",
         );
         for workload in Workload::ALL {
-            let program = workload
-                .program(self.scale)
-                .expect("generators always succeed");
-            let p = characterize(&program);
+            let id = self.ensure_program(workload);
+            let program = self
+                .session
+                .program(id)
+                .expect("just-registered program exists");
+            let p = characterize(program);
             let (v, r, low, med, high) = workload.paper_characteristics();
             out.push_str(&format!(
                 "{workload}\t{:.0} | {:.0}\t{:.1} | {:.1}\t{:.0} | {:.0}\t{:.0} | {:.0}\t{:.0} | {:.0}\n",
@@ -501,7 +511,7 @@ impl Harness {
             .collect();
         self.prefetch(&pairs);
         for workload in Workload::ALL {
-            let r = self.report(workload, Policy::Conduit);
+            let r = self.report(workload, Policy::Conduit).summary;
             out.push_str(&format!(
                 "{workload}\t{:.2}\t{:.2}\n",
                 r.overhead.mean().as_us(),
@@ -540,10 +550,10 @@ impl Harness {
             .collect();
         self.prefetch(&pairs);
         for workload in Workload::ALL {
-            let dm = self.report(workload, Policy::DmOffloading);
-            let conduit = self.report(workload, Policy::Conduit);
-            let ideal = self.report(workload, Policy::Ideal);
-            let cpu = self.report(workload, Policy::HostCpu);
+            let dm = self.report(workload, Policy::DmOffloading).summary;
+            let conduit = self.report(workload, Policy::Conduit).summary;
+            let ideal = self.report(workload, Policy::Ideal).summary;
+            let cpu = self.report(workload, Policy::HostCpu).summary;
             conduit_vs_dm.push(conduit.speedup_over(&dm));
             conduit_vs_cpu.push(conduit.speedup_over(&cpu));
             energy_vs_dm.push(conduit.energy_vs(&dm));
@@ -640,7 +650,7 @@ mod tests {
         let mut h = Harness::quick();
         let a = h.report(Workload::Jacobi1d, Policy::Conduit);
         let b = h.report(Workload::Jacobi1d, Policy::Conduit);
-        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.summary.total_time, b.summary.total_time);
     }
 
     #[test]
@@ -650,5 +660,35 @@ mod tests {
         assert!(text.contains("GMEAN"));
         assert!(text.contains("Conduit"));
         assert_eq!(text.lines().count(), 2 + Workload::ALL.len() + 1);
+    }
+
+    #[test]
+    fn only_fig10_pairs_carry_timelines() {
+        let mut h = Harness::quick();
+        h.prefetch(&[
+            (Workload::Jacobi1d, Policy::Conduit),
+            (Workload::LlamaInference, Policy::Conduit),
+            (Workload::LlamaInference, Policy::Ideal),
+        ]);
+        assert!(h
+            .report(Workload::Jacobi1d, Policy::Conduit)
+            .artifacts
+            .is_none());
+        assert!(h
+            .report(Workload::LlamaInference, Policy::Ideal)
+            .artifacts
+            .is_none());
+        let fig10_pair = h.report(Workload::LlamaInference, Policy::Conduit);
+        let timeline = &fig10_pair.artifacts.expect("fig10 pair").timeline;
+        assert_eq!(timeline.len(), fig10_pair.summary.instructions);
+    }
+
+    #[test]
+    fn workload_programs_are_registered_once() {
+        let mut h = Harness::quick();
+        let _ = h.report(Workload::Jacobi1d, Policy::Conduit);
+        let _ = h.report(Workload::Jacobi1d, Policy::HostCpu);
+        let _ = h.report(Workload::Jacobi1d, Policy::Ideal);
+        assert_eq!(h.session().registry().len(), 1);
     }
 }

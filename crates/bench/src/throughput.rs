@@ -2,13 +2,20 @@
 //! wall-clock second, plus the parallel-vs-serial sweep speedup.
 //!
 //! This is the number the perf trajectory tracks (`BENCH_sim_throughput.json`
-//! at the repository root, emitted by `repro sim-throughput`): it bounds how
-//! fast the whole figure-regeneration pipeline can go and directly reflects
-//! hot-path work like cost-feature collection and energy accounting.
+//! at the repository root, emitted by `repro sim-throughput` and guarded by
+//! `repro perf-gate` in CI): it bounds how fast the whole figure-regeneration
+//! pipeline can go and directly reflects hot-path work like cost-feature
+//! collection and energy accounting.
+//!
+//! The measurement itself exercises the service API the way a server would:
+//! each workload is vectorized once, registered in a
+//! [`conduit::Session`], and then resubmitted via [`conduit::RunRequest`]s
+//! (summary-only, using the repeat knob) without ever re-running the
+//! vectorizer.
 
 use std::time::Instant;
 
-use conduit::{Policy, RunOptions, Workbench};
+use conduit::{Policy, RunRequest, Session};
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
 
@@ -18,6 +25,10 @@ use crate::Harness;
 /// The measured simulator throughput and sweep scaling.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ThroughputReport {
+    /// Whether this was a quick-scale (test-sized) measurement rather than
+    /// paper scale. Recorded in the JSON so `repro perf-gate` refuses to
+    /// compare measurements taken at different scales.
+    pub quick: bool,
     /// Vector instructions simulated during the timed section.
     pub instructions: u64,
     /// Wall-clock seconds of the timed section.
@@ -45,35 +56,44 @@ impl ThroughputReport {
         };
 
         // --- raw engine throughput: Conduit policy over every workload ----
-        let mut bench = Workbench::new(cfg.clone());
-        let programs: Vec<_> = Workload::ALL
+        // Register every workload program once; the timed section reuses
+        // them straight from the registry (summary-only requests: the run
+        // loop is measured, not timeline allocation).
+        let mut session = Session::builder(cfg.clone()).serial().build();
+        let ids: Vec<_> = Workload::ALL
             .iter()
-            .map(|w| w.program(scale).expect("generators always succeed"))
+            .map(|w| {
+                let program = w.program(scale).expect("generators always succeed");
+                session
+                    .register(program)
+                    .expect("generated programs always validate")
+            })
             .collect();
         // One untimed pass to warm caches and page tables.
-        for program in &programs {
+        for &id in &ids {
             black_box(
-                bench
-                    .run_with(program, &RunOptions::new(Policy::Conduit))
+                session
+                    .submit(&RunRequest::new(id, Policy::Conduit))
                     .expect("simulation cannot fail"),
             );
         }
         let repeats = if quick { 3 } else { 1 };
         let mut instructions = 0u64;
         let t = Instant::now();
-        for _ in 0..repeats {
-            for program in &programs {
-                let report = bench
-                    .run_with(program, &RunOptions::new(Policy::Conduit))
-                    .expect("simulation cannot fail");
-                instructions += report.instructions as u64;
-                black_box(report);
-            }
+        for &id in &ids {
+            let outcome = session
+                .submit(&RunRequest::new(id, Policy::Conduit).repeat(repeats))
+                .expect("simulation cannot fail");
+            instructions += outcome.summary.instructions as u64 * outcome.summary.repeats as u64;
+            black_box(outcome);
         }
         let wall_seconds = t.elapsed().as_secs_f64();
 
         // --- per-policy probe timings (jacobi-1d, one run each) -----------
-        let probe = Workload::Jacobi1d.program(scale).expect("generator");
+        let probe = ids[Workload::ALL
+            .iter()
+            .position(|&w| w == Workload::Jacobi1d)
+            .expect("jacobi-1d is in ALL")];
         let mut per_policy = Vec::new();
         for policy in [
             Policy::HostCpu,
@@ -82,11 +102,11 @@ impl ThroughputReport {
             Policy::Ideal,
         ] {
             let t = Instant::now();
-            let report = bench
-                .run_with(&probe, &RunOptions::new(policy))
+            let outcome = session
+                .submit(&RunRequest::new(probe, policy))
                 .expect("simulation cannot fail");
             let ns = t.elapsed().as_secs_f64() * 1e9;
-            black_box(report);
+            black_box(outcome);
             per_policy.push(BenchResult {
                 name: format!("jacobi1d/{policy}"),
                 samples: 1,
@@ -110,6 +130,7 @@ impl ThroughputReport {
         let sweep_parallel_seconds = t.elapsed().as_secs_f64();
 
         ThroughputReport {
+            quick,
             instructions,
             wall_seconds,
             instructions_per_sec: instructions as f64 / wall_seconds.max(1e-12),
@@ -144,6 +165,10 @@ impl ThroughputReport {
         results_to_json(
             &self.per_policy,
             &[
+                (
+                    "scale",
+                    format!("\"{}\"", if self.quick { "quick" } else { "paper" }),
+                ),
                 ("instructions", self.instructions.to_string()),
                 ("wall_seconds", format!("{:.6}", self.wall_seconds)),
                 (
@@ -164,6 +189,32 @@ impl ThroughputReport {
     }
 }
 
+/// Extracts the `instructions_per_sec` field from a
+/// `BENCH_sim_throughput.json` document (no JSON parser is available
+/// offline; the field is written by [`ThroughputReport::to_json`] as a bare
+/// number). Returns `None` if the field is missing or malformed.
+pub fn baseline_instructions_per_sec(json: &str) -> Option<f64> {
+    let key = "\"instructions_per_sec\":";
+    let start = json.find(key)? + key.len();
+    let rest = json[start..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extracts the `scale` field (`"paper"` or `"quick"`) from a
+/// `BENCH_sim_throughput.json` document. Documents written before the field
+/// existed return `None`; callers should treat that as paper scale, which is
+/// what the committed baseline has always been.
+pub fn baseline_scale(json: &str) -> Option<&str> {
+    let key = "\"scale\":";
+    let start = json.find(key)? + key.len();
+    let rest = json[start..].trim_start().strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,5 +231,44 @@ mod tests {
         assert!(json.contains("\"instructions_per_sec\""));
         assert!(json.contains("\"parallel_speedup\""));
         assert!(r.summary().contains("instructions/sec"));
+        // The perf gate can read back what we wrote.
+        let parsed = baseline_instructions_per_sec(&json).expect("field is present");
+        assert!((parsed - r.instructions_per_sec).abs() <= 0.05 * r.instructions_per_sec + 0.1);
+    }
+
+    #[test]
+    fn baseline_parser_handles_real_and_bad_documents() {
+        assert_eq!(
+            baseline_instructions_per_sec("{\n  \"instructions_per_sec\": 177000.5,\n}"),
+            Some(177000.5)
+        );
+        assert_eq!(
+            baseline_instructions_per_sec("{\"instructions_per_sec\": 42}"),
+            Some(42.0)
+        );
+        assert_eq!(baseline_instructions_per_sec("{}"), None);
+        assert_eq!(
+            baseline_instructions_per_sec("{\"instructions_per_sec\": \"oops\"}"),
+            None
+        );
+    }
+
+    #[test]
+    fn scale_field_roundtrips_and_parses() {
+        assert_eq!(baseline_scale("{\"scale\": \"paper\",}"), Some("paper"));
+        assert_eq!(baseline_scale("{\"scale\": \"quick\"}"), Some("quick"));
+        // Pre-scale-field documents (PR 1 format) report None.
+        assert_eq!(baseline_scale("{\"instructions_per_sec\": 1.0}"), None);
+        let quick = ThroughputReport {
+            quick: true,
+            instructions: 1,
+            wall_seconds: 1.0,
+            instructions_per_sec: 1.0,
+            sweep_serial_seconds: 1.0,
+            sweep_parallel_seconds: 1.0,
+            parallel_speedup: 1.0,
+            per_policy: Vec::new(),
+        };
+        assert_eq!(baseline_scale(&quick.to_json()), Some("quick"));
     }
 }

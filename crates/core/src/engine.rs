@@ -182,7 +182,7 @@ impl RuntimeEngine {
         let mut energy = EnergySummary::default();
         let mut breakdown = CostBreakdown::zero();
         let mut mix = OffloadMix::default();
-        let mut latency = conduit_sim::LatencyStats::with_capacity(n);
+        let mut latency = conduit_sim::LatencyStats::new();
         let mut timeline = Vec::with_capacity(if options.record_timeline { n } else { 0 });
         let mut overhead_report = OverheadReport::default();
         let mut lookups: u64 = 0;

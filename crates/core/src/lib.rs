@@ -23,13 +23,20 @@
 //! * [`OverheadModel`] — the runtime latency and storage overheads of §4.5,
 //! * [`RuntimeEngine`] — the runtime offloading engine that executes a
 //!   [`conduit_types::VectorProgram`] on a simulated [`conduit_sim::SsdDevice`]
-//!   under a chosen policy and produces a [`RunReport`] (execution time,
-//!   energy split, latency percentiles, offload mix, timeline).
+//!   under a chosen policy,
+//! * [`Session`] — the service-level API on top of the engine: register a
+//!   vectorized program once (persistable via the compact registry
+//!   serialization), then [`Session::submit`] [`RunRequest`]s describing the
+//!   policy, repeat count and collection flags, getting back a cheap
+//!   [`RunSummary`] (times, energy split, histogram-backed latency
+//!   percentiles, offload mix) plus opt-in [`RunArtifacts`] (the full
+//!   timeline). [`Session::submit_batch`] fans requests out across a
+//!   work-stealing thread pool with results bit-identical to serial runs.
 //!
 //! ## Quick start
 //!
 //! ```
-//! use conduit::{Policy, Workbench};
+//! use conduit::{Policy, RunRequest, Session};
 //! use conduit_types::{OpType, Operand, SsdConfig, VectorProgram};
 //!
 //! // A tiny program: c = a ^ b; d = c + a.
@@ -37,10 +44,15 @@
 //! let x = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
 //! prog.push_binary(OpType::Add, Operand::result(x), Operand::page(0));
 //!
-//! let mut bench = Workbench::new(SsdConfig::small_for_tests());
-//! let report = bench.run(&prog, Policy::Conduit)?;
-//! assert_eq!(report.instructions, 2);
-//! assert!(report.total_time.as_ns() > 0.0);
+//! // Register once; run under as many policies as you like.
+//! let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+//! let id = session.register(prog)?;
+//!
+//! let conduit = session.submit(&RunRequest::new(id, Policy::Conduit))?;
+//! let cpu = session.submit(&RunRequest::new(id, Policy::HostCpu))?;
+//! assert_eq!(conduit.summary.instructions, 2);
+//! assert!(conduit.summary.speedup_over(&cpu.summary) > 0.0);
+//! assert!(conduit.summary.percentile(0.99) <= conduit.summary.total_time);
 //! # Ok::<(), conduit_types::ConduitError>(())
 //! ```
 
@@ -48,7 +60,9 @@ mod cost;
 mod engine;
 mod overhead;
 mod policy;
+mod pool;
 mod report;
+mod session;
 mod transform;
 mod workbench;
 
@@ -56,6 +70,12 @@ pub use cost::{CostFeatures, CostFunction};
 pub use engine::{RunOptions, RuntimeEngine};
 pub use overhead::{OverheadModel, StorageOverhead};
 pub use policy::{Policy, PolicyContext};
+pub use pool::ThreadPool;
 pub use report::{gmean, EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
+pub use session::{
+    ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest, RunSummary, Session,
+    SessionBuilder, DEFAULT_PERCENTILES, REGISTRY_FORMAT_VERSION, REGISTRY_MAGIC,
+};
 pub use transform::{InstructionTransformer, NativeIsa, TranslationEntry};
+#[allow(deprecated)]
 pub use workbench::Workbench;

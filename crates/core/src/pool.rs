@@ -1,0 +1,177 @@
+//! A small work-stealing thread pool for fanning independent simulations out
+//! across CPU cores.
+//!
+//! [`crate::Session`] owns one of these: batch submissions
+//! ([`crate::Session::submit_batch`]) enqueue worker loops that pull run
+//! indices from a shared atomic counter, so long-running policies never
+//! serialize behind short ones and the pool's threads are reused across
+//! batches instead of being respawned per sweep.
+//!
+//! The pool executes boxed `FnOnce` jobs; a panicking job is contained (the
+//! worker thread survives and keeps serving later jobs).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of worker threads executing boxed jobs.
+///
+/// # Examples
+///
+/// ```
+/// use conduit::ThreadPool;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+/// use std::sync::mpsc::channel;
+///
+/// let pool = ThreadPool::new(2);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// let (tx, rx) = channel();
+/// for _ in 0..8 {
+///     let hits = hits.clone();
+///     let tx = tx.clone();
+///     pool.execute(move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///         tx.send(()).unwrap();
+///     });
+/// }
+/// for _ in 0..8 {
+///     rx.recv().unwrap();
+/// }
+/// assert_eq!(hits.load(Ordering::Relaxed), 8);
+/// ```
+pub struct ThreadPool {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Spawns a pool with `size` worker threads (clamped to at least one).
+    pub fn new(size: usize) -> Self {
+        let size = size.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..size)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::spawn(move || loop {
+                    let job = {
+                        let guard = receiver.lock().expect("pool receiver lock");
+                        guard.recv()
+                    };
+                    match job {
+                        // A panicking job must not kill the worker: contain
+                        // it and keep serving later batches.
+                        Ok(job) => drop(catch_unwind(AssertUnwindSafe(job))),
+                        Err(_) => break,
+                    }
+                })
+            })
+            .collect();
+        ThreadPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// A pool with one worker per available CPU core.
+    pub fn per_core() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        ThreadPool::new(cores)
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; some worker thread will execute it.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.sender
+            .as_ref()
+            .expect("pool sender lives until drop")
+            .send(Box::new(job))
+            .expect("pool workers live until drop");
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        // Closing the channel makes every worker's recv fail, ending its
+        // loop after it drains the queue.
+        drop(self.sender.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("size", &self.workers.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_all_jobs_across_workers() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.size(), 4);
+        let done = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = channel();
+        for i in 0..32usize {
+            let done = done.clone();
+            let tx = tx.clone();
+            pool.execute(move || {
+                done.fetch_add(i, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..32 {
+            rx.recv().unwrap();
+        }
+        assert_eq!(done.load(Ordering::Relaxed), (0..32).sum::<usize>());
+    }
+
+    #[test]
+    fn zero_size_is_clamped_to_one() {
+        let pool = ThreadPool::new(0);
+        assert_eq!(pool.size(), 1);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_the_pool() {
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("contained"));
+        let (tx, rx) = channel();
+        pool.execute(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn drop_joins_workers_after_draining() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = ThreadPool::new(2);
+            for _ in 0..8 {
+                let done = done.clone();
+                pool.execute(move || {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        }
+        // Drop joined the workers, so every queued job ran.
+        assert_eq!(done.load(Ordering::Relaxed), 8);
+    }
+}

@@ -1,0 +1,938 @@
+//! The service-level execution API: [`Session`], [`RunRequest`],
+//! [`RunSummary`].
+//!
+//! The runtime engine ([`crate::RuntimeEngine`]) simulates one program on one
+//! device; a *server* wants to compile (vectorize) a program once and then
+//! execute it under many policies, configurations and request streams. This
+//! module is that server surface:
+//!
+//! * a [`Session`] owns the device/host configuration, a persistent
+//!   **program registry** and a lazily-started work-stealing thread pool;
+//! * programs are registered once ([`Session::register`] →
+//!   [`ProgramId`]) and can be persisted across processes via the compact
+//!   registry serialization ([`Session::export_registry`] /
+//!   [`Session::import_registry`]), so vectorizer output is never recomputed;
+//! * a [`RunRequest`] is a cheap, cloneable description of one run: policy,
+//!   cost-function ablation, repeat count and *collection flags* (timeline
+//!   on/off, percentile set, energy split);
+//! * results are split into an always-cheap [`RunSummary`] (times, energy,
+//!   offload mix, histogram-backed latency percentiles — constant memory)
+//!   and opt-in [`RunArtifacts`] (the full per-instruction timeline), so
+//!   batch sweeps no longer carry timelines they never read;
+//! * [`Session::submit_batch`] fans independent requests out across the
+//!   pool with results **bit-identical** to running them serially (every run
+//!   simulates on a fresh device).
+//!
+//! # Examples
+//!
+//! ```
+//! use conduit::{Policy, RunRequest, Session};
+//! use conduit_types::{OpType, Operand, SsdConfig, VectorProgram};
+//!
+//! let mut prog = VectorProgram::new("demo");
+//! let x = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+//! prog.push_binary(OpType::Add, Operand::result(x), Operand::page(0));
+//!
+//! let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+//! let id = session.register(prog)?;
+//!
+//! let outcome = session.submit(&RunRequest::new(id, Policy::Conduit))?;
+//! assert_eq!(outcome.summary.instructions, 2);
+//! assert!(outcome.artifacts.is_none()); // timelines are opt-in
+//!
+//! let batch = session.submit_batch(&[
+//!     RunRequest::new(id, Policy::HostCpu),
+//!     RunRequest::new(id, Policy::Conduit).with_timeline(),
+//! ])?;
+//! assert!(batch[1].artifacts.is_some());
+//! # Ok::<(), conduit_types::ConduitError>(())
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, OnceLock};
+
+use conduit_sim::{CostBreakdown, LatencyStats};
+use conduit_types::{ConduitError, Duration, Energy, HostConfig, Result, SsdConfig, VectorProgram};
+
+use crate::cost::CostFunction;
+use crate::engine::{RunOptions, RuntimeEngine};
+use crate::policy::Policy;
+use crate::pool::ThreadPool;
+use crate::report::{EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
+
+/// Magic bytes identifying a serialized [`ProgramRegistry`].
+pub const REGISTRY_MAGIC: [u8; 4] = *b"CPR1";
+
+/// Current registry serialization format version.
+pub const REGISTRY_FORMAT_VERSION: u16 = 1;
+
+/// The percentile set collected when a request does not override it.
+pub const DEFAULT_PERCENTILES: [f64; 3] = [0.50, 0.99, 0.9999];
+
+/// Handle to a program registered in a [`Session`]'s [`ProgramRegistry`].
+///
+/// Ids are dense indices in registration order, so they stay valid across
+/// [`Session::export_registry`] / [`Session::import_registry`] round trips
+/// into a fresh session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProgramId(u32);
+
+impl ProgramId {
+    /// The dense registration-order index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An ordered collection of validated, reusable [`VectorProgram`]s.
+///
+/// Programs are stored behind [`Arc`] so batch fan-out shares them across
+/// worker threads without copying instruction streams.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramRegistry {
+    programs: Vec<Arc<VectorProgram>>,
+}
+
+impl ProgramRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ProgramRegistry::default()
+    }
+
+    /// Validates and registers a program, returning its handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::InvalidProgram`] if the program fails
+    /// [`VectorProgram::validate`].
+    pub fn register(&mut self, program: VectorProgram) -> Result<ProgramId> {
+        program.validate().map_err(ConduitError::invalid_program)?;
+        let id = ProgramId(self.programs.len() as u32);
+        self.programs.push(Arc::new(program));
+        Ok(id)
+    }
+
+    /// The program behind a handle, if registered.
+    pub fn get(&self, id: ProgramId) -> Option<&Arc<VectorProgram>> {
+        self.programs.get(id.index())
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether no programs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Iterator over `(id, program)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (ProgramId, &VectorProgram)> {
+        self.programs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ProgramId(i as u32), p.as_ref()))
+    }
+
+    /// Serializes every registered program into one compact byte stream
+    /// (magic + version + count, then each program via
+    /// [`VectorProgram::to_bytes`] behind a `u32` length).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&REGISTRY_MAGIC);
+        out.extend_from_slice(&REGISTRY_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.programs.len() as u32).to_le_bytes());
+        for program in &self.programs {
+            let bytes = program.to_bytes();
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(&bytes);
+        }
+        out
+    }
+
+    /// Decodes a registry serialized by [`ProgramRegistry::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::InvalidProgram`] for a bad magic/version,
+    /// truncation, trailing bytes, or any embedded program that fails to
+    /// decode.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ProgramRegistry> {
+        let corrupt =
+            |reason: &str| ConduitError::invalid_program(format!("serialized registry: {reason}"));
+        if bytes.len() < 10 || bytes[..4] != REGISTRY_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != REGISTRY_FORMAT_VERSION {
+            return Err(corrupt("unsupported format version"));
+        }
+        let count = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+        let mut pos = 10;
+        let mut registry = ProgramRegistry::new();
+        for _ in 0..count {
+            let end = pos + 4;
+            if end > bytes.len() {
+                return Err(corrupt("truncated program length"));
+            }
+            let len = u32::from_le_bytes(bytes[pos..end].try_into().expect("len 4 slice")) as usize;
+            pos = end;
+            if pos + len > bytes.len() {
+                return Err(corrupt("truncated program body"));
+            }
+            let program = VectorProgram::from_bytes(&bytes[pos..pos + len])?;
+            pos += len;
+            registry.programs.push(Arc::new(program));
+        }
+        if pos != bytes.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(registry)
+    }
+}
+
+/// Where a [`RunRequest`]'s program comes from.
+#[derive(Debug, Clone, PartialEq)]
+enum ProgramSource {
+    /// A program registered in the session's registry (the normal, reusable
+    /// path).
+    Registered(ProgramId),
+    /// A one-shot program carried by the request itself (used by the
+    /// deprecated [`crate::Workbench`] shim and throwaway experiments).
+    Inline(Arc<VectorProgram>),
+}
+
+/// A declarative description of one run: which program, which policy, and
+/// what to collect. Cheap to clone; built builder-style.
+///
+/// Subsumes the engine-level [`RunOptions`]: policy, cost-function ablation
+/// and overhead charging map straight through, while the new collection
+/// flags control how much the result carries — summaries are always cheap,
+/// timelines ([`RunArtifacts`]) are opt-in.
+///
+/// # Examples
+///
+/// ```
+/// use conduit::{Policy, RunRequest, Session};
+/// use conduit_types::{OpType, Operand, SsdConfig, VectorProgram};
+///
+/// let mut prog = VectorProgram::new("r");
+/// prog.push_binary(OpType::And, Operand::page(0), Operand::page(4));
+/// let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+/// let id = session.register(prog)?;
+///
+/// let request = RunRequest::new(id, Policy::Conduit)
+///     .repeat(3)
+///     .percentiles(&[0.5, 0.999])
+///     .with_timeline();
+/// let outcome = session.submit(&request)?;
+/// assert_eq!(outcome.summary.repeats, 3);
+/// assert_eq!(outcome.summary.percentiles.len(), 2);
+/// # Ok::<(), conduit_types::ConduitError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRequest {
+    source: ProgramSource,
+    policy: Policy,
+    cost_function: CostFunction,
+    charge_overheads: bool,
+    repeats: u32,
+    collect_timeline: bool,
+    collect_energy_split: bool,
+    percentiles: Vec<f64>,
+}
+
+impl RunRequest {
+    /// A request to run a registered program under `policy` with default
+    /// collection: no timeline, energy split on, the
+    /// [`DEFAULT_PERCENTILES`] set.
+    pub fn new(program: ProgramId, policy: Policy) -> Self {
+        Self::with_source(ProgramSource::Registered(program), policy)
+    }
+
+    /// A request carrying a one-shot program that is not (and will not be)
+    /// registered. Accepts an owned program or an `Arc` (so several requests
+    /// can share one program without copying it). Prefer
+    /// [`Session::register`] + [`RunRequest::new`] when the program runs
+    /// more than once.
+    pub fn inline(program: impl Into<Arc<VectorProgram>>, policy: Policy) -> Self {
+        Self::with_source(ProgramSource::Inline(program.into()), policy)
+    }
+
+    fn with_source(source: ProgramSource, policy: Policy) -> Self {
+        RunRequest {
+            source,
+            policy,
+            cost_function: CostFunction::conduit(),
+            charge_overheads: true,
+            repeats: 1,
+            collect_timeline: false,
+            collect_energy_split: true,
+            percentiles: DEFAULT_PERCENTILES.to_vec(),
+        }
+    }
+
+    /// Builder-style: replaces the cost function (for ablations).
+    pub fn cost_function(mut self, cf: CostFunction) -> Self {
+        self.cost_function = cf;
+        self
+    }
+
+    /// Builder-style: disables the offloader overhead charges (§4.5).
+    pub fn without_overheads(mut self) -> Self {
+        self.charge_overheads = false;
+        self
+    }
+
+    /// Builder-style: simulates the program `repeats` times (clamped to at
+    /// least one), each on a fresh device. Repeats are bit-identical under
+    /// the deterministic simulator; the knob exists for throughput
+    /// measurement and soak-style stress, where wall-clock per simulated
+    /// instruction is the observable.
+    pub fn repeat(mut self, repeats: u32) -> Self {
+        self.repeats = repeats.max(1);
+        self
+    }
+
+    /// Builder-style: sets whether the full instruction → resource timeline
+    /// is collected into [`RunArtifacts`] (default: off).
+    pub fn timeline(mut self, collect: bool) -> Self {
+        self.collect_timeline = collect;
+        self
+    }
+
+    /// Builder-style sugar for [`RunRequest::timeline`]`(true)`.
+    pub fn with_timeline(self) -> Self {
+        self.timeline(true)
+    }
+
+    /// Builder-style: sets whether the summary carries the data-movement /
+    /// compute energy split in addition to the total (default: on).
+    pub fn energy_split(mut self, collect: bool) -> Self {
+        self.collect_energy_split = collect;
+        self
+    }
+
+    /// Builder-style: replaces the percentile set materialized into
+    /// [`RunSummary::percentiles`].
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if any value is outside `[0, 1]`.
+    pub fn percentiles(mut self, set: &[f64]) -> Self {
+        debug_assert!(
+            set.iter().all(|p| (0.0..=1.0).contains(p)),
+            "percentiles must be in [0, 1]"
+        );
+        self.percentiles = set.to_vec();
+        self
+    }
+
+    /// The policy this request runs under.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Number of repeats.
+    pub fn repeats(&self) -> u32 {
+        self.repeats
+    }
+
+    /// Whether the timeline will be collected.
+    pub fn collects_timeline(&self) -> bool {
+        self.collect_timeline
+    }
+
+    /// The engine-level options this request maps to.
+    fn run_options(&self) -> RunOptions {
+        let mut options = RunOptions::new(self.policy).cost_function(self.cost_function);
+        if !self.charge_overheads {
+            options = options.without_overheads();
+        }
+        if !self.collect_timeline {
+            options = options.without_timeline();
+        }
+        options
+    }
+}
+
+/// The always-collected, constant-memory result of a run: everything the
+/// figure pipeline and a serving stack's metrics need, and nothing that
+/// grows with program length.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Workload (vector program) name.
+    pub workload: String,
+    /// The policy that was used.
+    pub policy: Policy,
+    /// Number of vector instructions executed per repeat.
+    pub instructions: usize,
+    /// How many times the program was simulated (see [`RunRequest::repeat`]).
+    pub repeats: u32,
+    /// End-to-end execution time of one run.
+    pub total_time: Duration,
+    /// Total energy of one run.
+    pub total_energy: Energy,
+    /// Energy split into data movement and computation, when collected.
+    pub energy_split: Option<EnergySummary>,
+    /// Where the execution time went.
+    pub breakdown: CostBreakdown,
+    /// Instruction placement counts.
+    pub offload_mix: OffloadMix,
+    /// Histogram of per-instruction end-to-end latencies (constant memory;
+    /// query any quantile via [`LatencyStats::percentile`]).
+    pub latency: LatencyStats,
+    /// The percentiles requested by the run's [`RunRequest::percentiles`]
+    /// set, materialized as `(p, latency)` pairs in request order.
+    pub percentiles: Vec<(f64, Duration)>,
+    /// Offloader overhead statistics.
+    pub overhead: OverheadReport,
+}
+
+impl RunSummary {
+    /// Speedup of this run relative to `baseline` (>1 means this run is
+    /// faster).
+    pub fn speedup_over(&self, baseline: &RunSummary) -> f64 {
+        let own = self.total_time.as_ns();
+        if own == 0.0 {
+            return f64::INFINITY;
+        }
+        baseline.total_time.as_ns() / own
+    }
+
+    /// This run's energy as a fraction of `baseline`'s (<1 means this run
+    /// uses less energy).
+    pub fn energy_vs(&self, baseline: &RunSummary) -> f64 {
+        let base = baseline.total_energy.as_nj();
+        if base == 0.0 {
+            return 0.0;
+        }
+        self.total_energy.as_nj() / base
+    }
+
+    /// The `p`-quantile per-instruction latency from the histogram (any
+    /// quantile, not just the requested set).
+    pub fn percentile(&self, p: f64) -> Duration {
+        self.latency.percentile(p)
+    }
+}
+
+/// Opt-in bulky outputs of a run — everything that grows with program
+/// length. Requested via [`RunRequest::with_timeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifacts {
+    /// The full per-instruction trace: instruction → execution site with
+    /// dispatch/completion times (Figure 10).
+    pub timeline: Vec<TimelineEntry>,
+}
+
+/// A run's summary plus its optional artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// The cheap, always-present summary.
+    pub summary: RunSummary,
+    /// Bulky opt-in outputs; `None` unless the request asked for them.
+    pub artifacts: Option<RunArtifacts>,
+}
+
+impl RunOutcome {
+    /// Converts into the engine-level [`RunReport`] shape (used by the
+    /// deprecated [`crate::Workbench`] shim and by code migrating
+    /// incrementally onto the session API). The timeline is empty unless the
+    /// run collected artifacts.
+    pub fn into_run_report(self) -> RunReport {
+        let energy = self.summary.energy_split.unwrap_or(EnergySummary {
+            data_movement: Energy::ZERO,
+            compute: self.summary.total_energy,
+        });
+        RunReport {
+            workload: self.summary.workload,
+            policy: self.summary.policy,
+            instructions: self.summary.instructions,
+            total_time: self.summary.total_time,
+            energy,
+            breakdown: self.summary.breakdown,
+            offload_mix: self.summary.offload_mix,
+            latency: self.summary.latency,
+            timeline: self.artifacts.map(|a| a.timeline).unwrap_or_default(),
+            overhead: self.summary.overhead,
+        }
+    }
+}
+
+/// Everything needed to execute one request with no reference back to the
+/// session — the unit shipped to pool workers.
+struct RunPlan {
+    program: Arc<VectorProgram>,
+    options: RunOptions,
+    repeats: u32,
+    collect_energy_split: bool,
+    percentiles: Vec<f64>,
+}
+
+/// Shared state of one in-flight batch: the plans plus the work-stealing
+/// cursor.
+struct BatchState {
+    ssd: SsdConfig,
+    host: HostConfig,
+    plans: Vec<RunPlan>,
+    next: AtomicUsize,
+}
+
+fn execute_plan(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<RunOutcome> {
+    let mut report: Option<RunReport> = None;
+    for _ in 0..plan.repeats {
+        // A fresh device per repeat keeps every run independent and the
+        // whole batch bit-identical to serial execution.
+        let mut engine = RuntimeEngine::with_host(ssd, host)?;
+        engine.prepare(&plan.program)?;
+        report = Some(engine.run(&plan.program, &plan.options)?);
+    }
+    let report = report.expect("repeats is clamped to at least one");
+    let percentiles = plan
+        .percentiles
+        .iter()
+        .map(|&p| (p, report.latency.percentile(p)))
+        .collect();
+    let summary = RunSummary {
+        workload: report.workload,
+        policy: report.policy,
+        instructions: report.instructions,
+        repeats: plan.repeats,
+        total_time: report.total_time,
+        total_energy: report.energy.total(),
+        energy_split: plan.collect_energy_split.then_some(report.energy),
+        breakdown: report.breakdown,
+        offload_mix: report.offload_mix,
+        latency: report.latency,
+        percentiles,
+        overhead: report.overhead,
+    };
+    let artifacts = plan.options.record_timeline.then_some(RunArtifacts {
+        timeline: report.timeline,
+    });
+    Ok(RunOutcome { summary, artifacts })
+}
+
+/// Configures and builds a [`Session`].
+#[derive(Debug, Clone)]
+pub struct SessionBuilder {
+    ssd: SsdConfig,
+    host: HostConfig,
+    workers: Option<usize>,
+    parallel: bool,
+}
+
+impl SessionBuilder {
+    /// Starts a builder for the given SSD configuration (default host
+    /// configuration, one batch worker per CPU core).
+    pub fn new(ssd: SsdConfig) -> Self {
+        SessionBuilder {
+            ssd,
+            host: HostConfig::default(),
+            workers: None,
+            parallel: true,
+        }
+    }
+
+    /// Replaces the host configuration.
+    pub fn host(mut self, host: HostConfig) -> Self {
+        self.host = host;
+        self
+    }
+
+    /// Overrides the batch worker-thread count (default: one per available
+    /// CPU core; clamped to at least one).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Disables the batch fan-out: [`Session::submit_batch`] runs requests
+    /// one at a time on the calling thread. Results are bit-identical either
+    /// way; the serial path exists for comparison and debugging.
+    pub fn serial(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Builds the session. The thread pool starts lazily on the first
+    /// parallel batch, so summary-only sessions never spawn threads.
+    pub fn build(self) -> Session {
+        let workers = if self.parallel {
+            self.workers.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        } else {
+            1
+        };
+        Session {
+            ssd: self.ssd,
+            host: self.host,
+            workers,
+            registry: ProgramRegistry::new(),
+            pool: OnceLock::new(),
+        }
+    }
+}
+
+/// A long-lived execution service: device/host configuration, the program
+/// registry, and a work-stealing pool for batch fan-out.
+///
+/// Every submitted run executes on a **fresh simulated device**, so runs are
+/// independent, deterministic, and identical whether submitted one at a time
+/// or batched across threads. See the [module documentation](self) for an
+/// end-to-end example.
+#[derive(Debug)]
+pub struct Session {
+    ssd: SsdConfig,
+    host: HostConfig,
+    workers: usize,
+    registry: ProgramRegistry,
+    pool: OnceLock<ThreadPool>,
+}
+
+impl Session {
+    /// Starts a [`SessionBuilder`] for the given SSD configuration.
+    pub fn builder(ssd: SsdConfig) -> SessionBuilder {
+        SessionBuilder::new(ssd)
+    }
+
+    /// A session with all defaults for the given SSD configuration.
+    pub fn new(ssd: SsdConfig) -> Session {
+        SessionBuilder::new(ssd).build()
+    }
+
+    /// The SSD configuration every run uses.
+    pub fn ssd_config(&self) -> &SsdConfig {
+        &self.ssd
+    }
+
+    /// The host configuration every run uses.
+    pub fn host_config(&self) -> &HostConfig {
+        &self.host
+    }
+
+    /// Number of worker threads batches fan out over (1 = serial).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Validates and registers a program for reuse across runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::InvalidProgram`] for structurally invalid
+    /// programs.
+    pub fn register(&mut self, program: VectorProgram) -> Result<ProgramId> {
+        self.registry.register(program)
+    }
+
+    /// The program behind a handle, if registered.
+    pub fn program(&self, id: ProgramId) -> Option<&VectorProgram> {
+        self.registry.get(id).map(Arc::as_ref)
+    }
+
+    /// The program registry.
+    pub fn registry(&self) -> &ProgramRegistry {
+        &self.registry
+    }
+
+    /// Serializes the whole registry so another process can
+    /// [`Session::import_registry`] it instead of re-running the vectorizer.
+    pub fn export_registry(&self) -> Vec<u8> {
+        self.registry.to_bytes()
+    }
+
+    /// Appends every program from a serialized registry, returning the newly
+    /// assigned ids in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::InvalidProgram`] for corrupt bytes; on error
+    /// the session's registry is left unchanged.
+    pub fn import_registry(&mut self, bytes: &[u8]) -> Result<Vec<ProgramId>> {
+        let imported = ProgramRegistry::from_bytes(bytes)?;
+        let mut ids = Vec::with_capacity(imported.programs.len());
+        for program in imported.programs {
+            let id = ProgramId(self.registry.programs.len() as u32);
+            self.registry.programs.push(program);
+            ids.push(id);
+        }
+        Ok(ids)
+    }
+
+    fn plan(&self, request: &RunRequest) -> Result<RunPlan> {
+        let program = match &request.source {
+            ProgramSource::Registered(id) => {
+                Arc::clone(self.registry.get(*id).ok_or_else(|| {
+                    ConduitError::invalid_program(format!(
+                        "program {id} is not registered in this session"
+                    ))
+                })?)
+            }
+            ProgramSource::Inline(program) => Arc::clone(program),
+        };
+        Ok(RunPlan {
+            program,
+            options: request.run_options(),
+            repeats: request.repeats,
+            collect_energy_split: request.collect_energy_split,
+            percentiles: request.percentiles.clone(),
+        })
+    }
+
+    /// Executes one request on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown program handles, preparation and simulation
+    /// errors.
+    pub fn submit(&self, request: &RunRequest) -> Result<RunOutcome> {
+        let plan = self.plan(request)?;
+        execute_plan(&self.ssd, &self.host, &plan)
+    }
+
+    /// Executes a batch of independent requests, fanning them out across
+    /// the session's thread pool, and returns the outcomes in request order.
+    ///
+    /// Each run simulates on a fresh device, so the outcomes are
+    /// **bit-identical** to calling [`Session::submit`] on each request in
+    /// order — only the wall-clock time changes
+    /// (`tests/integration_determinism.rs` asserts this).
+    ///
+    /// # Errors
+    ///
+    /// Resolves every request's program up front (failing fast on unknown
+    /// handles) and propagates the first simulation error by request order.
+    pub fn submit_batch(&self, requests: &[RunRequest]) -> Result<Vec<RunOutcome>> {
+        let plans: Vec<RunPlan> = requests
+            .iter()
+            .map(|r| self.plan(r))
+            .collect::<Result<_>>()?;
+        let fan_out = self.workers.min(plans.len());
+        if fan_out <= 1 {
+            return plans
+                .iter()
+                .map(|p| execute_plan(&self.ssd, &self.host, p))
+                .collect();
+        }
+
+        let pool = self.pool.get_or_init(|| ThreadPool::new(self.workers));
+        let total = plans.len();
+        let shared = Arc::new(BatchState {
+            ssd: self.ssd.clone(),
+            host: self.host.clone(),
+            plans,
+            next: AtomicUsize::new(0),
+        });
+        let (tx, rx) = channel();
+        for _ in 0..fan_out {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            pool.execute(move || loop {
+                let i = shared.next.fetch_add(1, Ordering::Relaxed);
+                if i >= shared.plans.len() {
+                    break;
+                }
+                let outcome = execute_plan(&shared.ssd, &shared.host, &shared.plans[i]);
+                if tx.send((i, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut slots: Vec<Option<Result<RunOutcome>>> = (0..total).map(|_| None).collect();
+        for _ in 0..total {
+            let (i, outcome) = rx
+                .recv()
+                .map_err(|_| ConduitError::simulation("batch worker terminated unexpectedly"))?;
+            slots[i] = Some(outcome);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request index reports exactly once"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conduit_types::{OpType, Operand};
+
+    fn program(name: &str) -> VectorProgram {
+        let mut prog = VectorProgram::new(name);
+        let a = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+        prog.push_binary(OpType::Add, Operand::result(a), Operand::page(8));
+        prog
+    }
+
+    fn session() -> Session {
+        Session::builder(SsdConfig::small_for_tests()).build()
+    }
+
+    #[test]
+    fn register_and_submit_summary_only() {
+        let mut s = session();
+        let id = s.register(program("s")).unwrap();
+        let outcome = s.submit(&RunRequest::new(id, Policy::Conduit)).unwrap();
+        assert_eq!(outcome.summary.instructions, 2);
+        assert_eq!(outcome.summary.workload, "s");
+        assert!(outcome.summary.total_time > Duration::ZERO);
+        assert!(outcome.summary.total_energy > Energy::ZERO);
+        assert!(outcome.summary.energy_split.is_some());
+        assert_eq!(outcome.summary.latency.len(), 2);
+        assert_eq!(outcome.summary.percentiles.len(), DEFAULT_PERCENTILES.len());
+        // Timelines are opt-in.
+        assert!(outcome.artifacts.is_none());
+    }
+
+    #[test]
+    fn collection_flags_are_honoured() {
+        let mut s = session();
+        let id = s.register(program("flags")).unwrap();
+        let outcome = s
+            .submit(
+                &RunRequest::new(id, Policy::Conduit)
+                    .with_timeline()
+                    .energy_split(false)
+                    .percentiles(&[0.5]),
+            )
+            .unwrap();
+        let timeline = &outcome.artifacts.as_ref().unwrap().timeline;
+        assert_eq!(timeline.len(), 2);
+        assert!(outcome.summary.energy_split.is_none());
+        assert_eq!(outcome.summary.percentiles.len(), 1);
+        assert_eq!(outcome.summary.percentiles[0].0, 0.5);
+    }
+
+    #[test]
+    fn unknown_program_id_is_rejected() {
+        let mut a = session();
+        let mut b = session();
+        let _ = a.register(program("a")).unwrap();
+        let id_b = b.register(program("b")).unwrap();
+        let _ = b.register(program("b2")).unwrap();
+        // An id minted by another session with more programs is unknown
+        // here.
+        let foreign = ProgramId(7);
+        assert!(a
+            .submit(&RunRequest::new(foreign, Policy::Conduit))
+            .is_err());
+        // Unknown handles fail the whole batch up front, before anything
+        // runs.
+        assert!(a
+            .submit_batch(&[
+                RunRequest::new(id_b, Policy::Conduit),
+                RunRequest::new(foreign, Policy::Conduit),
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn invalid_program_is_rejected_at_registration() {
+        let mut s = session();
+        let mut bad = VectorProgram::new("bad");
+        bad.push(conduit_types::VectorInst::with_srcs(
+            0,
+            OpType::Add,
+            vec![Operand::page(0)],
+        ));
+        assert!(s.register(bad).is_err());
+    }
+
+    #[test]
+    fn repeats_are_deterministic() {
+        let mut s = session();
+        let id = s.register(program("rep")).unwrap();
+        let once = s.submit(&RunRequest::new(id, Policy::Conduit)).unwrap();
+        let thrice = s
+            .submit(&RunRequest::new(id, Policy::Conduit).repeat(3))
+            .unwrap();
+        assert_eq!(thrice.summary.repeats, 3);
+        assert_eq!(once.summary.total_time, thrice.summary.total_time);
+        assert_eq!(once.summary.offload_mix, thrice.summary.offload_mix);
+    }
+
+    #[test]
+    fn batch_matches_serial_submission() {
+        let mut s = Session::builder(SsdConfig::small_for_tests())
+            .workers(4)
+            .build();
+        let id = s.register(program("batch")).unwrap();
+        let requests: Vec<RunRequest> = [Policy::HostCpu, Policy::Conduit, Policy::Ideal]
+            .into_iter()
+            .map(|p| RunRequest::new(id, p))
+            .collect();
+        let batched = s.submit_batch(&requests).unwrap();
+        let serial: Vec<RunOutcome> = requests.iter().map(|r| s.submit(r).unwrap()).collect();
+        assert_eq!(batched, serial);
+    }
+
+    #[test]
+    fn registry_roundtrips_through_bytes() {
+        let mut s = session();
+        let id = s.register(program("persist")).unwrap();
+        let bytes = s.export_registry();
+
+        let mut other = session();
+        let ids = other.import_registry(&bytes).unwrap();
+        assert_eq!(ids.len(), 1);
+        assert_eq!(other.program(ids[0]), s.program(id));
+
+        let a = s.submit(&RunRequest::new(id, Policy::Conduit)).unwrap();
+        let b = other
+            .submit(&RunRequest::new(ids[0], Policy::Conduit))
+            .unwrap();
+        assert_eq!(a.summary, b.summary);
+    }
+
+    #[test]
+    fn corrupt_registry_bytes_are_rejected() {
+        let mut s = session();
+        let _ = s.register(program("c")).unwrap();
+        let mut bytes = s.export_registry();
+        assert!(ProgramRegistry::from_bytes(&bytes[..5]).is_err());
+        bytes[0] = b'X';
+        assert!(ProgramRegistry::from_bytes(&bytes).is_err());
+        let mut t = session();
+        assert!(t.import_registry(&[1, 2, 3]).is_err());
+        assert!(t.registry().is_empty());
+    }
+
+    #[test]
+    fn inline_requests_run_without_registration() {
+        let s = session();
+        let outcome = s
+            .submit(&RunRequest::inline(program("inline"), Policy::HostCpu))
+            .unwrap();
+        assert_eq!(outcome.summary.policy, Policy::HostCpu);
+        assert!(s.registry().is_empty());
+    }
+
+    #[test]
+    fn outcome_converts_to_run_report() {
+        let mut s = session();
+        let id = s.register(program("report")).unwrap();
+        let outcome = s
+            .submit(&RunRequest::new(id, Policy::Conduit).with_timeline())
+            .unwrap();
+        let summary = outcome.summary.clone();
+        let report = outcome.into_run_report();
+        assert_eq!(report.total_time, summary.total_time);
+        assert_eq!(report.energy.total(), summary.total_energy);
+        assert_eq!(report.timeline.len(), 2);
+    }
+}

@@ -1,32 +1,45 @@
-//! A convenience facade for running programs under different policies.
+//! A deprecated convenience facade, kept as a thin shim over the session
+//! API during the `Workbench` → [`Session`] migration.
+#![allow(deprecated)]
+
+use std::sync::Arc;
 
 use conduit_types::{HostConfig, Result, SsdConfig, VectorProgram};
 
-use crate::engine::{RunOptions, RuntimeEngine};
+use crate::engine::RunOptions;
 use crate::policy::Policy;
 use crate::report::RunReport;
+use crate::session::{RunRequest, Session};
 
 /// Runs vector programs on freshly-instantiated devices, one per run, so
 /// that policies can be compared on identical initial conditions.
 ///
-/// # Examples
+/// Deprecated: this is now a thin shim over [`Session`], which adds a
+/// program registry (register once, run many times, persist across
+/// processes), cheap summary-only reports and parallel batch submission.
+/// Migrate as:
 ///
 /// ```
-/// use conduit::{Policy, Workbench};
+/// use conduit::{Policy, RunRequest, Session};
 /// use conduit_types::{OpType, Operand, SsdConfig, VectorProgram};
 ///
 /// let mut prog = VectorProgram::new("cmp");
 /// prog.push_binary(OpType::And, Operand::page(0), Operand::page(4));
 ///
-/// let mut bench = Workbench::new(SsdConfig::small_for_tests());
-/// let reports = bench.compare(&prog, &[Policy::HostCpu, Policy::Conduit])?;
-/// assert_eq!(reports.len(), 2);
+/// // Workbench::new(cfg).run(&prog, policy)?  becomes:
+/// let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+/// let id = session.register(prog)?;
+/// let outcome = session.submit(&RunRequest::new(id, Policy::Conduit))?;
+/// assert_eq!(outcome.summary.instructions, 1);
 /// # Ok::<(), conduit_types::ConduitError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[deprecated(
+    since = "0.2.0",
+    note = "use conduit::Session with RunRequest/RunSummary instead"
+)]
+#[derive(Debug)]
 pub struct Workbench {
-    ssd: SsdConfig,
-    host: HostConfig,
+    session: Session,
 }
 
 impl Workbench {
@@ -34,20 +47,21 @@ impl Workbench {
     /// host configuration.
     pub fn new(ssd: SsdConfig) -> Self {
         Workbench {
-            ssd,
-            host: HostConfig::default(),
+            session: Session::builder(ssd).serial().build(),
         }
     }
 
     /// Builder-style: replaces the host configuration.
-    pub fn with_host(mut self, host: HostConfig) -> Self {
-        self.host = host;
-        self
+    pub fn with_host(self, host: HostConfig) -> Self {
+        let ssd = self.session.ssd_config().clone();
+        Workbench {
+            session: Session::builder(ssd).host(host).serial().build(),
+        }
     }
 
     /// The SSD configuration used for every run.
     pub fn ssd_config(&self) -> &SsdConfig {
-        &self.ssd
+        self.session.ssd_config()
     }
 
     /// Runs `program` under `policy` with default options on a fresh device.
@@ -65,9 +79,21 @@ impl Workbench {
     ///
     /// Propagates preparation and simulation errors.
     pub fn run_with(&mut self, program: &VectorProgram, options: &RunOptions) -> Result<RunReport> {
-        let mut engine = RuntimeEngine::with_host(&self.ssd, &self.host)?;
-        engine.prepare(program)?;
-        engine.run(program, options)
+        self.run_shared(Arc::new(program.clone()), options)
+    }
+
+    fn run_shared(
+        &mut self,
+        program: Arc<VectorProgram>,
+        options: &RunOptions,
+    ) -> Result<RunReport> {
+        let mut request = RunRequest::inline(program, options.policy)
+            .cost_function(options.cost_function)
+            .timeline(options.record_timeline);
+        if !options.charge_overheads {
+            request = request.without_overheads();
+        }
+        Ok(self.session.submit(&request)?.into_run_report())
     }
 
     /// Runs `program` under each policy (each on a fresh device) and returns
@@ -81,7 +107,12 @@ impl Workbench {
         program: &VectorProgram,
         policies: &[Policy],
     ) -> Result<Vec<RunReport>> {
-        policies.iter().map(|p| self.run(program, *p)).collect()
+        // One copy shared by every policy's request.
+        let shared = Arc::new(program.clone());
+        policies
+            .iter()
+            .map(|&p| self.run_shared(Arc::clone(&shared), &RunOptions::new(p)))
+            .collect()
     }
 }
 
@@ -124,5 +155,19 @@ mod tests {
             )
             .unwrap();
         assert!(report.timeline.is_empty());
+    }
+
+    #[test]
+    fn shim_matches_direct_session_use() {
+        let mut bench = Workbench::new(SsdConfig::small_for_tests());
+        let via_shim = bench.run(&program(), Policy::Conduit).unwrap();
+
+        let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+        let id = session.register(program()).unwrap();
+        let direct = session
+            .submit(&RunRequest::new(id, Policy::Conduit).with_timeline())
+            .unwrap();
+        assert_eq!(via_shim.total_time, direct.summary.total_time);
+        assert_eq!(via_shim.timeline, direct.artifacts.unwrap().timeline);
     }
 }

@@ -2,9 +2,31 @@
 
 use conduit_types::Duration;
 
+/// Number of sub-buckets per power-of-two range. 64 sub-buckets bound the
+/// relative quantization error of a recorded value by `1/64` (~1.6%).
+const SUB_BUCKET_BITS: u32 = 6;
+/// Sub-buckets per octave (and the width of the exact linear region).
+const SUB_BUCKETS: u64 = 1 << SUB_BUCKET_BITS;
+/// Largest exponent tracked with full sub-bucket resolution: values up to
+/// `2^(MAX_EXPONENT + 1) - 1` picoseconds (~18 simulated minutes) land in a
+/// real bucket; anything larger clamps into the final bucket (the exact
+/// maximum is tracked separately, so `percentile(1.0)` stays exact).
+const MAX_EXPONENT: u32 = 49;
+/// Total bucket count of the fixed layout.
+const BUCKET_COUNT: usize =
+    (SUB_BUCKETS + (MAX_EXPONENT as u64 - SUB_BUCKET_BITS as u64 + 1) * SUB_BUCKETS) as usize;
+
 /// Collects per-instruction (or per-request) latencies and answers
 /// mean/percentile queries — the basis of the tail-latency comparison in
 /// Figure 8 of the paper.
+///
+/// Samples are folded into a **fixed-bucket HDR-style histogram** (a linear
+/// region below 64 ps, then 64 log-linear sub-buckets per power of two), so
+/// memory stays constant (~11 KiB) no matter how many samples are recorded —
+/// a requirement for million-request server runs. Quantile queries walk the
+/// buckets without sorting and therefore need only `&self`. Recorded values
+/// are quantized to at most `1/64` (~1.6%) relative error; the minimum,
+/// maximum, count and mean are tracked exactly.
 ///
 /// # Examples
 ///
@@ -16,84 +38,161 @@ use conduit_types::Duration;
 /// for i in 1..=100 {
 ///     stats.record(Duration::from_us(i as f64));
 /// }
-/// assert_eq!(stats.percentile(0.99), Duration::from_us(99.0));
+/// let p99 = stats.percentile(0.99);
+/// assert!((p99.as_us() - 99.0).abs() / 99.0 < 1.0 / 64.0);
 /// assert_eq!(stats.max(), Duration::from_us(100.0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyStats {
-    samples: Vec<Duration>,
-    sorted: bool,
+    counts: Vec<u32>,
+    count: u64,
+    total: Duration,
+    min: Duration,
+    max: Duration,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats::new()
+    }
 }
 
 impl LatencyStats {
-    /// Creates an empty collector.
+    /// Creates an empty collector. The bucket array is allocated once, up
+    /// front, and never grows.
     pub fn new() -> Self {
-        LatencyStats::default()
+        LatencyStats {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::ZERO,
+            max: Duration::ZERO,
+        }
     }
 
-    /// Creates an empty collector preallocated for `n` samples (one per
-    /// instruction in the run loop, so recording never reallocates).
-    pub fn with_capacity(n: usize) -> Self {
-        LatencyStats {
-            samples: Vec::with_capacity(n),
-            sorted: false,
+    /// The fixed number of histogram buckets (constant regardless of how
+    /// many samples are recorded).
+    pub const fn bucket_count() -> usize {
+        BUCKET_COUNT
+    }
+
+    /// The bucket index a value in picoseconds falls into.
+    fn bucket_index(ps: u64) -> usize {
+        if ps < SUB_BUCKETS {
+            return ps as usize;
         }
+        let exponent = (63 - ps.leading_zeros()).min(MAX_EXPONENT);
+        let shift = exponent - SUB_BUCKET_BITS;
+        let sub = (ps >> shift).min(2 * SUB_BUCKETS - 1) - SUB_BUCKETS;
+        (SUB_BUCKETS + (exponent - SUB_BUCKET_BITS) as u64 * SUB_BUCKETS + sub) as usize
+    }
+
+    /// The highest value (in picoseconds) that maps into `index` — the
+    /// deterministic representative reported for quantiles, so bucketing
+    /// never under-reports a tail.
+    fn bucket_high(index: usize) -> u64 {
+        let index = index as u64;
+        if index < SUB_BUCKETS {
+            return index;
+        }
+        let block = (index - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+        let exponent = SUB_BUCKET_BITS as u64 + block;
+        let shift = exponent - SUB_BUCKET_BITS as u64;
+        let low = (SUB_BUCKETS + sub) << shift;
+        low + (1u64 << shift) - 1
     }
 
     /// Records one latency sample.
     pub fn record(&mut self, latency: Duration) {
-        self.samples.push(latency);
-        self.sorted = false;
+        let idx = Self::bucket_index(latency.as_ps());
+        self.counts[idx] += 1;
+        if self.count == 0 {
+            self.min = latency;
+            self.max = latency;
+        } else {
+            self.min = self.min.min(latency);
+            self.max = self.max.max(latency);
+        }
+        self.count += 1;
+        // Saturating: a pathological (near-u64::MAX) sample must not poison
+        // the whole collector.
+        self.total = Duration::from_ps(self.total.as_ps().saturating_add(latency.as_ps()));
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        if other.count == 0 {
+            return;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.total = Duration::from_ps(self.total.as_ps().saturating_add(other.total.as_ps()));
     }
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        self.count as usize
     }
 
     /// Whether no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.count == 0
     }
 
-    /// Mean latency (zero if empty).
+    /// Mean latency (zero if empty; exact — not quantized).
     pub fn mean(&self) -> Duration {
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return Duration::ZERO;
         }
-        let total: Duration = self.samples.iter().copied().sum();
-        total / self.samples.len() as u64
+        self.total / self.count
     }
 
-    /// Maximum latency (zero if empty).
+    /// Minimum latency (zero if empty; exact — not quantized).
+    pub fn min(&self) -> Duration {
+        self.min
+    }
+
+    /// Maximum latency (zero if empty; exact — not quantized).
     pub fn max(&self) -> Duration {
-        self.samples.iter().copied().max().unwrap_or(Duration::ZERO)
+        self.max
     }
 
     /// The `p`-quantile latency (e.g. `0.99` for the 99th percentile,
-    /// `0.9999` for the 99.99th). Returns zero if empty.
+    /// `0.9999` for the 99.99th). Returns zero if empty. Quantized to at most
+    /// ~1.6% relative error; `p = 1.0` returns the exact maximum.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `p` is outside `[0, 1]`.
-    pub fn percentile(&mut self, p: f64) -> Duration {
+    pub fn percentile(&self, p: f64) -> Duration {
         debug_assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
-        if self.samples.is_empty() {
+        if self.count == 0 {
             return Duration::ZERO;
         }
-        if !self.sorted {
-            self.samples.sort_unstable();
-            self.sorted = true;
+        let rank = ((self.count as f64) * p).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        if rank == self.count {
+            return self.max;
         }
-        let rank = ((self.samples.len() as f64) * p).ceil() as usize;
-        let idx = rank.clamp(1, self.samples.len()) - 1;
-        self.samples[idx]
-    }
-
-    /// All samples recorded so far (unsorted order is not guaranteed once a
-    /// percentile has been queried).
-    pub fn samples(&self) -> &[Duration] {
-        &self.samples
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c as u64;
+            if seen >= rank {
+                let rep = Duration::from_ps(Self::bucket_high(idx));
+                return rep.min(self.max).max(self.min);
+            }
+        }
+        self.max
     }
 }
 
@@ -152,6 +251,19 @@ impl CostBreakdown {
 mod tests {
     use super::*;
 
+    /// Maximum relative quantization error of the histogram.
+    const REL_ERR: f64 = 1.0 / 64.0;
+
+    fn assert_close(actual: Duration, expected: Duration) {
+        let e = expected.as_ps() as f64;
+        let a = actual.as_ps() as f64;
+        assert!(
+            (a - e).abs() <= e * REL_ERR + 1.0,
+            "got {actual}, expected {expected} within {:.1}%",
+            REL_ERR * 100.0
+        );
+    }
+
     #[test]
     fn mean_and_max() {
         let mut s = LatencyStats::new();
@@ -159,12 +271,13 @@ mod tests {
         s.record(Duration::from_us(3.0));
         assert_eq!(s.mean(), Duration::from_us(2.0));
         assert_eq!(s.max(), Duration::from_us(3.0));
+        assert_eq!(s.min(), Duration::from_us(1.0));
         assert_eq!(s.len(), 2);
     }
 
     #[test]
     fn empty_stats_are_zero() {
-        let mut s = LatencyStats::new();
+        let s = LatencyStats::new();
         assert!(s.is_empty());
         assert_eq!(s.mean(), Duration::ZERO);
         assert_eq!(s.max(), Duration::ZERO);
@@ -172,25 +285,105 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_pick_correct_ranks() {
+    fn percentiles_pick_approximately_correct_ranks() {
         let mut s = LatencyStats::new();
         for i in 1..=1000 {
             s.record(Duration::from_ns(i as f64));
         }
-        assert_eq!(s.percentile(0.5), Duration::from_ns(500.0));
-        assert_eq!(s.percentile(0.99), Duration::from_ns(990.0));
-        assert_eq!(s.percentile(0.9999), Duration::from_ns(1000.0));
+        assert_close(s.percentile(0.5), Duration::from_ns(500.0));
+        assert_close(s.percentile(0.99), Duration::from_ns(990.0));
+        assert_close(s.percentile(0.9999), Duration::from_ns(1000.0));
+        // The extremes are exact: min and max are tracked outside the
+        // buckets.
         assert_eq!(s.percentile(1.0), Duration::from_ns(1000.0));
-        assert_eq!(s.percentile(0.0), Duration::from_ns(1.0));
+        assert_close(s.percentile(0.0), Duration::from_ns(1.0));
     }
 
     #[test]
-    fn percentile_after_more_records_resorts() {
+    fn small_values_are_exact() {
+        // The linear region (below 64 ps) and exact min/max mean tiny
+        // distributions lose nothing.
+        let mut s = LatencyStats::new();
+        for ps in [1u64, 5, 17, 63] {
+            s.record(Duration::from_ps(ps));
+        }
+        assert_eq!(s.percentile(0.25), Duration::from_ps(1));
+        assert_eq!(s.percentile(0.5), Duration::from_ps(5));
+        assert_eq!(s.percentile(0.75), Duration::from_ps(17));
+        assert_eq!(s.percentile(1.0), Duration::from_ps(63));
+    }
+
+    #[test]
+    fn memory_is_constant_in_sample_count() {
+        let mut s = LatencyStats::new();
+        let buckets_before = s.counts.len();
+        for i in 0..100_000u64 {
+            s.record(Duration::from_ns((i % 977) as f64));
+        }
+        assert_eq!(s.counts.len(), buckets_before);
+        assert_eq!(s.counts.len(), LatencyStats::bucket_count());
+        assert_eq!(s.len(), 100_000);
+    }
+
+    #[test]
+    fn bucket_index_and_high_are_consistent() {
+        // Every probed value maps to a bucket whose representative is >= the
+        // value and within the promised relative error.
+        let mut probes: Vec<u64> = (0..2048).collect();
+        for e in 6..=MAX_EXPONENT {
+            for off in [0u64, 1, 63, 64, 1000] {
+                probes.push((1u64 << e).saturating_add(off));
+            }
+            probes.push((1u64 << (e + 1)) - 1);
+        }
+        for &v in &probes {
+            let idx = LatencyStats::bucket_index(v);
+            assert!(idx < BUCKET_COUNT, "index {idx} out of range for {v}");
+            let high = LatencyStats::bucket_high(idx);
+            assert!(high >= v, "representative {high} below value {v}");
+            assert!(
+                (high - v) as f64 <= v as f64 * REL_ERR,
+                "bucket too wide for {v}: high {high}"
+            );
+            // Representative round-trips into the same bucket.
+            assert_eq!(LatencyStats::bucket_index(high), idx);
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_into_the_final_bucket() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_ps(u64::MAX));
+        s.record(Duration::from_ps(1));
+        assert_eq!(s.percentile(1.0), Duration::from_ps(u64::MAX));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LatencyStats::new();
+        let mut b = LatencyStats::new();
+        a.record(Duration::from_us(1.0));
+        b.record(Duration::from_us(9.0));
+        b.record(Duration::from_us(3.0));
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.min(), Duration::from_us(1.0));
+        assert_eq!(a.max(), Duration::from_us(9.0));
+        let mut empty = LatencyStats::new();
+        empty.merge(&a);
+        assert_eq!(empty, a);
+    }
+
+    #[test]
+    fn percentile_queries_do_not_mutate() {
         let mut s = LatencyStats::new();
         s.record(Duration::from_ns(10.0));
-        assert_eq!(s.percentile(1.0), Duration::from_ns(10.0));
         s.record(Duration::from_ns(5.0));
-        assert_eq!(s.percentile(0.5), Duration::from_ns(5.0));
+        let snapshot = s.clone();
+        let _ = s.percentile(0.5);
+        let _ = s.percentile(1.0);
+        assert_eq!(s, snapshot);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod error;
 pub mod inst;
 pub mod op;
 pub mod resource;
+pub mod serialize;
 pub mod time;
 
 pub use addr::{LogicalPageId, PhysicalPageAddr, PAGE_BYTES};
@@ -41,4 +42,5 @@ pub use error::{ConduitError, Result};
 pub use inst::{InstId, InstMetadata, Operand, VectorInst, VectorProgram};
 pub use op::{LatencyClass, OpType};
 pub use resource::{DataLocation, EstimateKey, ExecutionSite, Resource};
+pub use serialize::{PROGRAM_FORMAT_VERSION, PROGRAM_MAGIC};
 pub use time::{Duration, SimTime};

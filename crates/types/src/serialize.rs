@@ -1,0 +1,382 @@
+//! Compact binary serialization of [`VectorProgram`]s.
+//!
+//! The vectorizer is by far the most expensive part of preparing a workload,
+//! and a server wants to pay it **once**: a vectorized program serialized
+//! with [`VectorProgram::to_bytes`] can be persisted, shipped to another
+//! process, and revived with [`VectorProgram::from_bytes`] — the decoded
+//! program is structurally identical (same instructions, operands, metadata
+//! and vectorized fraction), so replaying it under any policy reproduces the
+//! exact same simulation results.
+//!
+//! The format is a small, versioned, little-endian byte stream (no external
+//! serialization crates are available offline):
+//!
+//! ```text
+//! "CVP1"  magic                       4 bytes
+//! u16     format version (currently 1)
+//! u32     name length, then UTF-8 name bytes
+//! u64     vectorized_fraction as f64 bits
+//! u32     instruction count
+//! per instruction:
+//!   u16   op encoding (OpType::encoding, never 0)
+//!   u32   lanes
+//!   u32   elem_bits
+//!   u8    source-operand count
+//!   per operand: u8 tag (0 page / 1 result / 2 immediate) + payload
+//!                (u64 page | u32 inst | i64 immediate)
+//!   u8    dst flag (0/1) + u64 page when set
+//!   u8    metadata flags (bit0 loop_id, bit1 strip_index)
+//!         + u32 loop_id? + u32 strip_index? + u32 reuse_hint
+//! ```
+//!
+//! Instruction ids are *not* stored: they are dense program-order indices by
+//! construction ([`VectorProgram::push`] reassigns them), so the decoder
+//! regenerates them for free. Decoding validates the magic, version, tags,
+//! op encodings and UTF-8, rejects trailing bytes, and finishes with
+//! [`VectorProgram::validate`], so a corrupt or truncated blob can never
+//! produce a structurally invalid program.
+//!
+//! # Examples
+//!
+//! ```
+//! use conduit_types::{OpType, Operand, VectorProgram};
+//!
+//! let mut prog = VectorProgram::new("roundtrip");
+//! let a = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+//! prog.push_binary(OpType::Add, Operand::result(a), Operand::Immediate(7));
+//!
+//! let bytes = prog.to_bytes();
+//! let back = VectorProgram::from_bytes(&bytes)?;
+//! assert_eq!(back, prog);
+//! # Ok::<(), conduit_types::ConduitError>(())
+//! ```
+
+use crate::addr::LogicalPageId;
+use crate::error::{ConduitError, Result};
+use crate::inst::{InstMetadata, Operand, VectorInst, VectorProgram};
+use crate::op::OpType;
+
+/// Magic bytes identifying a serialized [`VectorProgram`].
+pub const PROGRAM_MAGIC: [u8; 4] = *b"CVP1";
+
+/// Current serialization format version.
+pub const PROGRAM_FORMAT_VERSION: u16 = 1;
+
+const TAG_PAGE: u8 = 0;
+const TAG_RESULT: u8 = 1;
+const TAG_IMMEDIATE: u8 = 2;
+
+fn corrupt(reason: impl std::fmt::Display) -> ConduitError {
+    ConduitError::invalid_program(format!("serialized program: {reason}"))
+}
+
+/// A little-endian cursor over a serialized program.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| corrupt("truncated"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_operand(out: &mut Vec<u8>, operand: &Operand) {
+    match operand {
+        Operand::Page(p) => {
+            out.push(TAG_PAGE);
+            put_u64(out, p.index());
+        }
+        Operand::Result(id) => {
+            out.push(TAG_RESULT);
+            put_u32(out, id.index() as u32);
+        }
+        Operand::Immediate(v) => {
+            out.push(TAG_IMMEDIATE);
+            put_u64(out, *v as u64);
+        }
+    }
+}
+
+fn decode_operand(r: &mut Reader<'_>) -> Result<Operand> {
+    match r.u8()? {
+        TAG_PAGE => Ok(Operand::Page(LogicalPageId::new(r.u64()?))),
+        TAG_RESULT => Ok(Operand::result(r.u32()?)),
+        TAG_IMMEDIATE => Ok(Operand::Immediate(r.u64()? as i64)),
+        tag => Err(corrupt(format!("unknown operand tag {tag}"))),
+    }
+}
+
+impl VectorProgram {
+    /// Serializes the program into the compact versioned byte format (see
+    /// the [module documentation](self) for the layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program name exceeds `u32::MAX` bytes (impossible for
+    /// any realistic program).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.name().len() + self.len() * 24);
+        out.extend_from_slice(&PROGRAM_MAGIC);
+        put_u16(&mut out, PROGRAM_FORMAT_VERSION);
+        let name = self.name().as_bytes();
+        let name_len = u32::try_from(name.len()).expect("program name length fits in u32");
+        put_u32(&mut out, name_len);
+        out.extend_from_slice(name);
+        put_u64(&mut out, self.vectorized_fraction.to_bits());
+        put_u32(&mut out, self.len() as u32);
+        for inst in self.iter() {
+            put_u16(&mut out, inst.op.encoding());
+            put_u32(&mut out, inst.lanes);
+            put_u32(&mut out, inst.elem_bits);
+            out.push(inst.srcs.len().min(u8::MAX as usize) as u8);
+            for src in &inst.srcs {
+                encode_operand(&mut out, src);
+            }
+            match inst.dst_page {
+                Some(p) => {
+                    out.push(1);
+                    put_u64(&mut out, p.index());
+                }
+                None => out.push(0),
+            }
+            let flags = u8::from(inst.meta.loop_id.is_some())
+                | (u8::from(inst.meta.strip_index.is_some()) << 1);
+            out.push(flags);
+            if let Some(l) = inst.meta.loop_id {
+                put_u32(&mut out, l);
+            }
+            if let Some(s) = inst.meta.strip_index {
+                put_u32(&mut out, s);
+            }
+            put_u32(&mut out, inst.meta.reuse_hint);
+        }
+        out
+    }
+
+    /// Decodes a program serialized by [`VectorProgram::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::InvalidProgram`] for a bad magic/version,
+    /// truncated or trailing bytes, unknown tags or op encodings, and any
+    /// program that fails [`VectorProgram::validate`] after decoding.
+    pub fn from_bytes(bytes: &[u8]) -> Result<VectorProgram> {
+        let mut r = Reader::new(bytes);
+        if r.take(4)? != PROGRAM_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let version = r.u16()?;
+        if version != PROGRAM_FORMAT_VERSION {
+            return Err(corrupt(format!(
+                "unsupported format version {version} (expected {PROGRAM_FORMAT_VERSION})"
+            )));
+        }
+        let name_len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.take(name_len)?)
+            .map_err(|_| corrupt("name is not valid UTF-8"))?
+            .to_string();
+        let fraction = f64::from_bits(r.u64()?);
+        if !fraction.is_finite() {
+            return Err(corrupt("vectorized fraction is not finite"));
+        }
+        let count = r.u32()? as usize;
+        let mut program = VectorProgram::new(name);
+        program.vectorized_fraction = fraction;
+        for i in 0..count {
+            let code = r.u16()?;
+            let op = OpType::from_encoding(code)
+                .ok_or_else(|| corrupt(format!("unknown op encoding {code}")))?;
+            let lanes = r.u32()?;
+            let elem_bits = r.u32()?;
+            let n_srcs = r.u8()? as usize;
+            let mut srcs = Vec::with_capacity(n_srcs);
+            for _ in 0..n_srcs {
+                srcs.push(decode_operand(&mut r)?);
+            }
+            let mut inst = VectorInst::with_srcs(i as u32, op, srcs)
+                .lanes(lanes)
+                .elem_bits(elem_bits);
+            if r.u8()? == 1 {
+                inst = inst.store_to(LogicalPageId::new(r.u64()?));
+            }
+            let flags = r.u8()?;
+            if flags & !0b11 != 0 {
+                return Err(corrupt(format!("unknown metadata flags {flags:#x}")));
+            }
+            let mut meta = InstMetadata::default();
+            if flags & 0b01 != 0 {
+                meta.loop_id = Some(r.u32()?);
+            }
+            if flags & 0b10 != 0 {
+                meta.strip_index = Some(r.u32()?);
+            }
+            meta.reuse_hint = r.u32()?;
+            program.push(inst.meta(meta));
+        }
+        if !r.finished() {
+            return Err(corrupt("trailing bytes after last instruction"));
+        }
+        program.validate().map_err(ConduitError::invalid_program)?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> VectorProgram {
+        let mut prog = VectorProgram::new("sample");
+        let a = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+        let b = prog.push_binary(OpType::Add, Operand::result(a), Operand::Immediate(-3));
+        prog.push(
+            VectorInst::binary(2, OpType::Mul, Operand::result(b), Operand::page(8))
+                .lanes(2048)
+                .elem_bits(8)
+                .store_to(LogicalPageId::new(16))
+                .meta(InstMetadata {
+                    loop_id: Some(7),
+                    strip_index: Some(2),
+                    reuse_hint: 5,
+                }),
+        );
+        prog.vectorized_fraction = 0.875;
+        prog
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let prog = sample_program();
+        let back = VectorProgram::from_bytes(&prog.to_bytes()).unwrap();
+        assert_eq!(back, prog);
+        assert_eq!(back.name(), "sample");
+        assert_eq!(back.vectorized_fraction, 0.875);
+        assert_eq!(back.insts()[2].meta.loop_id, Some(7));
+        assert_eq!(back.insts()[1].srcs[1], Operand::Immediate(-3));
+    }
+
+    #[test]
+    fn empty_program_roundtrips() {
+        let prog = VectorProgram::new("empty");
+        let back = VectorProgram::from_bytes(&prog.to_bytes()).unwrap();
+        assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn every_op_type_roundtrips() {
+        for op in OpType::ALL {
+            let mut prog = VectorProgram::new("ops");
+            let srcs: Vec<Operand> = (0..op.arity() as u64).map(Operand::page).collect();
+            prog.push(VectorInst::with_srcs(0, op, srcs));
+            let back = VectorProgram::from_bytes(&prog.to_bytes()).unwrap();
+            assert_eq!(back, prog, "{op}");
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let mut bytes = sample_program().to_bytes();
+        bytes[0] = b'X';
+        assert!(VectorProgram::from_bytes(&bytes).is_err());
+        let mut bytes = sample_program().to_bytes();
+        bytes[4] = 0xFF;
+        assert!(VectorProgram::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_rejected() {
+        let bytes = sample_program().to_bytes();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 3] {
+            assert!(
+                VectorProgram::from_bytes(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(VectorProgram::from_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn corrupt_op_encoding_is_rejected() {
+        let prog = sample_program();
+        let mut bytes = prog.to_bytes();
+        // The first op encoding sits right after magic+version+name+fraction
+        // +count.
+        let off = 4 + 2 + 4 + prog.name().len() + 8 + 4;
+        bytes[off] = 0xFF;
+        bytes[off + 1] = 0xFF;
+        assert!(VectorProgram::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn format_is_stable_for_a_known_program() {
+        // Guards the on-disk format itself: if the layout changes, bump
+        // PROGRAM_FORMAT_VERSION and regenerate golden data.
+        let mut prog = VectorProgram::new("k");
+        prog.push_binary(OpType::And, Operand::page(1), Operand::page(2));
+        let bytes = prog.to_bytes();
+        let expected: Vec<u8> = vec![
+            b'C', b'V', b'P', b'1', // magic
+            1, 0, // version
+            1, 0, 0, 0, b'k', // name
+            0, 0, 0, 0, 0, 0, 240, 63, // 1.0f64
+            1, 0, 0, 0, // count
+            1, 0, // op=And encoding 1
+            0, 16, 0, 0, // lanes 4096
+            32, 0, 0, 0, // elem_bits
+            2, // srcs
+            0, 1, 0, 0, 0, 0, 0, 0, 0, // page 1
+            0, 2, 0, 0, 0, 0, 0, 0, 0, // page 2
+            0, // no dst
+            0, // no meta flags
+            0, 0, 0, 0, // reuse_hint
+        ];
+        assert_eq!(bytes, expected);
+    }
+}

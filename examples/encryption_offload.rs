@@ -7,22 +7,24 @@
 //!
 //! Run with: `cargo run --release --example encryption_offload`
 
-use conduit::{Policy, Workbench};
+use conduit::{Policy, RunRequest, Session};
 use conduit_types::{ConduitError, SsdConfig};
 use conduit_workloads::{Scale, Workload};
 
 fn main() -> Result<(), ConduitError> {
-    let program = Workload::Aes.program(Scale::new(2, 1))?;
-    let mut bench = Workbench::new(SsdConfig::default());
+    let mut session = Session::builder(SsdConfig::default()).build();
+    let id = session.register(Workload::Aes.program(Scale::new(2, 1))?)?;
 
     println!(
         "AES-256 bulk encryption, {} vector instructions",
-        program.len()
+        session.program(id).expect("just registered").len()
     );
     println!();
     println!("policy          time            compute%  hostDM%  internalDM%  flash%   IFP share");
 
-    let cpu = bench.run(&program, Policy::HostCpu)?;
+    let cpu = session
+        .submit(&RunRequest::new(id, Policy::HostCpu))?
+        .summary;
     for policy in [
         Policy::HostCpu,
         Policy::IspOnly,
@@ -30,7 +32,7 @@ fn main() -> Result<(), ConduitError> {
         Policy::DmOffloading,
         Policy::Conduit,
     ] {
-        let report = bench.run(&program, policy)?;
+        let report = session.submit(&RunRequest::new(id, policy))?.summary;
         let (compute, host_dm, internal_dm, flash) = report.breakdown.fractions();
         let (_, _, ifp, _) = report.offload_mix.fractions();
         println!(

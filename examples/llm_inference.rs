@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run --release --example llm_inference`
 
-use conduit::{Policy, Workbench};
+use conduit::{Policy, RunRequest, Session};
 use conduit_types::{ConduitError, SsdConfig};
 use conduit_workloads::{characterize, Scale, Workload};
 
@@ -20,7 +20,8 @@ fn main() -> Result<(), ConduitError> {
     );
     println!();
 
-    let mut bench = Workbench::new(SsdConfig::default());
+    let mut session = Session::builder(SsdConfig::default()).build();
+    let id = session.register(program)?;
     let policies = [
         Policy::HostCpu,
         Policy::HostGpu,
@@ -31,17 +32,20 @@ fn main() -> Result<(), ConduitError> {
         Policy::Conduit,
         Policy::Ideal,
     ];
-    let reports = bench.compare(&program, &policies)?;
-    let cpu = &reports[0];
+    // One batched submission: all eight policies simulate in parallel.
+    let requests: Vec<RunRequest> = policies.iter().map(|&p| RunRequest::new(id, p)).collect();
+    let outcomes = session.submit_batch(&requests)?;
+    let cpu = outcomes[0].summary.clone();
 
     println!("policy          speedup vs CPU   energy vs CPU   ISP/PuD/IFP mix");
-    for report in &reports {
+    for outcome in &outcomes {
+        let report = &outcome.summary;
         let (isp, pud, ifp, _) = report.offload_mix.fractions();
         println!(
             "{:<15} {:>8.2}x        {:>6.2}x         {:>3.0}% / {:>3.0}% / {:>3.0}%",
             report.policy.to_string(),
-            report.speedup_over(cpu),
-            report.energy_vs(cpu),
+            report.speedup_over(&cpu),
+            report.energy_vs(&cpu),
             isp * 100.0,
             pud * 100.0,
             ifp * 100.0

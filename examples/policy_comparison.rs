@@ -2,15 +2,19 @@
 //! speedup matrix (the data behind Figures 5 and 7(a)), including the
 //! geometric-mean column the paper reports.
 //!
+//! Each workload is vectorized once and registered in the `Session`; the
+//! whole policy sweep for a workload is then submitted as **one batch**,
+//! which fans out across CPU cores with results bit-identical to serial.
+//!
 //! Run with: `cargo run --release --example policy_comparison`
 
-use conduit::{gmean, Policy, Workbench};
+use conduit::{gmean, Policy, RunRequest, Session};
 use conduit_types::{ConduitError, SsdConfig};
 use conduit_workloads::{Scale, Workload};
 
 fn main() -> Result<(), ConduitError> {
     let scale = Scale::test();
-    let mut bench = Workbench::new(SsdConfig::default());
+    let mut session = Session::builder(SsdConfig::default()).build();
 
     let policies = [
         Policy::HostGpu,
@@ -32,12 +36,17 @@ fn main() -> Result<(), ConduitError> {
 
     let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); policies.len()];
     for workload in Workload::ALL {
-        let program = workload.program(scale)?;
-        let cpu = bench.run(&program, Policy::HostCpu)?;
+        let id = session.register(workload.program(scale)?)?;
+        // The CPU baseline plus every policy, submitted as one parallel
+        // batch.
+        let requests: Vec<RunRequest> = std::iter::once(RunRequest::new(id, Policy::HostCpu))
+            .chain(policies.iter().map(|&p| RunRequest::new(id, p)))
+            .collect();
+        let outcomes = session.submit_batch(&requests)?;
+        let cpu = &outcomes[0].summary;
         print!("{:<16}", workload.to_string());
-        for (i, policy) in policies.iter().enumerate() {
-            let report = bench.run(&program, *policy)?;
-            let speedup = report.speedup_over(&cpu);
+        for (i, outcome) in outcomes[1..].iter().enumerate() {
+            let speedup = outcome.summary.speedup_over(cpu);
             per_policy[i].push(speedup);
             print!("{:>14.2}x", speedup);
         }

@@ -1,9 +1,10 @@
-//! Quickstart: vectorize a tiny hand-written kernel and run it on the
-//! simulated SSD under Conduit, comparing against the host-CPU baseline.
+//! Quickstart: vectorize a tiny hand-written kernel, register it in a
+//! `Session`, and run it on the simulated SSD under Conduit, comparing
+//! against the host-CPU baseline.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use conduit::{Policy, Workbench};
+use conduit::{Policy, RunRequest, Session};
 use conduit_types::{ConduitError, OpType, SsdConfig};
 use conduit_vectorizer::{ArrayDecl, Expr, Kernel, Loop, Statement, Vectorizer};
 
@@ -33,10 +34,18 @@ fn main() -> Result<(), ConduitError> {
         out.report.vectorized_fraction * 100.0
     );
 
-    // 3. Runtime stage: execute the program on the simulated SSD.
-    let mut bench = Workbench::new(SsdConfig::default());
-    let cpu = bench.run(&out.program, Policy::HostCpu)?;
-    let conduit = bench.run(&out.program, Policy::Conduit)?;
+    // 3. Runtime stage: register the program once, then submit runs. The
+    //    registry means the vectorizer never runs again for this program —
+    //    a server would even persist it across processes with
+    //    `session.export_registry()`.
+    let mut session = Session::builder(SsdConfig::default()).build();
+    let id = session.register(out.program)?;
+    let cpu = session
+        .submit(&RunRequest::new(id, Policy::HostCpu))?
+        .summary;
+    let conduit = session
+        .submit(&RunRequest::new(id, Policy::Conduit))?
+        .summary;
 
     println!();
     println!("policy        time           energy         offload mix (ISP/PuD/IFP/host)");
@@ -46,7 +55,7 @@ fn main() -> Result<(), ConduitError> {
             "{:<13} {:<14} {:<14} {:.0}% / {:.0}% / {:.0}% / {:.0}%",
             report.policy.to_string(),
             report.total_time.to_string(),
-            report.energy.total().to_string(),
+            report.total_energy.to_string(),
             isp * 100.0,
             pud * 100.0,
             ifp * 100.0,
@@ -55,9 +64,10 @@ fn main() -> Result<(), ConduitError> {
     }
     println!();
     println!(
-        "Conduit speedup over CPU: {:.2}x, energy reduction: {:.0}%",
+        "Conduit speedup over CPU: {:.2}x, energy reduction: {:.0}%, p99 latency {}",
         conduit.speedup_over(&cpu),
-        (1.0 - conduit.energy_vs(&cpu)) * 100.0
+        (1.0 - conduit.energy_vs(&cpu)) * 100.0,
+        conduit.percentile(0.99)
     );
     Ok(())
 }

@@ -3,7 +3,7 @@
 //! flash before another resource (or the host) consumes them, and never
 //! otherwise.
 
-use conduit::{Policy, Workbench};
+use conduit::{Policy, RunRequest, Session};
 use conduit_sim::SsdDevice;
 use conduit_types::{
     DataLocation, Duration, LogicalPageId, OpType, Operand, Resource, SimTime, SsdConfig,
@@ -79,8 +79,12 @@ fn producer_consumer_program_keeps_results_local_until_needed() {
             .store_to(LogicalPageId::new(12)),
     );
 
-    let mut bench = Workbench::new(SsdConfig::small_for_tests());
-    let report = bench.run(&prog, Policy::Conduit).unwrap();
+    let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+    let id = session.register(prog).unwrap();
+    let outcome = session
+        .submit(&RunRequest::new(id, Policy::Conduit).with_timeline())
+        .unwrap();
+    let report = &outcome.summary;
     assert_eq!(report.instructions, 3);
     // Division is ISP-only.
     assert!(report.offload_mix.isp >= 1);
@@ -89,7 +93,7 @@ fn producer_consumer_program_keeps_results_local_until_needed() {
     assert!(report.total_time > Duration::ZERO);
 
     // Order is respected in the timeline.
-    let t = &report.timeline;
+    let t = &outcome.artifacts.expect("requested timeline").timeline;
     assert!(t[1].completed >= t[0].completed);
     assert!(t[2].completed >= t[1].completed);
 }

@@ -1,10 +1,12 @@
-//! Determinism of the evaluation pipeline: the parallel harness fan-out must
-//! be a pure wall-clock optimization — every `RunReport` it produces must be
-//! bit-identical to the serial path, and repeated runs must be identical.
+//! Determinism of the evaluation pipeline: parallel fan-out — whether via
+//! the harness or via `Session::submit_batch` — must be a pure wall-clock
+//! optimization: every outcome it produces must be bit-identical to the
+//! serial path, and repeated runs must be identical.
 
-use conduit::Policy;
+use conduit::{Policy, RunOutcome, RunRequest, Session};
 use conduit_bench::Harness;
-use conduit_workloads::Workload;
+use conduit_types::SsdConfig;
+use conduit_workloads::{Scale, Workload};
 
 #[test]
 fn parallel_sweep_is_bit_identical_to_serial() {
@@ -20,10 +22,41 @@ fn parallel_sweep_is_bit_identical_to_serial() {
             let b = parallel.report(workload, policy);
             assert_eq!(
                 a, b,
-                "{workload}/{policy}: parallel report diverged from serial"
+                "{workload}/{policy}: parallel outcome diverged from serial"
             );
         }
     }
+}
+
+#[test]
+fn submit_batch_is_bit_identical_to_serial_submission() {
+    let mut session = Session::builder(SsdConfig::small_for_tests())
+        .workers(4)
+        .build();
+    let mut requests = Vec::new();
+    for workload in [Workload::Jacobi1d, Workload::Aes, Workload::LlamaInference] {
+        let id = session
+            .register(workload.program(Scale::test()).unwrap())
+            .unwrap();
+        for policy in [Policy::HostCpu, Policy::DmOffloading, Policy::Conduit] {
+            // Mix collection flags so both summary-only and artifact-carrying
+            // runs cross the thread boundary.
+            requests.push(RunRequest::new(id, policy).timeline(policy == Policy::Conduit));
+        }
+    }
+
+    let batched = session.submit_batch(&requests).unwrap();
+    let serial: Vec<RunOutcome> = requests
+        .iter()
+        .map(|r| session.submit(r).unwrap())
+        .collect();
+    assert_eq!(batched.len(), serial.len());
+    for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+        assert_eq!(b, s, "request {i}: batched outcome diverged from serial");
+    }
+
+    // And a second batch of the same requests is identical again.
+    assert_eq!(batched, session.submit_batch(&requests).unwrap());
 }
 
 #[test]

@@ -1,7 +1,7 @@
 //! End-to-end pipeline integration: scalar kernel → compile-time
-//! vectorization → data placement → runtime offloading → report.
+//! vectorization → program registration → runtime offloading → summary.
 
-use conduit::{Policy, RunOptions, RuntimeEngine, Workbench};
+use conduit::{Policy, RunOptions, RunRequest, RuntimeEngine, Session};
 use conduit_types::{Duration, Energy, OpType, SsdConfig};
 use conduit_vectorizer::{ArrayDecl, Expr, Kernel, Loop, Statement, Vectorizer};
 
@@ -36,21 +36,32 @@ fn mixed_kernel() -> Kernel {
     k
 }
 
+fn session() -> Session {
+    Session::builder(SsdConfig::small_for_tests()).build()
+}
+
 #[test]
-fn kernel_to_report_pipeline_works() {
+fn kernel_to_summary_pipeline_works() {
     let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
     assert!(out.report.loops_vectorized >= 2);
     assert!(out.report.loops_scalar >= 1);
     assert!(out.report.vectorized_fraction > 0.5);
 
-    let mut bench = Workbench::new(SsdConfig::small_for_tests());
-    let report = bench.run(&out.program, Policy::Conduit).unwrap();
+    let mut session = session();
+    let instructions = out.program.len();
+    let id = session.register(out.program).unwrap();
+    let outcome = session
+        .submit(&RunRequest::new(id, Policy::Conduit))
+        .unwrap();
+    let report = &outcome.summary;
 
-    assert_eq!(report.instructions, out.program.len());
+    assert_eq!(report.instructions, instructions);
     assert_eq!(report.offload_mix.total() as usize, report.instructions);
     assert_eq!(report.latency.len(), report.instructions);
     assert!(report.total_time > Duration::ZERO);
-    assert!(report.energy.total() > Energy::ZERO);
+    assert!(report.total_energy > Energy::ZERO);
+    // The summary is the cheap report: no timeline unless asked for.
+    assert!(outcome.artifacts.is_none());
     // The breakdown covers real work in every category for a mixed kernel
     // executed inside the SSD.
     assert!(report.breakdown.compute > Duration::ZERO);
@@ -63,17 +74,20 @@ fn kernel_to_report_pipeline_works() {
 #[test]
 fn runs_are_deterministic() {
     let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
-    let mut bench = Workbench::new(SsdConfig::small_for_tests());
-    let a = bench.run(&out.program, Policy::Conduit).unwrap();
-    let b = bench.run(&out.program, Policy::Conduit).unwrap();
-    assert_eq!(a.total_time, b.total_time);
-    assert_eq!(a.energy.total(), b.energy.total());
-    assert_eq!(a.offload_mix, b.offload_mix);
-    assert_eq!(a.timeline.len(), b.timeline.len());
+    let mut session = session();
+    let id = session.register(out.program).unwrap();
+    let request = RunRequest::new(id, Policy::Conduit).with_timeline();
+    let a = session.submit(&request).unwrap();
+    let b = session.submit(&request).unwrap();
+    assert_eq!(a.summary.total_time, b.summary.total_time);
+    assert_eq!(a.summary.total_energy, b.summary.total_energy);
+    assert_eq!(a.summary.offload_mix, b.summary.offload_mix);
+    assert_eq!(a.artifacts, b.artifacts);
 }
 
 #[test]
 fn engine_can_be_driven_directly() {
+    // The engine remains the low-level API underneath the session service.
     let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
     let cfg = SsdConfig::small_for_tests();
     let mut engine = RuntimeEngine::new(&cfg).unwrap();
@@ -91,11 +105,19 @@ fn engine_can_be_driven_directly() {
 #[test]
 fn per_instruction_latencies_are_bounded_by_total_time() {
     let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
-    let mut bench = Workbench::new(SsdConfig::small_for_tests());
-    let mut report = bench.run(&out.program, Policy::Conduit).unwrap();
-    let max = report.latency.percentile(1.0);
+    let mut session = session();
+    let id = session.register(out.program).unwrap();
+    let report = session
+        .submit(&RunRequest::new(id, Policy::Conduit).percentiles(&[0.5, 1.0]))
+        .unwrap()
+        .summary;
+    let max = report.percentile(1.0);
     assert!(max <= report.total_time);
-    assert!(report.latency.percentile(0.5) <= max);
+    assert!(report.percentile(0.5) <= max);
+    // The requested percentile set is materialized in order.
+    assert_eq!(report.percentiles.len(), 2);
+    assert_eq!(report.percentiles[0].0, 0.5);
+    assert_eq!(report.percentiles[1], (1.0, max));
 }
 
 #[test]
@@ -107,9 +129,17 @@ fn vector_width_ablation_changes_instruction_count_not_correctness() {
         .unwrap();
     assert!(narrow.program.len() > wide.program.len());
 
-    let mut bench = Workbench::new(SsdConfig::small_for_tests());
-    let wide_report = bench.run(&wide.program, Policy::Conduit).unwrap();
-    let narrow_report = bench.run(&narrow.program, Policy::Conduit).unwrap();
+    let mut session = session();
+    let wide_id = session.register(wide.program).unwrap();
+    let narrow_id = session.register(narrow.program).unwrap();
+    let wide_report = session
+        .submit(&RunRequest::new(wide_id, Policy::Conduit))
+        .unwrap()
+        .summary;
+    let narrow_report = session
+        .submit(&RunRequest::new(narrow_id, Policy::Conduit))
+        .unwrap()
+        .summary;
     assert!(wide_report.total_time > Duration::ZERO);
     assert!(narrow_report.total_time > Duration::ZERO);
 }

@@ -1,0 +1,178 @@
+//! Program-registry persistence: vectorizer output serialized in one
+//! process must deserialize in another and reproduce the exact same
+//! results, and the byte format itself must not drift silently.
+//!
+//! The committed golden file (`tests/golden/registry_v1.bin`) pins the
+//! byte-exact encoding of a canonical hand-built registry. If an intentional
+//! format change breaks `golden_file_pins_the_serialization_format`, bump
+//! `PROGRAM_FORMAT_VERSION` / `REGISTRY_FORMAT_VERSION` and regenerate the
+//! file with:
+//!
+//! ```text
+//! CONDUIT_REGEN_GOLDEN=1 cargo test --test integration_registry
+//! ```
+
+use conduit::{Policy, ProgramRegistry, RunRequest, Session};
+use conduit_types::{
+    InstMetadata, LogicalPageId, OpType, Operand, SsdConfig, VectorInst, VectorProgram,
+};
+use conduit_vectorizer::{ArrayDecl, Expr, Kernel, Loop, Statement, Vectorizer};
+use conduit_workloads::{Scale, Workload};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("registry_v1.bin")
+}
+
+/// A deterministic, hand-built registry exercising every corner of the
+/// format: every operation type, every operand kind, stores, non-default
+/// lane/element widths, and all metadata fields.
+fn canonical_registry() -> ProgramRegistry {
+    let mut registry = ProgramRegistry::new();
+
+    // Program 1: one instruction per OpType, arity-correct operands.
+    let mut ops = VectorProgram::new("every-op");
+    for (i, op) in OpType::ALL.into_iter().enumerate() {
+        let srcs: Vec<Operand> = (0..op.arity())
+            .map(|k| match k {
+                0 => Operand::page((i as u64) * 8),
+                1 if i > 0 => Operand::result((i - 1) as u32),
+                _ => Operand::Immediate(k as i64 - 1),
+            })
+            .collect();
+        ops.push(VectorInst::with_srcs(i as u32, op, srcs));
+    }
+    ops.vectorized_fraction = 0.75;
+    registry.register(ops).expect("canonical program is valid");
+
+    // Program 2: stores, odd widths, and full metadata.
+    let mut stored = VectorProgram::new("stores-and-meta");
+    let a = stored.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+    stored.push(
+        VectorInst::binary(1, OpType::Add, Operand::result(a), Operand::Immediate(-9))
+            .lanes(2048)
+            .elem_bits(8)
+            .store_to(LogicalPageId::new(64))
+            .meta(InstMetadata {
+                loop_id: Some(3),
+                strip_index: Some(1),
+                reuse_hint: 4,
+            }),
+    );
+    registry
+        .register(stored)
+        .expect("canonical program is valid");
+
+    registry
+}
+
+/// The quickstart example's kernel, vectorized — a realistic compiler
+/// artifact rather than a hand-built program.
+fn quickstart_program() -> VectorProgram {
+    let mut kernel = Kernel::new("quickstart");
+    let a = kernel.declare_array(ArrayDecl::new("a", 65_536, 32));
+    let b = kernel.declare_array(ArrayDecl::new("b", 65_536, 32));
+    let c = kernel.declare_array(ArrayDecl::new("c", 65_536, 32));
+    kernel.push_loop(Loop::new("body", 65_536).with_statement(Statement::new(
+        c.at(0),
+        Expr::binary(
+            OpType::Add,
+            Expr::binary(OpType::Xor, Expr::load(a.at(0)), Expr::load(b.at(0))),
+            Expr::load(a.at(0)),
+        ),
+    )));
+    Vectorizer::default()
+        .vectorize(&kernel)
+        .expect("quickstart kernel vectorizes")
+        .program
+}
+
+#[test]
+fn every_example_and_workload_program_roundtrips() {
+    let mut programs = vec![quickstart_program()];
+    for workload in Workload::ALL {
+        programs.push(workload.program(Scale::test()).unwrap());
+    }
+    for program in programs {
+        let bytes = program.to_bytes();
+        let back = VectorProgram::from_bytes(&bytes).unwrap_or_else(|e| {
+            panic!("{} failed to decode: {e}", program.name());
+        });
+        assert_eq!(back, program, "{} did not round-trip", program.name());
+        // Serialization is deterministic.
+        assert_eq!(bytes, back.to_bytes());
+    }
+}
+
+#[test]
+fn registry_survives_process_boundary_and_reproduces_summaries() {
+    // "Process" A: vectorize, register, run, export.
+    let mut producer = Session::builder(SsdConfig::small_for_tests()).build();
+    let quickstart = producer.register(quickstart_program()).unwrap();
+    let jacobi = producer
+        .register(Workload::Jacobi1d.program(Scale::test()).unwrap())
+        .unwrap();
+    let bytes = producer.export_registry();
+
+    // "Process" B: a completely fresh session revives the registry from
+    // bytes alone — no vectorizer, no workload generators.
+    let mut consumer = Session::builder(SsdConfig::small_for_tests()).build();
+    let ids = consumer.import_registry(&bytes).unwrap();
+    assert_eq!(ids.len(), 2);
+
+    for (original, imported) in [(quickstart, ids[0]), (jacobi, ids[1])] {
+        assert_eq!(consumer.program(imported), producer.program(original));
+        for policy in [Policy::HostCpu, Policy::Conduit, Policy::Ideal] {
+            let a = producer.submit(&RunRequest::new(original, policy)).unwrap();
+            let b = consumer.submit(&RunRequest::new(imported, policy)).unwrap();
+            assert_eq!(
+                a.summary, b.summary,
+                "summary diverged after registry round-trip under {policy}"
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_file_pins_the_serialization_format() {
+    let bytes = canonical_registry().to_bytes();
+    let path = golden_path();
+    if std::env::var_os("CONDUIT_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent")).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with CONDUIT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, bytes,
+        "serialized registry bytes drifted from tests/golden/registry_v1.bin — \
+         if the format change is intentional, bump the format version and \
+         regenerate with CONDUIT_REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_still_decodes() {
+    let committed = std::fs::read(golden_path()).expect("golden file is committed");
+    let registry = ProgramRegistry::from_bytes(&committed).unwrap();
+    let expected = canonical_registry();
+    assert_eq!(registry.len(), expected.len());
+    for ((_, decoded), (_, built)) in registry.iter().zip(expected.iter()) {
+        assert_eq!(decoded, built);
+    }
+    // Decoded golden programs actually run.
+    let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+    let ids = session.import_registry(&committed).unwrap();
+    let outcome = session
+        .submit(&RunRequest::new(ids[1], Policy::Conduit))
+        .unwrap();
+    assert_eq!(outcome.summary.instructions, 2);
+}

@@ -1,19 +1,29 @@
 //! Workload-level integration: the six evaluated applications run end to end
-//! under Conduit and their measured characteristics keep the Table 3 shape.
+//! under Conduit (via the session API) and their measured characteristics
+//! keep the Table 3 shape.
 
-use conduit::{Policy, RunOptions, Workbench};
+use conduit::{CostFunction, Policy, RunRequest, Session};
 use conduit_types::{Duration, Energy, SsdConfig};
 use conduit_workloads::{characterize, Scale, Workload};
 
+fn session() -> Session {
+    Session::builder(SsdConfig::small_for_tests()).build()
+}
+
 #[test]
 fn all_workloads_run_under_conduit() {
-    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+    let mut session = session();
     for workload in Workload::ALL {
         let program = workload.program(Scale::test()).unwrap();
-        let report = bench.run(&program, Policy::Conduit).unwrap();
-        assert_eq!(report.instructions, program.len(), "{workload}");
+        let instructions = program.len();
+        let id = session.register(program).unwrap();
+        let report = session
+            .submit(&RunRequest::new(id, Policy::Conduit))
+            .unwrap()
+            .summary;
+        assert_eq!(report.instructions, instructions, "{workload}");
         assert!(report.total_time > Duration::ZERO, "{workload}");
-        assert!(report.energy.total() > Energy::ZERO, "{workload}");
+        assert!(report.total_energy > Energy::ZERO, "{workload}");
         assert!(report.overhead.count > 0, "{workload}");
         // §4.5: the per-instruction overhead averages a few microseconds and
         // never exceeds ~33 µs.
@@ -23,6 +33,9 @@ fn all_workloads_run_under_conduit() {
         );
         assert!(report.overhead.max <= Duration::from_us(40.0), "{workload}");
     }
+    // One registry entry per workload: programs were vectorized exactly
+    // once.
+    assert_eq!(session.registry().len(), Workload::ALL.len());
 }
 
 #[test]
@@ -51,17 +64,25 @@ fn vectorizable_fraction_orders_workloads_like_table3() {
 fn compute_heavy_workloads_gain_more_from_conduit_than_io_bound_ones() {
     // §6.1: Conduit's advantage over DM-Offloading is largest for the
     // compute-intensive workloads and smallest for the memory-bound ones.
-    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+    let mut session = session();
 
-    let gain = |workload: Workload, bench: &mut Workbench| {
-        let program = workload.program(Scale::test()).unwrap();
-        let dm = bench.run(&program, Policy::DmOffloading).unwrap();
-        let conduit = bench.run(&program, Policy::Conduit).unwrap();
+    let gain = |workload: Workload, session: &mut Session| {
+        let id = session
+            .register(workload.program(Scale::test()).unwrap())
+            .unwrap();
+        let dm = session
+            .submit(&RunRequest::new(id, Policy::DmOffloading))
+            .unwrap()
+            .summary;
+        let conduit = session
+            .submit(&RunRequest::new(id, Policy::Conduit))
+            .unwrap()
+            .summary;
         conduit.speedup_over(&dm)
     };
 
-    let heat = gain(Workload::Heat3d, &mut bench);
-    let aes = gain(Workload::Aes, &mut bench);
+    let heat = gain(Workload::Heat3d, &mut session);
+    let aes = gain(Workload::Aes, &mut session);
     assert!(
         heat >= aes * 0.9,
         "compute-heavy heat-3d ({heat:.2}x) should benefit at least as much as AES ({aes:.2}x)"
@@ -76,19 +97,24 @@ fn compute_heavy_workloads_gain_more_from_conduit_than_io_bound_ones() {
 fn disabling_the_cost_function_terms_changes_behaviour() {
     // Ablation: dropping the queueing-delay term makes Conduit behave more
     // like DM-Offloading and must not make it faster.
-    let program = Workload::Heat3d.program(Scale::test()).unwrap();
-    let mut bench = Workbench::new(SsdConfig::small_for_tests());
+    let mut session = session();
+    let id = session
+        .register(Workload::Heat3d.program(Scale::test()).unwrap())
+        .unwrap();
 
-    let full = bench.run(&program, Policy::Conduit).unwrap();
-    let no_queue = bench
-        .run_with(
-            &program,
-            &RunOptions::new(Policy::Conduit).cost_function(conduit::CostFunction {
+    let full = session
+        .submit(&RunRequest::new(id, Policy::Conduit))
+        .unwrap()
+        .summary;
+    let no_queue = session
+        .submit(
+            &RunRequest::new(id, Policy::Conduit).cost_function(CostFunction {
                 include_queue_delay: false,
-                ..conduit::CostFunction::conduit()
+                ..CostFunction::conduit()
             }),
         )
-        .unwrap();
+        .unwrap()
+        .summary;
     assert!(
         no_queue.total_time >= full.total_time,
         "removing queue awareness should not speed Conduit up (full {}, ablated {})",
@@ -100,10 +126,23 @@ fn disabling_the_cost_function_terms_changes_behaviour() {
 #[test]
 fn paper_scale_llama_timeline_supports_figure_10() {
     // Figure 10 plots ~12000 instructions; make sure a larger-scale build
-    // produces a timeline of that order without blowing up memory or time.
+    // produces a timeline of that order without blowing up memory or time —
+    // and that the timeline only materializes when the request opts in.
     let program = Workload::LlamaInference.program(Scale::new(4, 1)).unwrap();
     assert!(program.len() > 1_500, "len = {}", program.len());
-    let mut bench = Workbench::new(SsdConfig::default());
-    let report = bench.run(&program, Policy::Conduit).unwrap();
-    assert_eq!(report.timeline.len(), program.len());
+    let mut session = Session::builder(SsdConfig::default()).build();
+    let id = session.register(program).unwrap();
+
+    let cheap = session
+        .submit(&RunRequest::new(id, Policy::Conduit))
+        .unwrap();
+    assert!(cheap.artifacts.is_none());
+
+    let full = session
+        .submit(&RunRequest::new(id, Policy::Conduit).with_timeline())
+        .unwrap();
+    let timeline = &full.artifacts.expect("requested timeline").timeline;
+    assert_eq!(timeline.len(), full.summary.instructions);
+    // Opting in to artifacts must not change the summary.
+    assert_eq!(cheap.summary, full.summary);
 }
