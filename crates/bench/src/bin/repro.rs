@@ -8,26 +8,38 @@
 //!
 //! where `<target>` is one of `fig4`, `fig5`, `fig7` (both panels), `fig7a`,
 //! `fig7b`, `fig8`, `fig9`, `fig10`, `table3`, `overheads`, `headline`,
-//! `sim-throughput`, `perf-gate`, or `all`.
+//! `warm-stream`, `sim-throughput`, `perf-gate`, or `all`.
 //!
 //! Flags:
 //!
-//! * `--quick` uses the reduced test scale (useful for smoke runs),
+//! * `--quick` uses the reduced test scale (useful for smoke runs;
+//!   `--smoke` is an alias, used by the CI warm-stream step),
 //! * `--serial` disables the parallel (workload, policy) fan-out (the
 //!   default runs one simulation per CPU core; results are bit-identical),
+//! * `warm-stream` runs a multi-tenant request mix on one **warm** device
+//!   and prints the per-request device deltas plus the cumulative
+//!   FTL/coherence/GC/wear state,
 //! * `sim-throughput` measures simulator throughput and writes
 //!   `BENCH_sim_throughput.json` next to the current directory,
-//! * `perf-gate` measures throughput and **fails (exit 1) if it dropped
-//!   more than 15% below** the committed `BENCH_sim_throughput.json`
-//!   baseline (`--baseline <path>` and `--threshold <fraction>` override
-//!   the defaults) — the CI perf-regression gate.
+//! * `perf-gate` gates on the deterministic **simulated-work counter**
+//!   (device operations per vector instruction) against the committed
+//!   `BENCH_sim_throughput.json` baseline and **fails (exit 1)** if the
+//!   counter deviates more than `--threshold` (default 15%) in *either*
+//!   direction — more work per instruction is a perf regression, less
+//!   usually means device operations silently stopped being issued. The
+//!   counter is machine-independent, so the gate is immune to CI machine
+//!   variance; wall-clock throughput is printed for information only.
+//!   `--baseline <path>` overrides the baseline.
 
-use conduit_bench::throughput::{baseline_instructions_per_sec, baseline_scale, ThroughputReport};
+use conduit_bench::throughput::{
+    baseline_instructions_per_sec, baseline_ops_per_instruction, baseline_scale, ThroughputReport,
+};
+use conduit_bench::warm::warm_stream_report;
 use conduit_bench::Harness;
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|sim-throughput|perf-gate|all> [--quick] [--serial] [--baseline <path>] [--threshold <fraction>]"
+        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-stream|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
     );
 }
 
@@ -62,10 +74,15 @@ fn perf_gate(args: &[String], quick: bool) -> ! {
             std::process::exit(2);
         }
     };
-    let Some(baseline) = baseline_instructions_per_sec(&baseline_doc) else {
-        eprintln!("perf-gate: {baseline_path} has no instructions_per_sec field");
+    let Some(baseline_ops) = baseline_ops_per_instruction(&baseline_doc) else {
+        eprintln!(
+            "perf-gate: {baseline_path} has no ops_per_instruction field; regenerate the \
+             baseline with `repro sim-throughput` (the gate moved from wall-clock throughput \
+             to deterministic simulated-work counters)"
+        );
         std::process::exit(2);
     };
+    let baseline_wall = baseline_instructions_per_sec(&baseline_doc);
     // Refuse apples-to-oranges comparisons: the measurement scale must
     // match the baseline's. Documents from before the scale field existed
     // are paper-scale.
@@ -84,19 +101,44 @@ fn perf_gate(args: &[String], quick: bool) -> ! {
         std::process::exit(2);
     }
 
-    let report = ThroughputReport::measure(quick);
+    // Counters only: the gate never reads the sweep timings, so skip the
+    // serial+parallel figure sweeps the figure-smoke CI step already runs.
+    let report = ThroughputReport::measure_counters_only(quick);
     print!("{}", report.summary());
-    let measured = report.instructions_per_sec;
-    let floor = baseline * (1.0 - threshold);
+    if let Some(wall) = baseline_wall {
+        // Informational only: wall clock depends on the machine.
+        println!(
+            "perf-gate: wall-clock {:.0} inst/s vs baseline {wall:.0} inst/s (informational)",
+            report.instructions_per_sec
+        );
+    }
+    let measured = report.ops_per_instruction;
+    let ceiling = baseline_ops * (1.0 + threshold);
+    let floor = baseline_ops * (1.0 - threshold);
     println!(
-        "perf-gate: measured {measured:.0} inst/s vs baseline {baseline:.0} inst/s \
-         (floor {floor:.0} at {:.0}% tolerance)",
+        "perf-gate: measured {measured:.4} device ops/instruction vs baseline {baseline_ops:.4} \
+         (allowed [{floor:.4}, {ceiling:.4}] at {:.0}% tolerance)",
         threshold * 100.0
     );
+    if measured > ceiling {
+        eprintln!(
+            "perf-gate: FAIL — the simulator performs {:.1}% more work per instruction than \
+             the committed baseline",
+            (measured / baseline_ops - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    // The counter is deterministic, so a *drop* is just as suspicious as a
+    // rise: it usually means device operations (coherence flushes, GC,
+    // transfers) silently stopped being issued, which would skew every
+    // figure while "improving" throughput. Intentional optimizations must
+    // regenerate the baseline to acknowledge the new counter.
     if measured < floor {
         eprintln!(
-            "perf-gate: FAIL — throughput dropped {:.1}% below the committed baseline",
-            (1.0 - measured / baseline) * 100.0
+            "perf-gate: FAIL — the simulator performs {:.1}% less work per instruction than \
+             the committed baseline; if intentional, regenerate the baseline with \
+             `repro sim-throughput`",
+            (1.0 - measured / baseline_ops) * 100.0
         );
         std::process::exit(1);
     }
@@ -106,7 +148,7 @@ fn perf_gate(args: &[String], quick: bool) -> ! {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
     let serial = args.iter().any(|a| a == "--serial");
     let mut positional = args.iter().filter(|a| !a.starts_with("--"));
     let target = positional.next().cloned();
@@ -132,6 +174,12 @@ fn main() {
 
     if target == "perf-gate" {
         perf_gate(&args, quick);
+    }
+
+    if target == "warm-stream" {
+        println!("==================== warm-stream ====================");
+        print!("{}", warm_stream_report(quick));
+        return;
     }
 
     let mut harness = if quick {

@@ -12,11 +12,14 @@
 //! (`cargo run -p conduit-bench --bin repro -- <figure>`) prints them, and
 //! the benches under `benches/` measure the simulator itself (see [`micro`]).
 //!
-//! Because every run uses a **fresh** [`conduit_sim::SsdDevice`], runs of
-//! different (workload, policy) pairs are completely independent; the
-//! session therefore fans missing pairs out across all CPU cores by default,
-//! with results bit-identical to the serial path (see
-//! [`conduit::Session::submit_batch`]).
+//! Because every figure run uses a **fresh** [`conduit_sim::SsdDevice`],
+//! runs of different (workload, policy) pairs are completely independent;
+//! the session therefore fans missing pairs out across all CPU cores by
+//! default, with results bit-identical to the serial path (see
+//! [`conduit::Session::submit_batch`]). The `repro warm-stream` target
+//! ([`warm`]) instead threads one **warm** device through a multi-tenant
+//! request mix, exercising the FTL/coherence/GC/wear state the figure
+//! sweeps reset per run.
 //!
 //! Timelines are only collected for the three (workload, policy) pairs
 //! Figure 10 actually plots; every other cached outcome is a constant-memory
@@ -25,6 +28,7 @@
 
 pub mod micro;
 pub mod throughput;
+pub mod warm;
 
 use std::collections::HashMap;
 

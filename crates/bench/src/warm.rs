@@ -1,0 +1,135 @@
+//! The `repro warm-stream` target: a multi-tenant request mix on one warm
+//! device.
+//!
+//! The paper's evaluation implies a long-lived SSD serving many tenants:
+//! FTL mappings, coherence state, garbage-collection debt and wear are
+//! *carried over* from request to request rather than reset per experiment.
+//! This module drives that scenario through the service API: one
+//! [`Session`] in [`conduit::DeviceMode::Warm`], four tenants with
+//! different workload/policy characters, their requests interleaved
+//! round-robin so the device ages under a realistic mix of SSD-internal
+//! compute (which dirties pages in DRAM/SRAM), host offload traffic (which
+//! pulls pages across the PCIe link) and result writes (which force
+//! coherence syncs and out-of-place flash programs, eventually waking the
+//! garbage collector).
+//!
+//! The report prints, per request, the device-delta counters the run added
+//! ([`conduit::RunSummary::device_delta`]) and ends with the cumulative
+//! [`conduit_sim::DeviceSnapshot`] — the observable that distinguishes a
+//! warm stream from the fresh-device figure sweeps, where every one of
+//! these counters would restart from zero.
+
+use conduit::{DeviceMode, Policy, RunRequest, Session};
+use conduit_types::SsdConfig;
+use conduit_workloads::{Scale, Workload};
+
+/// The multi-tenant mix: each tenant submits one workload under one policy.
+/// The policies are chosen to exercise different parts of the persistent
+/// state — Conduit mixes all three SSD resources, PuD-SSD dirties DRAM
+/// rows, ISP-only dirties controller SRAM, and the host baseline drags
+/// pages across the PCIe link and back.
+const TENANTS: [(Workload, Policy); 4] = [
+    (Workload::XorFilter, Policy::Conduit),
+    (Workload::Jacobi1d, Policy::PudSsd),
+    (Workload::Aes, Policy::IspOnly),
+    (Workload::LlmTraining, Policy::HostCpu),
+];
+
+/// Runs the warm multi-tenant stream and formats the report.
+///
+/// `quick` selects the reduced test scale (the `--smoke` / `--quick` flags
+/// of the `repro` binary); the paper scale runs the same mix on the
+/// full-size device.
+pub fn warm_stream_report(quick: bool) -> String {
+    let (cfg, scale, rounds) = if quick {
+        (SsdConfig::small_for_tests(), Scale::test(), 3usize)
+    } else {
+        (SsdConfig::default(), Scale::new(4, 1), 4usize)
+    };
+
+    let mut session = Session::builder(cfg).device_mode(DeviceMode::Warm).build();
+    let ids: Vec<_> = TENANTS
+        .iter()
+        .map(|(w, _)| {
+            let program = w.program(scale).expect("generators always succeed");
+            session
+                .register(program)
+                .expect("generated programs always validate")
+        })
+        .collect();
+
+    let mut out = String::from(
+        "# Warm-device multi-tenant stream (one persistent DeviceState across all requests)\n\
+         req\tworkload\tpolicy\ttime_ms\trewrites\tcoh_syncs\tgc_inv\tpages_migrated\twear_spread\tdevice_ops\n",
+    );
+    let mut seq = 0usize;
+    for _ in 0..rounds {
+        for (&id, &(workload, policy)) in ids.iter().zip(TENANTS.iter()) {
+            let outcome = session
+                .submit(&RunRequest::new(id, policy))
+                .expect("warm simulation of a generated workload cannot fail");
+            let d = outcome.summary.device_delta;
+            out.push_str(&format!(
+                "{seq}\t{workload}\t{policy}\t{:.3}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                outcome.summary.total_time.as_us() / 1000.0,
+                d.rewrites,
+                d.coherence_syncs,
+                d.gc_invocations,
+                d.pages_migrated,
+                d.wear_spread,
+                d.device_ops,
+            ));
+            seq += 1;
+        }
+    }
+
+    let snap = session.device_snapshot();
+    out.push_str(&format!(
+        "\n# Cumulative device state after {seq} requests\n\
+         pages mapped:        {}\n\
+         rewrites:            {}\n\
+         coherence writes:    {}\n\
+         coherence syncs:     {}\n\
+         GC invocations:      {}\n\
+         GC pages migrated:   {}\n\
+         GC blocks erased:    {}\n\
+         wear spread (max-min erases): {}\n\
+         dirty pages left:    {}\n\
+         device ops:          {}\n\
+         total energy (mJ):   {:.3}\n",
+        snap.pages_mapped,
+        snap.rewrites,
+        snap.coherence_writes,
+        snap.coherence_syncs,
+        snap.gc_invocations,
+        snap.gc_pages_migrated,
+        snap.gc_blocks_erased,
+        snap.wear_spread,
+        snap.dirty_pages,
+        snap.device_ops,
+        snap.total_energy.as_nj() / 1e6,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_warm_stream_produces_a_full_report() {
+        let report = warm_stream_report(true);
+        // One row per request plus the cumulative block.
+        assert!(
+            report.lines().count() > TENANTS.len() * 3,
+            "report too short:\n{report}"
+        );
+        assert!(report.contains("Cumulative device state"));
+        assert!(report.contains("coherence syncs"));
+    }
+
+    #[test]
+    fn warm_stream_is_deterministic() {
+        assert_eq!(warm_stream_report(true), warm_stream_report(true));
+    }
+}

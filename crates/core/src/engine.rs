@@ -7,6 +7,14 @@
 //! stages the operands at that site (respecting the lazy coherence
 //! protocol), executes the computation on the contended resource timelines,
 //! and records the result's new location.
+//!
+//! The engine itself is **stateless across runs**: it owns only the models
+//! derived from the configuration (offloader overheads, the instruction
+//! transformer, the host CPU/GPU rooflines) and *borrows* the device it
+//! executes on. Callers decide the device's lifetime — a fresh
+//! [`SsdDevice`] per run reproduces independent, bit-identical experiments,
+//! while threading one device (its [`conduit_sim::DeviceState`]) through a
+//! stream of runs models a warm, aging SSD.
 
 use conduit_sim::{CostBreakdown, HostCpuModel, HostGpuModel, OpCompletion, SsdDevice};
 use conduit_types::{
@@ -65,11 +73,11 @@ impl RunOptions {
     }
 }
 
-/// The runtime offloading engine: one simulated device plus the host models
-/// and the offloader's own bookkeeping.
+/// The runtime offloading engine: the host models and the offloader's own
+/// bookkeeping. Stateless across runs — the device is borrowed per call
+/// ([`RuntimeEngine::prepare`], [`RuntimeEngine::run`]).
 #[derive(Debug, Clone)]
 pub struct RuntimeEngine {
-    device: SsdDevice,
     overhead: OverheadModel,
     transformer: InstructionTransformer,
     host_cpu: HostCpuModel,
@@ -79,39 +87,25 @@ pub struct RuntimeEngine {
 
 impl RuntimeEngine {
     /// Builds an engine with the default host configuration.
-    ///
-    /// # Errors
-    ///
-    /// Propagates device construction errors.
-    pub fn new(cfg: &SsdConfig) -> Result<Self> {
+    pub fn new(cfg: &SsdConfig) -> Self {
         Self::with_host(cfg, &HostConfig::default())
     }
 
     /// Builds an engine with an explicit host configuration.
-    ///
-    /// # Errors
-    ///
-    /// Propagates device construction errors.
-    pub fn with_host(cfg: &SsdConfig, host: &HostConfig) -> Result<Self> {
+    pub fn with_host(cfg: &SsdConfig, host: &HostConfig) -> Self {
         let miss_rate = (1.0 - cfg.l2p_cache_hit_rate).max(0.0);
         let l2p_miss_period = if miss_rate <= f64::EPSILON {
             0
         } else {
             (1.0 / miss_rate).round() as u64
         };
-        Ok(RuntimeEngine {
-            device: SsdDevice::new(cfg)?,
+        RuntimeEngine {
             overhead: OverheadModel::new(cfg),
             transformer: InstructionTransformer::new(cfg),
             host_cpu: HostCpuModel::new(&host.cpu),
             host_gpu: HostGpuModel::new(&host.gpu),
             l2p_miss_period,
-        })
-    }
-
-    /// The simulated device.
-    pub fn device(&self) -> &SsdDevice {
-        &self.device
+        }
     }
 
     /// The instruction transformation unit.
@@ -128,12 +122,14 @@ impl RuntimeEngine {
     /// of in-flash-capable instructions are co-located in the same flash
     /// block (the Flash-Cosmos layout constraint), everything else is striped
     /// across planes for parallelism. All application data resides in the SSD
-    /// at the start of execution (§4.4).
+    /// at the start of execution (§4.4). Pages a warm device has already
+    /// mapped keep their existing placement, so re-preparing the same
+    /// program on a warm device is idempotent.
     ///
     /// # Errors
     ///
     /// Propagates FTL allocation errors.
-    pub fn prepare(&mut self, program: &VectorProgram) -> Result<()> {
+    pub fn prepare(&self, device: &mut SsdDevice, program: &VectorProgram) -> Result<()> {
         program.validate().map_err(ConduitError::invalid_program)?;
         for inst in program.iter() {
             let span = Self::pages_per_vector(inst);
@@ -143,29 +139,35 @@ impl RuntimeEngine {
                 // slices across planes for multi-plane parallelism.
                 for k in 0..span {
                     let group: Vec<LogicalPageId> = page_srcs.iter().map(|p| p.offset(k)).collect();
-                    self.device.map_group(&group, Some(k))?;
+                    device.map_group(&group, Some(k))?;
                 }
             } else {
                 for p in &page_srcs {
                     let pages: Vec<LogicalPageId> = (0..span).map(|k| p.offset(k)).collect();
-                    self.device.map_pages(&pages, None)?;
+                    device.map_pages(&pages, None)?;
                 }
             }
             if let Some(dst) = inst.dst_page {
                 let pages: Vec<LogicalPageId> = (0..span).map(|k| dst.offset(k)).collect();
-                self.device.map_pages(&pages, None)?;
+                device.map_pages(&pages, None)?;
             }
         }
         Ok(())
     }
 
-    /// Executes `program` under `options` and returns the run report.
+    /// Executes `program` under `options` on the borrowed `device` and
+    /// returns the run report.
     ///
     /// # Errors
     ///
     /// Returns validation errors for malformed programs and simulation errors
     /// for device-level failures.
-    pub fn run(&mut self, program: &VectorProgram, options: &RunOptions) -> Result<RunReport> {
+    pub fn run(
+        &self,
+        device: &mut SsdDevice,
+        program: &VectorProgram,
+        options: &RunOptions,
+    ) -> Result<RunReport> {
         if program.is_empty() {
             return Err(ConduitError::invalid_program("program has no instructions"));
         }
@@ -203,7 +205,7 @@ impl RuntimeEngine {
             let mut dep_ready = issue;
             for src in &inst.srcs {
                 match src {
-                    Operand::Page(p) => operand_locations.push(self.device.locate(*p)),
+                    Operand::Page(p) => operand_locations.push(device.locate(*p)),
                     Operand::Result(id) => {
                         operand_locations.push(result_site[id.index()]);
                         dep_ready = dep_ready.max(result_ready[id.index()]);
@@ -215,7 +217,7 @@ impl RuntimeEngine {
 
             let site = {
                 let ctx = PolicyContext {
-                    device: &self.device,
+                    device: &*device,
                     now: issue,
                     operand_locations: &operand_locations,
                     dependence_delay,
@@ -238,12 +240,10 @@ impl RuntimeEngine {
             // no contention — just the fastest compute latency.
             if policy.is_contention_free() {
                 let resource = site.resource().expect("ideal stays inside the SSD");
-                let comp_latency = self
-                    .device
+                let comp_latency = device
                     .estimate_compute(resource, inst.op, inst.elem_bits, inst.lanes)
                     .unwrap_or(Duration::ZERO);
-                let comp_energy = self
-                    .device
+                let comp_energy = device
                     .estimate_compute_energy(resource, inst.op, inst.elem_bits, inst.lanes)
                     .unwrap_or(Energy::ZERO);
                 let start = issue.max(dep_ready);
@@ -280,7 +280,7 @@ impl RuntimeEngine {
                 let ov = self.overhead.per_instruction(operands, miss);
                 overhead_report.record(ov);
                 let exclusive = self.overhead.transformation();
-                let oc = self.device.offloader_busy(exclusive, issue);
+                let oc = device.offloader_busy(exclusive, issue);
                 energy.compute += oc.energy;
                 breakdown.accumulate(oc.breakdown);
                 offload_clock = oc.ready;
@@ -302,9 +302,7 @@ impl RuntimeEngine {
                     Operand::Page(p) => {
                         operand_first_pages.push(*p);
                         for k in 0..span {
-                            let c = self
-                                .device
-                                .ensure_at(p.offset(k), dest, movement_earliest)?;
+                            let c = device.ensure_at(p.offset(k), dest, movement_earliest)?;
                             data_ready = data_ready.max(c.ready);
                             energy.data_movement += c.energy;
                             breakdown.accumulate(c.breakdown);
@@ -313,7 +311,7 @@ impl RuntimeEngine {
                     Operand::Result(id) => {
                         let from = result_site[id.index()];
                         if from != dest {
-                            let c = self.device.transfer_value(
+                            let c = device.transfer_value(
                                 from,
                                 dest,
                                 inst.vector_bytes(),
@@ -331,7 +329,7 @@ impl RuntimeEngine {
 
             // Execute.
             let comp = match site {
-                ExecutionSite::Ssd(resource) => self.device.execute(
+                ExecutionSite::Ssd(resource) => device.execute(
                     resource,
                     inst.op,
                     inst.elem_bits,
@@ -387,19 +385,16 @@ impl RuntimeEngine {
                         // OSP results return over the host link into the
                         // SSD's write cache; the host keeps its own copy, so
                         // later host-side reads of this page stay local.
-                        let link = self.device.host_transfer(PAGE_BYTES, false, comp.ready);
+                        let link = device.host_transfer(PAGE_BYTES, false, comp.ready);
                         energy.data_movement += link.energy;
                         breakdown.accumulate(link.breakdown);
-                        let wb = self.device.record_result_write(
-                            page,
-                            DataLocation::Host,
-                            link.ready,
-                        )?;
+                        let wb =
+                            device.record_result_write(page, DataLocation::Host, link.ready)?;
                         done = done.max(wb.ready);
                         energy.data_movement += wb.energy;
                         breakdown.accumulate(wb.breakdown);
                     } else {
-                        let wb = self.device.record_result_write(page, dest, comp.ready)?;
+                        let wb = device.record_result_write(page, dest, comp.ready)?;
                         done = done.max(wb.ready);
                         energy.data_movement += wb.energy;
                         breakdown.accumulate(wb.breakdown);
@@ -460,23 +455,31 @@ mod tests {
         prog
     }
 
-    fn engine() -> RuntimeEngine {
-        RuntimeEngine::new(&SsdConfig::small_for_tests()).unwrap()
+    fn engine() -> (RuntimeEngine, SsdDevice) {
+        let cfg = SsdConfig::small_for_tests();
+        (
+            RuntimeEngine::new(&cfg),
+            SsdDevice::new(&cfg).expect("test config is valid"),
+        )
     }
 
     #[test]
     fn empty_program_is_rejected() {
-        let mut e = engine();
+        let (e, mut dev) = engine();
         let prog = VectorProgram::new("empty");
-        assert!(e.run(&prog, &RunOptions::new(Policy::Conduit)).is_err());
+        assert!(e
+            .run(&mut dev, &prog, &RunOptions::new(Policy::Conduit))
+            .is_err());
     }
 
     #[test]
     fn run_produces_consistent_report() {
         let prog = program();
-        let mut e = engine();
-        e.prepare(&prog).unwrap();
-        let report = e.run(&prog, &RunOptions::new(Policy::Conduit)).unwrap();
+        let (e, mut dev) = engine();
+        e.prepare(&mut dev, &prog).unwrap();
+        let report = e
+            .run(&mut dev, &prog, &RunOptions::new(Policy::Conduit))
+            .unwrap();
         assert_eq!(report.instructions, 3);
         assert_eq!(report.offload_mix.total(), 3);
         assert_eq!(report.timeline.len(), 3);
@@ -494,9 +497,11 @@ mod tests {
     #[test]
     fn dependences_serialize_completion_times() {
         let prog = program();
-        let mut e = engine();
-        e.prepare(&prog).unwrap();
-        let report = e.run(&prog, &RunOptions::new(Policy::Conduit)).unwrap();
+        let (e, mut dev) = engine();
+        e.prepare(&mut dev, &prog).unwrap();
+        let report = e
+            .run(&mut dev, &prog, &RunOptions::new(Policy::Conduit))
+            .unwrap();
         let t = &report.timeline;
         assert!(t[1].completed > t[0].dispatched);
         assert!(t[2].completed >= t[1].completed);
@@ -516,9 +521,9 @@ mod tests {
             Policy::IspOnly,
             Policy::HostCpu,
         ] {
-            let mut e = engine();
-            e.prepare(&prog).unwrap();
-            reports.push(e.run(&prog, &RunOptions::new(policy)).unwrap());
+            let (e, mut dev) = engine();
+            e.prepare(&mut dev, &prog).unwrap();
+            reports.push(e.run(&mut dev, &prog, &RunOptions::new(policy)).unwrap());
         }
         let ideal = &reports[0];
         for other in &reports[1..] {
@@ -535,13 +540,19 @@ mod tests {
     #[test]
     fn overheads_can_be_disabled() {
         let prog = program();
-        let mut e1 = engine();
-        e1.prepare(&prog).unwrap();
-        let with = e1.run(&prog, &RunOptions::new(Policy::Conduit)).unwrap();
-        let mut e2 = engine();
-        e2.prepare(&prog).unwrap();
+        let (e1, mut dev1) = engine();
+        e1.prepare(&mut dev1, &prog).unwrap();
+        let with = e1
+            .run(&mut dev1, &prog, &RunOptions::new(Policy::Conduit))
+            .unwrap();
+        let (e2, mut dev2) = engine();
+        e2.prepare(&mut dev2, &prog).unwrap();
         let without = e2
-            .run(&prog, &RunOptions::new(Policy::Conduit).without_overheads())
+            .run(
+                &mut dev2,
+                &prog,
+                &RunOptions::new(Policy::Conduit).without_overheads(),
+            )
             .unwrap();
         assert_eq!(without.overhead.count, 0);
         assert!(without.total_time <= with.total_time);
@@ -550,9 +561,11 @@ mod tests {
     #[test]
     fn host_policy_pays_pcie_data_movement() {
         let prog = program();
-        let mut e = engine();
-        e.prepare(&prog).unwrap();
-        let report = e.run(&prog, &RunOptions::new(Policy::HostCpu)).unwrap();
+        let (e, mut dev) = engine();
+        e.prepare(&mut dev, &prog).unwrap();
+        let report = e
+            .run(&mut dev, &prog, &RunOptions::new(Policy::HostCpu))
+            .unwrap();
         assert_eq!(report.offload_mix.host, 3);
         assert!(report.breakdown.host_data_movement > Duration::ZERO);
         assert!(report.energy.data_movement > Energy::ZERO);
@@ -561,10 +574,14 @@ mod tests {
     #[test]
     fn timeline_recording_can_be_disabled() {
         let prog = program();
-        let mut e = engine();
-        e.prepare(&prog).unwrap();
+        let (e, mut dev) = engine();
+        e.prepare(&mut dev, &prog).unwrap();
         let report = e
-            .run(&prog, &RunOptions::new(Policy::Conduit).without_timeline())
+            .run(
+                &mut dev,
+                &prog,
+                &RunOptions::new(Policy::Conduit).without_timeline(),
+            )
             .unwrap();
         assert!(report.timeline.is_empty());
         assert_eq!(report.instructions, 3);
@@ -573,11 +590,30 @@ mod tests {
     #[test]
     fn prepare_colocates_ifp_capable_operand_groups() {
         let prog = program();
-        let mut e = engine();
-        e.prepare(&prog).unwrap();
+        let (e, mut dev) = engine();
+        e.prepare(&mut dev, &prog).unwrap();
         // The XOR's operands (pages 0 and 4) must share a block.
-        let a = e.device().ftl().peek(LogicalPageId::new(0)).unwrap();
-        let b = e.device().ftl().peek(LogicalPageId::new(4)).unwrap();
+        let a = dev.ftl().peek(LogicalPageId::new(0)).unwrap();
+        let b = dev.ftl().peek(LogicalPageId::new(4)).unwrap();
         assert!(a.same_block(b));
+    }
+
+    #[test]
+    fn warm_device_reruns_continue_where_the_last_run_left_off() {
+        let prog = program();
+        let (e, mut dev) = engine();
+        e.prepare(&mut dev, &prog).unwrap();
+        let first = e
+            .run(&mut dev, &prog, &RunOptions::new(Policy::Conduit))
+            .unwrap();
+        let ops_after_first = dev.snapshot().device_ops;
+        // Same borrowed device again: timelines and FTL state carry over, so
+        // cumulative counters keep growing (a fresh device would reset).
+        e.prepare(&mut dev, &prog).unwrap();
+        let _second = e
+            .run(&mut dev, &prog, &RunOptions::new(Policy::Conduit))
+            .unwrap();
+        assert!(dev.snapshot().device_ops > ops_after_first);
+        assert!(first.total_time > Duration::ZERO);
     }
 }

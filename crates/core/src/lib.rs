@@ -31,7 +31,11 @@
 //!   [`RunSummary`] (times, energy split, histogram-backed latency
 //!   percentiles, offload mix) plus opt-in [`RunArtifacts`] (the full
 //!   timeline). [`Session::submit_batch`] fans requests out across a
-//!   work-stealing thread pool with results bit-identical to serial runs.
+//!   work-stealing thread pool with results bit-identical to serial runs,
+//!   and a [`DeviceMode`] knob switches between fresh devices per run and a
+//!   persistent **warm device** whose FTL/coherence/GC/wear state ages
+//!   across the whole request stream ([`Session::device_snapshot`],
+//!   [`RunSummary::device_delta`]).
 //!
 //! ## Quick start
 //!
@@ -64,7 +68,6 @@ mod pool;
 mod report;
 mod session;
 mod transform;
-mod workbench;
 
 pub use cost::{CostFeatures, CostFunction};
 pub use engine::{RunOptions, RuntimeEngine};
@@ -73,9 +76,7 @@ pub use policy::{Policy, PolicyContext};
 pub use pool::ThreadPool;
 pub use report::{gmean, EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
 pub use session::{
-    ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest, RunSummary, Session,
-    SessionBuilder, DEFAULT_PERCENTILES, REGISTRY_FORMAT_VERSION, REGISTRY_MAGIC,
+    DeviceMode, ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest, RunSummary,
+    Session, SessionBuilder, DEFAULT_PERCENTILES, REGISTRY_FORMAT_VERSION, REGISTRY_MAGIC,
 };
 pub use transform::{InstructionTransformer, NativeIsa, TranslationEntry};
-#[allow(deprecated)]
-pub use workbench::Workbench;

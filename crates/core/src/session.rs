@@ -20,8 +20,16 @@
 //!   and opt-in [`RunArtifacts`] (the full per-instruction timeline), so
 //!   batch sweeps no longer carry timelines they never read;
 //! * [`Session::submit_batch`] fans independent requests out across the
-//!   pool with results **bit-identical** to running them serially (every run
-//!   simulates on a fresh device).
+//!   pool with results **bit-identical** to running them serially (every
+//!   fresh-mode run simulates on a fresh device);
+//! * a [`DeviceMode`] knob selects between **fresh** devices (every run on a
+//!   pristine SSD — independent, embarrassingly parallel experiments) and a
+//!   **warm** device whose persistent [`conduit_sim::DeviceState`] (FTL mappings,
+//!   coherence directory, GC debt, wear) carries across the request stream;
+//!   warm runs execute serially because they share that one state, and each
+//!   [`RunSummary`] reports the device aging the run caused
+//!   ([`RunSummary::device_delta`]) while [`Session::device_snapshot`]
+//!   exposes the cumulative counters.
 //!
 //! # Examples
 //!
@@ -45,14 +53,23 @@
 //!     RunRequest::new(id, Policy::Conduit).with_timeline(),
 //! ])?;
 //! assert!(batch[1].artifacts.is_some());
+//!
+//! // Warm mode: thread one persistent device through a request stream.
+//! // Each summary reports the aging the run caused, and the session
+//! // exposes the cumulative device state.
+//! let warm = session.submit(&RunRequest::new(id, Policy::Conduit).warm())?;
+//! assert!(warm.summary.device_delta.device_ops > 0);
+//! let snapshot = session.device_snapshot();
+//! assert_eq!(snapshot.device_ops, warm.summary.device_delta.device_ops);
 //! # Ok::<(), conduit_types::ConduitError>(())
 //! ```
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use conduit_sim::{CostBreakdown, LatencyStats};
+use conduit_sim::{CostBreakdown, DeviceDelta, DeviceSnapshot, LatencyStats, SsdDevice};
 use conduit_types::{ConduitError, Duration, Energy, HostConfig, Result, SsdConfig, VectorProgram};
 
 use crate::cost::CostFunction;
@@ -91,13 +108,32 @@ impl std::fmt::Display for ProgramId {
     }
 }
 
-/// An ordered collection of validated, reusable [`VectorProgram`]s.
+/// An ordered, **content-addressed** collection of validated, reusable
+/// [`VectorProgram`]s.
 ///
 /// Programs are stored behind [`Arc`] so batch fan-out shares them across
-/// worker threads without copying instruction streams.
+/// worker threads without copying instruction streams. Registration dedupes
+/// by content: registering (or importing) a program whose serialized bytes
+/// match an already-registered one returns the existing [`ProgramId`]
+/// instead of storing a second copy, so a fleet of sessions importing the
+/// same program store converges on one entry per distinct program.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ProgramRegistry {
     programs: Vec<Arc<VectorProgram>>,
+    /// Content hash (FNV-1a over [`VectorProgram::to_bytes`]) → ids with
+    /// that hash. Collisions are resolved by comparing the programs.
+    by_hash: HashMap<u64, Vec<ProgramId>>,
+}
+
+/// FNV-1a over a program's compact serialization: the content address used
+/// by [`ProgramRegistry`] deduplication.
+fn content_hash(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl ProgramRegistry {
@@ -106,7 +142,9 @@ impl ProgramRegistry {
         ProgramRegistry::default()
     }
 
-    /// Validates and registers a program, returning its handle.
+    /// Validates and registers a program, returning its handle. If an
+    /// identical program (same serialized content) is already registered,
+    /// its existing handle is returned and nothing is stored.
     ///
     /// # Errors
     ///
@@ -114,9 +152,37 @@ impl ProgramRegistry {
     /// [`VectorProgram::validate`].
     pub fn register(&mut self, program: VectorProgram) -> Result<ProgramId> {
         program.validate().map_err(ConduitError::invalid_program)?;
+        Ok(self.insert_deduped(Arc::new(program)))
+    }
+
+    /// Stores `program` unless an identical one already exists; returns the
+    /// canonical id either way.
+    fn insert_deduped(&mut self, program: Arc<VectorProgram>) -> ProgramId {
+        let hash = content_hash(&program.to_bytes());
+        if let Some(candidates) = self.by_hash.get(&hash) {
+            for &id in candidates {
+                if *self.programs[id.index()] == *program {
+                    return id;
+                }
+            }
+        }
         let id = ProgramId(self.programs.len() as u32);
-        self.programs.push(Arc::new(program));
-        Ok(id)
+        self.programs.push(program);
+        self.by_hash.entry(hash).or_default().push(id);
+        id
+    }
+
+    /// Stores `program` unconditionally at the next id. Used when decoding
+    /// a serialized registry: version-1 byte streams written before content
+    /// addressing may legally contain duplicates, and callers that
+    /// persisted [`ProgramId`]s alongside the bytes rely on ids staying
+    /// positional — deduplication happens at the [`Session`] boundary
+    /// ([`Session::import_registry`]), which returns the id mapping.
+    fn insert_positional(&mut self, program: Arc<VectorProgram>) {
+        let hash = content_hash(&program.to_bytes());
+        let id = ProgramId(self.programs.len() as u32);
+        self.programs.push(program);
+        self.by_hash.entry(hash).or_default().push(id);
     }
 
     /// The program behind a handle, if registered.
@@ -159,6 +225,9 @@ impl ProgramRegistry {
     }
 
     /// Decodes a registry serialized by [`ProgramRegistry::to_bytes`].
+    /// Programs keep their serialized positions (ids are stable even for
+    /// pre-content-addressing streams that contain duplicates); merging
+    /// with deduplication is [`Session::import_registry`]'s job.
     ///
     /// # Errors
     ///
@@ -190,7 +259,7 @@ impl ProgramRegistry {
             }
             let program = VectorProgram::from_bytes(&bytes[pos..pos + len])?;
             pos += len;
-            registry.programs.push(Arc::new(program));
+            registry.insert_positional(Arc::new(program));
         }
         if pos != bytes.len() {
             return Err(corrupt("trailing bytes"));
@@ -205,9 +274,29 @@ enum ProgramSource {
     /// A program registered in the session's registry (the normal, reusable
     /// path).
     Registered(ProgramId),
-    /// A one-shot program carried by the request itself (used by the
-    /// deprecated [`crate::Workbench`] shim and throwaway experiments).
+    /// A one-shot program carried by the request itself (throwaway
+    /// experiments that never reuse the program).
     Inline(Arc<VectorProgram>),
+}
+
+/// Whether a run executes on a pristine device or continues on the
+/// session's long-lived warm device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeviceMode {
+    /// Every run (and every repeat) simulates on a freshly built device:
+    /// runs are independent, deterministic, and batchable in parallel with
+    /// results bit-identical to serial submission. This is the default and
+    /// reproduces the paper's per-figure experiments.
+    #[default]
+    Fresh,
+    /// The run continues on the session's persistent [`conduit_sim::DeviceState`]: FTL
+    /// mappings, the coherence directory, garbage-collection debt and wear
+    /// accumulate across the request stream, modelling a real multi-tenant
+    /// SSD that ages under sustained load. Warm runs execute **serially**
+    /// (they share one device state, so concurrent execution would make
+    /// results depend on thread arrival order); in a batch they run in
+    /// request order on the submitting thread.
+    Warm,
 }
 
 /// A declarative description of one run: which program, which policy, and
@@ -248,6 +337,8 @@ pub struct RunRequest {
     collect_timeline: bool,
     collect_energy_split: bool,
     percentiles: Vec<f64>,
+    /// `None` means "use the session's default mode".
+    device_mode: Option<DeviceMode>,
 }
 
 impl RunRequest {
@@ -277,6 +368,7 @@ impl RunRequest {
             collect_timeline: false,
             collect_energy_split: true,
             percentiles: DEFAULT_PERCENTILES.to_vec(),
+            device_mode: None,
         }
     }
 
@@ -293,13 +385,26 @@ impl RunRequest {
     }
 
     /// Builder-style: simulates the program `repeats` times (clamped to at
-    /// least one), each on a fresh device. Repeats are bit-identical under
-    /// the deterministic simulator; the knob exists for throughput
-    /// measurement and soak-style stress, where wall-clock per simulated
-    /// instruction is the observable.
+    /// least one). In [`DeviceMode::Fresh`] every repeat gets its own
+    /// pristine device, so repeats are bit-identical under the deterministic
+    /// simulator — the knob exists for throughput measurement and soak-style
+    /// stress. In [`DeviceMode::Warm`] the repeats run back to back on the
+    /// warm device, so each one ages it further.
     pub fn repeat(mut self, repeats: u32) -> Self {
         self.repeats = repeats.max(1);
         self
+    }
+
+    /// Builder-style: overrides the session's default [`DeviceMode`] for
+    /// this request.
+    pub fn device_mode(mut self, mode: DeviceMode) -> Self {
+        self.device_mode = Some(mode);
+        self
+    }
+
+    /// Builder-style sugar for [`RunRequest::device_mode`]`(DeviceMode::Warm)`.
+    pub fn warm(self) -> Self {
+        self.device_mode(DeviceMode::Warm)
     }
 
     /// Builder-style: sets whether the full instruction → resource timeline
@@ -351,6 +456,12 @@ impl RunRequest {
         self.collect_timeline
     }
 
+    /// The device mode this request asked for, if it overrides the
+    /// session's default.
+    pub fn requested_device_mode(&self) -> Option<DeviceMode> {
+        self.device_mode
+    }
+
     /// The engine-level options this request maps to.
     fn run_options(&self) -> RunOptions {
         let mut options = RunOptions::new(self.policy).cost_function(self.cost_function);
@@ -395,6 +506,12 @@ pub struct RunSummary {
     pub percentiles: Vec<(f64, Duration)>,
     /// Offloader overhead statistics.
     pub overhead: OverheadReport,
+    /// The device-side work this run performed (GC invocations, pages
+    /// migrated, coherence syncs, wear spread, …): on a fresh device the
+    /// run's absolute footprint, on a warm device the *additional* aging it
+    /// caused on top of what earlier requests left behind. Repeats
+    /// accumulate (see [`conduit_sim::DeviceDelta::accumulate`]).
+    pub device_delta: DeviceDelta,
 }
 
 impl RunSummary {
@@ -444,10 +561,10 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    /// Converts into the engine-level [`RunReport`] shape (used by the
-    /// deprecated [`crate::Workbench`] shim and by code migrating
-    /// incrementally onto the session API). The timeline is empty unless the
-    /// run collected artifacts.
+    /// Converts into the engine-level [`RunReport`] shape (for code
+    /// migrating incrementally onto the session API). The timeline is empty
+    /// unless the run collected artifacts; the device delta is dropped, as
+    /// the engine-level report predates warm devices.
     pub fn into_run_report(self) -> RunReport {
         let energy = self.summary.energy_split.unwrap_or(EnergySummary {
             data_movement: Energy::ZERO,
@@ -476,27 +593,25 @@ struct RunPlan {
     repeats: u32,
     collect_energy_split: bool,
     percentiles: Vec<f64>,
+    mode: DeviceMode,
 }
 
-/// Shared state of one in-flight batch: the plans plus the work-stealing
-/// cursor.
+/// Shared state of one in-flight batch: the plans, the indices of the
+/// fresh-mode plans the pool may steal, and the work-stealing cursor.
 struct BatchState {
     ssd: SsdConfig,
     host: HostConfig,
     plans: Vec<RunPlan>,
+    /// Request indices of the fresh-mode plans, in request order. Warm
+    /// plans never enter the pool: they run serially on the submitting
+    /// thread (see [`DeviceMode::Warm`]).
+    fresh: Vec<usize>,
     next: AtomicUsize,
 }
 
-fn execute_plan(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<RunOutcome> {
-    let mut report: Option<RunReport> = None;
-    for _ in 0..plan.repeats {
-        // A fresh device per repeat keeps every run independent and the
-        // whole batch bit-identical to serial execution.
-        let mut engine = RuntimeEngine::with_host(ssd, host)?;
-        engine.prepare(&plan.program)?;
-        report = Some(engine.run(&plan.program, &plan.options)?);
-    }
-    let report = report.expect("repeats is clamped to at least one");
+/// Assembles the outcome from the final run report plus the device work the
+/// request performed.
+fn build_outcome(report: RunReport, plan: &RunPlan, device_delta: DeviceDelta) -> RunOutcome {
     let percentiles = plan
         .percentiles
         .iter()
@@ -515,11 +630,32 @@ fn execute_plan(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<Ru
         latency: report.latency,
         percentiles,
         overhead: report.overhead,
+        device_delta,
     };
     let artifacts = plan.options.record_timeline.then_some(RunArtifacts {
         timeline: report.timeline,
     });
-    Ok(RunOutcome { summary, artifacts })
+    RunOutcome { summary, artifacts }
+}
+
+/// Executes a fresh-mode plan: every repeat on its own pristine device, so
+/// runs are independent and parallel batches stay bit-identical to serial
+/// submission.
+fn execute_fresh(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<RunOutcome> {
+    let engine = RuntimeEngine::with_host(ssd, host);
+    let pristine = DeviceSnapshot::default();
+    let mut report: Option<RunReport> = None;
+    let mut delta = DeviceDelta::default();
+    for _ in 0..plan.repeats {
+        // A fresh device per repeat keeps every run independent and the
+        // whole batch bit-identical to serial execution.
+        let mut device = SsdDevice::new(ssd)?;
+        engine.prepare(&mut device, &plan.program)?;
+        report = Some(engine.run(&mut device, &plan.program, &plan.options)?);
+        delta.accumulate(device.snapshot().delta_since(&pristine));
+    }
+    let report = report.expect("repeats is clamped to at least one");
+    Ok(build_outcome(report, plan, delta))
 }
 
 /// Configures and builds a [`Session`].
@@ -529,18 +665,34 @@ pub struct SessionBuilder {
     host: HostConfig,
     workers: Option<usize>,
     parallel: bool,
+    device_mode: DeviceMode,
 }
 
 impl SessionBuilder {
     /// Starts a builder for the given SSD configuration (default host
-    /// configuration, one batch worker per CPU core).
+    /// configuration, one batch worker per CPU core, fresh devices).
     pub fn new(ssd: SsdConfig) -> Self {
         SessionBuilder {
             ssd,
             host: HostConfig::default(),
             workers: None,
             parallel: true,
+            device_mode: DeviceMode::Fresh,
         }
+    }
+
+    /// Sets the default [`DeviceMode`] for requests that do not override it
+    /// ([`RunRequest::device_mode`]). Defaults to [`DeviceMode::Fresh`].
+    pub fn device_mode(mut self, mode: DeviceMode) -> Self {
+        self.device_mode = mode;
+        self
+    }
+
+    /// Builder-style sugar for
+    /// [`SessionBuilder::device_mode`]`(DeviceMode::Warm)`: every request
+    /// runs on the session's one long-lived device unless it opts out.
+    pub fn warm(self) -> Self {
+        self.device_mode(DeviceMode::Warm)
     }
 
     /// Replaces the host configuration.
@@ -580,26 +732,44 @@ impl SessionBuilder {
             ssd: self.ssd,
             host: self.host,
             workers,
+            default_device_mode: self.device_mode,
             registry: ProgramRegistry::new(),
             pool: OnceLock::new(),
+            warm: Mutex::new(None),
+            engine: OnceLock::new(),
         }
     }
 }
 
 /// A long-lived execution service: device/host configuration, the program
-/// registry, and a work-stealing pool for batch fan-out.
+/// registry, a work-stealing pool for batch fan-out, and (for
+/// [`DeviceMode::Warm`] requests) one persistent device state shared by the
+/// whole request stream.
 ///
-/// Every submitted run executes on a **fresh simulated device**, so runs are
-/// independent, deterministic, and identical whether submitted one at a time
-/// or batched across threads. See the [module documentation](self) for an
-/// end-to-end example.
+/// Fresh-mode runs execute on a **fresh simulated device**, so they are
+/// independent, deterministic, and identical whether submitted one at a
+/// time or batched across threads. Warm-mode runs thread the session's
+/// [`conduit_sim::DeviceState`] through the stream serially, modelling an SSD that ages
+/// under sustained multi-tenant load. See the
+/// [module documentation](self) for an end-to-end example.
 #[derive(Debug)]
 pub struct Session {
     ssd: SsdConfig,
     host: HostConfig,
     workers: usize,
+    default_device_mode: DeviceMode,
     registry: ProgramRegistry,
     pool: OnceLock<ThreadPool>,
+    /// The warm device (immutable models + persistent state), created
+    /// lazily on the first warm run and kept whole so repeated warm submits
+    /// do not rebuild the model stack. Behind a mutex because warm runs
+    /// mutate it while `submit` takes `&self`; the lock also *serializes*
+    /// warm runs, which is required for determinism (they share this one
+    /// state).
+    warm: Mutex<Option<SsdDevice>>,
+    /// The engine is stateless and a pure function of the configs; built
+    /// once on first use.
+    engine: OnceLock<RuntimeEngine>,
 }
 
 impl Session {
@@ -654,8 +824,10 @@ impl Session {
         self.registry.to_bytes()
     }
 
-    /// Appends every program from a serialized registry, returning the newly
-    /// assigned ids in the same order.
+    /// Merges every program from a serialized registry into this session's
+    /// registry, returning the assigned ids in the same order. Content
+    /// addressing applies: a program identical to one already registered
+    /// maps to the existing id instead of being stored again.
     ///
     /// # Errors
     ///
@@ -663,13 +835,11 @@ impl Session {
     /// the session's registry is left unchanged.
     pub fn import_registry(&mut self, bytes: &[u8]) -> Result<Vec<ProgramId>> {
         let imported = ProgramRegistry::from_bytes(bytes)?;
-        let mut ids = Vec::with_capacity(imported.programs.len());
-        for program in imported.programs {
-            let id = ProgramId(self.registry.programs.len() as u32);
-            self.registry.programs.push(program);
-            ids.push(id);
-        }
-        Ok(ids)
+        Ok(imported
+            .programs
+            .into_iter()
+            .map(|program| self.registry.insert_deduped(program))
+            .collect())
     }
 
     fn plan(&self, request: &RunRequest) -> Result<RunPlan> {
@@ -689,10 +859,13 @@ impl Session {
             repeats: request.repeats,
             collect_energy_split: request.collect_energy_split,
             percentiles: request.percentiles.clone(),
+            mode: request.device_mode.unwrap_or(self.default_device_mode),
         })
     }
 
-    /// Executes one request on the calling thread.
+    /// Executes one request on the calling thread (fresh-mode runs on a
+    /// pristine device; warm-mode runs continue on the session's persistent
+    /// device state).
     ///
     /// # Errors
     ///
@@ -700,13 +873,80 @@ impl Session {
     /// errors.
     pub fn submit(&self, request: &RunRequest) -> Result<RunOutcome> {
         let plan = self.plan(request)?;
-        execute_plan(&self.ssd, &self.host, &plan)
+        match plan.mode {
+            DeviceMode::Fresh => execute_fresh(&self.ssd, &self.host, &plan),
+            DeviceMode::Warm => self.execute_warm(&plan),
+        }
     }
 
-    /// Executes a batch of independent requests, fanning them out across
-    /// the session's thread pool, and returns the outcomes in request order.
+    /// Executes a warm-mode plan on the session's persistent device state.
     ///
-    /// Each run simulates on a fresh device, so the outcomes are
+    /// Warm runs are serialized on the state's mutex: they share one
+    /// mutable [`conduit_sim::DeviceState`], so running them concurrently would make the
+    /// results depend on which thread reached the device first — the lock
+    /// is what keeps a warm request stream deterministic and replayable.
+    fn execute_warm(&self, plan: &RunPlan) -> Result<RunOutcome> {
+        let mut slot = self.warm.lock().expect("warm-device mutex poisoned");
+        if slot.is_none() {
+            *slot = Some(SsdDevice::new(&self.ssd)?);
+        }
+        let device = slot.as_mut().expect("warm device was just installed");
+        let engine = self
+            .engine
+            .get_or_init(|| RuntimeEngine::with_host(&self.ssd, &self.host));
+        let before = device.snapshot();
+        let mut report: Result<Option<RunReport>> = Ok(None);
+        for _ in 0..plan.repeats {
+            // Re-preparing is idempotent for pages the warm device already
+            // mapped; only genuinely new pages get placed.
+            report = engine
+                .prepare(device, &plan.program)
+                .and_then(|()| engine.run(device, &plan.program, &plan.options))
+                .map(Some);
+            if report.is_err() {
+                // The (possibly partially advanced) device stays with the
+                // session so the stream can continue or be inspected.
+                break;
+            }
+        }
+        let delta = device.snapshot().delta_since(&before);
+        let report = report?.expect("repeats is clamped to at least one");
+        Ok(build_outcome(report, plan, delta))
+    }
+
+    /// Cumulative counters of the session's warm device: everything the
+    /// warm request stream has done to it so far (GC, migration, coherence
+    /// traffic, wear, energy). All-zero until the first
+    /// [`DeviceMode::Warm`] run.
+    pub fn device_snapshot(&self) -> DeviceSnapshot {
+        self.warm
+            .lock()
+            .expect("warm-device mutex poisoned")
+            .as_ref()
+            .map(SsdDevice::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// Discards the warm device, returning its final snapshot; the next
+    /// warm run starts from a pristine device. Fresh-mode runs are
+    /// unaffected.
+    pub fn reset_device(&self) -> DeviceSnapshot {
+        self.warm
+            .lock()
+            .expect("warm-device mutex poisoned")
+            .take()
+            .map(|device| device.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Executes a batch of independent requests and returns the outcomes in
+    /// request order. Fresh-mode requests fan out across the session's
+    /// thread pool; warm-mode requests run serially in request order on the
+    /// submitting thread (they share the session's one device state — see
+    /// [`DeviceMode::Warm`]).
+    ///
+    /// Every fresh run simulates on a fresh device and every warm run takes
+    /// the device lock in request order, so the outcomes are
     /// **bit-identical** to calling [`Session::submit`] on each request in
     /// order — only the wall-clock time changes
     /// (`tests/integration_determinism.rs` asserts this).
@@ -720,20 +960,34 @@ impl Session {
             .iter()
             .map(|r| self.plan(r))
             .collect::<Result<_>>()?;
-        let fan_out = self.workers.min(plans.len());
+        let fresh: Vec<usize> = (0..plans.len())
+            .filter(|&i| plans[i].mode == DeviceMode::Fresh)
+            .collect();
+        let fan_out = self.workers.min(fresh.len());
         if fan_out <= 1 {
-            return plans
+            // Execute *every* plan before propagating the first error (by
+            // request order) — the parallel path below cannot short-circuit
+            // warm requests on a fresh request's failure, so the serial
+            // fallback must not either, or the warm device would age
+            // differently depending on the worker count.
+            let outcomes: Vec<Result<RunOutcome>> = plans
                 .iter()
-                .map(|p| execute_plan(&self.ssd, &self.host, p))
+                .map(|p| match p.mode {
+                    DeviceMode::Fresh => execute_fresh(&self.ssd, &self.host, p),
+                    DeviceMode::Warm => self.execute_warm(p),
+                })
                 .collect();
+            return outcomes.into_iter().collect();
         }
 
         let pool = self.pool.get_or_init(|| ThreadPool::new(self.workers));
         let total = plans.len();
+        let fresh_total = fresh.len();
         let shared = Arc::new(BatchState {
             ssd: self.ssd.clone(),
             host: self.host.clone(),
             plans,
+            fresh,
             next: AtomicUsize::new(0),
         });
         let (tx, rx) = channel();
@@ -741,11 +995,12 @@ impl Session {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
             pool.execute(move || loop {
-                let i = shared.next.fetch_add(1, Ordering::Relaxed);
-                if i >= shared.plans.len() {
+                let cursor = shared.next.fetch_add(1, Ordering::Relaxed);
+                if cursor >= shared.fresh.len() {
                     break;
                 }
-                let outcome = execute_plan(&shared.ssd, &shared.host, &shared.plans[i]);
+                let i = shared.fresh[cursor];
+                let outcome = execute_fresh(&shared.ssd, &shared.host, &shared.plans[i]);
                 if tx.send((i, outcome)).is_err() {
                     break;
                 }
@@ -754,7 +1009,14 @@ impl Session {
         drop(tx);
 
         let mut slots: Vec<Option<Result<RunOutcome>>> = (0..total).map(|_| None).collect();
-        for _ in 0..total {
+        // Warm requests run here, serially and in request order, while the
+        // pool chews through the fresh ones.
+        for (i, slot) in slots.iter_mut().enumerate() {
+            if shared.plans[i].mode == DeviceMode::Warm {
+                *slot = Some(self.execute_warm(&shared.plans[i]));
+            }
+        }
+        for _ in 0..fresh_total {
             let (i, outcome) = rx
                 .recv()
                 .map_err(|_| ConduitError::simulation("batch worker terminated unexpectedly"))?;
@@ -920,6 +1182,111 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.summary.policy, Policy::HostCpu);
         assert!(s.registry().is_empty());
+    }
+
+    #[test]
+    fn registry_dedupes_identical_programs() {
+        let mut s = session();
+        let a = s.register(program("same")).unwrap();
+        let b = s.register(program("same")).unwrap();
+        assert_eq!(a, b, "identical content must map to one id");
+        assert_eq!(s.registry().len(), 1);
+        // A different name changes the content, so it gets its own entry.
+        let c = s.register(program("other")).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(s.registry().len(), 2);
+        // Importing an already-registered program maps to the existing id.
+        let bytes = s.export_registry();
+        let ids = s.import_registry(&bytes).unwrap();
+        assert_eq!(ids, vec![a, c]);
+        assert_eq!(s.registry().len(), 2);
+    }
+
+    #[test]
+    fn legacy_byte_streams_with_duplicates_keep_positional_ids() {
+        // Registries serialized before content addressing could legally
+        // contain duplicate programs; decoding must keep every program at
+        // its serialized position so persisted ProgramIds stay valid.
+        let dup = program("dup");
+        let other = program("other");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&REGISTRY_MAGIC);
+        bytes.extend_from_slice(&REGISTRY_FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        for p in [&dup, &dup, &other] {
+            let body = p.to_bytes();
+            bytes.extend_from_slice(&(body.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&body);
+        }
+        let registry = ProgramRegistry::from_bytes(&bytes).unwrap();
+        assert_eq!(registry.len(), 3);
+        let decoded: Vec<&VectorProgram> = registry.iter().map(|(_, p)| p).collect();
+        assert_eq!(decoded[0], &dup);
+        assert_eq!(decoded[1], &dup);
+        assert_eq!(decoded[2], &other);
+        // Importing the same stream into a session dedupes, with the id
+        // mapping making the collapse explicit.
+        let mut s = session();
+        let ids = s.import_registry(&bytes).unwrap();
+        assert_eq!(ids[0], ids[1]);
+        assert_ne!(ids[0], ids[2]);
+        assert_eq!(s.registry().len(), 2);
+    }
+
+    #[test]
+    fn warm_requests_carry_device_state_across_submissions() {
+        let s = session();
+        let request = RunRequest::inline(program("warm"), Policy::Conduit).warm();
+        let first = s.submit(&request).unwrap();
+        let snap_after_first = s.device_snapshot();
+        assert!(snap_after_first.device_ops > 0);
+        assert_eq!(
+            first.summary.device_delta.device_ops,
+            snap_after_first.device_ops
+        );
+        let second = s.submit(&request).unwrap();
+        let snap_after_second = s.device_snapshot();
+        // The warm device accumulates: the second run starts where the
+        // first ended.
+        assert!(snap_after_second.device_ops > snap_after_first.device_ops);
+        assert_eq!(
+            second.summary.device_delta.device_ops,
+            snap_after_second.device_ops - snap_after_first.device_ops
+        );
+        // Resetting discards the state; the next snapshot is pristine.
+        let last = s.reset_device();
+        assert_eq!(last, snap_after_second);
+        assert_eq!(s.device_snapshot(), conduit_sim::DeviceSnapshot::default());
+    }
+
+    #[test]
+    fn fresh_runs_are_unaffected_by_warm_history() {
+        let mut s = session();
+        let id = s.register(program("iso")).unwrap();
+        let fresh = RunRequest::new(id, Policy::Conduit);
+        let before = s.submit(&fresh).unwrap();
+        for _ in 0..3 {
+            s.submit(&fresh.clone().warm()).unwrap();
+        }
+        let after = s.submit(&fresh).unwrap();
+        assert_eq!(before, after, "fresh runs must not see warm-device state");
+        // Fresh runs also report their own device footprint.
+        assert!(before.summary.device_delta.device_ops > 0);
+    }
+
+    #[test]
+    fn session_default_device_mode_applies_and_requests_override() {
+        let mut s = Session::builder(SsdConfig::small_for_tests())
+            .warm()
+            .build();
+        let id = s.register(program("default-warm")).unwrap();
+        assert!(s.submit(&RunRequest::new(id, Policy::Conduit)).is_ok());
+        assert!(s.device_snapshot().device_ops > 0, "default mode is warm");
+        let cumulative = s.device_snapshot().device_ops;
+        // An explicit Fresh override leaves the warm device untouched.
+        s.submit(&RunRequest::new(id, Policy::Conduit).device_mode(DeviceMode::Fresh))
+            .unwrap();
+        assert_eq!(s.device_snapshot().device_ops, cumulative);
     }
 
     #[test]

@@ -108,6 +108,17 @@ impl Ftl {
         &mut self.coherence
     }
 
+    /// The garbage-collection policy (read-only: invocation counters and
+    /// thresholds).
+    pub fn gc(&self) -> &GarbageCollector {
+        &self.gc
+    }
+
+    /// The wear-leveling policy (read-only: scheduled-swap counters).
+    pub fn wear(&self) -> &WearLeveler {
+        &self.wear
+    }
+
     /// Cumulative activity counters.
     pub fn stats(&self) -> FtlStats {
         let mut s = self.stats;

@@ -20,9 +20,7 @@
 //! a [`CostBreakdown`] of where the service time went, and the energy it
 //! consumed; energy is also accumulated in the device's [`EnergyMeter`].
 
-use std::collections::{HashSet, VecDeque};
-
-use conduit_ctrl::{CoreAllocation, CoreRole, IspModel};
+use conduit_ctrl::{CoreAllocation, IspModel};
 use conduit_dram::{DramTiming, PudModel};
 use conduit_flash::{FlashTiming, IfpModel, IfpPlacement};
 use conduit_ftl::{Ftl, SyncAction};
@@ -33,7 +31,7 @@ use conduit_types::{
 
 use crate::energy::EnergyMeter;
 use crate::estimates::EstimateTable;
-use crate::resources::{ResourcePool, SharedResource};
+use crate::state::{DeviceSnapshot, DeviceState, HOST_CACHE_PAGES};
 use crate::stats::CostBreakdown;
 
 /// The outcome of one scheduled device operation.
@@ -70,13 +68,23 @@ impl OpCompletion {
     }
 }
 
-/// The simulated SSD: substrate models plus contention timelines.
+/// The simulated SSD: immutable substrate models wrapped around the
+/// persistent, mutable [`DeviceState`] (FTL, contention timelines,
+/// residency, energy).
+///
+/// The models (timings, energy rates, the [`EstimateTable`]) are pure
+/// functions of the [`SsdConfig`], so a device is exactly *models +
+/// state*: [`SsdDevice::new`] pairs fresh models with a pristine state,
+/// [`SsdDevice::with_state`] pairs them with a state carried over from
+/// earlier runs (a **warm** device), and [`SsdDevice::into_state`] hands the
+/// state back for the next run. Simulation results depend only on the
+/// configuration and the state, never on which `SsdDevice` wrapper executed
+/// them.
 ///
 /// See the crate-level documentation for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct SsdDevice {
     cfg: SsdConfig,
-    ftl: Ftl,
     flash_timing: FlashTiming,
     ifp: IfpModel,
     pud: PudModel,
@@ -87,50 +95,31 @@ pub struct SsdDevice {
     estimates: EstimateTable,
     #[allow(dead_code)]
     cores: CoreAllocation,
-    // Contention timelines.
-    channels: Vec<SharedResource>,
-    dies: ResourcePool,
-    dram_banks: ResourcePool,
-    dram_bus: SharedResource,
-    compute_cores: ResourcePool,
-    offloader_core: SharedResource,
-    pcie: SharedResource,
-    // Residency of clean cached copies.
-    dram_resident: HashSet<LogicalPageId>,
-    dram_order: VecDeque<LogicalPageId>,
-    dram_capacity_pages: usize,
-    ctrl_resident: HashSet<LogicalPageId>,
-    ctrl_order: VecDeque<LogicalPageId>,
-    ctrl_capacity_pages: usize,
-    /// Pages whose current flash contents have already been shipped to host
-    /// memory (OSP baselines). The paper sizes every workload so that its
-    /// footprint far exceeds what the host can cache ("the memory footprint
-    /// of each workload exceeds the SSD capacity by 2×"), so only a small
-    /// window of recently transferred pages stays host-resident; everything
-    /// else must be re-streamed over the host link.
-    host_resident: HashSet<LogicalPageId>,
-    host_order: VecDeque<LogicalPageId>,
-    energy: EnergyMeter,
+    /// Everything that mutates as instructions execute.
+    state: DeviceState,
 }
 
-/// Number of pages the host keeps resident before it must re-stream data
-/// from the SSD (see the field documentation on [`SsdDevice`]).
-const HOST_CACHE_PAGES: usize = 8;
-
 impl SsdDevice {
-    /// Builds a device from its configuration.
+    /// Builds a pristine device from its configuration.
     ///
     /// # Errors
     ///
     /// Returns configuration errors from the FTL or core allocation.
     pub fn new(cfg: &SsdConfig) -> Result<Self> {
-        let ftl = Ftl::new(cfg)?;
+        let state = DeviceState::new(cfg)?;
+        Self::with_state(cfg, state)
+    }
+
+    /// Builds a device around an existing (possibly warm) [`DeviceState`].
+    /// The models are rebuilt from `cfg`; because they are pure functions of
+    /// the configuration, wrapping a state in a new device never changes
+    /// simulation results.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from the core allocation.
+    pub fn with_state(cfg: &SsdConfig, state: DeviceState) -> Result<Self> {
         let cores = CoreAllocation::standard(&cfg.ctrl)?;
-        let total_dies = (cfg.flash.channels * cfg.flash.dies_per_channel) as usize;
-        let compute_core_count = cores.count(CoreRole::Compute).max(1);
-        let dram_capacity_pages =
-            (cfg.dram.capacity_bytes / 2 / cfg.flash.page_bytes).max(16) as usize;
-        let ctrl_capacity_pages = (cfg.ctrl.sram_bytes / cfg.flash.page_bytes).max(4) as usize;
         let flash_timing = FlashTiming::new(&cfg.flash);
         let ifp = IfpModel::new(&cfg.flash);
         let pud = PudModel::new(&cfg.dram);
@@ -138,7 +127,6 @@ impl SsdDevice {
         let isp = IspModel::new(&cfg.ctrl);
         let estimates = EstimateTable::new(cfg, &ifp, &pud, &isp, &flash_timing, &dram_timing);
         Ok(SsdDevice {
-            ftl,
             flash_timing,
             ifp,
             pud,
@@ -146,24 +134,7 @@ impl SsdDevice {
             isp,
             estimates,
             cores,
-            channels: (0..cfg.flash.channels)
-                .map(|i| SharedResource::new(format!("flash-channel-{i}")))
-                .collect(),
-            dies: ResourcePool::new("die", total_dies),
-            dram_banks: ResourcePool::new("dram-subarray", cfg.dram.compute_units() as usize),
-            dram_bus: SharedResource::new("dram-bus"),
-            compute_cores: ResourcePool::new("isp-core", compute_core_count),
-            offloader_core: SharedResource::new("offloader-core"),
-            pcie: SharedResource::new("pcie"),
-            dram_resident: HashSet::new(),
-            dram_order: VecDeque::new(),
-            dram_capacity_pages,
-            ctrl_resident: HashSet::new(),
-            ctrl_order: VecDeque::new(),
-            ctrl_capacity_pages,
-            host_resident: HashSet::new(),
-            host_order: VecDeque::new(),
-            energy: EnergyMeter::new(),
+            state,
             cfg: cfg.clone(),
         })
     }
@@ -173,14 +144,31 @@ impl SsdDevice {
         &self.cfg
     }
 
+    /// The persistent device state (read-only).
+    pub fn state(&self) -> &DeviceState {
+        &self.state
+    }
+
+    /// Consumes the device, returning its persistent state so a later run
+    /// can continue on a warm device ([`SsdDevice::with_state`]).
+    pub fn into_state(self) -> DeviceState {
+        self.state
+    }
+
+    /// Cumulative counters of everything that has happened on this device
+    /// (see [`DeviceSnapshot`]).
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        self.state.snapshot()
+    }
+
     /// The flash translation layer (read-only).
     pub fn ftl(&self) -> &Ftl {
-        &self.ftl
+        &self.state.ftl
     }
 
     /// The accumulated energy meter.
     pub fn energy_meter(&self) -> &EnergyMeter {
-        &self.energy
+        &self.state.energy
     }
 
     /// Maps (initially places) logical pages with plane striping.
@@ -189,7 +177,7 @@ impl SsdDevice {
     ///
     /// Propagates FTL mapping errors.
     pub fn map_pages(&mut self, pages: &[LogicalPageId], plane_hint: Option<u64>) -> Result<()> {
-        self.ftl.map_pages(pages, plane_hint)
+        self.state.ftl.map_pages(pages, plane_hint)
     }
 
     /// Maps a group of logical pages co-located in one flash block (the
@@ -199,18 +187,18 @@ impl SsdDevice {
     ///
     /// Propagates FTL mapping errors.
     pub fn map_group(&mut self, pages: &[LogicalPageId], plane: Option<u64>) -> Result<()> {
-        self.ftl.map_group(pages, plane)
+        self.state.ftl.map_group(pages, plane)
     }
 
     /// Where the latest copy of `page` currently lives.
     pub fn locate(&self, page: LogicalPageId) -> DataLocation {
-        let owner = self.ftl.coherence().owner(page);
+        let owner = self.state.ftl.coherence().owner(page);
         if owner != DataLocation::Flash {
             return owner;
         }
-        if self.dram_resident.contains(&page) {
+        if self.state.dram_resident.contains(&page) {
             DataLocation::Dram
-        } else if self.ctrl_resident.contains(&page) {
+        } else if self.state.ctrl_resident.contains(&page) {
             DataLocation::CtrlSram
         } else {
             DataLocation::Flash
@@ -241,19 +229,19 @@ impl SsdDevice {
         // Host memory keeps its own copy of previously-fetched pages; as long
         // as no SSD resource has produced a newer version, re-reads are free.
         if dest == DataLocation::Host
-            && self.host_resident.contains(&page)
-            && self.ftl.coherence().owner(page) == DataLocation::Flash
+            && self.state.host_resident.contains(&page)
+            && self.state.ftl.coherence().owner(page) == DataLocation::Flash
         {
             return Ok(OpCompletion::immediate(earliest));
         }
         // If another location holds a dirty copy and we need it elsewhere,
         // the lazy-coherence protocol commits it to flash first.
         let mut completion = OpCompletion::immediate(earliest);
-        let owner = self.ftl.coherence().owner(page);
+        let owner = self.state.ftl.coherence().owner(page);
         let dirty_elsewhere =
             owner != DataLocation::Flash && owner != dest && dest != DataLocation::Flash;
         if dirty_elsewhere || (dest == DataLocation::Flash && owner != DataLocation::Flash) {
-            let sync = self.ftl.coherence_mut().acquire(page, dest);
+            let sync = self.state.ftl.coherence_mut().acquire(page, dest);
             if let SyncAction::FlushToFlash { from } = sync {
                 let flush = self.commit_page(page, from, completion.ready)?;
                 completion = completion.join(flush);
@@ -306,14 +294,14 @@ impl SsdDevice {
         writer: DataLocation,
         earliest: SimTime,
     ) -> Result<OpCompletion> {
-        let action = self.ftl.coherence_mut().record_write(page, writer);
+        let action = self.state.ftl.coherence_mut().record_write(page, writer);
         let completion = match action {
             SyncAction::None => OpCompletion::immediate(earliest),
             SyncAction::FlushToFlash { from } => self.commit_page(page, from, earliest)?,
         };
         // Any SSD-side write supersedes a copy the host may hold.
         if writer != DataLocation::Host {
-            self.host_resident.remove(&page);
+            self.state.host_resident.remove(&page);
         }
         self.note_residency(page, writer);
         Ok(completion)
@@ -352,9 +340,9 @@ impl SsdDevice {
     pub fn host_transfer(&mut self, bytes: u64, to_host: bool, earliest: SimTime) -> OpCompletion {
         let _ = to_host;
         let service = self.cfg.link.nvme_cmd_latency + self.cfg.link.transfer_time(bytes);
-        let (_, end) = self.pcie.reserve(earliest, service);
+        let (_, end) = self.state.pcie.reserve(earliest, service);
         let energy = self.cfg.link.e_per_byte * (bytes as f64);
-        self.energy.charge(EnergySource::HostLink, energy);
+        self.state.energy.charge(EnergySource::HostLink, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -368,9 +356,9 @@ impl SsdDevice {
     /// Occupies the offloader core for `dur` (feature collection and
     /// instruction transformation overheads, §4.5).
     pub fn offloader_busy(&mut self, dur: Duration, earliest: SimTime) -> OpCompletion {
-        let (_, end) = self.offloader_core.reserve(earliest, dur);
+        let (_, end) = self.state.offloader_core.reserve(earliest, dur);
         let energy = Energy::from_power(self.cfg.ctrl.core_power_w, dur);
-        self.energy.charge(EnergySource::Offloader, energy);
+        self.state.energy.charge(EnergySource::Offloader, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -428,18 +416,18 @@ impl SsdDevice {
         let cost = self.ifp.op_cost(op, elem_bits, lanes, placement)?;
         // The operation occupies the die holding the first operand (or the
         // least-busy die when operands are intermediate values).
-        let end = match operand_pages.first().and_then(|p| self.ftl.peek(*p)) {
+        let end = match operand_pages.first().and_then(|p| self.state.ftl.peek(*p)) {
             Some(addr) => {
-                let die = self.ftl.flash_state().geometry().die_index_of(addr) as usize;
-                let (_, end) = self.dies.reserve_unit(die, earliest, cost.latency);
+                let die = self.state.ftl.flash_state().geometry().die_index_of(addr) as usize;
+                let (_, end) = self.state.dies.reserve_unit(die, earliest, cost.latency);
                 end
             }
             None => {
-                let (_, end, _) = self.dies.reserve(earliest, cost.latency);
+                let (_, end, _) = self.state.dies.reserve(earliest, cost.latency);
                 end
             }
         };
-        self.energy.charge(EnergySource::Ifp, cost.energy);
+        self.state.energy.charge(EnergySource::Ifp, cost.energy);
         Ok(OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -463,14 +451,14 @@ impl SsdDevice {
         lanes: u32,
         earliest: SimTime,
     ) -> Result<OpCompletion> {
-        let banks_free = self.dram_banks.free_units(earliest).max(1) as u32;
+        let banks_free = self.state.dram_banks.free_units(earliest).max(1) as u32;
         let cost = self.pud.op_cost(op, elem_bits, lanes, banks_free)?;
         let mut ready = earliest;
         for _ in 0..cost.sub_ops {
-            let (_, end, _) = self.dram_banks.reserve(earliest, cost.latency);
+            let (_, end, _) = self.state.dram_banks.reserve(earliest, cost.latency);
             ready = ready.max(end);
         }
-        self.energy.charge(EnergySource::Pud, cost.energy);
+        self.state.energy.charge(EnergySource::Pud, cost.energy);
         Ok(OpCompletion {
             ready,
             breakdown: CostBreakdown {
@@ -490,8 +478,8 @@ impl SsdDevice {
         earliest: SimTime,
     ) -> OpCompletion {
         let cost = self.isp.op_cost(op, elem_bits, lanes);
-        let (_, end, _) = self.compute_cores.reserve(earliest, cost.latency);
-        self.energy.charge(EnergySource::Isp, cost.energy);
+        let (_, end, _) = self.state.compute_cores.reserve(earliest, cost.latency);
+        self.state.energy.charge(EnergySource::Isp, cost.energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -571,9 +559,9 @@ impl SsdDevice {
     /// (the `delay_queue` feature).
     pub fn queue_delay(&self, resource: Resource, at: SimTime) -> Duration {
         match resource {
-            Resource::Isp => self.compute_cores.queue_delay(at),
-            Resource::PudSsd => self.dram_banks.queue_delay(at),
-            Resource::Ifp => self.dies.queue_delay(at),
+            Resource::Isp => self.state.compute_cores.queue_delay(at),
+            Resource::PudSsd => self.state.dram_banks.queue_delay(at),
+            Resource::Ifp => self.state.dies.queue_delay(at),
         }
     }
 
@@ -581,32 +569,34 @@ impl SsdDevice {
     /// style policies use).
     pub fn utilization(&self, resource: Resource, now: SimTime) -> f64 {
         match resource {
-            Resource::Isp => self.compute_cores.utilization(now),
+            Resource::Isp => self.state.compute_cores.utilization(now),
             Resource::PudSsd => {
-                0.5 * (self.dram_banks.utilization(now) + self.dram_bus.utilization(now))
+                0.5 * (self.state.dram_banks.utilization(now)
+                    + self.state.dram_bus.utilization(now))
             }
-            Resource::Ifp => self.dies.utilization(now),
+            Resource::Ifp => self.state.dies.utilization(now),
         }
     }
 
     /// Mean flash-channel utilization over `[0, now]`.
     pub fn channel_utilization(&self, now: SimTime) -> f64 {
-        if self.channels.is_empty() {
+        if self.state.channels.is_empty() {
             return 0.0;
         }
-        self.channels
+        self.state
+            .channels
             .iter()
             .map(|c| c.utilization(now))
             .sum::<f64>()
-            / self.channels.len() as f64
+            / self.state.channels.len() as f64
     }
 
     /// Per-resource completed-operation counts `(isp, pud, ifp)`.
     pub fn completed_ops(&self) -> (u64, u64, u64) {
         (
-            self.compute_cores.completed(),
-            self.dram_banks.completed(),
-            self.dies.completed(),
+            self.state.compute_cores.completed(),
+            self.state.dram_banks.completed(),
+            self.state.dies.completed(),
         )
     }
 
@@ -622,7 +612,7 @@ impl SsdDevice {
         let mut same_block = true;
         let mut same_plane = true;
         for p in operand_pages {
-            let Some(addr) = self.ftl.peek(*p) else {
+            let Some(addr) = self.state.ftl.peek(*p) else {
                 continue;
             };
             match first {
@@ -649,10 +639,10 @@ impl SsdDevice {
     /// Reads one mapped page from flash into the SSD-internal buffers
     /// (die sensing + channel DMA + DRAM bus write).
     fn flash_read_page(&mut self, page: LogicalPageId, earliest: SimTime) -> Result<OpCompletion> {
-        let (addr, l2p_hit) = self.ftl.translate(page)?;
-        let geo = self.ftl.flash_state().geometry();
+        let (addr, l2p_hit) = self.state.ftl.translate(page)?;
+        let geo = self.state.ftl.flash_state().geometry();
         let die = geo.die_index_of(addr) as usize;
-        let channel = addr.channel as usize % self.channels.len();
+        let channel = addr.channel as usize % self.state.channels.len();
 
         let l2p_penalty = if l2p_hit {
             Duration::ZERO
@@ -661,10 +651,12 @@ impl SsdDevice {
         };
         let sense_start = earliest + l2p_penalty;
         let (_, sense_end) =
-            self.dies
+            self.state
+                .dies
                 .reserve_unit(die, sense_start, self.flash_timing.read_page());
-        let (_, dma_end) = self.channels[channel].reserve(sense_end, self.flash_timing.page_dma());
-        let bus = self.dram_bus.reserve(
+        let (_, dma_end) =
+            self.state.channels[channel].reserve(sense_end, self.flash_timing.page_dma());
+        let bus = self.state.dram_bus.reserve(
             dma_end,
             self.dram_timing.bus_transfer(self.cfg.flash.page_bytes),
         );
@@ -672,7 +664,7 @@ impl SsdDevice {
         let energy = self.flash_timing.read_energy()
             + self.flash_timing.dma_energy()
             + self.dram_timing.transfer_energy(self.cfg.flash.page_bytes);
-        self.energy.charge(EnergySource::FlashRead, energy);
+        self.state.energy.charge(EnergySource::FlashRead, energy);
         Ok(OpCompletion {
             ready: bus.1,
             breakdown: CostBreakdown {
@@ -695,14 +687,16 @@ impl SsdDevice {
     ) -> Result<OpCompletion> {
         // Stage the data to the channel: DRAM/SRAM read over the internal bus.
         let bus = self.bus_move(self.cfg.flash.page_bytes, earliest);
-        let (new_addr, gc) = self.ftl.rewrite(page)?;
-        let geo = self.ftl.flash_state().geometry();
+        let (new_addr, gc) = self.state.ftl.rewrite(page)?;
+        let geo = self.state.ftl.flash_state().geometry();
         let die = geo.die_index_of(new_addr) as usize;
-        let channel = new_addr.channel as usize % self.channels.len();
-        let (_, dma_end) = self.channels[channel].reserve(bus.ready, self.flash_timing.page_dma());
-        let (_, prog_end) = self
-            .dies
-            .reserve_unit(die, dma_end, self.flash_timing.program_page());
+        let channel = new_addr.channel as usize % self.state.channels.len();
+        let (_, dma_end) =
+            self.state.channels[channel].reserve(bus.ready, self.flash_timing.page_dma());
+        let (_, prog_end) =
+            self.state
+                .dies
+                .reserve_unit(die, dma_end, self.flash_timing.program_page());
 
         let mut energy = self.flash_timing.dma_energy() + self.flash_timing.program_energy();
         let mut flash_time = self.flash_timing.program_page();
@@ -713,13 +707,13 @@ impl SsdDevice {
             let gc_latency = (self.flash_timing.read_page() + self.flash_timing.program_page())
                 * reloc
                 + self.flash_timing.erase_block() * gc.erased_blocks;
-            let (_, gc_end) = self.dies.reserve_unit(die, prog_end, gc_latency);
+            let (_, gc_end) = self.state.dies.reserve_unit(die, prog_end, gc_latency);
             flash_time += gc_latency;
             energy +=
                 (self.flash_timing.read_energy() + self.flash_timing.program_energy()) * reloc;
             let _ = gc_end;
         }
-        self.energy.charge(EnergySource::FlashCommit, energy);
+        self.state.energy.charge(EnergySource::FlashCommit, energy);
         self.evict_residency(page, from);
         Ok(OpCompletion {
             ready: prog_end,
@@ -737,9 +731,9 @@ impl SsdDevice {
     fn flash_read_bytes(&mut self, bytes: u64, earliest: SimTime) -> OpCompletion {
         let pages = bytes.div_ceil(self.cfg.flash.page_bytes).max(1);
         let service = (self.flash_timing.read_page() + self.flash_timing.page_dma()) * pages;
-        let (_, end, _) = self.dies.reserve(earliest, service);
+        let (_, end, _) = self.state.dies.reserve(earliest, service);
         let energy = (self.flash_timing.read_energy() + self.flash_timing.dma_energy()) * pages;
-        self.energy.charge(EnergySource::FlashRead, energy);
+        self.state.energy.charge(EnergySource::FlashRead, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -755,9 +749,9 @@ impl SsdDevice {
     fn flash_program_bytes(&mut self, bytes: u64, earliest: SimTime) -> OpCompletion {
         let pages = bytes.div_ceil(self.cfg.flash.page_bytes).max(1);
         let service = (self.flash_timing.page_dma() + self.flash_timing.program_page()) * pages;
-        let (_, end, _) = self.dies.reserve(earliest, service);
+        let (_, end, _) = self.state.dies.reserve(earliest, service);
         let energy = (self.flash_timing.dma_energy() + self.flash_timing.program_energy()) * pages;
-        self.energy.charge(EnergySource::FlashProgram, energy);
+        self.state.energy.charge(EnergySource::FlashProgram, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -775,9 +769,9 @@ impl SsdDevice {
 
     fn bus_move(&mut self, bytes: u64, earliest: SimTime) -> OpCompletion {
         let service = self.dram_timing.bus_transfer(bytes);
-        let (_, end) = self.dram_bus.reserve(earliest, service);
+        let (_, end) = self.state.dram_bus.reserve(earliest, service);
         let energy = self.dram_timing.transfer_energy(bytes);
-        self.energy.charge(EnergySource::DramBus, energy);
+        self.state.energy.charge(EnergySource::DramBus, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
@@ -791,15 +785,15 @@ impl SsdDevice {
     fn note_residency(&mut self, page: LogicalPageId, loc: DataLocation) {
         match loc {
             DataLocation::Dram => {
-                if self.dram_resident.insert(page) {
-                    self.dram_order.push_back(page);
-                    while self.dram_resident.len() > self.dram_capacity_pages {
-                        if let Some(victim) = self.dram_order.pop_front() {
+                if self.state.dram_resident.insert(page) {
+                    self.state.dram_order.push_back(page);
+                    while self.state.dram_resident.len() > self.state.dram_capacity_pages {
+                        if let Some(victim) = self.state.dram_order.pop_front() {
                             // Never silently drop a dirty DRAM-owned page.
-                            if self.ftl.coherence().owner(victim) != DataLocation::Dram {
-                                self.dram_resident.remove(&victim);
+                            if self.state.ftl.coherence().owner(victim) != DataLocation::Dram {
+                                self.state.dram_resident.remove(&victim);
                             } else {
-                                self.dram_order.push_back(victim);
+                                self.state.dram_order.push_back(victim);
                                 break;
                             }
                         }
@@ -807,14 +801,14 @@ impl SsdDevice {
                 }
             }
             DataLocation::CtrlSram => {
-                if self.ctrl_resident.insert(page) {
-                    self.ctrl_order.push_back(page);
-                    while self.ctrl_resident.len() > self.ctrl_capacity_pages {
-                        if let Some(victim) = self.ctrl_order.pop_front() {
-                            if self.ftl.coherence().owner(victim) != DataLocation::CtrlSram {
-                                self.ctrl_resident.remove(&victim);
+                if self.state.ctrl_resident.insert(page) {
+                    self.state.ctrl_order.push_back(page);
+                    while self.state.ctrl_resident.len() > self.state.ctrl_capacity_pages {
+                        if let Some(victim) = self.state.ctrl_order.pop_front() {
+                            if self.state.ftl.coherence().owner(victim) != DataLocation::CtrlSram {
+                                self.state.ctrl_resident.remove(&victim);
                             } else {
-                                self.ctrl_order.push_back(victim);
+                                self.state.ctrl_order.push_back(victim);
                                 break;
                             }
                         }
@@ -822,16 +816,16 @@ impl SsdDevice {
                 }
             }
             DataLocation::Host => {
-                if self.host_resident.insert(page) {
-                    self.host_order.push_back(page);
-                    while self.host_resident.len() > HOST_CACHE_PAGES {
-                        if let Some(victim) = self.host_order.pop_front() {
+                if self.state.host_resident.insert(page) {
+                    self.state.host_order.push_back(page);
+                    while self.state.host_resident.len() > HOST_CACHE_PAGES {
+                        if let Some(victim) = self.state.host_order.pop_front() {
                             // Dirty host-owned results stay pinned until they
                             // are written back.
-                            if self.ftl.coherence().owner(victim) != DataLocation::Host {
-                                self.host_resident.remove(&victim);
+                            if self.state.ftl.coherence().owner(victim) != DataLocation::Host {
+                                self.state.host_resident.remove(&victim);
                             } else {
-                                self.host_order.push_back(victim);
+                                self.state.host_order.push_back(victim);
                                 break;
                             }
                         }
@@ -845,10 +839,10 @@ impl SsdDevice {
     fn evict_residency(&mut self, page: LogicalPageId, from: DataLocation) {
         match from {
             DataLocation::Dram => {
-                self.dram_resident.remove(&page);
+                self.state.dram_resident.remove(&page);
             }
             DataLocation::CtrlSram => {
-                self.ctrl_resident.remove(&page);
+                self.state.ctrl_resident.remove(&page);
             }
             _ => {}
         }

@@ -41,6 +41,7 @@ mod engine;
 mod estimates;
 mod host;
 mod resources;
+mod state;
 mod stats;
 
 pub use device::{OpCompletion, SsdDevice};
@@ -49,4 +50,5 @@ pub use engine::EventQueue;
 pub use estimates::{CostEstimate, EstimateTable};
 pub use host::{HostCpuModel, HostGpuModel};
 pub use resources::{ResourcePool, SharedResource};
+pub use state::{DeviceDelta, DeviceSnapshot, DeviceState};
 pub use stats::{CostBreakdown, LatencyStats};

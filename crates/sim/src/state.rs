@@ -1,0 +1,341 @@
+//! Persistent device state, split out of [`crate::SsdDevice`].
+//!
+//! The paper's device is a long-lived SSD: FTL mappings, the coherence
+//! directory, garbage-collection debt and wear accumulate across the whole
+//! request stream, not per run. [`DeviceState`] is that persistent half of
+//! the device — everything that *mutates* as instructions execute — while
+//! [`crate::SsdDevice`] adds the immutable models (timing, energy and
+//! estimate tables derived purely from the [`SsdConfig`]).
+//!
+//! Because the models are pure functions of the configuration, a
+//! `DeviceState` can be moved between [`crate::SsdDevice`] instances
+//! ([`crate::SsdDevice::with_state`] / [`crate::SsdDevice::into_state`])
+//! without changing simulation results: a *warm* device is just a fresh set
+//! of models wrapped around an old state. [`DeviceState::snapshot`] exposes
+//! the cumulative counters (GC, coherence traffic, wear, energy) and
+//! [`DeviceSnapshot::delta_since`] turns two snapshots into the per-run
+//! [`DeviceDelta`] that run summaries carry.
+
+use std::collections::{HashSet, VecDeque};
+
+use conduit_ftl::Ftl;
+use conduit_types::{Energy, LogicalPageId, Result, SsdConfig};
+
+use crate::energy::EnergyMeter;
+use crate::resources::{ResourcePool, SharedResource};
+
+/// Number of pages the host keeps resident before it must re-stream data
+/// from the SSD (see the field documentation on [`DeviceState`]).
+pub(crate) const HOST_CACHE_PAGES: usize = 8;
+
+/// The mutable, persistent half of the simulated SSD: FTL (L2P map,
+/// coherence directory, garbage collector, wear counters), flash/DRAM
+/// residency, the contended-resource timelines and the energy meter.
+///
+/// A fresh state models a pristine device; threading one state through a
+/// stream of runs models a warm, aging device.
+#[derive(Debug, Clone)]
+pub struct DeviceState {
+    pub(crate) ftl: Ftl,
+    // Contention timelines.
+    pub(crate) channels: Vec<SharedResource>,
+    pub(crate) dies: ResourcePool,
+    pub(crate) dram_banks: ResourcePool,
+    pub(crate) dram_bus: SharedResource,
+    pub(crate) compute_cores: ResourcePool,
+    pub(crate) offloader_core: SharedResource,
+    pub(crate) pcie: SharedResource,
+    // Residency of clean cached copies.
+    pub(crate) dram_resident: HashSet<LogicalPageId>,
+    pub(crate) dram_order: VecDeque<LogicalPageId>,
+    pub(crate) dram_capacity_pages: usize,
+    pub(crate) ctrl_resident: HashSet<LogicalPageId>,
+    pub(crate) ctrl_order: VecDeque<LogicalPageId>,
+    pub(crate) ctrl_capacity_pages: usize,
+    /// Pages whose current flash contents have already been shipped to host
+    /// memory (OSP baselines). The paper sizes every workload so that its
+    /// footprint far exceeds what the host can cache ("the memory footprint
+    /// of each workload exceeds the SSD capacity by 2×"), so only a small
+    /// window of recently transferred pages stays host-resident; everything
+    /// else must be re-streamed over the host link.
+    pub(crate) host_resident: HashSet<LogicalPageId>,
+    pub(crate) host_order: VecDeque<LogicalPageId>,
+    pub(crate) energy: EnergyMeter,
+}
+
+impl DeviceState {
+    /// A pristine device state for the given configuration: empty FTL, idle
+    /// timelines, nothing resident, no energy charged.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from the FTL (degenerate geometry) or
+    /// core allocation.
+    pub fn new(cfg: &SsdConfig) -> Result<Self> {
+        let ftl = Ftl::new(cfg)?;
+        let total_dies = (cfg.flash.channels * cfg.flash.dies_per_channel) as usize;
+        let compute_core_count = conduit_ctrl::CoreAllocation::standard(&cfg.ctrl)?
+            .count(conduit_ctrl::CoreRole::Compute)
+            .max(1);
+        let dram_capacity_pages =
+            (cfg.dram.capacity_bytes / 2 / cfg.flash.page_bytes).max(16) as usize;
+        let ctrl_capacity_pages = (cfg.ctrl.sram_bytes / cfg.flash.page_bytes).max(4) as usize;
+        Ok(DeviceState {
+            ftl,
+            channels: (0..cfg.flash.channels)
+                .map(|i| SharedResource::new(format!("flash-channel-{i}")))
+                .collect(),
+            dies: ResourcePool::new("die", total_dies),
+            dram_banks: ResourcePool::new("dram-subarray", cfg.dram.compute_units() as usize),
+            dram_bus: SharedResource::new("dram-bus"),
+            compute_cores: ResourcePool::new("isp-core", compute_core_count),
+            offloader_core: SharedResource::new("offloader-core"),
+            pcie: SharedResource::new("pcie"),
+            dram_resident: HashSet::new(),
+            dram_order: VecDeque::new(),
+            dram_capacity_pages,
+            ctrl_resident: HashSet::new(),
+            ctrl_order: VecDeque::new(),
+            ctrl_capacity_pages,
+            host_resident: HashSet::new(),
+            host_order: VecDeque::new(),
+            energy: EnergyMeter::new(),
+        })
+    }
+
+    /// The flash translation layer (read-only).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// The accumulated energy meter.
+    pub fn energy_meter(&self) -> &EnergyMeter {
+        &self.energy
+    }
+
+    /// Total reservations served across every contended timeline (channels,
+    /// dies, DRAM banks and bus, compute cores, the offloader core, PCIe).
+    /// This counts *simulated device operations* and is fully deterministic —
+    /// the same program stream always performs the same number — which makes
+    /// it the machine-independent work metric the perf gate tracks.
+    pub fn device_ops(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(SharedResource::completed)
+            .sum::<u64>()
+            + self.dies.completed()
+            + self.dram_banks.completed()
+            + self.dram_bus.completed()
+            + self.compute_cores.completed()
+            + self.offloader_core.completed()
+            + self.pcie.completed()
+    }
+
+    /// Cumulative counters of everything that has happened to this device
+    /// since it was pristine.
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        let stats = self.ftl.stats();
+        let (writes, flushes) = self.ftl.coherence().traffic();
+        let wear = self.ftl.wear_report();
+        DeviceSnapshot {
+            pages_mapped: stats.pages_mapped,
+            rewrites: stats.rewrites,
+            gc_invocations: self.ftl.gc().invocations(),
+            gc_pages_migrated: stats.gc_relocations,
+            gc_blocks_erased: stats.gc_erases,
+            l2p_hits: stats.l2p_hits,
+            l2p_misses: stats.l2p_misses,
+            coherence_writes: writes,
+            coherence_syncs: flushes,
+            dirty_pages: self.ftl.coherence().dirty_pages() as u64,
+            wear_leveling_swaps: self.ftl.wear().swaps_scheduled(),
+            wear_min_erases: wear.min_erases,
+            wear_max_erases: wear.max_erases,
+            wear_mean_erases: wear.mean_erases,
+            wear_spread: wear.spread,
+            device_ops: self.device_ops(),
+            total_energy: self.energy.total(),
+        }
+    }
+}
+
+/// Cumulative device counters at one point in a device's life.
+///
+/// Obtained via [`DeviceState::snapshot`] (or
+/// [`crate::SsdDevice::snapshot`]); two snapshots bracketing a run yield the
+/// run's [`DeviceDelta`] via [`DeviceSnapshot::delta_since`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DeviceSnapshot {
+    /// Logical pages mapped for the first time.
+    pub pages_mapped: u64,
+    /// Out-of-place logical page rewrites (flash commits of dirty results).
+    pub rewrites: u64,
+    /// Garbage-collection victim selections.
+    pub gc_invocations: u64,
+    /// Valid pages relocated by garbage collection.
+    pub gc_pages_migrated: u64,
+    /// Blocks erased by garbage collection.
+    pub gc_blocks_erased: u64,
+    /// L2P mapping-cache hits.
+    pub l2p_hits: u64,
+    /// L2P mapping-cache misses.
+    pub l2p_misses: u64,
+    /// Writes recorded in the coherence directory.
+    pub coherence_writes: u64,
+    /// Dirty copies synchronized (flushed) to flash by the coherence
+    /// protocol.
+    pub coherence_syncs: u64,
+    /// Pages currently dirty (a point-in-time gauge, not a counter).
+    pub dirty_pages: u64,
+    /// Cold/hot block swaps the wear leveler has scheduled.
+    pub wear_leveling_swaps: u64,
+    /// Lowest per-block erase count.
+    pub wear_min_erases: u64,
+    /// Highest per-block erase count.
+    pub wear_max_erases: u64,
+    /// Mean per-block erase count.
+    pub wear_mean_erases: f64,
+    /// `max - min` erase count across blocks (the imbalance the wear leveler
+    /// bounds).
+    pub wear_spread: u64,
+    /// Total reservations served across every contended timeline (see
+    /// [`DeviceState::device_ops`]).
+    pub device_ops: u64,
+    /// Total energy charged to the device so far.
+    pub total_energy: Energy,
+}
+
+impl DeviceSnapshot {
+    /// The work performed between `before` and this snapshot (counters are
+    /// monotonic, so plain differences; the point-in-time gauges
+    /// `dirty_pages` and `wear_spread` carry this snapshot's value).
+    pub fn delta_since(&self, before: &DeviceSnapshot) -> DeviceDelta {
+        DeviceDelta {
+            pages_mapped: self.pages_mapped.saturating_sub(before.pages_mapped),
+            rewrites: self.rewrites.saturating_sub(before.rewrites),
+            gc_invocations: self.gc_invocations.saturating_sub(before.gc_invocations),
+            pages_migrated: self
+                .gc_pages_migrated
+                .saturating_sub(before.gc_pages_migrated),
+            blocks_erased: self
+                .gc_blocks_erased
+                .saturating_sub(before.gc_blocks_erased),
+            coherence_writes: self
+                .coherence_writes
+                .saturating_sub(before.coherence_writes),
+            coherence_syncs: self.coherence_syncs.saturating_sub(before.coherence_syncs),
+            dirty_pages: self.dirty_pages,
+            wear_spread: self.wear_spread,
+            device_ops: self.device_ops.saturating_sub(before.device_ops),
+        }
+    }
+}
+
+/// The device-side work one run performed: the difference between the
+/// device snapshots taken before and after the run.
+///
+/// On a fresh device this is the run's absolute footprint; on a warm device
+/// it shows how much *additional* aging (GC, migration, coherence syncs,
+/// wear) this run caused on top of the state earlier requests left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceDelta {
+    /// Logical pages mapped for the first time by this run.
+    pub pages_mapped: u64,
+    /// Out-of-place page rewrites this run performed.
+    pub rewrites: u64,
+    /// Garbage-collection invocations this run triggered.
+    pub gc_invocations: u64,
+    /// Valid pages garbage collection migrated during this run.
+    pub pages_migrated: u64,
+    /// Blocks garbage collection erased during this run.
+    pub blocks_erased: u64,
+    /// Coherence-directory writes this run recorded.
+    pub coherence_writes: u64,
+    /// Dirty copies the coherence protocol flushed to flash during this run.
+    pub coherence_syncs: u64,
+    /// Pages left dirty when the run finished (gauge: the value *after* the
+    /// run, not a difference).
+    pub dirty_pages: u64,
+    /// Erase-count spread across blocks when the run finished (gauge).
+    pub wear_spread: u64,
+    /// Simulated device operations (timeline reservations) this run issued.
+    pub device_ops: u64,
+}
+
+impl DeviceDelta {
+    /// Folds another delta (a later repeat of the same request) into this
+    /// one: counters add, the `dirty_pages`/`wear_spread` gauges take the
+    /// later value.
+    pub fn accumulate(&mut self, later: DeviceDelta) {
+        self.pages_mapped += later.pages_mapped;
+        self.rewrites += later.rewrites;
+        self.gc_invocations += later.gc_invocations;
+        self.pages_migrated += later.pages_migrated;
+        self.blocks_erased += later.blocks_erased;
+        self.coherence_writes += later.coherence_writes;
+        self.coherence_syncs += later.coherence_syncs;
+        self.dirty_pages = later.dirty_pages;
+        self.wear_spread = later.wear_spread;
+        self.device_ops += later.device_ops;
+    }
+
+    /// Whether the run performed any tracked device work at all.
+    pub fn is_empty(&self) -> bool {
+        *self == DeviceDelta::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_snapshot_is_all_zero() {
+        let state = DeviceState::new(&SsdConfig::small_for_tests()).unwrap();
+        let snap = state.snapshot();
+        assert_eq!(snap, DeviceSnapshot::default());
+        assert_eq!(
+            snap.delta_since(&DeviceSnapshot::default()),
+            DeviceDelta::default()
+        );
+        assert!(snap.delta_since(&DeviceSnapshot::default()).is_empty());
+    }
+
+    #[test]
+    fn snapshot_tracks_ftl_activity() {
+        let mut state = DeviceState::new(&SsdConfig::small_for_tests()).unwrap();
+        let pages: Vec<LogicalPageId> = (0..4).map(LogicalPageId::new).collect();
+        state.ftl.map_pages(&pages, None).unwrap();
+        let before = state.snapshot();
+        assert_eq!(before.pages_mapped, 4);
+        state.ftl.rewrite(pages[0]).unwrap();
+        let after = state.snapshot();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.rewrites, 1);
+        assert_eq!(delta.pages_mapped, 1); // the rewrite re-installs a mapping
+        assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn delta_accumulate_adds_counters_and_keeps_last_gauges() {
+        let mut a = DeviceDelta {
+            rewrites: 2,
+            wear_spread: 5,
+            dirty_pages: 3,
+            device_ops: 10,
+            ..DeviceDelta::default()
+        };
+        let b = DeviceDelta {
+            rewrites: 1,
+            wear_spread: 7,
+            dirty_pages: 1,
+            device_ops: 4,
+            ..DeviceDelta::default()
+        };
+        a.accumulate(b);
+        assert_eq!(a.rewrites, 3);
+        assert_eq!(a.device_ops, 14);
+        assert_eq!(a.wear_spread, 7);
+        assert_eq!(a.dirty_pages, 1);
+    }
+}

@@ -87,19 +87,28 @@ fn runs_are_deterministic() {
 
 #[test]
 fn engine_can_be_driven_directly() {
-    // The engine remains the low-level API underneath the session service.
+    // The engine remains the low-level API underneath the session service:
+    // it owns only the models and borrows the device per run, so the caller
+    // controls the device's lifetime.
     let out = Vectorizer::default().vectorize(&mixed_kernel()).unwrap();
     let cfg = SsdConfig::small_for_tests();
-    let mut engine = RuntimeEngine::new(&cfg).unwrap();
-    engine.prepare(&out.program).unwrap();
+    let engine = RuntimeEngine::new(&cfg);
+    let mut device = conduit_sim::SsdDevice::new(&cfg).unwrap();
+    engine.prepare(&mut device, &out.program).unwrap();
     let report = engine
-        .run(&out.program, &RunOptions::new(Policy::DmOffloading))
+        .run(
+            &mut device,
+            &out.program,
+            &RunOptions::new(Policy::DmOffloading),
+        )
         .unwrap();
     assert_eq!(report.policy, Policy::DmOffloading);
     // The device's energy meter and the report agree that energy was spent.
-    assert!(engine.device().energy_meter().total() > Energy::ZERO);
+    assert!(device.energy_meter().total() > Energy::ZERO);
     // FTL saw the program's pages.
-    assert!(engine.device().ftl().stats().pages_mapped > 0);
+    assert!(device.ftl().stats().pages_mapped > 0);
+    // The borrowed device exposes its cumulative state for inspection.
+    assert!(device.snapshot().device_ops > 0);
 }
 
 #[test]

@@ -1,0 +1,236 @@
+//! Warm-device mode: one persistent `DeviceState` threaded through a
+//! request stream.
+//!
+//! These tests pin down the three properties the warm refactor promises:
+//!
+//! 1. **State carries over**: the second request of a warm stream observes
+//!    (and pays for) the FTL/coherence state the first request left behind,
+//!    visible in its `RunSummary::device_delta`.
+//! 2. **Determinism**: replaying the same warm request stream is
+//!    bit-identical, including through `submit_batch` with fresh requests
+//!    mixed in.
+//! 3. **Aging is modelled**: sustained write traffic on a small device
+//!    eventually triggers garbage collection, and the wear spread stays
+//!    bounded while every page remains translatable.
+
+use conduit::{DeviceMode, Policy, RunOutcome, RunRequest, Session};
+use conduit_types::{LogicalPageId, OpType, Operand, SsdConfig, VectorInst, VectorProgram};
+
+/// A program that reads pages 0/4/8 and stores its result to page 12 —
+/// every run dirties the destination pages at the executing resource.
+fn writer_program() -> VectorProgram {
+    let mut prog = VectorProgram::new("writer");
+    let x = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+    prog.push(
+        VectorInst::binary(1, OpType::Add, Operand::result(x), Operand::page(8))
+            .store_to(LogicalPageId::new(12)),
+    );
+    prog
+}
+
+/// A deliberately tiny flash array (64 physical pages) so sustained write
+/// traffic exhausts the free pool quickly enough for GC to fire in a test.
+fn tiny_cfg() -> SsdConfig {
+    let mut cfg = SsdConfig::small_for_tests();
+    cfg.flash.channels = 1;
+    cfg.flash.dies_per_channel = 1;
+    cfg.flash.planes_per_die = 1;
+    cfg.flash.blocks_per_plane = 8;
+    cfg.flash.pages_per_block = 8;
+    cfg
+}
+
+#[test]
+fn second_warm_request_observes_the_firsts_writes() {
+    // Request 1 executes in SSD DRAM (PuD) and leaves its result pages
+    // dirty there; request 2 is a host-side tenant, so the lazy coherence
+    // protocol must flush request 1's dirty copies to flash before the
+    // host's version of the pages can be recorded. On a fresh device the
+    // same second request sees nothing to flush.
+    let mut warm = Session::builder(SsdConfig::small_for_tests())
+        .device_mode(DeviceMode::Warm)
+        .build();
+    let id = warm.register(writer_program()).unwrap();
+
+    let first = warm.submit(&RunRequest::new(id, Policy::PudSsd)).unwrap();
+    assert!(
+        first.summary.device_delta.coherence_writes > 0,
+        "the store must be recorded in the coherence directory"
+    );
+    assert!(
+        first.summary.device_delta.dirty_pages > 0,
+        "request 1 must leave dirty pages behind"
+    );
+    assert_eq!(
+        first.summary.device_delta.coherence_syncs, 0,
+        "nothing to synchronize on a pristine device"
+    );
+
+    let second = warm.submit(&RunRequest::new(id, Policy::HostCpu)).unwrap();
+    assert!(
+        second.summary.device_delta.coherence_syncs > 0,
+        "request 2 must flush the dirty state request 1 left behind"
+    );
+    assert!(
+        second.summary.device_delta.rewrites > 0,
+        "each flush is an out-of-place flash rewrite"
+    );
+
+    // Control: the identical second request on a *fresh* device has no
+    // earlier tenant to synchronize with.
+    let mut fresh = Session::builder(SsdConfig::small_for_tests()).build();
+    let fresh_id = fresh.register(writer_program()).unwrap();
+    let control = fresh
+        .submit(&RunRequest::new(fresh_id, Policy::HostCpu))
+        .unwrap();
+    assert_eq!(control.summary.device_delta.coherence_syncs, 0);
+
+    // The cumulative snapshot agrees with the sum of the per-request
+    // deltas.
+    let snap = warm.device_snapshot();
+    assert_eq!(
+        snap.coherence_syncs,
+        first.summary.device_delta.coherence_syncs + second.summary.device_delta.coherence_syncs
+    );
+    assert_eq!(
+        snap.device_ops,
+        first.summary.device_delta.device_ops + second.summary.device_delta.device_ops
+    );
+}
+
+#[test]
+fn warm_replay_of_the_same_stream_is_bit_identical() {
+    let stream = |session: &mut Session| -> Vec<RunOutcome> {
+        let id = session.register(writer_program()).unwrap();
+        [
+            Policy::PudSsd,
+            Policy::IspOnly,
+            Policy::Conduit,
+            Policy::HostCpu,
+            Policy::PudSsd,
+            Policy::Conduit,
+        ]
+        .into_iter()
+        .map(|p| session.submit(&RunRequest::new(id, p)).unwrap())
+        .collect()
+    };
+    let mut a = Session::builder(SsdConfig::small_for_tests())
+        .warm()
+        .build();
+    let mut b = Session::builder(SsdConfig::small_for_tests())
+        .warm()
+        .build();
+    let run_a = stream(&mut a);
+    let run_b = stream(&mut b);
+    assert_eq!(run_a, run_b, "warm replay must be bit-identical");
+    assert_eq!(a.device_snapshot(), b.device_snapshot());
+}
+
+#[test]
+fn mixed_batch_matches_serial_submission_in_request_order() {
+    let requests = |id| {
+        vec![
+            RunRequest::new(id, Policy::Conduit),
+            RunRequest::new(id, Policy::PudSsd).warm(),
+            RunRequest::new(id, Policy::HostCpu),
+            RunRequest::new(id, Policy::HostCpu).warm(),
+            RunRequest::new(id, Policy::Ideal),
+            RunRequest::new(id, Policy::PudSsd).warm(),
+        ]
+    };
+    // Batched session: fresh requests fan out across 4 workers while the
+    // warm ones run serially in request order on the submitting thread.
+    let mut batched = Session::builder(SsdConfig::small_for_tests())
+        .workers(4)
+        .build();
+    let id = batched.register(writer_program()).unwrap();
+    let batch = batched.submit_batch(&requests(id)).unwrap();
+
+    // Serial session: the same stream, one submit at a time.
+    let mut serial = Session::builder(SsdConfig::small_for_tests())
+        .serial()
+        .build();
+    let serial_id = serial.register(writer_program()).unwrap();
+    let one_by_one: Vec<RunOutcome> = requests(serial_id)
+        .iter()
+        .map(|r| serial.submit(r).unwrap())
+        .collect();
+
+    assert_eq!(batch, one_by_one);
+    assert_eq!(batched.device_snapshot(), serial.device_snapshot());
+    // The warm device really was shared: the host-side warm request had to
+    // flush the dirty pages the PuD warm request before it left behind.
+    assert!(batch[3].summary.device_delta.coherence_syncs > 0);
+}
+
+#[test]
+fn sustained_warm_writes_trigger_gc_and_keep_wear_bounded() {
+    let session = Session::builder(tiny_cfg()).warm().build();
+    let request_pud = RunRequest::inline(writer_program(), Policy::PudSsd);
+    let request_host = RunRequest::inline(writer_program(), Policy::HostCpu);
+
+    let mut gc_free_requests = 0u64;
+    let mut first_gc_at = None;
+    for round in 0..40 {
+        // Alternating SSD-internal and host tenants makes every round flush
+        // the previous round's dirty result pages: sustained out-of-place
+        // write traffic.
+        let a = session.submit(&request_pud).unwrap();
+        let b = session.submit(&request_host).unwrap();
+        let fired = a.summary.device_delta.gc_invocations + b.summary.device_delta.gc_invocations;
+        if fired > 0 && first_gc_at.is_none() {
+            first_gc_at = Some(round);
+        }
+        if fired == 0 {
+            gc_free_requests += 2;
+        }
+    }
+
+    let snap = session.device_snapshot();
+    assert!(
+        snap.gc_invocations > 0 && snap.gc_blocks_erased > 0,
+        "sustained write traffic must eventually wake the garbage collector: {snap:?}"
+    );
+    assert!(
+        first_gc_at.expect("GC fired") > 0,
+        "a warm device must absorb some traffic before GC is needed"
+    );
+    assert!(
+        gc_free_requests > 0,
+        "GC must not run on every request — only under free-pool pressure"
+    );
+    // Wear stays bounded: the spread between the most- and least-erased
+    // block must not exceed the erases GC actually performed, and must stay
+    // within the wear-leveling budget (the leveler tolerates a spread of 64
+    // before scheduling swaps).
+    assert!(snap.wear_spread <= snap.gc_blocks_erased);
+    assert!(
+        snap.wear_spread <= 64,
+        "wear spread {} exceeded the leveling budget",
+        snap.wear_spread
+    );
+    // The device is aged but healthy: every mapped page still translates,
+    // so another request runs fine.
+    assert!(session.submit(&request_pud).is_ok());
+}
+
+#[test]
+fn fresh_mode_results_match_a_dedicated_session() {
+    // A session that interleaves warm traffic must produce the exact same
+    // fresh-mode outcomes as a session that never ran warm at all.
+    let mut mixed = Session::builder(SsdConfig::small_for_tests()).build();
+    let id = mixed.register(writer_program()).unwrap();
+    let fresh_request = RunRequest::new(id, Policy::Conduit);
+    for _ in 0..4 {
+        mixed.submit(&fresh_request.clone().warm()).unwrap();
+    }
+    let from_mixed = mixed.submit(&fresh_request).unwrap();
+
+    let mut pristine = Session::builder(SsdConfig::small_for_tests()).build();
+    let pid = pristine.register(writer_program()).unwrap();
+    let from_pristine = pristine
+        .submit(&RunRequest::new(pid, Policy::Conduit))
+        .unwrap();
+
+    assert_eq!(from_mixed, from_pristine);
+}
