@@ -8,17 +8,19 @@
 //!
 //! where `<target>` is one of `fig4`, `fig5`, `fig7` (both panels), `fig7a`,
 //! `fig7b`, `fig8`, `fig9`, `fig10`, `table3`, `overheads`, `headline`,
-//! `warm-stream`, `sim-throughput`, `perf-gate`, or `all`.
+//! `warm-pool`, `sim-throughput`, `perf-gate`, or `all`.
 //!
 //! Flags:
 //!
 //! * `--quick` uses the reduced test scale (useful for smoke runs;
-//!   `--smoke` is an alias, used by the CI warm-stream step),
+//!   `--smoke` is an alias, used by the CI warm-pool step),
 //! * `--serial` disables the parallel (workload, policy) fan-out (the
 //!   default runs one simulation per CPU core; results are bit-identical),
-//! * `warm-stream` runs a multi-tenant request mix on one **warm** device
-//!   and prints the per-request device deltas plus the cumulative
-//!   FTL/coherence/GC/wear state,
+//! * `warm-pool` runs a multi-tenant request mix on four **named warm
+//!   devices** (per-device FIFO lanes, parallel across devices) and prints
+//!   each request's queueing/service split plus every device's cumulative
+//!   FTL/coherence/GC/wear state (replaces the single-device `warm-stream`
+//!   target),
 //! * `sim-throughput` measures simulator throughput and writes
 //!   `BENCH_sim_throughput.json` next to the current directory,
 //! * `perf-gate` gates on the deterministic **simulated-work counter**
@@ -34,12 +36,12 @@
 use conduit_bench::throughput::{
     baseline_instructions_per_sec, baseline_ops_per_instruction, baseline_scale, ThroughputReport,
 };
-use conduit_bench::warm::warm_stream_report;
+use conduit_bench::warm::warm_pool_report;
 use conduit_bench::Harness;
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-stream|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
+        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-pool|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
     );
 }
 
@@ -176,9 +178,15 @@ fn main() {
         perf_gate(&args, quick);
     }
 
+    if target == "warm-pool" {
+        println!("==================== warm-pool ====================");
+        print!("{}", warm_pool_report(quick));
+        return;
+    }
     if target == "warm-stream" {
-        println!("==================== warm-stream ====================");
-        print!("{}", warm_stream_report(quick));
+        eprintln!("repro: `warm-stream` was replaced by `warm-pool` (the multi-tenant mix now runs on named warm devices); running warm-pool");
+        println!("==================== warm-pool ====================");
+        print!("{}", warm_pool_report(quick));
         return;
     }
 

@@ -16,10 +16,11 @@
 //! runs of different (workload, policy) pairs are completely independent;
 //! the session therefore fans missing pairs out across all CPU cores by
 //! default, with results bit-identical to the serial path (see
-//! [`conduit::Session::submit_batch`]). The `repro warm-stream` target
-//! ([`warm`]) instead threads one **warm** device through a multi-tenant
-//! request mix, exercising the FTL/coherence/GC/wear state the figure
-//! sweeps reset per run.
+//! [`conduit::Session::submit_batch`]). The `repro warm-pool` target
+//! ([`warm`]) instead runs a multi-tenant request mix on a pool of **named
+//! warm devices** — per-device FIFO lanes, parallel across devices —
+//! exercising the FTL/coherence/GC/wear state the figure sweeps reset per
+//! run and the stream-clock queueing/service split.
 //!
 //! Timelines are only collected for the three (workload, policy) pairs
 //! Figure 10 actually plots; every other cached outcome is a constant-memory

@@ -1,77 +1,99 @@
-//! The `repro warm-stream` target: a multi-tenant request mix on one warm
-//! device.
+//! The `repro warm-pool` target: a multi-tenant request mix on a pool of
+//! named warm devices.
 //!
-//! The paper's evaluation implies a long-lived SSD serving many tenants:
-//! FTL mappings, coherence state, garbage-collection debt and wear are
-//! *carried over* from request to request rather than reset per experiment.
-//! This module drives that scenario through the service API: one
-//! [`Session`] in [`conduit::DeviceMode::Warm`], four tenants with
-//! different workload/policy characters, their requests interleaved
-//! round-robin so the device ages under a realistic mix of SSD-internal
-//! compute (which dirties pages in DRAM/SRAM), host offload traffic (which
-//! pulls pages across the PCIe link) and result writes (which force
-//! coherence syncs and out-of-place flash programs, eventually waking the
-//! garbage collector).
+//! The paper's deployment scenario is several long-lived SSDs serving
+//! different tenants: each device's FTL mappings, coherence state,
+//! garbage-collection debt and wear are *carried over* from request to
+//! request rather than reset per experiment, and the devices age
+//! independently of one another. This module drives that scenario through
+//! the service API: one [`Session`] with one named device per tenant
+//! ([`Session::create_device`]), each tenant's requests submitted in rounds
+//! of batches so the per-device FIFO lanes execute in parallel across
+//! devices while staying serial (and deterministic) within each device.
 //!
-//! The report prints, per request, the device-delta counters the run added
-//! ([`conduit::RunSummary::device_delta`]) and ends with the cumulative
-//! [`conduit_sim::DeviceSnapshot`] — the observable that distinguishes a
-//! warm stream from the fresh-device figure sweeps, where every one of
-//! these counters would restart from zero.
+//! The report prints, per request, the stream-clock split
+//! ([`conduit::RunSummary::queueing_time`] vs
+//! [`conduit::RunSummary::service_time`]) and the device-delta counters the
+//! run added ([`conduit::RunSummary::device_delta`]), then ends with each
+//! device's cumulative [`conduit_sim::DeviceSnapshot`] — the observable
+//! that distinguishes a warm pool from the fresh-device figure sweeps,
+//! where every one of these counters would restart from zero.
 
-use conduit::{DeviceMode, Policy, RunRequest, Session};
+use conduit::{Policy, RunRequest, Session};
 use conduit_types::SsdConfig;
 use conduit_workloads::{Scale, Workload};
 
-/// The multi-tenant mix: each tenant submits one workload under one policy.
-/// The policies are chosen to exercise different parts of the persistent
-/// state — Conduit mixes all three SSD resources, PuD-SSD dirties DRAM
-/// rows, ISP-only dirties controller SRAM, and the host baseline drags
-/// pages across the PCIe link and back.
-const TENANTS: [(Workload, Policy); 4] = [
-    (Workload::XorFilter, Policy::Conduit),
-    (Workload::Jacobi1d, Policy::PudSsd),
-    (Workload::Aes, Policy::IspOnly),
-    (Workload::LlmTraining, Policy::HostCpu),
+/// The multi-tenant mix: each tenant submits one workload under one policy
+/// on its own named device. The policies are chosen to exercise different
+/// parts of the persistent state — Conduit mixes all three SSD resources,
+/// PuD-SSD dirties DRAM rows, ISP-only dirties controller SRAM, and the
+/// host baseline drags pages across the PCIe link and back.
+const TENANTS: [(&str, Workload, Policy); 4] = [
+    ("tenant-xor", Workload::XorFilter, Policy::Conduit),
+    ("tenant-jacobi", Workload::Jacobi1d, Policy::PudSsd),
+    ("tenant-aes", Workload::Aes, Policy::IspOnly),
+    ("tenant-llm", Workload::LlmTraining, Policy::HostCpu),
 ];
 
-/// Runs the warm multi-tenant stream and formats the report.
+/// How many requests each tenant submits per round: the lane scheduling
+/// (and the queueing/service split) is only visible when a device receives
+/// more than one request per batch.
+const REQUESTS_PER_ROUND: usize = 2;
+
+/// Runs the warm multi-tenant pool and formats the report.
 ///
 /// `quick` selects the reduced test scale (the `--smoke` / `--quick` flags
-/// of the `repro` binary); the paper scale runs the same mix on the
-/// full-size device.
-pub fn warm_stream_report(quick: bool) -> String {
+/// of the `repro` binary); the paper scale runs the same mix on full-size
+/// devices.
+pub fn warm_pool_report(quick: bool) -> String {
     let (cfg, scale, rounds) = if quick {
-        (SsdConfig::small_for_tests(), Scale::test(), 3usize)
+        (SsdConfig::small_for_tests(), Scale::test(), 2usize)
     } else {
-        (SsdConfig::default(), Scale::new(4, 1), 4usize)
+        (SsdConfig::default(), Scale::new(4, 1), 3usize)
     };
 
-    let mut session = Session::builder(cfg).device_mode(DeviceMode::Warm).build();
-    let ids: Vec<_> = TENANTS
+    let mut session = Session::builder(cfg).build();
+    let tenants: Vec<_> = TENANTS
         .iter()
-        .map(|(w, _)| {
-            let program = w.program(scale).expect("generators always succeed");
-            session
+        .map(|&(name, workload, policy)| {
+            let program = workload.program(scale).expect("generators always succeed");
+            let id = session
                 .register(program)
-                .expect("generated programs always validate")
+                .expect("generated programs always validate");
+            let device = session.create_device(name);
+            (name, workload, policy, id, device)
         })
         .collect();
 
     let mut out = String::from(
-        "# Warm-device multi-tenant stream (one persistent DeviceState across all requests)\n\
-         req\tworkload\tpolicy\ttime_ms\trewrites\tcoh_syncs\tgc_inv\tpages_migrated\twear_spread\tdevice_ops\n",
+        "# Warm device pool: 4 tenants on 4 named devices (per-device FIFO lanes, parallel across devices)\n\
+         req\ttenant\tworkload\tpolicy\tqueue_ms\tservice_ms\trewrites\tcoh_syncs\tgc_inv\tpages_migrated\twear_spread\tdevice_ops\n",
     );
     let mut seq = 0usize;
     for _ in 0..rounds {
-        for (&id, &(workload, policy)) in ids.iter().zip(TENANTS.iter()) {
-            let outcome = session
-                .submit(&RunRequest::new(id, policy))
-                .expect("warm simulation of a generated workload cannot fail");
-            let d = outcome.summary.device_delta;
+        // One batch per round: every tenant's lane gets two requests, so
+        // the second request of each lane shows real queueing time while
+        // the four lanes execute in parallel.
+        let requests: Vec<RunRequest> = (0..REQUESTS_PER_ROUND)
+            .flat_map(|_| {
+                tenants.iter().map(|&(_, _, policy, id, device)| {
+                    RunRequest::new(id, policy).on_device(device)
+                })
+            })
+            .collect();
+        let outcomes = session
+            .submit_batch(&requests)
+            .expect("warm simulation of a generated workload cannot fail");
+        for (outcome, &(name, workload, policy, _, _)) in outcomes
+            .iter()
+            .zip(tenants.iter().cycle().take(outcomes.len()))
+        {
+            let s = &outcome.summary;
+            let d = s.device_delta;
             out.push_str(&format!(
-                "{seq}\t{workload}\t{policy}\t{:.3}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-                outcome.summary.total_time.as_us() / 1000.0,
+                "{seq}\t{name}\t{workload}\t{policy}\t{:.3}\t{:.3}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                s.queueing_time.as_ms(),
+                s.service_time.as_ms(),
                 d.rewrites,
                 d.coherence_syncs,
                 d.gc_invocations,
@@ -83,32 +105,28 @@ pub fn warm_stream_report(quick: bool) -> String {
         }
     }
 
-    let snap = session.device_snapshot();
     out.push_str(&format!(
-        "\n# Cumulative device state after {seq} requests\n\
-         pages mapped:        {}\n\
-         rewrites:            {}\n\
-         coherence writes:    {}\n\
-         coherence syncs:     {}\n\
-         GC invocations:      {}\n\
-         GC pages migrated:   {}\n\
-         GC blocks erased:    {}\n\
-         wear spread (max-min erases): {}\n\
-         dirty pages left:    {}\n\
-         device ops:          {}\n\
-         total energy (mJ):   {:.3}\n",
-        snap.pages_mapped,
-        snap.rewrites,
-        snap.coherence_writes,
-        snap.coherence_syncs,
-        snap.gc_invocations,
-        snap.gc_pages_migrated,
-        snap.gc_blocks_erased,
-        snap.wear_spread,
-        snap.dirty_pages,
-        snap.device_ops,
-        snap.total_energy.as_nj() / 1e6,
+        "\n# Cumulative per-device state after {seq} requests\n\
+         tenant\tpages_mapped\trewrites\tcoh_writes\tcoh_syncs\tgc_inv\tgc_migrated\twear_migrated\twear_spread\tdevice_ops\tstream_clock_ms\tenergy_mJ\n"
     ));
+    for &(name, _, _, _, device) in &tenants {
+        let snap = session.device_snapshot(device);
+        let clock = session.device_clock(device);
+        out.push_str(&format!(
+            "{name}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\n",
+            snap.pages_mapped,
+            snap.rewrites,
+            snap.coherence_writes,
+            snap.coherence_syncs,
+            snap.gc_invocations,
+            snap.gc_pages_migrated,
+            snap.wear_pages_migrated,
+            snap.wear_spread,
+            snap.device_ops,
+            clock.as_ps() as f64 / 1e9,
+            snap.total_energy.as_nj() / 1e6,
+        ));
+    }
     out
 }
 
@@ -117,19 +135,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn quick_warm_stream_produces_a_full_report() {
-        let report = warm_stream_report(true);
+    fn quick_warm_pool_produces_a_full_report() {
+        let report = warm_pool_report(true);
         // One row per request plus the cumulative block.
         assert!(
-            report.lines().count() > TENANTS.len() * 3,
+            report.lines().count() > TENANTS.len() * REQUESTS_PER_ROUND * 2,
             "report too short:\n{report}"
         );
-        assert!(report.contains("Cumulative device state"));
-        assert!(report.contains("coherence syncs"));
+        assert!(report.contains("Cumulative per-device state"));
+        for (name, _, _) in TENANTS {
+            assert!(report.contains(name), "missing tenant {name}:\n{report}");
+        }
     }
 
     #[test]
-    fn warm_stream_is_deterministic() {
-        assert_eq!(warm_stream_report(true), warm_stream_report(true));
+    fn warm_pool_is_deterministic() {
+        assert_eq!(warm_pool_report(true), warm_pool_report(true));
     }
 }

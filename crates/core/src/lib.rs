@@ -76,7 +76,8 @@ pub use policy::{Policy, PolicyContext};
 pub use pool::ThreadPool;
 pub use report::{gmean, EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
 pub use session::{
-    DeviceMode, ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest, RunSummary,
-    Session, SessionBuilder, DEFAULT_PERCENTILES, REGISTRY_FORMAT_VERSION, REGISTRY_MAGIC,
+    DeviceHandle, DeviceMode, ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest,
+    RunSummary, Session, SessionBuilder, DEFAULT_PERCENTILES, DEVICE_CHECKPOINT_FORMAT_VERSION,
+    DEVICE_CHECKPOINT_MAGIC, REGISTRY_FORMAT_VERSION, REGISTRY_MAGIC,
 };
 pub use transform::{InstructionTransformer, NativeIsa, TranslationEntry};

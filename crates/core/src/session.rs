@@ -7,29 +7,38 @@
 //! module is that server surface:
 //!
 //! * a [`Session`] owns the device/host configuration, a persistent
-//!   **program registry** and a lazily-started work-stealing thread pool;
+//!   **program registry**, a lazily-started work-stealing thread pool, and a
+//!   **pool of named warm devices**;
 //! * programs are registered once ([`Session::register`] →
 //!   [`ProgramId`]) and can be persisted across processes via the compact
 //!   registry serialization ([`Session::export_registry`] /
 //!   [`Session::import_registry`]), so vectorizer output is never recomputed;
 //! * a [`RunRequest`] is a cheap, cloneable description of one run: policy,
-//!   cost-function ablation, repeat count and *collection flags* (timeline
-//!   on/off, percentile set, energy split);
+//!   cost-function ablation, repeat count, *collection flags* (timeline
+//!   on/off, percentile set, energy split), and the device it runs on;
 //! * results are split into an always-cheap [`RunSummary`] (times, energy,
 //!   offload mix, histogram-backed latency percentiles — constant memory)
-//!   and opt-in [`RunArtifacts`] (the full per-instruction timeline), so
-//!   batch sweeps no longer carry timelines they never read;
-//! * [`Session::submit_batch`] fans independent requests out across the
-//!   pool with results **bit-identical** to running them serially (every
-//!   fresh-mode run simulates on a fresh device);
-//! * a [`DeviceMode`] knob selects between **fresh** devices (every run on a
-//!   pristine SSD — independent, embarrassingly parallel experiments) and a
-//!   **warm** device whose persistent [`conduit_sim::DeviceState`] (FTL mappings,
-//!   coherence directory, GC debt, wear) carries across the request stream;
-//!   warm runs execute serially because they share that one state, and each
-//!   [`RunSummary`] reports the device aging the run caused
-//!   ([`RunSummary::device_delta`]) while [`Session::device_snapshot`]
-//!   exposes the cumulative counters.
+//!   and opt-in [`RunArtifacts`] (the full per-instruction timeline);
+//! * **fresh** runs (the default) each simulate on a pristine device, so
+//!   [`Session::submit_batch`] fans them out across the pool with results
+//!   **bit-identical** to running them serially;
+//! * **warm** runs target a named device from the session's pool
+//!   ([`Session::create_device`] → [`DeviceHandle`],
+//!   [`RunRequest::on_device`]): each device's persistent
+//!   [`conduit_sim::DeviceState`] (FTL mappings, coherence directory, GC
+//!   debt, wear) ages across its request stream. In a batch, each device is
+//!   a **FIFO lane** — serial within the device, parallel across devices
+//!   and alongside the fresh fan-out — and outcomes stay bit-identical to a
+//!   fully serial submission of the same batch;
+//! * each device carries an explicit **stream clock**: request *i* issues at
+//!   request *i−1*'s finish time, so [`RunSummary::queueing_time`] (waiting
+//!   behind earlier requests in the lane) is separated from
+//!   [`RunSummary::service_time`] (the run's own execution);
+//! * device aging is **checkpointable**: [`Session::export_device`]
+//!   serializes a device (stream clock + complete
+//!   [`conduit_sim::DeviceState`]) into a compact versioned byte stream and
+//!   [`Session::import_device`] revives it — in the same session or another
+//!   process — with bit-identical replay.
 //!
 //! # Examples
 //!
@@ -48,19 +57,29 @@
 //! assert_eq!(outcome.summary.instructions, 2);
 //! assert!(outcome.artifacts.is_none()); // timelines are opt-in
 //!
+//! // A pool of named warm devices, one per tenant: each ages independently.
+//! let tenant_a = session.create_device("tenant-a");
+//! let tenant_b = session.create_device("tenant-b");
 //! let batch = session.submit_batch(&[
-//!     RunRequest::new(id, Policy::HostCpu),
-//!     RunRequest::new(id, Policy::Conduit).with_timeline(),
+//!     RunRequest::new(id, Policy::Conduit).on_device(tenant_a),
+//!     RunRequest::new(id, Policy::Conduit).on_device(tenant_b),
+//!     RunRequest::new(id, Policy::HostCpu).on_device(tenant_a),
+//!     RunRequest::new(id, Policy::Ideal), // fresh, fans out alongside
 //! ])?;
-//! assert!(batch[1].artifacts.is_some());
+//! // Lane scheduling: tenant-a's two requests ran serially (the second
+//! // queued behind the first on the stream clock); tenant-b ran in
+//! // parallel on its own device.
+//! assert!(batch[2].summary.queueing_time > conduit_types::Duration::ZERO);
+//! assert_eq!(batch[1].summary.queueing_time, conduit_types::Duration::ZERO);
 //!
-//! // Warm mode: thread one persistent device through a request stream.
-//! // Each summary reports the aging the run caused, and the session
-//! // exposes the cumulative device state.
-//! let warm = session.submit(&RunRequest::new(id, Policy::Conduit).warm())?;
-//! assert!(warm.summary.device_delta.device_ops > 0);
-//! let snapshot = session.device_snapshot();
-//! assert_eq!(snapshot.device_ops, warm.summary.device_delta.device_ops);
+//! // Device-aging checkpoints persist across processes.
+//! let bytes = session.export_device(tenant_a)?;
+//! let mut other = Session::builder(SsdConfig::small_for_tests()).build();
+//! let revived = other.import_device("tenant-a", &bytes)?;
+//! assert_eq!(
+//!     other.device_snapshot(revived),
+//!     session.device_snapshot(tenant_a)
+//! );
 //! # Ok::<(), conduit_types::ConduitError>(())
 //! ```
 
@@ -69,8 +88,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex, OnceLock};
 
-use conduit_sim::{CostBreakdown, DeviceDelta, DeviceSnapshot, LatencyStats, SsdDevice};
-use conduit_types::{ConduitError, Duration, Energy, HostConfig, Result, SsdConfig, VectorProgram};
+use conduit_sim::{
+    CostBreakdown, DeviceDelta, DeviceSnapshot, DeviceState, LatencyStats, SsdDevice,
+};
+use conduit_types::bytes::{put_u16, put_u32, put_u64, Reader};
+use conduit_types::{
+    ConduitError, Duration, Energy, HostConfig, Result, SimTime, SsdConfig, VectorProgram,
+};
 
 use crate::cost::CostFunction;
 use crate::engine::{RunOptions, RuntimeEngine};
@@ -83,6 +107,14 @@ pub const REGISTRY_MAGIC: [u8; 4] = *b"CPR1";
 
 /// Current registry serialization format version.
 pub const REGISTRY_FORMAT_VERSION: u16 = 1;
+
+/// Magic bytes identifying a device checkpoint exported by
+/// [`Session::export_device`] (stream clock + embedded
+/// [`conduit_sim::DeviceState`] image).
+pub const DEVICE_CHECKPOINT_MAGIC: [u8; 4] = *b"CDK1";
+
+/// Current device-checkpoint format version.
+pub const DEVICE_CHECKPOINT_FORMAT_VERSION: u16 = 1;
 
 /// The percentile set collected when a request does not override it.
 pub const DEFAULT_PERCENTILES: [f64; 3] = [0.50, 0.99, 0.9999];
@@ -105,6 +137,28 @@ impl ProgramId {
 impl std::fmt::Display for ProgramId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "p{}", self.0)
+    }
+}
+
+/// Handle to a named warm device in a [`Session`]'s device pool.
+///
+/// Minted by [`Session::create_device`] / [`Session::import_device`] (or
+/// [`Session::default_device`] for the implicit device the deprecated
+/// [`DeviceMode::Warm`] shim targets). Handles are dense indices in creation
+/// order and are only meaningful within the session that minted them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceHandle(u32);
+
+impl DeviceHandle {
+    /// The dense creation-order index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DeviceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
     }
 }
 
@@ -214,11 +268,11 @@ impl ProgramRegistry {
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&REGISTRY_MAGIC);
-        out.extend_from_slice(&REGISTRY_FORMAT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(self.programs.len() as u32).to_le_bytes());
+        put_u16(&mut out, REGISTRY_FORMAT_VERSION);
+        put_u32(&mut out, self.programs.len() as u32);
         for program in &self.programs {
             let bytes = program.to_bytes();
-            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            put_u32(&mut out, bytes.len() as u32);
             out.extend_from_slice(&bytes);
         }
         out
@@ -237,34 +291,33 @@ impl ProgramRegistry {
     pub fn from_bytes(bytes: &[u8]) -> Result<ProgramRegistry> {
         let corrupt =
             |reason: &str| ConduitError::invalid_program(format!("serialized registry: {reason}"));
-        if bytes.len() < 10 || bytes[..4] != REGISTRY_MAGIC {
+        if bytes.len() < 4 || bytes[..4] != REGISTRY_MAGIC {
             return Err(corrupt("bad magic"));
         }
-        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != REGISTRY_FORMAT_VERSION {
-            return Err(corrupt("unsupported format version"));
-        }
-        let count = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
-        let mut pos = 10;
-        let mut registry = ProgramRegistry::new();
-        for _ in 0..count {
-            let end = pos + 4;
-            if end > bytes.len() {
-                return Err(corrupt("truncated program length"));
+        // The shared Reader reports truncation as CorruptCheckpoint; this
+        // decoder's contract is InvalidProgram for any malformed input.
+        let mut r = Reader::new(&bytes[4..]);
+        let mut decode = || -> Result<ProgramRegistry> {
+            let version = r.u16()?;
+            if version != REGISTRY_FORMAT_VERSION {
+                return Err(corrupt("unsupported format version"));
             }
-            let len = u32::from_le_bytes(bytes[pos..end].try_into().expect("len 4 slice")) as usize;
-            pos = end;
-            if pos + len > bytes.len() {
-                return Err(corrupt("truncated program body"));
+            let count = r.u32()? as usize;
+            let mut registry = ProgramRegistry::new();
+            for _ in 0..count {
+                let len = r.u32()? as usize;
+                let program = VectorProgram::from_bytes(r.take(len)?)?;
+                registry.insert_positional(Arc::new(program));
             }
-            let program = VectorProgram::from_bytes(&bytes[pos..pos + len])?;
-            pos += len;
-            registry.insert_positional(Arc::new(program));
-        }
-        if pos != bytes.len() {
-            return Err(corrupt("trailing bytes"));
-        }
-        Ok(registry)
+            if !r.finished() {
+                return Err(corrupt("trailing bytes"));
+            }
+            Ok(registry)
+        };
+        decode().map_err(|e| match e {
+            ConduitError::CorruptCheckpoint { .. } => corrupt("truncated"),
+            other => other,
+        })
     }
 }
 
@@ -279,8 +332,25 @@ enum ProgramSource {
     Inline(Arc<VectorProgram>),
 }
 
-/// Whether a run executes on a pristine device or continues on the
-/// session's long-lived warm device.
+/// Which device a request runs on, as recorded on the request itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum DeviceTarget {
+    /// A pristine device per run/repeat.
+    Fresh,
+    /// The session's implicit default warm device (the
+    /// [`DeviceMode::Warm`] compatibility shim).
+    DefaultWarm,
+    /// A named device from the session's pool.
+    Named(DeviceHandle),
+}
+
+/// Coarse fresh-vs-warm switch, kept for one release as a compatibility
+/// shim over the device pool.
+///
+/// **Deprecated:** prefer [`RunRequest::on_device`] with a handle from
+/// [`Session::create_device`]. [`DeviceMode::Warm`] is now sugar for "run on
+/// [`Session::default_device`]" — an implicit member of the device pool —
+/// and will be removed in a future release.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum DeviceMode {
     /// Every run (and every repeat) simulates on a freshly built device:
@@ -289,22 +359,20 @@ pub enum DeviceMode {
     /// reproduces the paper's per-figure experiments.
     #[default]
     Fresh,
-    /// The run continues on the session's persistent [`conduit_sim::DeviceState`]: FTL
-    /// mappings, the coherence directory, garbage-collection debt and wear
-    /// accumulate across the request stream, modelling a real multi-tenant
-    /// SSD that ages under sustained load. Warm runs execute **serially**
-    /// (they share one device state, so concurrent execution would make
-    /// results depend on thread arrival order); in a batch they run in
-    /// request order on the submitting thread.
+    /// The run continues on the session's **default** warm device (see
+    /// [`Session::default_device`]): FTL mappings, the coherence directory,
+    /// garbage-collection debt and wear accumulate across that device's
+    /// request stream. Shim over the device pool — prefer
+    /// [`RunRequest::on_device`].
     Warm,
 }
 
-/// A declarative description of one run: which program, which policy, and
-/// what to collect. Cheap to clone; built builder-style.
+/// A declarative description of one run: which program, which policy, which
+/// device, and what to collect. Cheap to clone; built builder-style.
 ///
 /// Subsumes the engine-level [`RunOptions`]: policy, cost-function ablation
-/// and overhead charging map straight through, while the new collection
-/// flags control how much the result carries — summaries are always cheap,
+/// and overhead charging map straight through, while the collection flags
+/// control how much the result carries — summaries are always cheap,
 /// timelines ([`RunArtifacts`]) are opt-in.
 ///
 /// # Examples
@@ -338,7 +406,7 @@ pub struct RunRequest {
     collect_energy_split: bool,
     percentiles: Vec<f64>,
     /// `None` means "use the session's default mode".
-    device_mode: Option<DeviceMode>,
+    target: Option<DeviceTarget>,
 }
 
 impl RunRequest {
@@ -368,7 +436,7 @@ impl RunRequest {
             collect_timeline: false,
             collect_energy_split: true,
             percentiles: DEFAULT_PERCENTILES.to_vec(),
-            device_mode: None,
+            target: None,
         }
     }
 
@@ -385,24 +453,42 @@ impl RunRequest {
     }
 
     /// Builder-style: simulates the program `repeats` times (clamped to at
-    /// least one). In [`DeviceMode::Fresh`] every repeat gets its own
-    /// pristine device, so repeats are bit-identical under the deterministic
+    /// least one). On a fresh device every repeat gets its own pristine
+    /// device, so repeats are bit-identical under the deterministic
     /// simulator — the knob exists for throughput measurement and soak-style
-    /// stress. In [`DeviceMode::Warm`] the repeats run back to back on the
-    /// warm device, so each one ages it further.
+    /// stress. On a warm device the repeats run back to back on the
+    /// device's stream clock, so each one ages it further.
     pub fn repeat(mut self, repeats: u32) -> Self {
         self.repeats = repeats.max(1);
         self
     }
 
+    /// Builder-style: runs this request on a named warm device from the
+    /// session's pool ([`Session::create_device`]). Requests on the same
+    /// device execute serially in request order (a FIFO lane); requests on
+    /// different devices execute in parallel in a batch.
+    pub fn on_device(mut self, device: DeviceHandle) -> Self {
+        self.target = Some(DeviceTarget::Named(device));
+        self
+    }
+
     /// Builder-style: overrides the session's default [`DeviceMode`] for
     /// this request.
+    ///
+    /// **Deprecated shim:** [`DeviceMode::Warm`] targets the session's
+    /// implicit [`Session::default_device`]; prefer
+    /// [`RunRequest::on_device`] with an explicit handle.
     pub fn device_mode(mut self, mode: DeviceMode) -> Self {
-        self.device_mode = Some(mode);
+        self.target = Some(match mode {
+            DeviceMode::Fresh => DeviceTarget::Fresh,
+            DeviceMode::Warm => DeviceTarget::DefaultWarm,
+        });
         self
     }
 
     /// Builder-style sugar for [`RunRequest::device_mode`]`(DeviceMode::Warm)`.
+    ///
+    /// **Deprecated shim:** prefer [`RunRequest::on_device`].
     pub fn warm(self) -> Self {
         self.device_mode(DeviceMode::Warm)
     }
@@ -457,9 +543,21 @@ impl RunRequest {
     }
 
     /// The device mode this request asked for, if it overrides the
-    /// session's default.
+    /// session's default. Requests targeting a named device report
+    /// [`DeviceMode::Warm`].
     pub fn requested_device_mode(&self) -> Option<DeviceMode> {
-        self.device_mode
+        self.target.map(|t| match t {
+            DeviceTarget::Fresh => DeviceMode::Fresh,
+            DeviceTarget::DefaultWarm | DeviceTarget::Named(_) => DeviceMode::Warm,
+        })
+    }
+
+    /// The named device this request targets, if any.
+    pub fn requested_device(&self) -> Option<DeviceHandle> {
+        match self.target {
+            Some(DeviceTarget::Named(handle)) => Some(handle),
+            _ => None,
+        }
     }
 
     /// The engine-level options this request maps to.
@@ -488,8 +586,17 @@ pub struct RunSummary {
     pub instructions: usize,
     /// How many times the program was simulated (see [`RunRequest::repeat`]).
     pub repeats: u32,
-    /// End-to-end execution time of one run.
+    /// End-to-end time of the run as the submitter saw it:
+    /// [`RunSummary::queueing_time`] + [`RunSummary::service_time`].
     pub total_time: Duration,
+    /// Time the request spent waiting in its device's FIFO lane behind
+    /// earlier requests of the same batch, measured on the device's stream
+    /// clock. Always zero for fresh-device runs and for warm requests that
+    /// found their lane idle.
+    pub queueing_time: Duration,
+    /// The run's own execution time: from the instant its first instruction
+    /// issued (the device's stream clock) to its last completion.
+    pub service_time: Duration,
     /// Total energy of one run.
     pub total_energy: Energy,
     /// Energy split into data movement and computation, when collected.
@@ -585,6 +692,14 @@ impl RunOutcome {
     }
 }
 
+/// How a planned run executes: on a pristine device, or on one of the
+/// session's pooled warm devices (by slot index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanMode {
+    Fresh,
+    Device(usize),
+}
+
 /// Everything needed to execute one request with no reference back to the
 /// session — the unit shipped to pool workers.
 struct RunPlan {
@@ -593,7 +708,7 @@ struct RunPlan {
     repeats: u32,
     collect_energy_split: bool,
     percentiles: Vec<f64>,
-    mode: DeviceMode,
+    mode: PlanMode,
 }
 
 /// Shared state of one in-flight batch: the plans, the indices of the
@@ -603,26 +718,63 @@ struct BatchState {
     host: HostConfig,
     plans: Vec<RunPlan>,
     /// Request indices of the fresh-mode plans, in request order. Warm
-    /// plans never enter the pool: they run serially on the submitting
-    /// thread (see [`DeviceMode::Warm`]).
+    /// plans run in per-device FIFO lane tasks instead.
     fresh: Vec<usize>,
     next: AtomicUsize,
 }
 
+/// One named warm device of the pool: its lazily-built simulated device and
+/// the explicit stream clock of its request lane.
+#[derive(Debug)]
+struct DeviceSlot {
+    name: String,
+    lane: Mutex<DeviceLane>,
+}
+
+impl DeviceSlot {
+    fn new(name: impl Into<String>) -> Self {
+        DeviceSlot {
+            name: name.into(),
+            lane: Mutex::new(DeviceLane {
+                device: None,
+                clock: SimTime::ZERO,
+            }),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct DeviceLane {
+    /// The warm device (immutable models + persistent state), created
+    /// lazily on the first run so unused pool members cost nothing.
+    device: Option<SsdDevice>,
+    /// The stream clock: the finish time of the last request on this
+    /// device. The next request issues here.
+    clock: SimTime,
+}
+
 /// Assembles the outcome from the final run report plus the device work the
-/// request performed.
-fn build_outcome(report: RunReport, plan: &RunPlan, device_delta: DeviceDelta) -> RunOutcome {
+/// request performed and the lane wait it observed.
+fn build_outcome(
+    report: RunReport,
+    plan: &RunPlan,
+    device_delta: DeviceDelta,
+    queueing_time: Duration,
+) -> RunOutcome {
     let percentiles = plan
         .percentiles
         .iter()
         .map(|&p| (p, report.latency.percentile(p)))
         .collect();
+    let service_time = report.total_time;
     let summary = RunSummary {
         workload: report.workload,
         policy: report.policy,
         instructions: report.instructions,
         repeats: plan.repeats,
-        total_time: report.total_time,
+        total_time: queueing_time + service_time,
+        queueing_time,
+        service_time,
         total_energy: report.energy.total(),
         energy_split: plan.collect_energy_split.then_some(report.energy),
         breakdown: report.breakdown,
@@ -655,7 +807,57 @@ fn execute_fresh(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<R
         delta.accumulate(device.snapshot().delta_since(&pristine));
     }
     let report = report.expect("repeats is clamped to at least one");
-    Ok(build_outcome(report, plan, delta))
+    Ok(build_outcome(report, plan, delta, Duration::ZERO))
+}
+
+/// Executes a warm plan on one device lane: each repeat issues at the lane's
+/// stream clock (the previous finish time), the clock advances to the run's
+/// finish, and `arrival` — the clock value when the request entered the
+/// lane — separates queueing from service in the outcome.
+///
+/// The lane mutex is what serializes a device's requests: within a device
+/// runs execute strictly in the order they take the lock (request order, in
+/// both [`Session::submit_batch`] paths), which keeps every per-device
+/// stream deterministic and replayable while distinct devices proceed in
+/// parallel.
+fn execute_on_lane(
+    engine: &RuntimeEngine,
+    ssd: &SsdConfig,
+    slot: &DeviceSlot,
+    plan: &RunPlan,
+    arrival: Option<SimTime>,
+) -> Result<RunOutcome> {
+    let mut lane = slot.lane.lock().expect("device-lane mutex poisoned");
+    let lane = &mut *lane;
+    if lane.device.is_none() {
+        lane.device = Some(SsdDevice::new(ssd)?);
+    }
+    let device = lane.device.as_mut().expect("device was just installed");
+    let arrival = arrival.unwrap_or(lane.clock);
+    let before = device.snapshot();
+    // Queueing ends when the request's *first* repeat issues; later repeats
+    // are part of its own service, not lane wait.
+    let queueing_time = lane.clock.saturating_since(arrival);
+    let mut report: Result<Option<RunReport>> = Ok(None);
+    for _ in 0..plan.repeats {
+        let start = lane.clock;
+        let options = plan.options.starting_at(start);
+        // Re-preparing is idempotent for pages the warm device already
+        // mapped; only genuinely new pages get placed.
+        report = engine
+            .prepare(device, &plan.program)
+            .and_then(|()| engine.run(device, &plan.program, &options))
+            .map(Some);
+        match &report {
+            Ok(Some(run)) => lane.clock = start + run.total_time,
+            // The (possibly partially advanced) device stays with the
+            // session so the stream can continue or be inspected.
+            _ => break,
+        }
+    }
+    let delta = device.snapshot().delta_since(&before);
+    let report = report?.expect("repeats is clamped to at least one");
+    Ok(build_outcome(report, plan, delta, queueing_time))
 }
 
 /// Configures and builds a [`Session`].
@@ -682,7 +884,8 @@ impl SessionBuilder {
     }
 
     /// Sets the default [`DeviceMode`] for requests that do not override it
-    /// ([`RunRequest::device_mode`]). Defaults to [`DeviceMode::Fresh`].
+    /// ([`RunRequest::on_device`] / [`RunRequest::device_mode`]). Defaults
+    /// to [`DeviceMode::Fresh`].
     pub fn device_mode(mut self, mode: DeviceMode) -> Self {
         self.device_mode = mode;
         self
@@ -690,7 +893,10 @@ impl SessionBuilder {
 
     /// Builder-style sugar for
     /// [`SessionBuilder::device_mode`]`(DeviceMode::Warm)`: every request
-    /// runs on the session's one long-lived device unless it opts out.
+    /// runs on the session's default warm device unless it opts out.
+    ///
+    /// **Deprecated shim:** prefer explicit [`RunRequest::on_device`]
+    /// targeting.
     pub fn warm(self) -> Self {
         self.device_mode(DeviceMode::Warm)
     }
@@ -735,23 +941,43 @@ impl SessionBuilder {
             default_device_mode: self.device_mode,
             registry: ProgramRegistry::new(),
             pool: OnceLock::new(),
-            warm: Mutex::new(None),
+            // Slot 0 is the implicit default device the DeviceMode::Warm
+            // shim targets; named devices follow.
+            devices: vec![Arc::new(DeviceSlot::new("default"))],
             engine: OnceLock::new(),
         }
     }
 }
 
 /// A long-lived execution service: device/host configuration, the program
-/// registry, a work-stealing pool for batch fan-out, and (for
-/// [`DeviceMode::Warm`] requests) one persistent device state shared by the
-/// whole request stream.
+/// registry, a work-stealing pool for batch fan-out, and a **pool of named
+/// warm devices**.
 ///
-/// Fresh-mode runs execute on a **fresh simulated device**, so they are
+/// Fresh runs execute on a pristine simulated device, so they are
 /// independent, deterministic, and identical whether submitted one at a
-/// time or batched across threads. Warm-mode runs thread the session's
-/// [`conduit_sim::DeviceState`] through the stream serially, modelling an SSD that ages
-/// under sustained multi-tenant load. See the
-/// [module documentation](self) for an end-to-end example.
+/// time or batched across threads. Warm runs target a device from the pool
+/// ([`Session::create_device`], [`RunRequest::on_device`]); each device's
+/// persistent [`conduit_sim::DeviceState`] ages across its request stream,
+/// modelling one tenant's long-lived SSD.
+///
+/// # Lane scheduling and the stream clock
+///
+/// In [`Session::submit_batch`], every device forms a **FIFO lane**:
+/// requests targeting the same device run serially in request order (they
+/// share that device's mutable state), while different devices' lanes — and
+/// the fresh-request fan-out — proceed in parallel on the thread pool.
+/// Outcomes are bit-identical to submitting the same batch serially.
+///
+/// Each device carries an explicit **stream clock**: request *i* issues at
+/// request *i−1*'s finish time. [`RunSummary::queueing_time`] reports how
+/// long a request waited in its lane behind earlier requests of the same
+/// batch, and [`RunSummary::service_time`] its own execution time;
+/// `total_time` is their sum. Cumulative per-device state is available via
+/// [`Session::device_snapshot`] and resettable via
+/// [`Session::reset_device`], and whole devices can be checkpointed across
+/// processes with [`Session::export_device`] /
+/// [`Session::import_device`]. See the [module documentation](self) for an
+/// end-to-end example.
 #[derive(Debug)]
 pub struct Session {
     ssd: SsdConfig,
@@ -760,13 +986,11 @@ pub struct Session {
     default_device_mode: DeviceMode,
     registry: ProgramRegistry,
     pool: OnceLock<ThreadPool>,
-    /// The warm device (immutable models + persistent state), created
-    /// lazily on the first warm run and kept whole so repeated warm submits
-    /// do not rebuild the model stack. Behind a mutex because warm runs
-    /// mutate it while `submit` takes `&self`; the lock also *serializes*
-    /// warm runs, which is required for determinism (they share this one
-    /// state).
-    warm: Mutex<Option<SsdDevice>>,
+    /// The warm-device pool. Slot 0 is the implicit default device; the
+    /// rest are minted by [`Session::create_device`] /
+    /// [`Session::import_device`]. Behind `Arc` so batch lane tasks can
+    /// run on the thread pool without borrowing the session.
+    devices: Vec<Arc<DeviceSlot>>,
     /// The engine is stateless and a pure function of the configs; built
     /// once on first use.
     engine: OnceLock<RuntimeEngine>,
@@ -842,6 +1066,193 @@ impl Session {
             .collect())
     }
 
+    // ------------------------------------------------------------------
+    // The device pool
+    // ------------------------------------------------------------------
+
+    /// Creates (or finds) a named warm device in the session's pool and
+    /// returns its handle. Device creation is idempotent: asking for an
+    /// existing name returns the existing device's handle, so tenants can
+    /// be addressed by name without extra bookkeeping. The simulated device
+    /// itself is built lazily on first use.
+    pub fn create_device(&mut self, name: &str) -> DeviceHandle {
+        if let Some(existing) = self.find_device(name) {
+            return existing;
+        }
+        let handle = DeviceHandle(self.devices.len() as u32);
+        self.devices.push(Arc::new(DeviceSlot::new(name)));
+        handle
+    }
+
+    /// The handle of the named device, if it exists.
+    pub fn find_device(&self, name: &str) -> Option<DeviceHandle> {
+        self.devices
+            .iter()
+            .position(|slot| slot.name == name)
+            .map(|i| DeviceHandle(i as u32))
+    }
+
+    /// The implicit device the deprecated [`DeviceMode::Warm`] shim (and
+    /// [`SessionBuilder::warm`]) targets. Always present; named
+    /// `"default"`.
+    pub fn default_device(&self) -> DeviceHandle {
+        DeviceHandle(0)
+    }
+
+    /// Iterator over every device in the pool, `(handle, name)`, in
+    /// creation order (the default device first).
+    pub fn devices(&self) -> impl Iterator<Item = (DeviceHandle, &str)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| (DeviceHandle(i as u32), slot.name.as_str()))
+    }
+
+    /// The name a device was created under.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle minted by a different session.
+    pub fn device_name(&self, device: DeviceHandle) -> &str {
+        &self.slot(device).name
+    }
+
+    fn slot(&self, device: DeviceHandle) -> &Arc<DeviceSlot> {
+        self.devices
+            .get(device.index())
+            .expect("DeviceHandle was minted by a different session")
+    }
+
+    /// Cumulative counters of a pooled device: everything its request
+    /// stream has done to it so far (GC, migration, coherence traffic,
+    /// wear, energy). All-zero until the device's first run.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle minted by a different session.
+    pub fn device_snapshot(&self, device: DeviceHandle) -> DeviceSnapshot {
+        self.slot(device)
+            .lane
+            .lock()
+            .expect("device-lane mutex poisoned")
+            .device
+            .as_ref()
+            .map(SsdDevice::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// A device's stream clock: the finish time of the last request it
+    /// served (zero while pristine).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle minted by a different session.
+    pub fn device_clock(&self, device: DeviceHandle) -> SimTime {
+        self.slot(device)
+            .lane
+            .lock()
+            .expect("device-lane mutex poisoned")
+            .clock
+    }
+
+    /// Discards a pooled device's state and resets its stream clock,
+    /// returning the final snapshot; the device's next run starts from a
+    /// pristine device. Other devices and fresh runs are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle minted by a different session.
+    pub fn reset_device(&self, device: DeviceHandle) -> DeviceSnapshot {
+        let mut lane = self
+            .slot(device)
+            .lane
+            .lock()
+            .expect("device-lane mutex poisoned");
+        let snapshot = lane
+            .device
+            .take()
+            .map(|device| device.snapshot())
+            .unwrap_or_default();
+        lane.clock = SimTime::ZERO;
+        snapshot
+    }
+
+    /// Serializes a pooled device — its stream clock plus the complete
+    /// [`conduit_sim::DeviceState`] (FTL image, contention timelines,
+    /// residency, energy) — into a compact versioned byte stream. Another
+    /// session (or process) can [`Session::import_device`] it and continue
+    /// the stream with bit-identical results, like a device-aging
+    /// checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-construction errors for a never-used device (whose
+    /// pristine state is built on demand so the checkpoint is well-formed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a handle minted by a different session.
+    pub fn export_device(&self, device: DeviceHandle) -> Result<Vec<u8>> {
+        let mut lane = self
+            .slot(device)
+            .lane
+            .lock()
+            .expect("device-lane mutex poisoned");
+        if lane.device.is_none() {
+            lane.device = Some(SsdDevice::new(&self.ssd)?);
+        }
+        let state = lane.device.as_ref().expect("device was just installed");
+        let mut out = Vec::new();
+        out.extend_from_slice(&DEVICE_CHECKPOINT_MAGIC);
+        put_u16(&mut out, DEVICE_CHECKPOINT_FORMAT_VERSION);
+        put_u64(&mut out, lane.clock.as_ps());
+        out.extend_from_slice(&state.state().to_bytes());
+        Ok(out)
+    }
+
+    /// Revives a device checkpoint produced by [`Session::export_device`]
+    /// under `name`, returning its handle. If the name already exists in
+    /// the pool, the imported checkpoint **replaces** that device's state
+    /// (restoring a tenant in place); otherwise a new device is created.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] for a bad magic/version,
+    /// truncation, or a checkpoint that does not match this session's SSD
+    /// configuration. On error the pool is left unchanged.
+    pub fn import_device(&mut self, name: &str, bytes: &[u8]) -> Result<DeviceHandle> {
+        if bytes.len() < 14 || bytes[..4] != DEVICE_CHECKPOINT_MAGIC {
+            return Err(ConduitError::corrupt_checkpoint(
+                "bad device-checkpoint magic",
+            ));
+        }
+        let mut r = Reader::new(&bytes[4..14]);
+        let version = r.u16()?;
+        if version != DEVICE_CHECKPOINT_FORMAT_VERSION {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "unsupported device-checkpoint format version {version} \
+                 (expected {DEVICE_CHECKPOINT_FORMAT_VERSION})"
+            )));
+        }
+        let clock = SimTime::from_ps(r.counter()?);
+        let state = DeviceState::from_bytes(&self.ssd, &bytes[14..])?;
+        let device = SsdDevice::with_state(&self.ssd, state)?;
+        let handle = self.create_device(name);
+        let mut lane = self
+            .slot(handle)
+            .lane
+            .lock()
+            .expect("device-lane mutex poisoned");
+        lane.device = Some(device);
+        lane.clock = clock;
+        drop(lane);
+        Ok(handle)
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
     fn plan(&self, request: &RunRequest) -> Result<RunPlan> {
         let program = match &request.source {
             ProgramSource::Registered(id) => {
@@ -853,128 +1264,130 @@ impl Session {
             }
             ProgramSource::Inline(program) => Arc::clone(program),
         };
+        let target = request.target.unwrap_or(match self.default_device_mode {
+            DeviceMode::Fresh => DeviceTarget::Fresh,
+            DeviceMode::Warm => DeviceTarget::DefaultWarm,
+        });
+        let mode = match target {
+            DeviceTarget::Fresh => PlanMode::Fresh,
+            DeviceTarget::DefaultWarm => PlanMode::Device(0),
+            DeviceTarget::Named(handle) => {
+                if handle.index() >= self.devices.len() {
+                    return Err(ConduitError::invalid_config(format!(
+                        "device {handle} is not part of this session's pool"
+                    )));
+                }
+                PlanMode::Device(handle.index())
+            }
+        };
         Ok(RunPlan {
             program,
             options: request.run_options(),
             repeats: request.repeats,
             collect_energy_split: request.collect_energy_split,
             percentiles: request.percentiles.clone(),
-            mode: request.device_mode.unwrap_or(self.default_device_mode),
+            mode,
         })
     }
 
-    /// Executes one request on the calling thread (fresh-mode runs on a
-    /// pristine device; warm-mode runs continue on the session's persistent
-    /// device state).
+    fn engine(&self) -> &RuntimeEngine {
+        self.engine
+            .get_or_init(|| RuntimeEngine::with_host(&self.ssd, &self.host))
+    }
+
+    /// Executes one request on the calling thread (fresh runs on a pristine
+    /// device; warm runs continue on their pooled device's persistent
+    /// state).
     ///
     /// # Errors
     ///
-    /// Propagates unknown program handles, preparation and simulation
-    /// errors.
+    /// Propagates unknown program/device handles, preparation and
+    /// simulation errors.
     pub fn submit(&self, request: &RunRequest) -> Result<RunOutcome> {
         let plan = self.plan(request)?;
         match plan.mode {
-            DeviceMode::Fresh => execute_fresh(&self.ssd, &self.host, &plan),
-            DeviceMode::Warm => self.execute_warm(&plan),
-        }
-    }
-
-    /// Executes a warm-mode plan on the session's persistent device state.
-    ///
-    /// Warm runs are serialized on the state's mutex: they share one
-    /// mutable [`conduit_sim::DeviceState`], so running them concurrently would make the
-    /// results depend on which thread reached the device first — the lock
-    /// is what keeps a warm request stream deterministic and replayable.
-    fn execute_warm(&self, plan: &RunPlan) -> Result<RunOutcome> {
-        let mut slot = self.warm.lock().expect("warm-device mutex poisoned");
-        if slot.is_none() {
-            *slot = Some(SsdDevice::new(&self.ssd)?);
-        }
-        let device = slot.as_mut().expect("warm device was just installed");
-        let engine = self
-            .engine
-            .get_or_init(|| RuntimeEngine::with_host(&self.ssd, &self.host));
-        let before = device.snapshot();
-        let mut report: Result<Option<RunReport>> = Ok(None);
-        for _ in 0..plan.repeats {
-            // Re-preparing is idempotent for pages the warm device already
-            // mapped; only genuinely new pages get placed.
-            report = engine
-                .prepare(device, &plan.program)
-                .and_then(|()| engine.run(device, &plan.program, &plan.options))
-                .map(Some);
-            if report.is_err() {
-                // The (possibly partially advanced) device stays with the
-                // session so the stream can continue or be inspected.
-                break;
+            PlanMode::Fresh => execute_fresh(&self.ssd, &self.host, &plan),
+            PlanMode::Device(slot) => {
+                execute_on_lane(self.engine(), &self.ssd, &self.devices[slot], &plan, None)
             }
         }
-        let delta = device.snapshot().delta_since(&before);
-        let report = report?.expect("repeats is clamped to at least one");
-        Ok(build_outcome(report, plan, delta))
-    }
-
-    /// Cumulative counters of the session's warm device: everything the
-    /// warm request stream has done to it so far (GC, migration, coherence
-    /// traffic, wear, energy). All-zero until the first
-    /// [`DeviceMode::Warm`] run.
-    pub fn device_snapshot(&self) -> DeviceSnapshot {
-        self.warm
-            .lock()
-            .expect("warm-device mutex poisoned")
-            .as_ref()
-            .map(SsdDevice::snapshot)
-            .unwrap_or_default()
-    }
-
-    /// Discards the warm device, returning its final snapshot; the next
-    /// warm run starts from a pristine device. Fresh-mode runs are
-    /// unaffected.
-    pub fn reset_device(&self) -> DeviceSnapshot {
-        self.warm
-            .lock()
-            .expect("warm-device mutex poisoned")
-            .take()
-            .map(|device| device.snapshot())
-            .unwrap_or_default()
     }
 
     /// Executes a batch of independent requests and returns the outcomes in
-    /// request order. Fresh-mode requests fan out across the session's
-    /// thread pool; warm-mode requests run serially in request order on the
-    /// submitting thread (they share the session's one device state — see
-    /// [`DeviceMode::Warm`]).
+    /// request order. Fresh requests fan out across the session's thread
+    /// pool; warm requests are grouped into **per-device FIFO lanes** —
+    /// serial in request order within a device (they share its state and
+    /// stream clock), parallel across devices and alongside the fresh
+    /// fan-out.
     ///
-    /// Every fresh run simulates on a fresh device and every warm run takes
-    /// the device lock in request order, so the outcomes are
-    /// **bit-identical** to calling [`Session::submit`] on each request in
-    /// order — only the wall-clock time changes
-    /// (`tests/integration_determinism.rs` asserts this).
+    /// Every fresh run simulates on a fresh device and every lane executes
+    /// its device's requests in request order, so the outcomes are
+    /// **bit-identical** to running the whole batch serially — only the
+    /// wall-clock time changes (`tests/integration_determinism.rs` and
+    /// `tests/integration_device_pool.rs` assert this).
     ///
     /// # Errors
     ///
-    /// Resolves every request's program up front (failing fast on unknown
-    /// handles) and propagates the first simulation error by request order.
+    /// Resolves every request's program and device up front (failing fast
+    /// on unknown handles) and propagates the first simulation error by
+    /// request order.
     pub fn submit_batch(&self, requests: &[RunRequest]) -> Result<Vec<RunOutcome>> {
         let plans: Vec<RunPlan> = requests
             .iter()
             .map(|r| self.plan(r))
             .collect::<Result<_>>()?;
         let fresh: Vec<usize> = (0..plans.len())
-            .filter(|&i| plans[i].mode == DeviceMode::Fresh)
+            .filter(|&i| plans[i].mode == PlanMode::Fresh)
             .collect();
-        let fan_out = self.workers.min(fresh.len());
-        if fan_out <= 1 {
+        // Per-device FIFO lanes, keyed by slot, requests in request order.
+        let mut lanes: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, plan) in plans.iter().enumerate() {
+            if let PlanMode::Device(slot) = plan.mode {
+                match lanes.iter_mut().find(|(s, _)| *s == slot) {
+                    Some((_, indices)) => indices.push(i),
+                    None => lanes.push((slot, vec![i])),
+                }
+            }
+        }
+        // Every request in a batch "arrives" at its device's current stream
+        // clock; later lane positions accumulate queueing time. Captured up
+        // front so the serial and parallel paths agree bit-identically.
+        let arrivals: Vec<SimTime> = lanes
+            .iter()
+            .map(|&(slot, _)| {
+                self.devices[slot]
+                    .lane
+                    .lock()
+                    .expect("device-lane mutex poisoned")
+                    .clock
+            })
+            .collect();
+        let arrival_of = |slot: usize| {
+            lanes
+                .iter()
+                .position(|&(s, _)| s == slot)
+                .map(|i| arrivals[i])
+                .expect("every device slot in the batch has an arrival clock")
+        };
+
+        let parallelism = self.workers.min(fresh.len()) + lanes.len();
+        if self.workers <= 1 || parallelism <= 1 {
             // Execute *every* plan before propagating the first error (by
             // request order) — the parallel path below cannot short-circuit
-            // warm requests on a fresh request's failure, so the serial
-            // fallback must not either, or the warm device would age
-            // differently depending on the worker count.
+            // one lane on another's failure, so the serial fallback must
+            // not either, or the devices would age differently depending on
+            // the worker count.
             let outcomes: Vec<Result<RunOutcome>> = plans
                 .iter()
-                .map(|p| match p.mode {
-                    DeviceMode::Fresh => execute_fresh(&self.ssd, &self.host, p),
-                    DeviceMode::Warm => self.execute_warm(p),
+                .map(|plan| match plan.mode {
+                    PlanMode::Fresh => execute_fresh(&self.ssd, &self.host, plan),
+                    PlanMode::Device(slot) => execute_on_lane(
+                        self.engine(),
+                        &self.ssd,
+                        &self.devices[slot],
+                        plan,
+                        Some(arrival_of(slot)),
+                    ),
                 })
                 .collect();
             return outcomes.into_iter().collect();
@@ -982,7 +1395,8 @@ impl Session {
 
         let pool = self.pool.get_or_init(|| ThreadPool::new(self.workers));
         let total = plans.len();
-        let fresh_total = fresh.len();
+        let fan_out = self.workers.min(fresh.len());
+        let expected = fresh.len() + lanes.iter().map(|(_, idx)| idx.len()).sum::<usize>();
         let shared = Arc::new(BatchState {
             ssd: self.ssd.clone(),
             host: self.host.clone(),
@@ -1006,17 +1420,35 @@ impl Session {
                 }
             });
         }
+        // One task per device lane: the lane walks its requests in request
+        // order while other lanes and the fresh fan-out proceed in
+        // parallel. A request failure does not stop the lane (matching the
+        // serial path), it is reported in that request's slot.
+        for (lane_pos, (slot, indices)) in lanes.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            let device = Arc::clone(&self.devices[slot]);
+            let engine = self.engine().clone();
+            let arrival = arrivals[lane_pos];
+            pool.execute(move || {
+                for i in indices {
+                    let outcome = execute_on_lane(
+                        &engine,
+                        &shared.ssd,
+                        &device,
+                        &shared.plans[i],
+                        Some(arrival),
+                    );
+                    if tx.send((i, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
         drop(tx);
 
         let mut slots: Vec<Option<Result<RunOutcome>>> = (0..total).map(|_| None).collect();
-        // Warm requests run here, serially and in request order, while the
-        // pool chews through the fresh ones.
-        for (i, slot) in slots.iter_mut().enumerate() {
-            if shared.plans[i].mode == DeviceMode::Warm {
-                *slot = Some(self.execute_warm(&shared.plans[i]));
-            }
-        }
-        for _ in 0..fresh_total {
+        for _ in 0..expected {
             let (i, outcome) = rx
                 .recv()
                 .map_err(|_| ConduitError::simulation("batch worker terminated unexpectedly"))?;
@@ -1053,6 +1485,8 @@ mod tests {
         assert_eq!(outcome.summary.instructions, 2);
         assert_eq!(outcome.summary.workload, "s");
         assert!(outcome.summary.total_time > Duration::ZERO);
+        assert_eq!(outcome.summary.total_time, outcome.summary.service_time);
+        assert_eq!(outcome.summary.queueing_time, Duration::ZERO);
         assert!(outcome.summary.total_energy > Energy::ZERO);
         assert!(outcome.summary.energy_split.is_some());
         assert_eq!(outcome.summary.latency.len(), 2);
@@ -1100,6 +1534,19 @@ mod tests {
                 RunRequest::new(id_b, Policy::Conduit),
                 RunRequest::new(foreign, Policy::Conduit),
             ])
+            .is_err());
+    }
+
+    #[test]
+    fn foreign_device_handle_is_rejected() {
+        let mut a = session();
+        let mut b = session();
+        let _ = b.create_device("x");
+        let _ = b.create_device("y");
+        let foreign = b.create_device("z");
+        let id = a.register(program("d")).unwrap();
+        assert!(a
+            .submit(&RunRequest::new(id, Policy::Conduit).on_device(foreign))
             .is_err());
     }
 
@@ -1234,18 +1681,19 @@ mod tests {
     }
 
     #[test]
-    fn warm_requests_carry_device_state_across_submissions() {
+    fn warm_shim_carries_device_state_across_submissions() {
         let s = session();
         let request = RunRequest::inline(program("warm"), Policy::Conduit).warm();
+        let default = s.default_device();
         let first = s.submit(&request).unwrap();
-        let snap_after_first = s.device_snapshot();
+        let snap_after_first = s.device_snapshot(default);
         assert!(snap_after_first.device_ops > 0);
         assert_eq!(
             first.summary.device_delta.device_ops,
             snap_after_first.device_ops
         );
         let second = s.submit(&request).unwrap();
-        let snap_after_second = s.device_snapshot();
+        let snap_after_second = s.device_snapshot(default);
         // The warm device accumulates: the second run starts where the
         // first ended.
         assert!(snap_after_second.device_ops > snap_after_first.device_ops);
@@ -1253,10 +1701,94 @@ mod tests {
             second.summary.device_delta.device_ops,
             snap_after_second.device_ops - snap_after_first.device_ops
         );
+        // The stream clock advanced past both runs.
+        assert_eq!(
+            s.device_clock(default).as_ps(),
+            first.summary.service_time.as_ps() + second.summary.service_time.as_ps()
+        );
         // Resetting discards the state; the next snapshot is pristine.
-        let last = s.reset_device();
+        let last = s.reset_device(default);
         assert_eq!(last, snap_after_second);
-        assert_eq!(s.device_snapshot(), conduit_sim::DeviceSnapshot::default());
+        assert_eq!(
+            s.device_snapshot(default),
+            conduit_sim::DeviceSnapshot::default()
+        );
+        assert_eq!(s.device_clock(default), SimTime::ZERO);
+    }
+
+    #[test]
+    fn named_devices_age_independently() {
+        let mut s = session();
+        let id = s.register(program("tenants")).unwrap();
+        let a = s.create_device("tenant-a");
+        let b = s.create_device("tenant-b");
+        assert_ne!(a, b);
+        assert_eq!(s.create_device("tenant-a"), a, "creation is idempotent");
+        assert_eq!(s.find_device("tenant-b"), Some(b));
+        assert_eq!(s.device_name(a), "tenant-a");
+        assert_eq!(s.devices().count(), 3, "default + two tenants");
+
+        s.submit(&RunRequest::new(id, Policy::Conduit).on_device(a))
+            .unwrap();
+        s.submit(&RunRequest::new(id, Policy::Conduit).on_device(a))
+            .unwrap();
+        s.submit(&RunRequest::new(id, Policy::Conduit).on_device(b))
+            .unwrap();
+        let snap_a = s.device_snapshot(a);
+        let snap_b = s.device_snapshot(b);
+        assert!(snap_a.device_ops > snap_b.device_ops);
+        assert_eq!(
+            s.device_snapshot(s.default_device()),
+            DeviceSnapshot::default(),
+            "the default device is untouched by named-device traffic"
+        );
+        // Resetting one tenant leaves the other aging.
+        s.reset_device(a);
+        assert_eq!(s.device_snapshot(a), DeviceSnapshot::default());
+        assert_eq!(s.device_snapshot(b), snap_b);
+    }
+
+    #[test]
+    fn lane_requests_split_queueing_from_service() {
+        let mut s = Session::builder(SsdConfig::small_for_tests())
+            .workers(4)
+            .build();
+        let id = s.register(program("lane")).unwrap();
+        let dev = s.create_device("tenant");
+        let batch = s
+            .submit_batch(&[
+                RunRequest::new(id, Policy::Conduit).on_device(dev),
+                RunRequest::new(id, Policy::Conduit).on_device(dev),
+            ])
+            .unwrap();
+        assert_eq!(batch[0].summary.queueing_time, Duration::ZERO);
+        // The second request queued behind the first's service time.
+        assert_eq!(
+            batch[1].summary.queueing_time,
+            batch[0].summary.service_time
+        );
+        assert_eq!(
+            batch[1].summary.total_time,
+            batch[1].summary.queueing_time + batch[1].summary.service_time
+        );
+        // A lone submit finds the lane idle: no queueing.
+        let lone = s
+            .submit(&RunRequest::new(id, Policy::Conduit).on_device(dev))
+            .unwrap();
+        assert_eq!(lone.summary.queueing_time, Duration::ZERO);
+        // Repeats are the request's own service, not lane wait: a repeated
+        // request on an idle lane still reports zero queueing while its
+        // repeats advance the stream clock.
+        let clock_before = s.device_clock(dev);
+        let repeated = s
+            .submit(
+                &RunRequest::new(id, Policy::Conduit)
+                    .on_device(dev)
+                    .repeat(3),
+            )
+            .unwrap();
+        assert_eq!(repeated.summary.queueing_time, Duration::ZERO);
+        assert!(s.device_clock(dev) > clock_before);
     }
 
     #[test]
@@ -1280,13 +1812,80 @@ mod tests {
             .warm()
             .build();
         let id = s.register(program("default-warm")).unwrap();
+        let default = s.default_device();
         assert!(s.submit(&RunRequest::new(id, Policy::Conduit)).is_ok());
-        assert!(s.device_snapshot().device_ops > 0, "default mode is warm");
-        let cumulative = s.device_snapshot().device_ops;
+        assert!(
+            s.device_snapshot(default).device_ops > 0,
+            "default mode is warm"
+        );
+        let cumulative = s.device_snapshot(default).device_ops;
         // An explicit Fresh override leaves the warm device untouched.
         s.submit(&RunRequest::new(id, Policy::Conduit).device_mode(DeviceMode::Fresh))
             .unwrap();
-        assert_eq!(s.device_snapshot().device_ops, cumulative);
+        assert_eq!(s.device_snapshot(default).device_ops, cumulative);
+    }
+
+    #[test]
+    fn device_checkpoint_roundtrips_between_sessions() {
+        let mut s = session();
+        let id = s.register(program("ckpt")).unwrap();
+        let dev = s.create_device("aging");
+        for policy in [Policy::Conduit, Policy::PudSsd, Policy::HostCpu] {
+            s.submit(&RunRequest::new(id, policy).on_device(dev))
+                .unwrap();
+        }
+        let bytes = s.export_device(dev).unwrap();
+
+        let mut other = session();
+        let other_id = other.register(program("ckpt")).unwrap();
+        let revived = other.import_device("aging", &bytes).unwrap();
+        assert_eq!(other.device_snapshot(revived), s.device_snapshot(dev));
+        assert_eq!(other.device_clock(revived), s.device_clock(dev));
+
+        // Replay after the checkpoint is bit-identical to continuing the
+        // original stream.
+        let continued = s
+            .submit(&RunRequest::new(id, Policy::Conduit).on_device(dev))
+            .unwrap();
+        let replayed = other
+            .submit(&RunRequest::new(other_id, Policy::Conduit).on_device(revived))
+            .unwrap();
+        assert_eq!(continued, replayed);
+
+        // Corrupt checkpoints are rejected.
+        assert!(other.import_device("bad", &bytes[..10]).is_err());
+        let mut flipped = bytes.clone();
+        flipped[0] = b'X';
+        assert!(other.import_device("bad", &flipped).is_err());
+    }
+
+    #[test]
+    fn importing_over_an_existing_name_replaces_the_device() {
+        let mut s = session();
+        let id = s.register(program("replace")).unwrap();
+        let dev = s.create_device("tenant");
+        s.submit(&RunRequest::new(id, Policy::Conduit).on_device(dev))
+            .unwrap();
+        let checkpoint = s.export_device(dev).unwrap();
+        // Age the device further, then restore the earlier checkpoint in
+        // place.
+        s.submit(&RunRequest::new(id, Policy::Conduit).on_device(dev))
+            .unwrap();
+        let aged = s.device_snapshot(dev);
+        let restored = s.import_device("tenant", &checkpoint).unwrap();
+        assert_eq!(restored, dev, "the handle is stable across restores");
+        assert_ne!(s.device_snapshot(dev), aged);
+    }
+
+    #[test]
+    fn exporting_a_pristine_device_roundtrips() {
+        let mut s = session();
+        let dev = s.create_device("unused");
+        let bytes = s.export_device(dev).unwrap();
+        let mut other = session();
+        let revived = other.import_device("unused", &bytes).unwrap();
+        assert_eq!(other.device_snapshot(revived), DeviceSnapshot::default());
+        assert_eq!(other.device_clock(revived), SimTime::ZERO);
     }
 
     #[test]

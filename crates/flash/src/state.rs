@@ -7,6 +7,7 @@
 //! bad block.
 
 use crate::geometry::FlashGeometry;
+use conduit_types::bytes::{put_u32, put_u64, Reader};
 use conduit_types::{ConduitError, FlashConfig, PhysicalPageAddr, Result};
 
 /// The lifecycle state of one physical flash page.
@@ -223,6 +224,92 @@ impl FlashState {
         totals
     }
 
+    /// Appends this array's mutable state (per-block erase counts, bad
+    /// flags, write pointers and 2-bit page states) to `out` in the compact
+    /// little-endian checkpoint layout. The geometry is *not* stored — it is
+    /// a pure function of the [`FlashConfig`] the decoder is given.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.blocks.len() as u64);
+        for block in &self.blocks {
+            put_u64(out, block.erase_count);
+            out.push(u8::from(block.bad));
+            put_u32(out, block.write_pointer);
+            // Page states packed four to a byte (Free=0, Valid=1, Invalid=2).
+            let mut acc = 0u8;
+            let mut filled = 0u8;
+            for page in &block.pages {
+                let code = match page {
+                    PageState::Free => 0u8,
+                    PageState::Valid => 1,
+                    PageState::Invalid => 2,
+                };
+                acc |= code << (2 * filled);
+                filled += 1;
+                if filled == 4 {
+                    out.push(acc);
+                    acc = 0;
+                    filled = 0;
+                }
+            }
+            if filled > 0 {
+                out.push(acc);
+            }
+        }
+    }
+
+    /// Decodes a state serialized by [`FlashState::encode_into`] for the
+    /// given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] on truncation, an unknown
+    /// page-state code, or a block count that does not match the geometry
+    /// `cfg` describes.
+    pub fn decode_from(cfg: &FlashConfig, r: &mut Reader<'_>) -> Result<Self> {
+        let mut state = FlashState::new(cfg);
+        let count = r.u64()? as usize;
+        if count != state.blocks.len() {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "flash checkpoint has {count} blocks but the configuration describes {}",
+                state.blocks.len()
+            )));
+        }
+        let pages_per_block = cfg.pages_per_block as usize;
+        let packed_len = pages_per_block.div_ceil(4);
+        for block in &mut state.blocks {
+            block.erase_count = r.counter()?;
+            block.bad = match r.u8()? {
+                0 => false,
+                1 => true,
+                v => {
+                    return Err(ConduitError::corrupt_checkpoint(format!(
+                        "unknown bad-block flag {v}"
+                    )))
+                }
+            };
+            block.write_pointer = r.u32()?;
+            if block.write_pointer as usize > pages_per_block {
+                return Err(ConduitError::corrupt_checkpoint(
+                    "write pointer beyond block size",
+                ));
+            }
+            let packed = r.take(packed_len)?;
+            for (i, page) in block.pages.iter_mut().enumerate() {
+                *page = match (packed[i / 4] >> (2 * (i % 4))) & 0b11 {
+                    0 => PageState::Free,
+                    1 => PageState::Valid,
+                    2 => PageState::Invalid,
+                    code => {
+                        return Err(ConduitError::corrupt_checkpoint(format!(
+                            "unknown page-state code {code}"
+                        )))
+                    }
+                };
+            }
+        }
+        Ok(state)
+    }
+
     /// Wear statistics across blocks: `(min, max, mean)` erase counts.
     pub fn wear_stats(&self) -> (u64, u64, f64) {
         let counts: Vec<u64> = self.blocks.iter().map(|b| b.erase_count).collect();
@@ -323,6 +410,33 @@ mod tests {
         assert_eq!(min, 0);
         assert_eq!(max, 2);
         assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_an_aged_array() {
+        let cfg = SsdConfig::small_for_tests().flash;
+        let mut s = FlashState::new(&cfg);
+        let a0 = s.geometry().addr_of(0);
+        let a1 = s.geometry().addr_of(1);
+        s.program(a0).unwrap();
+        s.program(a1).unwrap();
+        s.invalidate(a0).unwrap();
+        s.erase_block(s.geometry().total_blocks() - 1).unwrap();
+        s.mark_bad(s.geometry().total_blocks() - 2);
+
+        let mut buf = Vec::new();
+        s.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = FlashState::decode_from(&cfg, &mut r).unwrap();
+        assert!(r.finished());
+        assert_eq!(back, s);
+
+        // A mismatched geometry is rejected rather than silently truncated.
+        let mut small = cfg.clone();
+        small.blocks_per_plane /= 2;
+        assert!(FlashState::decode_from(&small, &mut Reader::new(&buf)).is_err());
+        // Truncation is rejected.
+        assert!(FlashState::decode_from(&cfg, &mut Reader::new(&buf[..buf.len() - 1])).is_err());
     }
 
     #[test]

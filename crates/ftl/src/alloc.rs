@@ -11,6 +11,7 @@
 //!    multi-wordline AND) are placed in pages of the *same block*.
 
 use conduit_flash::FlashState;
+use conduit_types::bytes::{put_u64, Reader};
 use conduit_types::{ConduitError, PhysicalPageAddr, Result};
 
 /// Allocates physical pages from the flash array, maintaining one active
@@ -130,6 +131,79 @@ impl PageAllocator {
         }
         debug_assert!(out.windows(2).all(|w| w[0].same_block(w[1])));
         Ok(out)
+    }
+
+    /// Appends the allocator's cursor state (active block and scan cursor
+    /// per plane, the striping cursor) to `out`. The geometry-derived totals
+    /// are not stored.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.active_blocks.len() as u64);
+        for active in &self.active_blocks {
+            match active {
+                Some(block) => {
+                    out.push(1);
+                    put_u64(out, *block);
+                }
+                None => out.push(0),
+            }
+        }
+        for scan in &self.next_block_scan {
+            put_u64(out, *scan);
+        }
+        put_u64(out, self.next_plane);
+    }
+
+    /// Decodes an allocator serialized by [`PageAllocator::encode_into`]
+    /// against the given flash array.
+    pub(crate) fn decode_from(state: &FlashState, r: &mut Reader<'_>) -> Result<Self> {
+        let mut alloc = PageAllocator::new(state);
+        let planes = r.u64()?;
+        if planes != alloc.total_planes {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "allocator checkpoint has {planes} planes but the geometry has {}",
+                alloc.total_planes
+            )));
+        }
+        let total_blocks = state.geometry().total_blocks();
+        for (plane, active) in alloc.active_blocks.iter_mut().enumerate() {
+            *active = match r.u8()? {
+                0 => None,
+                1 => {
+                    let block = r.u64()?;
+                    // In range *and* belonging to this slot's plane —
+                    // an in-range block from another plane would silently
+                    // break the plane-placement contract.
+                    if block >= total_blocks || block / alloc.blocks_per_plane != plane as u64 {
+                        return Err(ConduitError::corrupt_checkpoint(
+                            "active block outside its plane",
+                        ));
+                    }
+                    Some(block)
+                }
+                flag => {
+                    return Err(ConduitError::corrupt_checkpoint(format!(
+                        "unknown active-block flag {flag}"
+                    )))
+                }
+            };
+        }
+        for scan in &mut alloc.next_block_scan {
+            let cursor = r.u64()?;
+            if cursor >= alloc.blocks_per_plane {
+                return Err(ConduitError::corrupt_checkpoint(
+                    "block-scan cursor beyond the plane",
+                ));
+            }
+            *scan = cursor;
+        }
+        let next_plane = r.u64()?;
+        if next_plane >= alloc.total_planes {
+            return Err(ConduitError::corrupt_checkpoint(
+                "striping cursor beyond the plane count",
+            ));
+        }
+        alloc.next_plane = next_plane;
+        Ok(alloc)
     }
 
     fn allocate_in_plane(

@@ -10,7 +10,32 @@
 
 use std::collections::HashMap;
 
-use conduit_types::{DataLocation, LogicalPageId};
+use conduit_types::bytes::{put_u64, Reader};
+use conduit_types::{ConduitError, DataLocation, LogicalPageId, Result};
+
+/// One-byte wire encoding of a [`DataLocation`] (checkpoint format).
+fn location_code(loc: DataLocation) -> u8 {
+    match loc {
+        DataLocation::Flash => 0,
+        DataLocation::Dram => 1,
+        DataLocation::CtrlSram => 2,
+        DataLocation::Host => 3,
+    }
+}
+
+fn location_from_code(code: u8) -> Result<DataLocation> {
+    Ok(match code {
+        0 => DataLocation::Flash,
+        1 => DataLocation::Dram,
+        2 => DataLocation::CtrlSram,
+        3 => DataLocation::Host,
+        _ => {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "unknown data-location code {code}"
+            )))
+        }
+    })
+}
 
 /// Modification state of a logical page with respect to flash.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -178,6 +203,65 @@ impl CoherenceDirectory {
     /// Total writes recorded and flushes performed: `(writes, flushes)`.
     pub fn traffic(&self) -> (u64, u64) {
         (self.writes, self.flushes)
+    }
+
+    /// Appends the directory's state (entries sorted by logical page for a
+    /// deterministic encoding, plus the traffic counters) to `out`.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut entries: Vec<(&LogicalPageId, &Entry)> = self.entries.iter().collect();
+        entries.sort_by_key(|(p, _)| **p);
+        put_u64(out, entries.len() as u64);
+        for (page, entry) in entries {
+            put_u64(out, page.index());
+            out.push(location_code(entry.owner));
+            out.push(match entry.state {
+                CoherenceState::Clean => 0,
+                CoherenceState::Dirty => 1,
+            });
+            out.push(entry.version);
+        }
+        put_u64(out, self.writes);
+        put_u64(out, self.flushes);
+    }
+
+    /// Decodes a directory serialized by
+    /// [`CoherenceDirectory::encode_into`].
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let mut dir = CoherenceDirectory::new();
+        let count = r.u64()? as usize;
+        for _ in 0..count {
+            let page = LogicalPageId::new(r.u64()?);
+            let owner = location_from_code(r.u8()?)?;
+            let state = match r.u8()? {
+                0 => CoherenceState::Clean,
+                1 => CoherenceState::Dirty,
+                code => {
+                    return Err(ConduitError::corrupt_checkpoint(format!(
+                        "unknown coherence-state code {code}"
+                    )))
+                }
+            };
+            let version = r.u8()?;
+            if dir
+                .entries
+                .insert(
+                    page,
+                    Entry {
+                        owner,
+                        state,
+                        version,
+                    },
+                )
+                .is_some()
+            {
+                return Err(ConduitError::corrupt_checkpoint(format!(
+                    "duplicate coherence entry for page {page}"
+                )));
+            }
+        }
+        dir.writes = r.counter()?;
+        dir.flushes = r.counter()?;
+        Ok(dir)
     }
 
     /// The coherence metadata footprint in SSD DRAM: owner (4 bits), state

@@ -71,6 +71,12 @@ impl GarbageCollector {
         self.invocations
     }
 
+    /// Restores the invocation counter from a checkpoint (the threshold is
+    /// configuration-derived and not part of the checkpoint).
+    pub(crate) fn restore_invocations(&mut self, invocations: u64) {
+        self.invocations = invocations;
+    }
+
     /// Whether garbage collection should run given the array's current
     /// occupancy.
     pub fn should_run(&self, state: &FlashState) -> bool {

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use conduit_types::bytes::{put_u16, put_u32, put_u64, Reader};
 use conduit_types::{ConduitError, LogicalPageId, PhysicalPageAddr, Result};
 
 /// Whether an L2P lookup hit the in-DRAM mapping cache or had to fetch the
@@ -128,6 +129,17 @@ impl L2pTable {
         (self.hits, self.misses)
     }
 
+    /// The mapping-cache capacity this table was built with.
+    pub(crate) fn cache_capacity(&self) -> usize {
+        self.cache_capacity
+    }
+
+    /// Iterator over every `(logical, physical)` mapping, in arbitrary
+    /// order.
+    pub(crate) fn mappings(&self) -> impl Iterator<Item = (LogicalPageId, PhysicalPageAddr)> + '_ {
+        self.map.iter().map(|(&p, &a)| (p, a))
+    }
+
     /// Cache hit rate since creation (1.0 when there have been no lookups).
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -138,8 +150,86 @@ impl L2pTable {
         }
     }
 
+    /// Appends the table's state (mappings, cached entries with their LRU
+    /// stamps, clock and hit/miss counters) to `out`. Map entries are sorted
+    /// by logical page id so the encoding is deterministic regardless of
+    /// `HashMap` iteration order.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut mappings: Vec<(&LogicalPageId, &PhysicalPageAddr)> = self.map.iter().collect();
+        mappings.sort_by_key(|(p, _)| **p);
+        put_u64(out, mappings.len() as u64);
+        for (page, addr) in mappings {
+            put_u64(out, page.index());
+            out.push(addr.channel);
+            out.push(addr.chip);
+            out.push(addr.die);
+            out.push(addr.plane);
+            put_u32(out, addr.block);
+            put_u16(out, addr.page);
+        }
+        let mut cached: Vec<(&LogicalPageId, &u64)> = self.cache.iter().collect();
+        cached.sort_by_key(|(p, _)| **p);
+        put_u64(out, cached.len() as u64);
+        for (page, stamp) in cached {
+            put_u64(out, page.index());
+            put_u64(out, *stamp);
+        }
+        put_u64(out, self.clock);
+        put_u64(out, self.hits);
+        put_u64(out, self.misses);
+    }
+
+    /// Decodes a table serialized by [`L2pTable::encode_into`] into an empty
+    /// table with `cache_capacity` (which is derived from the configuration,
+    /// not stored).
+    pub(crate) fn decode_from(cache_capacity: usize, r: &mut Reader<'_>) -> Result<Self> {
+        let mut table = L2pTable::new(cache_capacity);
+        let mappings = r.u64()? as usize;
+        for _ in 0..mappings {
+            let page = LogicalPageId::new(r.u64()?);
+            let addr =
+                PhysicalPageAddr::new(r.u8()?, r.u8()?, r.u8()?, r.u8()?, r.u32()?, r.u16()?);
+            if table.map.insert(page, addr).is_some() {
+                return Err(ConduitError::corrupt_checkpoint(format!(
+                    "duplicate L2P mapping for page {page}"
+                )));
+            }
+        }
+        let cached = r.u64()? as usize;
+        for _ in 0..cached {
+            let page = LogicalPageId::new(r.u64()?);
+            let stamp = r.counter()?;
+            if !table.map.contains_key(&page) {
+                return Err(ConduitError::corrupt_checkpoint(format!(
+                    "cached L2P entry for unmapped page {page}"
+                )));
+            }
+            table.cache.insert(page, stamp);
+        }
+        table.clock = r.counter()?;
+        table.hits = r.counter()?;
+        table.misses = r.counter()?;
+        // Stamps are handed out from the clock, so none may exceed it.
+        if table.cache.values().any(|&stamp| stamp > table.clock) {
+            return Err(ConduitError::corrupt_checkpoint(
+                "L2P cache stamp is ahead of the LRU clock",
+            ));
+        }
+        // `touch` evicts one entry at a time, so an oversized decoded cache
+        // would stay oversized forever — reject it instead.
+        if table.cache.len() > table.cache_capacity {
+            return Err(ConduitError::corrupt_checkpoint(
+                "L2P cache holds more entries than its configured capacity",
+            ));
+        }
+        Ok(table)
+    }
+
     fn touch(&mut self, page: LogicalPageId) {
-        self.clock += 1;
+        // Saturating: the stamp clock never wraps (a wrap would reorder the
+        // LRU approximation, and a restored checkpoint may carry a large
+        // clock).
+        self.clock = self.clock.saturating_add(1);
         self.cache.insert(page, self.clock);
         if self.cache.len() > self.cache_capacity {
             self.evict();

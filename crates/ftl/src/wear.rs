@@ -56,6 +56,12 @@ impl WearLeveler {
         self.swaps_scheduled
     }
 
+    /// Restores the swap counter from a checkpoint (the spread threshold is
+    /// configuration-derived and not part of the checkpoint).
+    pub(crate) fn restore_swaps(&mut self, swaps: u64) {
+        self.swaps_scheduled = swaps;
+    }
+
     /// Produces a wear report for the array.
     pub fn report(&self, state: &FlashState) -> WearReport {
         let (min, max, mean) = state.wear_stats();

@@ -9,7 +9,8 @@
 //! so attribution is a typed [`EnergySource`] indexing a fixed-size array —
 //! no string formatting, hashing or heap allocation per charge.
 
-use conduit_types::{Energy, EnergySource};
+use conduit_types::bytes::{put_f64, Reader};
+use conduit_types::{Energy, EnergySource, Result};
 
 /// The coarse category an energy contribution belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -116,6 +117,29 @@ impl EnergyMeter {
             .iter()
             .map(move |&s| (s, self.by_source[s.index()]))
             .filter(|(_, e)| !e.is_zero())
+    }
+
+    /// Appends the accumulated totals (category sums and the per-source
+    /// array, as exact IEEE-754 bit patterns) to `out`.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        put_f64(out, self.compute.as_nj());
+        put_f64(out, self.data_movement.as_nj());
+        for source in &self.by_source {
+            put_f64(out, source.as_nj());
+        }
+    }
+
+    /// Decodes a meter serialized by [`EnergyMeter::encode_into`]. The
+    /// category sums are stored (not re-derived) so floating-point
+    /// accumulation order never changes the restored totals.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let mut meter = EnergyMeter::new();
+        meter.compute = Energy::from_nj(r.f64()?);
+        meter.data_movement = Energy::from_nj(r.f64()?);
+        for source in &mut meter.by_source {
+            *source = Energy::from_nj(r.f64()?);
+        }
+        Ok(meter)
     }
 
     /// Merges another meter into this one.

@@ -50,5 +50,7 @@ pub use engine::EventQueue;
 pub use estimates::{CostEstimate, EstimateTable};
 pub use host::{HostCpuModel, HostGpuModel};
 pub use resources::{ResourcePool, SharedResource};
-pub use state::{DeviceDelta, DeviceSnapshot, DeviceState};
+pub use state::{
+    DeviceDelta, DeviceSnapshot, DeviceState, DEVICE_STATE_FORMAT_VERSION, DEVICE_STATE_MAGIC,
+};
 pub use stats::{CostBreakdown, LatencyStats};

@@ -11,7 +11,8 @@
 //! the *resource queueing delay* (how long until the unit is free) and the
 //! implicit contention captured in data-movement times.
 
-use conduit_types::{Duration, SimTime};
+use conduit_types::bytes::{put_u64, Reader};
+use conduit_types::{ConduitError, Duration, Result, SimTime};
 
 /// A single contended unit with a busy-until timeline.
 ///
@@ -81,6 +82,23 @@ impl SharedResource {
     /// Number of reservations served.
     pub fn completed(&self) -> u64 {
         self.completed
+    }
+
+    /// Appends the timeline's state (busy-until, total busy time, completed
+    /// count) to `out`; the name is configuration-derived and not stored.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.busy_until.as_ps());
+        put_u64(out, self.total_busy.as_ps());
+        put_u64(out, self.completed);
+    }
+
+    /// Restores the timeline state serialized by
+    /// [`SharedResource::encode_into`], keeping this resource's name.
+    pub(crate) fn restore_from(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        self.busy_until = SimTime::from_ps(r.counter()?);
+        self.total_busy = Duration::from_ps(r.counter()?);
+        self.completed = r.counter()?;
+        Ok(())
     }
 
     /// Fraction of the interval `[ZERO, now]` this resource spent busy.
@@ -198,6 +216,35 @@ impl ResourcePool {
     /// Total reservations served across all units.
     pub fn completed(&self) -> u64 {
         self.units.iter().map(|u| u.completed()).sum()
+    }
+
+    /// Appends every unit's timeline state to `out` behind a unit count.
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.units.len() as u64);
+        for unit in &self.units {
+            unit.encode_into(out);
+        }
+    }
+
+    /// Restores the pool serialized by [`ResourcePool::encode_into`],
+    /// keeping the unit names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] if the stored unit count
+    /// does not match this (configuration-derived) pool's size.
+    pub(crate) fn restore_from(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        let count = r.u64()? as usize;
+        if count != self.units.len() {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "pool checkpoint has {count} units but the configuration describes {}",
+                self.units.len()
+            )));
+        }
+        for unit in &mut self.units {
+            unit.restore_from(r)?;
+        }
+        Ok(())
     }
 
     fn earliest_unit(&self, at: SimTime) -> usize {

@@ -19,10 +19,17 @@
 use std::collections::{HashSet, VecDeque};
 
 use conduit_ftl::Ftl;
-use conduit_types::{Energy, LogicalPageId, Result, SsdConfig};
+use conduit_types::bytes::{put_u16, put_u64, Reader};
+use conduit_types::{ConduitError, Energy, LogicalPageId, Result, SsdConfig};
 
 use crate::energy::EnergyMeter;
 use crate::resources::{ResourcePool, SharedResource};
+
+/// Magic bytes identifying a serialized [`DeviceState`] checkpoint.
+pub const DEVICE_STATE_MAGIC: [u8; 4] = *b"CDS1";
+
+/// Current device-state checkpoint format version.
+pub const DEVICE_STATE_FORMAT_VERSION: u16 = 1;
 
 /// Number of pages the host keeps resident before it must re-stream data
 /// from the SSD (see the field documentation on [`DeviceState`]).
@@ -149,6 +156,7 @@ impl DeviceState {
             coherence_syncs: flushes,
             dirty_pages: self.ftl.coherence().dirty_pages() as u64,
             wear_leveling_swaps: self.ftl.wear().swaps_scheduled(),
+            wear_pages_migrated: stats.wear_relocations,
             wear_min_erases: wear.min_erases,
             wear_max_erases: wear.max_erases,
             wear_mean_erases: wear.mean_erases,
@@ -156,6 +164,122 @@ impl DeviceState {
             device_ops: self.device_ops(),
             total_energy: self.energy.total(),
         }
+    }
+
+    /// Serializes the whole device state — FTL image, contention timelines,
+    /// cached-copy residency and the energy meter — into a compact,
+    /// versioned, **deterministic** byte stream (identical states always
+    /// produce identical bytes, so checkpoints can be diffed and pinned by
+    /// golden files). Restore with [`DeviceState::from_bytes`] under the
+    /// same [`SsdConfig`]; everything derived from the configuration
+    /// (geometry, capacities, resource names, estimate tables) is rebuilt
+    /// rather than stored.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&DEVICE_STATE_MAGIC);
+        put_u16(&mut out, DEVICE_STATE_FORMAT_VERSION);
+        self.ftl.encode_into(&mut out);
+        put_u64(&mut out, self.channels.len() as u64);
+        for channel in &self.channels {
+            channel.encode_into(&mut out);
+        }
+        self.dies.encode_into(&mut out);
+        self.dram_banks.encode_into(&mut out);
+        self.compute_cores.encode_into(&mut out);
+        self.dram_bus.encode_into(&mut out);
+        self.offloader_core.encode_into(&mut out);
+        self.pcie.encode_into(&mut out);
+        // Residency is a set plus an eviction queue, serialized separately:
+        // the queue may legitimately hold stale entries (eviction removes
+        // from the set first) and is therefore not a reliable source for
+        // rebuilding the set. Sets are written sorted so the encoding is
+        // deterministic; queues keep their exact order.
+        for (resident, order) in [
+            (&self.dram_resident, &self.dram_order),
+            (&self.ctrl_resident, &self.ctrl_order),
+            (&self.host_resident, &self.host_order),
+        ] {
+            let mut sorted: Vec<LogicalPageId> = resident.iter().copied().collect();
+            sorted.sort_unstable();
+            put_u64(&mut out, sorted.len() as u64);
+            for page in sorted {
+                put_u64(&mut out, page.index());
+            }
+            put_u64(&mut out, order.len() as u64);
+            for page in order {
+                put_u64(&mut out, page.index());
+            }
+        }
+        self.energy.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a checkpoint serialized by [`DeviceState::to_bytes`] for the
+    /// given configuration. A restored state is indistinguishable from the
+    /// state that was exported: replaying the same request stream on it
+    /// produces bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] for a bad magic or
+    /// version, truncated or trailing bytes, or a checkpoint whose shape
+    /// does not match `cfg` (block counts, pool sizes, channel counts).
+    pub fn from_bytes(cfg: &SsdConfig, bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 6 || bytes[..4] != DEVICE_STATE_MAGIC {
+            return Err(ConduitError::corrupt_checkpoint("bad device-state magic"));
+        }
+        let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+        if version != DEVICE_STATE_FORMAT_VERSION {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "unsupported device-state format version {version} \
+                 (expected {DEVICE_STATE_FORMAT_VERSION})"
+            )));
+        }
+        let mut r = Reader::new(&bytes[6..]);
+        let mut state = DeviceState::new(cfg)?;
+        state.ftl = Ftl::decode_from(cfg, &mut r)?;
+        let channels = r.u64()? as usize;
+        if channels != state.channels.len() {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "checkpoint has {channels} flash channels but the configuration describes {}",
+                state.channels.len()
+            )));
+        }
+        for channel in &mut state.channels {
+            channel.restore_from(&mut r)?;
+        }
+        state.dies.restore_from(&mut r)?;
+        state.dram_banks.restore_from(&mut r)?;
+        state.compute_cores.restore_from(&mut r)?;
+        state.dram_bus.restore_from(&mut r)?;
+        state.offloader_core.restore_from(&mut r)?;
+        state.pcie.restore_from(&mut r)?;
+        for (resident, order) in [
+            (&mut state.dram_resident, &mut state.dram_order),
+            (&mut state.ctrl_resident, &mut state.ctrl_order),
+            (&mut state.host_resident, &mut state.host_order),
+        ] {
+            let set_len = r.u64()? as usize;
+            for _ in 0..set_len {
+                let page = LogicalPageId::new(r.u64()?);
+                if !resident.insert(page) {
+                    return Err(ConduitError::corrupt_checkpoint(format!(
+                        "page {page} appears twice in a residency set"
+                    )));
+                }
+            }
+            let order_len = r.u64()? as usize;
+            for _ in 0..order_len {
+                order.push_back(LogicalPageId::new(r.u64()?));
+            }
+        }
+        state.energy = EnergyMeter::decode_from(&mut r)?;
+        if !r.finished() {
+            return Err(ConduitError::corrupt_checkpoint(
+                "trailing bytes after device state",
+            ));
+        }
+        Ok(state)
     }
 }
 
@@ -189,6 +313,8 @@ pub struct DeviceSnapshot {
     pub dirty_pages: u64,
     /// Cold/hot block swaps the wear leveler has scheduled.
     pub wear_leveling_swaps: u64,
+    /// Valid pages migrated out of cold blocks by those swaps.
+    pub wear_pages_migrated: u64,
     /// Lowest per-block erase count.
     pub wear_min_erases: u64,
     /// Highest per-block erase count.
@@ -216,7 +342,10 @@ impl DeviceSnapshot {
             gc_invocations: self.gc_invocations.saturating_sub(before.gc_invocations),
             pages_migrated: self
                 .gc_pages_migrated
-                .saturating_sub(before.gc_pages_migrated),
+                .saturating_sub(before.gc_pages_migrated)
+                + self
+                    .wear_pages_migrated
+                    .saturating_sub(before.wear_pages_migrated),
             blocks_erased: self
                 .gc_blocks_erased
                 .saturating_sub(before.gc_blocks_erased),
@@ -245,7 +374,8 @@ pub struct DeviceDelta {
     pub rewrites: u64,
     /// Garbage-collection invocations this run triggered.
     pub gc_invocations: u64,
-    /// Valid pages garbage collection migrated during this run.
+    /// Valid pages migrated during this run, by garbage collection and by
+    /// wear-leveling swaps.
     pub pages_migrated: u64,
     /// Blocks garbage collection erased during this run.
     pub blocks_erased: u64,
@@ -314,6 +444,47 @@ mod tests {
         assert_eq!(delta.rewrites, 1);
         assert_eq!(delta.pages_mapped, 1); // the rewrite re-installs a mapping
         assert!(!delta.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_and_is_deterministic() {
+        let cfg = SsdConfig::small_for_tests();
+        let mut state = DeviceState::new(&cfg).unwrap();
+        let pages: Vec<LogicalPageId> = (0..6).map(LogicalPageId::new).collect();
+        state.ftl.map_pages(&pages, None).unwrap();
+        state.ftl.rewrite(pages[1]).unwrap();
+        state
+            .ftl
+            .coherence_mut()
+            .record_write(pages[2], conduit_types::DataLocation::Dram);
+        state.dram_resident.insert(pages[0]);
+        state.dram_order.push_back(pages[0]);
+        state.dram_bus.reserve(
+            conduit_types::SimTime::ZERO,
+            conduit_types::Duration::from_us(3.0),
+        );
+        state
+            .energy
+            .charge(conduit_types::EnergySource::DramBus, Energy::from_nj(2.5));
+
+        let bytes = state.to_bytes();
+        let back = DeviceState::from_bytes(&cfg, &bytes).unwrap();
+        assert_eq!(back.snapshot(), state.snapshot());
+        assert_eq!(back.dram_resident, state.dram_resident);
+        assert_eq!(back.dram_order, state.dram_order);
+        assert_eq!(back.to_bytes(), bytes, "encoding must be deterministic");
+
+        // Corruption and config mismatches are rejected.
+        assert!(DeviceState::from_bytes(&cfg, &bytes[..bytes.len() - 2]).is_err());
+        let mut flipped = bytes.clone();
+        flipped[0] = b'X';
+        assert!(DeviceState::from_bytes(&cfg, &flipped).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(DeviceState::from_bytes(&cfg, &trailing).is_err());
+        let mut other = cfg.clone();
+        other.flash.channels *= 2;
+        assert!(DeviceState::from_bytes(&other, &state.to_bytes()).is_err());
     }
 
     #[test]

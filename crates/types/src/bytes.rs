@@ -1,0 +1,171 @@
+//! Little-endian byte-stream helpers shared by every compact serializer in
+//! the workspace ([`crate::VectorProgram::to_bytes`], the program registry,
+//! and the device-state checkpoints in `conduit-sim`).
+//!
+//! The encoders are plain `put_*` functions appending to a `Vec<u8>`; the
+//! decoder is a bounds-checked [`Reader`] cursor whose every method fails
+//! with [`ConduitError::CorruptCheckpoint`] on truncation, so callers never
+//! index past the end of an untrusted byte stream. Serializer-specific
+//! validation (magics, versions, tags) stays with each format; this module
+//! only owns the primitive layer.
+
+use crate::error::{ConduitError, Result};
+
+/// Appends a `u16` in little-endian order.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends an `f64` as its IEEE-754 bit pattern (exact round trip).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+/// A bounds-checked little-endian cursor over a serialized byte stream.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_types::bytes::{put_u32, Reader};
+///
+/// let mut buf = Vec::new();
+/// put_u32(&mut buf, 7);
+/// let mut r = Reader::new(&buf);
+/// assert_eq!(r.u32()?, 7);
+/// assert!(r.finished());
+/// # Ok::<(), conduit_types::ConduitError>(())
+/// ```
+#[derive(Debug)]
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Starts a cursor at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Consumes and returns the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] if fewer than `n` bytes
+    /// remain.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| ConduitError::corrupt_checkpoint("truncated byte stream"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u64` **counter or timestamp** and rejects implausibly large
+    /// values (above `u64::MAX / 4`). Monotonic counters and picosecond
+    /// clocks restored from a checkpoint are incremented/added-to after
+    /// decoding; bounding them here turns a bit-flipped near-`MAX` value
+    /// into a [`ConduitError::CorruptCheckpoint`] instead of a later
+    /// arithmetic-overflow panic, while leaving astronomically more
+    /// headroom (2⁶² increments, ~53 days of simulated time) than any real
+    /// stream reaches.
+    pub fn counter(&mut self) -> Result<u64> {
+        let value = self.u64()?;
+        if value > u64::MAX / 4 {
+            return Err(ConduitError::corrupt_checkpoint(
+                "counter value is implausibly large",
+            ));
+        }
+        Ok(value)
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn finished(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut buf = Vec::new();
+        buf.push(0xAB);
+        put_u16(&mut buf, 0x1234);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, u64::MAX - 1);
+        put_f64(&mut buf, -0.125);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap(), -0.125);
+        assert!(r.finished());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let buf = [1u8, 2, 3];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u16().unwrap(), 0x0201);
+        assert!(r.u32().is_err());
+        // The failed read consumed nothing.
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    fn f64_bit_pattern_is_exact() {
+        for v in [0.0, -0.0, f64::MIN_POSITIVE, 1.0 / 3.0, f64::INFINITY] {
+            let mut buf = Vec::new();
+            put_f64(&mut buf, v);
+            assert_eq!(Reader::new(&buf).f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+}

@@ -57,6 +57,13 @@ pub enum ConduitError {
         /// Human-readable description.
         reason: String,
     },
+    /// A serialized checkpoint (device state, resource timeline, FTL image)
+    /// is truncated, has a bad magic/version, or does not match the
+    /// configuration it is being restored into.
+    CorruptCheckpoint {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl ConduitError {
@@ -79,6 +86,14 @@ impl ConduitError {
     /// reason.
     pub fn invalid_config(reason: impl fmt::Display) -> Self {
         ConduitError::InvalidConfig {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Creates a [`ConduitError::CorruptCheckpoint`] from any displayable
+    /// reason.
+    pub fn corrupt_checkpoint(reason: impl fmt::Display) -> Self {
+        ConduitError::CorruptCheckpoint {
             reason: reason.to_string(),
         }
     }
@@ -110,6 +125,9 @@ impl fmt::Display for ConduitError {
             ConduitError::Simulation { reason } => write!(f, "simulation error: {reason}"),
             ConduitError::InvalidConfig { reason } => {
                 write!(f, "invalid configuration: {reason}")
+            }
+            ConduitError::CorruptCheckpoint { reason } => {
+                write!(f, "corrupt checkpoint: {reason}")
             }
         }
     }

@@ -23,6 +23,7 @@
 //! ```
 
 pub mod addr;
+pub mod bytes;
 pub mod config;
 pub mod energy;
 pub mod error;

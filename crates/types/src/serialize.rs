@@ -52,6 +52,7 @@
 //! ```
 
 use crate::addr::LogicalPageId;
+use crate::bytes::{put_u16, put_u32, put_u64, Reader};
 use crate::error::{ConduitError, Result};
 use crate::inst::{InstMetadata, Operand, VectorInst, VectorProgram};
 use crate::op::OpType;
@@ -68,61 +69,6 @@ const TAG_IMMEDIATE: u8 = 2;
 
 fn corrupt(reason: impl std::fmt::Display) -> ConduitError {
     ConduitError::invalid_program(format!("serialized program: {reason}"))
-}
-
-/// A little-endian cursor over a serialized program.
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(bytes: &'a [u8]) -> Self {
-        Reader { bytes, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| corrupt("truncated"))?;
-        let slice = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    fn u16(&mut self) -> Result<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
-    }
-
-    fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
-    }
-
-    fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
-    }
-
-    fn finished(&self) -> bool {
-        self.pos == self.bytes.len()
-    }
-}
-
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_le_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_le_bytes());
 }
 
 fn encode_operand(out: &mut Vec<u8>, operand: &Operand) {
@@ -206,6 +152,15 @@ impl VectorProgram {
     /// truncated or trailing bytes, unknown tags or op encodings, and any
     /// program that fails [`VectorProgram::validate`] after decoding.
     pub fn from_bytes(bytes: &[u8]) -> Result<VectorProgram> {
+        // The shared Reader reports truncation as CorruptCheckpoint; this
+        // decoder's contract is InvalidProgram for *any* malformed input.
+        Self::decode(bytes).map_err(|e| match e {
+            ConduitError::CorruptCheckpoint { reason } => corrupt(reason),
+            other => other,
+        })
+    }
+
+    fn decode(bytes: &[u8]) -> Result<VectorProgram> {
         let mut r = Reader::new(bytes);
         if r.take(4)? != PROGRAM_MAGIC {
             return Err(corrupt("bad magic"));

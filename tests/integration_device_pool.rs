@@ -1,0 +1,289 @@
+//! The device-pool Session API: named warm devices, per-device FIFO lanes,
+//! stream clocks and serializable device checkpoints.
+//!
+//! Three properties are pinned down here:
+//!
+//! 1. **Per-device determinism**: a mixed batch across three warm devices
+//!    plus fresh requests is bit-identical whether the lanes run in
+//!    parallel on the thread pool or the whole batch runs serially on the
+//!    calling thread.
+//! 2. **Checkpoint fidelity**: exporting a device mid-stream, importing it
+//!    into a fresh session and replaying the remainder matches the
+//!    uninterrupted run exactly.
+//! 3. **Format stability**: a committed golden checkpoint
+//!    (`tests/golden/device_checkpoint_v1.bin`) pins the byte-exact
+//!    encoding of a canonical aged device. If an intentional format change
+//!    breaks `golden_file_pins_the_checkpoint_format`, bump
+//!    `DEVICE_STATE_FORMAT_VERSION` / `DEVICE_CHECKPOINT_FORMAT_VERSION`
+//!    and regenerate with:
+//!
+//!    ```text
+//!    CONDUIT_REGEN_GOLDEN=1 cargo test --test integration_device_pool
+//!    ```
+
+use conduit::{DeviceHandle, Policy, ProgramId, RunOutcome, RunRequest, Session};
+use conduit_types::{
+    Duration, LogicalPageId, OpType, Operand, SsdConfig, VectorInst, VectorProgram,
+};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("device_checkpoint_v1.bin")
+}
+
+/// A program whose store forces out-of-place writes on every run.
+fn writer_program() -> VectorProgram {
+    let mut prog = VectorProgram::new("writer");
+    let x = prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+    prog.push(
+        VectorInst::binary(1, OpType::Add, Operand::result(x), Operand::page(8))
+            .store_to(LogicalPageId::new(12)),
+    );
+    prog
+}
+
+/// A second program touching different pages, so tenants' footprints
+/// differ.
+fn reader_program() -> VectorProgram {
+    let mut prog = VectorProgram::new("reader");
+    let a = prog.push_binary(OpType::And, Operand::page(16), Operand::page(20));
+    prog.push_binary(OpType::Mul, Operand::result(a), Operand::page(24));
+    prog
+}
+
+/// The canonical mixed batch: three tenants with interleaved multi-request
+/// lanes, plus fresh requests fanned out alongside.
+fn mixed_batch(
+    writer: ProgramId,
+    reader: ProgramId,
+    a: DeviceHandle,
+    b: DeviceHandle,
+    c: DeviceHandle,
+) -> Vec<RunRequest> {
+    vec![
+        RunRequest::new(writer, Policy::Conduit).on_device(a),
+        RunRequest::new(reader, Policy::Conduit),
+        RunRequest::new(writer, Policy::PudSsd).on_device(b),
+        RunRequest::new(reader, Policy::IspOnly).on_device(c),
+        RunRequest::new(writer, Policy::HostCpu).on_device(a),
+        RunRequest::new(reader, Policy::Ideal),
+        RunRequest::new(reader, Policy::Conduit).on_device(b),
+        RunRequest::new(writer, Policy::Conduit).on_device(c),
+        RunRequest::new(writer, Policy::PudSsd).on_device(a),
+        RunRequest::new(reader, Policy::HostCpu),
+    ]
+}
+
+fn pool_session(
+    configure: impl FnOnce(conduit::SessionBuilder) -> conduit::SessionBuilder,
+) -> Session {
+    configure(Session::builder(SsdConfig::small_for_tests())).build()
+}
+
+#[test]
+fn three_device_mixed_batch_is_bit_identical_to_serial_submission() {
+    let run = |mut session: Session| -> (Vec<RunOutcome>, Vec<_>) {
+        let writer = session.register(writer_program()).unwrap();
+        let reader = session.register(reader_program()).unwrap();
+        let a = session.create_device("tenant-a");
+        let b = session.create_device("tenant-b");
+        let c = session.create_device("tenant-c");
+        let outcomes = session
+            .submit_batch(&mixed_batch(writer, reader, a, b, c))
+            .unwrap();
+        let snapshots = [a, b, c]
+            .into_iter()
+            .map(|d| (session.device_snapshot(d), session.device_clock(d)))
+            .collect();
+        (outcomes, snapshots)
+    };
+
+    let (parallel, parallel_snaps) = run(pool_session(|b| b.workers(4)));
+    let (serial, serial_snaps) = run(pool_session(|b| b.serial()));
+    assert_eq!(
+        parallel, serial,
+        "parallel lanes must be bit-identical to serial submission"
+    );
+    assert_eq!(parallel_snaps, serial_snaps);
+
+    // Distinct devices never see each other's queueing: the first request
+    // of every lane found it idle.
+    for first_of_lane in [0, 2, 3] {
+        assert_eq!(
+            parallel[first_of_lane].summary.queueing_time,
+            Duration::ZERO
+        );
+    }
+    // Within tenant-a's lane, queueing accumulates in request order.
+    assert_eq!(
+        parallel[4].summary.queueing_time,
+        parallel[0].summary.service_time
+    );
+    assert_eq!(
+        parallel[8].summary.queueing_time,
+        parallel[0].summary.service_time + parallel[4].summary.service_time
+    );
+    // Fresh requests never queue.
+    for fresh in [1, 5, 9] {
+        assert_eq!(parallel[fresh].summary.queueing_time, Duration::ZERO);
+    }
+}
+
+#[test]
+fn repeated_batches_are_replayable_across_sessions() {
+    let run = |mut session: Session| -> Vec<RunOutcome> {
+        let writer = session.register(writer_program()).unwrap();
+        let reader = session.register(reader_program()).unwrap();
+        let a = session.create_device("tenant-a");
+        let b = session.create_device("tenant-b");
+        let c = session.create_device("tenant-c");
+        let mut all = Vec::new();
+        for _ in 0..3 {
+            all.extend(
+                session
+                    .submit_batch(&mixed_batch(writer, reader, a, b, c))
+                    .unwrap(),
+            );
+        }
+        all
+    };
+    let first = run(pool_session(|b| b.workers(3)));
+    let second = run(pool_session(|b| b.workers(8)));
+    assert_eq!(
+        first, second,
+        "device aging across batches must not depend on the worker count"
+    );
+    // Later batches start where the previous ones left the stream clocks:
+    // the second batch's lane heads queue behind nothing (their arrival is
+    // the advanced clock), but their deltas still differ from round one
+    // because the devices warmed up.
+    assert_eq!(first[10].summary.queueing_time, Duration::ZERO);
+}
+
+#[test]
+fn checkpointed_device_replays_identically_to_the_uninterrupted_stream() {
+    let mut session = pool_session(|b| b);
+    let writer = session.register(writer_program()).unwrap();
+    let device = session.create_device("tenant");
+    let policies = [
+        Policy::PudSsd,
+        Policy::HostCpu,
+        Policy::Conduit,
+        Policy::IspOnly,
+        Policy::PudSsd,
+        Policy::HostCpu,
+    ];
+
+    // Uninterrupted run: all six requests on one session.
+    let uninterrupted: Vec<RunOutcome> = policies
+        .iter()
+        .map(|&p| {
+            session
+                .submit(&RunRequest::new(writer, p).on_device(device))
+                .unwrap()
+        })
+        .collect();
+
+    // Interrupted run: replay the first three, checkpoint, revive in a new
+    // session ("process"), replay the rest.
+    let mut before = pool_session(|b| b);
+    let writer_before = before.register(writer_program()).unwrap();
+    let dev_before = before.create_device("tenant");
+    let mut interrupted: Vec<RunOutcome> = policies[..3]
+        .iter()
+        .map(|&p| {
+            before
+                .submit(&RunRequest::new(writer_before, p).on_device(dev_before))
+                .unwrap()
+        })
+        .collect();
+    let checkpoint = before.export_device(dev_before).unwrap();
+    drop(before);
+
+    let mut after = pool_session(|b| b);
+    let writer_after = after.register(writer_program()).unwrap();
+    let dev_after = after.import_device("tenant", &checkpoint).unwrap();
+    interrupted.extend(policies[3..].iter().map(|&p| {
+        after
+            .submit(&RunRequest::new(writer_after, p).on_device(dev_after))
+            .unwrap()
+    }));
+
+    assert_eq!(
+        interrupted, uninterrupted,
+        "a checkpoint round-trip must not change the stream's results"
+    );
+    assert_eq!(
+        after.device_snapshot(dev_after),
+        session.device_snapshot(device)
+    );
+    assert_eq!(after.device_clock(dev_after), session.device_clock(device));
+}
+
+/// The canonical aged device pinned by the golden file: a fixed mix of
+/// SSD-internal and host traffic on the small test configuration —
+/// deterministic, so the exported bytes are reproducible everywhere.
+fn canonical_checkpoint() -> Vec<u8> {
+    let mut session = pool_session(|b| b);
+    let writer = session.register(writer_program()).unwrap();
+    let reader = session.register(reader_program()).unwrap();
+    let device = session.create_device("golden");
+    for &(program, policy) in &[
+        (writer, Policy::PudSsd),
+        (writer, Policy::HostCpu),
+        (reader, Policy::Conduit),
+        (writer, Policy::Conduit),
+        (reader, Policy::IspOnly),
+    ] {
+        session
+            .submit(&RunRequest::new(program, policy).on_device(device))
+            .unwrap();
+    }
+    session.export_device(device).unwrap()
+}
+
+#[test]
+fn golden_file_pins_the_checkpoint_format() {
+    let bytes = canonical_checkpoint();
+    let path = golden_path();
+    if std::env::var_os("CONDUIT_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent")).unwrap();
+        std::fs::write(&path, &bytes).unwrap();
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let committed = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with CONDUIT_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, bytes,
+        "serialized device-checkpoint bytes drifted from \
+         tests/golden/device_checkpoint_v1.bin — if the format change is \
+         intentional, bump DEVICE_STATE_FORMAT_VERSION (and/or \
+         DEVICE_CHECKPOINT_FORMAT_VERSION) and regenerate with \
+         CONDUIT_REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_file_still_imports_and_serves_traffic() {
+    let committed = std::fs::read(golden_path()).expect("golden file is committed");
+    let mut session = pool_session(|b| b);
+    let writer = session.register(writer_program()).unwrap();
+    let device = session.import_device("golden", &committed).unwrap();
+    let snap = session.device_snapshot(device);
+    assert!(snap.device_ops > 0, "the golden device is aged: {snap:?}");
+    assert!(snap.coherence_writes > 0);
+    // The revived device keeps serving: its state is consistent enough for
+    // further traffic, and re-exporting reproduces the bytes exactly.
+    assert_eq!(session.export_device(device).unwrap(), committed);
+    session
+        .submit(&RunRequest::new(writer, Policy::Conduit).on_device(device))
+        .unwrap();
+    assert!(session.device_snapshot(device).device_ops > snap.device_ops);
+}

@@ -1,5 +1,6 @@
 //! Warm-device mode: one persistent `DeviceState` threaded through a
-//! request stream.
+//! request stream (via the `DeviceMode::Warm` shim over the device pool's
+//! default device).
 //!
 //! These tests pin down the three properties the warm refactor promises:
 //!
@@ -8,13 +9,18 @@
 //!    visible in its `RunSummary::device_delta`.
 //! 2. **Determinism**: replaying the same warm request stream is
 //!    bit-identical, including through `submit_batch` with fresh requests
-//!    mixed in.
+//!    mixed in (parallel and serial paths agree).
 //! 3. **Aging is modelled**: sustained write traffic on a small device
 //!    eventually triggers garbage collection, and the wear spread stays
 //!    bounded while every page remains translatable.
+//!
+//! Multi-device pool behaviour (named devices, lanes, checkpoints) is
+//! covered by `tests/integration_device_pool.rs`.
 
 use conduit::{DeviceMode, Policy, RunOutcome, RunRequest, Session};
-use conduit_types::{LogicalPageId, OpType, Operand, SsdConfig, VectorInst, VectorProgram};
+use conduit_types::{
+    Duration, LogicalPageId, OpType, Operand, SsdConfig, VectorInst, VectorProgram,
+};
 
 /// A program that reads pages 0/4/8 and stores its result to page 12 —
 /// every run dirties the destination pages at the executing resource.
@@ -86,8 +92,9 @@ fn second_warm_request_observes_the_firsts_writes() {
     assert_eq!(control.summary.device_delta.coherence_syncs, 0);
 
     // The cumulative snapshot agrees with the sum of the per-request
-    // deltas.
-    let snap = warm.device_snapshot();
+    // deltas, and the stream clock with the sum of the service times.
+    let default = warm.default_device();
+    let snap = warm.device_snapshot(default);
     assert_eq!(
         snap.coherence_syncs,
         first.summary.device_delta.coherence_syncs + second.summary.device_delta.coherence_syncs
@@ -95,6 +102,10 @@ fn second_warm_request_observes_the_firsts_writes() {
     assert_eq!(
         snap.device_ops,
         first.summary.device_delta.device_ops + second.summary.device_delta.device_ops
+    );
+    assert_eq!(
+        warm.device_clock(default).as_ps(),
+        first.summary.service_time.as_ps() + second.summary.service_time.as_ps()
     );
 }
 
@@ -123,7 +134,10 @@ fn warm_replay_of_the_same_stream_is_bit_identical() {
     let run_a = stream(&mut a);
     let run_b = stream(&mut b);
     assert_eq!(run_a, run_b, "warm replay must be bit-identical");
-    assert_eq!(a.device_snapshot(), b.device_snapshot());
+    assert_eq!(
+        a.device_snapshot(a.default_device()),
+        b.device_snapshot(b.default_device())
+    );
 }
 
 #[test]
@@ -139,28 +153,62 @@ fn mixed_batch_matches_serial_submission_in_request_order() {
         ]
     };
     // Batched session: fresh requests fan out across 4 workers while the
-    // warm ones run serially in request order on the submitting thread.
+    // warm ones run as one FIFO lane on the default device.
     let mut batched = Session::builder(SsdConfig::small_for_tests())
         .workers(4)
         .build();
     let id = batched.register(writer_program()).unwrap();
     let batch = batched.submit_batch(&requests(id)).unwrap();
 
-    // Serial session: the same stream, one submit at a time.
+    // Serial session: the same batch, executed one plan at a time on the
+    // calling thread.
     let mut serial = Session::builder(SsdConfig::small_for_tests())
         .serial()
         .build();
     let serial_id = serial.register(writer_program()).unwrap();
-    let one_by_one: Vec<RunOutcome> = requests(serial_id)
-        .iter()
-        .map(|r| serial.submit(r).unwrap())
-        .collect();
+    let one_by_one = serial.submit_batch(&requests(serial_id)).unwrap();
 
     assert_eq!(batch, one_by_one);
-    assert_eq!(batched.device_snapshot(), serial.device_snapshot());
+    assert_eq!(
+        batched.device_snapshot(batched.default_device()),
+        serial.device_snapshot(serial.default_device())
+    );
     // The warm device really was shared: the host-side warm request had to
     // flush the dirty pages the PuD warm request before it left behind.
     assert!(batch[3].summary.device_delta.coherence_syncs > 0);
+    // The lane's stream clock separates queueing from service: the first
+    // warm request found the lane idle, the later ones queued behind it.
+    assert_eq!(batch[1].summary.queueing_time, Duration::ZERO);
+    assert_eq!(
+        batch[3].summary.queueing_time,
+        batch[1].summary.service_time
+    );
+    assert_eq!(
+        batch[5].summary.queueing_time,
+        batch[1].summary.service_time + batch[3].summary.service_time
+    );
+
+    // Submitting the same stream one request at a time produces the same
+    // aging and service times; only the lane queueing differs (a lone
+    // submit never waits).
+    let mut lone = Session::builder(SsdConfig::small_for_tests()).build();
+    let lone_id = lone.register(writer_program()).unwrap();
+    for (request, from_batch) in requests(lone_id).iter().zip(&batch) {
+        let outcome = lone.submit(request).unwrap();
+        assert_eq!(
+            outcome.summary.service_time,
+            from_batch.summary.service_time
+        );
+        assert_eq!(
+            outcome.summary.device_delta,
+            from_batch.summary.device_delta
+        );
+        assert_eq!(outcome.summary.queueing_time, Duration::ZERO);
+    }
+    assert_eq!(
+        lone.device_snapshot(lone.default_device()),
+        batched.device_snapshot(batched.default_device())
+    );
 }
 
 #[test]
@@ -186,7 +234,7 @@ fn sustained_warm_writes_trigger_gc_and_keep_wear_bounded() {
         }
     }
 
-    let snap = session.device_snapshot();
+    let snap = session.device_snapshot(session.default_device());
     assert!(
         snap.gc_invocations > 0 && snap.gc_blocks_erased > 0,
         "sustained write traffic must eventually wake the garbage collector: {snap:?}"
@@ -202,7 +250,7 @@ fn sustained_warm_writes_trigger_gc_and_keep_wear_bounded() {
     // Wear stays bounded: the spread between the most- and least-erased
     // block must not exceed the erases GC actually performed, and must stay
     // within the wear-leveling budget (the leveler tolerates a spread of 64
-    // before scheduling swaps).
+    // before migrating a cold block).
     assert!(snap.wear_spread <= snap.gc_blocks_erased);
     assert!(
         snap.wear_spread <= 64,
