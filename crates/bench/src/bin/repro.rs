@@ -8,7 +8,7 @@
 //!
 //! where `<target>` is one of `fig4`, `fig5`, `fig7` (both panels), `fig7a`,
 //! `fig7b`, `fig8`, `fig9`, `fig10`, `table3`, `overheads`, `headline`,
-//! `warm-pool`, `sim-throughput`, `perf-gate`, or `all`.
+//! `warm-pool`, `arrival-sweep`, `sim-throughput`, `perf-gate`, or `all`.
 //!
 //! Flags:
 //!
@@ -21,6 +21,9 @@
 //!   each request's queueing/service split plus every device's cumulative
 //!   FTL/coherence/GC/wear state (replaces the single-device `warm-stream`
 //!   target),
+//! * `arrival-sweep` sweeps **open-loop offered load** per tenant
+//!   (`RunRequest::arriving_at` at a fixed inter-arrival interval) and
+//!   prints the queueing-delay-vs-load curve with per-lane occupancy,
 //! * `sim-throughput` measures simulator throughput and writes
 //!   `BENCH_sim_throughput.json` next to the current directory,
 //! * `perf-gate` gates on the deterministic **simulated-work counter**
@@ -33,6 +36,7 @@
 //!   variance; wall-clock throughput is printed for information only.
 //!   `--baseline <path>` overrides the baseline.
 
+use conduit_bench::arrivals::arrival_sweep_report;
 use conduit_bench::throughput::{
     baseline_instructions_per_sec, baseline_ops_per_instruction, baseline_scale, ThroughputReport,
 };
@@ -41,7 +45,7 @@ use conduit_bench::Harness;
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-pool|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
+        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-pool|arrival-sweep|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
     );
 }
 
@@ -181,6 +185,11 @@ fn main() {
     if target == "warm-pool" {
         println!("==================== warm-pool ====================");
         print!("{}", warm_pool_report(quick));
+        return;
+    }
+    if target == "arrival-sweep" {
+        println!("==================== arrival-sweep ====================");
+        print!("{}", arrival_sweep_report(quick));
         return;
     }
     if target == "warm-stream" {

@@ -27,6 +27,7 @@
 //! [`conduit::RunSummary`], so the cache no longer grows with program length
 //! at paper scale.
 
+pub mod arrivals;
 pub mod micro;
 pub mod throughput;
 pub mod warm;

@@ -107,13 +107,13 @@ pub fn warm_pool_report(quick: bool) -> String {
 
     out.push_str(&format!(
         "\n# Cumulative per-device state after {seq} requests\n\
-         tenant\tpages_mapped\trewrites\tcoh_writes\tcoh_syncs\tgc_inv\tgc_migrated\twear_migrated\twear_spread\tdevice_ops\tstream_clock_ms\tenergy_mJ\n"
+         tenant\tpages_mapped\trewrites\tcoh_writes\tcoh_syncs\tgc_inv\tgc_migrated\twear_migrated\twear_spread\tdevice_ops\tlane_reqs\toccupancy\tqueued_ms\tidle_ms\tstream_clock_ms\tenergy_mJ\n"
     ));
     for &(name, _, _, _, device) in &tenants {
         let snap = session.device_snapshot(device);
         let clock = session.device_clock(device);
         out.push_str(&format!(
-            "{name}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\n",
+            "{name}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\t{:.3}\n",
             snap.pages_mapped,
             snap.rewrites,
             snap.coherence_writes,
@@ -123,6 +123,10 @@ pub fn warm_pool_report(quick: bool) -> String {
             snap.wear_pages_migrated,
             snap.wear_spread,
             snap.device_ops,
+            snap.lane_requests,
+            snap.lane_occupancy(),
+            snap.lane_queued_time.as_ms(),
+            snap.lane_idle_time.as_ms(),
             clock.as_ps() as f64 / 1e9,
             snap.total_energy.as_nj() / 1e6,
         ));

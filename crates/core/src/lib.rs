@@ -31,11 +31,13 @@
 //!   [`RunSummary`] (times, energy split, histogram-backed latency
 //!   percentiles, offload mix) plus opt-in [`RunArtifacts`] (the full
 //!   timeline). [`Session::submit_batch`] fans requests out across a
-//!   work-stealing thread pool with results bit-identical to serial runs,
-//!   and a [`DeviceMode`] knob switches between fresh devices per run and a
-//!   persistent **warm device** whose FTL/coherence/GC/wear state ages
-//!   across the whole request stream ([`Session::device_snapshot`],
-//!   [`RunSummary::device_delta`]).
+//!   two-class thread pool (reserved lane slots for per-device FIFO lanes,
+//!   bulk slots for the fresh fan-out) with results bit-identical to serial
+//!   runs; named **warm devices** ([`Session::create_device`],
+//!   [`RunRequest::on_device`]) age their FTL/coherence/GC/wear state
+//!   across their request streams ([`Session::device_snapshot`],
+//!   [`RunSummary::device_delta`]), with open-loop arrivals via
+//!   [`RunRequest::arriving_at`].
 //!
 //! ## Quick start
 //!
@@ -73,11 +75,12 @@ pub use cost::{CostFeatures, CostFunction};
 pub use engine::{RunOptions, RuntimeEngine};
 pub use overhead::{OverheadModel, StorageOverhead};
 pub use policy::{Policy, PolicyContext};
-pub use pool::ThreadPool;
+pub use pool::{JobClass, ThreadPool};
 pub use report::{gmean, EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
 pub use session::{
-    DeviceHandle, DeviceMode, ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest,
-    RunSummary, Session, SessionBuilder, DEFAULT_PERCENTILES, DEVICE_CHECKPOINT_FORMAT_VERSION,
-    DEVICE_CHECKPOINT_MAGIC, REGISTRY_FORMAT_VERSION, REGISTRY_MAGIC,
+    DeviceHandle, ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest, RunSummary,
+    Session, SessionBuilder, DEFAULT_PERCENTILES, DEVICE_CHECKPOINT_FORMAT_VERSION,
+    DEVICE_CHECKPOINT_FORMAT_VERSION_V1, DEVICE_CHECKPOINT_MAGIC, REGISTRY_FORMAT_VERSION,
+    REGISTRY_MAGIC,
 };
 pub use transform::{InstructionTransformer, NativeIsa, TranslationEntry};

@@ -29,11 +29,18 @@
 //!   debt, wear) ages across its request stream. In a batch, each device is
 //!   a **FIFO lane** — serial within the device, parallel across devices
 //!   and alongside the fresh fan-out — and outcomes stay bit-identical to a
-//!   fully serial submission of the same batch;
-//! * each device carries an explicit **stream clock**: request *i* issues at
-//!   request *i−1*'s finish time, so [`RunSummary::queueing_time`] (waiting
-//!   behind earlier requests in the lane) is separated from
-//!   [`RunSummary::service_time`] (the run's own execution);
+//!   fully serial submission of the same batch. On the thread pool, lane
+//!   tasks run in the pool's reserved **lane class**
+//!   ([`crate::pool::JobClass`]), so a ready lane task never waits behind
+//!   the queued fresh backlog;
+//! * requests can arrive **open-loop**: [`RunRequest::arriving_at`] places
+//!   a request's arrival on the batch timeline, the device's stream clock
+//!   advances to `max(previous finish, arrival)`, and
+//!   [`RunSummary::queueing_time`] (arrival-relative waiting behind earlier
+//!   requests in the lane) is separated from [`RunSummary::service_time`]
+//!   (the run's own execution). The default arrival — the instant the batch
+//!   is submitted — preserves closed-loop semantics: request *i* issues at
+//!   request *i−1*'s finish time;
 //! * device aging is **checkpointable**: [`Session::export_device`]
 //!   serializes a device (stream clock + complete
 //!   [`conduit_sim::DeviceState`]) into a compact versioned byte stream and
@@ -84,7 +91,6 @@
 //! ```
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -109,12 +115,23 @@ pub const REGISTRY_MAGIC: [u8; 4] = *b"CPR1";
 pub const REGISTRY_FORMAT_VERSION: u16 = 1;
 
 /// Magic bytes identifying a device checkpoint exported by
-/// [`Session::export_device`] (stream clock + embedded
-/// [`conduit_sim::DeviceState`] image).
+/// [`Session::export_device`] (configuration fingerprint + stream clock +
+/// embedded [`conduit_sim::DeviceState`] image).
 pub const DEVICE_CHECKPOINT_MAGIC: [u8; 4] = *b"CDK1";
 
-/// Current device-checkpoint format version.
-pub const DEVICE_CHECKPOINT_FORMAT_VERSION: u16 = 1;
+/// Current device-checkpoint format version. Version 2 embeds the exporting
+/// session's combined configuration fingerprint
+/// ([`SsdConfig::fingerprint`] + [`conduit_types::HostConfig::fingerprint`]
+/// — host rooflines shape a warm stream's clocks too), so importing a
+/// checkpoint into a session with *any* configuration difference — even one
+/// with the same geometry, where the shape checks cannot tell — is a hard
+/// [`ConduitError::CorruptCheckpoint`] instead of a silent timing mismatch.
+pub const DEVICE_CHECKPOINT_FORMAT_VERSION: u16 = 2;
+
+/// Format version of legacy checkpoints without a configuration
+/// fingerprint. Still importable ([`Session::import_device`] falls back to
+/// the structural shape check); no longer written.
+pub const DEVICE_CHECKPOINT_FORMAT_VERSION_V1: u16 = 1;
 
 /// The percentile set collected when a request does not override it.
 pub const DEFAULT_PERCENTILES: [f64; 3] = [0.50, 0.99, 0.9999];
@@ -142,10 +159,9 @@ impl std::fmt::Display for ProgramId {
 
 /// Handle to a named warm device in a [`Session`]'s device pool.
 ///
-/// Minted by [`Session::create_device`] / [`Session::import_device`] (or
-/// [`Session::default_device`] for the implicit device the deprecated
-/// [`DeviceMode::Warm`] shim targets). Handles are dense indices in creation
-/// order and are only meaningful within the session that minted them.
+/// Minted by [`Session::create_device`] / [`Session::import_device`].
+/// Handles are dense indices in creation order and are only meaningful
+/// within the session that minted them.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DeviceHandle(u32);
 
@@ -180,14 +196,10 @@ pub struct ProgramRegistry {
 }
 
 /// FNV-1a over a program's compact serialization: the content address used
-/// by [`ProgramRegistry`] deduplication.
+/// by [`ProgramRegistry`] deduplication (the shared workspace hash, also
+/// behind [`SsdConfig::fingerprint`]).
 fn content_hash(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &byte in bytes {
-        hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
+    conduit_types::bytes::fnv1a(bytes)
 }
 
 impl ProgramRegistry {
@@ -332,43 +344,9 @@ enum ProgramSource {
     Inline(Arc<VectorProgram>),
 }
 
-/// Which device a request runs on, as recorded on the request itself.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum DeviceTarget {
-    /// A pristine device per run/repeat.
-    Fresh,
-    /// The session's implicit default warm device (the
-    /// [`DeviceMode::Warm`] compatibility shim).
-    DefaultWarm,
-    /// A named device from the session's pool.
-    Named(DeviceHandle),
-}
-
-/// Coarse fresh-vs-warm switch, kept for one release as a compatibility
-/// shim over the device pool.
-///
-/// **Deprecated:** prefer [`RunRequest::on_device`] with a handle from
-/// [`Session::create_device`]. [`DeviceMode::Warm`] is now sugar for "run on
-/// [`Session::default_device`]" — an implicit member of the device pool —
-/// and will be removed in a future release.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum DeviceMode {
-    /// Every run (and every repeat) simulates on a freshly built device:
-    /// runs are independent, deterministic, and batchable in parallel with
-    /// results bit-identical to serial submission. This is the default and
-    /// reproduces the paper's per-figure experiments.
-    #[default]
-    Fresh,
-    /// The run continues on the session's **default** warm device (see
-    /// [`Session::default_device`]): FTL mappings, the coherence directory,
-    /// garbage-collection debt and wear accumulate across that device's
-    /// request stream. Shim over the device pool — prefer
-    /// [`RunRequest::on_device`].
-    Warm,
-}
-
 /// A declarative description of one run: which program, which policy, which
-/// device, and what to collect. Cheap to clone; built builder-style.
+/// device, when it arrives, and what to collect. Cheap to clone; built
+/// builder-style.
 ///
 /// Subsumes the engine-level [`RunOptions`]: policy, cost-function ablation
 /// and overhead charging map straight through, while the collection flags
@@ -405,8 +383,12 @@ pub struct RunRequest {
     collect_timeline: bool,
     collect_energy_split: bool,
     percentiles: Vec<f64>,
-    /// `None` means "use the session's default mode".
-    target: Option<DeviceTarget>,
+    /// `None` runs fresh (a pristine device per run/repeat); `Some` targets
+    /// a pooled warm device.
+    device: Option<DeviceHandle>,
+    /// The request's arrival on the batch timeline ([`SimTime::ZERO`] = the
+    /// instant the batch is submitted, i.e. closed-loop).
+    arrival: SimTime,
 }
 
 impl RunRequest {
@@ -436,7 +418,8 @@ impl RunRequest {
             collect_timeline: false,
             collect_energy_split: true,
             percentiles: DEFAULT_PERCENTILES.to_vec(),
-            target: None,
+            device: None,
+            arrival: SimTime::ZERO,
         }
     }
 
@@ -468,29 +451,29 @@ impl RunRequest {
     /// device execute serially in request order (a FIFO lane); requests on
     /// different devices execute in parallel in a batch.
     pub fn on_device(mut self, device: DeviceHandle) -> Self {
-        self.target = Some(DeviceTarget::Named(device));
+        self.device = Some(device);
         self
     }
 
-    /// Builder-style: overrides the session's default [`DeviceMode`] for
-    /// this request.
+    /// Builder-style: the request **arrives open-loop** at `arrival` on the
+    /// batch timeline — time zero is the instant the batch is submitted
+    /// (for a warm lane, the device's stream clock at submission; for a
+    /// fresh run, the engine's time origin).
     ///
-    /// **Deprecated shim:** [`DeviceMode::Warm`] targets the session's
-    /// implicit [`Session::default_device`]; prefer
-    /// [`RunRequest::on_device`] with an explicit handle.
-    pub fn device_mode(mut self, mode: DeviceMode) -> Self {
-        self.target = Some(match mode {
-            DeviceMode::Fresh => DeviceTarget::Fresh,
-            DeviceMode::Warm => DeviceTarget::DefaultWarm,
-        });
+    /// On a warm device the request issues at `max(previous finish,
+    /// arrival)`: arriving while the lane is still serving earlier requests
+    /// accrues arrival-relative [`RunSummary::queueing_time`], arriving
+    /// after the lane drained leaves the device idle for the gap (visible
+    /// in [`conduit_sim::DeviceSnapshot::lane_idle_time`]). The default —
+    /// `SimTime::ZERO` — reproduces closed-loop semantics: every request is
+    /// already waiting when the batch starts.
+    ///
+    /// On a fresh run the arrival is a pure translation of the timeline
+    /// (service time, energy and placement are unchanged) and queueing
+    /// stays zero: there is no lane to wait in.
+    pub fn arriving_at(mut self, arrival: SimTime) -> Self {
+        self.arrival = arrival;
         self
-    }
-
-    /// Builder-style sugar for [`RunRequest::device_mode`]`(DeviceMode::Warm)`.
-    ///
-    /// **Deprecated shim:** prefer [`RunRequest::on_device`].
-    pub fn warm(self) -> Self {
-        self.device_mode(DeviceMode::Warm)
     }
 
     /// Builder-style: sets whether the full instruction → resource timeline
@@ -542,22 +525,15 @@ impl RunRequest {
         self.collect_timeline
     }
 
-    /// The device mode this request asked for, if it overrides the
-    /// session's default. Requests targeting a named device report
-    /// [`DeviceMode::Warm`].
-    pub fn requested_device_mode(&self) -> Option<DeviceMode> {
-        self.target.map(|t| match t {
-            DeviceTarget::Fresh => DeviceMode::Fresh,
-            DeviceTarget::DefaultWarm | DeviceTarget::Named(_) => DeviceMode::Warm,
-        })
+    /// The named device this request targets; `None` means a fresh run.
+    pub fn requested_device(&self) -> Option<DeviceHandle> {
+        self.device
     }
 
-    /// The named device this request targets, if any.
-    pub fn requested_device(&self) -> Option<DeviceHandle> {
-        match self.target {
-            Some(DeviceTarget::Named(handle)) => Some(handle),
-            _ => None,
-        }
+    /// The request's arrival on the batch timeline (see
+    /// [`RunRequest::arriving_at`]).
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
     }
 
     /// The engine-level options this request maps to.
@@ -589,10 +565,11 @@ pub struct RunSummary {
     /// End-to-end time of the run as the submitter saw it:
     /// [`RunSummary::queueing_time`] + [`RunSummary::service_time`].
     pub total_time: Duration,
-    /// Time the request spent waiting in its device's FIFO lane behind
-    /// earlier requests of the same batch, measured on the device's stream
-    /// clock. Always zero for fresh-device runs and for warm requests that
-    /// found their lane idle.
+    /// Time the request spent waiting in its device's FIFO lane between its
+    /// **arrival** ([`RunRequest::arriving_at`]; by default the instant the
+    /// batch was submitted) and the issue of its first instruction, measured
+    /// on the device's stream clock. Always zero for fresh-device runs and
+    /// for warm requests that arrived after their lane drained.
     pub queueing_time: Duration,
     /// The run's own execution time: from the instant its first instruction
     /// issued (the device's stream clock) to its last completion.
@@ -709,18 +686,15 @@ struct RunPlan {
     collect_energy_split: bool,
     percentiles: Vec<f64>,
     mode: PlanMode,
+    /// Arrival offset on the batch timeline ([`RunRequest::arriving_at`]).
+    arrival: Duration,
 }
 
-/// Shared state of one in-flight batch: the plans, the indices of the
-/// fresh-mode plans the pool may steal, and the work-stealing cursor.
+/// Shared state of one in-flight batch, shipped to pool workers.
 struct BatchState {
     ssd: SsdConfig,
     host: HostConfig,
     plans: Vec<RunPlan>,
-    /// Request indices of the fresh-mode plans, in request order. Warm
-    /// plans run in per-device FIFO lane tasks instead.
-    fresh: Vec<usize>,
-    next: AtomicUsize,
 }
 
 /// One named warm device of the pool: its lazily-built simulated device and
@@ -796,6 +770,9 @@ fn build_outcome(
 fn execute_fresh(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<RunOutcome> {
     let engine = RuntimeEngine::with_host(ssd, host);
     let pristine = DeviceSnapshot::default();
+    // An open-loop arrival translates the fresh run's timeline (timestamps
+    // shift, service time and energy do not); there is no lane to queue in.
+    let options = plan.options.starting_at(SimTime::ZERO + plan.arrival);
     let mut report: Option<RunReport> = None;
     let mut delta = DeviceDelta::default();
     for _ in 0..plan.repeats {
@@ -803,17 +780,19 @@ fn execute_fresh(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<R
         // whole batch bit-identical to serial execution.
         let mut device = SsdDevice::new(ssd)?;
         engine.prepare(&mut device, &plan.program)?;
-        report = Some(engine.run(&mut device, &plan.program, &plan.options)?);
+        report = Some(engine.run(&mut device, &plan.program, &options)?);
         delta.accumulate(device.snapshot().delta_since(&pristine));
     }
     let report = report.expect("repeats is clamped to at least one");
     Ok(build_outcome(report, plan, delta, Duration::ZERO))
 }
 
-/// Executes a warm plan on one device lane: each repeat issues at the lane's
-/// stream clock (the previous finish time), the clock advances to the run's
-/// finish, and `arrival` — the clock value when the request entered the
-/// lane — separates queueing from service in the outcome.
+/// Executes a warm plan on one device lane. The request **arrives** at the
+/// batch base (the lane's stream clock when the batch was submitted; the
+/// current clock for a lone submit) plus its open-loop arrival offset, and
+/// issues at `max(previous finish, arrival)`: the stream clock advances
+/// through any idle gap, the arrival-relative wait becomes the outcome's
+/// queueing time, and each repeat then issues at its predecessor's finish.
 ///
 /// The lane mutex is what serializes a device's requests: within a device
 /// runs execute strictly in the order they take the lock (request order, in
@@ -825,7 +804,7 @@ fn execute_on_lane(
     ssd: &SsdConfig,
     slot: &DeviceSlot,
     plan: &RunPlan,
-    arrival: Option<SimTime>,
+    batch_base: Option<SimTime>,
 ) -> Result<RunOutcome> {
     let mut lane = slot.lane.lock().expect("device-lane mutex poisoned");
     let lane = &mut *lane;
@@ -833,11 +812,17 @@ fn execute_on_lane(
         lane.device = Some(SsdDevice::new(ssd)?);
     }
     let device = lane.device.as_mut().expect("device was just installed");
-    let arrival = arrival.unwrap_or(lane.clock);
+    // SimTime + Duration saturates, so a pathological arrival offset clamps
+    // at the end of representable time instead of wrapping the clock.
+    let arrival = batch_base.unwrap_or(lane.clock) + plan.arrival;
     let before = device.snapshot();
     // Queueing ends when the request's *first* repeat issues; later repeats
-    // are part of its own service, not lane wait.
+    // are part of its own service, not lane wait. An arrival past the
+    // previous finish instead leaves the device idle for the gap.
     let queueing_time = lane.clock.saturating_since(arrival);
+    let idle_gap = arrival.saturating_since(lane.clock);
+    lane.clock = lane.clock.max(arrival);
+    let issue = lane.clock;
     let mut report: Result<Option<RunReport>> = Ok(None);
     for _ in 0..plan.repeats {
         let start = lane.clock;
@@ -855,6 +840,9 @@ fn execute_on_lane(
             _ => break,
         }
     }
+    // Lane accounting happens even on a failed request: the device may have
+    // partially advanced, and the idle gap was real either way.
+    device.record_lane_request(idle_gap, queueing_time, lane.clock.saturating_since(issue));
     let delta = device.snapshot().delta_since(&before);
     let report = report?.expect("repeats is clamped to at least one");
     Ok(build_outcome(report, plan, delta, queueing_time))
@@ -867,7 +855,6 @@ pub struct SessionBuilder {
     host: HostConfig,
     workers: Option<usize>,
     parallel: bool,
-    device_mode: DeviceMode,
 }
 
 impl SessionBuilder {
@@ -879,26 +866,7 @@ impl SessionBuilder {
             host: HostConfig::default(),
             workers: None,
             parallel: true,
-            device_mode: DeviceMode::Fresh,
         }
-    }
-
-    /// Sets the default [`DeviceMode`] for requests that do not override it
-    /// ([`RunRequest::on_device`] / [`RunRequest::device_mode`]). Defaults
-    /// to [`DeviceMode::Fresh`].
-    pub fn device_mode(mut self, mode: DeviceMode) -> Self {
-        self.device_mode = mode;
-        self
-    }
-
-    /// Builder-style sugar for
-    /// [`SessionBuilder::device_mode`]`(DeviceMode::Warm)`: every request
-    /// runs on the session's default warm device unless it opts out.
-    ///
-    /// **Deprecated shim:** prefer explicit [`RunRequest::on_device`]
-    /// targeting.
-    pub fn warm(self) -> Self {
-        self.device_mode(DeviceMode::Warm)
     }
 
     /// Replaces the host configuration.
@@ -938,12 +906,9 @@ impl SessionBuilder {
             ssd: self.ssd,
             host: self.host,
             workers,
-            default_device_mode: self.device_mode,
             registry: ProgramRegistry::new(),
             pool: OnceLock::new(),
-            // Slot 0 is the implicit default device the DeviceMode::Warm
-            // shim targets; named devices follow.
-            devices: vec![Arc::new(DeviceSlot::new("default"))],
+            devices: Vec::new(),
             engine: OnceLock::new(),
         }
     }
@@ -968,11 +933,14 @@ impl SessionBuilder {
 /// the fresh-request fan-out — proceed in parallel on the thread pool.
 /// Outcomes are bit-identical to submitting the same batch serially.
 ///
-/// Each device carries an explicit **stream clock**: request *i* issues at
-/// request *i−1*'s finish time. [`RunSummary::queueing_time`] reports how
-/// long a request waited in its lane behind earlier requests of the same
-/// batch, and [`RunSummary::service_time`] its own execution time;
-/// `total_time` is their sum. Cumulative per-device state is available via
+/// Each device carries an explicit **stream clock**. By default requests are
+/// closed-loop — request *i* issues at request *i−1*'s finish time — while
+/// [`RunRequest::arriving_at`] turns the stream open-loop: the clock
+/// advances to `max(previous finish, arrival)`, so the device can sit idle
+/// between arrivals. [`RunSummary::queueing_time`] reports how long a
+/// request waited in its lane between its arrival and its first issue, and
+/// [`RunSummary::service_time`] its own execution time; `total_time` is
+/// their sum. Cumulative per-device state is available via
 /// [`Session::device_snapshot`] and resettable via
 /// [`Session::reset_device`], and whole devices can be checkpointed across
 /// processes with [`Session::export_device`] /
@@ -983,11 +951,9 @@ pub struct Session {
     ssd: SsdConfig,
     host: HostConfig,
     workers: usize,
-    default_device_mode: DeviceMode,
     registry: ProgramRegistry,
     pool: OnceLock<ThreadPool>,
-    /// The warm-device pool. Slot 0 is the implicit default device; the
-    /// rest are minted by [`Session::create_device`] /
+    /// The warm-device pool, minted by [`Session::create_device`] /
     /// [`Session::import_device`]. Behind `Arc` so batch lane tasks can
     /// run on the thread pool without borrowing the session.
     devices: Vec<Arc<DeviceSlot>>,
@@ -1092,15 +1058,8 @@ impl Session {
             .map(|i| DeviceHandle(i as u32))
     }
 
-    /// The implicit device the deprecated [`DeviceMode::Warm`] shim (and
-    /// [`SessionBuilder::warm`]) targets. Always present; named
-    /// `"default"`.
-    pub fn default_device(&self) -> DeviceHandle {
-        DeviceHandle(0)
-    }
-
     /// Iterator over every device in the pool, `(handle, name)`, in
-    /// creation order (the default device first).
+    /// creation order.
     pub fn devices(&self) -> impl Iterator<Item = (DeviceHandle, &str)> {
         self.devices
             .iter()
@@ -1205,9 +1164,24 @@ impl Session {
         let mut out = Vec::new();
         out.extend_from_slice(&DEVICE_CHECKPOINT_MAGIC);
         put_u16(&mut out, DEVICE_CHECKPOINT_FORMAT_VERSION);
+        // The configuration fingerprint pins the exact timings/energies the
+        // stream was simulated under, not just the shape the state decoder
+        // can check structurally.
+        put_u64(&mut out, self.config_fingerprint());
         put_u64(&mut out, lane.clock.as_ps());
         out.extend_from_slice(&state.state().to_bytes());
         Ok(out)
+    }
+
+    /// The combined fingerprint device checkpoints embed: FNV-1a over the
+    /// SSD and host configuration fingerprints. Both sides matter — warm
+    /// stream clocks depend on host rooflines (host-policy service times)
+    /// as much as on the device's own timings.
+    fn config_fingerprint(&self) -> u64 {
+        let mut canonical = Vec::with_capacity(16);
+        put_u64(&mut canonical, self.ssd.fingerprint());
+        put_u64(&mut canonical, self.host.fingerprint());
+        conduit_types::bytes::fnv1a(&canonical)
     }
 
     /// Revives a device checkpoint produced by [`Session::export_device`]
@@ -1219,23 +1193,51 @@ impl Session {
     ///
     /// Returns [`ConduitError::CorruptCheckpoint`] for a bad magic/version,
     /// truncation, or a checkpoint that does not match this session's SSD
-    /// configuration. On error the pool is left unchanged.
+    /// configuration. Version-2 checkpoints embed the exporting session's
+    /// combined SSD + host configuration fingerprint
+    /// ([`SsdConfig::fingerprint`],
+    /// [`conduit_types::HostConfig::fingerprint`]), so **any**
+    /// configuration difference — including same-shape timing or energy
+    /// changes the structural checks cannot see — is a hard error; legacy
+    /// version-1 checkpoints fall back to the structural shape check. On
+    /// error the pool is left unchanged.
     pub fn import_device(&mut self, name: &str, bytes: &[u8]) -> Result<DeviceHandle> {
-        if bytes.len() < 14 || bytes[..4] != DEVICE_CHECKPOINT_MAGIC {
+        if bytes.len() < 6 || bytes[..4] != DEVICE_CHECKPOINT_MAGIC {
             return Err(ConduitError::corrupt_checkpoint(
                 "bad device-checkpoint magic",
             ));
         }
-        let mut r = Reader::new(&bytes[4..14]);
+        let tail = &bytes[4..];
+        let mut r = Reader::new(tail);
         let version = r.u16()?;
-        if version != DEVICE_CHECKPOINT_FORMAT_VERSION {
-            return Err(ConduitError::corrupt_checkpoint(format!(
-                "unsupported device-checkpoint format version {version} \
-                 (expected {DEVICE_CHECKPOINT_FORMAT_VERSION})"
-            )));
+        match version {
+            DEVICE_CHECKPOINT_FORMAT_VERSION => {
+                let fingerprint = r.u64()?;
+                let expected = self.config_fingerprint();
+                if fingerprint != expected {
+                    return Err(ConduitError::corrupt_checkpoint(format!(
+                        "device checkpoint was exported under a different \
+                         SSD/host configuration (fingerprint \
+                         {fingerprint:#018x}, this session's is \
+                         {expected:#018x}); replaying it here would silently \
+                         change the stream's timings"
+                    )));
+                }
+            }
+            // Legacy checkpoints predate the fingerprint; the structural
+            // shape check in DeviceState::from_bytes still applies.
+            DEVICE_CHECKPOINT_FORMAT_VERSION_V1 => {}
+            _ => {
+                return Err(ConduitError::corrupt_checkpoint(format!(
+                    "unsupported device-checkpoint format version {version} \
+                     (expected {DEVICE_CHECKPOINT_FORMAT_VERSION} or \
+                     {DEVICE_CHECKPOINT_FORMAT_VERSION_V1})"
+                )));
+            }
         }
         let clock = SimTime::from_ps(r.counter()?);
-        let state = DeviceState::from_bytes(&self.ssd, &bytes[14..])?;
+        let consumed = tail.len() - r.remaining();
+        let state = DeviceState::from_bytes(&self.ssd, &tail[consumed..])?;
         let device = SsdDevice::with_state(&self.ssd, state)?;
         let handle = self.create_device(name);
         let mut lane = self
@@ -1264,14 +1266,9 @@ impl Session {
             }
             ProgramSource::Inline(program) => Arc::clone(program),
         };
-        let target = request.target.unwrap_or(match self.default_device_mode {
-            DeviceMode::Fresh => DeviceTarget::Fresh,
-            DeviceMode::Warm => DeviceTarget::DefaultWarm,
-        });
-        let mode = match target {
-            DeviceTarget::Fresh => PlanMode::Fresh,
-            DeviceTarget::DefaultWarm => PlanMode::Device(0),
-            DeviceTarget::Named(handle) => {
+        let mode = match request.device {
+            None => PlanMode::Fresh,
+            Some(handle) => {
                 if handle.index() >= self.devices.len() {
                     return Err(ConduitError::invalid_config(format!(
                         "device {handle} is not part of this session's pool"
@@ -1287,6 +1284,7 @@ impl Session {
             collect_energy_split: request.collect_energy_split,
             percentiles: request.percentiles.clone(),
             mode,
+            arrival: request.arrival.saturating_since(SimTime::ZERO),
         })
     }
 
@@ -1315,10 +1313,12 @@ impl Session {
 
     /// Executes a batch of independent requests and returns the outcomes in
     /// request order. Fresh requests fan out across the session's thread
-    /// pool; warm requests are grouped into **per-device FIFO lanes** —
-    /// serial in request order within a device (they share its state and
-    /// stream clock), parallel across devices and alongside the fresh
-    /// fan-out.
+    /// pool as bulk-class jobs; warm requests are grouped into **per-device
+    /// FIFO lanes** — serial in request order within a device (they share
+    /// its state and stream clock), parallel across devices and alongside
+    /// the fresh fan-out. Lane tasks run in the pool's reserved **lane
+    /// class** (see [`crate::pool`]), so a ready lane never waits behind
+    /// the queued fresh backlog on a small pool.
     ///
     /// Every fresh run simulates on a fresh device and every lane executes
     /// its device's requests in request order, so the outcomes are
@@ -1395,54 +1395,50 @@ impl Session {
 
         let pool = self.pool.get_or_init(|| ThreadPool::new(self.workers));
         let total = plans.len();
-        let fan_out = self.workers.min(fresh.len());
         let expected = fresh.len() + lanes.iter().map(|(_, idx)| idx.len()).sum::<usize>();
         let shared = Arc::new(BatchState {
             ssd: self.ssd.clone(),
             host: self.host.clone(),
             plans,
-            fresh,
-            next: AtomicUsize::new(0),
         });
         let (tx, rx) = channel();
-        for _ in 0..fan_out {
-            let shared = Arc::clone(&shared);
-            let tx = tx.clone();
-            pool.execute(move || loop {
-                let cursor = shared.next.fetch_add(1, Ordering::Relaxed);
-                if cursor >= shared.fresh.len() {
-                    break;
-                }
-                let i = shared.fresh[cursor];
-                let outcome = execute_fresh(&shared.ssd, &shared.host, &shared.plans[i]);
-                if tx.send((i, outcome)).is_err() {
-                    break;
-                }
-            });
-        }
-        // One task per device lane: the lane walks its requests in request
-        // order while other lanes and the fresh fan-out proceed in
-        // parallel. A request failure does not stop the lane (matching the
-        // serial path), it is reported in that request's slot.
+        // One lane-class task per device lane, enqueued ahead of the fresh
+        // fan-out: the lane walks its requests in request order while other
+        // lanes and the fresh jobs proceed in parallel, and the pool's
+        // reserved lane slots dequeue these ahead of any queued bulk work.
+        // A request failure does not stop the lane (matching the serial
+        // path), it is reported in that request's slot.
         for (lane_pos, (slot, indices)) in lanes.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
             let device = Arc::clone(&self.devices[slot]);
             let engine = self.engine().clone();
-            let arrival = arrivals[lane_pos];
-            pool.execute(move || {
+            let base = arrivals[lane_pos];
+            pool.execute_lane(move || {
                 for i in indices {
                     let outcome = execute_on_lane(
                         &engine,
                         &shared.ssd,
                         &device,
                         &shared.plans[i],
-                        Some(arrival),
+                        Some(base),
                     );
                     if tx.send((i, outcome)).is_err() {
                         break;
                     }
                 }
+            });
+        }
+        // One bulk-class job per fresh request (rather than per-worker
+        // cursor loops): fine-grained jobs let a lane-slot worker that
+        // helped with fresh work return to newly-arrived lane tasks after
+        // one request instead of owning the whole fresh backlog.
+        for i in fresh {
+            let shared = Arc::clone(&shared);
+            let tx = tx.clone();
+            pool.execute(move || {
+                let outcome = execute_fresh(&shared.ssd, &shared.host, &shared.plans[i]);
+                let _ = tx.send((i, outcome));
             });
         }
         drop(tx);
@@ -1681,10 +1677,10 @@ mod tests {
     }
 
     #[test]
-    fn warm_shim_carries_device_state_across_submissions() {
-        let s = session();
-        let request = RunRequest::inline(program("warm"), Policy::Conduit).warm();
-        let default = s.default_device();
+    fn warm_device_carries_state_across_submissions() {
+        let mut s = session();
+        let default = s.create_device("tenant");
+        let request = RunRequest::inline(program("warm"), Policy::Conduit).on_device(default);
         let first = s.submit(&request).unwrap();
         let snap_after_first = s.device_snapshot(default);
         assert!(snap_after_first.device_ops > 0);
@@ -1726,7 +1722,7 @@ mod tests {
         assert_eq!(s.create_device("tenant-a"), a, "creation is idempotent");
         assert_eq!(s.find_device("tenant-b"), Some(b));
         assert_eq!(s.device_name(a), "tenant-a");
-        assert_eq!(s.devices().count(), 3, "default + two tenants");
+        assert_eq!(s.devices().count(), 2, "two tenants");
 
         s.submit(&RunRequest::new(id, Policy::Conduit).on_device(a))
             .unwrap();
@@ -1737,11 +1733,6 @@ mod tests {
         let snap_a = s.device_snapshot(a);
         let snap_b = s.device_snapshot(b);
         assert!(snap_a.device_ops > snap_b.device_ops);
-        assert_eq!(
-            s.device_snapshot(s.default_device()),
-            DeviceSnapshot::default(),
-            "the default device is untouched by named-device traffic"
-        );
         // Resetting one tenant leaves the other aging.
         s.reset_device(a);
         assert_eq!(s.device_snapshot(a), DeviceSnapshot::default());
@@ -1795,34 +1786,105 @@ mod tests {
     fn fresh_runs_are_unaffected_by_warm_history() {
         let mut s = session();
         let id = s.register(program("iso")).unwrap();
+        let dev = s.create_device("history");
         let fresh = RunRequest::new(id, Policy::Conduit);
         let before = s.submit(&fresh).unwrap();
         for _ in 0..3 {
-            s.submit(&fresh.clone().warm()).unwrap();
+            s.submit(&fresh.clone().on_device(dev)).unwrap();
         }
         let after = s.submit(&fresh).unwrap();
         assert_eq!(before, after, "fresh runs must not see warm-device state");
-        // Fresh runs also report their own device footprint.
+        // Fresh runs also report their own device footprint — but no lane
+        // accounting, because there is no lane.
         assert!(before.summary.device_delta.device_ops > 0);
+        assert_eq!(before.summary.device_delta.lane_requests, 0);
     }
 
     #[test]
-    fn session_default_device_mode_applies_and_requests_override() {
-        let mut s = Session::builder(SsdConfig::small_for_tests())
-            .warm()
-            .build();
-        let id = s.register(program("default-warm")).unwrap();
-        let default = s.default_device();
-        assert!(s.submit(&RunRequest::new(id, Policy::Conduit)).is_ok());
-        assert!(
-            s.device_snapshot(default).device_ops > 0,
-            "default mode is warm"
-        );
-        let cumulative = s.device_snapshot(default).device_ops;
-        // An explicit Fresh override leaves the warm device untouched.
-        s.submit(&RunRequest::new(id, Policy::Conduit).device_mode(DeviceMode::Fresh))
+    fn open_loop_arrivals_drive_queueing_and_idle_gaps() {
+        let mut s = session();
+        let id = s.register(program("arrivals")).unwrap();
+        let dev = s.create_device("open-loop");
+
+        // Probe the service time of one request on this device when fresh.
+        let probe = s
+            .submit(&RunRequest::new(id, Policy::Conduit).on_device(dev))
             .unwrap();
-        assert_eq!(s.device_snapshot(default).device_ops, cumulative);
+        let service = probe.summary.service_time;
+        s.reset_device(dev);
+
+        // Request 1 arrives at t=0; request 2 arrives mid-service of
+        // request 1: its queueing is arrival-relative, not batch-relative.
+        let mid = SimTime::ZERO + service / 2;
+        let batch = s
+            .submit_batch(&[
+                RunRequest::new(id, Policy::Conduit).on_device(dev),
+                RunRequest::new(id, Policy::Conduit)
+                    .on_device(dev)
+                    .arriving_at(mid),
+            ])
+            .unwrap();
+        assert_eq!(batch[0].summary.queueing_time, Duration::ZERO);
+        assert_eq!(
+            batch[1].summary.queueing_time,
+            batch[0].summary.service_time - (mid.saturating_since(SimTime::ZERO)),
+            "queueing counts from the request's own arrival"
+        );
+
+        // A request arriving after the lane drained leaves the device idle
+        // for the gap: zero queueing, stream clock jumps to the arrival.
+        let clock = s.device_clock(dev);
+        let late_by = Duration::from_us(250.0);
+        let snap_before = s.device_snapshot(dev);
+        let late = s
+            .submit(
+                &RunRequest::new(id, Policy::Conduit)
+                    .on_device(dev)
+                    .arriving_at(SimTime::ZERO + late_by),
+            )
+            .unwrap();
+        assert_eq!(late.summary.queueing_time, Duration::ZERO);
+        assert_eq!(
+            s.device_clock(dev),
+            clock + late_by + late.summary.service_time,
+            "the stream clock advances to max(prev finish, arrival) + service"
+        );
+        let snap = s.device_snapshot(dev);
+        assert_eq!(
+            snap.lane_idle_time,
+            snap_before.lane_idle_time + late_by,
+            "the idle gap is accounted on the device"
+        );
+        assert_eq!(late.summary.device_delta.lane_idle_time, late_by);
+        assert_eq!(late.summary.device_delta.lane_requests, 1);
+        assert!(snap.lane_occupancy() < 1.0);
+        assert_eq!(snap.lane_requests, 3);
+
+        // Closed-loop lanes report full occupancy.
+        let mut closed = session();
+        let cid = closed.register(program("arrivals")).unwrap();
+        let cdev = closed.create_device("closed-loop");
+        for _ in 0..2 {
+            closed
+                .submit(&RunRequest::new(cid, Policy::Conduit).on_device(cdev))
+                .unwrap();
+        }
+        assert_eq!(closed.device_snapshot(cdev).lane_occupancy(), 1.0);
+    }
+
+    #[test]
+    fn fresh_arrivals_translate_without_changing_results() {
+        let mut s = session();
+        let id = s.register(program("shift")).unwrap();
+        let base = s.submit(&RunRequest::new(id, Policy::Conduit)).unwrap();
+        let shifted = s
+            .submit(
+                &RunRequest::new(id, Policy::Conduit)
+                    .arriving_at(SimTime::ZERO + Duration::from_us(700.0)),
+            )
+            .unwrap();
+        assert_eq!(shifted.summary.queueing_time, Duration::ZERO);
+        assert_eq!(shifted.summary, base.summary);
     }
 
     #[test]
@@ -1857,6 +1919,64 @@ mod tests {
         let mut flipped = bytes.clone();
         flipped[0] = b'X';
         assert!(other.import_device("bad", &flipped).is_err());
+    }
+
+    #[test]
+    fn checkpoint_import_rejects_a_mismatched_configuration() {
+        let mut s = session();
+        let id = s.register(program("fp")).unwrap();
+        let dev = s.create_device("tenant");
+        s.submit(&RunRequest::new(id, Policy::Conduit).on_device(dev))
+            .unwrap();
+        let bytes = s.export_device(dev).unwrap();
+
+        // Same geometry — the structural shape checks cannot tell these
+        // apart — but a different flash read latency: the embedded
+        // fingerprint must reject the import as corrupt.
+        let mut slow_read = SsdConfig::small_for_tests();
+        slow_read.flash.t_read = Duration::from_us(95.0);
+        let mut other = Session::builder(slow_read).build();
+        let err = other.import_device("tenant", &bytes).unwrap_err();
+        assert!(
+            matches!(err, ConduitError::CorruptCheckpoint { .. }),
+            "got {err:?}"
+        );
+        assert!(other.find_device("tenant").is_none(), "pool unchanged");
+
+        // A different *host* configuration is just as fatal: host-policy
+        // service times shape the stream clock too.
+        let mut fast_host = conduit_types::HostConfig::default();
+        fast_host.cpu.freq_hz *= 2.0;
+        let mut hosty = Session::builder(SsdConfig::small_for_tests())
+            .host(fast_host)
+            .build();
+        assert!(matches!(
+            hosty.import_device("tenant", &bytes),
+            Err(ConduitError::CorruptCheckpoint { .. })
+        ));
+
+        // The exporting configuration still accepts it.
+        let mut same = session();
+        assert!(same.import_device("tenant", &bytes).is_ok());
+    }
+
+    #[test]
+    fn pathological_arrival_offsets_saturate_instead_of_wrapping() {
+        let mut s = session();
+        let id = s.register(program("sat")).unwrap();
+        let dev = s.create_device("edge");
+        s.submit(&RunRequest::new(id, Policy::Conduit).on_device(dev))
+            .unwrap();
+        let clock = s.device_clock(dev);
+        // An absurd arrival must not panic or wrap the stream clock
+        // backwards; the clock clamps at the end of representable time.
+        let outcome = s.submit(
+            &RunRequest::new(id, Policy::Conduit)
+                .on_device(dev)
+                .arriving_at(SimTime::from_ps(u64::MAX - 1)),
+        );
+        assert!(outcome.is_ok());
+        assert!(s.device_clock(dev) >= clock, "clock must never move back");
     }
 
     #[test]

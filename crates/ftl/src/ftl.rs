@@ -328,6 +328,23 @@ impl Ftl {
     /// always produce identical bytes.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         self.state.encode_into(out);
+        self.encode_tail_into(out);
+    }
+
+    /// Like [`Ftl::encode_into`], but the flash array uses the
+    /// **delta-against-pristine** layout
+    /// ([`FlashState::encode_sparse_into`]): never-written blocks are
+    /// skipped, so a cold device's FTL image stays small. Decode with
+    /// [`Ftl::decode_delta_from`].
+    pub fn encode_delta_into(&self, out: &mut Vec<u8>) {
+        self.state.encode_sparse_into(out);
+        self.encode_tail_into(out);
+    }
+
+    /// Everything after the flash image, shared by both layouts: L2P table,
+    /// allocator cursors, coherence directory, GC/wear counters and
+    /// activity stats.
+    fn encode_tail_into(&self, out: &mut Vec<u8>) {
         self.l2p.encode_into(out);
         self.alloc.encode_into(out);
         self.coherence.encode_into(out);
@@ -352,6 +369,26 @@ impl Ftl {
     pub fn decode_from(cfg: &SsdConfig, r: &mut Reader<'_>) -> Result<Self> {
         let mut ftl = Ftl::new(cfg)?;
         ftl.state = FlashState::decode_from(&cfg.flash, r)?;
+        ftl.decode_tail_from(r)
+    }
+
+    /// Decodes an FTL serialized by [`Ftl::encode_delta_into`] (sparse
+    /// flash image) for the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ftl::decode_from`].
+    pub fn decode_delta_from(cfg: &SsdConfig, r: &mut Reader<'_>) -> Result<Self> {
+        let mut ftl = Ftl::new(cfg)?;
+        ftl.state = FlashState::decode_sparse_from(&cfg.flash, r)?;
+        ftl.decode_tail_from(r)
+    }
+
+    /// Decodes everything after the flash image and rebuilds the derived
+    /// reverse map; consumes `self` (a fresh FTL whose `state` has already
+    /// been replaced by the decoded flash image).
+    fn decode_tail_from(self, r: &mut Reader<'_>) -> Result<Self> {
+        let mut ftl = self;
         ftl.l2p = L2pTable::decode_from(ftl.l2p.cache_capacity(), r)?;
         ftl.alloc = PageAllocator::decode_from(&ftl.state, r)?;
         ftl.coherence = CoherenceDirectory::decode_from(r)?;

@@ -161,6 +161,17 @@ impl SsdDevice {
         self.state.snapshot()
     }
 
+    /// Folds one served lane request into the device's lane statistics (see
+    /// [`DeviceState::record_lane_request`]).
+    pub fn record_lane_request(
+        &mut self,
+        idle: conduit_types::Duration,
+        queued: conduit_types::Duration,
+        busy: conduit_types::Duration,
+    ) {
+        self.state.record_lane_request(idle, queued, busy);
+    }
+
     /// The flash translation layer (read-only).
     pub fn ftl(&self) -> &Ftl {
         &self.state.ftl

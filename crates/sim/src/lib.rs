@@ -51,6 +51,7 @@ pub use estimates::{CostEstimate, EstimateTable};
 pub use host::{HostCpuModel, HostGpuModel};
 pub use resources::{ResourcePool, SharedResource};
 pub use state::{
-    DeviceDelta, DeviceSnapshot, DeviceState, DEVICE_STATE_FORMAT_VERSION, DEVICE_STATE_MAGIC,
+    DeviceDelta, DeviceSnapshot, DeviceState, DEVICE_STATE_FORMAT_VERSION,
+    DEVICE_STATE_FORMAT_VERSION_V1, DEVICE_STATE_MAGIC, DEVICE_STATE_MAGIC_V1,
 };
-pub use stats::{CostBreakdown, LatencyStats};
+pub use stats::{CostBreakdown, LaneStats, LatencyStats};

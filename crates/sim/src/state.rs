@@ -20,16 +20,28 @@ use std::collections::{HashSet, VecDeque};
 
 use conduit_ftl::Ftl;
 use conduit_types::bytes::{put_u16, put_u64, Reader};
-use conduit_types::{ConduitError, Energy, LogicalPageId, Result, SsdConfig};
+use conduit_types::{ConduitError, Duration, Energy, LogicalPageId, Result, SsdConfig};
 
 use crate::energy::EnergyMeter;
 use crate::resources::{ResourcePool, SharedResource};
+use crate::stats::LaneStats;
 
-/// Magic bytes identifying a serialized [`DeviceState`] checkpoint.
-pub const DEVICE_STATE_MAGIC: [u8; 4] = *b"CDS1";
+/// Magic bytes identifying a serialized [`DeviceState`] checkpoint in the
+/// current **delta-against-pristine** format: never-written flash blocks are
+/// skipped, so cold-device checkpoints stay small, and the request-lane
+/// statistics ([`LaneStats`]) are included.
+pub const DEVICE_STATE_MAGIC: [u8; 4] = *b"CDS2";
 
 /// Current device-state checkpoint format version.
-pub const DEVICE_STATE_FORMAT_VERSION: u16 = 1;
+pub const DEVICE_STATE_FORMAT_VERSION: u16 = 2;
+
+/// Magic bytes of the legacy version-1 format (dense flash image, no lane
+/// statistics). Still readable by [`DeviceState::from_bytes`]; no longer
+/// written.
+pub const DEVICE_STATE_MAGIC_V1: [u8; 4] = *b"CDS1";
+
+/// Format version of the legacy [`DEVICE_STATE_MAGIC_V1`] encoding.
+pub const DEVICE_STATE_FORMAT_VERSION_V1: u16 = 1;
 
 /// Number of pages the host keeps resident before it must re-stream data
 /// from the SSD (see the field documentation on [`DeviceState`]).
@@ -68,6 +80,9 @@ pub struct DeviceState {
     pub(crate) host_resident: HashSet<LogicalPageId>,
     pub(crate) host_order: VecDeque<LogicalPageId>,
     pub(crate) energy: EnergyMeter,
+    /// Request-lane statistics: how the device's FIFO lane spent its stream
+    /// clock (busy serving requests vs idle between open-loop arrivals).
+    pub(crate) lane: LaneStats,
 }
 
 impl DeviceState {
@@ -107,12 +122,26 @@ impl DeviceState {
             host_resident: HashSet::new(),
             host_order: VecDeque::new(),
             energy: EnergyMeter::new(),
+            lane: LaneStats::default(),
         })
     }
 
     /// The flash translation layer (read-only).
     pub fn ftl(&self) -> &Ftl {
         &self.ftl
+    }
+
+    /// The device's cumulative request-lane statistics.
+    pub fn lane_stats(&self) -> LaneStats {
+        self.lane
+    }
+
+    /// Folds one served lane request into the lane statistics: `idle` is the
+    /// gap the device sat unused before the request arrived, `queued` the
+    /// arrival-relative wait behind earlier requests, `busy` the request's
+    /// own service time on the stream clock.
+    pub fn record_lane_request(&mut self, idle: Duration, queued: Duration, busy: Duration) {
+        self.lane.record(idle, queued, busy);
     }
 
     /// The accumulated energy meter.
@@ -163,22 +192,29 @@ impl DeviceState {
             wear_spread: wear.spread,
             device_ops: self.device_ops(),
             total_energy: self.energy.total(),
+            lane_requests: self.lane.requests,
+            lane_busy_time: self.lane.busy,
+            lane_idle_time: self.lane.idle,
+            lane_queued_time: self.lane.queued,
         }
     }
 
     /// Serializes the whole device state — FTL image, contention timelines,
-    /// cached-copy residency and the energy meter — into a compact,
-    /// versioned, **deterministic** byte stream (identical states always
-    /// produce identical bytes, so checkpoints can be diffed and pinned by
-    /// golden files). Restore with [`DeviceState::from_bytes`] under the
-    /// same [`SsdConfig`]; everything derived from the configuration
-    /// (geometry, capacities, resource names, estimate tables) is rebuilt
-    /// rather than stored.
+    /// cached-copy residency, the energy meter and the lane statistics —
+    /// into a compact, versioned, **deterministic** byte stream (identical
+    /// states always produce identical bytes, so checkpoints can be diffed
+    /// and pinned by golden files). The flash image is encoded
+    /// **delta-against-pristine**: blocks that have never been written or
+    /// erased are skipped entirely, so a cold device's checkpoint stays
+    /// small no matter how large the array is. Restore with
+    /// [`DeviceState::from_bytes`] under the same [`SsdConfig`]; everything
+    /// derived from the configuration (geometry, capacities, resource
+    /// names, estimate tables) is rebuilt rather than stored.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&DEVICE_STATE_MAGIC);
         put_u16(&mut out, DEVICE_STATE_FORMAT_VERSION);
-        self.ftl.encode_into(&mut out);
+        self.ftl.encode_delta_into(&mut out);
         put_u64(&mut out, self.channels.len() as u64);
         for channel in &self.channels {
             channel.encode_into(&mut out);
@@ -211,6 +247,10 @@ impl DeviceState {
             }
         }
         self.energy.encode_into(&mut out);
+        put_u64(&mut out, self.lane.requests);
+        put_u64(&mut out, self.lane.busy.as_ps());
+        put_u64(&mut out, self.lane.idle.as_ps());
+        put_u64(&mut out, self.lane.queued.as_ps());
         out
     }
 
@@ -219,25 +259,41 @@ impl DeviceState {
     /// state that was exported: replaying the same request stream on it
     /// produces bit-identical results.
     ///
+    /// Both the current `"CDS2"` delta encoding and the legacy `"CDS1"`
+    /// dense encoding are accepted; version-1 checkpoints predate the lane
+    /// statistics, which restore as zero.
+    ///
     /// # Errors
     ///
     /// Returns [`ConduitError::CorruptCheckpoint`] for a bad magic or
     /// version, truncated or trailing bytes, or a checkpoint whose shape
     /// does not match `cfg` (block counts, pool sizes, channel counts).
     pub fn from_bytes(cfg: &SsdConfig, bytes: &[u8]) -> Result<Self> {
-        if bytes.len() < 6 || bytes[..4] != DEVICE_STATE_MAGIC {
+        if bytes.len() < 6 {
             return Err(ConduitError::corrupt_checkpoint("bad device-state magic"));
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        if version != DEVICE_STATE_FORMAT_VERSION {
-            return Err(ConduitError::corrupt_checkpoint(format!(
-                "unsupported device-state format version {version} \
-                 (expected {DEVICE_STATE_FORMAT_VERSION})"
-            )));
-        }
+        let delta_flash = match (&bytes[..4], version) {
+            (magic, DEVICE_STATE_FORMAT_VERSION) if *magic == DEVICE_STATE_MAGIC => true,
+            (magic, DEVICE_STATE_FORMAT_VERSION_V1) if *magic == DEVICE_STATE_MAGIC_V1 => false,
+            (magic, version) if *magic == DEVICE_STATE_MAGIC || *magic == DEVICE_STATE_MAGIC_V1 => {
+                return Err(ConduitError::corrupt_checkpoint(format!(
+                    "unsupported device-state format version {version} \
+                     (expected {DEVICE_STATE_FORMAT_VERSION} or \
+                     {DEVICE_STATE_FORMAT_VERSION_V1})"
+                )));
+            }
+            _ => {
+                return Err(ConduitError::corrupt_checkpoint("bad device-state magic"));
+            }
+        };
         let mut r = Reader::new(&bytes[6..]);
         let mut state = DeviceState::new(cfg)?;
-        state.ftl = Ftl::decode_from(cfg, &mut r)?;
+        state.ftl = if delta_flash {
+            Ftl::decode_delta_from(cfg, &mut r)?
+        } else {
+            Ftl::decode_from(cfg, &mut r)?
+        };
         let channels = r.u64()? as usize;
         if channels != state.channels.len() {
             return Err(ConduitError::corrupt_checkpoint(format!(
@@ -274,6 +330,14 @@ impl DeviceState {
             }
         }
         state.energy = EnergyMeter::decode_from(&mut r)?;
+        if delta_flash {
+            state.lane = LaneStats {
+                requests: r.counter()?,
+                busy: Duration::from_ps(r.counter()?),
+                idle: Duration::from_ps(r.counter()?),
+                queued: Duration::from_ps(r.counter()?),
+            };
+        }
         if !r.finished() {
             return Err(ConduitError::corrupt_checkpoint(
                 "trailing bytes after device state",
@@ -329,9 +393,29 @@ pub struct DeviceSnapshot {
     pub device_ops: u64,
     /// Total energy charged to the device so far.
     pub total_energy: Energy,
+    /// Requests the device's FIFO lane has served.
+    pub lane_requests: u64,
+    /// Stream-clock time the device spent serving lane requests.
+    pub lane_busy_time: Duration,
+    /// Stream-clock time the device sat idle between open-loop arrivals.
+    pub lane_idle_time: Duration,
+    /// Total arrival-relative queueing accumulated by lane requests.
+    pub lane_queued_time: Duration,
 }
 
 impl DeviceSnapshot {
+    /// Fraction of the lane's lifetime (busy + idle) the device spent
+    /// serving requests; zero for a device that never served a lane
+    /// request. See [`LaneStats::occupancy`].
+    pub fn lane_occupancy(&self) -> f64 {
+        LaneStats {
+            requests: self.lane_requests,
+            busy: self.lane_busy_time,
+            idle: self.lane_idle_time,
+            queued: self.lane_queued_time,
+        }
+        .occupancy()
+    }
     /// The work performed between `before` and this snapshot (counters are
     /// monotonic, so plain differences; the point-in-time gauges
     /// `dirty_pages` and `wear_spread` carry this snapshot's value).
@@ -356,6 +440,12 @@ impl DeviceSnapshot {
             dirty_pages: self.dirty_pages,
             wear_spread: self.wear_spread,
             device_ops: self.device_ops.saturating_sub(before.device_ops),
+            lane_requests: self.lane_requests.saturating_sub(before.lane_requests),
+            lane_busy_time: self.lane_busy_time.saturating_sub(before.lane_busy_time),
+            lane_idle_time: self.lane_idle_time.saturating_sub(before.lane_idle_time),
+            lane_queued_time: self
+                .lane_queued_time
+                .saturating_sub(before.lane_queued_time),
         }
     }
 }
@@ -390,6 +480,15 @@ pub struct DeviceDelta {
     pub wear_spread: u64,
     /// Simulated device operations (timeline reservations) this run issued.
     pub device_ops: u64,
+    /// Lane requests this run accounted for (1 for a warm run, 0 for a
+    /// fresh run — fresh devices have no lane).
+    pub lane_requests: u64,
+    /// Stream-clock time the device spent serving this run.
+    pub lane_busy_time: Duration,
+    /// Idle gap the device sat unused before this run's open-loop arrival.
+    pub lane_idle_time: Duration,
+    /// Arrival-relative queueing this run experienced in its lane.
+    pub lane_queued_time: Duration,
 }
 
 impl DeviceDelta {
@@ -407,6 +506,10 @@ impl DeviceDelta {
         self.dirty_pages = later.dirty_pages;
         self.wear_spread = later.wear_spread;
         self.device_ops += later.device_ops;
+        self.lane_requests += later.lane_requests;
+        self.lane_busy_time += later.lane_busy_time;
+        self.lane_idle_time += later.lane_idle_time;
+        self.lane_queued_time += later.lane_queued_time;
     }
 
     /// Whether the run performed any tracked device work at all.

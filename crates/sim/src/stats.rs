@@ -196,6 +196,55 @@ impl LatencyStats {
     }
 }
 
+/// Cumulative request-lane statistics of one warm device: how many requests
+/// its FIFO lane has served, how long the device was busy serving them, how
+/// long it sat idle between open-loop arrivals, and how much arrival-relative
+/// queueing those requests accumulated.
+///
+/// All times are **simulated** stream-clock time, so the numbers are
+/// bit-identical regardless of how the scheduler interleaved lanes on real
+/// CPU cores. The busy/idle split is what turns the per-request
+/// queueing/service metrics into a device-level utilization instrument:
+/// [`LaneStats::occupancy`] is the fraction of the lane's lifetime the device
+/// spent serving requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneStats {
+    /// Requests the lane has served (each [`record`](LaneStats::record) call
+    /// is one request, regardless of its repeat count).
+    pub requests: u64,
+    /// Total time the device spent executing lane requests.
+    pub busy: Duration,
+    /// Total time the device sat idle waiting for the next arrival (open-loop
+    /// gaps where a request arrived after the previous one finished).
+    pub idle: Duration,
+    /// Total arrival-relative queueing across requests (time spent waiting
+    /// behind earlier requests of the same lane).
+    pub queued: Duration,
+}
+
+impl LaneStats {
+    /// Folds one served request into the counters.
+    pub fn record(&mut self, idle: Duration, queued: Duration, busy: Duration) {
+        self.requests += 1;
+        self.busy += busy;
+        self.idle += idle;
+        self.queued += queued;
+    }
+
+    /// Fraction of the lane's lifetime (busy + idle) the device spent
+    /// serving requests; zero for an unused lane. Always in `[0, 1]` — a
+    /// closed-loop lane (no idle gaps) reports exactly 1.
+    pub fn occupancy(&self) -> f64 {
+        let busy = self.busy.as_ps() as f64;
+        let total = busy + self.idle.as_ps() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            busy / total
+        }
+    }
+}
+
 /// Where an instruction's end-to-end time went — the stacked-bar breakdown of
 /// Figure 4 (compute, host↔SSD data movement, SSD-internal data movement,
 /// flash array reads).
@@ -410,5 +459,25 @@ mod tests {
     #[test]
     fn empty_breakdown_fractions_are_zero() {
         assert_eq!(CostBreakdown::zero().fractions(), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn lane_stats_record_and_occupancy() {
+        let mut lane = LaneStats::default();
+        assert_eq!(lane.occupancy(), 0.0);
+        // Closed-loop: back-to-back requests, no idle — occupancy is 1.
+        lane.record(Duration::ZERO, Duration::ZERO, Duration::from_us(2.0));
+        lane.record(
+            Duration::ZERO,
+            Duration::from_us(2.0),
+            Duration::from_us(2.0),
+        );
+        assert_eq!(lane.requests, 2);
+        assert_eq!(lane.occupancy(), 1.0);
+        assert_eq!(lane.queued, Duration::from_us(2.0));
+        // Open-loop: an idle gap as long as the busy time halves occupancy.
+        lane.record(Duration::from_us(4.0), Duration::ZERO, Duration::ZERO);
+        assert!((lane.occupancy() - 0.5).abs() < 1e-12);
+        assert_eq!(lane.idle, Duration::from_us(4.0));
     }
 }

@@ -31,6 +31,18 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
+/// FNV-1a over a byte stream: the workspace's content-address hash (program
+/// registry deduplication, [`crate::SsdConfig::fingerprint`]). Stable across
+/// platforms and releases — checkpoints embed its output.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 /// A bounds-checked little-endian cursor over a serialized byte stream.
 ///
 /// # Examples
@@ -158,6 +170,17 @@ mod tests {
         assert!(r.u32().is_err());
         // The failed read consumed nothing.
         assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_input_sensitive() {
+        // The FNV-1a offset basis: the empty input hashes to it by
+        // definition, pinning the implementation against accidental drift
+        // (checkpoints embed these hashes).
+        assert_eq!(fnv1a(&[]), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"conduit"), fnv1a(b"conduit"));
+        assert_ne!(fnv1a(b"conduit"), fnv1a(b"conduiT"));
+        assert_ne!(fnv1a(&[0]), fnv1a(&[0, 0]));
     }
 
     #[test]

@@ -7,8 +7,20 @@
 //! build modified configurations (e.g. for ablations) by mutating the
 //! defaults.
 
+use crate::bytes::{put_f64, put_u32, put_u64};
 use crate::energy::Energy;
 use crate::time::Duration;
+
+/// Appends a [`Duration`] to a canonical encoding as raw picoseconds.
+fn put_duration(out: &mut Vec<u8>, d: Duration) {
+    put_u64(out, d.as_ps());
+}
+
+/// Appends an [`Energy`] to a canonical encoding as the IEEE-754 bit
+/// pattern of its nanojoule value (exact).
+fn put_energy(out: &mut Vec<u8>, e: Energy) {
+    put_f64(out, e.as_nj());
+}
 
 /// NAND flash subsystem configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -92,6 +104,59 @@ impl Default for FlashConfig {
 }
 
 impl FlashConfig {
+    /// Appends every field, in declaration order, to the canonical
+    /// encoding behind [`SsdConfig::fingerprint`]. The exhaustive
+    /// destructuring (no `..` rest pattern) makes adding a config field
+    /// without extending the fingerprint a compile error.
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        let FlashConfig {
+            channels,
+            dies_per_channel,
+            planes_per_die,
+            blocks_per_plane,
+            pages_per_block,
+            page_bytes,
+            channel_bytes_per_sec,
+            t_read,
+            t_program,
+            t_erase,
+            t_and_or,
+            t_latch_transfer,
+            t_xor,
+            t_dma,
+            max_and_operands,
+            max_or_operands,
+            e_read,
+            e_program,
+            e_and_or_per_kib,
+            e_latch_per_kib,
+            e_xor_per_kib,
+            e_dma,
+        } = self;
+        put_u32(out, *channels);
+        put_u32(out, *dies_per_channel);
+        put_u32(out, *planes_per_die);
+        put_u32(out, *blocks_per_plane);
+        put_u32(out, *pages_per_block);
+        put_u64(out, *page_bytes);
+        put_f64(out, *channel_bytes_per_sec);
+        put_duration(out, *t_read);
+        put_duration(out, *t_program);
+        put_duration(out, *t_erase);
+        put_duration(out, *t_and_or);
+        put_duration(out, *t_latch_transfer);
+        put_duration(out, *t_xor);
+        put_duration(out, *t_dma);
+        put_u32(out, *max_and_operands);
+        put_u32(out, *max_or_operands);
+        put_energy(out, *e_read);
+        put_energy(out, *e_program);
+        put_energy(out, *e_and_or_per_kib);
+        put_energy(out, *e_latch_per_kib);
+        put_energy(out, *e_xor_per_kib);
+        put_energy(out, *e_dma);
+    }
+
     /// Total number of dies in the SSD.
     pub fn total_dies(&self) -> u64 {
         self.channels as u64 * self.dies_per_channel as u64
@@ -184,6 +249,47 @@ impl Default for DramConfig {
 }
 
 impl DramConfig {
+    /// Appends every field, in declaration order, to the canonical
+    /// encoding behind [`SsdConfig::fingerprint`] (exhaustive
+    /// destructuring: adding a field without fingerprinting it fails to
+    /// compile).
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        let DramConfig {
+            capacity_bytes,
+            channels,
+            ranks,
+            banks,
+            subarrays_per_bank,
+            row_bytes,
+            t_ck,
+            t_rcd,
+            t_rp,
+            t_ras,
+            t_cl,
+            t_bbop,
+            bus_bytes_per_sec,
+            e_bbop,
+            e_act_pre,
+            e_bus_per_byte,
+        } = self;
+        put_u64(out, *capacity_bytes);
+        put_u32(out, *channels);
+        put_u32(out, *ranks);
+        put_u32(out, *banks);
+        put_u32(out, *subarrays_per_bank);
+        put_u64(out, *row_bytes);
+        put_duration(out, *t_ck);
+        put_duration(out, *t_rcd);
+        put_duration(out, *t_rp);
+        put_duration(out, *t_ras);
+        put_duration(out, *t_cl);
+        put_duration(out, *t_bbop);
+        put_f64(out, *bus_bytes_per_sec);
+        put_energy(out, *e_bbop);
+        put_energy(out, *e_act_pre);
+        put_energy(out, *e_bus_per_byte);
+    }
+
     /// Total number of independently operating banks.
     pub fn total_banks(&self) -> u32 {
         self.channels * self.ranks * self.banks
@@ -251,6 +357,35 @@ impl Default for CtrlConfig {
 }
 
 impl CtrlConfig {
+    /// Appends every field, in declaration order, to the canonical
+    /// encoding behind [`SsdConfig::fingerprint`] (exhaustive
+    /// destructuring: adding a field without fingerprinting it fails to
+    /// compile).
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        let CtrlConfig {
+            cores,
+            compute_cores,
+            freq_hz,
+            mve_bytes,
+            cycles_simple,
+            cycles_mul,
+            cycles_div,
+            cycles_mem,
+            core_power_w,
+            sram_bytes,
+        } = self;
+        put_u32(out, *cores);
+        put_u32(out, *compute_cores);
+        put_f64(out, *freq_hz);
+        put_u32(out, *mve_bytes);
+        put_u32(out, *cycles_simple);
+        put_u32(out, *cycles_mul);
+        put_u32(out, *cycles_div);
+        put_u32(out, *cycles_mem);
+        put_f64(out, *core_power_w);
+        put_u64(out, *sram_bytes);
+    }
+
     /// Duration of `cycles` core clock cycles.
     pub fn cycles(&self, cycles: u64) -> Duration {
         Duration::from_cycles(cycles, self.freq_hz)
@@ -286,6 +421,21 @@ impl Default for HostLinkConfig {
 }
 
 impl HostLinkConfig {
+    /// Appends every field, in declaration order, to the canonical
+    /// encodings behind [`SsdConfig::fingerprint`] and
+    /// [`HostConfig::fingerprint`] (exhaustive destructuring: adding a
+    /// field without fingerprinting it fails to compile).
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        let HostLinkConfig {
+            pcie_bytes_per_sec,
+            nvme_cmd_latency,
+            e_per_byte,
+        } = self;
+        put_f64(out, *pcie_bytes_per_sec);
+        put_duration(out, *nvme_cmd_latency);
+        put_energy(out, *e_per_byte);
+    }
+
     /// Time to move `bytes` over the host link, excluding command overhead.
     pub fn transfer_time(&self, bytes: u64) -> Duration {
         Duration::for_transfer(bytes, self.pcie_bytes_per_sec)
@@ -352,6 +502,52 @@ impl Default for HostGpuConfig {
     }
 }
 
+impl HostCpuConfig {
+    /// Appends every field, in declaration order, to the canonical
+    /// encoding behind [`HostConfig::fingerprint`] (exhaustive
+    /// destructuring: adding a field without fingerprinting it fails to
+    /// compile).
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        let HostCpuConfig {
+            cores,
+            freq_hz,
+            simd_bytes,
+            uops_per_cycle,
+            mem_bytes_per_sec,
+            power_w,
+        } = self;
+        put_u32(out, *cores);
+        put_f64(out, *freq_hz);
+        put_u32(out, *simd_bytes);
+        put_f64(out, *uops_per_cycle);
+        put_f64(out, *mem_bytes_per_sec);
+        put_f64(out, *power_w);
+    }
+}
+
+impl HostGpuConfig {
+    /// Appends every field, in declaration order, to the canonical
+    /// encoding behind [`HostConfig::fingerprint`] (exhaustive
+    /// destructuring: adding a field without fingerprinting it fails to
+    /// compile).
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        let HostGpuConfig {
+            sms,
+            freq_hz,
+            lanes_per_sm,
+            mem_bytes_per_sec,
+            kernel_launch,
+            power_w,
+        } = self;
+        put_u32(out, *sms);
+        put_f64(out, *freq_hz);
+        put_u32(out, *lanes_per_sm);
+        put_f64(out, *mem_bytes_per_sec);
+        put_duration(out, *kernel_launch);
+        put_f64(out, *power_w);
+    }
+}
+
 /// Host-side configuration (CPU, GPU and the link to the SSD).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct HostConfig {
@@ -361,6 +557,23 @@ pub struct HostConfig {
     pub gpu: HostGpuConfig,
     /// Host ↔ SSD link parameters.
     pub link: HostLinkConfig,
+}
+
+impl HostConfig {
+    /// A stable content fingerprint of the whole host configuration, the
+    /// counterpart of [`SsdConfig::fingerprint`]: FNV-1a over a canonical
+    /// little-endian encoding of every field. Device checkpoints embed a
+    /// combined SSD+host fingerprint, because host-policy service times
+    /// (and therefore a warm device's stream clock) depend on the host
+    /// rooflines too.
+    pub fn fingerprint(&self) -> u64 {
+        let HostConfig { cpu, gpu, link } = self;
+        let mut canonical = Vec::with_capacity(128);
+        cpu.encode_canonical(&mut canonical);
+        gpu.encode_canonical(&mut canonical);
+        link.encode_canonical(&mut canonical);
+        crate::bytes::fnv1a(&canonical)
+    }
 }
 
 /// Runtime overhead parameters of Conduit's offloader (§4.5).
@@ -393,6 +606,31 @@ impl Default for OffloaderOverheadConfig {
             comp_table_lookup: Duration::from_ns(150.0),
             transform_lookup: Duration::from_ns(300.0),
         }
+    }
+}
+
+impl OffloaderOverheadConfig {
+    /// Appends every field, in declaration order, to the canonical
+    /// encoding behind [`SsdConfig::fingerprint`] (exhaustive
+    /// destructuring: adding a field without fingerprinting it fails to
+    /// compile).
+    fn encode_canonical(&self, out: &mut Vec<u8>) {
+        let OffloaderOverheadConfig {
+            l2p_lookup_dram,
+            l2p_lookup_flash,
+            dependence_tracking_per_queue,
+            queue_tracking_per_resource,
+            dm_table_lookup,
+            comp_table_lookup,
+            transform_lookup,
+        } = self;
+        put_duration(out, *l2p_lookup_dram);
+        put_duration(out, *l2p_lookup_flash);
+        put_duration(out, *dependence_tracking_per_queue);
+        put_duration(out, *queue_tracking_per_resource);
+        put_duration(out, *dm_table_lookup);
+        put_duration(out, *comp_table_lookup);
+        put_duration(out, *transform_lookup);
     }
 }
 
@@ -439,6 +677,35 @@ impl SsdConfig {
     /// Number of logical pages exposed to the host.
     pub fn logical_pages(&self) -> u64 {
         self.logical_capacity_bytes() / self.flash.page_bytes
+    }
+
+    /// A stable content fingerprint of the **whole** configuration: FNV-1a
+    /// over a canonical little-endian encoding of every field (geometry,
+    /// latencies, bandwidths, energies — durations as raw picoseconds,
+    /// floats as IEEE-754 bit patterns, so no rounding can alias two
+    /// different configurations).
+    ///
+    /// Device checkpoints embed this value: importing a checkpoint into a
+    /// session whose configuration differs *at all* — even when the
+    /// geometry (and therefore the checkpoint shape) matches — is rejected
+    /// as corrupt instead of silently replaying under different timings.
+    pub fn fingerprint(&self) -> u64 {
+        let SsdConfig {
+            flash,
+            dram,
+            ctrl,
+            link,
+            overheads,
+            l2p_cache_hit_rate,
+        } = self;
+        let mut canonical = Vec::with_capacity(512);
+        flash.encode_canonical(&mut canonical);
+        dram.encode_canonical(&mut canonical);
+        ctrl.encode_canonical(&mut canonical);
+        link.encode_canonical(&mut canonical);
+        overheads.encode_canonical(&mut canonical);
+        put_f64(&mut canonical, *l2p_cache_hit_rate);
+        crate::bytes::fnv1a(&canonical)
     }
 }
 
@@ -513,6 +780,50 @@ mod tests {
         assert!(small.flash.capacity_bytes() < cfg.flash.capacity_bytes());
         // Latencies are untouched in the small config.
         assert_eq!(small.flash.t_read, cfg.flash.t_read);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_timings_not_just_shapes() {
+        let cfg = SsdConfig::default();
+        assert_eq!(cfg.fingerprint(), SsdConfig::default().fingerprint());
+        assert_eq!(cfg.fingerprint(), cfg.clone().fingerprint());
+        assert_ne!(
+            cfg.fingerprint(),
+            SsdConfig::small_for_tests().fingerprint()
+        );
+
+        // Same geometry (same checkpoint *shape*), different timing: the
+        // fingerprint must still differ — this is exactly the silent
+        // mismatch the structural import check could not catch.
+        let mut slow_read = cfg.clone();
+        slow_read.flash.t_read = Duration::from_us(30.0);
+        assert_ne!(cfg.fingerprint(), slow_read.fingerprint());
+
+        let mut hit_rate = cfg.clone();
+        hit_rate.l2p_cache_hit_rate = 0.9;
+        assert_ne!(cfg.fingerprint(), hit_rate.fingerprint());
+
+        let mut energy = cfg;
+        energy.dram.e_bbop = Energy::from_nj(0.865);
+        assert_ne!(SsdConfig::default().fingerprint(), energy.fingerprint());
+    }
+
+    #[test]
+    fn host_fingerprint_distinguishes_rooflines() {
+        let host = HostConfig::default();
+        assert_eq!(host.fingerprint(), HostConfig::default().fingerprint());
+
+        let mut faster_link = host.clone();
+        faster_link.link.pcie_bytes_per_sec *= 2.0;
+        assert_ne!(host.fingerprint(), faster_link.fingerprint());
+
+        let mut slower_cpu = host.clone();
+        slower_cpu.cpu.freq_hz /= 2.0;
+        assert_ne!(host.fingerprint(), slower_cpu.fingerprint());
+
+        let mut gpu_launch = host.clone();
+        gpu_launch.gpu.kernel_launch = Duration::from_us(16.0);
+        assert_ne!(host.fingerprint(), gpu_launch.fingerprint());
     }
 
     #[test]

@@ -281,14 +281,18 @@ impl SimTime {
 
 impl Add<Duration> for SimTime {
     type Output = SimTime;
+    /// Saturating: the timeline clamps at the end of representable time
+    /// (~213 simulated days) instead of panicking (debug) or wrapping the
+    /// clock backwards (release) — pathological open-loop arrival offsets
+    /// or extremely long-lived warm streams must degrade gracefully.
     fn add(self, rhs: Duration) -> SimTime {
-        SimTime(self.0 + rhs.as_ps())
+        SimTime(self.0.saturating_add(rhs.as_ps()))
     }
 }
 
 impl AddAssign<Duration> for SimTime {
     fn add_assign(&mut self, rhs: Duration) {
-        self.0 += rhs.as_ps();
+        *self = *self + rhs;
     }
 }
 

@@ -11,26 +11,43 @@
 //!    into a fresh session and replaying the remainder matches the
 //!    uninterrupted run exactly.
 //! 3. **Format stability**: a committed golden checkpoint
-//!    (`tests/golden/device_checkpoint_v1.bin`) pins the byte-exact
-//!    encoding of a canonical aged device. If an intentional format change
-//!    breaks `golden_file_pins_the_checkpoint_format`, bump
+//!    (`tests/golden/device_checkpoint_v2.bin`) pins the byte-exact
+//!    encoding of a canonical aged device, and the frozen
+//!    `tests/golden/device_checkpoint_v1.bin` asserts that legacy
+//!    version-1 checkpoints (dense flash image, no configuration
+//!    fingerprint, no lane statistics) still decode. If an intentional
+//!    format change breaks `golden_file_pins_the_checkpoint_format`, bump
 //!    `DEVICE_STATE_FORMAT_VERSION` / `DEVICE_CHECKPOINT_FORMAT_VERSION`
 //!    and regenerate with:
 //!
 //!    ```text
 //!    CONDUIT_REGEN_GOLDEN=1 cargo test --test integration_device_pool
 //!    ```
+//! 4. **Scheduling**: on a small two-worker pool, lane tasks run in the
+//!    thread pool's reserved lane class, so a batch whose fresh backlog
+//!    dwarfs its lane work still serves the lanes promptly — without
+//!    changing any simulated result (everything stays bit-identical to
+//!    `.serial()` submission).
+//! 5. **Open-loop arrivals**: explicit `RunRequest::arriving_at` offsets
+//!    produce the same summaries on every pool size.
 
 use conduit::{DeviceHandle, Policy, ProgramId, RunOutcome, RunRequest, Session};
 use conduit_types::{
-    Duration, LogicalPageId, OpType, Operand, SsdConfig, VectorInst, VectorProgram,
+    Duration, LogicalPageId, OpType, Operand, SimTime, SsdConfig, VectorInst, VectorProgram,
 };
 
-fn golden_path() -> std::path::PathBuf {
+fn golden_dir() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-        .join("device_checkpoint_v1.bin")
+}
+
+fn golden_path() -> std::path::PathBuf {
+    golden_dir().join("device_checkpoint_v2.bin")
+}
+
+fn legacy_golden_path() -> std::path::PathBuf {
+    golden_dir().join("device_checkpoint_v1.bin")
 }
 
 /// A program whose store forces out-of-place writes on every run.
@@ -222,6 +239,157 @@ fn checkpointed_device_replays_identically_to_the_uninterrupted_stream() {
     assert_eq!(after.device_clock(dev_after), session.device_clock(device));
 }
 
+/// The acceptance scenario for the two-class scheduler: a 2-worker pool,
+/// one batch of 16 heavy fresh requests plus 4 light one-request lanes.
+///
+/// Under the old single-queue pool the lane tasks were enqueued behind the
+/// whole fresh fan-out, so on a small pool the lanes' *wall-clock*
+/// completion waited for the fresh cursor to drain — pure scheduler
+/// artifact. With reserved lane slots the lanes finish while the fresh
+/// backlog is still running. The *simulated* lane queueing, meanwhile, is
+/// arrival-relative and scheduler-independent: each one-request lane finds
+/// its device idle, so its `queueing_time` is exactly zero (the metric now
+/// measures device contention only, never pool contention), and the whole
+/// batch stays bit-identical to `.serial()` submission.
+#[test]
+fn lanes_are_served_ahead_of_a_heavy_fresh_backlog_on_two_workers() {
+    let build = |configure: fn(conduit::SessionBuilder) -> conduit::SessionBuilder| {
+        let mut session = pool_session(configure);
+        let writer = session.register(writer_program()).unwrap();
+        let devices: Vec<DeviceHandle> = (0..4)
+            .map(|i| session.create_device(&format!("tenant-{i}")))
+            .collect();
+        // 16 heavy fresh requests first, then 4 light one-request lanes —
+        // the worst ordering for a FIFO scheduler.
+        let mut requests: Vec<RunRequest> = (0..16)
+            .map(|_| RunRequest::new(writer, Policy::Conduit).repeat(400))
+            .collect();
+        requests.extend(
+            devices
+                .iter()
+                .map(|&d| RunRequest::new(writer, Policy::Conduit).on_device(d)),
+        );
+        (session, devices, requests)
+    };
+
+    let (session, devices, requests) = build(|b| b.workers(2));
+    let started = std::time::Instant::now();
+    let (outcomes, lanes_done_after) = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| session.submit_batch(&requests).unwrap());
+        // Poll the stream clocks: a lane's clock leaves zero exactly when
+        // its (only) request has been served.
+        let mut lanes_done_after = None;
+        while lanes_done_after.is_none() {
+            if devices
+                .iter()
+                .all(|&d| session.device_clock(d) > SimTime::ZERO)
+            {
+                lanes_done_after = Some(started.elapsed());
+            } else if worker.is_finished() {
+                // The whole batch finished before we observed the lanes —
+                // record "at the very end" so the assertion below fails
+                // with a meaningful ratio rather than hanging.
+                lanes_done_after = Some(started.elapsed());
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+        }
+        (worker.join().unwrap(), lanes_done_after.unwrap())
+    });
+    let total = started.elapsed();
+
+    // Wall-clock fairness: the four lanes were served long before the
+    // 16-request fresh backlog drained. (The generous factor keeps the
+    // assertion robust on noisy CI machines; the old FIFO pool sat at
+    // ~100% of the batch time.)
+    assert!(
+        lanes_done_after < total / 2,
+        "lanes finished after {lanes_done_after:?} of a {total:?} batch — \
+         lane work starved behind the fresh backlog"
+    );
+
+    // Simulated queueing is scheduler-free: every one-request lane found
+    // its device idle.
+    for lane_outcome in &outcomes[16..] {
+        assert_eq!(lane_outcome.summary.queueing_time, Duration::ZERO);
+        assert_eq!(lane_outcome.summary.device_delta.lane_requests, 1);
+    }
+
+    // And nothing about the schedule leaks into the results: bit-identical
+    // to a fully serial submission of the same batch.
+    let (serial_session, serial_devices, serial_requests) = build(|b| b.serial());
+    let serial = serial_session.submit_batch(&serial_requests).unwrap();
+    assert_eq!(outcomes, serial);
+    for (&d, &sd) in devices.iter().zip(&serial_devices) {
+        assert_eq!(
+            session.device_snapshot(d),
+            serial_session.device_snapshot(sd)
+        );
+        assert_eq!(session.device_clock(d), serial_session.device_clock(sd));
+    }
+}
+
+/// Same arrivals ⇒ bit-identical summaries, whatever the pool size: the
+/// open-loop arrival offsets are part of the request, not of the schedule.
+#[test]
+fn arrival_times_are_deterministic_across_pool_sizes() {
+    let run = |configure: fn(conduit::SessionBuilder) -> conduit::SessionBuilder| {
+        let mut session = pool_session(configure);
+        let writer = session.register(writer_program()).unwrap();
+        let reader = session.register(reader_program()).unwrap();
+        let a = session.create_device("tenant-a");
+        let b = session.create_device("tenant-b");
+        let at = |us: f64| SimTime::ZERO + Duration::from_us(us);
+        let batch = vec![
+            RunRequest::new(writer, Policy::Conduit).on_device(a),
+            RunRequest::new(reader, Policy::IspOnly)
+                .on_device(b)
+                .arriving_at(at(40.0)),
+            RunRequest::new(writer, Policy::PudSsd)
+                .on_device(a)
+                .arriving_at(at(25.0)),
+            RunRequest::new(reader, Policy::Conduit), // fresh alongside
+            RunRequest::new(writer, Policy::HostCpu)
+                .on_device(b)
+                .arriving_at(at(90.0)),
+            RunRequest::new(reader, Policy::Conduit)
+                .on_device(a)
+                .arriving_at(at(4000.0)),
+        ];
+        let outcomes = session.submit_batch(&batch).unwrap();
+        let snapshots: Vec<_> = [a, b]
+            .into_iter()
+            .map(|d| (session.device_snapshot(d), session.device_clock(d)))
+            .collect();
+        (outcomes, snapshots)
+    };
+
+    let serial = run(|b| b.serial());
+    for workers in [2, 4, 8] {
+        let parallel = match workers {
+            2 => run(|b| b.workers(2)),
+            4 => run(|b| b.workers(4)),
+            8 => run(|b| b.workers(8)),
+            _ => unreachable!(),
+        };
+        assert_eq!(
+            parallel, serial,
+            "arrival-driven schedule must not depend on {workers}-worker pools"
+        );
+    }
+
+    // The arrivals did shape the stream: the late request (4 ms) found
+    // tenant-a idle — zero queueing, an idle gap on the device — while the
+    // mid-service arrival (25 µs) queued for less than the full first
+    // service.
+    let (outcomes, snapshots) = serial;
+    assert_eq!(outcomes[5].summary.queueing_time, Duration::ZERO);
+    assert!(snapshots[0].0.lane_idle_time > Duration::ZERO);
+    assert!(snapshots[0].0.lane_occupancy() < 1.0);
+    assert!(outcomes[2].summary.queueing_time > Duration::ZERO);
+    assert!(outcomes[2].summary.queueing_time < outcomes[0].summary.service_time);
+}
+
 /// The canonical aged device pinned by the golden file: a fixed mix of
 /// SSD-internal and host traffic on the small test configuration —
 /// deterministic, so the exported bytes are reproducible everywhere.
@@ -263,7 +431,7 @@ fn golden_file_pins_the_checkpoint_format() {
     assert_eq!(
         committed, bytes,
         "serialized device-checkpoint bytes drifted from \
-         tests/golden/device_checkpoint_v1.bin — if the format change is \
+         tests/golden/device_checkpoint_v2.bin — if the format change is \
          intentional, bump DEVICE_STATE_FORMAT_VERSION (and/or \
          DEVICE_CHECKPOINT_FORMAT_VERSION) and regenerate with \
          CONDUIT_REGEN_GOLDEN=1"
@@ -286,4 +454,75 @@ fn golden_file_still_imports_and_serves_traffic() {
         .submit(&RunRequest::new(writer, Policy::Conduit).on_device(device))
         .unwrap();
     assert!(session.device_snapshot(device).device_ops > snap.device_ops);
+}
+
+/// The frozen version-1 golden file (dense flash image, no configuration
+/// fingerprint, no lane statistics) must keep decoding: old processes'
+/// checkpoints survive the format bump.
+#[test]
+fn legacy_v1_golden_still_imports_and_round_trips() {
+    let committed = std::fs::read(legacy_golden_path()).expect("legacy golden file is committed");
+    let mut session = pool_session(|b| b);
+    let writer = session.register(writer_program()).unwrap();
+    let device = session.import_device("legacy", &committed).unwrap();
+    let snap = session.device_snapshot(device);
+    assert!(snap.device_ops > 0, "the legacy device is aged: {snap:?}");
+    assert!(snap.coherence_writes > 0);
+    assert_eq!(
+        snap.lane_requests, 0,
+        "v1 checkpoints predate lane statistics; they restore as zero"
+    );
+
+    // Old-version decode round-trips through the current format: re-export
+    // writes version-2 bytes whose re-import restores the identical state.
+    let upgraded = session.export_device(device).unwrap();
+    assert_ne!(upgraded, committed, "re-export upgrades to the v2 format");
+    let mut other = pool_session(|b| b);
+    let revived = other.import_device("legacy", &upgraded).unwrap();
+    assert_eq!(other.device_snapshot(revived), snap);
+    assert_eq!(other.device_clock(revived), session.device_clock(device));
+
+    // And the upgraded device still serves traffic.
+    session
+        .submit(&RunRequest::new(writer, Policy::Conduit).on_device(device))
+        .unwrap();
+    assert!(session.device_snapshot(device).device_ops > snap.device_ops);
+}
+
+/// The delta-against-pristine encoding: a cold (never-used) device's
+/// checkpoint must not embed the full per-block flash image.
+#[test]
+fn cold_device_checkpoints_are_small() {
+    let mut session = pool_session(|b| b);
+    let writer = session.register(writer_program()).unwrap();
+    let cold = session.create_device("cold");
+    let warm = session.create_device("warm");
+    for policy in [Policy::PudSsd, Policy::HostCpu, Policy::Conduit] {
+        session
+            .submit(&RunRequest::new(writer, policy).on_device(warm))
+            .unwrap();
+    }
+    let cold_bytes = session.export_device(cold).unwrap();
+    let warm_bytes = session.export_device(warm).unwrap();
+    // The small test geometry alone has hundreds of blocks; the dense v1
+    // image packed every one of them (~20 KB at this scale; megabytes at
+    // paper scale). The sparse encoding stores none of them for a cold
+    // device — what remains is the fixed-size timeline/energy bookkeeping,
+    // which does not grow with the flash array.
+    assert!(
+        cold_bytes.len() < 4096,
+        "cold checkpoint should be dominated by fixed bookkeeping, got {} bytes",
+        cold_bytes.len()
+    );
+    assert!(
+        cold_bytes.len() < warm_bytes.len(),
+        "an aged device's checkpoint carries its touched blocks"
+    );
+    // Both still round-trip exactly.
+    let mut other = pool_session(|b| b);
+    let revived = other.import_device("warm", &warm_bytes).unwrap();
+    assert_eq!(
+        other.device_snapshot(revived),
+        session.device_snapshot(warm)
+    );
 }

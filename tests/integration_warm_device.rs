@@ -1,6 +1,5 @@
 //! Warm-device mode: one persistent `DeviceState` threaded through a
-//! request stream (via the `DeviceMode::Warm` shim over the device pool's
-//! default device).
+//! request stream (a single named device from the session's pool).
 //!
 //! These tests pin down the three properties the warm refactor promises:
 //!
@@ -14,10 +13,10 @@
 //!    eventually triggers garbage collection, and the wear spread stays
 //!    bounded while every page remains translatable.
 //!
-//! Multi-device pool behaviour (named devices, lanes, checkpoints) is
-//! covered by `tests/integration_device_pool.rs`.
+//! Multi-device pool behaviour (named devices, lanes, scheduling,
+//! arrivals, checkpoints) is covered by `tests/integration_device_pool.rs`.
 
-use conduit::{DeviceMode, Policy, RunOutcome, RunRequest, Session};
+use conduit::{Policy, RunOutcome, RunRequest, Session};
 use conduit_types::{
     Duration, LogicalPageId, OpType, Operand, SsdConfig, VectorInst, VectorProgram,
 };
@@ -53,12 +52,13 @@ fn second_warm_request_observes_the_firsts_writes() {
     // protocol must flush request 1's dirty copies to flash before the
     // host's version of the pages can be recorded. On a fresh device the
     // same second request sees nothing to flush.
-    let mut warm = Session::builder(SsdConfig::small_for_tests())
-        .device_mode(DeviceMode::Warm)
-        .build();
+    let mut warm = Session::builder(SsdConfig::small_for_tests()).build();
     let id = warm.register(writer_program()).unwrap();
+    let dev = warm.create_device("tenant");
 
-    let first = warm.submit(&RunRequest::new(id, Policy::PudSsd)).unwrap();
+    let first = warm
+        .submit(&RunRequest::new(id, Policy::PudSsd).on_device(dev))
+        .unwrap();
     assert!(
         first.summary.device_delta.coherence_writes > 0,
         "the store must be recorded in the coherence directory"
@@ -72,7 +72,9 @@ fn second_warm_request_observes_the_firsts_writes() {
         "nothing to synchronize on a pristine device"
     );
 
-    let second = warm.submit(&RunRequest::new(id, Policy::HostCpu)).unwrap();
+    let second = warm
+        .submit(&RunRequest::new(id, Policy::HostCpu).on_device(dev))
+        .unwrap();
     assert!(
         second.summary.device_delta.coherence_syncs > 0,
         "request 2 must flush the dirty state request 1 left behind"
@@ -93,8 +95,7 @@ fn second_warm_request_observes_the_firsts_writes() {
 
     // The cumulative snapshot agrees with the sum of the per-request
     // deltas, and the stream clock with the sum of the service times.
-    let default = warm.default_device();
-    let snap = warm.device_snapshot(default);
+    let snap = warm.device_snapshot(dev);
     assert_eq!(
         snap.coherence_syncs,
         first.summary.device_delta.coherence_syncs + second.summary.device_delta.coherence_syncs
@@ -104,15 +105,24 @@ fn second_warm_request_observes_the_firsts_writes() {
         first.summary.device_delta.device_ops + second.summary.device_delta.device_ops
     );
     assert_eq!(
-        warm.device_clock(default).as_ps(),
+        warm.device_clock(dev).as_ps(),
         first.summary.service_time.as_ps() + second.summary.service_time.as_ps()
     );
+    // Closed-loop lane accounting: two requests, all busy, no idle gaps.
+    assert_eq!(snap.lane_requests, 2);
+    assert_eq!(
+        snap.lane_busy_time,
+        first.summary.service_time + second.summary.service_time
+    );
+    assert_eq!(snap.lane_idle_time, Duration::ZERO);
+    assert_eq!(snap.lane_occupancy(), 1.0);
 }
 
 #[test]
 fn warm_replay_of_the_same_stream_is_bit_identical() {
     let stream = |session: &mut Session| -> Vec<RunOutcome> {
         let id = session.register(writer_program()).unwrap();
+        let dev = session.create_device("replay");
         [
             Policy::PudSsd,
             Policy::IspOnly,
@@ -122,43 +132,44 @@ fn warm_replay_of_the_same_stream_is_bit_identical() {
             Policy::Conduit,
         ]
         .into_iter()
-        .map(|p| session.submit(&RunRequest::new(id, p)).unwrap())
+        .map(|p| {
+            session
+                .submit(&RunRequest::new(id, p).on_device(dev))
+                .unwrap()
+        })
         .collect()
     };
-    let mut a = Session::builder(SsdConfig::small_for_tests())
-        .warm()
-        .build();
-    let mut b = Session::builder(SsdConfig::small_for_tests())
-        .warm()
-        .build();
+    let mut a = Session::builder(SsdConfig::small_for_tests()).build();
+    let mut b = Session::builder(SsdConfig::small_for_tests()).build();
     let run_a = stream(&mut a);
     let run_b = stream(&mut b);
     assert_eq!(run_a, run_b, "warm replay must be bit-identical");
     assert_eq!(
-        a.device_snapshot(a.default_device()),
-        b.device_snapshot(b.default_device())
+        a.device_snapshot(a.find_device("replay").unwrap()),
+        b.device_snapshot(b.find_device("replay").unwrap())
     );
 }
 
 #[test]
 fn mixed_batch_matches_serial_submission_in_request_order() {
-    let requests = |id| {
+    let requests = |id, dev| {
         vec![
             RunRequest::new(id, Policy::Conduit),
-            RunRequest::new(id, Policy::PudSsd).warm(),
+            RunRequest::new(id, Policy::PudSsd).on_device(dev),
             RunRequest::new(id, Policy::HostCpu),
-            RunRequest::new(id, Policy::HostCpu).warm(),
+            RunRequest::new(id, Policy::HostCpu).on_device(dev),
             RunRequest::new(id, Policy::Ideal),
-            RunRequest::new(id, Policy::PudSsd).warm(),
+            RunRequest::new(id, Policy::PudSsd).on_device(dev),
         ]
     };
     // Batched session: fresh requests fan out across 4 workers while the
-    // warm ones run as one FIFO lane on the default device.
+    // warm ones run as one FIFO lane on the tenant device.
     let mut batched = Session::builder(SsdConfig::small_for_tests())
         .workers(4)
         .build();
     let id = batched.register(writer_program()).unwrap();
-    let batch = batched.submit_batch(&requests(id)).unwrap();
+    let dev = batched.create_device("tenant");
+    let batch = batched.submit_batch(&requests(id, dev)).unwrap();
 
     // Serial session: the same batch, executed one plan at a time on the
     // calling thread.
@@ -166,12 +177,15 @@ fn mixed_batch_matches_serial_submission_in_request_order() {
         .serial()
         .build();
     let serial_id = serial.register(writer_program()).unwrap();
-    let one_by_one = serial.submit_batch(&requests(serial_id)).unwrap();
+    let serial_dev = serial.create_device("tenant");
+    let one_by_one = serial
+        .submit_batch(&requests(serial_id, serial_dev))
+        .unwrap();
 
     assert_eq!(batch, one_by_one);
     assert_eq!(
-        batched.device_snapshot(batched.default_device()),
-        serial.device_snapshot(serial.default_device())
+        batched.device_snapshot(dev),
+        serial.device_snapshot(serial_dev)
     );
     // The warm device really was shared: the host-side warm request had to
     // flush the dirty pages the PuD warm request before it left behind.
@@ -193,29 +207,30 @@ fn mixed_batch_matches_serial_submission_in_request_order() {
     // submit never waits).
     let mut lone = Session::builder(SsdConfig::small_for_tests()).build();
     let lone_id = lone.register(writer_program()).unwrap();
-    for (request, from_batch) in requests(lone_id).iter().zip(&batch) {
+    let lone_dev = lone.create_device("tenant");
+    for (request, from_batch) in requests(lone_id, lone_dev).iter().zip(&batch) {
         let outcome = lone.submit(request).unwrap();
         assert_eq!(
             outcome.summary.service_time,
             from_batch.summary.service_time
         );
-        assert_eq!(
-            outcome.summary.device_delta,
-            from_batch.summary.device_delta
-        );
         assert_eq!(outcome.summary.queueing_time, Duration::ZERO);
     }
-    assert_eq!(
-        lone.device_snapshot(lone.default_device()),
-        batched.device_snapshot(batched.default_device())
-    );
+    // Apart from the lane queueing accounting, the devices aged
+    // identically.
+    let batched_snap = batched.device_snapshot(dev);
+    let mut lone_snap = lone.device_snapshot(lone_dev);
+    assert!(lone_snap.lane_queued_time < batched_snap.lane_queued_time);
+    lone_snap.lane_queued_time = batched_snap.lane_queued_time;
+    assert_eq!(lone_snap, batched_snap);
 }
 
 #[test]
 fn sustained_warm_writes_trigger_gc_and_keep_wear_bounded() {
-    let session = Session::builder(tiny_cfg()).warm().build();
-    let request_pud = RunRequest::inline(writer_program(), Policy::PudSsd);
-    let request_host = RunRequest::inline(writer_program(), Policy::HostCpu);
+    let mut session = Session::builder(tiny_cfg()).build();
+    let dev = session.create_device("soak");
+    let request_pud = RunRequest::inline(writer_program(), Policy::PudSsd).on_device(dev);
+    let request_host = RunRequest::inline(writer_program(), Policy::HostCpu).on_device(dev);
 
     let mut gc_free_requests = 0u64;
     let mut first_gc_at = None;
@@ -234,7 +249,7 @@ fn sustained_warm_writes_trigger_gc_and_keep_wear_bounded() {
         }
     }
 
-    let snap = session.device_snapshot(session.default_device());
+    let snap = session.device_snapshot(dev);
     assert!(
         snap.gc_invocations > 0 && snap.gc_blocks_erased > 0,
         "sustained write traffic must eventually wake the garbage collector: {snap:?}"
@@ -268,9 +283,10 @@ fn fresh_mode_results_match_a_dedicated_session() {
     // fresh-mode outcomes as a session that never ran warm at all.
     let mut mixed = Session::builder(SsdConfig::small_for_tests()).build();
     let id = mixed.register(writer_program()).unwrap();
+    let dev = mixed.create_device("noise");
     let fresh_request = RunRequest::new(id, Policy::Conduit);
     for _ in 0..4 {
-        mixed.submit(&fresh_request.clone().warm()).unwrap();
+        mixed.submit(&fresh_request.clone().on_device(dev)).unwrap();
     }
     let from_mixed = mixed.submit(&fresh_request).unwrap();
 
