@@ -8,7 +8,8 @@
 //!
 //! where `<target>` is one of `fig4`, `fig5`, `fig7` (both panels), `fig7a`,
 //! `fig7b`, `fig8`, `fig9`, `fig10`, `table3`, `overheads`, `headline`,
-//! `warm-pool`, `arrival-sweep`, `sim-throughput`, `perf-gate`, or `all`.
+//! `warm-pool`, `arrival-sweep`, `fault-sweep`, `sim-throughput`,
+//! `perf-gate`, or `all`.
 //!
 //! Flags:
 //!
@@ -24,6 +25,11 @@
 //! * `arrival-sweep` sweeps **open-loop offered load** per tenant
 //!   (`RunRequest::arriving_at` at a fixed inter-arrival interval) and
 //!   prints the queueing-delay-vs-load curve with per-lane occupancy,
+//! * `fault-sweep` sweeps the **raw flash failure rate** under a seeded
+//!   fault plan on a write-heavy warm device and prints tail latency,
+//!   retry/remap counters and the request index at which the spare-block
+//!   budget ran out (time-to-degraded); the zero-rate row is bit-identical
+//!   to a session without fault injection,
 //! * `sim-throughput` measures simulator throughput and writes
 //!   `BENCH_sim_throughput.json` next to the current directory,
 //! * `perf-gate` gates on the deterministic **simulated-work counter**
@@ -37,6 +43,7 @@
 //!   `--baseline <path>` overrides the baseline.
 
 use conduit_bench::arrivals::arrival_sweep_report;
+use conduit_bench::faults::fault_sweep_report;
 use conduit_bench::throughput::{
     baseline_instructions_per_sec, baseline_ops_per_instruction, baseline_scale, ThroughputReport,
 };
@@ -45,7 +52,7 @@ use conduit_bench::Harness;
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-pool|arrival-sweep|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
+        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-pool|arrival-sweep|fault-sweep|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
     );
 }
 
@@ -190,6 +197,11 @@ fn main() {
     if target == "arrival-sweep" {
         println!("==================== arrival-sweep ====================");
         print!("{}", arrival_sweep_report(quick));
+        return;
+    }
+    if target == "fault-sweep" {
+        println!("==================== fault-sweep ====================");
+        print!("{}", fault_sweep_report(quick));
         return;
     }
     if target == "warm-stream" {

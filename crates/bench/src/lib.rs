@@ -28,6 +28,7 @@
 //! at paper scale.
 
 pub mod arrivals;
+pub mod faults;
 pub mod micro;
 pub mod throughput;
 pub mod warm;

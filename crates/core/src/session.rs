@@ -99,7 +99,8 @@ use conduit_sim::{
 };
 use conduit_types::bytes::{put_u16, put_u32, put_u64, Reader};
 use conduit_types::{
-    ConduitError, Duration, Energy, HostConfig, Result, SimTime, SsdConfig, VectorProgram,
+    ConduitError, Duration, Energy, FaultConfig, HostConfig, Result, SimTime, SsdConfig,
+    VectorProgram,
 };
 
 use crate::cost::CostFunction;
@@ -119,14 +120,23 @@ pub const REGISTRY_FORMAT_VERSION: u16 = 1;
 /// embedded [`conduit_sim::DeviceState`] image).
 pub const DEVICE_CHECKPOINT_MAGIC: [u8; 4] = *b"CDK1";
 
-/// Current device-checkpoint format version. Version 2 embeds the exporting
-/// session's combined configuration fingerprint
-/// ([`SsdConfig::fingerprint`] + [`conduit_types::HostConfig::fingerprint`]
-/// — host rooflines shape a warm stream's clocks too), so importing a
-/// checkpoint into a session with *any* configuration difference — even one
-/// with the same geometry, where the shape checks cannot tell — is a hard
+/// Current device-checkpoint format version. Version 3 wraps the version-3
+/// [`conduit_sim::DeviceState`] image (sparse resource timelines, the
+/// fault-injection plan cursor, retired-block accounting and device health),
+/// so a degraded device survives export/import bit-identically. Like
+/// version 2 it embeds the exporting session's combined configuration
+/// fingerprint ([`SsdConfig::fingerprint`] +
+/// [`conduit_types::HostConfig::fingerprint`] — host rooflines shape a warm
+/// stream's clocks too), so importing a checkpoint into a session with
+/// *any* configuration difference — even one with the same geometry, where
+/// the shape checks cannot tell — is a hard
 /// [`ConduitError::CorruptCheckpoint`] instead of a silent timing mismatch.
-pub const DEVICE_CHECKPOINT_FORMAT_VERSION: u16 = 2;
+pub const DEVICE_CHECKPOINT_FORMAT_VERSION: u16 = 3;
+
+/// Format version of legacy fingerprinted checkpoints wrapping a version-2
+/// device-state image (no fault state, dense resource timelines). Still
+/// importable; no longer written.
+pub const DEVICE_CHECKPOINT_FORMAT_VERSION_V2: u16 = 2;
 
 /// Format version of legacy checkpoints without a configuration
 /// fingerprint. Still importable ([`Session::import_device`] falls back to
@@ -694,6 +704,7 @@ struct RunPlan {
 struct BatchState {
     ssd: SsdConfig,
     host: HostConfig,
+    faults: FaultConfig,
     plans: Vec<RunPlan>,
 }
 
@@ -702,13 +713,17 @@ struct BatchState {
 #[derive(Debug)]
 struct DeviceSlot {
     name: String,
+    /// The fault-injection plan the device is built with on first use
+    /// (imported devices carry their own plan inside the checkpoint).
+    faults: FaultConfig,
     lane: Mutex<DeviceLane>,
 }
 
 impl DeviceSlot {
-    fn new(name: impl Into<String>) -> Self {
+    fn new(name: impl Into<String>, faults: FaultConfig) -> Self {
         DeviceSlot {
             name: name.into(),
+            faults,
             lane: Mutex::new(DeviceLane {
                 device: None,
                 clock: SimTime::ZERO,
@@ -767,7 +782,12 @@ fn build_outcome(
 /// Executes a fresh-mode plan: every repeat on its own pristine device, so
 /// runs are independent and parallel batches stay bit-identical to serial
 /// submission.
-fn execute_fresh(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<RunOutcome> {
+fn execute_fresh(
+    ssd: &SsdConfig,
+    host: &HostConfig,
+    faults: FaultConfig,
+    plan: &RunPlan,
+) -> Result<RunOutcome> {
     let engine = RuntimeEngine::with_host(ssd, host);
     let pristine = DeviceSnapshot::default();
     // An open-loop arrival translates the fresh run's timeline (timestamps
@@ -777,8 +797,9 @@ fn execute_fresh(ssd: &SsdConfig, host: &HostConfig, plan: &RunPlan) -> Result<R
     let mut delta = DeviceDelta::default();
     for _ in 0..plan.repeats {
         // A fresh device per repeat keeps every run independent and the
-        // whole batch bit-identical to serial execution.
-        let mut device = SsdDevice::new(ssd)?;
+        // whole batch bit-identical to serial execution. Each repeat's
+        // device restarts the session's fault plan from its seed.
+        let mut device = SsdDevice::with_faults(ssd, faults)?;
         engine.prepare(&mut device, &plan.program)?;
         report = Some(engine.run(&mut device, &plan.program, &options)?);
         delta.accumulate(device.snapshot().delta_since(&pristine));
@@ -809,7 +830,7 @@ fn execute_on_lane(
     let mut lane = slot.lane.lock().expect("device-lane mutex poisoned");
     let lane = &mut *lane;
     if lane.device.is_none() {
-        lane.device = Some(SsdDevice::new(ssd)?);
+        lane.device = Some(SsdDevice::with_faults(ssd, slot.faults)?);
     }
     let device = lane.device.as_mut().expect("device was just installed");
     // SimTime + Duration saturates, so a pathological arrival offset clamps
@@ -853,17 +874,20 @@ fn execute_on_lane(
 pub struct SessionBuilder {
     ssd: SsdConfig,
     host: HostConfig,
+    faults: FaultConfig,
     workers: Option<usize>,
     parallel: bool,
 }
 
 impl SessionBuilder {
     /// Starts a builder for the given SSD configuration (default host
-    /// configuration, one batch worker per CPU core, fresh devices).
+    /// configuration, one batch worker per CPU core, fresh devices, no
+    /// fault injection).
     pub fn new(ssd: SsdConfig) -> Self {
         SessionBuilder {
             ssd,
             host: HostConfig::default(),
+            faults: FaultConfig::default(),
             workers: None,
             parallel: true,
         }
@@ -872,6 +896,16 @@ impl SessionBuilder {
     /// Replaces the host configuration.
     pub fn host(mut self, host: HostConfig) -> Self {
         self.host = host;
+        self
+    }
+
+    /// Sets the session's default fault-injection plan: every fresh run and
+    /// every device created without an explicit plan
+    /// ([`Session::create_device_with_faults`]) draws its faults from this
+    /// seeded, replayable configuration. The default is inert (no faults),
+    /// which is bit-identical to a session without fault support.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -905,6 +939,7 @@ impl SessionBuilder {
         Session {
             ssd: self.ssd,
             host: self.host,
+            faults: self.faults,
             workers,
             registry: ProgramRegistry::new(),
             pool: OnceLock::new(),
@@ -950,6 +985,8 @@ impl SessionBuilder {
 pub struct Session {
     ssd: SsdConfig,
     host: HostConfig,
+    /// Default fault-injection plan for fresh runs and new devices.
+    faults: FaultConfig,
     workers: usize,
     registry: ProgramRegistry,
     pool: OnceLock<ThreadPool>,
@@ -1042,11 +1079,20 @@ impl Session {
     /// be addressed by name without extra bookkeeping. The simulated device
     /// itself is built lazily on first use.
     pub fn create_device(&mut self, name: &str) -> DeviceHandle {
+        self.create_device_with_faults(name, self.faults)
+    }
+
+    /// Like [`Session::create_device`], but with an explicit per-device
+    /// fault-injection plan instead of the session default
+    /// ([`SessionBuilder::faults`]). For an existing name the existing
+    /// device (and its original plan) is returned unchanged — a device's
+    /// fault plan is fixed for its lifetime so its stream stays replayable.
+    pub fn create_device_with_faults(&mut self, name: &str, faults: FaultConfig) -> DeviceHandle {
         if let Some(existing) = self.find_device(name) {
             return existing;
         }
         let handle = DeviceHandle(self.devices.len() as u32);
-        self.devices.push(Arc::new(DeviceSlot::new(name)));
+        self.devices.push(Arc::new(DeviceSlot::new(name, faults)));
         handle
     }
 
@@ -1158,7 +1204,7 @@ impl Session {
             .lock()
             .expect("device-lane mutex poisoned");
         if lane.device.is_none() {
-            lane.device = Some(SsdDevice::new(&self.ssd)?);
+            lane.device = Some(SsdDevice::with_faults(&self.ssd, self.slot(device).faults)?);
         }
         let state = lane.device.as_ref().expect("device was just installed");
         let mut out = Vec::new();
@@ -1211,7 +1257,7 @@ impl Session {
         let mut r = Reader::new(tail);
         let version = r.u16()?;
         match version {
-            DEVICE_CHECKPOINT_FORMAT_VERSION => {
+            DEVICE_CHECKPOINT_FORMAT_VERSION | DEVICE_CHECKPOINT_FORMAT_VERSION_V2 => {
                 let fingerprint = r.u64()?;
                 let expected = self.config_fingerprint();
                 if fingerprint != expected {
@@ -1230,7 +1276,8 @@ impl Session {
             _ => {
                 return Err(ConduitError::corrupt_checkpoint(format!(
                     "unsupported device-checkpoint format version {version} \
-                     (expected {DEVICE_CHECKPOINT_FORMAT_VERSION} or \
+                     (expected {DEVICE_CHECKPOINT_FORMAT_VERSION}, \
+                     {DEVICE_CHECKPOINT_FORMAT_VERSION_V2} or \
                      {DEVICE_CHECKPOINT_FORMAT_VERSION_V1})"
                 )));
             }
@@ -1304,10 +1351,27 @@ impl Session {
     pub fn submit(&self, request: &RunRequest) -> Result<RunOutcome> {
         let plan = self.plan(request)?;
         match plan.mode {
-            PlanMode::Fresh => execute_fresh(&self.ssd, &self.host, &plan),
+            PlanMode::Fresh => execute_fresh(&self.ssd, &self.host, self.faults, &plan),
             PlanMode::Device(slot) => {
+                // A lone submit is a batch of one: the lane window covers
+                // exactly this request.
+                self.reset_lane_window_of(slot);
                 execute_on_lane(self.engine(), &self.ssd, &self.devices[slot], &plan, None)
             }
+        }
+    }
+
+    /// Resets the windowed lane statistics of one device slot (no-op for a
+    /// device that has never run).
+    fn reset_lane_window_of(&self, slot: usize) {
+        if let Some(device) = self.devices[slot]
+            .lane
+            .lock()
+            .expect("device-lane mutex poisoned")
+            .device
+            .as_mut()
+        {
+            device.reset_lane_window();
         }
     }
 
@@ -1349,6 +1413,12 @@ impl Session {
                 }
             }
         }
+        // Each participating device's lane window restarts with the batch —
+        // done on the calling thread, before any worker runs, so the window
+        // boundary is deterministic regardless of pool interleaving.
+        for &(slot, _) in &lanes {
+            self.reset_lane_window_of(slot);
+        }
         // Every request in a batch "arrives" at its device's current stream
         // clock; later lane positions accumulate queueing time. Captured up
         // front so the serial and parallel paths agree bit-identically.
@@ -1380,7 +1450,7 @@ impl Session {
             let outcomes: Vec<Result<RunOutcome>> = plans
                 .iter()
                 .map(|plan| match plan.mode {
-                    PlanMode::Fresh => execute_fresh(&self.ssd, &self.host, plan),
+                    PlanMode::Fresh => execute_fresh(&self.ssd, &self.host, self.faults, plan),
                     PlanMode::Device(slot) => execute_on_lane(
                         self.engine(),
                         &self.ssd,
@@ -1399,6 +1469,7 @@ impl Session {
         let shared = Arc::new(BatchState {
             ssd: self.ssd.clone(),
             host: self.host.clone(),
+            faults: self.faults,
             plans,
         });
         let (tx, rx) = channel();
@@ -1437,7 +1508,8 @@ impl Session {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
             pool.execute(move || {
-                let outcome = execute_fresh(&shared.ssd, &shared.host, &shared.plans[i]);
+                let outcome =
+                    execute_fresh(&shared.ssd, &shared.host, shared.faults, &shared.plans[i]);
                 let _ = tx.send((i, outcome));
             });
         }

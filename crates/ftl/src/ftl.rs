@@ -10,7 +10,10 @@ use std::collections::HashMap;
 
 use conduit_flash::FlashState;
 use conduit_types::bytes::{put_u64, Reader};
-use conduit_types::{ConduitError, LogicalPageId, PhysicalPageAddr, Result, SsdConfig};
+use conduit_types::{
+    ConduitError, DeviceHealth, FaultConfig, FaultPlan, LogicalPageId, PhysicalPageAddr, Result,
+    SsdConfig,
+};
 
 use crate::alloc::PageAllocator;
 use crate::coherence::CoherenceDirectory;
@@ -36,6 +39,22 @@ pub struct FtlStats {
     pub l2p_hits: u64,
     /// L2P mapping-cache misses.
     pub l2p_misses: u64,
+}
+
+/// Cumulative fault-injection counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Page programs that failed (each retires the block and retries).
+    pub program_failures: u64,
+    /// Block erases that failed during garbage collection (each retires
+    /// the victim).
+    pub erase_failures: u64,
+    /// Extra read attempts taken by the transient-read retry ladder.
+    pub read_retries: u64,
+    /// Whole-die failures (each retires every block of the die).
+    pub die_failures: u64,
+    /// Valid pages relocated off retired blocks (remap-on-failure work).
+    pub remapped_pages: u64,
 }
 
 /// The flash translation layer.
@@ -65,6 +84,11 @@ pub struct Ftl {
     reverse: HashMap<u64, LogicalPageId>,
     logical_pages: u64,
     stats: FtlStats,
+    faults: FaultConfig,
+    plan: FaultPlan,
+    health: DeviceHealth,
+    retired_blocks: u64,
+    fault_stats: FaultStats,
 }
 
 impl Ftl {
@@ -78,6 +102,17 @@ impl Ftl {
     /// Returns [`ConduitError::InvalidConfig`] if the geometry is degenerate
     /// (no pages).
     pub fn new(cfg: &SsdConfig) -> Result<Self> {
+        Ftl::with_faults(cfg, FaultConfig::default())
+    }
+
+    /// Builds an FTL with a fault-injection plan attached. The default
+    /// (all-zero) configuration is inert — [`Ftl::new`] uses it — so fault
+    /// support costs nothing on a fault-free device.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ftl::new`].
+    pub fn with_faults(cfg: &SsdConfig, faults: FaultConfig) -> Result<Self> {
         let state = FlashState::new(&cfg.flash);
         if state.geometry().total_pages() == 0 {
             return Err(ConduitError::invalid_config("flash geometry has no pages"));
@@ -94,6 +129,11 @@ impl Ftl {
             logical_pages: cfg.logical_pages(),
             state,
             stats: FtlStats::default(),
+            plan: FaultPlan::new(faults.seed),
+            faults,
+            health: DeviceHealth::Healthy,
+            retired_blocks: 0,
+            fault_stats: FaultStats::default(),
         })
     }
 
@@ -137,6 +177,49 @@ impl Ftl {
         self.logical_pages
     }
 
+    /// The fault-injection configuration in force.
+    pub fn faults(&self) -> &FaultConfig {
+        &self.faults
+    }
+
+    /// Current device health.
+    pub fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    /// Blocks retired as bad so far.
+    pub fn retired_blocks(&self) -> u64 {
+        self.retired_blocks
+    }
+
+    /// Cumulative fault-injection counters.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Rejects writes once the spare-block budget is exhausted: the device
+    /// model calls this before accepting a store, so a degraded device
+    /// turns writes away at the front door rather than deep inside a
+    /// flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::DeviceDegraded`] on a degraded device.
+    pub fn ensure_writable(&self) -> Result<()> {
+        self.check_writable()
+    }
+
+    /// Rejects writes once the spare-block budget is exhausted.
+    fn check_writable(&self) -> Result<()> {
+        if self.health.is_degraded() {
+            return Err(ConduitError::DeviceDegraded {
+                retired_blocks: self.retired_blocks,
+                spare_blocks: self.faults.spare_blocks,
+            });
+        }
+        Ok(())
+    }
+
     /// Fraction of physical pages currently free.
     pub fn free_fraction(&self) -> f64 {
         let (free, valid, invalid) = self.state.page_totals();
@@ -160,19 +243,26 @@ impl Ftl {
     }
 
     /// Maps (initially places) logical pages with plane striping. Pages that
-    /// are already mapped are left untouched.
+    /// are already mapped are left untouched — re-preparing mapped pages is
+    /// still allowed on a degraded (read-only) device; only placing *new*
+    /// pages is a write.
     ///
     /// # Errors
     ///
-    /// Propagates range and allocation errors.
+    /// Propagates range and allocation errors, and
+    /// [`ConduitError::DeviceDegraded`] if an unmapped page needs placement
+    /// on a degraded device.
     pub fn map_pages(&mut self, pages: &[LogicalPageId], plane_hint: Option<u64>) -> Result<()> {
         for (i, &page) in pages.iter().enumerate() {
             self.check_range(page)?;
             if self.l2p.contains(page) {
                 continue;
             }
-            let plane = plane_hint.map(|p| p + i as u64);
-            let addr = self.alloc.allocate(&mut self.state, plane)?;
+            self.check_writable()?;
+            let addr = match plane_hint {
+                Some(p) => self.alloc.allocate(&mut self.state, Some(p + i as u64))?,
+                None => self.allocate_data_page()?,
+            };
             self.install_mapping(page, addr);
         }
         Ok(())
@@ -180,11 +270,14 @@ impl Ftl {
 
     /// Maps a group of logical pages **co-located in the same block** (the
     /// Flash-Cosmos layout constraint for multi-operand in-flash compute).
-    /// Pages already mapped elsewhere keep their existing mapping.
+    /// Pages already mapped elsewhere keep their existing mapping, so a
+    /// fully-mapped group re-prepares fine on a degraded device.
     ///
     /// # Errors
     ///
-    /// Propagates range and allocation errors.
+    /// Propagates range and allocation errors, and
+    /// [`ConduitError::DeviceDegraded`] if unmapped pages need placement on
+    /// a degraded device.
     pub fn map_group(&mut self, pages: &[LogicalPageId], plane: Option<u64>) -> Result<()> {
         let unmapped: Vec<LogicalPageId> = pages
             .iter()
@@ -197,6 +290,7 @@ impl Ftl {
         if unmapped.is_empty() {
             return Ok(());
         }
+        self.check_writable()?;
         let addrs = self
             .alloc
             .allocate_group(&mut self.state, unmapped.len(), plane)?;
@@ -248,11 +342,157 @@ impl Ftl {
     /// Propagates range and allocation errors.
     pub fn rewrite(&mut self, page: LogicalPageId) -> Result<(PhysicalPageAddr, GcWork)> {
         self.check_range(page)?;
-        let addr = self.alloc.allocate(&mut self.state, None)?;
+        self.check_writable()?;
+        let mut fault_work = GcWork::default();
+        let addr = loop {
+            let addr = self.allocate_data_page()?;
+            if self.faults.is_inert() {
+                break addr;
+            }
+            // Fault rolls, in a fixed order so replays are byte-exact: the
+            // (rare, catastrophic) die failure first, then the per-block
+            // program failure. A failed program leaves its target page
+            // invalid, retires the block (relocating its surviving valid
+            // pages) and retries on a fresh allocation; relocation programs
+            // never roll faults, so retirement cannot recurse.
+            let erases = self.state.block(addr).erase_count();
+            let die_rate = self
+                .faults
+                .effective_rate(self.faults.die_fail_rate, erases);
+            if self.plan.roll(die_rate) {
+                self.fault_stats.die_failures += 1;
+                self.state.invalidate(addr)?;
+                let die = self.state.geometry().die_index_of(addr);
+                fault_work.merge(self.retire_die(die)?);
+                self.check_writable()?;
+                continue;
+            }
+            let program_rate = self
+                .faults
+                .effective_rate(self.faults.program_fail_rate, erases);
+            if self.plan.roll(program_rate) {
+                self.fault_stats.program_failures += 1;
+                self.state.invalidate(addr)?;
+                let block = self.state.geometry().block_index_of(addr);
+                fault_work.merge(self.retire_block(block)?);
+                self.check_writable()?;
+                continue;
+            }
+            break addr;
+        };
         self.install_mapping(page, addr);
         self.stats.rewrites += 1;
-        let gc = self.maybe_gc()?;
+        let mut gc = self.maybe_gc()?;
+        gc.merge(fault_work);
         Ok((addr, gc))
+    }
+
+    /// Allocates one striped data page. With faults enabled the striping
+    /// cursor may point at a plane whose blocks are all retired, so every
+    /// plane is tried before giving up; the inert path is byte-identical to
+    /// a plain allocation.
+    fn allocate_data_page(&mut self) -> Result<PhysicalPageAddr> {
+        if self.faults.is_inert() {
+            return self.alloc.allocate(&mut self.state, None);
+        }
+        let planes = self.state.geometry().total_planes();
+        for _ in 0..planes {
+            match self.alloc.allocate(&mut self.state, None) {
+                Ok(addr) => return Ok(addr),
+                Err(ConduitError::OutOfSpace) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(ConduitError::OutOfSpace)
+    }
+
+    /// Draws the transient-read retry count for a read of `addr`: a
+    /// geometric ladder capped at [`FaultConfig::max_read_retries`] whose
+    /// per-step probability grows with the block's wear. The final capped
+    /// retry always succeeds, so reads never surface an error. Returns 0
+    /// without drawing when transient read faults are disabled.
+    pub fn roll_read_retries(&mut self, addr: PhysicalPageAddr) -> u32 {
+        if self.faults.read_transient_rate <= 0.0 {
+            return 0;
+        }
+        let erases = self.state.block(addr).erase_count();
+        let rate = self
+            .faults
+            .effective_rate(self.faults.read_transient_rate, erases);
+        let mut retries = 0;
+        while retries < self.faults.max_read_retries && self.plan.roll(rate) {
+            retries += 1;
+        }
+        self.fault_stats.read_retries += u64::from(retries);
+        retries
+    }
+
+    /// Retires `block` as bad: marks it first (so relocation can never
+    /// target it), then migrates its surviving valid pages via the regular
+    /// remapping path. Exhausting the spare budget flips the device to
+    /// [`DeviceHealth::Degraded`].
+    fn retire_block(&mut self, block: u64) -> Result<GcWork> {
+        self.state.mark_bad(block);
+        self.retired_blocks += 1;
+        if self.retired_blocks > self.faults.spare_blocks {
+            self.health = DeviceHealth::Degraded;
+        }
+        let relocated = self.relocate_valid_pages(block)?;
+        self.fault_stats.remapped_pages += relocated;
+        Ok(GcWork {
+            relocated_pages: relocated,
+            erased_blocks: 0,
+        })
+    }
+
+    /// Retires every block of a failed die, then salvages the die's valid
+    /// pages onto the surviving dies. All blocks are marked bad before any
+    /// relocation so no page can land back inside the dead die.
+    fn retire_die(&mut self, die: u64) -> Result<GcWork> {
+        let geo = self.state.geometry().clone();
+        let blocks_per_die = geo.planes_per_die() as u64 * geo.blocks_per_plane() as u64;
+        let first = die * blocks_per_die;
+        let mut newly_retired = 0;
+        for block in first..first + blocks_per_die {
+            if !self.state.block_by_index(block).is_bad() {
+                self.state.mark_bad(block);
+                newly_retired += 1;
+            }
+        }
+        self.retired_blocks += newly_retired;
+        if self.retired_blocks > self.faults.spare_blocks {
+            self.health = DeviceHealth::Degraded;
+        }
+        let mut work = GcWork::default();
+        for block in first..first + blocks_per_die {
+            let relocated = self.relocate_valid_pages(block)?;
+            self.fault_stats.remapped_pages += relocated;
+            work.relocated_pages += relocated;
+        }
+        Ok(work)
+    }
+
+    /// Migrates the valid pages of an already-retired block to fresh
+    /// allocations. Invalidation works on bad blocks, so the source pages
+    /// are released as each mapping moves.
+    fn relocate_valid_pages(&mut self, block: u64) -> Result<u64> {
+        let geo = self.state.geometry().clone();
+        let pages_per_block = geo.pages_per_block() as u64;
+        let first = block * pages_per_block;
+        let mut relocated = 0;
+        for flat in first..first + pages_per_block {
+            let addr = geo.addr_of(flat);
+            if self.state.page_state(addr) == conduit_flash::PageState::Valid {
+                let Some(&lpid) = self.reverse.get(&flat) else {
+                    self.state.invalidate(addr)?;
+                    continue;
+                };
+                let new_addr = self.allocate_data_page()?;
+                self.install_mapping(lpid, new_addr);
+                relocated += 1;
+            }
+        }
+        Ok(relocated)
     }
 
     /// Runs garbage collection if the free-page pool is below the threshold.
@@ -263,7 +503,7 @@ impl Ftl {
     /// Propagates allocation errors encountered while relocating valid pages.
     pub fn maybe_gc(&mut self) -> Result<GcWork> {
         let mut work = GcWork::default();
-        while self.gc.should_run(&self.state) {
+        while !self.health.is_degraded() && self.gc.should_run(&self.state) {
             let Some(victim) = self.gc.select_victim(&self.state) else {
                 break;
             };
@@ -329,6 +569,7 @@ impl Ftl {
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         self.state.encode_into(out);
         self.encode_tail_into(out);
+        self.encode_fault_tail_into(out);
     }
 
     /// Like [`Ftl::encode_into`], but the flash array uses the
@@ -339,6 +580,7 @@ impl Ftl {
     pub fn encode_delta_into(&self, out: &mut Vec<u8>) {
         self.state.encode_sparse_into(out);
         self.encode_tail_into(out);
+        self.encode_fault_tail_into(out);
     }
 
     /// Everything after the flash image, shared by both layouts: L2P table,
@@ -357,6 +599,36 @@ impl Ftl {
         put_u64(out, self.stats.wear_relocations);
     }
 
+    /// The fault-injection state appended by the current (version-3)
+    /// layouts: configuration, plan cursor, health, retired-block count and
+    /// fault counters. Legacy (v1/v2) streams omit it and restore inert.
+    fn encode_fault_tail_into(&self, out: &mut Vec<u8>) {
+        self.faults.encode_into(out);
+        put_u64(out, self.plan.draws());
+        out.push(self.health.encode());
+        put_u64(out, self.retired_blocks);
+        put_u64(out, self.fault_stats.program_failures);
+        put_u64(out, self.fault_stats.erase_failures);
+        put_u64(out, self.fault_stats.read_retries);
+        put_u64(out, self.fault_stats.die_failures);
+        put_u64(out, self.fault_stats.remapped_pages);
+    }
+
+    /// Decodes the fault tail written by
+    /// [`Ftl::encode_fault_tail_into`] into `self`.
+    fn decode_fault_tail_from(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        self.faults = FaultConfig::decode_from(r)?;
+        self.plan = FaultPlan::restore(self.faults.seed, r.counter()?);
+        self.health = DeviceHealth::decode(r.u8()?)?;
+        self.retired_blocks = r.counter()?;
+        self.fault_stats.program_failures = r.counter()?;
+        self.fault_stats.erase_failures = r.counter()?;
+        self.fault_stats.read_retries = r.counter()?;
+        self.fault_stats.die_failures = r.counter()?;
+        self.fault_stats.remapped_pages = r.counter()?;
+        Ok(())
+    }
+
     /// Decodes an FTL serialized by [`Ftl::encode_into`] for the given
     /// configuration. Derived structures (the reverse physical→logical map,
     /// cache capacity, GC/wear thresholds) are rebuilt from `cfg` and the
@@ -369,6 +641,21 @@ impl Ftl {
     pub fn decode_from(cfg: &SsdConfig, r: &mut Reader<'_>) -> Result<Self> {
         let mut ftl = Ftl::new(cfg)?;
         ftl.state = FlashState::decode_from(&cfg.flash, r)?;
+        let mut ftl = ftl.decode_tail_from(r)?;
+        ftl.decode_fault_tail_from(r)?;
+        Ok(ftl)
+    }
+
+    /// Decodes a **legacy** dense FTL image that predates the fault tail
+    /// (device-state checkpoints of format version 1). Fault state restores
+    /// inert and healthy.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ftl::decode_from`].
+    pub fn decode_legacy_from(cfg: &SsdConfig, r: &mut Reader<'_>) -> Result<Self> {
+        let mut ftl = Ftl::new(cfg)?;
+        ftl.state = FlashState::decode_from(&cfg.flash, r)?;
         ftl.decode_tail_from(r)
     }
 
@@ -379,6 +666,21 @@ impl Ftl {
     ///
     /// Same contract as [`Ftl::decode_from`].
     pub fn decode_delta_from(cfg: &SsdConfig, r: &mut Reader<'_>) -> Result<Self> {
+        let mut ftl = Ftl::new(cfg)?;
+        ftl.state = FlashState::decode_sparse_from(&cfg.flash, r)?;
+        let mut ftl = ftl.decode_tail_from(r)?;
+        ftl.decode_fault_tail_from(r)?;
+        Ok(ftl)
+    }
+
+    /// Decodes a **legacy** sparse FTL image that predates the fault tail
+    /// (device-state checkpoints of format version 2). Fault state restores
+    /// inert and healthy.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Ftl::decode_from`].
+    pub fn decode_delta_legacy_from(cfg: &SsdConfig, r: &mut Reader<'_>) -> Result<Self> {
         let mut ftl = Ftl::new(cfg)?;
         ftl.state = FlashState::decode_sparse_from(&cfg.flash, r)?;
         ftl.decode_tail_from(r)
@@ -428,7 +730,9 @@ impl Ftl {
         Ok(ftl)
     }
 
-    /// Relocates the valid pages of `victim` and erases it.
+    /// Relocates the valid pages of `victim` and erases it. With faults
+    /// enabled the erase itself may fail, in which case the (now empty)
+    /// victim is retired instead of returning to the free pool.
     fn collect_block(&mut self, victim: u64) -> Result<GcWork> {
         let geo = self.state.geometry().clone();
         let pages_per_block = geo.pages_per_block() as u64;
@@ -443,9 +747,21 @@ impl Ftl {
                     self.state.invalidate(addr)?;
                     continue;
                 };
-                let new_addr = self.alloc.allocate(&mut self.state, None)?;
+                let new_addr = self.allocate_data_page()?;
                 self.install_mapping(lpid, new_addr);
                 relocated += 1;
+            }
+        }
+        if !self.faults.is_inert() {
+            let erases = self.state.block_by_index(victim).erase_count();
+            let rate = self
+                .faults
+                .effective_rate(self.faults.erase_fail_rate, erases);
+            if self.plan.roll(rate) {
+                self.fault_stats.erase_failures += 1;
+                let mut work = self.retire_block(victim)?;
+                work.relocated_pages += relocated;
+                return Ok(work);
             }
         }
         self.state.erase_block(victim)?;
@@ -696,6 +1012,201 @@ mod tests {
                 let _ = back.map_pages(&pages(12..14), None);
             }
         }
+    }
+
+    #[test]
+    fn inert_fault_config_changes_nothing() {
+        // A seeded-but-inert fault config must be behaviourally identical
+        // to no fault support at all: same placements, same stats, and no
+        // random draws.
+        let cfg = tiny_cfg();
+        let mut plain = Ftl::new(&cfg).unwrap();
+        let mut seeded = Ftl::with_faults(&cfg, FaultConfig::with_seed(0xDEAD)).unwrap();
+        for f in [&mut plain, &mut seeded] {
+            f.map_pages(&pages(0..8), None).unwrap();
+            for _ in 0..80 {
+                f.rewrite(LogicalPageId::new(3)).unwrap();
+            }
+        }
+        for p in pages(0..8) {
+            assert_eq!(plain.peek(p), seeded.peek(p));
+        }
+        assert_eq!(plain.stats(), seeded.stats());
+        assert_eq!(seeded.fault_stats(), FaultStats::default());
+        assert_eq!(seeded.health(), DeviceHealth::Healthy);
+    }
+
+    /// Like [`tiny_cfg`] but with enough spare capacity that retiring a
+    /// handful of blocks never exhausts the device.
+    fn roomy_cfg() -> SsdConfig {
+        let mut cfg = tiny_cfg();
+        cfg.flash.blocks_per_plane = 64;
+        cfg
+    }
+
+    #[test]
+    fn program_failures_retire_blocks_and_remap_pages() {
+        let cfg = roomy_cfg();
+        let mut faults = FaultConfig::with_seed(7);
+        faults.program_fail_rate = 0.10;
+        faults.spare_blocks = 1_000;
+        let mut f = Ftl::with_faults(&cfg, faults).unwrap();
+        f.map_pages(&pages(0..8), None).unwrap();
+        for _ in 0..120 {
+            f.rewrite(LogicalPageId::new(3)).unwrap();
+        }
+        let stats = f.fault_stats();
+        assert!(stats.program_failures > 0, "{stats:?}");
+        assert_eq!(f.retired_blocks(), stats.program_failures);
+        assert_eq!(f.health(), DeviceHealth::Healthy);
+        // No data was lost: every logical page still translates, and no
+        // mapping points into a retired block.
+        for p in pages(0..8) {
+            let (addr, _) = f.translate(p).unwrap();
+            assert!(!f.flash_state().block(addr).is_bad());
+        }
+    }
+
+    #[test]
+    fn spare_exhaustion_degrades_the_device_and_rejects_writes() {
+        let cfg = tiny_cfg();
+        let mut faults = FaultConfig::with_seed(1);
+        faults.program_fail_rate = 1.0;
+        faults.spare_blocks = 2;
+        let mut f = Ftl::with_faults(&cfg, faults).unwrap();
+        f.map_pages(&pages(0..4), None).unwrap();
+        let err = f.rewrite(LogicalPageId::new(0)).unwrap_err();
+        assert!(
+            matches!(err, ConduitError::DeviceDegraded { retired_blocks, spare_blocks }
+                if retired_blocks > spare_blocks),
+            "{err:?}"
+        );
+        assert_eq!(f.health(), DeviceHealth::Degraded);
+        // Reads still work; further writes keep failing with the typed
+        // error instead of panicking.
+        for p in pages(0..4) {
+            f.translate(p).unwrap();
+        }
+        assert!(matches!(
+            f.rewrite(LogicalPageId::new(1)),
+            Err(ConduitError::DeviceDegraded { .. })
+        ));
+        assert!(matches!(
+            f.map_pages(&pages(4..5), None),
+            Err(ConduitError::DeviceDegraded { .. })
+        ));
+    }
+
+    #[test]
+    fn erase_failures_retire_gc_victims() {
+        let mut cfg = tiny_cfg();
+        cfg.flash.blocks_per_plane = 16;
+        let mut faults = FaultConfig::with_seed(3);
+        faults.erase_fail_rate = 0.5;
+        faults.spare_blocks = 1_000;
+        let mut f = Ftl::with_faults(&cfg, faults).unwrap();
+        f.map_pages(&pages(0..8), None).unwrap();
+        // Rewrite until garbage collection has hit its first failing erase;
+        // stop there so the shrinking device does not spiral out of space.
+        for _ in 0..2_000 {
+            if f.fault_stats().erase_failures > 0 {
+                break;
+            }
+            f.rewrite(LogicalPageId::new(3)).unwrap();
+        }
+        let stats = f.fault_stats();
+        assert!(stats.erase_failures > 0, "{stats:?}");
+        assert_eq!(f.retired_blocks(), stats.erase_failures);
+        for p in pages(0..8) {
+            f.translate(p).unwrap();
+        }
+    }
+
+    #[test]
+    fn die_failure_retires_the_whole_die_and_salvages_its_pages() {
+        // Two single-plane dies so a die failure leaves a survivor.
+        let mut cfg = SsdConfig::small_for_tests();
+        cfg.flash.channels = 2;
+        cfg.flash.dies_per_channel = 1;
+        cfg.flash.planes_per_die = 1;
+        cfg.flash.blocks_per_plane = 16;
+        cfg.flash.pages_per_block = 8;
+        let mut faults = FaultConfig::with_seed(11);
+        faults.die_fail_rate = 0.05;
+        faults.spare_blocks = 10_000;
+        let mut f = Ftl::with_faults(&cfg, faults).unwrap();
+        f.map_pages(&pages(0..8), None).unwrap();
+        let mut die_failed = false;
+        for _ in 0..200 {
+            if f.rewrite(LogicalPageId::new(3)).is_err() {
+                break;
+            }
+            if f.fault_stats().die_failures > 0 {
+                die_failed = true;
+                break;
+            }
+        }
+        assert!(die_failed, "stats: {:?}", f.fault_stats());
+        // The whole die (16 blocks) retired at once, and the salvaged pages
+        // all live on the surviving die.
+        assert!(f.retired_blocks() >= 16, "{}", f.retired_blocks());
+        for p in pages(0..8) {
+            let (addr, _) = f.translate(p).unwrap();
+            assert!(!f.flash_state().block(addr).is_bad());
+        }
+    }
+
+    #[test]
+    fn read_retry_ladder_is_capped_and_seed_deterministic() {
+        let cfg = tiny_cfg();
+        let mut faults = FaultConfig::with_seed(21);
+        faults.read_transient_rate = 0.6;
+        faults.max_read_retries = 3;
+        let run = |mut f: Ftl| -> (Vec<u32>, u64) {
+            f.map_pages(&pages(0..2), None).unwrap();
+            let addr = f.peek(LogicalPageId::new(0)).unwrap();
+            let ladder: Vec<u32> = (0..50).map(|_| f.roll_read_retries(addr)).collect();
+            (ladder, f.fault_stats().read_retries)
+        };
+        let (a, total_a) = run(Ftl::with_faults(&cfg, faults).unwrap());
+        let (b, total_b) = run(Ftl::with_faults(&cfg, faults).unwrap());
+        assert_eq!(a, b, "same seed must give the same retry ladder");
+        assert_eq!(total_a, total_b);
+        assert!(total_a > 0);
+        assert!(a.iter().all(|&r| r <= 3));
+        assert!(a.iter().any(|&r| r > 0));
+    }
+
+    #[test]
+    fn faulty_ftl_checkpoint_roundtrips_with_plan_cursor() {
+        let cfg = roomy_cfg();
+        let mut faults = FaultConfig::with_seed(9);
+        faults.program_fail_rate = 0.1;
+        faults.read_transient_rate = 0.2;
+        faults.spare_blocks = 1_000;
+        let mut f = Ftl::with_faults(&cfg, faults).unwrap();
+        f.map_pages(&pages(0..8), None).unwrap();
+        for _ in 0..60 {
+            f.rewrite(LogicalPageId::new(5)).unwrap();
+        }
+        let addr = f.peek(LogicalPageId::new(0)).unwrap();
+        f.roll_read_retries(addr);
+        assert!(f.fault_stats().program_failures > 0);
+
+        let mut buf = Vec::new();
+        f.encode_into(&mut buf);
+        let mut r = conduit_types::bytes::Reader::new(&buf);
+        let mut back = Ftl::decode_from(&cfg, &mut r).unwrap();
+        assert!(r.finished());
+        assert_eq!(back, f);
+        // The restored plan continues the exact random stream: the next
+        // rewrites fail (or not) identically on both copies.
+        for _ in 0..30 {
+            let a = f.rewrite(LogicalPageId::new(5));
+            let b = back.rewrite(LogicalPageId::new(5));
+            assert_eq!(a, b);
+        }
+        assert_eq!(back.fault_stats(), f.fault_stats());
     }
 
     #[test]

@@ -25,8 +25,8 @@ use conduit_dram::{DramTiming, PudModel};
 use conduit_flash::{FlashTiming, IfpModel, IfpPlacement};
 use conduit_ftl::{Ftl, SyncAction};
 use conduit_types::{
-    DataLocation, Duration, Energy, EnergySource, LogicalPageId, OpType, Resource, Result, SimTime,
-    SsdConfig,
+    DataLocation, Duration, Energy, EnergySource, FaultConfig, LogicalPageId, OpType, Resource,
+    Result, SimTime, SsdConfig,
 };
 
 use crate::energy::EnergyMeter;
@@ -110,6 +110,18 @@ impl SsdDevice {
         Self::with_state(cfg, state)
     }
 
+    /// Builds a pristine device with a fault-injection plan attached (see
+    /// [`DeviceState::new_with_faults`]). With the default (inert)
+    /// [`FaultConfig`] this is identical to [`SsdDevice::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from the FTL or core allocation.
+    pub fn with_faults(cfg: &SsdConfig, faults: FaultConfig) -> Result<Self> {
+        let state = DeviceState::new_with_faults(cfg, faults)?;
+        Self::with_state(cfg, state)
+    }
+
     /// Builds a device around an existing (possibly warm) [`DeviceState`].
     /// The models are rebuilt from `cfg`; because they are pure functions of
     /// the configuration, wrapping a state in a new device never changes
@@ -170,6 +182,12 @@ impl SsdDevice {
         busy: conduit_types::Duration,
     ) {
         self.state.record_lane_request(idle, queued, busy);
+    }
+
+    /// Resets the windowed lane statistics (see
+    /// [`DeviceState::reset_lane_window`]).
+    pub fn reset_lane_window(&mut self) {
+        self.state.reset_lane_window();
     }
 
     /// The flash translation layer (read-only).
@@ -298,13 +316,16 @@ impl SsdDevice {
     ///
     /// # Errors
     ///
-    /// Propagates flash-commit errors.
+    /// Returns [`conduit_types::ConduitError::DeviceDegraded`] — before
+    /// touching any coherence state — if the device has exhausted its
+    /// spare-block budget, and propagates flash-commit errors.
     pub fn record_result_write(
         &mut self,
         page: LogicalPageId,
         writer: DataLocation,
         earliest: SimTime,
     ) -> Result<OpCompletion> {
+        self.state.ftl.ensure_writable()?;
         let action = self.state.ftl.coherence_mut().record_write(page, writer);
         let completion = match action {
             SyncAction::None => OpCompletion::immediate(earliest),
@@ -648,12 +669,16 @@ impl SsdDevice {
     }
 
     /// Reads one mapped page from flash into the SSD-internal buffers
-    /// (die sensing + channel DMA + DRAM bus write).
+    /// (die sensing + channel DMA + DRAM bus write). Transient read errors
+    /// injected by the fault plan are recovered by re-sensing the page: each
+    /// retry occupies the die for another full page read and charges another
+    /// read's energy.
     fn flash_read_page(&mut self, page: LogicalPageId, earliest: SimTime) -> Result<OpCompletion> {
         let (addr, l2p_hit) = self.state.ftl.translate(page)?;
         let geo = self.state.ftl.flash_state().geometry();
         let die = geo.die_index_of(addr) as usize;
         let channel = addr.channel as usize % self.state.channels.len();
+        let senses = 1 + self.state.ftl.roll_read_retries(addr) as u64;
 
         let l2p_penalty = if l2p_hit {
             Duration::ZERO
@@ -661,10 +686,11 @@ impl SsdDevice {
             self.cfg.overheads.l2p_lookup_flash
         };
         let sense_start = earliest + l2p_penalty;
-        let (_, sense_end) =
-            self.state
-                .dies
-                .reserve_unit(die, sense_start, self.flash_timing.read_page());
+        let sense_service = self.flash_timing.read_page() * senses;
+        let (_, sense_end) = self
+            .state
+            .dies
+            .reserve_unit(die, sense_start, sense_service);
         let (_, dma_end) =
             self.state.channels[channel].reserve(sense_end, self.flash_timing.page_dma());
         let bus = self.state.dram_bus.reserve(
@@ -672,14 +698,14 @@ impl SsdDevice {
             self.dram_timing.bus_transfer(self.cfg.flash.page_bytes),
         );
 
-        let energy = self.flash_timing.read_energy()
+        let energy = self.flash_timing.read_energy() * senses
             + self.flash_timing.dma_energy()
             + self.dram_timing.transfer_energy(self.cfg.flash.page_bytes);
         self.state.energy.charge(EnergySource::FlashRead, energy);
         Ok(OpCompletion {
             ready: bus.1,
             breakdown: CostBreakdown {
-                flash_array: self.flash_timing.read_page() + l2p_penalty,
+                flash_array: sense_service + l2p_penalty,
                 internal_data_movement: self.flash_timing.page_dma()
                     + self.dram_timing.bus_transfer(self.cfg.flash.page_bytes),
                 ..CostBreakdown::zero()

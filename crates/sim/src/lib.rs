@@ -52,6 +52,7 @@ pub use host::{HostCpuModel, HostGpuModel};
 pub use resources::{ResourcePool, SharedResource};
 pub use state::{
     DeviceDelta, DeviceSnapshot, DeviceState, DEVICE_STATE_FORMAT_VERSION,
-    DEVICE_STATE_FORMAT_VERSION_V1, DEVICE_STATE_MAGIC, DEVICE_STATE_MAGIC_V1,
+    DEVICE_STATE_FORMAT_VERSION_V1, DEVICE_STATE_FORMAT_VERSION_V2, DEVICE_STATE_MAGIC,
+    DEVICE_STATE_MAGIC_V1, DEVICE_STATE_MAGIC_V2,
 };
 pub use stats::{CostBreakdown, LaneStats, LatencyStats};

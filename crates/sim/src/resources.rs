@@ -101,6 +101,45 @@ impl SharedResource {
         Ok(())
     }
 
+    /// Whether the timeline carries no state worth serializing (never
+    /// reserved and back at time zero).
+    pub(crate) fn is_untouched(&self) -> bool {
+        self.busy_until == SimTime::ZERO && self.total_busy.is_zero() && self.completed == 0
+    }
+
+    /// Resets the timeline to the idle state, keeping the name.
+    fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.total_busy = Duration::ZERO;
+        self.completed = 0;
+    }
+
+    /// Sparse variant of [`SharedResource::encode_into`]: an untouched
+    /// timeline costs a single flag byte instead of 24 zero bytes.
+    pub(crate) fn encode_sparse_into(&self, out: &mut Vec<u8>) {
+        if self.is_untouched() {
+            out.push(0);
+        } else {
+            out.push(1);
+            self.encode_into(out);
+        }
+    }
+
+    /// Restores the state serialized by
+    /// [`SharedResource::encode_sparse_into`].
+    pub(crate) fn restore_sparse_from(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        match r.u8()? {
+            0 => {
+                self.reset();
+                Ok(())
+            }
+            1 => self.restore_from(r),
+            flag => Err(ConduitError::corrupt_checkpoint(format!(
+                "resource timeline flag must be 0 or 1, found {flag}"
+            ))),
+        }
+    }
+
     /// Fraction of the interval `[ZERO, now]` this resource spent busy.
     /// Returns 0 when `now` is time zero.
     pub fn utilization(&self, now: SimTime) -> f64 {
@@ -219,6 +258,11 @@ impl ResourcePool {
     }
 
     /// Appends every unit's timeline state to `out` behind a unit count.
+    ///
+    /// This dense layout is what v1/v2 checkpoints stored; current encoders
+    /// use [`ResourcePool::encode_sparse_into`], so production code only
+    /// ever decodes it.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
         put_u64(out, self.units.len() as u64);
         for unit in &self.units {
@@ -243,6 +287,61 @@ impl ResourcePool {
         }
         for unit in &mut self.units {
             unit.restore_from(r)?;
+        }
+        Ok(())
+    }
+
+    /// Sparse variant of [`ResourcePool::encode_into`]: only touched units
+    /// are stored (unit count, touched count, then `(index, timeline)` pairs
+    /// with strictly increasing indices), so an idle pool costs 16 bytes
+    /// regardless of its size.
+    pub(crate) fn encode_sparse_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.units.len() as u64);
+        let touched = self.units.iter().filter(|u| !u.is_untouched()).count();
+        put_u64(out, touched as u64);
+        for (i, unit) in self.units.iter().enumerate() {
+            if !unit.is_untouched() {
+                put_u64(out, i as u64);
+                unit.encode_into(out);
+            }
+        }
+    }
+
+    /// Restores the pool serialized by [`ResourcePool::encode_sparse_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] if the stored unit count
+    /// does not match the configuration, if more units are marked touched
+    /// than exist, or if the touched indices are not strictly increasing and
+    /// in range.
+    pub(crate) fn restore_sparse_from(&mut self, r: &mut Reader<'_>) -> Result<()> {
+        let count = r.u64()? as usize;
+        if count != self.units.len() {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "pool checkpoint has {count} units but the configuration describes {}",
+                self.units.len()
+            )));
+        }
+        let touched = r.u64()? as usize;
+        if touched > count {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "pool checkpoint marks {touched} of {count} units as touched"
+            )));
+        }
+        for unit in &mut self.units {
+            unit.reset();
+        }
+        let mut prev: Option<u64> = None;
+        for _ in 0..touched {
+            let idx = r.u64()?;
+            if prev.is_some_and(|p| idx <= p) || idx >= count as u64 {
+                return Err(ConduitError::corrupt_checkpoint(format!(
+                    "touched unit index {idx} is out of order or out of range"
+                )));
+            }
+            prev = Some(idx);
+            self.units[idx as usize].restore_from(r)?;
         }
         Ok(())
     }
@@ -363,5 +462,93 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn empty_pool_panics() {
         let _ = ResourcePool::new("x", 0);
+    }
+
+    #[test]
+    fn sparse_resource_encoding_roundtrips_and_stays_small() {
+        // Idle: one flag byte instead of 24 zeros.
+        let idle = SharedResource::new("ch");
+        let mut buf = Vec::new();
+        idle.encode_sparse_into(&mut buf);
+        assert_eq!(buf, vec![0]);
+        let mut back = SharedResource::new("ch");
+        back.reserve(SimTime::ZERO, us(3.0)); // stale state must be cleared
+        back.restore_sparse_from(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, idle);
+
+        // Busy: flag byte plus the dense triple.
+        let mut busy = SharedResource::new("ch");
+        busy.reserve(SimTime::ZERO, us(7.0));
+        let mut buf = Vec::new();
+        busy.encode_sparse_into(&mut buf);
+        assert_eq!(buf.len(), 1 + 24);
+        let mut back = SharedResource::new("ch");
+        back.restore_sparse_from(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, busy);
+
+        // Garbage flag is rejected.
+        let mut r = Reader::new(&[7u8]);
+        assert!(SharedResource::new("ch")
+            .restore_sparse_from(&mut r)
+            .is_err());
+    }
+
+    #[test]
+    fn sparse_pool_encoding_skips_idle_units() {
+        let mut p = ResourcePool::new("die", 16);
+        p.reserve_unit(3, SimTime::ZERO, us(5.0));
+        p.reserve_unit(11, SimTime::ZERO, us(2.0));
+        let mut sparse = Vec::new();
+        p.encode_sparse_into(&mut sparse);
+        // 16 + 16 header, two touched units at 8 + 24 each.
+        assert_eq!(sparse.len(), 16 + 2 * 32);
+        let mut dense = Vec::new();
+        p.encode_into(&mut dense);
+        assert!(sparse.len() < dense.len());
+
+        let mut back = ResourcePool::new("die", 16);
+        back.reserve_unit(0, SimTime::ZERO, us(9.0)); // must be reset on restore
+        back.restore_sparse_from(&mut Reader::new(&sparse)).unwrap();
+        assert_eq!(back, p);
+
+        // A fully idle pool costs only the 16-byte header.
+        let idle = ResourcePool::new("die", 64);
+        let mut buf = Vec::new();
+        idle.encode_sparse_into(&mut buf);
+        assert_eq!(buf.len(), 16);
+    }
+
+    #[test]
+    fn sparse_pool_restore_rejects_malformed_indices() {
+        let probe =
+            |bytes: &[u8]| ResourcePool::new("die", 4).restore_sparse_from(&mut Reader::new(bytes));
+        let mut wrong_count = Vec::new();
+        put_u64(&mut wrong_count, 5);
+        put_u64(&mut wrong_count, 0);
+        assert!(probe(&wrong_count).is_err());
+
+        let mut too_many = Vec::new();
+        put_u64(&mut too_many, 4);
+        put_u64(&mut too_many, 5);
+        assert!(probe(&too_many).is_err());
+
+        let entry = |out: &mut Vec<u8>, idx: u64| {
+            put_u64(out, idx);
+            put_u64(out, 1);
+            put_u64(out, 1);
+            put_u64(out, 1);
+        };
+        let mut out_of_range = Vec::new();
+        put_u64(&mut out_of_range, 4);
+        put_u64(&mut out_of_range, 1);
+        entry(&mut out_of_range, 4);
+        assert!(probe(&out_of_range).is_err());
+
+        let mut unordered = Vec::new();
+        put_u64(&mut unordered, 4);
+        put_u64(&mut unordered, 2);
+        entry(&mut unordered, 2);
+        entry(&mut unordered, 1);
+        assert!(probe(&unordered).is_err());
     }
 }

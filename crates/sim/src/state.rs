@@ -20,20 +20,32 @@ use std::collections::{HashSet, VecDeque};
 
 use conduit_ftl::Ftl;
 use conduit_types::bytes::{put_u16, put_u64, Reader};
-use conduit_types::{ConduitError, Duration, Energy, LogicalPageId, Result, SsdConfig};
+use conduit_types::{
+    ConduitError, DeviceHealth, Duration, Energy, FaultConfig, LogicalPageId, Result, SsdConfig,
+};
 
 use crate::energy::EnergyMeter;
 use crate::resources::{ResourcePool, SharedResource};
 use crate::stats::LaneStats;
 
 /// Magic bytes identifying a serialized [`DeviceState`] checkpoint in the
-/// current **delta-against-pristine** format: never-written flash blocks are
-/// skipped, so cold-device checkpoints stay small, and the request-lane
-/// statistics ([`LaneStats`]) are included.
-pub const DEVICE_STATE_MAGIC: [u8; 4] = *b"CDS2";
+/// current format: delta-against-pristine flash (never-written blocks are
+/// skipped), **sparse resource timelines** (idle channels/dies/banks cost a
+/// flag byte instead of a zero triple), the fault-injection state (plan
+/// cursor, retired blocks, health) and both the cumulative and the windowed
+/// request-lane statistics ([`LaneStats`]).
+pub const DEVICE_STATE_MAGIC: [u8; 4] = *b"CDS3";
 
 /// Current device-state checkpoint format version.
-pub const DEVICE_STATE_FORMAT_VERSION: u16 = 2;
+pub const DEVICE_STATE_FORMAT_VERSION: u16 = 3;
+
+/// Magic bytes of the legacy version-2 format (delta flash image and lane
+/// statistics, but dense resource timelines and no fault state). Still
+/// readable by [`DeviceState::from_bytes`]; no longer written.
+pub const DEVICE_STATE_MAGIC_V2: [u8; 4] = *b"CDS2";
+
+/// Format version of the legacy [`DEVICE_STATE_MAGIC_V2`] encoding.
+pub const DEVICE_STATE_FORMAT_VERSION_V2: u16 = 2;
 
 /// Magic bytes of the legacy version-1 format (dense flash image, no lane
 /// statistics). Still readable by [`DeviceState::from_bytes`]; no longer
@@ -83,6 +95,10 @@ pub struct DeviceState {
     /// Request-lane statistics: how the device's FIFO lane spent its stream
     /// clock (busy serving requests vs idle between open-loop arrivals).
     pub(crate) lane: LaneStats,
+    /// Windowed lane statistics: same counters as `lane`, but resettable
+    /// ([`DeviceState::reset_lane_window`]) so a long-lived tenant's recent
+    /// load swings are visible without wiping the device.
+    pub(crate) lane_window: LaneStats,
 }
 
 impl DeviceState {
@@ -94,7 +110,20 @@ impl DeviceState {
     /// Returns configuration errors from the FTL (degenerate geometry) or
     /// core allocation.
     pub fn new(cfg: &SsdConfig) -> Result<Self> {
-        let ftl = Ftl::new(cfg)?;
+        Self::new_with_faults(cfg, FaultConfig::default())
+    }
+
+    /// Like [`DeviceState::new`], but with a fault-injection plan attached:
+    /// the FTL draws every fault decision from a seeded, replayable
+    /// [`conduit_types::FaultPlan`]. The default (inert) config makes this
+    /// identical to [`DeviceState::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from the FTL (degenerate geometry) or
+    /// core allocation.
+    pub fn new_with_faults(cfg: &SsdConfig, faults: FaultConfig) -> Result<Self> {
+        let ftl = Ftl::with_faults(cfg, faults)?;
         let total_dies = (cfg.flash.channels * cfg.flash.dies_per_channel) as usize;
         let compute_core_count = conduit_ctrl::CoreAllocation::standard(&cfg.ctrl)?
             .count(conduit_ctrl::CoreRole::Compute)
@@ -123,6 +152,7 @@ impl DeviceState {
             host_order: VecDeque::new(),
             energy: EnergyMeter::new(),
             lane: LaneStats::default(),
+            lane_window: LaneStats::default(),
         })
     }
 
@@ -136,12 +166,27 @@ impl DeviceState {
         self.lane
     }
 
+    /// The windowed lane statistics accumulated since the last
+    /// [`DeviceState::reset_lane_window`].
+    pub fn lane_window_stats(&self) -> LaneStats {
+        self.lane_window
+    }
+
+    /// Resets the windowed lane statistics (the cumulative [`LaneStats`] are
+    /// untouched). Sessions call this at the start of every batch so
+    /// per-batch load is observable on long-lived devices.
+    pub fn reset_lane_window(&mut self) {
+        self.lane_window = LaneStats::default();
+    }
+
     /// Folds one served lane request into the lane statistics: `idle` is the
     /// gap the device sat unused before the request arrived, `queued` the
     /// arrival-relative wait behind earlier requests, `busy` the request's
-    /// own service time on the stream clock.
+    /// own service time on the stream clock. Both the cumulative and the
+    /// windowed counters advance.
     pub fn record_lane_request(&mut self, idle: Duration, queued: Duration, busy: Duration) {
         self.lane.record(idle, queued, busy);
+        self.lane_window.record(idle, queued, busy);
     }
 
     /// The accumulated energy meter.
@@ -173,6 +218,7 @@ impl DeviceState {
         let stats = self.ftl.stats();
         let (writes, flushes) = self.ftl.coherence().traffic();
         let wear = self.ftl.wear_report();
+        let faults = self.ftl.fault_stats();
         DeviceSnapshot {
             pages_mapped: stats.pages_mapped,
             rewrites: stats.rewrites,
@@ -196,6 +242,17 @@ impl DeviceState {
             lane_busy_time: self.lane.busy,
             lane_idle_time: self.lane.idle,
             lane_queued_time: self.lane.queued,
+            window_requests: self.lane_window.requests,
+            window_busy_time: self.lane_window.busy,
+            window_idle_time: self.lane_window.idle,
+            window_queued_time: self.lane_window.queued,
+            health: self.ftl.health(),
+            retired_blocks: self.ftl.retired_blocks(),
+            program_failures: faults.program_failures,
+            erase_failures: faults.erase_failures,
+            read_retries: faults.read_retries,
+            die_failures: faults.die_failures,
+            remapped_pages: faults.remapped_pages,
         }
     }
 
@@ -217,14 +274,14 @@ impl DeviceState {
         self.ftl.encode_delta_into(&mut out);
         put_u64(&mut out, self.channels.len() as u64);
         for channel in &self.channels {
-            channel.encode_into(&mut out);
+            channel.encode_sparse_into(&mut out);
         }
-        self.dies.encode_into(&mut out);
-        self.dram_banks.encode_into(&mut out);
-        self.compute_cores.encode_into(&mut out);
-        self.dram_bus.encode_into(&mut out);
-        self.offloader_core.encode_into(&mut out);
-        self.pcie.encode_into(&mut out);
+        self.dies.encode_sparse_into(&mut out);
+        self.dram_banks.encode_sparse_into(&mut out);
+        self.compute_cores.encode_sparse_into(&mut out);
+        self.dram_bus.encode_sparse_into(&mut out);
+        self.offloader_core.encode_sparse_into(&mut out);
+        self.pcie.encode_sparse_into(&mut out);
         // Residency is a set plus an eviction queue, serialized separately:
         // the queue may legitimately hold stale entries (eviction removes
         // from the set first) and is therefore not a reliable source for
@@ -247,10 +304,12 @@ impl DeviceState {
             }
         }
         self.energy.encode_into(&mut out);
-        put_u64(&mut out, self.lane.requests);
-        put_u64(&mut out, self.lane.busy.as_ps());
-        put_u64(&mut out, self.lane.idle.as_ps());
-        put_u64(&mut out, self.lane.queued.as_ps());
+        for lane in [&self.lane, &self.lane_window] {
+            put_u64(&mut out, lane.requests);
+            put_u64(&mut out, lane.busy.as_ps());
+            put_u64(&mut out, lane.idle.as_ps());
+            put_u64(&mut out, lane.queued.as_ps());
+        }
         out
     }
 
@@ -259,9 +318,11 @@ impl DeviceState {
     /// state that was exported: replaying the same request stream on it
     /// produces bit-identical results.
     ///
-    /// Both the current `"CDS2"` delta encoding and the legacy `"CDS1"`
-    /// dense encoding are accepted; version-1 checkpoints predate the lane
-    /// statistics, which restore as zero.
+    /// The current `"CDS3"` encoding (sparse resource timelines, fault
+    /// state, windowed lane statistics) and both legacy encodings are
+    /// accepted: `"CDS2"` (delta flash, dense resources, no fault state) and
+    /// `"CDS1"` (dense flash, no lane statistics). Legacy checkpoints
+    /// restore with an inert fault plan, a healthy device and a zero window.
     ///
     /// # Errors
     ///
@@ -273,27 +334,37 @@ impl DeviceState {
             return Err(ConduitError::corrupt_checkpoint("bad device-state magic"));
         }
         let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-        let delta_flash = match (&bytes[..4], version) {
-            (magic, DEVICE_STATE_FORMAT_VERSION) if *magic == DEVICE_STATE_MAGIC => true,
-            (magic, DEVICE_STATE_FORMAT_VERSION_V1) if *magic == DEVICE_STATE_MAGIC_V1 => false,
-            (magic, version) if *magic == DEVICE_STATE_MAGIC || *magic == DEVICE_STATE_MAGIC_V1 => {
+        let known_magic = [
+            DEVICE_STATE_MAGIC,
+            DEVICE_STATE_MAGIC_V2,
+            DEVICE_STATE_MAGIC_V1,
+        ]
+        .iter()
+        .any(|m| bytes[..4] == *m);
+        match (&bytes[..4], version) {
+            (magic, DEVICE_STATE_FORMAT_VERSION) if *magic == DEVICE_STATE_MAGIC => {}
+            (magic, DEVICE_STATE_FORMAT_VERSION_V2) if *magic == DEVICE_STATE_MAGIC_V2 => {}
+            (magic, DEVICE_STATE_FORMAT_VERSION_V1) if *magic == DEVICE_STATE_MAGIC_V1 => {}
+            (_, version) if known_magic => {
                 return Err(ConduitError::corrupt_checkpoint(format!(
                     "unsupported device-state format version {version} \
-                     (expected {DEVICE_STATE_FORMAT_VERSION} or \
+                     (expected {DEVICE_STATE_FORMAT_VERSION}, \
+                     {DEVICE_STATE_FORMAT_VERSION_V2} or \
                      {DEVICE_STATE_FORMAT_VERSION_V1})"
                 )));
             }
             _ => {
                 return Err(ConduitError::corrupt_checkpoint("bad device-state magic"));
             }
-        };
+        }
         let mut r = Reader::new(&bytes[6..]);
         let mut state = DeviceState::new(cfg)?;
-        state.ftl = if delta_flash {
-            Ftl::decode_delta_from(cfg, &mut r)?
-        } else {
-            Ftl::decode_from(cfg, &mut r)?
+        state.ftl = match version {
+            DEVICE_STATE_FORMAT_VERSION => Ftl::decode_delta_from(cfg, &mut r)?,
+            DEVICE_STATE_FORMAT_VERSION_V2 => Ftl::decode_delta_legacy_from(cfg, &mut r)?,
+            _ => Ftl::decode_legacy_from(cfg, &mut r)?,
         };
+        let sparse = version >= DEVICE_STATE_FORMAT_VERSION;
         let channels = r.u64()? as usize;
         if channels != state.channels.len() {
             return Err(ConduitError::corrupt_checkpoint(format!(
@@ -302,14 +373,27 @@ impl DeviceState {
             )));
         }
         for channel in &mut state.channels {
-            channel.restore_from(&mut r)?;
+            if sparse {
+                channel.restore_sparse_from(&mut r)?;
+            } else {
+                channel.restore_from(&mut r)?;
+            }
         }
-        state.dies.restore_from(&mut r)?;
-        state.dram_banks.restore_from(&mut r)?;
-        state.compute_cores.restore_from(&mut r)?;
-        state.dram_bus.restore_from(&mut r)?;
-        state.offloader_core.restore_from(&mut r)?;
-        state.pcie.restore_from(&mut r)?;
+        if sparse {
+            state.dies.restore_sparse_from(&mut r)?;
+            state.dram_banks.restore_sparse_from(&mut r)?;
+            state.compute_cores.restore_sparse_from(&mut r)?;
+            state.dram_bus.restore_sparse_from(&mut r)?;
+            state.offloader_core.restore_sparse_from(&mut r)?;
+            state.pcie.restore_sparse_from(&mut r)?;
+        } else {
+            state.dies.restore_from(&mut r)?;
+            state.dram_banks.restore_from(&mut r)?;
+            state.compute_cores.restore_from(&mut r)?;
+            state.dram_bus.restore_from(&mut r)?;
+            state.offloader_core.restore_from(&mut r)?;
+            state.pcie.restore_from(&mut r)?;
+        }
         for (resident, order) in [
             (&mut state.dram_resident, &mut state.dram_order),
             (&mut state.ctrl_resident, &mut state.ctrl_order),
@@ -330,8 +414,16 @@ impl DeviceState {
             }
         }
         state.energy = EnergyMeter::decode_from(&mut r)?;
-        if delta_flash {
+        if version >= DEVICE_STATE_FORMAT_VERSION_V2 {
             state.lane = LaneStats {
+                requests: r.counter()?,
+                busy: Duration::from_ps(r.counter()?),
+                idle: Duration::from_ps(r.counter()?),
+                queued: Duration::from_ps(r.counter()?),
+            };
+        }
+        if version >= DEVICE_STATE_FORMAT_VERSION {
+            state.lane_window = LaneStats {
                 requests: r.counter()?,
                 busy: Duration::from_ps(r.counter()?),
                 idle: Duration::from_ps(r.counter()?),
@@ -401,6 +493,30 @@ pub struct DeviceSnapshot {
     pub lane_idle_time: Duration,
     /// Total arrival-relative queueing accumulated by lane requests.
     pub lane_queued_time: Duration,
+    /// Lane requests served since the window was last reset (sessions reset
+    /// the window at the start of every batch).
+    pub window_requests: u64,
+    /// Stream-clock busy time inside the current window.
+    pub window_busy_time: Duration,
+    /// Stream-clock idle time inside the current window.
+    pub window_idle_time: Duration,
+    /// Arrival-relative queueing inside the current window.
+    pub window_queued_time: Duration,
+    /// The device's health state (gauge): `Degraded` once more blocks were
+    /// retired than the fault plan's spare budget.
+    pub health: DeviceHealth,
+    /// Flash blocks retired (marked bad and evacuated) so far.
+    pub retired_blocks: u64,
+    /// Flash program operations that failed and were retried elsewhere.
+    pub program_failures: u64,
+    /// Block erases that failed, retiring the block instead.
+    pub erase_failures: u64,
+    /// Transient read errors recovered by the read-retry ladder.
+    pub read_retries: u64,
+    /// Whole-die failures injected by the fault plan.
+    pub die_failures: u64,
+    /// Valid pages remapped off retired blocks and dies.
+    pub remapped_pages: u64,
 }
 
 impl DeviceSnapshot {
@@ -416,6 +532,19 @@ impl DeviceSnapshot {
         }
         .occupancy()
     }
+
+    /// Occupancy of the current lane window (see
+    /// [`DeviceSnapshot::lane_occupancy`], but over the windowed counters).
+    pub fn window_occupancy(&self) -> f64 {
+        LaneStats {
+            requests: self.window_requests,
+            busy: self.window_busy_time,
+            idle: self.window_idle_time,
+            queued: self.window_queued_time,
+        }
+        .occupancy()
+    }
+
     /// The work performed between `before` and this snapshot (counters are
     /// monotonic, so plain differences; the point-in-time gauges
     /// `dirty_pages` and `wear_spread` carry this snapshot's value).
@@ -446,6 +575,15 @@ impl DeviceSnapshot {
             lane_queued_time: self
                 .lane_queued_time
                 .saturating_sub(before.lane_queued_time),
+            health: self.health,
+            retired_blocks: self.retired_blocks.saturating_sub(before.retired_blocks),
+            program_failures: self
+                .program_failures
+                .saturating_sub(before.program_failures),
+            erase_failures: self.erase_failures.saturating_sub(before.erase_failures),
+            read_retries: self.read_retries.saturating_sub(before.read_retries),
+            die_failures: self.die_failures.saturating_sub(before.die_failures),
+            remapped_pages: self.remapped_pages.saturating_sub(before.remapped_pages),
         }
     }
 }
@@ -489,6 +627,20 @@ pub struct DeviceDelta {
     pub lane_idle_time: Duration,
     /// Arrival-relative queueing this run experienced in its lane.
     pub lane_queued_time: Duration,
+    /// The device's health state *after* the run (gauge).
+    pub health: DeviceHealth,
+    /// Flash blocks this run's faults retired.
+    pub retired_blocks: u64,
+    /// Program failures injected during this run.
+    pub program_failures: u64,
+    /// Erase failures injected during this run.
+    pub erase_failures: u64,
+    /// Transient read errors this run's reads recovered from.
+    pub read_retries: u64,
+    /// Whole-die failures injected during this run.
+    pub die_failures: u64,
+    /// Valid pages remapped off retired blocks during this run.
+    pub remapped_pages: u64,
 }
 
 impl DeviceDelta {
@@ -510,6 +662,13 @@ impl DeviceDelta {
         self.lane_busy_time += later.lane_busy_time;
         self.lane_idle_time += later.lane_idle_time;
         self.lane_queued_time += later.lane_queued_time;
+        self.health = later.health;
+        self.retired_blocks += later.retired_blocks;
+        self.program_failures += later.program_failures;
+        self.erase_failures += later.erase_failures;
+        self.read_retries += later.read_retries;
+        self.die_failures += later.die_failures;
+        self.remapped_pages += later.remapped_pages;
     }
 
     /// Whether the run performed any tracked device work at all.
@@ -588,6 +747,66 @@ mod tests {
         let mut other = cfg.clone();
         other.flash.channels *= 2;
         assert!(DeviceState::from_bytes(&other, &state.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn lane_window_resets_without_touching_cumulative_stats() {
+        let mut state = DeviceState::new(&SsdConfig::small_for_tests()).unwrap();
+        let us = |v: f64| Duration::from_us(v);
+        state.record_lane_request(us(1.0), us(2.0), us(3.0));
+        state.record_lane_request(us(0.0), us(0.0), us(5.0));
+        assert_eq!(state.lane_window_stats(), state.lane_stats());
+        state.reset_lane_window();
+        assert_eq!(state.lane_window_stats(), LaneStats::default());
+        assert_eq!(state.lane_stats().requests, 2);
+        state.record_lane_request(us(7.0), us(0.0), us(1.0));
+        let snap = state.snapshot();
+        assert_eq!(snap.lane_requests, 3);
+        assert_eq!(snap.window_requests, 1);
+        assert_eq!(snap.window_idle_time, us(7.0));
+        assert!(snap.window_occupancy() < snap.lane_occupancy());
+    }
+
+    #[test]
+    fn faulty_state_checkpoint_roundtrips_bit_identically() {
+        let cfg = SsdConfig::small_for_tests();
+        let mut faults = conduit_types::FaultConfig::with_seed(17);
+        faults.program_fail_rate = 0.05;
+        faults.read_transient_rate = 0.1;
+        faults.spare_blocks = 1_000;
+        let mut state = DeviceState::new_with_faults(&cfg, faults).unwrap();
+        let pages: Vec<LogicalPageId> = (0..8).map(LogicalPageId::new).collect();
+        state.ftl.map_pages(&pages, None).unwrap();
+        for _ in 0..120 {
+            state.ftl.rewrite(pages[2]).unwrap();
+        }
+        assert!(state.ftl.fault_stats().program_failures > 0);
+        let bytes = state.to_bytes();
+        let back = DeviceState::from_bytes(&cfg, &bytes).unwrap();
+        assert_eq!(back.snapshot(), state.snapshot());
+        assert_eq!(back.to_bytes(), bytes);
+        let snap = back.snapshot();
+        assert!(snap.program_failures > 0);
+        assert_eq!(snap.retired_blocks, state.ftl.retired_blocks());
+    }
+
+    #[test]
+    fn cold_checkpoints_skip_idle_resource_timelines() {
+        // A device that has done nothing serializes with every timeline as a
+        // one-byte flag; touching a single resource grows the checkpoint by
+        // only that unit's triple.
+        let cfg = SsdConfig::small_for_tests();
+        let cold = DeviceState::new(&cfg).unwrap();
+        let cold_len = cold.to_bytes().len();
+        let mut touched = DeviceState::new(&cfg).unwrap();
+        touched.dram_bus.reserve(
+            conduit_types::SimTime::ZERO,
+            conduit_types::Duration::from_us(1.0),
+        );
+        let touched_len = touched.to_bytes().len();
+        assert_eq!(touched_len, cold_len + 24);
+        let back = DeviceState::from_bytes(&cfg, &touched.to_bytes()).unwrap();
+        assert_eq!(back.snapshot(), touched.snapshot());
     }
 
     #[test]

@@ -64,6 +64,15 @@ pub enum ConduitError {
         /// Human-readable description.
         reason: String,
     },
+    /// The device retired more flash blocks than its spare budget and is in
+    /// the degraded (read-only) health state: writes are rejected, reads of
+    /// already-written data are still served.
+    DeviceDegraded {
+        /// Blocks retired so far.
+        retired_blocks: u64,
+        /// The spare-block budget that was exhausted.
+        spare_blocks: u64,
+    },
 }
 
 impl ConduitError {
@@ -129,6 +138,13 @@ impl fmt::Display for ConduitError {
             ConduitError::CorruptCheckpoint { reason } => {
                 write!(f, "corrupt checkpoint: {reason}")
             }
+            ConduitError::DeviceDegraded {
+                retired_blocks,
+                spare_blocks,
+            } => write!(
+                f,
+                "device is degraded and read-only ({retired_blocks} blocks retired, spare budget {spare_blocks})"
+            ),
         }
     }
 }
@@ -160,6 +176,11 @@ mod tests {
             },
             ConduitError::simulation("event queue empty"),
             ConduitError::invalid_config("zero channels"),
+            ConduitError::corrupt_checkpoint("truncated byte stream"),
+            ConduitError::DeviceDegraded {
+                retired_blocks: 9,
+                spare_blocks: 8,
+            },
         ];
         for e in errs {
             let msg = e.to_string();

@@ -1,0 +1,383 @@
+//! Deterministic fault injection: configuration, replayable random plan,
+//! and device health states.
+//!
+//! A [`FaultConfig`] describes *what* can go wrong (program/erase/read/die
+//! failure rates, wear sensitivity, the retry ladder depth and the
+//! spare-block budget); a [`FaultPlan`] decides *when*, by drawing from a
+//! splitmix64 stream that is a pure function of `(seed, draw index)`. The
+//! plan therefore serializes as just its seed and cursor, and a restored
+//! plan continues the exact sequence the exported one would have produced —
+//! the property that lets a degraded device survive an export/import cycle
+//! bit-identically.
+//!
+//! The all-zero default configuration is **inert**: no rate draws happen at
+//! all when a rate is zero, so a zero-fault device is bit-identical to one
+//! built before fault injection existed.
+
+use crate::bytes::{put_f64, put_u32, put_u64, Reader};
+use crate::error::{ConduitError, Result};
+
+/// Health of a simulated device's flash subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DeviceHealth {
+    /// The spare-block reserve covers every retired block.
+    #[default]
+    Healthy,
+    /// The device retired more blocks than its spare budget: it is
+    /// read-only. Writes are rejected with
+    /// [`ConduitError::DeviceDegraded`]; reads of already-written data are
+    /// still served.
+    Degraded,
+}
+
+impl DeviceHealth {
+    /// Whether the device has exhausted its spare blocks.
+    pub fn is_degraded(self) -> bool {
+        self == DeviceHealth::Degraded
+    }
+
+    /// The single-byte checkpoint encoding.
+    pub fn encode(self) -> u8 {
+        match self {
+            DeviceHealth::Healthy => 0,
+            DeviceHealth::Degraded => 1,
+        }
+    }
+
+    /// Decodes the value written by [`DeviceHealth::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] for unknown codes.
+    pub fn decode(code: u8) -> Result<Self> {
+        match code {
+            0 => Ok(DeviceHealth::Healthy),
+            1 => Ok(DeviceHealth::Degraded),
+            v => Err(ConduitError::corrupt_checkpoint(format!(
+                "unknown device-health code {v}"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for DeviceHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeviceHealth::Healthy => write!(f, "healthy"),
+            DeviceHealth::Degraded => write!(f, "degraded"),
+        }
+    }
+}
+
+/// Fault-injection configuration for one device.
+///
+/// All rates are per-operation probabilities in `[0, 1]`. The default is
+/// all-zero (no faults, no random draws) — attach a non-default config via
+/// the session builder or `create_device_with_faults` to enable injection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the device's [`FaultPlan`]. Two devices with the same seed
+    /// and the same request stream fail identically.
+    pub seed: u64,
+    /// Probability that a page program fails (the block is then retired and
+    /// the write retried on a fresh block).
+    pub program_fail_rate: f64,
+    /// Probability that a block erase fails during garbage collection (the
+    /// victim is retired instead of erased).
+    pub erase_fail_rate: f64,
+    /// Probability that a page read needs a retry; retries repeat the roll,
+    /// so the retry count is geometric, capped at
+    /// [`FaultConfig::max_read_retries`].
+    pub read_transient_rate: f64,
+    /// Probability that a page program takes its whole die down (every
+    /// block of the die is retired and its valid pages relocated).
+    pub die_fail_rate: f64,
+    /// Wear amplification: the effective rate of a block-scoped fault is
+    /// `rate * (1 + wear_sensitivity * erase_count)`, capped at 1.
+    pub wear_sensitivity: f64,
+    /// Upper bound of the read-retry ladder; the final retry always
+    /// succeeds (no read ever surfaces an error).
+    pub max_read_retries: u32,
+    /// Number of retired blocks the device absorbs before it transitions to
+    /// [`DeviceHealth::Degraded`] and rejects writes.
+    pub spare_blocks: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            program_fail_rate: 0.0,
+            erase_fail_rate: 0.0,
+            read_transient_rate: 0.0,
+            die_fail_rate: 0.0,
+            wear_sensitivity: 0.0,
+            max_read_retries: 4,
+            spare_blocks: 8,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// An inert configuration with a seed already chosen (convenient start
+    /// for builder-style field updates).
+    pub fn with_seed(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Whether every failure mode is disabled. An inert config never draws
+    /// from the fault plan, so it cannot perturb a fault-free stream.
+    pub fn is_inert(&self) -> bool {
+        self.program_fail_rate <= 0.0
+            && self.erase_fail_rate <= 0.0
+            && self.read_transient_rate <= 0.0
+            && self.die_fail_rate <= 0.0
+    }
+
+    /// The wear-amplified effective probability for a block-scoped fault.
+    pub fn effective_rate(&self, base: f64, erase_count: u64) -> f64 {
+        if base <= 0.0 {
+            return 0.0;
+        }
+        (base * (1.0 + self.wear_sensitivity * erase_count as f64)).min(1.0)
+    }
+
+    /// Appends the configuration to `out` in the checkpoint layout.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.seed);
+        put_f64(out, self.program_fail_rate);
+        put_f64(out, self.erase_fail_rate);
+        put_f64(out, self.read_transient_rate);
+        put_f64(out, self.die_fail_rate);
+        put_f64(out, self.wear_sensitivity);
+        put_u32(out, self.max_read_retries);
+        put_u64(out, self.spare_blocks);
+    }
+
+    /// Decodes a configuration written by [`FaultConfig::encode_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] for non-finite or
+    /// out-of-range rates.
+    pub fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let seed = r.u64()?;
+        let mut rates = [0.0f64; 4];
+        for rate in &mut rates {
+            let v = r.f64()?;
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(ConduitError::corrupt_checkpoint(
+                    "fault rate outside [0, 1]",
+                ));
+            }
+            *rate = v;
+        }
+        let wear_sensitivity = r.f64()?;
+        if !wear_sensitivity.is_finite() || wear_sensitivity < 0.0 {
+            return Err(ConduitError::corrupt_checkpoint(
+                "negative or non-finite wear sensitivity",
+            ));
+        }
+        Ok(FaultConfig {
+            seed,
+            program_fail_rate: rates[0],
+            erase_fail_rate: rates[1],
+            read_transient_rate: rates[2],
+            die_fail_rate: rates[3],
+            wear_sensitivity,
+            max_read_retries: r.u32()?,
+            spare_blocks: r.counter()?,
+        })
+    }
+}
+
+/// The replayable random stream behind fault injection.
+///
+/// Draw `i` is `splitmix64(seed + i * GAMMA)` — a pure function of the seed
+/// and the cursor, so `(seed, draws)` is the plan's complete state and a
+/// restored plan continues exactly where the exported one stopped.
+///
+/// # Examples
+///
+/// ```
+/// use conduit_types::FaultPlan;
+///
+/// let mut a = FaultPlan::new(42);
+/// let first = a.next_u64();
+/// let mut b = FaultPlan::restore(a.seed(), a.draws());
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert_ne!(first, FaultPlan::new(43).next_u64());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    draws: u64,
+}
+
+/// The splitmix64 stream increment.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl FaultPlan {
+    /// A fresh plan at draw zero.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan { seed, draws: 0 }
+    }
+
+    /// Rebuilds a plan from its checkpointed `(seed, draws)` state.
+    pub fn restore(seed: u64, draws: u64) -> Self {
+        FaultPlan { seed, draws }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many values have been drawn (the replay cursor).
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
+    /// Draws the next value of the splitmix64 stream.
+    pub fn next_u64(&mut self) -> u64 {
+        self.draws = self.draws.wrapping_add(1);
+        let mut z = self.seed.wrapping_add(self.draws.wrapping_mul(GAMMA));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Draws a uniform value in `[0, 1)` (53 random mantissa bits).
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial at probability `rate`. A non-positive rate returns
+    /// `false` **without consuming a draw**, which is what keeps an inert
+    /// [`FaultConfig`] bit-identical to no fault injection at all.
+    pub fn roll(&mut self, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        self.next_f64() < rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_matches_the_reference_splitmix64_stream() {
+        // Reference: the stateful splitmix64 (state += GAMMA; mix state)
+        // used by the workload generators. The cursor-based plan must
+        // produce the same stream for the same seed.
+        let seed = 0x0be5_11fe_u64;
+        let mut state = seed;
+        let mut plan = FaultPlan::new(seed);
+        for _ in 0..64 {
+            state = state.wrapping_add(GAMMA);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            assert_eq!(plan.next_u64(), z);
+        }
+    }
+
+    #[test]
+    fn restored_plan_continues_the_stream() {
+        let mut a = FaultPlan::new(7);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = FaultPlan::restore(a.seed(), a.draws());
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_rate_rolls_consume_no_draws() {
+        let mut plan = FaultPlan::new(1);
+        assert!(!plan.roll(0.0));
+        assert!(!plan.roll(-1.0));
+        assert_eq!(plan.draws(), 0);
+        assert!(plan.roll(1.0));
+        assert_eq!(plan.draws(), 1);
+    }
+
+    #[test]
+    fn next_f64_is_a_unit_uniform() {
+        let mut plan = FaultPlan::new(99);
+        let mut sum = 0.0;
+        for _ in 0..1000 {
+            let v = plan.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn default_config_is_inert_and_roundtrips() {
+        let cfg = FaultConfig::default();
+        assert!(cfg.is_inert());
+        let mut buf = Vec::new();
+        cfg.encode_into(&mut buf);
+        let back = FaultConfig::decode_from(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn config_decode_rejects_out_of_range_rates() {
+        let mut cfg = FaultConfig::with_seed(3);
+        cfg.program_fail_rate = 0.25;
+        let mut buf = Vec::new();
+        cfg.encode_into(&mut buf);
+        let back = FaultConfig::decode_from(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back, cfg);
+        assert!(!back.is_inert());
+
+        // Rates live at offsets 8, 16, 24, 32; wear sensitivity at 40.
+        for offset in [8, 16, 24, 32, 40] {
+            let mut corrupt = buf.clone();
+            corrupt[offset..offset + 8].copy_from_slice(&f64::NAN.to_bits().to_le_bytes());
+            assert!(
+                FaultConfig::decode_from(&mut Reader::new(&corrupt)).is_err(),
+                "NaN at {offset} must be rejected"
+            );
+            let mut big = buf.clone();
+            big[offset..offset + 8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+            if offset != 40 {
+                assert!(
+                    FaultConfig::decode_from(&mut Reader::new(&big)).is_err(),
+                    "rate 2.0 at {offset} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_rate_grows_with_wear_and_caps_at_one() {
+        let mut cfg = FaultConfig::with_seed(0);
+        cfg.wear_sensitivity = 0.1;
+        assert_eq!(cfg.effective_rate(0.0, 100), 0.0);
+        assert!((cfg.effective_rate(0.01, 0) - 0.01).abs() < 1e-12);
+        assert!(cfg.effective_rate(0.01, 10) > cfg.effective_rate(0.01, 0));
+        assert_eq!(cfg.effective_rate(0.5, 1_000_000), 1.0);
+    }
+
+    #[test]
+    fn health_codes_roundtrip_and_reject_garbage() {
+        for health in [DeviceHealth::Healthy, DeviceHealth::Degraded] {
+            assert_eq!(DeviceHealth::decode(health.encode()).unwrap(), health);
+        }
+        assert!(DeviceHealth::decode(9).is_err());
+        assert!(!DeviceHealth::default().is_degraded());
+    }
+}

@@ -27,6 +27,7 @@ pub mod bytes;
 pub mod config;
 pub mod energy;
 pub mod error;
+pub mod fault;
 pub mod inst;
 pub mod op;
 pub mod resource;
@@ -40,6 +41,7 @@ pub use config::{
 };
 pub use energy::{Energy, EnergySource};
 pub use error::{ConduitError, Result};
+pub use fault::{DeviceHealth, FaultConfig, FaultPlan};
 pub use inst::{InstId, InstMetadata, Operand, VectorInst, VectorProgram};
 pub use op::{LatencyClass, OpType};
 pub use resource::{DataLocation, EstimateKey, ExecutionSite, Resource};

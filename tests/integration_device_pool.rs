@@ -11,12 +11,15 @@
 //!    into a fresh session and replaying the remainder matches the
 //!    uninterrupted run exactly.
 //! 3. **Format stability**: a committed golden checkpoint
-//!    (`tests/golden/device_checkpoint_v2.bin`) pins the byte-exact
+//!    (`tests/golden/device_checkpoint_v3.bin`) pins the byte-exact
 //!    encoding of a canonical aged device, and the frozen
-//!    `tests/golden/device_checkpoint_v1.bin` asserts that legacy
+//!    `tests/golden/device_checkpoint_v1.bin` /
+//!    `tests/golden/device_checkpoint_v2.bin` files assert that legacy
 //!    version-1 checkpoints (dense flash image, no configuration
-//!    fingerprint, no lane statistics) still decode. If an intentional
-//!    format change breaks `golden_file_pins_the_checkpoint_format`, bump
+//!    fingerprint, no lane statistics) and version-2 checkpoints (delta
+//!    flash image and lane statistics, but dense resource timelines and no
+//!    fault state) still decode. If an intentional format change breaks
+//!    `golden_file_pins_the_checkpoint_format`, bump
 //!    `DEVICE_STATE_FORMAT_VERSION` / `DEVICE_CHECKPOINT_FORMAT_VERSION`
 //!    and regenerate with:
 //!
@@ -43,6 +46,10 @@ fn golden_dir() -> std::path::PathBuf {
 }
 
 fn golden_path() -> std::path::PathBuf {
+    golden_dir().join("device_checkpoint_v3.bin")
+}
+
+fn legacy_v2_golden_path() -> std::path::PathBuf {
     golden_dir().join("device_checkpoint_v2.bin")
 }
 
@@ -431,7 +438,7 @@ fn golden_file_pins_the_checkpoint_format() {
     assert_eq!(
         committed, bytes,
         "serialized device-checkpoint bytes drifted from \
-         tests/golden/device_checkpoint_v2.bin — if the format change is \
+         tests/golden/device_checkpoint_v3.bin — if the format change is \
          intentional, bump DEVICE_STATE_FORMAT_VERSION (and/or \
          DEVICE_CHECKPOINT_FORMAT_VERSION) and regenerate with \
          CONDUIT_REGEN_GOLDEN=1"
@@ -474,11 +481,52 @@ fn legacy_v1_golden_still_imports_and_round_trips() {
     );
 
     // Old-version decode round-trips through the current format: re-export
-    // writes version-2 bytes whose re-import restores the identical state.
+    // writes version-3 bytes whose re-import restores the identical state.
     let upgraded = session.export_device(device).unwrap();
-    assert_ne!(upgraded, committed, "re-export upgrades to the v2 format");
+    assert_ne!(upgraded, committed, "re-export upgrades to the v3 format");
     let mut other = pool_session(|b| b);
     let revived = other.import_device("legacy", &upgraded).unwrap();
+    assert_eq!(other.device_snapshot(revived), snap);
+    assert_eq!(other.device_clock(revived), session.device_clock(device));
+
+    // And the upgraded device still serves traffic.
+    session
+        .submit(&RunRequest::new(writer, Policy::Conduit).on_device(device))
+        .unwrap();
+    assert!(session.device_snapshot(device).device_ops > snap.device_ops);
+}
+
+/// The frozen version-2 golden file (delta flash image and lane
+/// statistics, but dense resource timelines and no fault state) must keep
+/// decoding after the version-3 sparse-resource/fault-tail bump.
+#[test]
+fn legacy_v2_golden_still_imports_and_round_trips() {
+    let committed =
+        std::fs::read(legacy_v2_golden_path()).expect("legacy v2 golden file is committed");
+    let mut session = pool_session(|b| b);
+    let writer = session.register(writer_program()).unwrap();
+    let device = session.import_device("legacy-v2", &committed).unwrap();
+    let snap = session.device_snapshot(device);
+    assert!(
+        snap.device_ops > 0,
+        "the v2 golden device is aged: {snap:?}"
+    );
+    assert!(snap.coherence_writes > 0);
+    assert!(
+        snap.lane_requests > 0,
+        "v2 checkpoints already carry lane statistics"
+    );
+    assert_eq!(
+        snap.retired_blocks, 0,
+        "v2 checkpoints predate fault state; they restore fault-free"
+    );
+
+    // Old-version decode round-trips through the current format: re-export
+    // writes version-3 bytes whose re-import restores the identical state.
+    let upgraded = session.export_device(device).unwrap();
+    assert_ne!(upgraded, committed, "re-export upgrades to the v3 format");
+    let mut other = pool_session(|b| b);
+    let revived = other.import_device("legacy-v2", &upgraded).unwrap();
     assert_eq!(other.device_snapshot(revived), snap);
     assert_eq!(other.device_clock(revived), session.device_clock(device));
 

@@ -216,12 +216,19 @@ fn mixed_batch_matches_serial_submission_in_request_order() {
         );
         assert_eq!(outcome.summary.queueing_time, Duration::ZERO);
     }
-    // Apart from the lane queueing accounting, the devices aged
-    // identically.
+    // Apart from the lane queueing accounting — and the lane window, which
+    // is batch-scoped (a lone submit is a batch of one, so it covers only
+    // the final request) — the devices aged identically.
     let batched_snap = batched.device_snapshot(dev);
     let mut lone_snap = lone.device_snapshot(lone_dev);
     assert!(lone_snap.lane_queued_time < batched_snap.lane_queued_time);
     lone_snap.lane_queued_time = batched_snap.lane_queued_time;
+    assert_eq!(lone_snap.window_requests, 1);
+    assert_eq!(lone_snap.window_queued_time, Duration::ZERO);
+    lone_snap.window_requests = batched_snap.window_requests;
+    lone_snap.window_busy_time = batched_snap.window_busy_time;
+    lone_snap.window_idle_time = batched_snap.window_idle_time;
+    lone_snap.window_queued_time = batched_snap.window_queued_time;
     assert_eq!(lone_snap, batched_snap);
 }
 
