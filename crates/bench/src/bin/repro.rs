@@ -8,8 +8,8 @@
 //!
 //! where `<target>` is one of `fig4`, `fig5`, `fig7` (both panels), `fig7a`,
 //! `fig7b`, `fig8`, `fig9`, `fig10`, `table3`, `overheads`, `headline`,
-//! `warm-pool`, `arrival-sweep`, `fault-sweep`, `sim-throughput`,
-//! `perf-gate`, or `all`.
+//! `warm-pool`, `arrival-sweep`, `fault-sweep`, `interference`,
+//! `sim-throughput`, `perf-gate`, or `all`.
 //!
 //! Flags:
 //!
@@ -20,8 +20,7 @@
 //! * `warm-pool` runs a multi-tenant request mix on four **named warm
 //!   devices** (per-device FIFO lanes, parallel across devices) and prints
 //!   each request's queueing/service split plus every device's cumulative
-//!   FTL/coherence/GC/wear state (replaces the single-device `warm-stream`
-//!   target),
+//!   FTL/coherence/GC/wear state,
 //! * `arrival-sweep` sweeps **open-loop offered load** per tenant
 //!   (`RunRequest::arriving_at` at a fixed inter-arrival interval) and
 //!   prints the queueing-delay-vs-load curve with per-lane occupancy,
@@ -30,6 +29,11 @@
 //!   retry/remap counters and the request index at which the spare-block
 //!   budget ran out (time-to-degraded); the zero-rate row is bit-identical
 //!   to a session without fault injection,
+//! * `interference` co-schedules two latency-sensitive victim tenants
+//!   against a bursty Markov-modulated antagonist on a shared vs isolated
+//!   warm device (via a replayable `conduit-traffic` trace), sweeping the
+//!   antagonist's in-burst offered load and printing victim p50/p99/p999,
+//!   lane occupancy/queueing and GC/coherence counters per point,
 //! * `sim-throughput` measures simulator throughput and writes
 //!   `BENCH_sim_throughput.json` next to the current directory,
 //! * `perf-gate` gates on the deterministic **simulated-work counter**
@@ -44,6 +48,7 @@
 
 use conduit_bench::arrivals::arrival_sweep_report;
 use conduit_bench::faults::fault_sweep_report;
+use conduit_bench::interference::interference_report;
 use conduit_bench::throughput::{
     baseline_instructions_per_sec, baseline_ops_per_instruction, baseline_scale, ThroughputReport,
 };
@@ -52,7 +57,7 @@ use conduit_bench::Harness;
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-pool|arrival-sweep|fault-sweep|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
+        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-pool|arrival-sweep|fault-sweep|interference|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
     );
 }
 
@@ -204,10 +209,9 @@ fn main() {
         print!("{}", fault_sweep_report(quick));
         return;
     }
-    if target == "warm-stream" {
-        eprintln!("repro: `warm-stream` was replaced by `warm-pool` (the multi-tenant mix now runs on named warm devices); running warm-pool");
-        println!("==================== warm-pool ====================");
-        print!("{}", warm_pool_report(quick));
+    if target == "interference" {
+        println!("==================== interference ====================");
+        print!("{}", interference_report(quick));
         return;
     }
 

@@ -1,0 +1,295 @@
+//! The `repro interference` target: cross-tenant interference under bursty
+//! open-loop traffic.
+//!
+//! Two latency-sensitive **victim** tenants (deterministic arrivals, phase
+//! offset so they interleave) run against one bursty **antagonist** tenant
+//! (a Markov-modulated on/off source) in two configurations:
+//!
+//! * `shared` — all three tenants target one warm device, so they serialize
+//!   through its FIFO lane and contend for the same dies, channels, GC debt
+//!   and coherence directory (the shared-die/channel configuration);
+//! * `isolated` — the antagonist gets its own device, leaving the victims'
+//!   lane untouched (the baseline the shared rows are read against).
+//!
+//! The sweep varies the antagonist's *offered load inside its bursts*
+//! (burst interarrival = antagonist service time / load) while every other
+//! parameter — seeds, on/off windows, victim cadence — stays fixed, so the
+//! shared-lane victim tail degrades monotonically as the antagonist crosses
+//! saturation, and the isolated rows stay bit-identical across loads.
+//!
+//! Each sweep point builds its tenant mix with
+//! [`conduit_traffic::TrafficMix`], unrolls it into a replayable
+//! [`conduit_traffic::Trace`] and replays the trace against a fresh
+//! session. Victim latency is the **arrival-to-completion total time**
+//! (queueing + service); the two victims' histograms are combined with
+//! [`LatencyStats::merge`] to give fleet-wide p50/p99/p999.
+
+use conduit::{Policy, RunRequest, Session};
+use conduit_sim::LatencyStats;
+use conduit_traffic::{ArrivalSpec, TenantSpec, TrafficMix};
+use conduit_types::{Duration, SsdConfig};
+use conduit_workloads::{Scale, Workload};
+
+/// Antagonist offered load inside its on-bursts, as a multiple of the
+/// antagonist's own service rate (1.0 = the lane can just keep up while the
+/// burst lasts; above that every burst grows a backlog the victims queue
+/// behind).
+const LOADS: [f64; 5] = [0.25, 0.5, 1.0, 2.0, 4.0];
+
+/// Loads used in quick (`--smoke`) mode.
+const QUICK_LOADS: [f64; 3] = [0.5, 1.0, 4.0];
+
+/// Seed of the antagonist's on/off modulation: fixed across the sweep so
+/// every load point sees the same burst windows, only denser bursts.
+const ANTAGONIST_SEED: u64 = 0x7EA7_0DD5;
+
+/// The two sweep configurations.
+const CONFIGS: [&str; 2] = ["shared", "isolated"];
+
+/// Victim arrivals per victim tenant at one sweep point.
+fn victim_arrivals(quick: bool) -> u64 {
+    if quick {
+        10
+    } else {
+        32
+    }
+}
+
+/// Measures one request's device-service time on a throwaway probe session
+/// (same trick as `repro arrival-sweep`: the offered load is expressed
+/// relative to measured capacity, so the sweep is config-independent).
+fn probe_service(cfg: &SsdConfig, workload: Workload, policy: Policy, scale: Scale) -> Duration {
+    let mut probe = Session::builder(cfg.clone()).serial().build();
+    let id = probe
+        .register(workload.program(scale).expect("generators always succeed"))
+        .expect("generated programs validate");
+    let dev = probe.create_device("probe");
+    probe
+        .submit(&RunRequest::new(id, policy).on_device(dev))
+        .expect("probe run succeeds")
+        .summary
+        .service_time
+}
+
+/// The tenant mix of one sweep point. Tenant order is fixed: victims first
+/// (indices 0 and 1), antagonist last (index 2).
+fn point_mix(
+    config: &str,
+    victim_gap: Duration,
+    antagonist_gap: Duration,
+    mean_on: Duration,
+    scale: Scale,
+) -> TrafficMix {
+    let antagonist_device = if config == "shared" {
+        "victim-lane"
+    } else {
+        "antagonist-lane"
+    };
+    TrafficMix::new(scale)
+        .tenant(TenantSpec {
+            name: "victim-a".into(),
+            device: "victim-lane".into(),
+            workload: Workload::Jacobi1d,
+            policy: Policy::Conduit,
+            arrivals: ArrivalSpec::Deterministic {
+                interarrival: victim_gap,
+                phase: Duration::ZERO,
+            },
+        })
+        .tenant(TenantSpec {
+            name: "victim-b".into(),
+            device: "victim-lane".into(),
+            workload: Workload::XorFilter,
+            policy: Policy::Conduit,
+            arrivals: ArrivalSpec::Deterministic {
+                interarrival: victim_gap,
+                // Half a gap out of phase: the two victims interleave
+                // instead of colliding.
+                phase: victim_gap / 2,
+            },
+        })
+        .tenant(TenantSpec {
+            name: "antagonist".into(),
+            device: antagonist_device.into(),
+            // Host-bound training: every run flushes dirty pages through
+            // the coherence protocol, so the antagonist also pollutes GC
+            // and coherence state, not just the lane.
+            workload: Workload::LlmTraining,
+            policy: Policy::HostCpu,
+            arrivals: ArrivalSpec::MarkovOnOff {
+                burst_interarrival: antagonist_gap,
+                mean_on,
+                mean_off: mean_on,
+                seed: ANTAGONIST_SEED,
+            },
+        })
+}
+
+/// Runs the interference sweep and formats the table.
+///
+/// `quick` selects the reduced smoke scale (the `--smoke` / `--quick` flags
+/// of the `repro` binary).
+pub fn interference_report(quick: bool) -> String {
+    let cfg = if quick {
+        SsdConfig::small_for_tests()
+    } else {
+        SsdConfig::default()
+    };
+    let scale = Scale::test();
+    let loads: &[f64] = if quick { &QUICK_LOADS } else { &LOADS };
+
+    // Capacity probes: victim cadence is set to half the lane's victim
+    // service rate (victims alone leave the lane half idle), the antagonist
+    // burst gap to `service / load`.
+    let victim_service = probe_service(&cfg, Workload::Jacobi1d, Policy::Conduit, scale).max(
+        probe_service(&cfg, Workload::XorFilter, Policy::Conduit, scale),
+    );
+    let antagonist_service = probe_service(&cfg, Workload::LlmTraining, Policy::HostCpu, scale);
+    let victim_gap = victim_service * 2;
+    // On/off windows span a few victim gaps, so every victim sees both
+    // quiet and bursty stretches of the modulation.
+    let mean_on = victim_gap * 3;
+    let horizon = victim_gap * victim_arrivals(quick);
+
+    let mut out = String::from(
+        "# Interference sweep: bursty antagonist vs latency-sensitive victims\n\
+         # victim latency = arrival-to-completion (queueing + service), two\n\
+         # victim tenants merged; same antagonist seed at every point, only\n\
+         # the in-burst offered load changes\n\
+         config\tload\tvictims\tvictim_p50_ms\tvictim_p99_ms\tvictim_p999_ms\t\
+         antagonist_reqs\tlane_occupancy\tlane_queued_ms\tgc\tcoherence_syncs\tdevice_ops\n",
+    );
+    for config in CONFIGS {
+        for &load in loads {
+            let antagonist_gap = Duration::from_ps(
+                (antagonist_service.as_ps() as f64 / load).round().max(1.0) as u64,
+            );
+            let mix = point_mix(config, victim_gap, antagonist_gap, mean_on, scale);
+            let trace = mix.generate(horizon).expect("sweep mixes are always valid");
+
+            // A fresh session per point: every sample starts from pristine
+            // devices, so points are independent and deterministic.
+            let mut session = Session::builder(cfg.clone()).build();
+            let run = trace
+                .instantiate(&mut session)
+                .expect("sweep traces instantiate");
+            let outcomes = session
+                .submit_batch(&run.requests)
+                .expect("sweep batches succeed");
+
+            // Per-tenant arrival-to-completion histograms, merged across
+            // the two victims for the fleet-wide tail.
+            let mut per_tenant = vec![LatencyStats::new(); mix.tenants.len()];
+            for (outcome, &tenant) in outcomes.iter().zip(&run.tenants) {
+                per_tenant[usize::from(tenant)].record(outcome.summary.total_time);
+            }
+            let mut victims = LatencyStats::new();
+            victims.merge(&per_tenant[0]);
+            victims.merge(&per_tenant[1]);
+            let antagonist_requests = per_tenant[2].len();
+
+            let snap = session.device_snapshot(run.devices[0]);
+            let lane_busy = snap.lane_busy_time.as_ms();
+            let lane_idle = snap.lane_idle_time.as_ms();
+            let occupancy = if lane_busy + lane_idle > 0.0 {
+                lane_busy / (lane_busy + lane_idle)
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{config}\t{load}\t{}\t{:.3}\t{:.3}\t{:.3}\t{antagonist_requests}\t{occupancy:.3}\t{:.3}\t{}\t{}\t{}\n",
+                victims.len(),
+                victims.percentile(0.50).as_ms(),
+                victims.percentile(0.99).as_ms(),
+                victims.percentile(0.999).as_ms(),
+                snap.lane_queued_time.as_ms(),
+                snap.gc_invocations,
+                snap.coherence_syncs,
+                snap.device_ops,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(report: &str) -> Vec<Vec<String>> {
+        report
+            .lines()
+            .filter(|l| l.starts_with("shared\t") || l.starts_with("isolated\t"))
+            .map(|l| l.split('\t').map(str::to_string).collect())
+            .collect()
+    }
+
+    #[test]
+    fn quick_sweep_has_one_row_per_config_and_load() {
+        let report = interference_report(true);
+        let rows = rows(&report);
+        assert_eq!(rows.len(), 2 * QUICK_LOADS.len(), "{report}");
+        for row in &rows {
+            let victims: usize = row[2].parse().unwrap();
+            assert_eq!(victims as u64, 2 * victim_arrivals(true), "{report}");
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        assert_eq!(interference_report(true), interference_report(true));
+    }
+
+    #[test]
+    fn shared_lane_tail_degrades_monotonically_with_load() {
+        let report = interference_report(true);
+        let rows = rows(&report);
+        let shared_p99: Vec<f64> = rows
+            .iter()
+            .filter(|r| r[0] == "shared")
+            .map(|r| r[4].parse().unwrap())
+            .collect();
+        assert!(
+            shared_p99.windows(2).all(|w| w[0] <= w[1]),
+            "shared victim p99 must be nondecreasing in load: {report}"
+        );
+        assert!(
+            *shared_p99.last().unwrap() > shared_p99[0],
+            "saturating antagonist must degrade the victim tail: {report}"
+        );
+    }
+
+    #[test]
+    fn isolated_victims_are_untouched_by_antagonist_load() {
+        let report = interference_report(true);
+        let rows = rows(&report);
+        let isolated: Vec<&Vec<String>> = rows.iter().filter(|r| r[0] == "isolated").collect();
+        // On their own lane the victims never see the antagonist: every
+        // load point reproduces bit-identical victim latencies and lane
+        // counters.
+        for row in &isolated[1..] {
+            // Victim latencies (2..=5) and victim-lane counters (7..) must
+            // match; only the antagonist request count (6) tracks its load.
+            assert_eq!(
+                row[2..=5],
+                isolated[0][2..=5],
+                "isolated victims must not vary with antagonist load: {report}"
+            );
+            assert_eq!(
+                row[7..],
+                isolated[0][7..],
+                "isolated victim lane must not vary with antagonist load: {report}"
+            );
+        }
+        // And the shared rows at top load must be strictly worse than the
+        // isolated baseline.
+        let shared_top_p99: f64 = rows.iter().rev().find(|r| r[0] == "shared").unwrap()[4]
+            .parse()
+            .unwrap();
+        let isolated_p99: f64 = isolated[0][4].parse().unwrap();
+        assert!(
+            shared_top_p99 > isolated_p99,
+            "sharing the lane must cost tail latency: {report}"
+        );
+    }
+}

@@ -425,6 +425,62 @@ mod tests {
     }
 
     #[test]
+    fn merge_is_exactly_a_single_collector_fed_the_union() {
+        // Split one sample stream across three collectors, merge them, and
+        // compare against a single collector fed everything: the structs
+        // must be identical field for field — every bucket count, the exact
+        // min/max, the sample count and the total (hence the mean).
+        let samples: Vec<Duration> = (0..3000u64)
+            .map(|i| Duration::from_ps((i * 7919 + 13) % 2_000_000))
+            .collect();
+        let mut reference = LatencyStats::new();
+        let mut shards = vec![LatencyStats::new(); 3];
+        for (i, &s) in samples.iter().enumerate() {
+            reference.record(s);
+            shards[i % 3].record(s);
+        }
+        let mut merged = LatencyStats::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, reference, "merge must equal single-collector");
+        // Spelled out for the fields the histogram answers queries from:
+        assert_eq!(merged.counts, reference.counts, "per-bucket sums");
+        assert_eq!(merged.len(), samples.len());
+        assert_eq!(merged.min(), samples.iter().copied().min().unwrap());
+        assert_eq!(merged.max(), samples.iter().copied().max().unwrap());
+        let exact_total: u64 = samples.iter().map(|s| s.as_ps()).sum();
+        assert_eq!(
+            merged.mean(),
+            Duration::from_ps(exact_total) / samples.len() as u64
+        );
+        for p in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.percentile(p), reference.percentile(p), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_in_both_directions() {
+        let mut populated = LatencyStats::new();
+        populated.record(Duration::from_us(4.0));
+        populated.record(Duration::from_us(2.0));
+        let snapshot = populated.clone();
+
+        // Merging an empty collector in must change nothing (in particular
+        // it must not drag min toward the empty collector's zero).
+        populated.merge(&LatencyStats::new());
+        assert_eq!(populated, snapshot);
+        assert_eq!(populated.min(), Duration::from_us(2.0));
+
+        // Merging into an empty collector must adopt the source exactly.
+        let mut empty = LatencyStats::new();
+        empty.merge(&snapshot);
+        assert_eq!(empty, snapshot);
+        assert_eq!(empty.min(), Duration::from_us(2.0));
+        assert_eq!(empty.max(), Duration::from_us(4.0));
+    }
+
+    #[test]
     fn percentile_queries_do_not_mutate() {
         let mut s = LatencyStats::new();
         s.record(Duration::from_ns(10.0));

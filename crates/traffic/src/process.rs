@@ -1,0 +1,479 @@
+//! Deterministic arrival-process generators.
+//!
+//! Every generator implements [`ArrivalProcess`]: a stream of nondecreasing
+//! [`SimTime`] arrival instants. Randomized generators draw from the
+//! workspace's counted splitmix64 stream ([`conduit_types::FaultPlan`] — a
+//! pure function of `(seed, draw index)`), so a generator's state is fully
+//! described by its [`ArrivalSpec`] plus the draw cursor and two generators
+//! built from the same spec emit bit-identical streams, regardless of how
+//! the requests they feed are later scheduled across worker pools.
+//!
+//! All timeline arithmetic is **saturating** ([`SimTime`]`+`[`Duration`]
+//! clamps at [`SimTime::MAX`]): a pathological phase offset or a stream that
+//! outlives representable time degrades into "arrivals at the end of time"
+//! instead of panicking or wrapping the clock backwards. Consumers treat
+//! [`SimTime::MAX`] as "never" — [`crate::TrafficMix::generate`] stops a
+//! tenant's stream there.
+
+use conduit_types::{Duration, FaultPlan, SimTime};
+
+/// A deterministic, replayable stream of arrival instants.
+///
+/// Implementations must be **nondecreasing** (each call returns an instant
+/// `>=` the previous one) and **counted-draw**: the number of random values
+/// consumed after `n` calls is a pure function of the spec and `n`, never of
+/// wall-clock state or scheduling.
+pub trait ArrivalProcess {
+    /// The next arrival instant, saturating at [`SimTime::MAX`].
+    fn next_arrival(&mut self) -> SimTime;
+
+    /// How many splitmix64 values this generator has drawn so far (zero for
+    /// deterministic processes) — the replay cursor.
+    fn draws(&self) -> u64;
+}
+
+/// A serializable description of an arrival process: the generator "zoo"
+/// of the traffic subsystem. Building a generator from a spec always starts
+/// the stream at draw zero, so a spec embedded in a trace replays the exact
+/// arrivals it generated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalSpec {
+    /// Fixed interarrival gap starting at `phase`: arrival `k` is
+    /// `phase + k * interarrival` (the D/D/1 driver of `repro
+    /// arrival-sweep`).
+    Deterministic {
+        /// Gap between consecutive arrivals (must be nonzero).
+        interarrival: Duration,
+        /// Offset of the first arrival on the batch timeline.
+        phase: Duration,
+    },
+    /// Poisson process: independent exponential interarrival gaps with the
+    /// given mean. One splitmix64 draw per arrival.
+    Poisson {
+        /// Mean interarrival gap (must be nonzero); the offered rate is its
+        /// reciprocal.
+        mean_interarrival: Duration,
+        /// Seed of the counted draw stream.
+        seed: u64,
+    },
+    /// Markov-modulated on/off bursts: the source alternates between an
+    /// **on** state emitting arrivals at a fixed `burst_interarrival` and a
+    /// silent **off** state; the state holding times are exponential with
+    /// means `mean_on` / `mean_off` (two draws per on/off cycle). The
+    /// long-run duty cycle is `mean_on / (mean_on + mean_off)` and the
+    /// long-run offered rate `duty_cycle / burst_interarrival`.
+    MarkovOnOff {
+        /// Gap between arrivals while the source is on (must be nonzero).
+        burst_interarrival: Duration,
+        /// Mean duration of an on period (must be nonzero).
+        mean_on: Duration,
+        /// Mean duration of an off period (must be nonzero).
+        mean_off: Duration,
+        /// Seed of the counted draw stream.
+        seed: u64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Whether every duration parameter is nonzero (a zero gap would emit
+    /// unboundedly many arrivals at one instant). Generation and trace
+    /// decoding both reject invalid specs.
+    pub fn is_valid(&self) -> bool {
+        match *self {
+            ArrivalSpec::Deterministic { interarrival, .. } => !interarrival.is_zero(),
+            ArrivalSpec::Poisson {
+                mean_interarrival, ..
+            } => !mean_interarrival.is_zero(),
+            ArrivalSpec::MarkovOnOff {
+                burst_interarrival,
+                mean_on,
+                mean_off,
+                ..
+            } => !burst_interarrival.is_zero() && !mean_on.is_zero() && !mean_off.is_zero(),
+        }
+    }
+
+    /// The long-run fraction of time the source is emitting (1 for the
+    /// always-on processes).
+    pub fn duty_cycle(&self) -> f64 {
+        match *self {
+            ArrivalSpec::MarkovOnOff {
+                mean_on, mean_off, ..
+            } => {
+                let on = mean_on.as_ps() as f64;
+                let off = mean_off.as_ps() as f64;
+                if on + off == 0.0 {
+                    0.0
+                } else {
+                    on / (on + off)
+                }
+            }
+            _ => 1.0,
+        }
+    }
+
+    /// The long-run offered arrival rate in arrivals per second.
+    pub fn mean_rate_per_sec(&self) -> f64 {
+        let gap_ps = match *self {
+            ArrivalSpec::Deterministic { interarrival, .. } => interarrival.as_ps(),
+            ArrivalSpec::Poisson {
+                mean_interarrival, ..
+            } => mean_interarrival.as_ps(),
+            ArrivalSpec::MarkovOnOff {
+                burst_interarrival, ..
+            } => burst_interarrival.as_ps(),
+        };
+        if gap_ps == 0 {
+            return 0.0;
+        }
+        self.duty_cycle() * 1e12 / gap_ps as f64
+    }
+
+    /// Builds the generator this spec describes, starting at draw zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on an invalid spec (see
+    /// [`ArrivalSpec::is_valid`]).
+    pub fn generator(&self) -> Box<dyn ArrivalProcess> {
+        debug_assert!(self.is_valid(), "invalid arrival spec: {self:?}");
+        match *self {
+            ArrivalSpec::Deterministic {
+                interarrival,
+                phase,
+            } => Box::new(DeterministicArrivals {
+                interarrival,
+                next: SimTime::ZERO + phase,
+            }),
+            ArrivalSpec::Poisson {
+                mean_interarrival,
+                seed,
+            } => Box::new(PoissonArrivals {
+                mean: mean_interarrival,
+                stream: FaultPlan::new(seed),
+                cursor: SimTime::ZERO,
+            }),
+            ArrivalSpec::MarkovOnOff {
+                burst_interarrival,
+                mean_on,
+                mean_off,
+                seed,
+            } => {
+                let mut stream = FaultPlan::new(seed);
+                // The stream starts at the beginning of an on period whose
+                // duration is the first draw.
+                let on = exponential(mean_on, &mut stream);
+                Box::new(MarkovOnOffArrivals {
+                    burst_interarrival,
+                    mean_on,
+                    mean_off,
+                    stream,
+                    cursor: SimTime::ZERO,
+                    on_until: SimTime::ZERO + on,
+                })
+            }
+        }
+    }
+}
+
+/// An exponential variate with the given mean, quantized to picoseconds.
+/// Consumes exactly one draw.
+fn exponential(mean: Duration, stream: &mut FaultPlan) -> Duration {
+    // u ∈ [0, 1): 1-u ∈ (0, 1], so the log is finite and the gap
+    // non-negative, bounded by mean * 53·ln2 (~36.7 means).
+    let u = stream.next_f64();
+    let gap = -(1.0 - u).ln();
+    Duration::from_ps((mean.as_ps() as f64 * gap).round() as u64)
+}
+
+/// Fixed-gap arrivals (see [`ArrivalSpec::Deterministic`]).
+#[derive(Debug)]
+struct DeterministicArrivals {
+    interarrival: Duration,
+    next: SimTime,
+}
+
+impl ArrivalProcess for DeterministicArrivals {
+    fn next_arrival(&mut self) -> SimTime {
+        let arrival = self.next;
+        self.next += self.interarrival;
+        arrival
+    }
+
+    fn draws(&self) -> u64 {
+        0
+    }
+}
+
+/// Exponential-gap arrivals (see [`ArrivalSpec::Poisson`]).
+#[derive(Debug)]
+struct PoissonArrivals {
+    mean: Duration,
+    stream: FaultPlan,
+    cursor: SimTime,
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn next_arrival(&mut self) -> SimTime {
+        let gap = exponential(self.mean, &mut self.stream);
+        self.cursor += gap;
+        self.cursor
+    }
+
+    fn draws(&self) -> u64 {
+        self.stream.draws()
+    }
+}
+
+/// Bursty on/off arrivals (see [`ArrivalSpec::MarkovOnOff`]).
+#[derive(Debug)]
+struct MarkovOnOffArrivals {
+    burst_interarrival: Duration,
+    mean_on: Duration,
+    mean_off: Duration,
+    stream: FaultPlan,
+    /// The instant the next arrival would fire if the source stays on.
+    cursor: SimTime,
+    /// End of the current on period.
+    on_until: SimTime,
+}
+
+impl ArrivalProcess for MarkovOnOffArrivals {
+    fn next_arrival(&mut self) -> SimTime {
+        loop {
+            if self.cursor < self.on_until {
+                let arrival = self.cursor;
+                self.cursor += self.burst_interarrival;
+                return arrival;
+            }
+            // Once the clock saturates there is no more representable time
+            // for new periods: emit "never" forever, drawing nothing more
+            // (the draw cursor stays a pure function of emitted arrivals).
+            if self.on_until == SimTime::MAX {
+                return SimTime::MAX;
+            }
+            // The on period ended before the next burst slot: hold off for
+            // an exponential silence, then start a fresh on period.
+            let off = exponential(self.mean_off, &mut self.stream);
+            let on = exponential(self.mean_on, &mut self.stream);
+            self.cursor = self.on_until + off;
+            self.on_until = self.cursor + on;
+        }
+    }
+
+    fn draws(&self) -> u64 {
+        self.stream.draws()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(spec: ArrivalSpec, n: usize) -> Vec<SimTime> {
+        let mut generator = spec.generator();
+        (0..n).map(|_| generator.next_arrival()).collect()
+    }
+
+    #[test]
+    fn deterministic_arrivals_are_an_arithmetic_sequence() {
+        let spec = ArrivalSpec::Deterministic {
+            interarrival: Duration::from_us(3.0),
+            phase: Duration::from_us(1.0),
+        };
+        let arrivals = collect(spec, 4);
+        for (k, t) in arrivals.iter().enumerate() {
+            assert_eq!(
+                *t,
+                SimTime::ZERO + Duration::from_us(1.0) + Duration::from_us(3.0) * k as u64
+            );
+        }
+        assert_eq!(spec.generator().draws(), 0);
+        assert_eq!(spec.duty_cycle(), 1.0);
+        assert!((spec.mean_rate_per_sec() - 1e12 / 3e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn generators_are_replayable_and_seed_sensitive() {
+        for spec in [
+            ArrivalSpec::Poisson {
+                mean_interarrival: Duration::from_us(5.0),
+                seed: 11,
+            },
+            ArrivalSpec::MarkovOnOff {
+                burst_interarrival: Duration::from_us(1.0),
+                mean_on: Duration::from_us(20.0),
+                mean_off: Duration::from_us(60.0),
+                seed: 11,
+            },
+        ] {
+            assert_eq!(collect(spec, 200), collect(spec, 200), "{spec:?}");
+            let reseeded = match spec {
+                ArrivalSpec::Poisson {
+                    mean_interarrival, ..
+                } => ArrivalSpec::Poisson {
+                    mean_interarrival,
+                    seed: 12,
+                },
+                ArrivalSpec::MarkovOnOff {
+                    burst_interarrival,
+                    mean_on,
+                    mean_off,
+                    ..
+                } => ArrivalSpec::MarkovOnOff {
+                    burst_interarrival,
+                    mean_on,
+                    mean_off,
+                    seed: 12,
+                },
+                other => other,
+            };
+            assert_ne!(collect(spec, 200), collect(reseeded, 200), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_nondecreasing() {
+        for spec in [
+            ArrivalSpec::Deterministic {
+                interarrival: Duration::from_ps(7),
+                phase: Duration::ZERO,
+            },
+            ArrivalSpec::Poisson {
+                mean_interarrival: Duration::from_ns(3.0),
+                seed: 5,
+            },
+            ArrivalSpec::MarkovOnOff {
+                burst_interarrival: Duration::from_ns(1.0),
+                mean_on: Duration::from_ns(10.0),
+                mean_off: Duration::from_ns(10.0),
+                seed: 5,
+            },
+        ] {
+            let arrivals = collect(spec, 500);
+            assert!(
+                arrivals.windows(2).all(|w| w[0] <= w[1]),
+                "{spec:?} went backwards"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_converges_at_fixed_seed() {
+        let mean = Duration::from_us(10.0);
+        let spec = ArrivalSpec::Poisson {
+            mean_interarrival: mean,
+            seed: 0xA11CE,
+        };
+        let n = 20_000;
+        let arrivals = collect(spec, n);
+        let measured_mean = (*arrivals.last().unwrap() - SimTime::ZERO).as_ps() as f64 / n as f64;
+        let expected = mean.as_ps() as f64;
+        assert!(
+            (measured_mean - expected).abs() / expected < 0.03,
+            "measured mean gap {measured_mean} ps vs configured {expected} ps"
+        );
+        // Counted draws: exactly one per arrival.
+        let mut generator = spec.generator();
+        for _ in 0..n {
+            generator.next_arrival();
+        }
+        assert_eq!(generator.draws(), n as u64);
+    }
+
+    #[test]
+    fn markov_on_off_duty_cycle_accounting() {
+        let spec = ArrivalSpec::MarkovOnOff {
+            burst_interarrival: Duration::from_ns(100.0),
+            mean_on: Duration::from_us(3.0),
+            mean_off: Duration::from_us(9.0),
+            seed: 77,
+        };
+        assert!((spec.duty_cycle() - 0.25).abs() < 1e-12);
+        // Long-run offered rate = duty cycle / burst gap: count arrivals
+        // over a long stretch and compare.
+        let n = 50_000;
+        let arrivals = collect(spec, n);
+        let span = (*arrivals.last().unwrap() - arrivals[0]).as_secs();
+        let measured_rate = (n - 1) as f64 / span;
+        let expected = spec.mean_rate_per_sec();
+        assert!(
+            (measured_rate - expected).abs() / expected < 0.05,
+            "measured {measured_rate}/s vs expected {expected}/s"
+        );
+        // Bursts are visible: gaps are bimodal — either the burst gap or a
+        // much longer silence.
+        let burst_gap = Duration::from_ns(100.0);
+        let silences = arrivals
+            .windows(2)
+            .filter(|w| (w[1] - w[0]) > burst_gap * 10)
+            .count();
+        assert!(silences > 0, "no off periods observed");
+        let bursty = arrivals
+            .windows(2)
+            .filter(|w| (w[1] - w[0]) <= burst_gap)
+            .count();
+        assert!(
+            bursty as f64 / (n - 1) as f64 > 0.8,
+            "most gaps should be burst-spaced"
+        );
+    }
+
+    #[test]
+    fn pathological_offsets_saturate_instead_of_panicking() {
+        // A phase at the end of time: every arrival clamps to SimTime::MAX
+        // and the stream stays nondecreasing.
+        let spec = ArrivalSpec::Deterministic {
+            interarrival: Duration::from_ps(u64::MAX),
+            phase: Duration::from_ps(u64::MAX - 1),
+        };
+        let mut generator = spec.generator();
+        assert_eq!(generator.next_arrival(), SimTime::from_ps(u64::MAX - 1));
+        for _ in 0..8 {
+            assert_eq!(generator.next_arrival(), SimTime::MAX);
+        }
+
+        // A saturated bursty stream emits "never" forever without spinning
+        // or drawing unboundedly.
+        let spec = ArrivalSpec::MarkovOnOff {
+            burst_interarrival: Duration::from_ps(u64::MAX / 2),
+            mean_on: Duration::from_ps(u64::MAX / 2),
+            mean_off: Duration::from_ps(u64::MAX / 2),
+            seed: 1,
+        };
+        let mut generator = spec.generator();
+        let mut last = SimTime::ZERO;
+        for _ in 0..64 {
+            let t = generator.next_arrival();
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(last, SimTime::MAX);
+        let draws_at_saturation = generator.draws();
+        for _ in 0..64 {
+            assert_eq!(generator.next_arrival(), SimTime::MAX);
+        }
+        assert_eq!(generator.draws(), draws_at_saturation);
+    }
+
+    #[test]
+    fn invalid_specs_are_detected() {
+        assert!(!ArrivalSpec::Deterministic {
+            interarrival: Duration::ZERO,
+            phase: Duration::ZERO,
+        }
+        .is_valid());
+        assert!(!ArrivalSpec::Poisson {
+            mean_interarrival: Duration::ZERO,
+            seed: 0,
+        }
+        .is_valid());
+        assert!(!ArrivalSpec::MarkovOnOff {
+            burst_interarrival: Duration::from_ns(1.0),
+            mean_on: Duration::ZERO,
+            mean_off: Duration::from_ns(1.0),
+            seed: 0,
+        }
+        .is_valid());
+    }
+}

@@ -31,6 +31,22 @@ pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     put_u64(out, v.to_bits());
 }
 
+/// Appends a `u64` as a LEB128 varint (7 value bits per byte, little-endian
+/// groups, high bit = continuation). Small values — the common case for the
+/// delta-encoded arrival records of traffic traces — take one byte; the
+/// worst case is ten.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
 /// FNV-1a over a byte stream: the workspace's content-address hash (program
 /// registry deduplication, [`crate::SsdConfig::fingerprint`]). Stable across
 /// platforms and releases — checkpoints embed its output.
@@ -129,6 +145,32 @@ impl<'a> Reader<'a> {
         Ok(value)
     }
 
+    /// Reads a LEB128 varint written by [`put_varint`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConduitError::CorruptCheckpoint`] on truncation, on a
+    /// varint longer than ten bytes, and on a ten-byte varint whose final
+    /// group overflows 64 bits — every `u64` has exactly one accepted
+    /// encoding length, so a decoded stream re-encodes byte-identically.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut value: u64 = 0;
+        for group in 0..10 {
+            let byte = self.u8()?;
+            let bits = u64::from(byte & 0x7F);
+            if group == 9 && bits > 1 {
+                return Err(ConduitError::corrupt_checkpoint("varint overflows 64 bits"));
+            }
+            value |= bits << (7 * group);
+            if byte & 0x80 == 0 {
+                return Ok(value);
+            }
+        }
+        Err(ConduitError::corrupt_checkpoint(
+            "varint longer than ten bytes",
+        ))
+    }
+
     /// Whether every byte has been consumed.
     pub fn finished(&self) -> bool {
         self.pos == self.bytes.len()
@@ -181,6 +223,51 @@ mod tests {
         assert_eq!(fnv1a(b"conduit"), fnv1a(b"conduit"));
         assert_ne!(fnv1a(b"conduit"), fnv1a(b"conduiT"));
         assert_ne!(fnv1a(&[0]), fnv1a(&[0, 0]));
+    }
+
+    #[test]
+    fn varint_roundtrips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut r = Reader::new(&buf);
+            assert_eq!(r.varint().unwrap(), v, "value {v}");
+            assert!(r.finished(), "value {v} left trailing bytes");
+        }
+        // Small values are one byte, the maximum is ten.
+        let mut small = Vec::new();
+        put_varint(&mut small, 42);
+        assert_eq!(small.len(), 1);
+        let mut max = Vec::new();
+        put_varint(&mut max, u64::MAX);
+        assert_eq!(max.len(), 10);
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        // A lone continuation byte is truncated.
+        assert!(Reader::new(&[0x80]).varint().is_err());
+        // Ten continuation groups with no terminator.
+        assert!(Reader::new(&[0x80; 11]).varint().is_err());
+        // Ten-byte varint whose final group carries bits beyond 64.
+        let mut overflow = vec![0x80u8; 9];
+        overflow.push(0x02);
+        assert!(Reader::new(&overflow).varint().is_err());
+        // The canonical u64::MAX encoding (final group = 1) is accepted.
+        let mut max = vec![0xFFu8; 9];
+        max.push(0x01);
+        assert_eq!(Reader::new(&max).varint().unwrap(), u64::MAX);
     }
 
     #[test]

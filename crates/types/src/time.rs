@@ -232,6 +232,11 @@ impl SimTime {
     /// The start of simulated time.
     pub const ZERO: SimTime = SimTime(0);
 
+    /// The end of representable simulated time (~213 days). Saturating
+    /// arithmetic clamps here; open-loop arrival generators treat it as
+    /// "never" and stop emitting once a stream saturates.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
     /// Creates a point in time from integer picoseconds since time zero.
     pub const fn from_ps(ps: u64) -> Self {
         SimTime(ps)
@@ -354,6 +359,12 @@ mod tests {
         assert_eq!(t2.saturating_since(t0), Duration::from_us(3.0));
         assert_eq!(t1.max(t2), t2);
         assert_eq!(t1.min(t0), t0);
+        // Addition saturates at the end of representable time.
+        assert_eq!(SimTime::MAX + Duration::from_us(1.0), SimTime::MAX);
+        assert_eq!(
+            SimTime::from_ps(u64::MAX - 1) + Duration::from_ps(5),
+            SimTime::MAX
+        );
     }
 
     #[test]

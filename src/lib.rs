@@ -13,7 +13,9 @@
 //! * [`sim`] — the event-driven device model and contention timelines,
 //! * [`core`] — the cost function, policies and runtime offloading engine,
 //! * [`vectorizer`] — the compile-time loop auto-vectorization stage,
-//! * [`workloads`] — the six evaluation workload generators.
+//! * [`workloads`] — the six evaluation workload generators,
+//! * [`traffic`] — deterministic arrival-process generators, replayable
+//!   traffic traces and tenant-mix descriptors.
 
 pub use conduit as core;
 pub use conduit_ctrl as ctrl;
@@ -21,6 +23,7 @@ pub use conduit_dram as dram;
 pub use conduit_flash as flash;
 pub use conduit_ftl as ftl;
 pub use conduit_sim as sim;
+pub use conduit_traffic as traffic;
 pub use conduit_types as types;
 pub use conduit_vectorizer as vectorizer;
 pub use conduit_workloads as workloads;
