@@ -124,7 +124,11 @@ impl ThroughputReport {
         }
         let wall_seconds = t.elapsed().as_secs_f64();
 
-        // --- per-policy probe timings (jacobi-1d, one run each) -----------
+        // --- per-policy probe timings (jacobi-1d, sampled) ----------------
+        // Each policy is timed over several independent submissions so the
+        // recorded spread is real; a single-sample row would make the
+        // min/median/max fields degenerate copies of the mean.
+        const PROBE_SAMPLES: usize = 5;
         let probe = ids[Workload::ALL
             .iter()
             .position(|&w| w == Workload::Jacobi1d)
@@ -136,20 +140,24 @@ impl ThroughputReport {
             Policy::Conduit,
             Policy::Ideal,
         ] {
-            let t = Instant::now();
-            let outcome = session
-                .submit(&RunRequest::new(probe, policy))
-                .expect("simulation cannot fail");
-            let ns = t.elapsed().as_secs_f64() * 1e9;
-            black_box(outcome);
+            let mut samples_ns: Vec<f64> = Vec::with_capacity(PROBE_SAMPLES);
+            for _ in 0..PROBE_SAMPLES {
+                let t = Instant::now();
+                let outcome = session
+                    .submit(&RunRequest::new(probe, policy))
+                    .expect("simulation cannot fail");
+                samples_ns.push(t.elapsed().as_secs_f64() * 1e9);
+                black_box(outcome);
+            }
+            samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
             per_policy.push(BenchResult {
                 name: format!("jacobi1d/{policy}"),
-                samples: 1,
+                samples: samples_ns.len(),
                 batch: 1,
-                mean_ns: ns,
-                median_ns: ns,
-                min_ns: ns,
-                max_ns: ns,
+                mean_ns: samples_ns.iter().sum::<f64>() / samples_ns.len() as f64,
+                median_ns: samples_ns[samples_ns.len() / 2],
+                min_ns: samples_ns[0],
+                max_ns: *samples_ns.last().expect("at least one sample"),
             });
         }
 
@@ -296,6 +304,13 @@ mod tests {
         assert!(r.sweep_serial_seconds > 0.0);
         assert!(r.sweep_parallel_seconds > 0.0);
         assert_eq!(r.per_policy.len(), 4);
+        // The probe rows carry a real sample spread, not degenerate
+        // single-sample copies.
+        for p in &r.per_policy {
+            assert!(p.samples >= 5, "{}: only {} samples", p.name, p.samples);
+            assert!(p.min_ns <= p.median_ns && p.median_ns <= p.max_ns);
+            assert!(p.min_ns <= p.mean_ns && p.mean_ns <= p.max_ns);
+        }
         assert!(r.sim_device_ops > 0);
         assert!(r.ops_per_instruction > 0.0);
         let json = r.to_json();

@@ -16,6 +16,7 @@
 //! how much each term contributes (DESIGN.md lists these as ablation
 //! candidates).
 
+use conduit_sim::StripEstimates;
 use conduit_types::{Duration, OpType, Resource, VectorInst};
 
 use crate::policy::PolicyContext;
@@ -39,7 +40,10 @@ pub struct CostFeatures {
 }
 
 /// The cost function with its ablation switches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` lets (program, policy, cost-function) triples key the session's
+/// strip-plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CostFunction {
     /// Include the data-movement term (`latency_dm`).
     pub include_data_movement: bool,
@@ -180,6 +184,76 @@ impl CostFunction {
             })
             // Ties on data movement (e.g. everything already resident in
             // DRAM) are broken by the faster compute latency.
+            .min_by_key(|(_, dm, comp)| (*dm, *comp))
+            .map(|(r, dm, _)| (r, dm))
+    }
+
+    /// [`CostFunction::features_for`] with the per-strip hoisted estimates
+    /// substituted for the device's per-instruction estimate queries. The
+    /// hoisted table answers are bit-identical to the scalar queries (see
+    /// [`StripEstimates`]), so this computes the exact same feature vector.
+    pub fn features_from_strip(
+        &self,
+        resource: Resource,
+        op: OpType,
+        strip: &StripEstimates,
+        ctx: &PolicyContext<'_>,
+    ) -> Option<CostFeatures> {
+        let est = strip.compute_for(resource)?;
+        let dm_latency: Duration = ctx
+            .operand_locations
+            .iter()
+            .map(|&loc| strip.move_from(resource, loc))
+            .sum();
+        Some(CostFeatures {
+            resource,
+            op,
+            comp_latency: est.latency,
+            dm_latency,
+            dependence_delay: ctx.dependence_delay,
+            queue_delay: ctx.device.queue_delay(resource, ctx.now),
+        })
+    }
+
+    /// [`CostFunction::choose`] evaluated from per-strip hoisted estimates —
+    /// the same candidate set, totals, iteration order, and tie-breaking.
+    pub fn choose_from_strip(
+        &self,
+        op: OpType,
+        strip: &StripEstimates,
+        ctx: &PolicyContext<'_>,
+    ) -> Option<(Resource, Duration)> {
+        Resource::ALL
+            .iter()
+            .filter_map(|&r| {
+                self.features_from_strip(r, op, strip, ctx)
+                    .map(|f| (r, self.total_latency(&f)))
+            })
+            .min_by_key(|(_, lat)| *lat)
+    }
+
+    /// [`CostFunction::choose_ideal`] from per-strip hoisted estimates.
+    pub fn choose_ideal_from_strip(&self, strip: &StripEstimates) -> Option<(Resource, Duration)> {
+        Resource::ALL
+            .iter()
+            .filter_map(|&r| strip.compute_for(r).map(|e| (r, e.latency)))
+            .min_by_key(|(_, lat)| *lat)
+    }
+
+    /// [`CostFunction::choose_min_data_movement`] from per-strip hoisted
+    /// estimates.
+    pub fn choose_min_data_movement_from_strip(
+        &self,
+        op: OpType,
+        strip: &StripEstimates,
+        ctx: &PolicyContext<'_>,
+    ) -> Option<(Resource, Duration)> {
+        Resource::ALL
+            .iter()
+            .filter_map(|&r| {
+                self.features_from_strip(r, op, strip, ctx)
+                    .map(|f| (r, f.dm_latency, f.comp_latency))
+            })
             .min_by_key(|(_, dm, comp)| (*dm, *comp))
             .map(|(r, dm, _)| (r, dm))
     }

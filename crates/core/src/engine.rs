@@ -16,17 +16,32 @@
 //! while threading one device (its [`conduit_sim::DeviceState`]) through a
 //! stream of runs models a warm, aging SSD.
 
+use std::sync::{Mutex, OnceLock};
+
 use conduit_sim::{CostBreakdown, HostCpuModel, HostGpuModel, OpCompletion, SsdDevice};
 use conduit_types::{
     ConduitError, DataLocation, Duration, Energy, ExecutionSite, HostConfig, LogicalPageId,
-    Operand, Result, SimTime, SsdConfig, VectorInst, VectorProgram, PAGE_BYTES,
+    Operand, Resource, Result, SimTime, SsdConfig, VectorInst, VectorProgram, PAGE_BYTES,
 };
 
+use crate::batch::{Strip, StripPlan};
 use crate::cost::CostFunction;
 use crate::overhead::OverheadModel;
 use crate::policy::{Policy, PolicyContext};
 use crate::report::{EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
 use crate::transform::InstructionTransformer;
+
+/// Whether the `CONDUIT_SCALAR` environment variable forces the scalar
+/// (pre-batching) run loop. Read once per process: set it to a non-empty
+/// value other than `0` before the first run.
+fn env_forces_scalar() -> bool {
+    static FORCE: OnceLock<bool> = OnceLock::new();
+    *FORCE.get_or_init(|| {
+        std::env::var("CONDUIT_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
 
 /// Options controlling one run of the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,6 +64,11 @@ pub struct RunOptions {
     /// a die — shows up as queueing on the resource timelines, not as a
     /// flat offset).
     pub start: SimTime,
+    /// Forces the pre-batching scalar run loop (the reference
+    /// implementation the batched path is asserted bit-identical against).
+    /// Also switchable process-wide via the `CONDUIT_SCALAR` environment
+    /// variable.
+    pub force_scalar: bool,
 }
 
 impl RunOptions {
@@ -60,6 +80,7 @@ impl RunOptions {
             charge_overheads: true,
             record_timeline: true,
             start: SimTime::ZERO,
+            force_scalar: false,
         }
     }
 
@@ -88,18 +109,86 @@ impl RunOptions {
         self.record_timeline = false;
         self
     }
+
+    /// Builder-style: forces the scalar run loop for this run.
+    pub fn scalar(mut self) -> Self {
+        self.force_scalar = true;
+        self
+    }
+}
+
+/// Struct-of-arrays per-run bookkeeping, owned by the engine and reused
+/// across runs and repeats so the batched hot path performs no heap
+/// allocation. Columns are keyed by instruction index; the timeline
+/// `Vec<TimelineEntry>` is materialized from the columns only when
+/// [`RunOptions::record_timeline`] is set.
+#[derive(Debug, Default)]
+struct RunScratch {
+    /// Where each instruction's result currently lives.
+    result_site: Vec<DataLocation>,
+    /// When each instruction's result becomes available.
+    result_ready: Vec<SimTime>,
+    /// The execution site each instruction was placed on.
+    placed: Vec<ExecutionSite>,
+    /// Dispatch (issue) time per instruction.
+    issued: Vec<SimTime>,
+    /// Completion time per instruction.
+    finished: Vec<SimTime>,
+    /// Per-instruction operand staging scratch.
+    operand_locations: Vec<DataLocation>,
+    operand_first_pages: Vec<LogicalPageId>,
+    /// Inline strip-plan buffer (used when no cached plan applies).
+    strips: Vec<Strip>,
+}
+
+impl RunScratch {
+    fn reset(&mut self, n: usize, start: SimTime) {
+        self.result_site.clear();
+        self.result_site.resize(n, DataLocation::Flash);
+        self.result_ready.clear();
+        self.result_ready.resize(n, start);
+        self.placed.clear();
+        self.placed.resize(n, ExecutionSite::HostCpu);
+        self.issued.clear();
+        self.issued.resize(n, start);
+        self.finished.clear();
+        self.finished.resize(n, start);
+        self.operand_locations.clear();
+        self.operand_first_pages.clear();
+    }
 }
 
 /// The runtime offloading engine: the host models and the offloader's own
 /// bookkeeping. Stateless across runs — the device is borrowed per call
-/// ([`RuntimeEngine::prepare`], [`RuntimeEngine::run`]).
-#[derive(Debug, Clone)]
+/// ([`RuntimeEngine::prepare`], [`RuntimeEngine::run`]); the only mutable
+/// state is a pool of reusable [`RunScratch`] arenas, which never affects
+/// results.
+#[derive(Debug)]
 pub struct RuntimeEngine {
     overhead: OverheadModel,
     transformer: InstructionTransformer,
     host_cpu: HostCpuModel,
     host_gpu: HostGpuModel,
     l2p_miss_period: u64,
+    /// Reusable run arenas: popped at run start, pushed back at run end.
+    /// A pool (not a single slot) because parallel lanes share one cloned
+    /// engine per batch task and must not serialize on the scratch.
+    scratch: Mutex<Vec<RunScratch>>,
+}
+
+impl Clone for RuntimeEngine {
+    /// Clones the models; the clone starts with an empty scratch pool
+    /// (arenas are a reuse cache, not state).
+    fn clone(&self) -> Self {
+        RuntimeEngine {
+            overhead: self.overhead.clone(),
+            transformer: self.transformer.clone(),
+            host_cpu: self.host_cpu.clone(),
+            host_gpu: self.host_gpu.clone(),
+            l2p_miss_period: self.l2p_miss_period,
+            scratch: Mutex::new(Vec::new()),
+        }
+    }
 }
 
 impl RuntimeEngine {
@@ -122,6 +211,7 @@ impl RuntimeEngine {
             host_cpu: HostCpuModel::new(&host.cpu),
             host_gpu: HostGpuModel::new(&host.gpu),
             l2p_miss_period,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -175,6 +265,11 @@ impl RuntimeEngine {
     /// Executes `program` under `options` on the borrowed `device` and
     /// returns the run report.
     ///
+    /// Dispatches to the batched strip-mined loop (planning the program
+    /// inline) unless [`RunOptions::force_scalar`] or the `CONDUIT_SCALAR`
+    /// environment variable forces the scalar reference loop. Both paths
+    /// produce bit-identical reports.
+    ///
     /// # Errors
     ///
     /// Returns validation errors for malformed programs and simulation errors
@@ -185,11 +280,55 @@ impl RuntimeEngine {
         program: &VectorProgram,
         options: &RunOptions,
     ) -> Result<RunReport> {
+        self.run_with_plan(device, program, options, None)
+    }
+
+    /// [`RuntimeEngine::run`] with an optional precomputed [`StripPlan`]
+    /// (the session's plan cache). A plan computed for different options is
+    /// ignored; the program is then strip-mined inline into the engine's
+    /// reusable scratch (planning is O(n)).
+    ///
+    /// # Errors
+    ///
+    /// Returns validation errors for malformed programs and simulation errors
+    /// for device-level failures.
+    pub fn run_with_plan(
+        &self,
+        device: &mut SsdDevice,
+        program: &VectorProgram,
+        options: &RunOptions,
+        plan: Option<&StripPlan>,
+    ) -> Result<RunReport> {
         if program.is_empty() {
             return Err(ConduitError::invalid_program("program has no instructions"));
         }
         program.validate().map_err(ConduitError::invalid_program)?;
+        if options.force_scalar || env_forces_scalar() {
+            return self.run_scalar(device, program, options);
+        }
+        let mut scratch = self
+            .scratch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default();
+        let result = self.run_batched(device, program, options, plan, &mut scratch);
+        self.scratch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(scratch);
+        result
+    }
 
+    /// The pre-batching per-instruction loop, kept verbatim as the reference
+    /// implementation the batched path is differentially tested against
+    /// (`CONDUIT_SCALAR=1`, [`RunOptions::scalar`]).
+    fn run_scalar(
+        &self,
+        device: &mut SsdDevice,
+        program: &VectorProgram,
+        options: &RunOptions,
+    ) -> Result<RunReport> {
         let policy = options.policy;
         let n = program.len();
         let mut result_site: Vec<DataLocation> = vec![DataLocation::Flash; n];
@@ -431,6 +570,336 @@ impl RuntimeEngine {
                 });
             }
         }
+
+        Ok(RunReport {
+            workload: program.name().to_string(),
+            policy,
+            instructions: n,
+            total_time: finish.saturating_since(options.start),
+            energy,
+            breakdown,
+            offload_mix: mix,
+            latency,
+            timeline,
+            overhead: overhead_report,
+        })
+    }
+
+    /// The batched strip-mined run loop. Per strip of homogeneous
+    /// instructions it hoists the per-resource estimate lookups into one
+    /// [`conduit_sim::StripEstimates`] and the offloader-core occupancy into
+    /// one reservation window; per instruction it performs exactly the same
+    /// device operations (staging, execution, commit) in exactly the same
+    /// order as [`RuntimeEngine::run_scalar`], so reports, timelines and
+    /// end-of-run device state are bit-identical. Bookkeeping lives in the
+    /// reusable struct-of-arrays `scratch`, and the timeline is materialized
+    /// from the columns only when requested.
+    fn run_batched(
+        &self,
+        device: &mut SsdDevice,
+        program: &VectorProgram,
+        options: &RunOptions,
+        plan: Option<&StripPlan>,
+        scratch: &mut RunScratch,
+    ) -> Result<RunReport> {
+        let policy = options.policy;
+        let n = program.len();
+        scratch.reset(n, options.start);
+        let RunScratch {
+            result_site,
+            result_ready,
+            placed,
+            issued,
+            finished,
+            operand_locations,
+            operand_first_pages,
+            strips: strip_buf,
+        } = scratch;
+        let strips: &[Strip] = match plan {
+            Some(p) if p.matches(options) => p.strips(),
+            _ => {
+                StripPlan::plan_into(program, policy, strip_buf);
+                strip_buf
+            }
+        };
+
+        let mut offload_clock = options.start;
+        let mut host_clock = options.start;
+        let mut finish = options.start;
+
+        let mut energy = EnergySummary::default();
+        let mut breakdown = CostBreakdown::zero();
+        let mut mix = OffloadMix::default();
+        let mut latency = conduit_sim::LatencyStats::new();
+        let mut overhead_report = OverheadReport::default();
+        let mut lookups: u64 = 0;
+        let exclusive = self.overhead.transformation();
+        let insts = program.insts();
+
+        for strip in strips {
+            let first = &insts[strip.start];
+            // One table walk per strip: per-resource compute estimates and
+            // per-location static-move latencies at the strip's shape.
+            let se =
+                device.estimate_strip(first.op, first.elem_bits, first.lanes, first.vector_bytes());
+
+            // The unrealizable Ideal policy: its placement depends only on
+            // the hoisted compute estimates, so the whole strip resolves to
+            // one resource up front.
+            if policy.is_contention_free() {
+                let resource = CostFunction::conduit()
+                    .choose_ideal_from_strip(&se)
+                    .map(|(r, _)| r)
+                    .unwrap_or(Resource::Isp);
+                let site = ExecutionSite::Ssd(resource);
+                let est = se.compute_for(resource);
+                let comp_latency = est.map(|e| e.latency).unwrap_or(Duration::ZERO);
+                let comp_energy = est.map(|e| e.energy).unwrap_or(Energy::ZERO);
+                for i in 0..strip.len {
+                    let inst = &insts[strip.start + i];
+                    let issue = offload_clock;
+                    let mut dep_ready = issue;
+                    for src in &inst.srcs {
+                        if let Operand::Result(id) = src {
+                            dep_ready = dep_ready.max(result_ready[id.index()]);
+                        }
+                    }
+                    mix.record(site);
+                    let start = issue.max(dep_ready);
+                    let end = start + comp_latency;
+                    energy.compute += comp_energy;
+                    breakdown.compute += comp_latency;
+                    result_site[inst.id.index()] = resource.home_location();
+                    result_ready[inst.id.index()] = end;
+                    finish = finish.max(end);
+                    latency.record(end.saturating_since(issue));
+                    let idx = strip.start + i;
+                    placed[idx] = site;
+                    issued[idx] = issue;
+                    finished[idx] = end;
+                }
+                continue;
+            }
+
+            // One offloader-core reservation for the whole strip (exact:
+            // each instruction's exclusive window starts where the previous
+            // one ended, which is precisely how the scalar loop chains its
+            // offload clock through `offloader_busy`).
+            let window = if options.charge_overheads && policy.pays_offloader_overhead() {
+                Some(device.offloader_busy_strip(exclusive, offload_clock, strip.len as u64))
+            } else {
+                None
+            };
+
+            for i in 0..strip.len {
+                let inst = &insts[strip.start + i];
+                let issue = if policy.is_host() {
+                    host_clock
+                } else {
+                    offload_clock
+                };
+
+                // Gather operand locations and the data-dependence delay.
+                operand_locations.clear();
+                let mut dep_ready = issue;
+                for src in &inst.srcs {
+                    match src {
+                        Operand::Page(p) => operand_locations.push(device.locate(*p)),
+                        Operand::Result(id) => {
+                            operand_locations.push(result_site[id.index()]);
+                            dep_ready = dep_ready.max(result_ready[id.index()]);
+                        }
+                        Operand::Immediate(_) => {}
+                    }
+                }
+                let dependence_delay = dep_ready.saturating_since(issue);
+
+                let site = match strip.site {
+                    // Statically planned placement (pure function of the op).
+                    Some(site) => site,
+                    // Runtime-state-dependent placement, evaluated per
+                    // instruction from the hoisted strip estimates.
+                    None => {
+                        let ctx = PolicyContext {
+                            device: &*device,
+                            now: issue,
+                            operand_locations,
+                            dependence_delay,
+                        };
+                        match policy {
+                            Policy::Conduit => options
+                                .cost_function
+                                .choose_from_strip(inst.op, &se, &ctx)
+                                .map(|(r, _)| ExecutionSite::Ssd(r))
+                                .unwrap_or(ExecutionSite::Ssd(Resource::Isp)),
+                            Policy::DmOffloading => CostFunction::conduit()
+                                .choose_min_data_movement_from_strip(inst.op, &se, &ctx)
+                                .map(|(r, _)| ExecutionSite::Ssd(r))
+                                .unwrap_or(ExecutionSite::Ssd(Resource::Isp)),
+                            // BW-Offloading reads per-instruction
+                            // utilization; no estimate to hoist.
+                            _ => policy.choose_site(inst, &ctx),
+                        }
+                    }
+                };
+                mix.record(site);
+
+                // Offloader overhead: the strip's reservation already put
+                // this instruction's exclusive window on the core; charge
+                // the per-instruction accounting in scalar order.
+                let mut dispatched = issue;
+                if let Some(w) = &window {
+                    lookups += 1;
+                    let miss =
+                        self.l2p_miss_period > 0 && lookups.is_multiple_of(self.l2p_miss_period);
+                    let operands = inst.srcs.iter().filter(|s| s.needs_data()).count();
+                    let ov = self.overhead.per_instruction(operands, miss);
+                    overhead_report.record(ov);
+                    energy.compute += w.energy_each;
+                    breakdown.compute += w.step;
+                    let ready = w.first_ready + w.step * (i as u64);
+                    offload_clock = ready;
+                    dispatched = ready + ov.saturating_sub(exclusive);
+                }
+
+                let dest = match site {
+                    ExecutionSite::HostCpu | ExecutionSite::HostGpu => DataLocation::Host,
+                    ExecutionSite::Ssd(r) => r.home_location(),
+                };
+
+                // Stage the operands at the execution site.
+                let span = Self::pages_per_vector(inst);
+                let mut data_ready = dispatched.max(dep_ready);
+                let movement_earliest = data_ready;
+                operand_first_pages.clear();
+                for src in &inst.srcs {
+                    match src {
+                        Operand::Page(p) => {
+                            operand_first_pages.push(*p);
+                            for k in 0..span {
+                                let c = device.ensure_at(p.offset(k), dest, movement_earliest)?;
+                                data_ready = data_ready.max(c.ready);
+                                energy.data_movement += c.energy;
+                                breakdown.accumulate(c.breakdown);
+                            }
+                        }
+                        Operand::Result(id) => {
+                            let from = result_site[id.index()];
+                            if from != dest {
+                                let c = device.transfer_value(
+                                    from,
+                                    dest,
+                                    inst.vector_bytes(),
+                                    movement_earliest,
+                                );
+                                data_ready = data_ready.max(c.ready);
+                                energy.data_movement += c.energy;
+                                breakdown.accumulate(c.breakdown);
+                                result_site[id.index()] = dest;
+                            }
+                        }
+                        Operand::Immediate(_) => {}
+                    }
+                }
+
+                // Execute.
+                let comp = match site {
+                    ExecutionSite::Ssd(resource) => device.execute(
+                        resource,
+                        inst.op,
+                        inst.elem_bits,
+                        inst.lanes,
+                        operand_first_pages,
+                        data_ready,
+                    )?,
+                    ExecutionSite::HostCpu => {
+                        let t = self
+                            .host_cpu
+                            .compute_time(inst.op, inst.elem_bits, inst.lanes);
+                        let start = data_ready.max(host_clock);
+                        let end = start + t;
+                        host_clock = end;
+                        OpCompletion {
+                            ready: end,
+                            breakdown: CostBreakdown {
+                                compute: t,
+                                ..CostBreakdown::zero()
+                            },
+                            energy: self.host_cpu.energy(t),
+                        }
+                    }
+                    ExecutionSite::HostGpu => {
+                        let t = self
+                            .host_gpu
+                            .compute_time(inst.op, inst.elem_bits, inst.lanes);
+                        let start = data_ready.max(host_clock);
+                        let end = start + t;
+                        host_clock = end;
+                        OpCompletion {
+                            ready: end,
+                            breakdown: CostBreakdown {
+                                compute: t,
+                                ..CostBreakdown::zero()
+                            },
+                            energy: self.host_gpu.energy(t),
+                        }
+                    }
+                };
+                energy.compute += comp.energy;
+                breakdown.accumulate(comp.breakdown);
+
+                result_site[inst.id.index()] = dest;
+                result_ready[inst.id.index()] = comp.ready;
+                let mut done = comp.ready;
+
+                // Commit stored results (lazily, via the coherence
+                // directory).
+                if let Some(dst) = inst.dst_page {
+                    for k in 0..span {
+                        let page = dst.offset(k);
+                        if dest == DataLocation::Host {
+                            let link = device.host_transfer(PAGE_BYTES, false, comp.ready);
+                            energy.data_movement += link.energy;
+                            breakdown.accumulate(link.breakdown);
+                            let wb =
+                                device.record_result_write(page, DataLocation::Host, link.ready)?;
+                            done = done.max(wb.ready);
+                            energy.data_movement += wb.energy;
+                            breakdown.accumulate(wb.breakdown);
+                        } else {
+                            let wb = device.record_result_write(page, dest, comp.ready)?;
+                            done = done.max(wb.ready);
+                            energy.data_movement += wb.energy;
+                            breakdown.accumulate(wb.breakdown);
+                        }
+                    }
+                }
+
+                finish = finish.max(done);
+                latency.record(done.saturating_since(issue));
+                let idx = strip.start + i;
+                placed[idx] = site;
+                issued[idx] = issue;
+                finished[idx] = done;
+            }
+        }
+
+        // Materialize the timeline from the scratch columns on demand.
+        let timeline = if options.record_timeline {
+            insts
+                .iter()
+                .enumerate()
+                .map(|(i, inst)| TimelineEntry {
+                    inst: inst.id,
+                    op: inst.op,
+                    site: placed[i],
+                    dispatched: issued[i],
+                    completed: finished[i],
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         Ok(RunReport {
             workload: program.name().to_string(),

@@ -62,6 +62,7 @@
 //! # Ok::<(), conduit_types::ConduitError>(())
 //! ```
 
+mod batch;
 mod cost;
 mod engine;
 mod overhead;
@@ -71,6 +72,7 @@ mod report;
 mod session;
 mod transform;
 
+pub use batch::{Strip, StripPlan};
 pub use cost::{CostFeatures, CostFunction};
 pub use engine::{RunOptions, RuntimeEngine};
 pub use overhead::{OverheadModel, StorageOverhead};

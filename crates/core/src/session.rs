@@ -103,6 +103,7 @@ use conduit_types::{
     VectorProgram,
 };
 
+use crate::batch::StripPlan;
 use crate::cost::CostFunction;
 use crate::engine::{RunOptions, RuntimeEngine};
 use crate::policy::Policy;
@@ -399,6 +400,8 @@ pub struct RunRequest {
     /// The request's arrival on the batch timeline ([`SimTime::ZERO`] = the
     /// instant the batch is submitted, i.e. closed-loop).
     arrival: SimTime,
+    /// Forces the engine's scalar (pre-batching) run loop.
+    force_scalar: bool,
 }
 
 impl RunRequest {
@@ -430,7 +433,18 @@ impl RunRequest {
             percentiles: DEFAULT_PERCENTILES.to_vec(),
             device: None,
             arrival: SimTime::ZERO,
+            force_scalar: false,
         }
+    }
+
+    /// Builder-style: forces the engine's scalar (pre-batching) run loop —
+    /// the reference implementation the batched path is differentially
+    /// tested against. Results are bit-identical either way; the knob
+    /// exists for verification and debugging (`CONDUIT_SCALAR=1` is the
+    /// process-wide equivalent).
+    pub fn scalar(mut self) -> Self {
+        self.force_scalar = true;
+        self
     }
 
     /// Builder-style: replaces the cost function (for ablations).
@@ -554,6 +568,9 @@ impl RunRequest {
         }
         if !self.collect_timeline {
             options = options.without_timeline();
+        }
+        if self.force_scalar {
+            options = options.scalar();
         }
         options
     }
@@ -698,6 +715,9 @@ struct RunPlan {
     mode: PlanMode,
     /// Arrival offset on the batch timeline ([`RunRequest::arriving_at`]).
     arrival: Duration,
+    /// The cached strip decomposition for registered programs (see
+    /// [`StripPlan`]); inline programs plan on the fly in the engine.
+    strip_plan: Option<Arc<StripPlan>>,
 }
 
 /// Shared state of one in-flight batch, shipped to pool workers.
@@ -801,7 +821,12 @@ fn execute_fresh(
         // device restarts the session's fault plan from its seed.
         let mut device = SsdDevice::with_faults(ssd, faults)?;
         engine.prepare(&mut device, &plan.program)?;
-        report = Some(engine.run(&mut device, &plan.program, &options)?);
+        report = Some(engine.run_with_plan(
+            &mut device,
+            &plan.program,
+            &options,
+            plan.strip_plan.as_deref(),
+        )?);
         delta.accumulate(device.snapshot().delta_since(&pristine));
     }
     let report = report.expect("repeats is clamped to at least one");
@@ -852,7 +877,9 @@ fn execute_on_lane(
         // mapped; only genuinely new pages get placed.
         report = engine
             .prepare(device, &plan.program)
-            .and_then(|()| engine.run(device, &plan.program, &options))
+            .and_then(|()| {
+                engine.run_with_plan(device, &plan.program, &options, plan.strip_plan.as_deref())
+            })
             .map(Some);
         match &report {
             Ok(Some(run)) => lane.clock = start + run.total_time,
@@ -945,6 +972,7 @@ impl SessionBuilder {
             pool: OnceLock::new(),
             devices: Vec::new(),
             engine: OnceLock::new(),
+            plan_cache: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -997,6 +1025,11 @@ pub struct Session {
     /// The engine is stateless and a pure function of the configs; built
     /// once on first use.
     engine: OnceLock<RuntimeEngine>,
+    /// Strip plans for registered programs, keyed by (program, policy,
+    /// cost-function) so each program is planned once per configuration,
+    /// not once per run. The registry is append-only and content-addressed,
+    /// so cached plans never need invalidation.
+    plan_cache: Mutex<HashMap<(ProgramId, Policy, CostFunction), Arc<StripPlan>>>,
 }
 
 impl Session {
@@ -1303,16 +1336,35 @@ impl Session {
     // ------------------------------------------------------------------
 
     fn plan(&self, request: &RunRequest) -> Result<RunPlan> {
-        let program = match &request.source {
+        let (program, registered) = match &request.source {
             ProgramSource::Registered(id) => {
-                Arc::clone(self.registry.get(*id).ok_or_else(|| {
+                let program = Arc::clone(self.registry.get(*id).ok_or_else(|| {
                     ConduitError::invalid_program(format!(
                         "program {id} is not registered in this session"
                     ))
-                })?)
+                })?);
+                (program, Some(*id))
             }
-            ProgramSource::Inline(program) => Arc::clone(program),
+            ProgramSource::Inline(program) => (Arc::clone(program), None),
         };
+        // Registered programs strip-mine once per (program, policy,
+        // cost-function); inline one-shots plan on the fly in the engine.
+        let strip_plan = registered.map(|id| {
+            let key = (id, request.policy, request.cost_function);
+            Arc::clone(
+                self.plan_cache
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .entry(key)
+                    .or_insert_with(|| {
+                        Arc::new(StripPlan::plan(
+                            &program,
+                            request.policy,
+                            request.cost_function,
+                        ))
+                    }),
+            )
+        });
         let mode = match request.device {
             None => PlanMode::Fresh,
             Some(handle) => {
@@ -1332,6 +1384,7 @@ impl Session {
             percentiles: request.percentiles.clone(),
             mode,
             arrival: request.arrival.saturating_since(SimTime::ZERO),
+            strip_plan,
         })
     }
 

@@ -5,6 +5,17 @@
 //! data awaiting garbage collection; and, for every block, how many times it
 //! has been erased (for wear-leveling) and whether it has been retired as a
 //! bad block.
+//!
+//! The array is stored **struct-of-arrays**: one flat byte per page state
+//! and one flat column per block attribute (erase count, write pointer,
+//! bad flag, invalid-page count). A pristine array is all zeroes, so
+//! construction is a handful of zeroed allocations the OS can serve from
+//! untouched virtual pages — building a paper-scale device (hundreds of
+//! thousands of blocks) costs microseconds instead of milliseconds, which
+//! matters because fresh-run benchmarks construct one device per repeat.
+//! Aggregates the hot paths ask for on every operation (`page_totals`,
+//! per-block page counts, wear statistics) are maintained incrementally and
+//! answered in O(1) instead of rescanning the array.
 
 use crate::geometry::FlashGeometry;
 use conduit_types::bytes::{put_u32, put_u64, Reader};
@@ -22,27 +33,31 @@ pub enum PageState {
     Invalid,
 }
 
-/// Per-block bookkeeping: page states, erase count, and bad-block flag.
-#[derive(Debug, Clone, PartialEq, Eq)]
+const PAGE_FREE: u8 = 0;
+const PAGE_VALID: u8 = 1;
+const PAGE_INVALID: u8 = 2;
+
+fn decode_page(code: u8) -> PageState {
+    match code {
+        PAGE_VALID => PageState::Valid,
+        PAGE_INVALID => PageState::Invalid,
+        _ => PageState::Free,
+    }
+}
+
+/// A by-value view of one block's bookkeeping: erase count, bad flag, write
+/// pointer and page counts. Cheap to copy; reading one costs four array
+/// loads from the struct-of-arrays columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockInfo {
-    pages: Vec<PageState>,
     erase_count: u64,
     bad: bool,
-    /// Index of the next page that has never been written since the last
-    /// erase (flash blocks must be programmed sequentially).
     write_pointer: u32,
+    pages_per_block: u32,
+    invalid: u32,
 }
 
 impl BlockInfo {
-    fn new(pages_per_block: u32) -> Self {
-        BlockInfo {
-            pages: vec![PageState::Free; pages_per_block as usize],
-            erase_count: 0,
-            bad: false,
-            write_pointer: 0,
-        }
-    }
-
     /// Number of times this block has been erased.
     pub fn erase_count(&self) -> u64 {
         self.erase_count
@@ -54,23 +69,20 @@ impl BlockInfo {
     }
 
     /// Number of pages in each state: `(free, valid, invalid)`.
+    ///
+    /// Flash programs sequentially, so every page below the write pointer is
+    /// `Valid` or `Invalid` and every page at or above it is `Free`; the
+    /// counts fall out of the write pointer and the maintained invalid
+    /// count without touching the page array.
     pub fn page_counts(&self) -> (u32, u32, u32) {
-        let mut free = 0;
-        let mut valid = 0;
-        let mut invalid = 0;
-        for p in &self.pages {
-            match p {
-                PageState::Free => free += 1,
-                PageState::Valid => valid += 1,
-                PageState::Invalid => invalid += 1,
-            }
-        }
-        (free, valid, invalid)
+        let free = self.pages_per_block - self.write_pointer;
+        let valid = self.write_pointer - self.invalid;
+        (free, valid, self.invalid)
     }
 
     /// The next programmable page index, if the block is not full.
     pub fn next_free_page(&self) -> Option<u32> {
-        if self.bad || self.write_pointer as usize >= self.pages.len() {
+        if self.bad || self.write_pointer >= self.pages_per_block {
             None
         } else {
             Some(self.write_pointer)
@@ -96,17 +108,49 @@ impl BlockInfo {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlashState {
     geometry: FlashGeometry,
-    blocks: Vec<BlockInfo>,
+    pages_per_block: u32,
+    /// One code per physical page (`PAGE_FREE`/`PAGE_VALID`/`PAGE_INVALID`),
+    /// indexed `block * pages_per_block + page`.
+    page_states: Vec<u8>,
+    /// Per-block erase counts.
+    erase_counts: Vec<u64>,
+    /// Per-block next sequential program target.
+    write_pointers: Vec<u32>,
+    /// Per-block bad flag (0/1).
+    bad: Vec<u8>,
+    /// Per-block count of invalid pages (GC victim selection).
+    invalid_counts: Vec<u32>,
+    /// Array-wide running totals, maintained on every transition.
+    valid_pages: u64,
+    invalid_pages: u64,
+    total_erases: u64,
+    max_erases: u64,
+    /// Number of blocks with a non-zero erase count (the wear minimum is
+    /// zero until every block has been erased at least once).
+    erased_blocks: u64,
 }
 
 impl FlashState {
-    /// Creates a fully-erased flash array.
+    /// Creates a fully-erased flash array. All columns start zeroed, so
+    /// this performs no per-block work.
     pub fn new(cfg: &FlashConfig) -> Self {
         let geometry = FlashGeometry::new(cfg);
-        let blocks = (0..geometry.total_blocks())
-            .map(|_| BlockInfo::new(cfg.pages_per_block))
-            .collect();
-        FlashState { geometry, blocks }
+        let blocks = geometry.total_blocks() as usize;
+        let pages = blocks * cfg.pages_per_block as usize;
+        FlashState {
+            geometry,
+            pages_per_block: cfg.pages_per_block,
+            page_states: vec![0u8; pages],
+            erase_counts: vec![0u64; blocks],
+            write_pointers: vec![0u32; blocks],
+            bad: vec![0u8; blocks],
+            invalid_counts: vec![0u32; blocks],
+            valid_pages: 0,
+            invalid_pages: 0,
+            total_erases: 0,
+            max_erases: 0,
+            erased_blocks: 0,
+        }
     }
 
     /// The flash geometry.
@@ -115,24 +159,35 @@ impl FlashState {
     }
 
     /// Block bookkeeping for the block containing `addr`.
-    pub fn block(&self, addr: PhysicalPageAddr) -> &BlockInfo {
-        &self.blocks[self.geometry.block_index_of(addr) as usize]
+    pub fn block(&self, addr: PhysicalPageAddr) -> BlockInfo {
+        self.block_by_index(self.geometry.block_index_of(addr))
     }
 
     /// Block bookkeeping by flat block index.
-    pub fn block_by_index(&self, block_index: u64) -> &BlockInfo {
-        &self.blocks[block_index as usize]
+    pub fn block_by_index(&self, block_index: u64) -> BlockInfo {
+        let b = block_index as usize;
+        BlockInfo {
+            erase_count: self.erase_counts[b],
+            bad: self.bad[b] != 0,
+            write_pointer: self.write_pointers[b],
+            pages_per_block: self.pages_per_block,
+            invalid: self.invalid_counts[b],
+        }
     }
 
     /// Total number of blocks.
     pub fn total_blocks(&self) -> u64 {
-        self.blocks.len() as u64
+        self.erase_counts.len() as u64
+    }
+
+    fn page_index(&self, addr: PhysicalPageAddr) -> usize {
+        self.geometry.block_index_of(addr) as usize * self.pages_per_block as usize
+            + addr.page as usize
     }
 
     /// The state of a single physical page.
     pub fn page_state(&self, addr: PhysicalPageAddr) -> PageState {
-        let block = self.block(addr);
-        block.pages[addr.page as usize]
+        decode_page(self.page_states[self.page_index(addr)])
     }
 
     /// Marks a page as programmed with valid data.
@@ -143,26 +198,27 @@ impl FlashState {
     /// the block's next sequential page, or the block is bad — all of which
     /// indicate an FTL bug.
     pub fn program(&mut self, addr: PhysicalPageAddr) -> Result<()> {
-        let idx = self.geometry.block_index_of(addr) as usize;
-        let block = &mut self.blocks[idx];
-        if block.bad {
+        let b = self.geometry.block_index_of(addr) as usize;
+        if self.bad[b] != 0 {
             return Err(ConduitError::simulation(format!(
                 "program to bad block at {addr}"
             )));
         }
-        if block.pages[addr.page as usize] != PageState::Free {
+        let idx = b * self.pages_per_block as usize + addr.page as usize;
+        if self.page_states[idx] != PAGE_FREE {
             return Err(ConduitError::simulation(format!(
                 "program to non-free page at {addr}"
             )));
         }
-        if block.write_pointer != addr.page as u32 {
+        if self.write_pointers[b] != addr.page as u32 {
             return Err(ConduitError::simulation(format!(
                 "out-of-order program at {addr} (write pointer {})",
-                block.write_pointer
+                self.write_pointers[b]
             )));
         }
-        block.pages[addr.page as usize] = PageState::Valid;
-        block.write_pointer += 1;
+        self.page_states[idx] = PAGE_VALID;
+        self.write_pointers[b] += 1;
+        self.valid_pages += 1;
         Ok(())
     }
 
@@ -172,14 +228,17 @@ impl FlashState {
     ///
     /// Returns [`ConduitError::Simulation`] if the page is not valid.
     pub fn invalidate(&mut self, addr: PhysicalPageAddr) -> Result<()> {
-        let idx = self.geometry.block_index_of(addr) as usize;
-        let block = &mut self.blocks[idx];
-        if block.pages[addr.page as usize] != PageState::Valid {
+        let b = self.geometry.block_index_of(addr) as usize;
+        let idx = b * self.pages_per_block as usize + addr.page as usize;
+        if self.page_states[idx] != PAGE_VALID {
             return Err(ConduitError::simulation(format!(
                 "invalidate of non-valid page at {addr}"
             )));
         }
-        block.pages[addr.page as usize] = PageState::Invalid;
+        self.page_states[idx] = PAGE_INVALID;
+        self.valid_pages -= 1;
+        self.invalid_pages += 1;
+        self.invalid_counts[b] += 1;
         Ok(())
     }
 
@@ -190,38 +249,63 @@ impl FlashState {
     /// Returns [`ConduitError::Simulation`] if the block still contains
     /// valid pages (the FTL must relocate them first) or is bad.
     pub fn erase_block(&mut self, block_index: u64) -> Result<()> {
-        let block = &mut self.blocks[block_index as usize];
-        if block.bad {
+        let b = block_index as usize;
+        if self.bad[b] != 0 {
             return Err(ConduitError::simulation("erase of bad block"));
         }
-        if block.pages.contains(&PageState::Valid) {
+        let written = self.write_pointers[b];
+        // Every page below the write pointer is Valid or Invalid; pages at
+        // or beyond it are Free. A block still holding valid pages must be
+        // collected first.
+        if written > self.invalid_counts[b] {
             return Err(ConduitError::simulation(
                 "erase of block that still holds valid pages",
             ));
         }
-        for p in &mut block.pages {
-            *p = PageState::Free;
+        let base = b * self.pages_per_block as usize;
+        self.page_states[base..base + written as usize].fill(PAGE_FREE);
+        self.invalid_pages -= self.invalid_counts[b] as u64;
+        self.invalid_counts[b] = 0;
+        self.write_pointers[b] = 0;
+        if self.erase_counts[b] == 0 {
+            self.erased_blocks += 1;
         }
-        block.erase_count += 1;
-        block.write_pointer = 0;
+        self.erase_counts[b] += 1;
+        self.total_erases += 1;
+        self.max_erases = self.max_erases.max(self.erase_counts[b]);
         Ok(())
     }
 
     /// Retires a block as bad. Its pages become unusable.
     pub fn mark_bad(&mut self, block_index: u64) {
-        self.blocks[block_index as usize].bad = true;
+        self.bad[block_index as usize] = 1;
     }
 
     /// Totals across the whole array: `(free, valid, invalid)` pages.
+    /// Maintained incrementally, so this is O(1) — it sits on the garbage
+    /// collector's should-run check, which runs on every rewrite.
     pub fn page_totals(&self) -> (u64, u64, u64) {
-        let mut totals = (0u64, 0u64, 0u64);
-        for b in &self.blocks {
-            let (f, v, i) = b.page_counts();
-            totals.0 += f as u64;
-            totals.1 += v as u64;
-            totals.2 += i as u64;
+        let total = self.page_states.len() as u64;
+        let free = total - self.valid_pages - self.invalid_pages;
+        (free, self.valid_pages, self.invalid_pages)
+    }
+
+    /// The block (if any) with the most invalid pages, ties broken by the
+    /// lowest index — the garbage collector's victim-selection rule,
+    /// answered from the per-block invalid column without touching page
+    /// states.
+    pub fn most_invalid_block(&self) -> Option<u64> {
+        let mut best: Option<(u64, u32)> = None;
+        for (b, &invalid) in self.invalid_counts.iter().enumerate() {
+            if invalid == 0 || self.bad[b] != 0 {
+                continue;
+            }
+            match best {
+                Some((_, best_invalid)) if invalid <= best_invalid => {}
+                _ => best = Some((b as u64, invalid)),
+            }
         }
-        totals
+        best.map(|(b, _)| b)
     }
 
     /// Appends this array's mutable state (per-block erase counts, bad
@@ -229,39 +313,40 @@ impl FlashState {
     /// little-endian checkpoint layout. The geometry is *not* stored — it is
     /// a pure function of the [`FlashConfig`] the decoder is given.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
-        put_u64(out, self.blocks.len() as u64);
-        for block in &self.blocks {
-            put_u64(out, block.erase_count);
-            out.push(u8::from(block.bad));
-            put_u32(out, block.write_pointer);
+        let blocks = self.erase_counts.len();
+        put_u64(out, blocks as u64);
+        let ppb = self.pages_per_block as usize;
+        for b in 0..blocks {
+            put_u64(out, self.erase_counts[b]);
+            out.push(self.bad[b]);
+            put_u32(out, self.write_pointers[b]);
             // Page states packed four to a byte (Free=0, Valid=1, Invalid=2).
-            let mut acc = 0u8;
-            let mut filled = 0u8;
-            for page in &block.pages {
-                let code = match page {
-                    PageState::Free => 0u8,
-                    PageState::Valid => 1,
-                    PageState::Invalid => 2,
-                };
-                acc |= code << (2 * filled);
-                filled += 1;
-                if filled == 4 {
-                    out.push(acc);
-                    acc = 0;
-                    filled = 0;
-                }
-            }
-            if filled > 0 {
+            Self::pack_pages(&self.page_states[b * ppb..(b + 1) * ppb], out);
+        }
+    }
+
+    fn pack_pages(codes: &[u8], out: &mut Vec<u8>) {
+        let mut acc = 0u8;
+        let mut filled = 0u8;
+        for &code in codes {
+            acc |= code << (2 * filled);
+            filled += 1;
+            if filled == 4 {
                 out.push(acc);
+                acc = 0;
+                filled = 0;
             }
+        }
+        if filled > 0 {
+            out.push(acc);
         }
     }
 
     /// Whether a block is indistinguishable from a factory-fresh one:
     /// never programmed, never erased, not retired. Such blocks carry no
     /// information and are skipped by the sparse encoding.
-    fn block_is_pristine(block: &BlockInfo) -> bool {
-        block.erase_count == 0 && !block.bad && block.write_pointer == 0
+    fn block_is_pristine(&self, b: usize) -> bool {
+        self.erase_counts[b] == 0 && self.bad[b] == 0 && self.write_pointers[b] == 0
     }
 
     /// Appends a **delta-against-pristine** image of the array: only
@@ -273,44 +358,58 @@ impl FlashState {
     /// array size, while a fully-written device costs the same as the dense
     /// [`FlashState::encode_into`] layout plus one index per block.
     pub fn encode_sparse_into(&self, out: &mut Vec<u8>) {
-        put_u64(out, self.blocks.len() as u64);
-        let touched = self
-            .blocks
-            .iter()
-            .filter(|b| !Self::block_is_pristine(b))
-            .count();
+        let blocks = self.erase_counts.len();
+        put_u64(out, blocks as u64);
+        let touched = (0..blocks).filter(|&b| !self.block_is_pristine(b)).count();
         put_u64(out, touched as u64);
-        for (index, block) in self.blocks.iter().enumerate() {
-            if Self::block_is_pristine(block) {
+        let ppb = self.pages_per_block as usize;
+        for b in 0..blocks {
+            if self.block_is_pristine(b) {
                 continue;
             }
-            put_u64(out, index as u64);
-            put_u64(out, block.erase_count);
-            out.push(u8::from(block.bad));
-            put_u32(out, block.write_pointer);
-            let written = block.write_pointer as usize;
+            put_u64(out, b as u64);
+            put_u64(out, self.erase_counts[b]);
+            out.push(self.bad[b]);
+            put_u32(out, self.write_pointers[b]);
+            let written = self.write_pointers[b] as usize;
             debug_assert!(
-                block.pages[written..].iter().all(|p| *p == PageState::Free),
+                self.page_states[b * ppb + written..(b + 1) * ppb]
+                    .iter()
+                    .all(|&p| p == PAGE_FREE),
                 "pages beyond the write pointer must be Free"
             );
-            let mut acc = 0u8;
-            let mut filled = 0u8;
-            for page in &block.pages[..written] {
-                let code = match page {
-                    PageState::Free => 0u8,
-                    PageState::Valid => 1,
-                    PageState::Invalid => 2,
-                };
-                acc |= code << (2 * filled);
-                filled += 1;
-                if filled == 4 {
-                    out.push(acc);
-                    acc = 0;
-                    filled = 0;
+            Self::pack_pages(&self.page_states[b * ppb..b * ppb + written], out);
+        }
+    }
+
+    /// Rebuilds the O(1) aggregate columns (page totals, per-block invalid
+    /// counts, wear totals) from the freshly decoded raw columns.
+    fn rebuild_aggregates(&mut self) {
+        let ppb = self.pages_per_block as usize;
+        self.valid_pages = 0;
+        self.invalid_pages = 0;
+        self.total_erases = 0;
+        self.max_erases = 0;
+        self.erased_blocks = 0;
+        for b in 0..self.erase_counts.len() {
+            let written = self.write_pointers[b] as usize;
+            let mut invalid = 0u32;
+            let mut valid = 0u32;
+            for &code in &self.page_states[b * ppb..b * ppb + written] {
+                match code {
+                    PAGE_VALID => valid += 1,
+                    PAGE_INVALID => invalid += 1,
+                    _ => {}
                 }
             }
-            if filled > 0 {
-                out.push(acc);
+            self.invalid_counts[b] = invalid;
+            self.valid_pages += valid as u64;
+            self.invalid_pages += invalid as u64;
+            let erases = self.erase_counts[b];
+            self.total_erases += erases;
+            self.max_erases = self.max_erases.max(erases);
+            if erases > 0 {
+                self.erased_blocks += 1;
             }
         }
     }
@@ -328,10 +427,10 @@ impl FlashState {
     pub fn decode_sparse_from(cfg: &FlashConfig, r: &mut Reader<'_>) -> Result<Self> {
         let mut state = FlashState::new(cfg);
         let total = r.u64()? as usize;
-        if total != state.blocks.len() {
+        if total != state.erase_counts.len() {
             return Err(ConduitError::corrupt_checkpoint(format!(
                 "flash checkpoint has {total} blocks but the configuration describes {}",
-                state.blocks.len()
+                state.erase_counts.len()
             )));
         }
         let touched = r.u64()? as usize;
@@ -355,38 +454,37 @@ impl FlashState {
                 ));
             }
             prev_index = Some(index);
-            let block = &mut state.blocks[index as usize];
-            block.erase_count = r.counter()?;
-            block.bad = match r.u8()? {
-                0 => false,
-                1 => true,
+            let b = index as usize;
+            state.erase_counts[b] = r.counter()?;
+            state.bad[b] = match r.u8()? {
+                0 => 0,
+                1 => 1,
                 v => {
                     return Err(ConduitError::corrupt_checkpoint(format!(
                         "unknown bad-block flag {v}"
                     )))
                 }
             };
-            block.write_pointer = r.u32()?;
-            let written = block.write_pointer as usize;
+            state.write_pointers[b] = r.u32()?;
+            let written = state.write_pointers[b] as usize;
             if written > pages_per_block {
                 return Err(ConduitError::corrupt_checkpoint(
                     "write pointer beyond block size",
                 ));
             }
             let packed = r.take(written.div_ceil(4))?;
-            for (i, page) in block.pages[..written].iter_mut().enumerate() {
-                *page = match (packed[i / 4] >> (2 * (i % 4))) & 0b11 {
-                    0 => PageState::Free,
-                    1 => PageState::Valid,
-                    2 => PageState::Invalid,
-                    code => {
-                        return Err(ConduitError::corrupt_checkpoint(format!(
-                            "unknown page-state code {code}"
-                        )))
-                    }
-                };
+            let base = b * pages_per_block;
+            for i in 0..written {
+                let code = (packed[i / 4] >> (2 * (i % 4))) & 0b11;
+                if code > PAGE_INVALID {
+                    return Err(ConduitError::corrupt_checkpoint(format!(
+                        "unknown page-state code {code}"
+                    )));
+                }
+                state.page_states[base + i] = code;
             }
         }
+        state.rebuild_aggregates();
         Ok(state)
     }
 
@@ -405,64 +503,69 @@ impl FlashState {
     pub fn decode_from(cfg: &FlashConfig, r: &mut Reader<'_>) -> Result<Self> {
         let mut state = FlashState::new(cfg);
         let count = r.u64()? as usize;
-        if count != state.blocks.len() {
+        if count != state.erase_counts.len() {
             return Err(ConduitError::corrupt_checkpoint(format!(
                 "flash checkpoint has {count} blocks but the configuration describes {}",
-                state.blocks.len()
+                state.erase_counts.len()
             )));
         }
         let pages_per_block = cfg.pages_per_block as usize;
         let packed_len = pages_per_block.div_ceil(4);
-        for block in &mut state.blocks {
-            block.erase_count = r.counter()?;
-            block.bad = match r.u8()? {
-                0 => false,
-                1 => true,
+        for b in 0..count {
+            state.erase_counts[b] = r.counter()?;
+            state.bad[b] = match r.u8()? {
+                0 => 0,
+                1 => 1,
                 v => {
                     return Err(ConduitError::corrupt_checkpoint(format!(
                         "unknown bad-block flag {v}"
                     )))
                 }
             };
-            block.write_pointer = r.u32()?;
-            if block.write_pointer as usize > pages_per_block {
+            state.write_pointers[b] = r.u32()?;
+            if state.write_pointers[b] as usize > pages_per_block {
                 return Err(ConduitError::corrupt_checkpoint(
                     "write pointer beyond block size",
                 ));
             }
             let packed = r.take(packed_len)?;
-            for (i, page) in block.pages.iter_mut().enumerate() {
-                *page = match (packed[i / 4] >> (2 * (i % 4))) & 0b11 {
-                    0 => PageState::Free,
-                    1 => PageState::Valid,
-                    2 => PageState::Invalid,
-                    code => {
-                        return Err(ConduitError::corrupt_checkpoint(format!(
-                            "unknown page-state code {code}"
-                        )))
-                    }
-                };
-                if i >= block.write_pointer as usize && *page != PageState::Free {
+            let base = b * pages_per_block;
+            for i in 0..pages_per_block {
+                let code = (packed[i / 4] >> (2 * (i % 4))) & 0b11;
+                if code > PAGE_INVALID {
+                    return Err(ConduitError::corrupt_checkpoint(format!(
+                        "unknown page-state code {code}"
+                    )));
+                }
+                if i >= state.write_pointers[b] as usize && code != PAGE_FREE {
                     return Err(ConduitError::corrupt_checkpoint(
                         "programmed page at or beyond the block's write pointer",
                     ));
                 }
+                state.page_states[base + i] = code;
             }
         }
+        state.rebuild_aggregates();
         Ok(state)
     }
 
     /// Wear statistics across blocks: `(min, max, mean)` erase counts.
+    /// Answered from the maintained totals — the minimum is zero until
+    /// every block has been erased at least once, which only a pathological
+    /// workload reaches (and then it pays one scan).
     pub fn wear_stats(&self) -> (u64, u64, f64) {
-        let counts: Vec<u64> = self.blocks.iter().map(|b| b.erase_count).collect();
-        let min = counts.iter().copied().min().unwrap_or(0);
-        let max = counts.iter().copied().max().unwrap_or(0);
-        let mean = if counts.is_empty() {
+        let blocks = self.erase_counts.len() as u64;
+        let min = if self.erased_blocks < blocks {
+            0
+        } else {
+            self.erase_counts.iter().copied().min().unwrap_or(0)
+        };
+        let mean = if blocks == 0 {
             0.0
         } else {
-            counts.iter().sum::<u64>() as f64 / counts.len() as f64
+            self.total_erases as f64 / blocks as f64
         };
-        (min, max, mean)
+        (min, self.max_erases, mean)
     }
 }
 
@@ -552,6 +655,70 @@ mod tests {
         assert_eq!(min, 0);
         assert_eq!(max, 2);
         assert!(mean > 0.0);
+    }
+
+    #[test]
+    fn wear_minimum_appears_once_every_block_has_been_erased() {
+        let cfg = SsdConfig::small_for_tests().flash;
+        let mut s = FlashState::new(&cfg);
+        for b in 0..s.total_blocks() {
+            s.erase_block(b).unwrap();
+        }
+        s.erase_block(0).unwrap();
+        let (min, max, mean) = s.wear_stats();
+        assert_eq!(min, 1);
+        assert_eq!(max, 2);
+        assert!(mean > 1.0);
+    }
+
+    #[test]
+    fn aggregates_match_a_page_scan() {
+        // The O(1) totals must agree with brute-force recounting after a
+        // mixed program/invalidate/erase history.
+        let cfg = SsdConfig::small_for_tests().flash;
+        let mut s = FlashState::new(&cfg);
+        for i in 0..12 {
+            s.program(s.geometry().addr_of(i)).unwrap();
+        }
+        for i in [0u64, 2, 4, 5] {
+            s.invalidate(s.geometry().addr_of(i)).unwrap();
+        }
+        let mut free = 0u64;
+        let mut valid = 0u64;
+        let mut invalid = 0u64;
+        for p in 0..s.geometry().total_pages() {
+            match s.page_state(s.geometry().addr_of(p)) {
+                PageState::Free => free += 1,
+                PageState::Valid => valid += 1,
+                PageState::Invalid => invalid += 1,
+            }
+        }
+        assert_eq!(s.page_totals(), (free, valid, invalid));
+        let b0 = s.block_by_index(0);
+        let (bf, bv, bi) = b0.page_counts();
+        assert_eq!(bf + bv + bi, cfg.pages_per_block);
+    }
+
+    #[test]
+    fn most_invalid_block_follows_the_invalid_column() {
+        let cfg = SsdConfig::small_for_tests().flash;
+        let mut s = FlashState::new(&cfg);
+        assert_eq!(s.most_invalid_block(), None);
+        let ppb = cfg.pages_per_block as u64;
+        // Block 0: one invalid page; block 1: two invalid pages.
+        for i in 0..3 {
+            s.program(s.geometry().addr_of(i)).unwrap();
+        }
+        for i in ppb..ppb + 2 {
+            s.program(s.geometry().addr_of(i)).unwrap();
+        }
+        s.invalidate(s.geometry().addr_of(0)).unwrap();
+        s.invalidate(s.geometry().addr_of(ppb)).unwrap();
+        s.invalidate(s.geometry().addr_of(ppb + 1)).unwrap();
+        assert_eq!(s.most_invalid_block(), Some(1));
+        // Bad blocks are never victims.
+        s.mark_bad(1);
+        assert_eq!(s.most_invalid_block(), Some(0));
     }
 
     #[test]

@@ -90,27 +90,14 @@ impl GarbageCollector {
 
     /// Selects the victim block with the most invalid pages (ties broken by
     /// the lowest block index). Returns `None` if no block has any invalid
-    /// page.
+    /// page. Answered from the flash array's maintained per-block invalid
+    /// column, so this is one pass over blocks, not pages.
     pub fn select_victim(&mut self, state: &FlashState) -> Option<u64> {
-        let mut best: Option<(u64, u32)> = None;
-        for block in 0..state.total_blocks() {
-            let info = state.block_by_index(block);
-            if info.is_bad() {
-                continue;
-            }
-            let (_, _, invalid) = info.page_counts();
-            if invalid == 0 {
-                continue;
-            }
-            match best {
-                Some((_, best_invalid)) if invalid <= best_invalid => {}
-                _ => best = Some((block, invalid)),
-            }
-        }
+        let best = state.most_invalid_block();
         if best.is_some() {
             self.invocations += 1;
         }
-        best.map(|(block, _)| block)
+        best
     }
 }
 

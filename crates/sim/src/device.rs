@@ -30,7 +30,7 @@ use conduit_types::{
 };
 
 use crate::energy::EnergyMeter;
-use crate::estimates::EstimateTable;
+use crate::estimates::{EstimateTable, StripEstimates};
 use crate::state::{DeviceSnapshot, DeviceState, HOST_CACHE_PAGES};
 use crate::stats::CostBreakdown;
 
@@ -43,6 +43,19 @@ pub struct OpCompletion {
     pub breakdown: CostBreakdown,
     /// Energy consumed.
     pub energy: Energy,
+}
+
+/// One strip-wide offloader-core reservation (see
+/// [`SsdDevice::offloader_busy_strip`]): the strip's instruction `i`
+/// finishes its exclusive transformation window at `first_ready + step * i`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StripWindow {
+    /// When the strip's first instruction leaves the offloader core.
+    pub first_ready: SimTime,
+    /// Per-instruction exclusive window (the reservation's service time).
+    pub step: Duration,
+    /// Offloader energy charged per instruction.
+    pub energy_each: Energy,
 }
 
 impl OpCompletion {
@@ -401,6 +414,39 @@ impl SsdDevice {
         }
     }
 
+    /// Occupies the offloader core for `count` back-to-back exclusive
+    /// windows of `dur` each — a whole strip's transformation overheads in
+    /// one timeline reservation.
+    ///
+    /// Bit-identical to `count` chained [`SsdDevice::offloader_busy`] calls
+    /// where each call's `earliest` is the previous call's `ready` (which is
+    /// exactly how the run loop chains its offload clock): the reservation
+    /// window is `[max(earliest, busy_until), start + dur * count)`, and the
+    /// per-instruction energy is charged `count` times in order so the
+    /// floating-point accumulation in the energy meter is unchanged.
+    pub fn offloader_busy_strip(
+        &mut self,
+        dur: Duration,
+        earliest: SimTime,
+        count: u64,
+    ) -> StripWindow {
+        let (start, _end) = self
+            .state
+            .offloader_core
+            .reserve_batch(earliest, dur, count);
+        let energy_each = Energy::from_power(self.cfg.ctrl.core_power_w, dur);
+        for _ in 0..count {
+            self.state
+                .energy
+                .charge(EnergySource::Offloader, energy_each);
+        }
+        StripWindow {
+            first_ready: start + dur,
+            step: dur,
+            energy_each,
+        }
+    }
+
     // ------------------------------------------------------------------
     // Compute execution
     // ------------------------------------------------------------------
@@ -585,6 +631,33 @@ impl SsdDevice {
                 bytes,
             ),
         }
+    }
+
+    /// Hoists the per-resource compute and static-move estimates a strip of
+    /// homogeneous instructions shares (see
+    /// [`EstimateTable::estimate_batch`]). Each entry equals the matching
+    /// [`SsdDevice::estimate_compute`] / [`SsdDevice::estimate_move`] answer
+    /// bit-for-bit.
+    #[inline]
+    pub fn estimate_strip(
+        &self,
+        op: OpType,
+        elem_bits: u32,
+        lanes: u32,
+        vector_bytes: u64,
+    ) -> StripEstimates {
+        self.estimates.estimate_batch(
+            &self.cfg,
+            &self.ifp,
+            &self.pud,
+            &self.isp,
+            &self.flash_timing,
+            &self.dram_timing,
+            op,
+            elem_bits,
+            lanes,
+            vector_bytes,
+        )
     }
 
     /// The queueing delay a new operation would currently see on `resource`

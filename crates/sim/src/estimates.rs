@@ -8,12 +8,20 @@
 //! hottest path.
 //!
 //! [`EstimateTable`] evaluates the models **once** at device construction for
-//! the canonical vector shape the auto-vectorizer emits
-//! (`-force-vector-width=4096`, 32-bit lanes) and stores the results in flat
-//! arrays indexed by [`EstimateKey`] / [`DataLocation`] encodings. Lookups
-//! for the canonical shape are O(1) array loads; any other shape falls back
+//! the vector shapes the auto-vectorizer actually emits and stores the
+//! results in flat arrays indexed by [`EstimateKey`] / [`DataLocation`]
+//! encodings:
+//!
+//! * the canonical shape (`-force-vector-width=4096`, 32-bit lanes), and
+//! * the INT8/LLM shape (4096 × 8-bit lanes) that the quantized
+//!   `LlmTraining` / `LlamaInference` workloads vectorize to.
+//!
+//! Lookups for either shape are O(1) array loads; any other shape falls back
 //! to the exact model evaluation, so results are bit-identical to the
-//! untabled path in all cases.
+//! untabled path in all cases. [`EstimateTable::estimate_batch`] hoists the
+//! per-(resource, location) lookups for a whole strip of homogeneous
+//! instructions into one [`StripEstimates`] value so the run loop touches the
+//! tables once per strip instead of once per instruction.
 
 use conduit_ctrl::IspModel;
 use conduit_dram::{DramTiming, PudModel};
@@ -30,41 +38,44 @@ pub struct CostEstimate {
     pub energy: Energy,
 }
 
-const LOC_COUNT: usize = DataLocation::ALL.len();
+/// Number of distinct data locations (indexes the move tables).
+pub const LOC_COUNT: usize = DataLocation::ALL.len();
 
-/// Per-(resource, op) compute estimates and per-(location, location) move
-/// estimates, precomputed for the canonical vector shape.
+/// Number of candidate SSD compute resources (indexes [`StripEstimates`]).
+pub const RESOURCE_COUNT: usize = Resource::ALL.len();
+
+/// One precomputed shape: per-(resource, op) compute estimates and
+/// per-(location, location) move estimates at a fixed vector shape.
 #[derive(Debug, Clone, PartialEq)]
-pub struct EstimateTable {
+struct ShapeTable {
     elem_bits: u32,
     lanes: u32,
     canonical_bytes: u64,
     /// `None` = the resource does not support the operation.
     compute: [Option<CostEstimate>; EstimateKey::TABLE_LEN],
-    /// Static move latency of one canonical vector between locations.
+    /// Static move latency of one vector of this shape between locations.
     moves: [[Duration; LOC_COUNT]; LOC_COUNT],
 }
 
-impl EstimateTable {
-    /// Builds the table by evaluating the substrate models for every
-    /// (resource, operation) pair and every (from, to) location pair at the
-    /// canonical vector shape.
-    pub fn new(
+impl ShapeTable {
+    #[allow(clippy::too_many_arguments)]
+    fn build(
         cfg: &SsdConfig,
         ifp: &IfpModel,
         pud: &PudModel,
         isp: &IspModel,
         flash_timing: &FlashTiming,
         dram_timing: &DramTiming,
+        elem_bits: u32,
+        lanes: u32,
     ) -> Self {
-        let elem_bits = DEFAULT_ELEM_BITS;
-        let lanes = DEFAULT_LANES;
         let canonical_bytes = (lanes as u64) * (elem_bits as u64) / 8;
 
         let mut compute = [None; EstimateKey::TABLE_LEN];
         for resource in Resource::ALL {
             for op in OpType::ALL {
-                let entry = Self::evaluate(cfg, ifp, pud, isp, resource, op, elem_bits, lanes);
+                let entry =
+                    EstimateTable::evaluate(cfg, ifp, pud, isp, resource, op, elem_bits, lanes);
                 compute[EstimateKey::new(resource, op).dense()] = entry;
             }
         }
@@ -73,11 +84,18 @@ impl EstimateTable {
         for from in DataLocation::ALL {
             for to in DataLocation::ALL {
                 moves[from.encoding() as usize][to.encoding() as usize] =
-                    Self::evaluate_move(cfg, flash_timing, dram_timing, from, to, canonical_bytes);
+                    EstimateTable::evaluate_move(
+                        cfg,
+                        flash_timing,
+                        dram_timing,
+                        from,
+                        to,
+                        canonical_bytes,
+                    );
             }
         }
 
-        EstimateTable {
+        ShapeTable {
             elem_bits,
             lanes,
             canonical_bytes,
@@ -85,9 +103,84 @@ impl EstimateTable {
             moves,
         }
     }
+}
+
+/// Hoisted per-strip estimates: everything the cost function needs that
+/// depends only on the strip's (op, shape), not on the individual
+/// instruction. Indexed by [`Resource::index`] in [`Resource::ALL`] order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StripEstimates {
+    /// Un-contended compute estimate per candidate resource (`None` = the
+    /// resource does not support the strip's operation).
+    pub compute: [Option<CostEstimate>; RESOURCE_COUNT],
+    /// Static move latency from each [`DataLocation`] (indexed by its
+    /// encoding) to each resource's home location, at the strip's vector
+    /// byte size.
+    pub moves: [[Duration; LOC_COUNT]; RESOURCE_COUNT],
+}
+
+impl StripEstimates {
+    /// The hoisted compute estimate for `resource`.
+    #[inline]
+    pub fn compute_for(&self, resource: Resource) -> Option<CostEstimate> {
+        self.compute[resource.index()]
+    }
+
+    /// The hoisted static move latency from `loc` to `resource`'s home
+    /// location.
+    #[inline]
+    pub fn move_from(&self, resource: Resource, loc: DataLocation) -> Duration {
+        self.moves[resource.index()][loc.encoding() as usize]
+    }
+}
+
+/// Per-(resource, op) compute estimates and per-(location, location) move
+/// estimates, precomputed for the vector shapes the vectorizer emits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateTable {
+    /// Shape 0 is the canonical FP32 shape, shape 1 the INT8/LLM shape.
+    shapes: [ShapeTable; 2],
+}
+
+impl EstimateTable {
+    /// Builds the tables by evaluating the substrate models for every
+    /// (resource, operation) pair and every (from, to) location pair at the
+    /// canonical FP32 shape and the INT8/LLM shape.
+    pub fn new(
+        cfg: &SsdConfig,
+        ifp: &IfpModel,
+        pud: &PudModel,
+        isp: &IspModel,
+        flash_timing: &FlashTiming,
+        dram_timing: &DramTiming,
+    ) -> Self {
+        let canonical = ShapeTable::build(
+            cfg,
+            ifp,
+            pud,
+            isp,
+            flash_timing,
+            dram_timing,
+            DEFAULT_ELEM_BITS,
+            DEFAULT_LANES,
+        );
+        let int8 = ShapeTable::build(
+            cfg,
+            ifp,
+            pud,
+            isp,
+            flash_timing,
+            dram_timing,
+            8,
+            DEFAULT_LANES,
+        );
+        EstimateTable {
+            shapes: [canonical, int8],
+        }
+    }
 
     /// The exact model evaluation the table caches — also the fallback for
-    /// non-canonical shapes, so table hits and misses agree bit-for-bit.
+    /// non-tabled shapes, so table hits and misses agree bit-for-bit.
     #[allow(clippy::too_many_arguments)]
     pub fn evaluate(
         cfg: &SsdConfig,
@@ -162,7 +255,8 @@ impl EstimateTable {
     }
 
     /// Table lookup for a compute estimate, or `None` if the shape is not
-    /// the canonical one (caller must fall back to the exact evaluation).
+    /// one of the tabled shapes (caller must fall back to the exact
+    /// evaluation).
     #[inline]
     pub fn compute(
         &self,
@@ -171,15 +265,14 @@ impl EstimateTable {
         elem_bits: u32,
         lanes: u32,
     ) -> Option<Option<CostEstimate>> {
-        if elem_bits == self.elem_bits && lanes == self.lanes {
-            Some(self.compute[EstimateKey::new(resource, op).dense()])
-        } else {
-            None
-        }
+        self.shapes
+            .iter()
+            .find(|s| elem_bits == s.elem_bits && lanes == s.lanes)
+            .map(|s| s.compute[EstimateKey::new(resource, op).dense()])
     }
 
     /// Table lookup for a static move estimate, or `None` if `bytes` is not
-    /// the canonical vector size.
+    /// one of the tabled vector sizes.
     #[inline]
     pub fn move_latency(
         &self,
@@ -187,17 +280,73 @@ impl EstimateTable {
         to: DataLocation,
         bytes: u64,
     ) -> Option<Duration> {
-        if bytes == self.canonical_bytes {
-            Some(self.moves[from.encoding() as usize][to.encoding() as usize])
-        } else {
-            None
-        }
+        self.shapes
+            .iter()
+            .find(|s| bytes == s.canonical_bytes)
+            .map(|s| s.moves[from.encoding() as usize][to.encoding() as usize])
     }
 
-    /// The canonical vector shape `(elem_bits, lanes)` the table was built
-    /// for.
+    /// The canonical vector shape `(elem_bits, lanes)` the primary table was
+    /// built for.
     pub fn canonical_shape(&self) -> (u32, u32) {
-        (self.elem_bits, self.lanes)
+        (self.shapes[0].elem_bits, self.shapes[0].lanes)
+    }
+
+    /// All tabled shapes, `(elem_bits, lanes)` each.
+    pub fn shapes(&self) -> [(u32, u32); 2] {
+        [
+            (self.shapes[0].elem_bits, self.shapes[0].lanes),
+            (self.shapes[1].elem_bits, self.shapes[1].lanes),
+        ]
+    }
+
+    /// Hoists every per-resource estimate a strip of homogeneous
+    /// instructions can share: the un-contended compute estimate per
+    /// candidate resource and the static move latency from every data
+    /// location to each resource's home location, all at the strip's shape.
+    ///
+    /// Table hits and exact fallbacks are combined per entry exactly as the
+    /// scalar path would ([`Resource::supports`] first, then the tabled or
+    /// exact estimate), so a [`StripEstimates`] answer is bit-identical to
+    /// per-instruction queries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn estimate_batch(
+        &self,
+        cfg: &SsdConfig,
+        ifp: &IfpModel,
+        pud: &PudModel,
+        isp: &IspModel,
+        flash_timing: &FlashTiming,
+        dram_timing: &DramTiming,
+        op: OpType,
+        elem_bits: u32,
+        lanes: u32,
+        vector_bytes: u64,
+    ) -> StripEstimates {
+        let mut compute = [None; RESOURCE_COUNT];
+        let mut moves = [[Duration::ZERO; LOC_COUNT]; RESOURCE_COUNT];
+        for resource in Resource::ALL {
+            let i = resource.index();
+            compute[i] = if !resource.supports(op) {
+                None
+            } else {
+                match self.compute(resource, op, elem_bits, lanes) {
+                    Some(entry) => entry,
+                    None => Self::evaluate(cfg, ifp, pud, isp, resource, op, elem_bits, lanes),
+                }
+            };
+            let home = resource.home_location();
+            for loc in DataLocation::ALL {
+                moves[i][loc.encoding() as usize] = match self.move_latency(loc, home, vector_bytes)
+                {
+                    Some(d) => d,
+                    None => {
+                        Self::evaluate_move(cfg, flash_timing, dram_timing, loc, home, vector_bytes)
+                    }
+                };
+            }
+        }
+        StripEstimates { compute, moves }
     }
 }
 
@@ -219,21 +368,39 @@ mod tests {
     #[test]
     fn table_hits_match_direct_evaluation_exactly() {
         let (table, cfg, ifp, pud, isp) = table_and_models();
-        let (bits, lanes) = table.canonical_shape();
-        for resource in Resource::ALL {
-            for op in OpType::ALL {
-                let hit = table.compute(resource, op, bits, lanes).unwrap();
-                let direct =
-                    EstimateTable::evaluate(&cfg, &ifp, &pud, &isp, resource, op, bits, lanes);
-                assert_eq!(hit, direct, "{resource}/{op} table entry diverged");
+        for (bits, lanes) in table.shapes() {
+            for resource in Resource::ALL {
+                for op in OpType::ALL {
+                    let hit = table.compute(resource, op, bits, lanes).unwrap();
+                    let direct =
+                        EstimateTable::evaluate(&cfg, &ifp, &pud, &isp, resource, op, bits, lanes);
+                    assert_eq!(hit, direct, "{resource}/{op}@{bits}x{lanes} diverged");
+                }
             }
         }
     }
 
     #[test]
+    fn int8_shape_is_tabled() {
+        let (table, ..) = table_and_models();
+        assert_eq!(table.shapes()[1], (8, DEFAULT_LANES));
+        assert!(table
+            .compute(Resource::Isp, OpType::Add, 8, DEFAULT_LANES)
+            .is_some());
+        // The two shapes have distinct byte sizes, so the move tables are
+        // unambiguous.
+        let int8_bytes = u64::from(DEFAULT_LANES);
+        assert!(table
+            .move_latency(DataLocation::Flash, DataLocation::Dram, int8_bytes)
+            .is_some());
+    }
+
+    #[test]
     fn non_canonical_shapes_miss_the_table() {
         let (table, ..) = table_and_models();
-        assert!(table.compute(Resource::Isp, OpType::Add, 8, 4096).is_none());
+        assert!(table
+            .compute(Resource::Isp, OpType::Add, 16, 4096)
+            .is_none());
         assert!(table.compute(Resource::Isp, OpType::Add, 32, 100).is_none());
         assert!(table
             .move_latency(DataLocation::Flash, DataLocation::Dram, 1)
@@ -269,5 +436,40 @@ mod tests {
             .move_latency(DataLocation::Flash, DataLocation::Dram, bytes)
             .unwrap();
         assert!(f2d > Duration::ZERO);
+    }
+
+    #[test]
+    fn strip_estimates_match_scalar_queries() {
+        let (table, cfg, ifp, pud, isp) = table_and_models();
+        let ft = FlashTiming::new(&cfg.flash);
+        let dt = DramTiming::new(&cfg.dram);
+        // Tabled FP32 shape, tabled INT8 shape, and a non-tabled odd shape —
+        // the strip answer must match exact evaluation in every case.
+        for (bits, lanes) in [(32u32, 4096u32), (8, 4096), (32, 100)] {
+            let bytes = (lanes as u64) * (bits as u64) / 8;
+            for op in [OpType::Add, OpType::Div, OpType::And, OpType::Scalar] {
+                let strip =
+                    table.estimate_batch(&cfg, &ifp, &pud, &isp, &ft, &dt, op, bits, lanes, bytes);
+                for resource in Resource::ALL {
+                    let expect = if resource.supports(op) {
+                        EstimateTable::evaluate(&cfg, &ifp, &pud, &isp, resource, op, bits, lanes)
+                    } else {
+                        None
+                    };
+                    assert_eq!(strip.compute_for(resource), expect);
+                    for loc in DataLocation::ALL {
+                        let exact = EstimateTable::evaluate_move(
+                            &cfg,
+                            &ft,
+                            &dt,
+                            loc,
+                            resource.home_location(),
+                            bytes,
+                        );
+                        assert_eq!(strip.move_from(resource, loc), exact);
+                    }
+                }
+            }
+        }
     }
 }

@@ -63,6 +63,31 @@ impl SharedResource {
         (start, end)
     }
 
+    /// Reserves `count` back-to-back slots of `service` each, the first
+    /// starting no earlier than `earliest`, as **one** timeline update.
+    /// Returns the `(start, end)` of the whole window; slot `i` occupies
+    /// `[start + service·i, start + service·(i+1))`.
+    ///
+    /// Equivalent to `count` chained [`SharedResource::reserve`] calls where
+    /// each call's `earliest` is at or before the previous end (each slot
+    /// then starts exactly at `busy_until`): `busy_until`, `total_busy` and
+    /// `completed` land on the same values because all the arithmetic is
+    /// integer picoseconds. The batched-evaluation engine uses this to
+    /// charge a whole strip's offloader occupancy in one reservation.
+    pub fn reserve_batch(
+        &mut self,
+        earliest: SimTime,
+        service: Duration,
+        count: u64,
+    ) -> (SimTime, SimTime) {
+        let start = earliest.max(self.busy_until);
+        let end = start + service * count;
+        self.busy_until = end;
+        self.total_busy += service * count;
+        self.completed += count;
+        (start, end)
+    }
+
     /// How long a request arriving at `at` would wait before the resource is
     /// free (the queueing delay feature of the cost function).
     pub fn queue_delay(&self, at: SimTime) -> Duration {

@@ -1,0 +1,251 @@
+//! Differential tests for the batched (strip-mined) run loop: the scalar
+//! per-instruction loop is the reference implementation, and the batched
+//! path — the default — must be bit-identical to it for every workload,
+//! every policy, fresh and warm devices, serial and pooled submission.
+//! `RunRequest::scalar` / `RunOptions::scalar` is the same escape hatch the
+//! `CONDUIT_SCALAR=1` environment variable flips process-wide (CI runs the
+//! whole perf-gate under both modes and diffs the output).
+
+use std::collections::BTreeSet;
+
+use conduit::{Policy, RunOptions, RunRequest, RuntimeEngine, Session, StripPlan};
+use conduit_types::{
+    DataLocation, LogicalPageId, OpType, Operand, SsdConfig, VectorInst, VectorProgram,
+};
+use conduit_workloads::{Scale, Workload};
+
+#[test]
+fn batched_path_matches_scalar_for_every_workload_and_policy() {
+    let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+    for workload in Workload::ALL {
+        let id = session
+            .register(workload.program(Scale::test()).unwrap())
+            .unwrap();
+        for policy in Policy::ALL {
+            let batched = session
+                .submit(&RunRequest::new(id, policy).timeline(true))
+                .unwrap();
+            let scalar = session
+                .submit(&RunRequest::new(id, policy).timeline(true).scalar())
+                .unwrap();
+            assert_eq!(
+                batched, scalar,
+                "{workload}/{policy}: batched outcome diverged from the scalar reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_path_matches_scalar_on_warm_devices() {
+    let mut session = Session::builder(SsdConfig::small_for_tests()).build();
+    let id = session
+        .register(Workload::Jacobi1d.program(Scale::test()).unwrap())
+        .unwrap();
+    let warm_batched = session.create_device("warm-batched");
+    let warm_scalar = session.create_device("warm-scalar");
+
+    // Age both devices through the same request stream, one per mode. Every
+    // round must agree — which also proves each round left the two devices'
+    // FTL/coherence state identical for the next.
+    for round in 0..3 {
+        for policy in [Policy::Conduit, Policy::DmOffloading, Policy::Ideal] {
+            let batched = session
+                .submit(
+                    &RunRequest::new(id, policy)
+                        .on_device(warm_batched)
+                        .timeline(true),
+                )
+                .unwrap();
+            let scalar = session
+                .submit(
+                    &RunRequest::new(id, policy)
+                        .on_device(warm_scalar)
+                        .timeline(true)
+                        .scalar(),
+                )
+                .unwrap();
+            assert_eq!(
+                batched, scalar,
+                "round {round}/{policy}: warm-device outcome diverged"
+            );
+        }
+    }
+    assert_eq!(
+        session.device_snapshot(warm_batched),
+        session.device_snapshot(warm_scalar),
+        "warm devices aged differently under the two paths"
+    );
+}
+
+#[test]
+fn batched_path_matches_scalar_under_the_thread_pool() {
+    let mut session = Session::builder(SsdConfig::small_for_tests())
+        .workers(4)
+        .build();
+    let mut requests = Vec::new();
+    for workload in [Workload::Aes, Workload::LlamaInference] {
+        let id = session
+            .register(workload.program(Scale::test()).unwrap())
+            .unwrap();
+        for policy in [Policy::Conduit, Policy::DmOffloading, Policy::Ideal] {
+            // Adjacent batched/scalar pairs of the same request.
+            requests.push(RunRequest::new(id, policy).timeline(true));
+            requests.push(RunRequest::new(id, policy).timeline(true).scalar());
+        }
+    }
+    let pooled = session.submit_batch(&requests).unwrap();
+    for (pair, chunk) in pooled.chunks(2).enumerate() {
+        assert_eq!(
+            chunk[0], chunk[1],
+            "pair {pair}: pooled batched outcome diverged from pooled scalar"
+        );
+    }
+    // And the pooled results match serial submission of the same requests.
+    for (i, request) in requests.iter().enumerate() {
+        assert_eq!(
+            pooled[i],
+            session.submit(request).unwrap(),
+            "request {i}: pooled outcome diverged from serial"
+        );
+    }
+}
+
+/// Runs `program` on a fresh device under both paths and asserts equality;
+/// returns the batched report.
+fn differential(program: &VectorProgram, policy: Policy) -> conduit::RunReport {
+    let cfg = SsdConfig::small_for_tests();
+    let engine = RuntimeEngine::new(&cfg);
+    let run = |scalar: bool| {
+        let mut device = conduit_sim::SsdDevice::new(&cfg).unwrap();
+        engine.prepare(&mut device, program).unwrap();
+        let mut options = RunOptions::new(policy);
+        if scalar {
+            options = options.scalar();
+        }
+        engine.run(&mut device, program, &options).unwrap()
+    };
+    let batched = run(false);
+    let scalar = run(true);
+    assert_eq!(
+        batched,
+        scalar,
+        "{}/{policy}: batched diverged from scalar",
+        program.name()
+    );
+    batched
+}
+
+#[test]
+fn single_instruction_programs_are_one_strip_and_match_scalar() {
+    let mut prog = VectorProgram::new("one-inst");
+    prog.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+    let plan = StripPlan::plan(&prog, Policy::Conduit, conduit::CostFunction::conduit());
+    assert_eq!(plan.strips().len(), 1);
+    assert_eq!((plan.strips()[0].start, plan.strips()[0].len), (0, 1));
+    for policy in Policy::ALL {
+        let report = differential(&prog, policy);
+        assert_eq!(report.instructions, 1);
+    }
+}
+
+#[test]
+fn fully_heterogeneous_programs_degenerate_to_unit_strips_and_match_scalar() {
+    // Every consecutive pair differs in op (or shape): the planner must
+    // produce only unit-length strips — the all-tails worst case.
+    let mut prog = VectorProgram::new("hetero");
+    for (k, op) in OpType::ALL.into_iter().enumerate() {
+        prog.push(VectorInst::with_srcs(
+            k as u32,
+            op,
+            (0..op.arity())
+                .map(|s| Operand::page((k * 16 + s * 4) as u64))
+                .collect(),
+        ));
+    }
+    // And a same-op pair split by an elem_bits change, so shape (not just
+    // op) boundaries are exercised too.
+    let base = prog.len();
+    let mut narrow = VectorInst::binary(
+        base as u32,
+        OpType::Add,
+        Operand::page((base * 16) as u64),
+        Operand::page((base * 16 + 4) as u64),
+    );
+    narrow.elem_bits = 8;
+    prog.push(narrow);
+    prog.push(VectorInst::binary(
+        base as u32 + 1,
+        OpType::Add,
+        Operand::page((base * 16 + 8) as u64),
+        Operand::page((base * 16 + 12) as u64),
+    ));
+
+    let plan = StripPlan::plan(&prog, Policy::Conduit, conduit::CostFunction::conduit());
+    assert_eq!(plan.strips().len(), prog.len());
+    assert!(plan.strips().iter().all(|s| s.len == 1));
+    for policy in [
+        Policy::Conduit,
+        Policy::DmOffloading,
+        Policy::Ideal,
+        Policy::HostCpu,
+        Policy::AresFlash,
+    ] {
+        differential(&prog, policy);
+    }
+}
+
+#[test]
+fn warm_coherence_state_flips_placement_mid_strip() {
+    // Warm a device so that only the first instruction's operands are
+    // DRAM-resident, then run one homogeneous three-instruction strip under
+    // DM-Offloading: placement must change *inside* the strip (the plan
+    // never pins dynamic decisions), and the batched path must still match
+    // the scalar reference bit for bit.
+    let cfg = SsdConfig::small_for_tests();
+    let engine = RuntimeEngine::new(&cfg);
+
+    let mut warm = VectorProgram::new("warmup");
+    warm.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+    let mut hot = VectorProgram::new("hot-strip");
+    hot.push_binary(OpType::Xor, Operand::page(0), Operand::page(4));
+    hot.push_binary(OpType::Xor, Operand::page(8), Operand::page(12));
+    hot.push_binary(OpType::Xor, Operand::page(16), Operand::page(20));
+
+    let run = |scalar: bool| {
+        let mut device = conduit_sim::SsdDevice::new(&cfg).unwrap();
+        engine.prepare(&mut device, &warm).unwrap();
+        engine.prepare(&mut device, &hot).unwrap();
+        let mut warm_options = RunOptions::new(Policy::IspOnly);
+        let mut hot_options = RunOptions::new(Policy::DmOffloading);
+        if scalar {
+            warm_options = warm_options.scalar();
+            hot_options = hot_options.scalar();
+        }
+        // ISP executes out of DRAM: pages 0..8 become DRAM-resident.
+        engine.run(&mut device, &warm, &warm_options).unwrap();
+        assert_eq!(device.locate(LogicalPageId::new(0)), DataLocation::Dram);
+        assert_eq!(device.locate(LogicalPageId::new(8)), DataLocation::Flash);
+        engine.run(&mut device, &hot, &hot_options).unwrap()
+    };
+
+    let batched = run(false);
+    let scalar = run(true);
+    assert_eq!(batched, scalar, "warm mid-strip run diverged");
+
+    // The whole hot program is one strip (same op and shape throughout) …
+    let plan = StripPlan::plan(&hot, Policy::DmOffloading, conduit::CostFunction::conduit());
+    assert_eq!(plan.strips().len(), 1);
+    assert_eq!(plan.strips()[0].site, None);
+    // … yet the warm coherence state forces more than one execution site
+    // within it.
+    let sites: BTreeSet<_> = batched
+        .timeline
+        .iter()
+        .map(|e| format!("{:?}", e.site))
+        .collect();
+    assert!(
+        sites.len() > 1,
+        "expected a mid-strip placement change, got {sites:?}"
+    );
+}
