@@ -6,10 +6,8 @@
 //! cargo run --release -p conduit-bench --bin repro -- <target> [--quick]
 //! ```
 //!
-//! where `<target>` is one of `fig4`, `fig5`, `fig7` (both panels), `fig7a`,
-//! `fig7b`, `fig8`, `fig9`, `fig10`, `table3`, `overheads`, `headline`,
-//! `warm-pool`, `arrival-sweep`, `fault-sweep`, `interference`,
-//! `sim-throughput`, `perf-gate`, or `all`.
+//! where `<target>` is an entry of the `TARGETS` table below (run with an
+//! unknown target to get the full annotated list).
 //!
 //! Flags:
 //!
@@ -34,6 +32,11 @@
 //!   warm device (via a replayable `conduit-traffic` trace), sweeping the
 //!   antagonist's in-burst offered load and printing victim p50/p99/p999,
 //!   lane occupancy/queueing and GC/coherence counters per point,
+//! * `fleet-sweep` replays one multi-tenant CTR1 trace through the
+//!   `conduit-fleet` front-end at shard counts {1, 2, 4, 8}, printing
+//!   fleet-wide p50/p99/p999, per-shard device/occupancy spread and
+//!   admission-control shed counts (merged rows are bit-identical across
+//!   shard counts),
 //! * `sim-throughput` measures simulator throughput and writes
 //!   `BENCH_sim_throughput.json` next to the current directory,
 //! * `perf-gate` gates on the deterministic **simulated-work counter**
@@ -48,6 +51,7 @@
 
 use conduit_bench::arrivals::arrival_sweep_report;
 use conduit_bench::faults::fault_sweep_report;
+use conduit_bench::fleet::fleet_sweep_report;
 use conduit_bench::interference::interference_report;
 use conduit_bench::throughput::{
     baseline_instructions_per_sec, baseline_ops_per_instruction, baseline_scale, ThroughputReport,
@@ -55,10 +59,48 @@ use conduit_bench::throughput::{
 use conduit_bench::warm::warm_pool_report;
 use conduit_bench::Harness;
 
+/// Every target the binary accepts, with a one-line description. The
+/// usage line and the unknown-target listing are both generated from this
+/// table, so adding a target here is the whole registration step (the
+/// free-text help drifted out of date more than once before).
+const TARGETS: &[(&str, &str)] = &[
+    ("fig4", "per-instruction offload mix case study"),
+    ("fig5", "motivation: naive IFP+ISP vs host baselines"),
+    ("fig7", "speedup and energy, both panels"),
+    ("fig7a", "speedup over host CPU"),
+    ("fig7b", "energy vs host CPU"),
+    ("fig8", "tail latency CDFs"),
+    ("fig9", "offload-ratio sweep"),
+    ("fig10", "execution timelines"),
+    ("table3", "per-workload characterization"),
+    ("overheads", "runtime latency/storage overheads"),
+    ("headline", "paper-abstract headline numbers"),
+    ("warm-pool", "multi-tenant warm-device pool report"),
+    ("arrival-sweep", "open-loop offered-load sweep"),
+    ("fault-sweep", "raw flash failure-rate sweep"),
+    ("interference", "bursty antagonist vs victim tenants"),
+    (
+        "fleet-sweep",
+        "sharded fleet at fixed load, shard count swept",
+    ),
+    ("sim-throughput", "measure simulator throughput baseline"),
+    ("perf-gate", "gate on device ops/instruction vs baseline"),
+    ("all", "every figure and table above"),
+];
+
 fn print_usage() {
+    let names: Vec<&str> = TARGETS.iter().map(|(name, _)| *name).collect();
     eprintln!(
-        "usage: repro <fig4|fig5|fig7|fig7a|fig7b|fig8|fig9|fig10|table3|overheads|headline|warm-pool|arrival-sweep|fault-sweep|interference|sim-throughput|perf-gate|all> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]"
+        "usage: repro <{}> [--quick|--smoke] [--serial] [--baseline <path>] [--threshold <fraction>]",
+        names.join("|")
     );
+}
+
+fn print_targets() {
+    eprintln!("available targets:");
+    for (name, what) in TARGETS {
+        eprintln!("  {name:<15} {what}");
+    }
 }
 
 /// The value following a `--flag` option, if present.
@@ -214,6 +256,11 @@ fn main() {
         print!("{}", interference_report(quick));
         return;
     }
+    if target == "fleet-sweep" {
+        println!("==================== fleet-sweep ====================");
+        print!("{}", fleet_sweep_report(quick));
+        return;
+    }
 
     let mut harness = if quick {
         Harness::quick()
@@ -250,8 +297,9 @@ fn main() {
             ("overheads", harness.overheads()),
             ("headline", harness.headline()),
         ],
-        _ => {
-            print_usage();
+        unknown => {
+            eprintln!("repro: unknown target `{unknown}`");
+            print_targets();
             std::process::exit(2);
         }
     };

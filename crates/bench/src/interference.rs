@@ -58,7 +58,12 @@ fn victim_arrivals(quick: bool) -> u64 {
 /// Measures one request's device-service time on a throwaway probe session
 /// (same trick as `repro arrival-sweep`: the offered load is expressed
 /// relative to measured capacity, so the sweep is config-independent).
-fn probe_service(cfg: &SsdConfig, workload: Workload, policy: Policy, scale: Scale) -> Duration {
+pub(crate) fn probe_service(
+    cfg: &SsdConfig,
+    workload: Workload,
+    policy: Policy,
+    scale: Scale,
+) -> Duration {
     let mut probe = Session::builder(cfg.clone()).serial().build();
     let id = probe
         .register(workload.program(scale).expect("generators always succeed"))
@@ -86,43 +91,43 @@ fn point_mix(
         "antagonist-lane"
     };
     TrafficMix::new(scale)
-        .tenant(TenantSpec {
-            name: "victim-a".into(),
-            device: "victim-lane".into(),
-            workload: Workload::Jacobi1d,
-            policy: Policy::Conduit,
-            arrivals: ArrivalSpec::Deterministic {
+        .tenant(TenantSpec::new(
+            "victim-a",
+            "victim-lane",
+            Workload::Jacobi1d,
+            Policy::Conduit,
+            ArrivalSpec::Deterministic {
                 interarrival: victim_gap,
                 phase: Duration::ZERO,
             },
-        })
-        .tenant(TenantSpec {
-            name: "victim-b".into(),
-            device: "victim-lane".into(),
-            workload: Workload::XorFilter,
-            policy: Policy::Conduit,
-            arrivals: ArrivalSpec::Deterministic {
+        ))
+        .tenant(TenantSpec::new(
+            "victim-b",
+            "victim-lane",
+            Workload::XorFilter,
+            Policy::Conduit,
+            ArrivalSpec::Deterministic {
                 interarrival: victim_gap,
                 // Half a gap out of phase: the two victims interleave
                 // instead of colliding.
                 phase: victim_gap / 2,
             },
-        })
-        .tenant(TenantSpec {
-            name: "antagonist".into(),
-            device: antagonist_device.into(),
-            // Host-bound training: every run flushes dirty pages through
-            // the coherence protocol, so the antagonist also pollutes GC
-            // and coherence state, not just the lane.
-            workload: Workload::LlmTraining,
-            policy: Policy::HostCpu,
-            arrivals: ArrivalSpec::MarkovOnOff {
+        ))
+        // Host-bound training: every run flushes dirty pages through the
+        // coherence protocol, so the antagonist also pollutes GC and
+        // coherence state, not just the lane.
+        .tenant(TenantSpec::new(
+            "antagonist",
+            antagonist_device,
+            Workload::LlmTraining,
+            Policy::HostCpu,
+            ArrivalSpec::MarkovOnOff {
                 burst_interarrival: antagonist_gap,
                 mean_on,
                 mean_off: mean_on,
                 seed: ANTAGONIST_SEED,
             },
-        })
+        ))
 }
 
 /// Runs the interference sweep and formats the table.

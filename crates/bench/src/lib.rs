@@ -29,6 +29,7 @@
 
 pub mod arrivals;
 pub mod faults;
+pub mod fleet;
 pub mod interference;
 pub mod micro;
 pub mod throughput;

@@ -400,6 +400,14 @@ pub struct RunRequest {
     /// The request's arrival on the batch timeline ([`SimTime::ZERO`] = the
     /// instant the batch is submitted, i.e. closed-loop).
     arrival: SimTime,
+    /// Weighted-fair-queueing flow this request belongs to (see
+    /// [`RunRequest::weighted`]). Requests on one device lane with the same
+    /// flow id form one FIFO sub-queue of that lane's scheduler.
+    flow: u32,
+    /// The flow's scheduling weight. Lanes whose requests all carry the same
+    /// weight serve in plain arrival/request-order FIFO; mixed weights turn
+    /// the lane into a deficit-round-robin scheduler.
+    weight: u32,
     /// Forces the engine's scalar (pre-batching) run loop.
     force_scalar: bool,
 }
@@ -433,6 +441,8 @@ impl RunRequest {
             percentiles: DEFAULT_PERCENTILES.to_vec(),
             device: None,
             arrival: SimTime::ZERO,
+            flow: 0,
+            weight: 1,
             force_scalar: false,
         }
     }
@@ -500,6 +510,25 @@ impl RunRequest {
         self
     }
 
+    /// Builder-style: assigns the request to weighted-fair **flow** `flow`
+    /// with scheduling weight `weight` (clamped to at least one).
+    ///
+    /// Within a device lane in [`Session::submit_batch`], requests sharing a
+    /// flow id form one FIFO sub-queue. While every request on the lane
+    /// carries the *same* weight (the default is weight 1), the lane is the
+    /// plain FIFO it has always been — bit-identical to pre-flow scheduling.
+    /// As soon as weights differ, the lane serves its sub-queues by **deficit
+    /// round robin**: each round every backlogged flow's credit grows by
+    /// `quantum × weight` ([`SessionBuilder::drr_quantum`]) and a flow serves
+    /// requests while its credit lasts, with the *actual* simulated service
+    /// time charged against it. Over a saturated stretch each flow's lane
+    /// busy-time share converges to its weight share.
+    pub fn weighted(mut self, flow: u32, weight: u32) -> Self {
+        self.flow = flow;
+        self.weight = weight.max(1);
+        self
+    }
+
     /// Builder-style: sets whether the full instruction → resource timeline
     /// is collected into [`RunArtifacts`] (default: off).
     pub fn timeline(mut self, collect: bool) -> Self {
@@ -558,6 +587,18 @@ impl RunRequest {
     /// [`RunRequest::arriving_at`]).
     pub fn arrival(&self) -> SimTime {
         self.arrival
+    }
+
+    /// The weighted-fair flow this request belongs to (see
+    /// [`RunRequest::weighted`]; default flow 0).
+    pub fn flow(&self) -> u32 {
+        self.flow
+    }
+
+    /// The flow's scheduling weight (see [`RunRequest::weighted`]; default
+    /// 1).
+    pub fn weight(&self) -> u32 {
+        self.weight
     }
 
     /// The engine-level options this request maps to.
@@ -715,6 +756,9 @@ struct RunPlan {
     mode: PlanMode,
     /// Arrival offset on the batch timeline ([`RunRequest::arriving_at`]).
     arrival: Duration,
+    /// Weighted-fair flow and weight ([`RunRequest::weighted`]).
+    flow: u32,
+    weight: u32,
     /// The cached strip decomposition for registered programs (see
     /// [`StripPlan`]); inline programs plan on the fly in the engine.
     strip_plan: Option<Arc<StripPlan>>,
@@ -896,6 +940,182 @@ fn execute_on_lane(
     Ok(build_outcome(report, plan, delta, queueing_time))
 }
 
+/// One flow's FIFO sub-queue inside a mixed-weight lane: the request
+/// indices in request order, a cursor, and the flow's deficit credit in
+/// picoseconds (negative = the flow overdrew its share and sits out rounds
+/// until the per-round top-ups pay the debt back).
+struct LaneFlow {
+    queue: Vec<usize>,
+    head: usize,
+    credit: i128,
+}
+
+impl LaneFlow {
+    fn head_index(&self) -> Option<usize> {
+        self.queue.get(self.head).copied()
+    }
+}
+
+/// Serves one device lane's share of a batch, delivering each outcome to
+/// `deliver(request index, outcome)`; `deliver` returns `false` to stop
+/// early (the batch collector went away).
+///
+/// While every request on the lane carries the same weight — the default —
+/// the lane is the plain FIFO it has always been: requests execute in
+/// request order, bit for bit identical to pre-weight scheduling. Mixed
+/// weights switch the lane to **deficit round robin** over per-flow FIFO
+/// sub-queues ([`RunRequest::weighted`]):
+///
+/// * each round visits the flows in first-appearance order; a flow whose
+///   head has *arrived* (on the lane's simulated stream clock) earns
+///   `quantum × weight` of credit and serves requests while its credit
+///   stays positive, with each request's **actual simulated service time**
+///   charged against the credit afterwards (so no a-priori cost model is
+///   needed — an expensive request just drives the flow's credit negative
+///   and it sits out following rounds);
+/// * a flow that drains its queue forfeits leftover credit (standard DRR:
+///   credit never accumulates across backlog periods);
+/// * when no flow has an arrived head, the lane has gone idle: credits
+///   reset (a new busy period starts) and the earliest-arriving head is
+///   served, advancing the stream clock through the idle gap — the lane
+///   stays work-conserving.
+///
+/// Everything the scheduler consults — arrivals, the stream clock, service
+/// times — is simulated time, so the dispatch order is deterministic and
+/// identical across pool sizes and across the serial and parallel batch
+/// paths. Over a saturated stretch each flow's lane busy-time share
+/// converges to `weight / Σ weights`.
+#[allow(clippy::too_many_arguments)]
+fn run_lane(
+    engine: &RuntimeEngine,
+    ssd: &SsdConfig,
+    slot: &DeviceSlot,
+    plans: &[RunPlan],
+    indices: &[usize],
+    base: SimTime,
+    quantum: Duration,
+    mut deliver: impl FnMut(usize, Result<RunOutcome>) -> bool,
+) {
+    let uniform = indices
+        .windows(2)
+        .all(|w| plans[w[0]].weight == plans[w[1]].weight);
+    if uniform {
+        for &i in indices {
+            let outcome = execute_on_lane(engine, ssd, slot, &plans[i], Some(base));
+            if !deliver(i, outcome) {
+                return;
+            }
+        }
+        return;
+    }
+
+    // Per-flow sub-queues in order of first appearance (deterministic in
+    // request order).
+    let mut flows: Vec<(u32, LaneFlow)> = Vec::new();
+    for &i in indices {
+        let key = plans[i].flow;
+        match flows.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, flow)) => flow.queue.push(i),
+            None => flows.push((
+                key,
+                LaneFlow {
+                    queue: vec![i],
+                    head: 0,
+                    credit: 0,
+                },
+            )),
+        }
+    }
+    let quantum_ps = quantum.as_ps().max(1) as i128;
+    let arrival = |i: usize| base + plans[i].arrival;
+    let clock = || slot.lane.lock().expect("device-lane mutex poisoned").clock;
+    let mut serve = |flows: &mut Vec<(u32, LaneFlow)>, fi: usize| -> Option<bool> {
+        let i = flows[fi].1.head_index()?;
+        let outcome = execute_on_lane(engine, ssd, slot, &plans[i], Some(base));
+        let service = outcome
+            .as_ref()
+            .map(|o| o.summary.service_time)
+            .unwrap_or(Duration::ZERO);
+        let flow = &mut flows[fi].1;
+        flow.head += 1;
+        flow.credit -= service.as_ps() as i128;
+        Some(deliver(i, outcome))
+    };
+
+    let mut remaining = indices.len();
+    while remaining > 0 {
+        let mut served_this_round = false;
+        for fi in 0..flows.len() {
+            let Some(head) = flows[fi].1.head_index() else {
+                continue;
+            };
+            if arrival(head) > clock() {
+                // Not backlogged right now: no top-up, no service. The flow
+                // keeps any leftover credit for when its stream resumes.
+                continue;
+            }
+            let weight = plans[head].weight.max(1) as i128;
+            flows[fi].1.credit += quantum_ps * weight;
+            while flows[fi].1.credit > 0 {
+                let Some(i) = flows[fi].1.head_index() else {
+                    break;
+                };
+                if arrival(i) > clock() {
+                    break;
+                }
+                match serve(&mut flows, fi) {
+                    Some(true) => {
+                        remaining -= 1;
+                        served_this_round = true;
+                    }
+                    _ => return,
+                }
+            }
+            if flows[fi].1.head_index().is_none() {
+                // A drained flow forfeits leftover credit.
+                flows[fi].1.credit = 0;
+            }
+        }
+        if served_this_round || remaining == 0 {
+            continue;
+        }
+        let now = clock();
+        let any_eligible = flows
+            .iter()
+            .any(|(_, f)| f.head_index().is_some_and(|i| arrival(i) <= now));
+        if any_eligible {
+            // Backlogged flows exist but are all in credit debt: rounds cost
+            // no simulated time, so just keep topping up until one goes
+            // positive.
+            continue;
+        }
+        // The lane went idle: every remaining head arrives in the future.
+        // The busy period is over — credits reset — and the next one opens
+        // with the earliest-arriving head (ties break by flow position).
+        for (_, flow) in &mut flows {
+            flow.credit = 0;
+        }
+        let next = flows
+            .iter()
+            .enumerate()
+            .filter_map(|(fi, (_, f))| f.head_index().map(|i| (arrival(i), fi)))
+            .min()
+            .map(|(_, fi)| fi)
+            .expect("remaining > 0 implies a nonempty flow");
+        match serve(&mut flows, next) {
+            Some(true) => remaining -= 1,
+            _ => return,
+        }
+    }
+}
+
+/// Default deficit-round-robin quantum for weighted device lanes: the
+/// per-round credit a weight-1 flow earns (see [`RunRequest::weighted`]).
+/// Small relative to typical service times, so shares track weights
+/// smoothly; the exact value only shapes interleaving granularity, not the
+/// long-run weight shares.
+pub const DEFAULT_DRR_QUANTUM: Duration = Duration::from_ps(10_000_000); // 10 µs
+
 /// Configures and builds a [`Session`].
 #[derive(Debug, Clone)]
 pub struct SessionBuilder {
@@ -904,6 +1124,7 @@ pub struct SessionBuilder {
     faults: FaultConfig,
     workers: Option<usize>,
     parallel: bool,
+    drr_quantum: Duration,
 }
 
 impl SessionBuilder {
@@ -917,6 +1138,7 @@ impl SessionBuilder {
             faults: FaultConfig::default(),
             workers: None,
             parallel: true,
+            drr_quantum: DEFAULT_DRR_QUANTUM,
         }
     }
 
@@ -951,6 +1173,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Overrides the deficit-round-robin quantum of weighted device lanes
+    /// (default [`DEFAULT_DRR_QUANTUM`]; clamped to at least one
+    /// picosecond). Only mixed-weight lanes consult it — see
+    /// [`RunRequest::weighted`].
+    pub fn drr_quantum(mut self, quantum: Duration) -> Self {
+        self.drr_quantum = Duration::from_ps(quantum.as_ps().max(1));
+        self
+    }
+
     /// Builds the session. The thread pool starts lazily on the first
     /// parallel batch, so summary-only sessions never spawn threads.
     pub fn build(self) -> Session {
@@ -968,6 +1199,7 @@ impl SessionBuilder {
             host: self.host,
             faults: self.faults,
             workers,
+            drr_quantum: self.drr_quantum,
             registry: ProgramRegistry::new(),
             pool: OnceLock::new(),
             devices: Vec::new(),
@@ -1016,6 +1248,8 @@ pub struct Session {
     /// Default fault-injection plan for fresh runs and new devices.
     faults: FaultConfig,
     workers: usize,
+    /// Per-round credit unit of mixed-weight (deficit-round-robin) lanes.
+    drr_quantum: Duration,
     registry: ProgramRegistry,
     pool: OnceLock<ThreadPool>,
     /// The warm-device pool, minted by [`Session::create_device`] /
@@ -1384,6 +1618,8 @@ impl Session {
             percentiles: request.percentiles.clone(),
             mode,
             arrival: request.arrival.saturating_since(SimTime::ZERO),
+            flow: request.flow,
+            weight: request.weight.max(1),
             strip_plan,
         })
     }
@@ -1431,16 +1667,19 @@ impl Session {
     /// Executes a batch of independent requests and returns the outcomes in
     /// request order. Fresh requests fan out across the session's thread
     /// pool as bulk-class jobs; warm requests are grouped into **per-device
-    /// FIFO lanes** — serial in request order within a device (they share
-    /// its state and stream clock), parallel across devices and alongside
-    /// the fresh fan-out. Lane tasks run in the pool's reserved **lane
-    /// class** (see [`crate::pool`]), so a ready lane never waits behind
-    /// the queued fresh backlog on a small pool.
+    /// lanes** — serial within a device (they share its state and stream
+    /// clock), parallel across devices and alongside the fresh fan-out. A
+    /// lane serves in plain request-order FIFO unless its requests carry
+    /// mixed weights, in which case it serves by deficit round robin over
+    /// per-flow sub-queues ([`RunRequest::weighted`]). Lane tasks run in
+    /// the pool's reserved **lane class** (see [`crate::pool`]), so a ready
+    /// lane never waits behind the queued fresh backlog on a small pool.
     ///
-    /// Every fresh run simulates on a fresh device and every lane executes
-    /// its device's requests in request order, so the outcomes are
-    /// **bit-identical** to running the whole batch serially — only the
-    /// wall-clock time changes (`tests/integration_determinism.rs` and
+    /// Every fresh run simulates on a fresh device and every lane serves
+    /// its device's requests in a deterministic, simulated-time-driven
+    /// order, so the outcomes are **bit-identical** to running the whole
+    /// batch serially — only the wall-clock time changes
+    /// (`tests/integration_determinism.rs` and
     /// `tests/integration_device_pool.rs` assert this).
     ///
     /// # Errors
@@ -1499,21 +1738,34 @@ impl Session {
             // request order) — the parallel path below cannot short-circuit
             // one lane on another's failure, so the serial fallback must
             // not either, or the devices would age differently depending on
-            // the worker count.
-            let outcomes: Vec<Result<RunOutcome>> = plans
-                .iter()
-                .map(|plan| match plan.mode {
-                    PlanMode::Fresh => execute_fresh(&self.ssd, &self.host, self.faults, plan),
-                    PlanMode::Device(slot) => execute_on_lane(
-                        self.engine(),
-                        &self.ssd,
-                        &self.devices[slot],
-                        plan,
-                        Some(arrival_of(slot)),
-                    ),
-                })
+            // the worker count. Fresh runs and distinct lanes never share
+            // state, so walking fresh runs first and then each lane (in its
+            // own scheduling order — see [`run_lane`]) produces the same
+            // outcomes as any interleaving.
+            let mut slots: Vec<Option<Result<RunOutcome>>> =
+                (0..plans.len()).map(|_| None).collect();
+            for &i in &fresh {
+                slots[i] = Some(execute_fresh(&self.ssd, &self.host, self.faults, &plans[i]));
+            }
+            for (slot, indices) in &lanes {
+                run_lane(
+                    self.engine(),
+                    &self.ssd,
+                    &self.devices[*slot],
+                    &plans,
+                    indices,
+                    arrival_of(*slot),
+                    self.drr_quantum,
+                    |i, outcome| {
+                        slots[i] = Some(outcome);
+                        true
+                    },
+                );
+            }
+            return slots
+                .into_iter()
+                .map(|slot| slot.expect("every request executes exactly once"))
                 .collect();
-            return outcomes.into_iter().collect();
         }
 
         let pool = self.pool.get_or_init(|| ThreadPool::new(self.workers));
@@ -1527,11 +1779,13 @@ impl Session {
         });
         let (tx, rx) = channel();
         // One lane-class task per device lane, enqueued ahead of the fresh
-        // fan-out: the lane walks its requests in request order while other
-        // lanes and the fresh jobs proceed in parallel, and the pool's
-        // reserved lane slots dequeue these ahead of any queued bulk work.
-        // A request failure does not stop the lane (matching the serial
-        // path), it is reported in that request's slot.
+        // fan-out: the lane serves its requests (FIFO, or deficit round
+        // robin when weights differ — see [`run_lane`]) while other lanes
+        // and the fresh jobs proceed in parallel, and the pool's reserved
+        // lane slots dequeue these ahead of any queued bulk work. A request
+        // failure does not stop the lane (matching the serial path), it is
+        // reported in that request's slot.
+        let quantum = self.drr_quantum;
         for (lane_pos, (slot, indices)) in lanes.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
@@ -1539,18 +1793,16 @@ impl Session {
             let engine = self.engine().clone();
             let base = arrivals[lane_pos];
             pool.execute_lane(move || {
-                for i in indices {
-                    let outcome = execute_on_lane(
-                        &engine,
-                        &shared.ssd,
-                        &device,
-                        &shared.plans[i],
-                        Some(base),
-                    );
-                    if tx.send((i, outcome)).is_err() {
-                        break;
-                    }
-                }
+                run_lane(
+                    &engine,
+                    &shared.ssd,
+                    &device,
+                    &shared.plans,
+                    &indices,
+                    base,
+                    quantum,
+                    |i, outcome| tx.send((i, outcome)).is_ok(),
+                );
             });
         }
         // One bulk-class job per fresh request (rather than per-worker

@@ -231,6 +231,18 @@ impl LaneStats {
         self.queued += queued;
     }
 
+    /// Folds another lane's counters into this one — the fleet-wide
+    /// aggregation: merging every shard's lane counters and asking for
+    /// [`occupancy`](LaneStats::occupancy) yields the busy fraction of the
+    /// combined device time, exactly as if one collector had observed every
+    /// lane.
+    pub fn merge(&mut self, other: &LaneStats) {
+        self.requests += other.requests;
+        self.busy += other.busy;
+        self.idle += other.idle;
+        self.queued += other.queued;
+    }
+
     /// Fraction of the lane's lifetime (busy + idle) the device spent
     /// serving requests; zero for an unused lane. Always in `[0, 1]` — a
     /// closed-loop lane (no idle gaps) reports exactly 1.
@@ -535,5 +547,39 @@ mod tests {
         lane.record(Duration::from_us(4.0), Duration::ZERO, Duration::ZERO);
         assert!((lane.occupancy() - 0.5).abs() < 1e-12);
         assert_eq!(lane.idle, Duration::from_us(4.0));
+    }
+
+    #[test]
+    fn lane_stats_merge_matches_single_collector() {
+        let samples = [
+            (
+                Duration::ZERO,
+                Duration::from_us(1.0),
+                Duration::from_us(2.0),
+            ),
+            (
+                Duration::from_us(3.0),
+                Duration::ZERO,
+                Duration::from_us(1.0),
+            ),
+            (
+                Duration::from_us(0.5),
+                Duration::from_us(0.5),
+                Duration::ZERO,
+            ),
+        ];
+        let mut whole = LaneStats::default();
+        let mut left = LaneStats::default();
+        let mut right = LaneStats::default();
+        for (i, &(idle, queued, busy)) in samples.iter().enumerate() {
+            whole.record(idle, queued, busy);
+            let shard = if i % 2 == 0 { &mut left } else { &mut right };
+            shard.record(idle, queued, busy);
+        }
+        let mut merged = LaneStats::default();
+        merged.merge(&left);
+        merged.merge(&right);
+        assert_eq!(merged, whole);
+        assert_eq!(merged.occupancy(), whole.occupancy());
     }
 }

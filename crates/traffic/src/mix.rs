@@ -9,7 +9,7 @@
 //! than silent trace-format drift.
 
 use conduit::Policy;
-use conduit_types::bytes::{put_u16, put_u64, Reader};
+use conduit_types::bytes::{put_u16, put_u32, put_u64, Reader};
 use conduit_types::{ConduitError, Duration, Result, SimTime};
 use conduit_workloads::{Scale, Workload};
 
@@ -23,6 +23,32 @@ pub const MAX_NAME_LEN: usize = 256;
 /// a backstop so a pathological spec (picosecond gaps, end-of-time horizon)
 /// produces a bounded trace instead of an unbounded loop.
 pub const MAX_GENERATED_PER_TENANT: usize = 1 << 20;
+
+/// Largest weighted-fair scheduling weight a tenant may carry.
+pub const MAX_WEIGHT: u32 = 1 << 16;
+
+/// Per-tenant service-level objectives, enforced by fleet admission control
+/// (`conduit_fleet`): a request is **shed** — with a typed, counted
+/// [`ConduitError::AdmissionRejected`] instead of ever running — when
+/// serving it would violate a target the tenant's recent, windowed
+/// statistics already break. `None` targets are unconstrained; the default
+/// is fully unconstrained (admission always passes).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloTarget {
+    /// Largest acceptable p99 arrival-to-completion latency over the
+    /// tenant's served requests.
+    pub max_p99: Option<Duration>,
+    /// Largest acceptable busy-fraction of the tenant's device lane over
+    /// the last admission window (`0.0 < target <= 1.0`).
+    pub max_lane_occupancy: Option<f64>,
+}
+
+impl SloTarget {
+    /// Whether every target is unconstrained (admission always passes).
+    pub fn is_unconstrained(&self) -> bool {
+        self.max_p99.is_none() && self.max_lane_occupancy.is_none()
+    }
+}
 
 /// One tenant of a traffic mix: a workload program bound to a device, a
 /// placement policy and an arrival process.
@@ -46,6 +72,55 @@ pub struct TenantSpec {
     pub policy: Policy,
     /// How the tenant's requests arrive on the batch timeline.
     pub arrivals: ArrivalSpec,
+    /// Weighted-fair scheduling weight of the tenant's requests on its
+    /// device lane (`1..=`[`MAX_WEIGHT`]; default 1). Replay maps this onto
+    /// [`conduit::RunRequest::weighted`] with the tenant index as the flow
+    /// id, so tenants sharing a device with *different* weights split the
+    /// lane by deficit round robin; uniform weights keep the lane plain
+    /// FIFO.
+    pub weight: u32,
+    /// Service-level objectives fleet admission control enforces for this
+    /// tenant (default: unconstrained).
+    pub slo: SloTarget,
+}
+
+impl TenantSpec {
+    /// A tenant with default scheduling weight (1) and unconstrained SLOs.
+    pub fn new(
+        name: impl Into<String>,
+        device: impl Into<String>,
+        workload: Workload,
+        policy: Policy,
+        arrivals: ArrivalSpec,
+    ) -> Self {
+        TenantSpec {
+            name: name.into(),
+            device: device.into(),
+            workload,
+            policy,
+            arrivals,
+            weight: 1,
+            slo: SloTarget::default(),
+        }
+    }
+
+    /// Builder-style: sets the tenant's weighted-fair scheduling weight.
+    pub fn weighted(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Builder-style: sets the tenant's SLO targets.
+    pub fn with_slo(mut self, slo: SloTarget) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Whether weight and SLOs are at their defaults (the tenant encodes in
+    /// the version-1 trace format).
+    pub(crate) fn scheduling_is_default(&self) -> bool {
+        self.weight == 1 && self.slo.is_unconstrained()
+    }
 }
 
 /// A complete tenant mix plus the workload scale its programs are generated
@@ -136,7 +211,99 @@ pub(crate) fn validate_tenant(tenant: &TenantSpec) -> Result<()> {
             tenant.name, tenant.arrivals
         )));
     }
+    if tenant.weight == 0 || tenant.weight > MAX_WEIGHT {
+        return Err(ConduitError::invalid_config(format!(
+            "tenant {}: weight must be 1..={MAX_WEIGHT}, got {}",
+            tenant.name, tenant.weight
+        )));
+    }
+    if let Some(p99) = tenant.slo.max_p99 {
+        if p99 == Duration::ZERO {
+            return Err(ConduitError::invalid_config(format!(
+                "tenant {}: max_p99 SLO target must be positive",
+                tenant.name
+            )));
+        }
+    }
+    if let Some(occ) = tenant.slo.max_lane_occupancy {
+        if !(occ.is_finite() && 0.0 < occ && occ <= 1.0) {
+            return Err(ConduitError::invalid_config(format!(
+                "tenant {}: max_lane_occupancy SLO target must be in (0, 1], got {occ}",
+                tenant.name
+            )));
+        }
+    }
     Ok(())
+}
+
+/// Flag bits of the version-2 per-tenant scheduling block.
+const SLO_HAS_MAX_P99: u8 = 1 << 0;
+const SLO_HAS_MAX_OCCUPANCY: u8 = 1 << 1;
+
+/// Appends the version-2 scheduling block (weight + optional SLO targets).
+pub(crate) fn put_scheduling(out: &mut Vec<u8>, tenant: &TenantSpec) {
+    put_u32(out, tenant.weight);
+    let mut flags = 0u8;
+    if tenant.slo.max_p99.is_some() {
+        flags |= SLO_HAS_MAX_P99;
+    }
+    if tenant.slo.max_lane_occupancy.is_some() {
+        flags |= SLO_HAS_MAX_OCCUPANCY;
+    }
+    out.push(flags);
+    if let Some(p99) = tenant.slo.max_p99 {
+        put_u64(out, p99.as_ps());
+    }
+    if let Some(occ) = tenant.slo.max_lane_occupancy {
+        put_u64(out, occ.to_bits());
+    }
+}
+
+/// Reads a scheduling block written by [`put_scheduling`]. Range checks
+/// mirror [`validate_tenant`] so a forged block cannot smuggle weights or
+/// targets past the spec-level validation.
+pub(crate) fn read_scheduling(r: &mut Reader<'_>) -> Result<(u32, SloTarget)> {
+    let weight = r.u32()?;
+    if weight == 0 || weight > MAX_WEIGHT {
+        return Err(ConduitError::corrupt_checkpoint(format!(
+            "tenant weight {weight} outside 1..={MAX_WEIGHT}"
+        )));
+    }
+    let flags = r.u8()?;
+    if flags & !(SLO_HAS_MAX_P99 | SLO_HAS_MAX_OCCUPANCY) != 0 {
+        return Err(ConduitError::corrupt_checkpoint(format!(
+            "unknown SLO flag bits {flags:#04x}"
+        )));
+    }
+    let max_p99 = if flags & SLO_HAS_MAX_P99 != 0 {
+        let ps = r.u64()?;
+        if ps == 0 {
+            return Err(ConduitError::corrupt_checkpoint(
+                "max_p99 SLO target must be positive",
+            ));
+        }
+        Some(Duration::from_ps(ps))
+    } else {
+        None
+    };
+    let max_lane_occupancy = if flags & SLO_HAS_MAX_OCCUPANCY != 0 {
+        let occ = f64::from_bits(r.u64()?);
+        if !(occ.is_finite() && 0.0 < occ && occ <= 1.0) {
+            return Err(ConduitError::corrupt_checkpoint(format!(
+                "max_lane_occupancy SLO target {occ} outside (0, 1]"
+            )));
+        }
+        Some(occ)
+    } else {
+        None
+    };
+    Ok((
+        weight,
+        SloTarget {
+            max_p99,
+            max_lane_occupancy,
+        },
+    ))
 }
 
 /// The stable trace code of a workload. Exhaustive: adding a workload
@@ -306,16 +473,16 @@ mod tests {
     use super::*;
 
     fn tenant(name: &str, device: &str) -> TenantSpec {
-        TenantSpec {
-            name: name.to_string(),
-            device: device.to_string(),
-            workload: Workload::XorFilter,
-            policy: Policy::Conduit,
-            arrivals: ArrivalSpec::Deterministic {
+        TenantSpec::new(
+            name,
+            device,
+            Workload::XorFilter,
+            Policy::Conduit,
+            ArrivalSpec::Deterministic {
                 interarrival: Duration::from_us(2.0),
                 phase: Duration::ZERO,
             },
-        }
+        )
     }
 
     #[test]
@@ -385,7 +552,24 @@ mod tests {
             },
             ..tenant("x", "dev")
         };
-        for bad in [empty_name, zero_gap] {
+        let zero_weight = tenant("x", "dev").weighted(0);
+        let huge_weight = tenant("x", "dev").weighted(MAX_WEIGHT + 1);
+        let zero_p99 = tenant("x", "dev").with_slo(SloTarget {
+            max_p99: Some(Duration::ZERO),
+            max_lane_occupancy: None,
+        });
+        let bad_occupancy = tenant("x", "dev").with_slo(SloTarget {
+            max_p99: None,
+            max_lane_occupancy: Some(1.5),
+        });
+        for bad in [
+            empty_name,
+            zero_gap,
+            zero_weight,
+            huge_weight,
+            zero_p99,
+            bad_occupancy,
+        ] {
             let mix = TrafficMix::new(Scale::test()).tenant(bad);
             assert!(mix.generate(Duration::from_us(1.0)).is_err());
         }

@@ -8,10 +8,18 @@
 //! magic "CTR1" | version u16 | scale (data u32, steps u32)
 //! tenant count u16
 //!   per tenant: name | device | workload u8 | policy u8 | arrival spec
+//!               [v2: weight u32 | slo flags u8 | optional slo targets]
 //! record count u64
 //!   per record: varint delta-from-previous-arrival | varint tenant index
 //! fnv1a checksum u64 over everything above
 //! ```
+//!
+//! Version 2 adds the per-tenant **scheduling block** — weighted-fair
+//! weight plus optional SLO targets ([`crate::SloTarget`]). Encoding is
+//! canonical: [`Trace::to_bytes`] writes the lowest version that can carry
+//! the value, so a mix whose tenants all use the defaults (weight 1, no
+//! SLOs) still produces byte-identical version-1 traces, and the frozen
+//! version-1 golden keeps decoding.
 //!
 //! All integers are little-endian; names are `u16`-length-prefixed UTF-8.
 //! Arrivals are sorted, so delta encoding makes records small (a varint
@@ -29,15 +37,22 @@ use conduit_types::{ConduitError, Duration, Result, SimTime};
 use conduit_workloads::Scale;
 
 use crate::mix::{
-    policy_code, policy_from_code, put_spec, put_str, read_spec, read_str, validate_tenant,
-    workload_code, workload_from_code, TenantSpec, TrafficMix,
+    policy_code, policy_from_code, put_scheduling, put_spec, put_str, read_scheduling, read_spec,
+    read_str, validate_tenant, SloTarget, TenantSpec, TrafficMix,
 };
+use crate::mix::{workload_code, workload_from_code};
 
 /// Magic bytes opening every serialized trace.
 pub const TRACE_MAGIC: [u8; 4] = *b"CTR1";
 
-/// Current trace format version.
+/// The original trace format version: no per-tenant scheduling block.
+/// Still written whenever every tenant uses default scheduling, so legacy
+/// traces stay byte-identical.
 pub const TRACE_VERSION: u16 = 1;
+
+/// Trace format version carrying the per-tenant scheduling block (weight +
+/// SLO targets). Written only when some tenant departs from the defaults.
+pub const TRACE_VERSION_V2: u16 = 2;
 
 /// Upper bound on tenants in a serialized trace.
 pub const MAX_TENANTS: usize = 1024;
@@ -86,11 +101,24 @@ pub struct TraceRun {
 }
 
 impl Trace {
-    /// Serializes the trace to the CTR1 wire format.
+    /// Serializes the trace to the CTR1 wire format. The version is
+    /// canonical: version 1 whenever every tenant uses default scheduling
+    /// (weight 1, no SLOs), version 2 — with the per-tenant scheduling
+    /// block — otherwise.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let version = if self
+            .mix
+            .tenants
+            .iter()
+            .all(TenantSpec::scheduling_is_default)
+        {
+            TRACE_VERSION
+        } else {
+            TRACE_VERSION_V2
+        };
         let mut out = Vec::new();
         out.extend_from_slice(&TRACE_MAGIC);
-        put_u16(&mut out, TRACE_VERSION);
+        put_u16(&mut out, version);
         put_u32(&mut out, self.mix.scale.data);
         put_u32(&mut out, self.mix.scale.steps);
         put_u16(&mut out, self.mix.tenants.len() as u16);
@@ -100,6 +128,9 @@ impl Trace {
             out.push(workload_code(tenant.workload));
             out.push(policy_code(tenant.policy));
             put_spec(&mut out, &tenant.arrivals);
+            if version == TRACE_VERSION_V2 {
+                put_scheduling(&mut out, tenant);
+            }
         }
         put_u64(&mut out, self.records.len() as u64);
         let mut prev = SimTime::ZERO;
@@ -142,9 +173,9 @@ impl Trace {
             return Err(ConduitError::corrupt_checkpoint("bad trace magic"));
         }
         let version = r.u16()?;
-        if version != TRACE_VERSION {
+        if version != TRACE_VERSION && version != TRACE_VERSION_V2 {
             return Err(ConduitError::corrupt_checkpoint(format!(
-                "unsupported trace version {version} (expected {TRACE_VERSION})"
+                "unsupported trace version {version} (expected {TRACE_VERSION} or {TRACE_VERSION_V2})"
             )));
         }
         let data = r.u32()?;
@@ -167,12 +198,19 @@ impl Trace {
             let workload = workload_from_code(r.u8()?)?;
             let policy = policy_from_code(r.u8()?)?;
             let arrivals = read_spec(&mut r)?;
+            let (weight, slo) = if version == TRACE_VERSION_V2 {
+                read_scheduling(&mut r)?
+            } else {
+                (1, SloTarget::default())
+            };
             tenants.push(TenantSpec {
                 name,
                 device,
                 workload,
                 policy,
                 arrivals,
+                weight,
+                slo,
             });
         }
         let record_count = r.counter()?;
@@ -262,10 +300,14 @@ impl Trace {
                     programs.len()
                 )));
             }
+            // The tenant index is the weighted-fair flow id: tenants sharing
+            // a device with different weights split its lane by deficit
+            // round robin; the all-default case keeps the lane plain FIFO.
             requests.push(
                 RunRequest::new(programs[t], self.mix.tenants[t].policy)
                     .on_device(devices[t])
-                    .arriving_at(record.arrival),
+                    .arriving_at(record.arrival)
+                    .weighted(record.tenant as u32, self.mix.tenants[t].weight),
             );
             tenants.push(record.tenant);
         }
@@ -293,28 +335,28 @@ mod tests {
 
     fn sample_mix() -> TrafficMix {
         TrafficMix::new(Scale::test())
-            .tenant(TenantSpec {
-                name: "victim".into(),
-                device: "shared".into(),
-                workload: Workload::Jacobi1d,
-                policy: Policy::Conduit,
-                arrivals: ArrivalSpec::Deterministic {
+            .tenant(TenantSpec::new(
+                "victim",
+                "shared",
+                Workload::Jacobi1d,
+                Policy::Conduit,
+                ArrivalSpec::Deterministic {
                     interarrival: Duration::from_us(4.0),
                     phase: Duration::ZERO,
                 },
-            })
-            .tenant(TenantSpec {
-                name: "antagonist".into(),
-                device: "shared".into(),
-                workload: Workload::LlmTraining,
-                policy: Policy::HostCpu,
-                arrivals: ArrivalSpec::MarkovOnOff {
+            ))
+            .tenant(TenantSpec::new(
+                "antagonist",
+                "shared",
+                Workload::LlmTraining,
+                Policy::HostCpu,
+                ArrivalSpec::MarkovOnOff {
                     burst_interarrival: Duration::from_us(1.0),
                     mean_on: Duration::from_us(10.0),
                     mean_off: Duration::from_us(10.0),
                     seed: 7,
                 },
-            })
+            ))
     }
 
     fn sample_trace() -> Trace {
@@ -326,9 +368,32 @@ mod tests {
         let trace = sample_trace();
         assert!(!trace.records.is_empty());
         let bytes = trace.to_bytes();
+        // Default scheduling stays on the frozen version-1 encoding.
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), TRACE_VERSION);
         let decoded = Trace::from_bytes(&bytes).unwrap();
         assert_eq!(decoded, trace);
         assert_eq!(decoded.to_bytes(), bytes, "re-encode must be identical");
+    }
+
+    #[test]
+    fn weighted_mix_roundtrips_as_version_two() {
+        use crate::mix::SloTarget;
+        let mut mix = sample_mix();
+        mix.tenants[0].weight = 3;
+        mix.tenants[1].slo = SloTarget {
+            max_p99: Some(Duration::from_us(50.0)),
+            max_lane_occupancy: Some(0.9),
+        };
+        let trace = mix.generate(Duration::from_us(40.0)).unwrap();
+        let bytes = trace.to_bytes();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), TRACE_VERSION_V2);
+        let decoded = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, trace);
+        assert_eq!(decoded.to_bytes(), bytes, "re-encode must be identical");
+        // Truncation hardening holds for the extended tenant table too.
+        for len in 0..bytes.len() {
+            assert!(Trace::from_bytes(&bytes[..len]).is_err());
+        }
     }
 
     #[test]

@@ -73,6 +73,16 @@ pub enum ConduitError {
         /// The spare-block budget that was exhausted.
         spare_blocks: u64,
     },
+    /// A request was shed by admission control: serving it would violate the
+    /// tenant's SLO targets (max p99, max lane occupancy) given the lane's
+    /// windowed statistics. Sheds are expected, counted events — the request
+    /// simply did not run; the session and its devices are unchanged.
+    AdmissionRejected {
+        /// The tenant whose request was shed.
+        tenant: String,
+        /// Which SLO check failed, human-readable.
+        reason: String,
+    },
 }
 
 impl ConduitError {
@@ -103,6 +113,15 @@ impl ConduitError {
     /// reason.
     pub fn corrupt_checkpoint(reason: impl fmt::Display) -> Self {
         ConduitError::CorruptCheckpoint {
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Creates a [`ConduitError::AdmissionRejected`] for a tenant from any
+    /// displayable reason.
+    pub fn admission_rejected(tenant: impl Into<String>, reason: impl fmt::Display) -> Self {
+        ConduitError::AdmissionRejected {
+            tenant: tenant.into(),
             reason: reason.to_string(),
         }
     }
@@ -145,6 +164,9 @@ impl fmt::Display for ConduitError {
                 f,
                 "device is degraded and read-only ({retired_blocks} blocks retired, spare budget {spare_blocks})"
             ),
+            ConduitError::AdmissionRejected { tenant, reason } => {
+                write!(f, "admission rejected for tenant {tenant}: {reason}")
+            }
         }
     }
 }
@@ -181,6 +203,7 @@ mod tests {
                 retired_blocks: 9,
                 spare_blocks: 8,
             },
+            ConduitError::admission_rejected("tenant-a", "windowed occupancy 0.97 > 0.9"),
         ];
         for e in errs {
             let msg = e.to_string();

@@ -15,12 +15,16 @@
 //! * [`vectorizer`] — the compile-time loop auto-vectorization stage,
 //! * [`workloads`] — the six evaluation workload generators,
 //! * [`traffic`] — deterministic arrival-process generators, replayable
-//!   traffic traces and tenant-mix descriptors.
+//!   traffic traces and tenant-mix descriptors,
+//! * [`fleet`] — the fleet front-end: sharded sessions, rendezvous tenant
+//!   routing, SLO-aware admission control and checkpoint-based work
+//!   migration.
 
 pub use conduit as core;
 pub use conduit_ctrl as ctrl;
 pub use conduit_dram as dram;
 pub use conduit_flash as flash;
+pub use conduit_fleet as fleet;
 pub use conduit_ftl as ftl;
 pub use conduit_sim as sim;
 pub use conduit_traffic as traffic;

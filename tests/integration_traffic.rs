@@ -22,38 +22,38 @@ use conduit_repro::workloads::{Scale, Workload};
 /// honest, not to be convenient.
 fn golden_mix() -> TrafficMix {
     TrafficMix::new(Scale::test())
-        .tenant(TenantSpec {
-            name: "victim".into(),
-            device: "shared".into(),
-            workload: Workload::Jacobi1d,
-            policy: Policy::Conduit,
-            arrivals: ArrivalSpec::Deterministic {
+        .tenant(TenantSpec::new(
+            "victim",
+            "shared",
+            Workload::Jacobi1d,
+            Policy::Conduit,
+            ArrivalSpec::Deterministic {
                 interarrival: Duration::from_us(5.0),
                 phase: Duration::from_us(1.0),
             },
-        })
-        .tenant(TenantSpec {
-            name: "background".into(),
-            device: "other".into(),
-            workload: Workload::XorFilter,
-            policy: Policy::DmOffloading,
-            arrivals: ArrivalSpec::Poisson {
+        ))
+        .tenant(TenantSpec::new(
+            "background",
+            "other",
+            Workload::XorFilter,
+            Policy::DmOffloading,
+            ArrivalSpec::Poisson {
                 mean_interarrival: Duration::from_us(7.0),
                 seed: 0x90_1d_e4,
             },
-        })
-        .tenant(TenantSpec {
-            name: "antagonist".into(),
-            device: "shared".into(),
-            workload: Workload::LlmTraining,
-            policy: Policy::HostCpu,
-            arrivals: ArrivalSpec::MarkovOnOff {
+        ))
+        .tenant(TenantSpec::new(
+            "antagonist",
+            "shared",
+            Workload::LlmTraining,
+            Policy::HostCpu,
+            ArrivalSpec::MarkovOnOff {
                 burst_interarrival: Duration::from_us(2.0),
                 mean_on: Duration::from_us(12.0),
                 mean_off: Duration::from_us(12.0),
                 seed: 0xB0_05_7E,
             },
-        })
+        ))
 }
 
 fn golden_trace() -> Trace {
