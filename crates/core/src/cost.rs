@@ -17,7 +17,7 @@
 //! candidates).
 
 use conduit_sim::StripEstimates;
-use conduit_types::{Duration, OpType, Resource, VectorInst};
+use conduit_types::{DataLocation, Duration, OpType, Resource, VectorInst};
 
 use crate::policy::PolicyContext;
 
@@ -238,6 +238,54 @@ impl CostFunction {
             .iter()
             .filter_map(|&r| strip.compute_for(r).map(|e| (r, e.latency)))
             .min_by_key(|(_, lat)| *lat)
+    }
+
+    /// The worker-thread **speculation** rule of the parallel strip
+    /// evaluator: the choice [`CostFunction::choose_from_strip`] would make
+    /// in the pure plan-time context — every data operand flash-resident,
+    /// zero dependence delay, zero queue delay. Entirely device-free, so a
+    /// pool worker can run it from the hoisted estimates alone; the commit
+    /// phase always recomputes the real choice against live device state,
+    /// and a divergence is counted as a speculation miss, never a wrong
+    /// result.
+    pub fn speculate_from_strip(
+        &self,
+        strip: &StripEstimates,
+        data_operands: u64,
+    ) -> Option<(Resource, Duration)> {
+        Resource::ALL
+            .iter()
+            .filter_map(|&r| {
+                let est = strip.compute_for(r)?;
+                let dm = if self.include_data_movement {
+                    strip.move_from(r, DataLocation::Flash) * data_operands
+                } else {
+                    Duration::ZERO
+                };
+                Some((r, est.latency + dm))
+            })
+            .min_by_key(|(_, lat)| *lat)
+    }
+
+    /// The DM-Offloading speculation rule: same pure plan-time context as
+    /// [`CostFunction::speculate_from_strip`], with
+    /// [`CostFunction::choose_min_data_movement_from_strip`]'s selection
+    /// (data movement first, compute latency as the tie-break; the
+    /// data-movement term is never ablated here, matching the real rule).
+    pub fn speculate_min_data_movement_from_strip(
+        &self,
+        strip: &StripEstimates,
+        data_operands: u64,
+    ) -> Option<(Resource, Duration)> {
+        Resource::ALL
+            .iter()
+            .filter_map(|&r| {
+                let est = strip.compute_for(r)?;
+                let dm = strip.move_from(r, DataLocation::Flash) * data_operands;
+                Some((r, dm, est.latency))
+            })
+            .min_by_key(|(_, dm, comp)| (*dm, *comp))
+            .map(|(r, dm, _)| (r, dm))
     }
 
     /// [`CostFunction::choose_min_data_movement`] from per-strip hoisted

@@ -78,10 +78,12 @@ pub use engine::{RunOptions, RuntimeEngine};
 pub use overhead::{OverheadModel, StorageOverhead};
 pub use policy::{Policy, PolicyContext};
 pub use pool::{JobClass, ThreadPool};
-pub use report::{gmean, EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
+pub use report::{
+    gmean, EnergySummary, OffloadMix, OverheadReport, ParallelismStats, RunReport, TimelineEntry,
+};
 pub use session::{
-    DeviceHandle, ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest, RunSummary,
-    Session, SessionBuilder, DEFAULT_DRR_QUANTUM, DEFAULT_PERCENTILES,
+    DeviceHandle, PlanCacheStats, ProgramId, ProgramRegistry, RunArtifacts, RunOutcome, RunRequest,
+    RunSummary, Session, SessionBuilder, DEFAULT_DRR_QUANTUM, DEFAULT_PERCENTILES,
     DEVICE_CHECKPOINT_FORMAT_VERSION, DEVICE_CHECKPOINT_FORMAT_VERSION_V1,
     DEVICE_CHECKPOINT_FORMAT_VERSION_V2, DEVICE_CHECKPOINT_MAGIC, REGISTRY_FORMAT_VERSION,
     REGISTRY_MAGIC,

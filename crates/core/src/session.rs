@@ -91,6 +91,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -108,7 +109,9 @@ use crate::cost::CostFunction;
 use crate::engine::{RunOptions, RuntimeEngine};
 use crate::policy::Policy;
 use crate::pool::ThreadPool;
-use crate::report::{EnergySummary, OffloadMix, OverheadReport, RunReport, TimelineEntry};
+use crate::report::{
+    EnergySummary, OffloadMix, OverheadReport, ParallelismStats, RunReport, TimelineEntry,
+};
 
 /// Magic bytes identifying a serialized [`ProgramRegistry`].
 pub const REGISTRY_MAGIC: [u8; 4] = *b"CPR1";
@@ -410,6 +413,9 @@ pub struct RunRequest {
     weight: u32,
     /// Forces the engine's scalar (pre-batching) run loop.
     force_scalar: bool,
+    /// Forces sequential strip evaluation (disables the parallel two-phase
+    /// run loop).
+    sequential_strips: bool,
 }
 
 impl RunRequest {
@@ -444,6 +450,7 @@ impl RunRequest {
             flow: 0,
             weight: 1,
             force_scalar: false,
+            sequential_strips: false,
         }
     }
 
@@ -454,6 +461,17 @@ impl RunRequest {
     /// process-wide equivalent).
     pub fn scalar(mut self) -> Self {
         self.force_scalar = true;
+        self
+    }
+
+    /// Builder-style: forces sequential strip evaluation — the batched run
+    /// loop without the parallel DAG evaluator, i.e. every strip's
+    /// estimates, overheads and placement are computed inline on the
+    /// committing thread. Results are bit-identical either way; the knob
+    /// exists for verification and performance comparison
+    /// (`CONDUIT_SEQ_STRIPS=1` is the process-wide equivalent).
+    pub fn sequential_strips(mut self) -> Self {
+        self.sequential_strips = true;
         self
     }
 
@@ -613,6 +631,9 @@ impl RunRequest {
         if self.force_scalar {
             options = options.scalar();
         }
+        if self.sequential_strips {
+            options = options.with_sequential_strips();
+        }
         options
     }
 }
@@ -658,6 +679,10 @@ pub struct RunSummary {
     pub percentiles: Vec<(f64, Duration)>,
     /// Offloader overhead statistics.
     pub overhead: OverheadReport,
+    /// Parallel strip-evaluator diagnostics, accumulated across repeats
+    /// (all-zero for scalar and sequential runs; excluded from equality —
+    /// see [`ParallelismStats`]).
+    pub parallelism: ParallelismStats,
     /// The device-side work this run performed (GC invocations, pages
     /// migrated, coherence syncs, wear spread, …): on a fresh device the
     /// run's absolute footprint, on a warm device the *additional* aging it
@@ -733,6 +758,7 @@ impl RunOutcome {
             latency: self.summary.latency,
             timeline: self.artifacts.map(|a| a.timeline).unwrap_or_default(),
             overhead: self.summary.overhead,
+            parallelism: self.summary.parallelism,
         }
     }
 }
@@ -835,6 +861,7 @@ fn build_outcome(
         latency: report.latency,
         percentiles,
         overhead: report.overhead,
+        parallelism: report.parallelism,
         device_delta,
     };
     let artifacts = plan.options.record_timeline.then_some(RunArtifacts {
@@ -851,6 +878,7 @@ fn execute_fresh(
     host: &HostConfig,
     faults: FaultConfig,
     plan: &RunPlan,
+    pool: Option<&ThreadPool>,
 ) -> Result<RunOutcome> {
     let engine = RuntimeEngine::with_host(ssd, host);
     let pristine = DeviceSnapshot::default();
@@ -859,21 +887,26 @@ fn execute_fresh(
     let options = plan.options.starting_at(SimTime::ZERO + plan.arrival);
     let mut report: Option<RunReport> = None;
     let mut delta = DeviceDelta::default();
+    let mut parallelism = ParallelismStats::default();
     for _ in 0..plan.repeats {
         // A fresh device per repeat keeps every run independent and the
         // whole batch bit-identical to serial execution. Each repeat's
         // device restarts the session's fault plan from its seed.
         let mut device = SsdDevice::with_faults(ssd, faults)?;
         engine.prepare(&mut device, &plan.program)?;
-        report = Some(engine.run_with_plan(
+        let run = engine.run_pooled(
             &mut device,
             &plan.program,
             &options,
-            plan.strip_plan.as_deref(),
-        )?);
+            plan.strip_plan.as_ref(),
+            pool,
+        )?;
         delta.accumulate(device.snapshot().delta_since(&pristine));
+        parallelism.accumulate(&run.parallelism);
+        report = Some(run);
     }
-    let report = report.expect("repeats is clamped to at least one");
+    let mut report = report.expect("repeats is clamped to at least one");
+    report.parallelism = parallelism;
     Ok(build_outcome(report, plan, delta, Duration::ZERO))
 }
 
@@ -895,6 +928,7 @@ fn execute_on_lane(
     slot: &DeviceSlot,
     plan: &RunPlan,
     batch_base: Option<SimTime>,
+    pool: Option<&ThreadPool>,
 ) -> Result<RunOutcome> {
     let mut lane = slot.lane.lock().expect("device-lane mutex poisoned");
     let lane = &mut *lane;
@@ -914,6 +948,7 @@ fn execute_on_lane(
     lane.clock = lane.clock.max(arrival);
     let issue = lane.clock;
     let mut report: Result<Option<RunReport>> = Ok(None);
+    let mut parallelism = ParallelismStats::default();
     for _ in 0..plan.repeats {
         let start = lane.clock;
         let options = plan.options.starting_at(start);
@@ -922,11 +957,20 @@ fn execute_on_lane(
         report = engine
             .prepare(device, &plan.program)
             .and_then(|()| {
-                engine.run_with_plan(device, &plan.program, &options, plan.strip_plan.as_deref())
+                engine.run_pooled(
+                    device,
+                    &plan.program,
+                    &options,
+                    plan.strip_plan.as_ref(),
+                    pool,
+                )
             })
             .map(Some);
         match &report {
-            Ok(Some(run)) => lane.clock = start + run.total_time,
+            Ok(Some(run)) => {
+                lane.clock = start + run.total_time;
+                parallelism.accumulate(&run.parallelism);
+            }
             // The (possibly partially advanced) device stays with the
             // session so the stream can continue or be inspected.
             _ => break,
@@ -936,7 +980,8 @@ fn execute_on_lane(
     // partially advanced, and the idle gap was real either way.
     device.record_lane_request(idle_gap, queueing_time, lane.clock.saturating_since(issue));
     let delta = device.snapshot().delta_since(&before);
-    let report = report?.expect("repeats is clamped to at least one");
+    let mut report = report?.expect("repeats is clamped to at least one");
+    report.parallelism = parallelism;
     Ok(build_outcome(report, plan, delta, queueing_time))
 }
 
@@ -994,6 +1039,7 @@ fn run_lane(
     indices: &[usize],
     base: SimTime,
     quantum: Duration,
+    pool: Option<&ThreadPool>,
     mut deliver: impl FnMut(usize, Result<RunOutcome>) -> bool,
 ) {
     let uniform = indices
@@ -1001,7 +1047,7 @@ fn run_lane(
         .all(|w| plans[w[0]].weight == plans[w[1]].weight);
     if uniform {
         for &i in indices {
-            let outcome = execute_on_lane(engine, ssd, slot, &plans[i], Some(base));
+            let outcome = execute_on_lane(engine, ssd, slot, &plans[i], Some(base), pool);
             if !deliver(i, outcome) {
                 return;
             }
@@ -1031,7 +1077,7 @@ fn run_lane(
     let clock = || slot.lane.lock().expect("device-lane mutex poisoned").clock;
     let mut serve = |flows: &mut Vec<(u32, LaneFlow)>, fi: usize| -> Option<bool> {
         let i = flows[fi].1.head_index()?;
-        let outcome = execute_on_lane(engine, ssd, slot, &plans[i], Some(base));
+        let outcome = execute_on_lane(engine, ssd, slot, &plans[i], Some(base), pool);
         let service = outcome
             .as_ref()
             .map(|o| o.summary.service_time)
@@ -1205,6 +1251,9 @@ impl SessionBuilder {
             devices: Vec::new(),
             engine: OnceLock::new(),
             plan_cache: Mutex::new(HashMap::new()),
+            plan_cache_hits: AtomicU64::new(0),
+            plan_cache_misses: AtomicU64::new(0),
+            plan_cache_inline: AtomicU64::new(0),
         }
     }
 }
@@ -1264,6 +1313,40 @@ pub struct Session {
     /// not once per run. The registry is append-only and content-addressed,
     /// so cached plans never need invalidation.
     plan_cache: Mutex<HashMap<(ProgramId, Policy, CostFunction), Arc<StripPlan>>>,
+    /// Plan-cache hit counter (see [`Session::plan_cache_stats`]).
+    plan_cache_hits: AtomicU64,
+    /// Plan-cache miss counter: cold (program, policy, cost-function) keys
+    /// that had to run the strip-mining planner.
+    plan_cache_misses: AtomicU64,
+    /// Inline-program runs that bypass the cache entirely (one-shot
+    /// [`RunRequest::inline`] programs plan on the fly in the engine).
+    plan_cache_inline: AtomicU64,
+}
+
+/// A point-in-time snapshot of a session's strip-plan cache counters
+/// ([`Session::plan_cache_stats`]). `hits + misses` equals the number of
+/// registered-program runs planned so far; `inline` counts one-shot
+/// [`RunRequest::inline`] runs that never touch the cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the strip-mining planner.
+    pub misses: u64,
+    /// Runs of unregistered (inline) programs that bypass the cache.
+    pub inline: u64,
+}
+
+impl PlanCacheStats {
+    /// Fraction of cacheable lookups that hit (0 when none happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 impl Session {
@@ -1583,22 +1666,31 @@ impl Session {
         };
         // Registered programs strip-mine once per (program, policy,
         // cost-function); inline one-shots plan on the fly in the engine.
-        let strip_plan = registered.map(|id| {
-            let key = (id, request.policy, request.cost_function);
-            Arc::clone(
-                self.plan_cache
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .entry(key)
-                    .or_insert_with(|| {
-                        Arc::new(StripPlan::plan(
+        let strip_plan = match registered {
+            Some(id) => {
+                let key = (id, request.policy, request.cost_function);
+                let mut cache = self.plan_cache.lock().unwrap_or_else(|e| e.into_inner());
+                let plan = match cache.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        self.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                        Arc::clone(entry.get())
+                    }
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+                        Arc::clone(entry.insert(Arc::new(StripPlan::plan(
                             &program,
                             request.policy,
                             request.cost_function,
-                        ))
-                    }),
-            )
-        });
+                        ))))
+                    }
+                };
+                Some(plan)
+            }
+            None => {
+                self.plan_cache_inline.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        };
         let mode = match request.device {
             None => PlanMode::Fresh,
             Some(handle) => {
@@ -1629,6 +1721,27 @@ impl Session {
             .get_or_init(|| RuntimeEngine::with_host(&self.ssd, &self.host))
     }
 
+    /// A point-in-time snapshot of the strip-plan cache counters: cache
+    /// hits, planner runs (misses), and inline-program runs that bypass the
+    /// cache. Counters only ever grow for the session's lifetime.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.plan_cache_hits.load(Ordering::Relaxed),
+            misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            inline: self.plan_cache_inline.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The thread pool used for intra-run parallel strip evaluation on
+    /// calling-thread executions; `None` for serial sessions. Batch fan-out
+    /// closures deliberately run without it: the fan-out itself already
+    /// saturates the pool, so nested scan jobs would only queue behind the
+    /// very work that is waiting for them (the engine's committer evaluates
+    /// inline in that case anyway, with identical results).
+    fn eval_pool(&self) -> Option<&ThreadPool> {
+        (self.workers > 1).then(|| self.pool.get_or_init(|| ThreadPool::new(self.workers)))
+    }
+
     /// Executes one request on the calling thread (fresh runs on a pristine
     /// device; warm runs continue on their pooled device's persistent
     /// state).
@@ -1640,12 +1753,21 @@ impl Session {
     pub fn submit(&self, request: &RunRequest) -> Result<RunOutcome> {
         let plan = self.plan(request)?;
         match plan.mode {
-            PlanMode::Fresh => execute_fresh(&self.ssd, &self.host, self.faults, &plan),
+            PlanMode::Fresh => {
+                execute_fresh(&self.ssd, &self.host, self.faults, &plan, self.eval_pool())
+            }
             PlanMode::Device(slot) => {
                 // A lone submit is a batch of one: the lane window covers
                 // exactly this request.
                 self.reset_lane_window_of(slot);
-                execute_on_lane(self.engine(), &self.ssd, &self.devices[slot], &plan, None)
+                execute_on_lane(
+                    self.engine(),
+                    &self.ssd,
+                    &self.devices[slot],
+                    &plan,
+                    None,
+                    self.eval_pool(),
+                )
             }
         }
     }
@@ -1745,7 +1867,13 @@ impl Session {
             let mut slots: Vec<Option<Result<RunOutcome>>> =
                 (0..plans.len()).map(|_| None).collect();
             for &i in &fresh {
-                slots[i] = Some(execute_fresh(&self.ssd, &self.host, self.faults, &plans[i]));
+                slots[i] = Some(execute_fresh(
+                    &self.ssd,
+                    &self.host,
+                    self.faults,
+                    &plans[i],
+                    self.eval_pool(),
+                ));
             }
             for (slot, indices) in &lanes {
                 run_lane(
@@ -1756,6 +1884,7 @@ impl Session {
                     indices,
                     arrival_of(*slot),
                     self.drr_quantum,
+                    self.eval_pool(),
                     |i, outcome| {
                         slots[i] = Some(outcome);
                         true
@@ -1793,6 +1922,8 @@ impl Session {
             let engine = self.engine().clone();
             let base = arrivals[lane_pos];
             pool.execute_lane(move || {
+                // No eval pool inside batch fan-out: these workers *are* the
+                // pool, and the committer's inline path is bit-identical.
                 run_lane(
                     &engine,
                     &shared.ssd,
@@ -1801,6 +1932,7 @@ impl Session {
                     &indices,
                     base,
                     quantum,
+                    None,
                     |i, outcome| tx.send((i, outcome)).is_ok(),
                 );
             });
@@ -1813,8 +1945,13 @@ impl Session {
             let shared = Arc::clone(&shared);
             let tx = tx.clone();
             pool.execute(move || {
-                let outcome =
-                    execute_fresh(&shared.ssd, &shared.host, shared.faults, &shared.plans[i]);
+                let outcome = execute_fresh(
+                    &shared.ssd,
+                    &shared.host,
+                    shared.faults,
+                    &shared.plans[i],
+                    None,
+                );
                 let _ = tx.send((i, outcome));
             });
         }

@@ -20,6 +20,8 @@
 //! a [`CostBreakdown`] of where the service time went, and the energy it
 //! consumed; energy is also accumulated in the device's [`EnergyMeter`].
 
+use std::sync::Arc;
+
 use conduit_ctrl::{CoreAllocation, IspModel};
 use conduit_dram::{DramTiming, PudModel};
 use conduit_flash::{FlashTiming, IfpModel, IfpPlacement};
@@ -97,6 +99,26 @@ impl OpCompletion {
 /// See the crate-level documentation for an end-to-end example.
 #[derive(Debug, Clone)]
 pub struct SsdDevice {
+    /// The immutable substrate models, shareable across threads. The
+    /// parallel strip-evaluation path hands a clone of this [`Arc`] to
+    /// worker threads so they can answer pure estimate queries while the
+    /// committing thread holds `&mut SsdDevice`.
+    models: Arc<DeviceModels>,
+    #[allow(dead_code)]
+    cores: CoreAllocation,
+    /// Everything that mutates as instructions execute.
+    state: DeviceState,
+}
+
+/// The immutable half of an [`SsdDevice`]: every timing/energy model plus
+/// the precomputed [`EstimateTable`], all pure functions of the
+/// [`SsdConfig`]. Nothing in here ever mutates after construction, so a
+/// `DeviceModels` is freely shareable (`Send + Sync`) and answers the
+/// state-independent estimate queries the batched engine hoists per strip —
+/// including on worker threads, concurrently with the owning device
+/// executing commits.
+#[derive(Debug)]
+pub struct DeviceModels {
     cfg: SsdConfig,
     flash_timing: FlashTiming,
     ifp: IfpModel,
@@ -106,10 +128,112 @@ pub struct SsdDevice {
     /// Per-(resource, op) and per-(location, location) estimates, built once
     /// from the static configuration (see [`EstimateTable`]).
     estimates: EstimateTable,
-    #[allow(dead_code)]
-    cores: CoreAllocation,
-    /// Everything that mutates as instructions execute.
-    state: DeviceState,
+}
+
+impl DeviceModels {
+    /// Builds every substrate model from the configuration.
+    pub fn new(cfg: &SsdConfig) -> Self {
+        let flash_timing = FlashTiming::new(&cfg.flash);
+        let ifp = IfpModel::new(&cfg.flash);
+        let pud = PudModel::new(&cfg.dram);
+        let dram_timing = DramTiming::new(&cfg.dram);
+        let isp = IspModel::new(&cfg.ctrl);
+        let estimates = EstimateTable::new(cfg, &ifp, &pud, &isp, &flash_timing, &dram_timing);
+        DeviceModels {
+            cfg: cfg.clone(),
+            flash_timing,
+            ifp,
+            pud,
+            dram_timing,
+            isp,
+            estimates,
+        }
+    }
+
+    /// The device configuration the models were built from.
+    pub fn config(&self) -> &SsdConfig {
+        &self.cfg
+    }
+
+    /// Un-contended compute latency of `op` on `resource` (see
+    /// [`SsdDevice::estimate_compute`]).
+    #[inline]
+    pub fn estimate_compute(
+        &self,
+        resource: Resource,
+        op: OpType,
+        elem_bits: u32,
+        lanes: u32,
+    ) -> Option<Duration> {
+        match self.estimates.compute(resource, op, elem_bits, lanes) {
+            Some(entry) => entry.map(|e| e.latency),
+            None => EstimateTable::evaluate(
+                &self.cfg, &self.ifp, &self.pud, &self.isp, resource, op, elem_bits, lanes,
+            )
+            .map(|e| e.latency),
+        }
+    }
+
+    /// Un-contended compute energy of `op` on `resource` (see
+    /// [`SsdDevice::estimate_compute_energy`]).
+    #[inline]
+    pub fn estimate_compute_energy(
+        &self,
+        resource: Resource,
+        op: OpType,
+        elem_bits: u32,
+        lanes: u32,
+    ) -> Option<Energy> {
+        match self.estimates.compute(resource, op, elem_bits, lanes) {
+            Some(entry) => entry.map(|e| e.energy),
+            None => EstimateTable::evaluate(
+                &self.cfg, &self.ifp, &self.pud, &self.isp, resource, op, elem_bits, lanes,
+            )
+            .map(|e| e.energy),
+        }
+    }
+
+    /// Static (contention-free) data-movement estimate (see
+    /// [`SsdDevice::estimate_move`]).
+    #[inline]
+    pub fn estimate_move(&self, from: DataLocation, to: DataLocation, bytes: u64) -> Duration {
+        match self.estimates.move_latency(from, to, bytes) {
+            Some(latency) => latency,
+            None => EstimateTable::evaluate_move(
+                &self.cfg,
+                &self.flash_timing,
+                &self.dram_timing,
+                from,
+                to,
+                bytes,
+            ),
+        }
+    }
+
+    /// Hoists a whole strip's per-resource compute and static-move
+    /// estimates (see [`SsdDevice::estimate_strip`]). Pure, so worker
+    /// threads can evaluate strips concurrently with the committing thread.
+    #[inline]
+    pub fn estimate_strip(
+        &self,
+        op: OpType,
+        elem_bits: u32,
+        lanes: u32,
+        vector_bytes: u64,
+    ) -> StripEstimates {
+        self.estimates.estimate_batch(
+            &self.cfg,
+            &self.ifp,
+            &self.pud,
+            &self.isp,
+            &self.flash_timing,
+            &self.dram_timing,
+            op,
+            elem_bits,
+            lanes,
+            vector_bytes,
+        )
+    }
 }
 
 impl SsdDevice {
@@ -145,28 +269,23 @@ impl SsdDevice {
     /// Returns configuration errors from the core allocation.
     pub fn with_state(cfg: &SsdConfig, state: DeviceState) -> Result<Self> {
         let cores = CoreAllocation::standard(&cfg.ctrl)?;
-        let flash_timing = FlashTiming::new(&cfg.flash);
-        let ifp = IfpModel::new(&cfg.flash);
-        let pud = PudModel::new(&cfg.dram);
-        let dram_timing = DramTiming::new(&cfg.dram);
-        let isp = IspModel::new(&cfg.ctrl);
-        let estimates = EstimateTable::new(cfg, &ifp, &pud, &isp, &flash_timing, &dram_timing);
         Ok(SsdDevice {
-            flash_timing,
-            ifp,
-            pud,
-            dram_timing,
-            isp,
-            estimates,
+            models: Arc::new(DeviceModels::new(cfg)),
             cores,
             state,
-            cfg: cfg.clone(),
         })
     }
 
     /// The device configuration.
     pub fn config(&self) -> &SsdConfig {
-        &self.cfg
+        &self.models.cfg
+    }
+
+    /// A shareable handle to the immutable substrate models (see
+    /// [`DeviceModels`]). Cloning the [`Arc`] is cheap; worker threads use
+    /// it to answer estimate queries while the owner mutates device state.
+    pub fn models(&self) -> Arc<DeviceModels> {
+        Arc::clone(&self.models)
     }
 
     /// The persistent device state (read-only).
@@ -300,13 +419,16 @@ impl SsdDevice {
             }
             (DataLocation::Dram, DataLocation::Host)
             | (DataLocation::CtrlSram, DataLocation::Host) => {
-                self.host_transfer(self.cfg.flash.page_bytes, true, completion.ready)
+                self.host_transfer(self.models.cfg.flash.page_bytes, true, completion.ready)
             }
             (DataLocation::Flash, _) => {
                 let to_internal = self.flash_read_page(page, completion.ready)?;
                 if dest == DataLocation::Host {
-                    let link =
-                        self.host_transfer(self.cfg.flash.page_bytes, true, to_internal.ready);
+                    let link = self.host_transfer(
+                        self.models.cfg.flash.page_bytes,
+                        true,
+                        to_internal.ready,
+                    );
                     to_internal.join(link)
                 } else {
                     to_internal
@@ -314,7 +436,7 @@ impl SsdDevice {
             }
             (DataLocation::Host, _) => {
                 // Host-resident data flowing back into the SSD.
-                self.host_transfer(self.cfg.flash.page_bytes, false, completion.ready)
+                self.host_transfer(self.models.cfg.flash.page_bytes, false, completion.ready)
             }
             _ => OpCompletion::immediate(completion.ready),
         };
@@ -384,9 +506,10 @@ impl SsdDevice {
     /// Transfers `bytes` over the host link (NVMe command overhead + PCIe).
     pub fn host_transfer(&mut self, bytes: u64, to_host: bool, earliest: SimTime) -> OpCompletion {
         let _ = to_host;
-        let service = self.cfg.link.nvme_cmd_latency + self.cfg.link.transfer_time(bytes);
+        let service =
+            self.models.cfg.link.nvme_cmd_latency + self.models.cfg.link.transfer_time(bytes);
         let (_, end) = self.state.pcie.reserve(earliest, service);
-        let energy = self.cfg.link.e_per_byte * (bytes as f64);
+        let energy = self.models.cfg.link.e_per_byte * (bytes as f64);
         self.state.energy.charge(EnergySource::HostLink, energy);
         OpCompletion {
             ready: end,
@@ -402,7 +525,7 @@ impl SsdDevice {
     /// instruction transformation overheads, §4.5).
     pub fn offloader_busy(&mut self, dur: Duration, earliest: SimTime) -> OpCompletion {
         let (_, end) = self.state.offloader_core.reserve(earliest, dur);
-        let energy = Energy::from_power(self.cfg.ctrl.core_power_w, dur);
+        let energy = Energy::from_power(self.models.cfg.ctrl.core_power_w, dur);
         self.state.energy.charge(EnergySource::Offloader, energy);
         OpCompletion {
             ready: end,
@@ -430,11 +553,47 @@ impl SsdDevice {
         earliest: SimTime,
         count: u64,
     ) -> StripWindow {
-        let (start, _end) = self
-            .state
-            .offloader_core
-            .reserve_batch(earliest, dur, count);
-        let energy_each = Energy::from_power(self.cfg.ctrl.core_power_w, dur);
+        let probed = self.probe_offloader_strip(dur, earliest, count);
+        let committed = self.commit_offloader_strip(dur, earliest, count);
+        debug_assert_eq!(
+            probed, committed,
+            "an un-interleaved probe must predict its commit exactly"
+        );
+        committed
+    }
+
+    /// Pure half of [`SsdDevice::offloader_busy_strip`]: the
+    /// [`StripWindow`] a strip arriving at `earliest` *would* get, without
+    /// touching the offloader-core timeline or the energy meter. Exact as
+    /// long as no other reservation lands before the matching
+    /// [`SsdDevice::commit_offloader_strip`].
+    pub fn probe_offloader_strip(
+        &self,
+        dur: Duration,
+        earliest: SimTime,
+        count: u64,
+    ) -> StripWindow {
+        let (start, _end) = self.state.offloader_core.probe_batch(earliest, dur, count);
+        StripWindow {
+            first_ready: start + dur,
+            step: dur,
+            energy_each: Energy::from_power(self.models.cfg.ctrl.core_power_w, dur),
+        }
+    }
+
+    /// Commit half of [`SsdDevice::offloader_busy_strip`]: applies the
+    /// strip's offloader-core reservation and charges the per-instruction
+    /// energy `count` times in order (so the floating-point accumulation in
+    /// the energy meter matches `count` chained
+    /// [`SsdDevice::offloader_busy`] calls exactly).
+    pub fn commit_offloader_strip(
+        &mut self,
+        dur: Duration,
+        earliest: SimTime,
+        count: u64,
+    ) -> StripWindow {
+        let (start, _end) = self.state.offloader_core.commit_batch(earliest, dur, count);
+        let energy_each = Energy::from_power(self.models.cfg.ctrl.core_power_w, dur);
         for _ in 0..count {
             self.state
                 .energy
@@ -491,7 +650,7 @@ impl SsdDevice {
         earliest: SimTime,
     ) -> Result<OpCompletion> {
         let placement = self.ifp_placement(operand_pages);
-        let cost = self.ifp.op_cost(op, elem_bits, lanes, placement)?;
+        let cost = self.models.ifp.op_cost(op, elem_bits, lanes, placement)?;
         // The operation occupies the die holding the first operand (or the
         // least-busy die when operands are intermediate values).
         let end = match operand_pages.first().and_then(|p| self.state.ftl.peek(*p)) {
@@ -530,7 +689,7 @@ impl SsdDevice {
         earliest: SimTime,
     ) -> Result<OpCompletion> {
         let banks_free = self.state.dram_banks.free_units(earliest).max(1) as u32;
-        let cost = self.pud.op_cost(op, elem_bits, lanes, banks_free)?;
+        let cost = self.models.pud.op_cost(op, elem_bits, lanes, banks_free)?;
         let mut ready = earliest;
         for _ in 0..cost.sub_ops {
             let (_, end, _) = self.state.dram_banks.reserve(earliest, cost.latency);
@@ -555,7 +714,7 @@ impl SsdDevice {
         lanes: u32,
         earliest: SimTime,
     ) -> OpCompletion {
-        let cost = self.isp.op_cost(op, elem_bits, lanes);
+        let cost = self.models.isp.op_cost(op, elem_bits, lanes);
         let (_, end, _) = self.state.compute_cores.reserve(earliest, cost.latency);
         self.state.energy.charge(EnergySource::Isp, cost.energy);
         OpCompletion {
@@ -586,13 +745,7 @@ impl SsdDevice {
         elem_bits: u32,
         lanes: u32,
     ) -> Option<Duration> {
-        match self.estimates.compute(resource, op, elem_bits, lanes) {
-            Some(entry) => entry.map(|e| e.latency),
-            None => EstimateTable::evaluate(
-                &self.cfg, &self.ifp, &self.pud, &self.isp, resource, op, elem_bits, lanes,
-            )
-            .map(|e| e.latency),
-        }
+        self.models.estimate_compute(resource, op, elem_bits, lanes)
     }
 
     /// Un-contended compute *energy* of `op` on `resource`, or `None` if the
@@ -606,13 +759,8 @@ impl SsdDevice {
         elem_bits: u32,
         lanes: u32,
     ) -> Option<Energy> {
-        match self.estimates.compute(resource, op, elem_bits, lanes) {
-            Some(entry) => entry.map(|e| e.energy),
-            None => EstimateTable::evaluate(
-                &self.cfg, &self.ifp, &self.pud, &self.isp, resource, op, elem_bits, lanes,
-            )
-            .map(|e| e.energy),
-        }
+        self.models
+            .estimate_compute_energy(resource, op, elem_bits, lanes)
     }
 
     /// Static (contention-free) estimate of moving `bytes` from `from` to
@@ -620,17 +768,7 @@ impl SsdDevice {
     /// vectors hit the precomputed table; other sizes are computed exactly.
     #[inline]
     pub fn estimate_move(&self, from: DataLocation, to: DataLocation, bytes: u64) -> Duration {
-        match self.estimates.move_latency(from, to, bytes) {
-            Some(latency) => latency,
-            None => EstimateTable::evaluate_move(
-                &self.cfg,
-                &self.flash_timing,
-                &self.dram_timing,
-                from,
-                to,
-                bytes,
-            ),
-        }
+        self.models.estimate_move(from, to, bytes)
     }
 
     /// Hoists the per-resource compute and static-move estimates a strip of
@@ -646,18 +784,8 @@ impl SsdDevice {
         lanes: u32,
         vector_bytes: u64,
     ) -> StripEstimates {
-        self.estimates.estimate_batch(
-            &self.cfg,
-            &self.ifp,
-            &self.pud,
-            &self.isp,
-            &self.flash_timing,
-            &self.dram_timing,
-            op,
-            elem_bits,
-            lanes,
-            vector_bytes,
-        )
+        self.models
+            .estimate_strip(op, elem_bits, lanes, vector_bytes)
     }
 
     /// The queueing delay a new operation would currently see on `resource`
@@ -756,31 +884,39 @@ impl SsdDevice {
         let l2p_penalty = if l2p_hit {
             Duration::ZERO
         } else {
-            self.cfg.overheads.l2p_lookup_flash
+            self.models.cfg.overheads.l2p_lookup_flash
         };
         let sense_start = earliest + l2p_penalty;
-        let sense_service = self.flash_timing.read_page() * senses;
+        let sense_service = self.models.flash_timing.read_page() * senses;
         let (_, sense_end) = self
             .state
             .dies
             .reserve_unit(die, sense_start, sense_service);
         let (_, dma_end) =
-            self.state.channels[channel].reserve(sense_end, self.flash_timing.page_dma());
+            self.state.channels[channel].reserve(sense_end, self.models.flash_timing.page_dma());
         let bus = self.state.dram_bus.reserve(
             dma_end,
-            self.dram_timing.bus_transfer(self.cfg.flash.page_bytes),
+            self.models
+                .dram_timing
+                .bus_transfer(self.models.cfg.flash.page_bytes),
         );
 
-        let energy = self.flash_timing.read_energy() * senses
-            + self.flash_timing.dma_energy()
-            + self.dram_timing.transfer_energy(self.cfg.flash.page_bytes);
+        let energy = self.models.flash_timing.read_energy() * senses
+            + self.models.flash_timing.dma_energy()
+            + self
+                .models
+                .dram_timing
+                .transfer_energy(self.models.cfg.flash.page_bytes);
         self.state.energy.charge(EnergySource::FlashRead, energy);
         Ok(OpCompletion {
             ready: bus.1,
             breakdown: CostBreakdown {
                 flash_array: sense_service + l2p_penalty,
-                internal_data_movement: self.flash_timing.page_dma()
-                    + self.dram_timing.bus_transfer(self.cfg.flash.page_bytes),
+                internal_data_movement: self.models.flash_timing.page_dma()
+                    + self
+                        .models
+                        .dram_timing
+                        .bus_transfer(self.models.cfg.flash.page_bytes),
                 ..CostBreakdown::zero()
             },
             energy,
@@ -796,31 +932,34 @@ impl SsdDevice {
         earliest: SimTime,
     ) -> Result<OpCompletion> {
         // Stage the data to the channel: DRAM/SRAM read over the internal bus.
-        let bus = self.bus_move(self.cfg.flash.page_bytes, earliest);
+        let bus = self.bus_move(self.models.cfg.flash.page_bytes, earliest);
         let (new_addr, gc) = self.state.ftl.rewrite(page)?;
         let geo = self.state.ftl.flash_state().geometry();
         let die = geo.die_index_of(new_addr) as usize;
         let channel = new_addr.channel as usize % self.state.channels.len();
         let (_, dma_end) =
-            self.state.channels[channel].reserve(bus.ready, self.flash_timing.page_dma());
+            self.state.channels[channel].reserve(bus.ready, self.models.flash_timing.page_dma());
         let (_, prog_end) =
             self.state
                 .dies
-                .reserve_unit(die, dma_end, self.flash_timing.program_page());
+                .reserve_unit(die, dma_end, self.models.flash_timing.program_page());
 
-        let mut energy = self.flash_timing.dma_energy() + self.flash_timing.program_energy();
-        let mut flash_time = self.flash_timing.program_page();
+        let mut energy =
+            self.models.flash_timing.dma_energy() + self.models.flash_timing.program_energy();
+        let mut flash_time = self.models.flash_timing.program_page();
         // Garbage collection triggered by this commit: each relocation is a
         // read + program, each erase a block erase.
         if !gc.is_empty() {
             let reloc = gc.relocated_pages;
-            let gc_latency = (self.flash_timing.read_page() + self.flash_timing.program_page())
+            let gc_latency = (self.models.flash_timing.read_page()
+                + self.models.flash_timing.program_page())
                 * reloc
-                + self.flash_timing.erase_block() * gc.erased_blocks;
+                + self.models.flash_timing.erase_block() * gc.erased_blocks;
             let (_, gc_end) = self.state.dies.reserve_unit(die, prog_end, gc_latency);
             flash_time += gc_latency;
-            energy +=
-                (self.flash_timing.read_energy() + self.flash_timing.program_energy()) * reloc;
+            energy += (self.models.flash_timing.read_energy()
+                + self.models.flash_timing.program_energy())
+                * reloc;
             let _ = gc_end;
         }
         self.state.energy.charge(EnergySource::FlashCommit, energy);
@@ -828,7 +967,7 @@ impl SsdDevice {
         Ok(OpCompletion {
             ready: prog_end,
             breakdown: CostBreakdown {
-                internal_data_movement: self.flash_timing.page_dma(),
+                internal_data_movement: self.models.flash_timing.page_dma(),
                 flash_array: flash_time,
                 ..CostBreakdown::zero()
             },
@@ -839,16 +978,19 @@ impl SsdDevice {
 
     /// Anonymous flash read of `bytes` (used for intermediate values only).
     fn flash_read_bytes(&mut self, bytes: u64, earliest: SimTime) -> OpCompletion {
-        let pages = bytes.div_ceil(self.cfg.flash.page_bytes).max(1);
-        let service = (self.flash_timing.read_page() + self.flash_timing.page_dma()) * pages;
+        let pages = bytes.div_ceil(self.models.cfg.flash.page_bytes).max(1);
+        let service =
+            (self.models.flash_timing.read_page() + self.models.flash_timing.page_dma()) * pages;
         let (_, end, _) = self.state.dies.reserve(earliest, service);
-        let energy = (self.flash_timing.read_energy() + self.flash_timing.dma_energy()) * pages;
+        let energy = (self.models.flash_timing.read_energy()
+            + self.models.flash_timing.dma_energy())
+            * pages;
         self.state.energy.charge(EnergySource::FlashRead, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
-                flash_array: self.flash_timing.read_page() * pages,
-                internal_data_movement: self.flash_timing.page_dma() * pages,
+                flash_array: self.models.flash_timing.read_page() * pages,
+                internal_data_movement: self.models.flash_timing.page_dma() * pages,
                 ..CostBreakdown::zero()
             },
             energy,
@@ -857,16 +999,19 @@ impl SsdDevice {
 
     /// Anonymous flash program of `bytes` (used for intermediate values).
     fn flash_program_bytes(&mut self, bytes: u64, earliest: SimTime) -> OpCompletion {
-        let pages = bytes.div_ceil(self.cfg.flash.page_bytes).max(1);
-        let service = (self.flash_timing.page_dma() + self.flash_timing.program_page()) * pages;
+        let pages = bytes.div_ceil(self.models.cfg.flash.page_bytes).max(1);
+        let service =
+            (self.models.flash_timing.page_dma() + self.models.flash_timing.program_page()) * pages;
         let (_, end, _) = self.state.dies.reserve(earliest, service);
-        let energy = (self.flash_timing.dma_energy() + self.flash_timing.program_energy()) * pages;
+        let energy = (self.models.flash_timing.dma_energy()
+            + self.models.flash_timing.program_energy())
+            * pages;
         self.state.energy.charge(EnergySource::FlashProgram, energy);
         OpCompletion {
             ready: end,
             breakdown: CostBreakdown {
-                flash_array: self.flash_timing.program_page() * pages,
-                internal_data_movement: self.flash_timing.page_dma() * pages,
+                flash_array: self.models.flash_timing.program_page() * pages,
+                internal_data_movement: self.models.flash_timing.page_dma() * pages,
                 ..CostBreakdown::zero()
             },
             energy,
@@ -874,13 +1019,13 @@ impl SsdDevice {
     }
 
     fn dram_to_ctrl_transfer(&mut self, earliest: SimTime) -> OpCompletion {
-        self.bus_move(self.cfg.flash.page_bytes, earliest)
+        self.bus_move(self.models.cfg.flash.page_bytes, earliest)
     }
 
     fn bus_move(&mut self, bytes: u64, earliest: SimTime) -> OpCompletion {
-        let service = self.dram_timing.bus_transfer(bytes);
+        let service = self.models.dram_timing.bus_transfer(bytes);
         let (_, end) = self.state.dram_bus.reserve(earliest, service);
-        let energy = self.dram_timing.transfer_energy(bytes);
+        let energy = self.models.dram_timing.transfer_energy(bytes);
         self.state.energy.charge(EnergySource::DramBus, energy);
         OpCompletion {
             ready: end,

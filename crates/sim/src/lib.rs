@@ -44,7 +44,7 @@ mod resources;
 mod state;
 mod stats;
 
-pub use device::{OpCompletion, SsdDevice, StripWindow};
+pub use device::{DeviceModels, OpCompletion, SsdDevice, StripWindow};
 pub use energy::{EnergyCategory, EnergyMeter};
 pub use engine::EventQueue;
 pub use estimates::{CostEstimate, EstimateTable, StripEstimates, LOC_COUNT, RESOURCE_COUNT};

@@ -249,3 +249,238 @@ fn warm_coherence_state_flips_placement_mid_strip() {
         "expected a mid-strip placement change, got {sites:?}"
     );
 }
+
+// ---------------------------------------------------------------------
+// The parallel (DAG-scheduled) evaluate/commit path. `RunRequest::
+// sequential_strips` / `CONDUIT_SEQ_STRIPS=1` is its escape hatch, the
+// same way `scalar` / `CONDUIT_SCALAR=1` gates the batched loop.
+// ---------------------------------------------------------------------
+
+#[test]
+fn parallel_path_matches_scalar_for_every_workload_policy_and_pool_size() {
+    let mut serial = Session::builder(SsdConfig::small_for_tests())
+        .workers(1)
+        .build();
+    let serial_ids: Vec<_> = Workload::ALL
+        .iter()
+        .map(|w| serial.register(w.program(Scale::test()).unwrap()).unwrap())
+        .collect();
+    for workers in [2, 4, 8] {
+        let mut session = Session::builder(SsdConfig::small_for_tests())
+            .workers(workers)
+            .build();
+        for (wi, workload) in Workload::ALL.iter().enumerate() {
+            let id = session
+                .register(workload.program(Scale::test()).unwrap())
+                .unwrap();
+            for policy in Policy::ALL {
+                let parallel = session
+                    .submit(&RunRequest::new(id, policy).timeline(true))
+                    .unwrap();
+                let sequential = session
+                    .submit(
+                        &RunRequest::new(id, policy)
+                            .timeline(true)
+                            .sequential_strips(),
+                    )
+                    .unwrap();
+                let scalar = session
+                    .submit(&RunRequest::new(id, policy).timeline(true).scalar())
+                    .unwrap();
+                assert_eq!(
+                    parallel, sequential,
+                    "{workers} workers, {workload}/{policy}: parallel diverged from sequential strips"
+                );
+                assert_eq!(
+                    parallel, scalar,
+                    "{workers} workers, {workload}/{policy}: parallel diverged from scalar"
+                );
+                let lone = serial
+                    .submit(&RunRequest::new(serial_ids[wi], policy).timeline(true))
+                    .unwrap();
+                assert_eq!(
+                    parallel, lone,
+                    "{workers} workers, {workload}/{policy}: parallel diverged from a serial session"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_path_matches_scalar_on_warm_devices_across_rounds() {
+    let mut session = Session::builder(SsdConfig::small_for_tests())
+        .workers(4)
+        .build();
+    let id = session
+        .register(Workload::Jacobi1d.program(Scale::test()).unwrap())
+        .unwrap();
+    let dev_parallel = session.create_device("warm-parallel");
+    let dev_sequential = session.create_device("warm-sequential");
+    let dev_scalar = session.create_device("warm-scalar");
+
+    // Age three devices through the same stream, one per mode. Every round
+    // must agree — which also proves each round left all three devices'
+    // FTL/coherence state identical for the next.
+    for round in 0..3 {
+        for policy in [Policy::Conduit, Policy::DmOffloading, Policy::Ideal] {
+            let parallel = session
+                .submit(
+                    &RunRequest::new(id, policy)
+                        .on_device(dev_parallel)
+                        .timeline(true),
+                )
+                .unwrap();
+            let sequential = session
+                .submit(
+                    &RunRequest::new(id, policy)
+                        .on_device(dev_sequential)
+                        .timeline(true)
+                        .sequential_strips(),
+                )
+                .unwrap();
+            let scalar = session
+                .submit(
+                    &RunRequest::new(id, policy)
+                        .on_device(dev_scalar)
+                        .timeline(true)
+                        .scalar(),
+                )
+                .unwrap();
+            assert_eq!(
+                parallel, sequential,
+                "round {round}/{policy}: warm parallel diverged from sequential strips"
+            );
+            assert_eq!(
+                parallel, scalar,
+                "round {round}/{policy}: warm parallel diverged from scalar"
+            );
+        }
+    }
+    let parallel_snapshot = session.device_snapshot(dev_parallel);
+    assert_eq!(
+        parallel_snapshot,
+        session.device_snapshot(dev_sequential),
+        "warm devices aged differently under parallel vs sequential strips"
+    );
+    assert_eq!(
+        parallel_snapshot,
+        session.device_snapshot(dev_scalar),
+        "warm devices aged differently under parallel vs scalar"
+    );
+}
+
+#[test]
+fn parallel_run_reports_evaluator_diagnostics() {
+    // Many independent same-shaped strips, split by op changes: every strip
+    // is DAG-independent (no cross-strip results, no stores), so all of
+    // them are speculation-eligible under Conduit.
+    let mut prog = VectorProgram::new("diagnostics");
+    for k in 0..24u64 {
+        let op = if k % 2 == 0 { OpType::Xor } else { OpType::Add };
+        prog.push_binary(op, Operand::page(k * 8), Operand::page(k * 8 + 4));
+    }
+    let mut session = Session::builder(SsdConfig::small_for_tests())
+        .workers(4)
+        .build();
+    let id = session.register(prog).unwrap();
+    let outcome = session
+        .submit(&RunRequest::new(id, Policy::Conduit))
+        .unwrap();
+    let stats = outcome.summary.parallelism;
+    // Every strip goes through the two-phase evaluator exactly once,
+    // whether a worker or the committer evaluated it.
+    assert_eq!(stats.evals(), 24, "one eval per strip: {stats:?}");
+    // Placement speculation is deterministic (it only depends on the
+    // program and the device models), and every strip here is eligible.
+    assert_eq!(
+        stats.speculation_hits + stats.speculation_misses,
+        24,
+        "every independent strip speculates: {stats:?}"
+    );
+    // The sequential and scalar paths never touch the evaluator.
+    let sequential = session
+        .submit(&RunRequest::new(id, Policy::Conduit).sequential_strips())
+        .unwrap();
+    assert_eq!(sequential.summary.parallelism.evals(), 0);
+    let scalar = session
+        .submit(&RunRequest::new(id, Policy::Conduit).scalar())
+        .unwrap();
+    assert_eq!(scalar.summary.parallelism.evals(), 0);
+}
+
+#[test]
+fn l2p_miss_cadence_is_identical_in_every_mode_and_restarts_per_repeat() {
+    // A deterministic L2P miss period of 4 (hit rate 0.75): in a run that
+    // charges overheads every instruction bumps the lookup counter exactly
+    // once, so misses land on global instruction indices 3, 7, 11, 15 —
+    // regardless of strip boundaries and of which thread computed the
+    // overhead.
+    let mut cfg = SsdConfig::small_for_tests();
+    cfg.l2p_cache_hit_rate = 0.75;
+    let overheads = conduit::OverheadModel::new(&cfg);
+    let mut expected = conduit::OverheadReport::default();
+    for g in 1u64..=16 {
+        expected.record(overheads.per_instruction(2, g.is_multiple_of(4)));
+    }
+
+    // Two strips (op change at instruction 10), so the cadence crosses a
+    // strip boundary: the second strip's precomputed overheads must pick up
+    // the counter mid-period, not restart it.
+    let mut prog = VectorProgram::new("cadence");
+    for k in 0..10u64 {
+        prog.push_binary(OpType::Xor, Operand::page(k * 8), Operand::page(k * 8 + 4));
+    }
+    for k in 10..16u64 {
+        prog.push_binary(OpType::Add, Operand::page(k * 8), Operand::page(k * 8 + 4));
+    }
+
+    let mut session = Session::builder(cfg).workers(4).build();
+    let id = session.register(prog).unwrap();
+    let parallel = session
+        .submit(&RunRequest::new(id, Policy::Conduit))
+        .unwrap();
+    let sequential = session
+        .submit(&RunRequest::new(id, Policy::Conduit).sequential_strips())
+        .unwrap();
+    let scalar = session
+        .submit(&RunRequest::new(id, Policy::Conduit).scalar())
+        .unwrap();
+    assert_eq!(parallel.summary.overhead, expected, "parallel cadence");
+    assert_eq!(sequential.summary.overhead, expected, "sequential cadence");
+    assert_eq!(scalar.summary.overhead, expected, "scalar cadence");
+    assert_eq!(parallel, sequential);
+    assert_eq!(parallel, scalar);
+
+    // The lookup counter is per run: across repeat boundaries the cadence
+    // restarts (repeat 2 misses on the same in-run indices as repeat 1), in
+    // every mode. The summary carries the final repeat's report, so a
+    // counter leaking across repeats would shift its miss pattern and the
+    // totals would differ.
+    let warm_parallel = session.create_device("cadence-parallel");
+    let warm_scalar = session.create_device("cadence-scalar");
+    let repeated = session
+        .submit(
+            &RunRequest::new(id, Policy::Conduit)
+                .on_device(warm_parallel)
+                .repeat(3),
+        )
+        .unwrap();
+    let repeated_scalar = session
+        .submit(
+            &RunRequest::new(id, Policy::Conduit)
+                .on_device(warm_scalar)
+                .repeat(3)
+                .scalar(),
+        )
+        .unwrap();
+    assert_eq!(
+        repeated.summary.overhead, expected,
+        "cadence must restart at each repeat boundary"
+    );
+    assert_eq!(repeated, repeated_scalar);
+    assert_eq!(
+        session.device_snapshot(warm_parallel),
+        session.device_snapshot(warm_scalar)
+    );
+}
